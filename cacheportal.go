@@ -1,0 +1,89 @@
+// Package cacheportal is the public API of the CachePortal reproduction
+// (Candan, Li, Luo, Hsiung, Agrawal: "Enabling Dynamic Content Caching for
+// Database-Driven Web Sites", SIGMOD 2001).
+//
+// CachePortal makes dynamically generated web pages cacheable by
+// invalidating them when the database rows they depend on change. It is
+// non-invasive: a sniffer correlates the HTTP request log with the query
+// log into a QI/URL map, and an invalidator interprets that map against the
+// database update log, issuing polling queries where a delta tuple alone
+// cannot decide impact, and sending `Cache-Control: eject` messages to the
+// web caches for affected pages.
+//
+// Three entry points:
+//
+//   - New builds a Portal (sniffer + invalidator) over logs you wire
+//     yourself — for deployments where the web server, application server,
+//     database and cache are separate processes.
+//   - NewSite assembles a complete Configuration III site in one process —
+//     in-memory DBMS served over TCP, servlet container, caching reverse
+//     proxy, and a running Portal — for examples, tests and experiments.
+//   - The internal packages (engine, webcache, datacache, balancer, simnet,
+//     configs, …) implement every substrate and the paper's evaluation
+//     harness; see DESIGN.md.
+package cacheportal
+
+import (
+	"repro/internal/appserver"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/invalidator"
+	"repro/internal/sniffer"
+)
+
+// Re-exported configuration and component types. The aliases make the root
+// package a complete vocabulary for assembling a deployment without
+// importing internal packages directly.
+type (
+	// Options configures a Portal; see core.Options.
+	Options = core.Options
+	// Portal is a running sniffer + invalidator pair.
+	Portal = core.Portal
+	// Rule is an administrator invalidation policy (query- or
+	// request-based).
+	Rule = invalidator.Rule
+	// DiscoveryThresholds drive automatic policy discovery.
+	DiscoveryThresholds = invalidator.DiscoveryThresholds
+	// Report summarizes one invalidation cycle.
+	Report = invalidator.Report
+	// Advice is a maintained-index recommendation.
+	Advice = invalidator.Advice
+	// MapperMode selects how queries are attributed to requests.
+	MapperMode = sniffer.MapperMode
+	// Meta describes a servlet registration (name, key parameters,
+	// temporal sensitivity).
+	Meta = appserver.Meta
+	// KeySpec names the GET/POST/cookie parameters forming a page's cache
+	// key.
+	KeySpec = appserver.KeySpec
+	// Page is a servlet's response.
+	Page = appserver.Page
+	// Context carries one request through a servlet.
+	Context = appserver.Context
+	// ServletFunc adapts a function to the servlet interface.
+	ServletFunc = appserver.ServletFunc
+	// QueryLog is the JDBC-wrapper query log.
+	QueryLog = driver.QueryLog
+	// RequestLog is the servlet-wrapper request log.
+	RequestLog = appserver.RequestLog
+)
+
+// Mapper modes.
+const (
+	// IntervalOnly attributes queries to requests purely by timestamp
+	// containment (the paper's §3.3 rule).
+	IntervalOnly = sniffer.IntervalOnly
+	// LeaseAffine additionally requires connection-lease agreement.
+	LeaseAffine = sniffer.LeaseAffine
+)
+
+// Policy rule actions.
+const (
+	// NeverCache marks matching queries/servlets non-cacheable.
+	NeverCache = invalidator.ActionNeverCache
+	// AlwaysCache pins matches cacheable.
+	AlwaysCache = invalidator.ActionAlwaysCache
+)
+
+// New builds a Portal over externally wired logs. See core.New.
+func New(opts Options) (*Portal, error) { return core.New(opts) }

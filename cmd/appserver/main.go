@@ -1,0 +1,50 @@
+// Command appserver runs the demo application's servlet container (the
+// BEA WebLogic box of the paper's figures) against a dbserver, with the
+// request logger and the JDBC-wrapper query logger in place.
+//
+// Usage:
+//
+//	appserver -listen :8080 -db 127.0.0.1:7000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"repro/internal/appserver"
+	"repro/internal/demoapp"
+	"repro/internal/driver"
+	"repro/internal/logexport"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8080", "HTTP address to listen on")
+	dbAddr := flag.String("db", "127.0.0.1:7000", "dbserver address")
+	pool := flag.Int("pool", 8, "database connection pool size")
+	flag.Parse()
+
+	qlog := driver.NewQueryLog(0)
+	logged := driver.NewLoggingDriver(driver.NetDriver{}, qlog)
+	p, err := driver.NewPool(logged, *dbAddr, *pool)
+	if err != nil {
+		log.Fatalf("appserver: %v", err)
+	}
+	reg := driver.NewRegistry()
+	reg.Bind("db", p)
+
+	rlog := appserver.NewRequestLog(0)
+	srv := appserver.NewServer(reg, rlog)
+	for _, def := range demoapp.Servlets("db") {
+		srv.MustRegister(def.Meta, def.Handler)
+	}
+
+	// Export the request and query logs so a remote invalidatord can fetch
+	// them (the paper's Figure 7 deployment).
+	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog}
+
+	fmt.Printf("appserver on %s (db %s): /light /medium /heavy ?cat=0..9\n", *listen, *dbAddr)
+	fmt.Printf("log export under %s/logs/{requests,queries}\n", logexport.DefaultPathPrefix)
+	log.Fatal(http.ListenAndServe(*listen, exporter.Wrap(srv)))
+}

@@ -1,0 +1,57 @@
+// Command dbserver runs the reproduction's in-memory DBMS as a standalone
+// server speaking the wire protocol (the Oracle box of the paper's
+// figures). Clients connect with internal/driver's NetDriver; the
+// invalidator pulls its update log with the logsince operation.
+//
+// Usage:
+//
+//	dbserver -listen :7000 -init schema.sql
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
+	initFile := flag.String("init", "", "SQL script to execute at startup")
+	initSQL := flag.String("exec", "", "SQL script text to execute at startup")
+	flag.Parse()
+
+	db := engine.NewDatabase()
+	if *initFile != "" {
+		script, err := os.ReadFile(*initFile)
+		if err != nil {
+			log.Fatalf("dbserver: %v", err)
+		}
+		if _, err := db.ExecScript(string(script)); err != nil {
+			log.Fatalf("dbserver: init script: %v", err)
+		}
+	}
+	if *initSQL != "" {
+		if _, err := db.ExecScript(*initSQL); err != nil {
+			log.Fatalf("dbserver: exec: %v", err)
+		}
+	}
+
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		log.Fatalf("dbserver: %v", err)
+	}
+	fmt.Printf("dbserver listening on %s (tables: %v)\n", addr, db.TableNames())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Printf("dbserver: served %d queries, shutting down\n", srv.Queries())
+	srv.Close()
+}

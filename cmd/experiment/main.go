@@ -1,0 +1,132 @@
+// Command experiment regenerates every table of the paper's evaluation
+// (§5.3) from the calibrated simulation, printing rows in the paper's
+// layout, plus the ablation sweeps described in DESIGN.md §4.
+//
+// Usage:
+//
+//	experiment -table 2          # Table 2
+//	experiment -table 3          # Table 3
+//	experiment -table all        # both
+//	experiment -sweep hitratio   # Conf III expected response vs hit ratio
+//	experiment -sweep updates    # Conf II/III vs update rate (fine grid)
+//	experiment -sweep threads    # Conf I response vs worker threads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/configs"
+)
+
+func main() {
+	table := flag.String("table", "all", "which paper table to regenerate: 2, 3, all, none")
+	sweep := flag.String("sweep", "", "ablation sweep: hitratio, updates, threads")
+	reps := flag.Int("reps", configs.Replications, "replications per cell")
+	duration := flag.Float64("duration", 0, "override measured window (seconds)")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	base := configs.Defaults()
+	base.Seed = *seed
+	if *duration > 0 {
+		base.Duration = *duration
+	}
+
+	switch *table {
+	case "2":
+		printTable("Table 2 (negligible middle-tier cache access overhead)", configs.Table2(base, *reps))
+	case "3":
+		printTable("Table 3 (non-negligible middle-tier cache access overhead)", configs.Table3(base, *reps))
+	case "all":
+		printTable("Table 2 (negligible middle-tier cache access overhead)", configs.Table2(base, *reps))
+		fmt.Println()
+		printTable("Table 3 (non-negligible middle-tier cache access overhead)", configs.Table3(base, *reps))
+	case "none":
+	default:
+		log.Fatalf("experiment: unknown table %q", *table)
+	}
+
+	switch *sweep {
+	case "":
+	case "hitratio":
+		sweepHitRatio(base, *reps)
+	case "updates":
+		sweepUpdates(base, *reps)
+	case "threads":
+		sweepThreads(base)
+	default:
+		log.Fatalf("experiment: unknown sweep %q", *sweep)
+	}
+}
+
+func fmtMS(v float64) string {
+	if v < 0 {
+		return "N/A"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// printTable renders a 3×3 grid in the paper's row layout: one line per
+// update load per configuration with DB / miss / hit / expected columns.
+func printTable(title string, cells []configs.Cell) {
+	fmt.Println("==", title, "==")
+	fmt.Println("(average response times in ms; 30 req/s: 10 light + 10 medium + 10 heavy)")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "UpdateRate\tConf\tMiss DB\tMiss Resp\tHit Resp\tExp. Resp\t")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t\n",
+			c.Load, c.Config,
+			fmtMS(c.Row.MissDB), fmtMS(c.Row.MissResp), fmtMS(c.Row.HitResp), fmtMS(c.Row.ExpResp))
+	}
+	w.Flush()
+}
+
+// sweepHitRatio: Configuration III expected response across cache hit
+// ratios (ablation for the hit_ratio parameter of Table 1).
+func sweepHitRatio(base configs.Params, reps int) {
+	fmt.Println("== Ablation: Conf III expected response vs web-cache hit ratio ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "hit_ratio\tExp. Resp (ms)\tMiss Resp\tDB util\t")
+	for _, hr := range []float64{0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+		p := base
+		p.HitRatio = hr
+		r := configs.RunAveraged(p, reps, configs.RunConfigIII)
+		fmt.Fprintf(w, "%.1f\t%.0f\t%.0f\t%.2f\t\n", hr, r.ExpResp, r.MissResp, r.DBUtil)
+	}
+	w.Flush()
+}
+
+// sweepUpdates: Conf II vs III on a finer update-rate grid, showing where
+// the gap opens (the paper samples 0/20/48 only).
+func sweepUpdates(base configs.Params, reps int) {
+	fmt.Println("== Ablation: expected response vs update rate (Conf II vs III) ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "updates/s\tConf II (ms)\tConf III (ms)\tIII/II\t")
+	for _, u := range []float64{0, 10, 20, 30, 40, 48, 60} {
+		p := base
+		p.UpdateRate = u
+		r2 := configs.RunAveraged(p, reps, configs.RunConfigII)
+		r3 := configs.RunAveraged(p, reps, configs.RunConfigIII)
+		fmt.Fprintf(w, "%.0f\t%.0f\t%.0f\t%.2f\t\n", u, r2.ExpResp, r3.ExpResp, r3.ExpResp/r2.ExpResp)
+	}
+	w.Flush()
+}
+
+// sweepThreads: Configuration I's response versus worker-pool size — the
+// resource-starvation knob (§5.3.1's explanation).
+func sweepThreads(base configs.Params) {
+	fmt.Println("== Ablation: Conf I response vs worker threads per PC ==")
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "threads\tMiss DB (ms)\tExp. Resp (ms)\t")
+	for _, k := range []int{4, 16, 64, 256, 512, 1024} {
+		p := base
+		p.ThreadsPerServer = k
+		r := configs.RunAveraged(p, 3, configs.RunConfigI)
+		fmt.Fprintf(w, "%d\t%.0f\t%.0f\t\n", k, r.MissDB, r.ExpResp)
+	}
+	w.Flush()
+}

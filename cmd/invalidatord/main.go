@@ -1,0 +1,100 @@
+// Command invalidatord is CachePortal deployed as the paper's Figure 7
+// prescribes: a standalone process on its own machine that (a) fetches the
+// HTTP-request and query logs from the application server at regular
+// intervals, (b) pulls the database update log over the wire protocol,
+// (c) runs the sniffer's request-to-query mapper and the invalidator's
+// analysis/polling pipeline, and (d) sends `Cache-Control: eject` requests
+// to the web caches.
+//
+// Usage (with dbserver, appserver and webcached already running):
+//
+//	invalidatord -app http://127.0.0.1:8080 -db 127.0.0.1:7000 \
+//	             -cache http://127.0.0.1:8090 -interval 1s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/invalidator"
+	"repro/internal/logexport"
+	"repro/internal/sniffer"
+	"repro/internal/wire"
+)
+
+func main() {
+	appURL := flag.String("app", "http://127.0.0.1:8080", "application server base URL (log export)")
+	dbAddr := flag.String("db", "127.0.0.1:7000", "dbserver address (update log + polling)")
+	caches := flag.String("cache", "http://127.0.0.1:8090", "comma-separated web cache URLs to eject from")
+	interval := flag.Duration("interval", time.Second, "invalidation cycle interval")
+	pollBudget := flag.Duration("poll-budget", 0, "max polling time per cycle (0 = unbounded)")
+	verbose := flag.Bool("v", false, "log every cycle")
+	flag.Parse()
+
+	logClient, err := wire.Dial(*dbAddr)
+	if err != nil {
+		log.Fatalf("invalidatord: update log: %v", err)
+	}
+	defer logClient.Close()
+	pollConn, err := driver.NetDriver{}.Connect(*dbAddr)
+	if err != nil {
+		log.Fatalf("invalidatord: polling connection: %v", err)
+	}
+	defer pollConn.Close()
+
+	mirror := logexport.NewMirror(*appURL)
+	qiMap := sniffer.NewQIURLMap()
+	mapper := sniffer.NewMapper(mirror.Requests, mirror.Queries, qiMap)
+
+	inv := invalidator.New(invalidator.Config{
+		Map:        qiMap,
+		Mapper:     mapper,
+		Puller:     invalidator.WireLogPuller{Client: logClient},
+		Poller:     pollConn,
+		Ejector:    invalidator.HTTPEjector{CacheURLs: strings.Split(*caches, ",")},
+		PollBudget: *pollBudget,
+	})
+
+	fmt.Printf("invalidatord: app=%s db=%s caches=%s interval=%s\n",
+		*appURL, *dbAddr, *caches, *interval)
+
+	stop := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				if _, err := mirror.Sync(); err != nil {
+					log.Printf("invalidatord: log fetch: %v", err)
+					continue // app server may be restarting; retry next tick
+				}
+				rep, err := inv.Cycle()
+				if err != nil {
+					log.Printf("invalidatord: cycle: %v", err)
+					continue
+				}
+				if *verbose || rep.Invalidated > 0 {
+					log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
+						rep.MappedPages, rep.UpdateRecords, rep.Polls,
+						rep.Invalidated, rep.Conservative, rep.Duration)
+				}
+			}
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	fmt.Println("invalidatord: shutting down")
+}

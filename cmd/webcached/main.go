@@ -1,0 +1,43 @@
+// Command webcached runs the dynamic-content web cache: a caching reverse
+// proxy honouring `Cache-Control: private, owner="cacheportal"` for storage
+// and `Cache-Control: eject` for invalidation (the NetCache box of the
+// paper's Configuration III).
+//
+// Usage:
+//
+//	webcached -listen :8090 -origin http://127.0.0.1:8080 -capacity 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"repro/internal/webcache"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:8090", "HTTP address to listen on")
+	origin := flag.String("origin", "http://127.0.0.1:8080", "origin server base URL")
+	capacity := flag.Int("capacity", 0, "max cached pages (0 = unbounded)")
+	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
+	flag.Parse()
+
+	cache := webcache.NewCache(*capacity)
+	proxy := webcache.NewProxy(*origin, cache)
+
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				st := cache.Stats()
+				fmt.Printf("webcached: %d pages, hit ratio %.2f, %d invalidations, %d evictions\n",
+					cache.Len(), st.HitRatio(), st.Invalidations, st.Evictions)
+			}
+		}()
+	}
+
+	fmt.Printf("webcached on %s → %s\n", *listen, *origin)
+	log.Fatal(http.ListenAndServe(*listen, proxy))
+}

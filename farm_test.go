@@ -1,0 +1,157 @@
+package cacheportal
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// farmSite builds a Configuration III site with a 3-server web farm behind
+// the balancer.
+func farmSite(t testing.TB) *Site {
+	t.Helper()
+	site, err := NewSite(SiteConfig{
+		Schema: `
+			CREATE TABLE stock (sym TEXT, qty INT);
+			INSERT INTO stock VALUES ('AAA', 100), ('BBB', 5), ('CCC', 40);
+		`,
+		Servlets: []ServletDef{{
+			Meta: Meta{Name: "low", Keys: KeySpec{Get: []string{"below"}}},
+			Handler: func(ctx *Context) (*Page, error) {
+				lease, err := ctx.Lease("db")
+				if err != nil {
+					return nil, err
+				}
+				defer lease.Release()
+				res, err := lease.Query("SELECT sym, qty FROM stock WHERE qty < " + ctx.Param("below"))
+				if err != nil {
+					return nil, err
+				}
+				var b strings.Builder
+				for _, r := range res.Rows {
+					fmt.Fprintf(&b, "%s:%s\n", r[0], r[1])
+				}
+				return &Page{Body: []byte(b.String())}, nil
+			},
+		}},
+		WebServers: 3,
+		Interval:   50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+func TestFarmServesThroughBalancer(t *testing.T) {
+	site := farmSite(t)
+	if len(site.Apps) != 3 || len(site.AppURLs) != 3 {
+		t.Fatalf("farm size: %d", len(site.Apps))
+	}
+	url := site.CacheURL + "/low?below=50"
+
+	// Concurrent misses across distinct pages spread over the farm.
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/low?below=%d", site.CacheURL, 10+i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	// Every app server saw some share of the load.
+	total := int64(0)
+	for i, app := range site.Apps {
+		st, ok := app.StatsFor("low")
+		if !ok {
+			t.Fatalf("app %d has no stats", i)
+		}
+		if st.Requests == 0 {
+			t.Fatalf("app %d got no requests (balancer not spreading)", i)
+		}
+		total += st.Requests
+	}
+	if total != 12 {
+		t.Fatalf("farm served %d requests", total)
+	}
+
+	// Invalidation still works across the farm: any server may regenerate.
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := resp.Header.Get("X-Cacheportal-Key")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := site.Exec("UPDATE stock SET qty = 3 WHERE sym = 'AAA'"); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(key, 5*time.Second) {
+		t.Fatal("farm page not invalidated")
+	}
+	resp, err = http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "AAA:3") {
+		t.Fatalf("stale after farm invalidation: %q", body)
+	}
+}
+
+// TestFarmMapperAttribution checks the sniffer maps correctly when several
+// farm servers interleave requests on the shared logs (lease affinity must
+// disambiguate).
+func TestFarmMapperAttribution(t *testing.T) {
+	site := farmSite(t)
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("%s/low?below=%d", site.CacheURL, 100+i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(i)
+	}
+	wg.Wait()
+	site.Portal.Cycle()
+
+	// Every mapped page must carry exactly one query, with the matching
+	// bound literal — interval overlap across the farm must not leak
+	// queries between pages.
+	pages, _ := site.Portal.Map.Snapshot()
+	if len(pages) != 30 {
+		t.Fatalf("mapped %d pages", len(pages))
+	}
+	for _, pm := range pages {
+		if len(pm.Queries) != 1 {
+			t.Fatalf("page %s has %d queries: %+v", pm.CacheKey, len(pm.Queries), pm.Queries)
+		}
+		// The bound literal in the SQL must match the page key's parameter.
+		var below int
+		if _, err := fmt.Sscanf(pm.CacheKey[strings.Index(pm.CacheKey, "below=")+6:], "%d", &below); err != nil {
+			t.Fatalf("key %q: %v", pm.CacheKey, err)
+		}
+		if !strings.Contains(pm.Queries[0].SQL, fmt.Sprintf("qty < %d", below)) {
+			t.Fatalf("page %s mapped to wrong query %q", pm.CacheKey, pm.Queries[0].SQL)
+		}
+	}
+}

@@ -1,0 +1,294 @@
+package cacheportal
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/webcache"
+)
+
+// carSite builds the Example 4.1 application as a real site: DBMS over TCP,
+// servlet container, caching proxy, CachePortal.
+func carSite(t testing.TB) *Site {
+	t.Helper()
+	site, err := NewSite(SiteConfig{
+		Schema: `
+			CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+			CREATE TABLE Mileage (model TEXT, EPA INT);
+			INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000), ('Honda', 'Civic', 16000), ('BMW', 'M3', 70000);
+			INSERT INTO Mileage VALUES ('Corolla', 33), ('Civic', 31), ('M3', 19), ('Avalon', 26);
+		`,
+		Servlets: []ServletDef{
+			{
+				Meta: Meta{Name: "under", Keys: KeySpec{Get: []string{"price"}}},
+				Handler: func(ctx *Context) (*Page, error) {
+					lease, err := ctx.Lease("db")
+					if err != nil {
+						return nil, err
+					}
+					defer lease.Release()
+					res, err := lease.Query(
+						"SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage " +
+							"WHERE Car.model = Mileage.model AND Car.price < " + ctx.Param("price"))
+					if err != nil {
+						return nil, err
+					}
+					var b strings.Builder
+					for _, r := range res.Rows {
+						fmt.Fprintf(&b, "%s %s %s %s\n", r[0], r[1], r[2], r[3])
+					}
+					return &Page{Body: []byte(b.String())}, nil
+				},
+			},
+		},
+		Interval: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+func fetch(t testing.TB, url string) (string, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get(webcache.HitHeader), resp.Header.Get("X-Cacheportal-Key")
+}
+
+func TestEndToEndCacheHitAndInvalidation(t *testing.T) {
+	site := carSite(t)
+	url := site.CacheURL + "/under?price=20000"
+
+	// Miss, then hit with identical content.
+	b1, h1, key := fetch(t, url)
+	if h1 != "miss" {
+		t.Fatalf("first fetch: %s", h1)
+	}
+	if !strings.Contains(b1, "Corolla") || strings.Contains(b1, "M3") {
+		t.Fatalf("body: %q", b1)
+	}
+	b2, h2, _ := fetch(t, url)
+	if h2 != "hit" || b2 != b1 {
+		t.Fatalf("second fetch: %s %q", h2, b2)
+	}
+
+	// Backend update that affects the page: new cheap car with mileage.
+	if err := site.Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 18000)"); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(key, 5*time.Second) {
+		t.Fatal("page not invalidated")
+	}
+
+	// Fresh fetch shows the new row.
+	b3, h3, _ := fetch(t, url)
+	if h3 != "miss" {
+		t.Fatalf("after invalidation: %s", h3)
+	}
+	if !strings.Contains(b3, "Avalon") {
+		t.Fatalf("stale content after invalidation: %q", b3)
+	}
+}
+
+func TestEndToEndIrrelevantUpdateKeepsPageCached(t *testing.T) {
+	site := carSite(t)
+	url := site.CacheURL + "/under?price=20000"
+	_, _, key := fetch(t, url)
+	fetch(t, url) // warm
+
+	// Expensive car: fails the local price predicate — page must survive.
+	if err := site.Exec("INSERT INTO Car VALUES ('Porsche', '911', 120000)"); err != nil {
+		t.Fatal(err)
+	}
+	// Give the portal several cycles.
+	for i := 0; i < 5; i++ {
+		site.Portal.Cycle()
+	}
+	if _, present := site.Cache.Peek(key); !present {
+		t.Fatal("irrelevant update evicted the page")
+	}
+	_, h, _ := fetch(t, url)
+	if h != "hit" {
+		t.Fatalf("expected hit, got %s", h)
+	}
+}
+
+func TestEndToEndDistinctPagesIndependent(t *testing.T) {
+	site := carSite(t)
+	urlLow := site.CacheURL + "/under?price=16500"
+	urlHigh := site.CacheURL + "/under?price=99999"
+	_, _, keyLow := fetch(t, urlLow)
+	_, _, keyHigh := fetch(t, urlHigh)
+
+	// 17000 affects only the high page.
+	if err := site.Exec("INSERT INTO Car VALUES ('Mazda', 'Miata', 17000)"); err != nil {
+		t.Fatal(err)
+	}
+	site.Exec("INSERT INTO Mileage VALUES ('Miata', 30)")
+	if !site.WaitForInvalidation(keyHigh, 5*time.Second) {
+		t.Fatal("high page not invalidated")
+	}
+	if _, present := site.Cache.Peek(keyLow); !present {
+		t.Fatal("low page should have survived")
+	}
+}
+
+func TestEndToEndUpdateAndDelete(t *testing.T) {
+	site := carSite(t)
+	url := site.CacheURL + "/under?price=20000"
+	b1, _, key := fetch(t, url)
+	if !strings.Contains(b1, "Corolla") {
+		t.Fatalf("body: %q", b1)
+	}
+
+	// Price change pushes the Corolla out of range.
+	if err := site.Exec("UPDATE Car SET price = 25000 WHERE model = 'Corolla'"); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(key, 5*time.Second) {
+		t.Fatal("page not invalidated after UPDATE")
+	}
+	b2, _, _ := fetch(t, url)
+	if strings.Contains(b2, "Corolla") {
+		t.Fatalf("stale Corolla after update: %q", b2)
+	}
+
+	// Delete the Civic's mileage row: page must fall again.
+	if err := site.Exec("DELETE FROM Mileage WHERE model = 'Civic'"); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(key, 5*time.Second) {
+		t.Fatal("page not invalidated after DELETE")
+	}
+	b3, _, _ := fetch(t, url)
+	if strings.Contains(b3, "Civic") {
+		t.Fatalf("stale Civic after delete: %q", b3)
+	}
+}
+
+func TestEndToEndConcurrentLoad(t *testing.T) {
+	site := carSite(t)
+	var wg sync.WaitGroup
+	errCh := make(chan error, 32)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				price := 15000 + (g*7+i)%4*2000
+				resp, err := http.Get(fmt.Sprintf("%s/under?price=%d", site.CacheURL, price))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errCh <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(g)
+	}
+	// Concurrent updates.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			site.Exec(fmt.Sprintf("INSERT INTO Car VALUES ('Gen', 'Model%d', %d)", i, 10000+i*1000))
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := site.Cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hits under load: %+v", st)
+	}
+}
+
+func TestEndToEndFreshnessUnderContinuousUpdates(t *testing.T) {
+	// The paper's core guarantee, live: every served page equals what the
+	// database would produce, modulo the invalidation window. We check that
+	// after quiescing the portal, a fresh fetch equals a direct DB render.
+	site := carSite(t)
+	url := site.CacheURL + "/under?price=20000"
+	for i := 0; i < 6; i++ {
+		fetch(t, url)
+		site.Exec(fmt.Sprintf("INSERT INTO Car VALUES ('T', 'X%d', %d)", i, 14000+i*500))
+		site.Exec(fmt.Sprintf("INSERT INTO Mileage VALUES ('X%d', %d)", i, 20+i))
+	}
+	// Quiesce: run cycles until nothing more is invalidated.
+	for i := 0; i < 10; i++ {
+		rep, err := site.Portal.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Invalidated == 0 && rep.UpdateRecords == 0 {
+			break
+		}
+	}
+	got, _, _ := fetch(t, url) // may be a miss (invalidated) → fresh render
+	// Direct render from the DB for comparison.
+	res, err := site.DB.ExecSQL("SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < 20000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, r := range res.Rows {
+		fmt.Fprintf(&b, "%s %s %s %s\n", r[0], r[1], r[2], r[3])
+	}
+	if got != b.String() {
+		t.Fatalf("served page is stale:\nserved:  %q\ncurrent: %q", got, b.String())
+	}
+}
+
+func TestNewSiteValidation(t *testing.T) {
+	if _, err := NewSite(SiteConfig{}); err == nil {
+		t.Fatal("empty config must fail")
+	}
+	if _, err := NewSite(SiteConfig{Schema: "CREATE TABLE t (a INT)"}); err == nil {
+		t.Fatal("no servlets must fail")
+	}
+	if _, err := NewSite(SiteConfig{Schema: "NOT SQL", Servlets: []ServletDef{{Meta: Meta{Name: "x"}, Handler: func(*Context) (*Page, error) { return &Page{}, nil }}}}); err == nil {
+		t.Fatal("bad schema must fail")
+	}
+}
+
+func TestPortalOptionValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("empty options must fail")
+	}
+}
+
+func TestPortalStartStop(t *testing.T) {
+	site := carSite(t)
+	// Portal already started by NewSite; double start errors.
+	if err := site.Portal.Start(); err == nil {
+		t.Fatal("double start must fail")
+	}
+	site.Portal.Stop()
+	site.Portal.Stop() // idempotent
+	if err := site.Portal.Start(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, cycles := site.Portal.LastReport()
+	_ = cycles
+}

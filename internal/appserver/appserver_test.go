@@ -1,0 +1,283 @@
+package appserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+)
+
+func newApp(t *testing.T) (*Server, *RequestLog, *driver.QueryLog) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(`
+		CREATE TABLE products (id INT PRIMARY KEY, name TEXT, price FLOAT);
+		INSERT INTO products VALUES (1, 'widget', 9.99), (2, 'gadget', 19.99);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	qlog := driver.NewQueryLog(0)
+	pool, err := driver.NewPool(driver.NewLoggingDriver(driver.DirectDriver{DB: db}, qlog), "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	reg := driver.NewRegistry()
+	reg.Bind("main", pool)
+	rlog := NewRequestLog(0)
+	srv := NewServer(reg, rlog)
+	srv.MustRegister(Meta{Name: "product", Keys: KeySpec{Get: []string{"id"}}},
+		ServletFunc(func(ctx *Context) (*Page, error) {
+			lease, err := ctx.Lease("main")
+			if err != nil {
+				return nil, err
+			}
+			defer lease.Release()
+			res, err := lease.Query("SELECT name, price FROM products WHERE id = " + ctx.Param("id"))
+			if err != nil {
+				return nil, err
+			}
+			if len(res.Rows) == 0 {
+				return &Page{Body: []byte("not found"), Status: http.StatusNotFound}, nil
+			}
+			return &Page{Body: []byte(fmt.Sprintf("%s: %s", res.Rows[0][0], res.Rows[0][1]))}, nil
+		}))
+	return srv, rlog, qlog
+}
+
+func TestServletServesAndLogs(t *testing.T) {
+	srv, rlog, qlog := newApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/product?id=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, `owner="cacheportal"`) {
+		t.Fatalf("cache-control: %q", cc)
+	}
+	key := resp.Header.Get(KeyHeader)
+	if !strings.Contains(key, "/product?g:id=1") {
+		t.Fatalf("key: %q", key)
+	}
+	if sv := resp.Header.Get(ServletHeader); sv != "product" {
+		t.Fatalf("servlet header: %q", sv)
+	}
+
+	entries, _ := rlog.Since(1)
+	if len(entries) != 1 {
+		t.Fatalf("request log: %+v", entries)
+	}
+	e := entries[0]
+	if e.Servlet != "product" || !e.Cached || e.Status != 200 || e.CacheKey != key {
+		t.Fatalf("entry: %+v", e)
+	}
+	if !e.Deliver.After(e.Receive) && !e.Deliver.Equal(e.Receive) {
+		t.Fatalf("timestamps: %v %v", e.Receive, e.Deliver)
+	}
+
+	qs, _ := qlog.Since(1)
+	if len(qs) != 1 || !strings.Contains(qs[0].SQL, "WHERE id = 1") {
+		t.Fatalf("query log: %+v", qs)
+	}
+	// The query interval nests in the request interval — what the mapper
+	// relies on (§3.3).
+	if qs[0].Receive.Before(e.Receive) || qs[0].Deliver.After(e.Deliver) {
+		t.Fatalf("query interval [%v,%v] outside request interval [%v,%v]",
+			qs[0].Receive, qs[0].Deliver, e.Receive, e.Deliver)
+	}
+}
+
+func TestServletErrorPath(t *testing.T) {
+	srv, rlog, _ := newApp(t)
+	srv.MustRegister(Meta{Name: "boom"}, ServletFunc(func(*Context) (*Page, error) {
+		return nil, fmt.Errorf("kaput")
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/boom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	entries, _ := rlog.Since(1)
+	if len(entries) != 1 || entries[0].Status != 500 || entries[0].Cached {
+		t.Fatalf("entries: %+v", entries)
+	}
+	st, ok := srv.StatsFor("boom")
+	if !ok || st.Errors != 1 || st.Requests != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestNotFound(t *testing.T) {
+	srv, _, _ := newApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/nothing")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestNoCachePage(t *testing.T) {
+	srv, _, _ := newApp(t)
+	srv.MustRegister(Meta{Name: "private"}, ServletFunc(func(*Context) (*Page, error) {
+		return &Page{Body: []byte("secret"), NoCache: true}, nil
+	}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/private")
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Fatalf("cache-control: %q", cc)
+	}
+}
+
+func TestCacheableFeedbackHook(t *testing.T) {
+	srv, _, _ := newApp(t)
+	srv.Cacheable = func(name string) bool { return name != "product" }
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/product?id=1")
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Fatalf("cache-control with feedback: %q", cc)
+	}
+}
+
+func TestTemporalSensitivityBlocksCaching(t *testing.T) {
+	srv, _, _ := newApp(t)
+	srv.MinSensitivity = time.Second
+	srv.MustRegister(Meta{Name: "ticker", TemporalSensitivity: 100 * time.Millisecond},
+		ServletFunc(func(*Context) (*Page, error) {
+			return &Page{Body: []byte("tick")}, nil
+		}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, _ := http.Get(ts.URL + "/ticker")
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-cache" {
+		t.Fatalf("cache-control: %q", cc)
+	}
+	// A tolerant servlet stays cacheable.
+	resp, _ = http.Get(ts.URL + "/product?id=1")
+	resp.Body.Close()
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, "cacheportal") {
+		t.Fatalf("cache-control: %q", cc)
+	}
+}
+
+func TestPostParamsAndCookies(t *testing.T) {
+	srv, rlog, _ := newApp(t)
+	srv.MustRegister(Meta{Name: "order", Keys: KeySpec{Post: []string{"item"}, Cookie: []string{"user"}}},
+		ServletFunc(func(ctx *Context) (*Page, error) {
+			return &Page{Body: []byte("item=" + ctx.Param("item") + " user=" + ctx.Cookies["user"])}, nil
+		}))
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	req, _ := http.NewRequest("POST", ts.URL+"/order", strings.NewReader("item=widget&qty=2"))
+	req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+	req.AddCookie(&http.Cookie{Name: "user", Value: "alice"})
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	key := resp.Header.Get(KeyHeader)
+	if !strings.Contains(key, "p:item=widget") || !strings.Contains(key, "c:user=alice") {
+		t.Fatalf("key: %q", key)
+	}
+	if strings.Contains(key, "qty") {
+		t.Fatalf("non-key param leaked into key: %q", key)
+	}
+	entries, _ := rlog.Since(1)
+	e := entries[len(entries)-1]
+	if !strings.Contains(e.Post, "item=widget") || !strings.Contains(e.Cookies, "user=alice") {
+		t.Fatalf("entry: %+v", e)
+	}
+}
+
+func TestCacheKeyDeterminism(t *testing.T) {
+	mk := func(rawq string) *http.Request {
+		r, _ := http.NewRequest("GET", "http://site.example/page?"+rawq, nil)
+		return r
+	}
+	spec := KeySpec{Get: []string{"b", "a"}}
+	k1 := CacheKey(mk("a=1&b=2"), url.Values{}, spec)
+	k2 := CacheKey(mk("b=2&a=1"), url.Values{}, spec)
+	if k1 != k2 {
+		t.Fatalf("%q != %q", k1, k2)
+	}
+	// Default spec keys all GET params.
+	k3 := CacheKey(mk("z=9&a=1"), url.Values{}, KeySpec{})
+	k4 := CacheKey(mk("a=1&z=9"), url.Values{}, KeySpec{})
+	if k3 != k4 {
+		t.Fatalf("%q != %q", k3, k4)
+	}
+	// Different values change the key.
+	if CacheKey(mk("a=1&b=2"), url.Values{}, spec) == CacheKey(mk("a=1&b=3"), url.Values{}, spec) {
+		t.Fatal("keys must differ")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	srv := NewServer(driver.NewRegistry(), NewRequestLog(0))
+	if err := srv.Register(Meta{}, ServletFunc(nil)); err == nil {
+		t.Fatal("empty name must fail")
+	}
+	if err := srv.Register(Meta{Name: "x"}, ServletFunc(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Register(Meta{Name: "x"}, ServletFunc(nil)); err == nil {
+		t.Fatal("duplicate must fail")
+	}
+	if len(srv.Servlets()) != 1 {
+		t.Fatalf("servlets: %v", srv.Servlets())
+	}
+}
+
+func TestSubPathDispatch(t *testing.T) {
+	srv, _, _ := newApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/product/extra/path?id=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestRequestLogTruncation(t *testing.T) {
+	l := NewRequestLog(2)
+	for i := 0; i < 5; i++ {
+		l.Append(RequestLogEntry{Servlet: "s"})
+	}
+	// Amortized trimming: between 2 and 3 newest entries retained.
+	if l.Len() < 2 || l.Len() > 3 || l.NextID() != 6 {
+		t.Fatalf("len=%d next=%d", l.Len(), l.NextID())
+	}
+	entries, trunc := l.Since(1)
+	if !trunc || len(entries) == 0 || entries[len(entries)-1].ID != 5 {
+		t.Fatalf("entries: %+v trunc=%v", entries, trunc)
+	}
+}

@@ -1,0 +1,233 @@
+package appserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/driver"
+)
+
+// CacheOwner is the owner token in the rewritten Cache-Control directive
+// (§3.1: `Cache-Control: private, owner="cacheportal"`), which marks pages
+// that CachePortal-compliant caches may store even though they are private
+// to ordinary shared caches.
+const CacheOwner = "cacheportal"
+
+// KeyHeader carries the canonical page identifier to the web cache so that
+// cache entries and invalidation messages agree on page identity.
+const KeyHeader = "X-Cacheportal-Key"
+
+// ServletHeader carries the generating servlet's name downstream.
+const ServletHeader = "X-Cacheportal-Servlet"
+
+// Server is the servlet container: an http.Handler that dispatches
+// "/<servlet-name>" to registered servlets, wrapping every execution in the
+// request logger.
+type Server struct {
+	// Sources is handed to servlets for database access.
+	Sources *driver.Registry
+	// ReqLog receives one entry per servlet execution.
+	ReqLog *RequestLog
+	// Cacheable, when non-nil, is the invalidator's feedback hook (§3.1):
+	// it reports whether pages of the named servlet may currently be
+	// cached. Nil means "cacheable unless the page says NoCache".
+	Cacheable func(servlet string) bool
+	// MinSensitivity is the staleness bound CachePortal can currently
+	// guarantee (roughly the invalidation cycle). Servlets with a stricter
+	// (smaller, non-zero) TemporalSensitivity are marked non-cacheable.
+	MinSensitivity time.Duration
+
+	mu       sync.RWMutex
+	servlets map[string]*registered
+}
+
+type registered struct {
+	meta    Meta
+	servlet Servlet
+	stats   Stats
+}
+
+// NewServer creates an empty container.
+func NewServer(sources *driver.Registry, reqLog *RequestLog) *Server {
+	return &Server{
+		Sources:  sources,
+		ReqLog:   reqLog,
+		servlets: make(map[string]*registered),
+	}
+}
+
+// Register adds a servlet under meta.Name; the servlet serves the URL path
+// "/<name>".
+func (s *Server) Register(meta Meta, servlet Servlet) error {
+	if meta.Name == "" {
+		return fmt.Errorf("appserver: servlet needs a name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.servlets[meta.Name]; dup {
+		return fmt.Errorf("appserver: servlet %q already registered", meta.Name)
+	}
+	s.servlets[meta.Name] = &registered{meta: meta, servlet: servlet}
+	return nil
+}
+
+// MustRegister is Register that panics on error; for static wiring.
+func (s *Server) MustRegister(meta Meta, servlet Servlet) {
+	if err := s.Register(meta, servlet); err != nil {
+		panic(err)
+	}
+}
+
+// Servlets returns the registered metas (unordered).
+func (s *Server) Servlets() []Meta {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Meta, 0, len(s.servlets))
+	for _, r := range s.servlets {
+		out = append(out, r.meta)
+	}
+	return out
+}
+
+// StatsFor returns a copy of the servlet's counters.
+func (s *Server) StatsFor(name string) (Stats, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.servlets[name]
+	if !ok {
+		return Stats{}, false
+	}
+	return r.stats, true
+}
+
+// lookup finds the servlet for a URL path ("/name" or "/name/...").
+func (s *Server) lookup(path string) (*registered, bool) {
+	name := strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.servlets[name]
+	return r, ok
+}
+
+// ServeHTTP implements http.Handler: the request-logger wrapper around
+// servlet execution (§3.1, Figure 9(b)).
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	receive := time.Now()
+	reg, ok := s.lookup(r.URL.Path)
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+
+	// Parse POST parameters without consuming the body for later readers.
+	post := url.Values{}
+	if r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err == nil {
+			if vals, perr := url.ParseQuery(string(body)); perr == nil {
+				post = vals
+			}
+		}
+	}
+	cookies := map[string]string{}
+	var cookieParts []string
+	for _, c := range r.Cookies() {
+		cookies[c.Name] = c.Value
+		cookieParts = append(cookieParts, c.Name+"="+c.Value)
+	}
+
+	ctx := &Context{Request: r, Get: r.URL.Query(), Post: post, Cookies: cookies, Sources: s.Sources}
+	page, err := reg.servlet.Serve(ctx)
+	deliver := time.Now()
+	leaseIDs := ctx.LeaseIDs()
+
+	key := CacheKey(r, post, reg.meta.Keys)
+	entry := RequestLogEntry{
+		Servlet:  reg.meta.Name,
+		Request:  r.URL.Path + "?" + r.URL.RawQuery,
+		Cookies:  strings.Join(cookieParts, "; "),
+		Post:     post.Encode(),
+		CacheKey: key,
+		Receive:  receive,
+		Deliver:  deliver,
+		LeaseIDs: leaseIDs,
+	}
+
+	status := http.StatusOK
+	cacheable := false
+	if err != nil {
+		status = http.StatusInternalServerError
+		entry.Status = status
+		s.bumpStats(reg.meta.Name, deliver.Sub(receive), true)
+		if s.ReqLog != nil {
+			s.ReqLog.Append(entry)
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	if page.Status != 0 {
+		status = page.Status
+	}
+	cacheable = s.pageCacheable(reg.meta, page)
+
+	ct := page.ContentType
+	if ct == "" {
+		ct = "text/html; charset=utf-8"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.Header().Set(KeyHeader, key)
+	w.Header().Set(ServletHeader, reg.meta.Name)
+	if cacheable {
+		// The §3.1 rewrite: dynamically generated pages become cacheable
+		// for CachePortal-compliant caches only.
+		w.Header().Set("Cache-Control", fmt.Sprintf("private, owner=%q", CacheOwner))
+	} else {
+		w.Header().Set("Cache-Control", "no-cache")
+	}
+	entry.Status = status
+	entry.Cached = cacheable
+	s.bumpStats(reg.meta.Name, deliver.Sub(receive), false)
+	if s.ReqLog != nil {
+		s.ReqLog.Append(entry)
+	}
+	w.WriteHeader(status)
+	w.Write(page.Body)
+}
+
+// pageCacheable folds the three §3.1 cacheability inputs: the page's own
+// directive, the invalidator's feedback, and temporal sensitivity.
+func (s *Server) pageCacheable(meta Meta, page *Page) bool {
+	if page.NoCache {
+		return false
+	}
+	if s.Cacheable != nil && !s.Cacheable(meta.Name) {
+		return false
+	}
+	if meta.TemporalSensitivity > 0 && s.MinSensitivity > 0 &&
+		meta.TemporalSensitivity < s.MinSensitivity {
+		return false
+	}
+	return true
+}
+
+func (s *Server) bumpStats(name string, d time.Duration, failed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.servlets[name]
+	if !ok {
+		return
+	}
+	r.stats.Requests++
+	r.stats.TotalServe += d
+	if failed {
+		r.stats.Errors++
+	}
+}

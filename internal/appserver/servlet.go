@@ -1,0 +1,172 @@
+// Package appserver implements the reproduction's web + application server:
+// a servlet container in the style of BEA WebLogic (paper §3.1) on top of
+// net/http. Servlets declare which GET/POST/cookie parameters are cache
+// keys, their temporal sensitivity to data changes, and obtain database
+// connections through the driver package's pools and data sources — so the
+// request logger (the paper's servlet wrapper) and the query logger (the
+// JDBC wrapper) observe everything without application changes.
+package appserver
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/driver"
+)
+
+// Page is the servlet's output.
+type Page struct {
+	Body        []byte
+	ContentType string // default "text/html; charset=utf-8"
+	// NoCache marks the page non-cacheable regardless of servlet policy
+	// (the application's "no-cache" directive that the wrapper may rewrite,
+	// §3.1).
+	NoCache bool
+	Status  int // default 200
+}
+
+// Context carries one request through a servlet.
+type Context struct {
+	Request *http.Request
+	Get     url.Values
+	Post    url.Values
+	Cookies map[string]string
+	// Sources resolves named data sources (the JNDI-tree analog).
+	Sources *driver.Registry
+
+	mu     sync.Mutex
+	leases []int64
+}
+
+// Param returns the first GET-or-POST value for name (GET wins).
+func (c *Context) Param(name string) string {
+	if v := c.Get.Get(name); v != "" {
+		return v
+	}
+	return c.Post.Get(name)
+}
+
+// Lease obtains a pooled connection from the named data source. The caller
+// must Release it. The container remembers which leases served the request
+// so the sniffer can attribute logged queries precisely even under
+// concurrency.
+func (c *Context) Lease(source string) (*driver.Lease, error) {
+	p, err := c.Sources.Lookup(source)
+	if err != nil {
+		return nil, err
+	}
+	l, err := p.Get()
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.leases = append(c.leases, l.ID)
+	c.mu.Unlock()
+	return l, nil
+}
+
+// LeaseIDs returns the IDs of the pool leases this request used.
+func (c *Context) LeaseIDs() []int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]int64(nil), c.leases...)
+}
+
+// Servlet is the application unit.
+type Servlet interface {
+	Serve(ctx *Context) (*Page, error)
+}
+
+// ServletFunc adapts a function to the Servlet interface.
+type ServletFunc func(ctx *Context) (*Page, error)
+
+// Serve implements Servlet.
+func (f ServletFunc) Serve(ctx *Context) (*Page, error) { return f(ctx) }
+
+// KeySpec declares which request parameters form the page identity — the
+// paper's "parameters that has to be used as keys/indexes in the cache"
+// (§2.3.1, §3.1 item 3).
+type KeySpec struct {
+	Get    []string
+	Post   []string
+	Cookie []string
+}
+
+// Meta is the per-servlet registration record of §3.1: identity, key
+// parameters, temporal and error sensitivity, and collected statistics.
+type Meta struct {
+	// Name is the servlet's unique ID; it is also its URL path ("/name").
+	Name string
+	// Keys are the parameters that form the cache key.
+	Keys KeySpec
+	// TemporalSensitivity is how stale (at most) the servlet's pages may
+	// be. Pages from servlets more sensitive than the invalidator's cycle
+	// can guarantee are marked non-cacheable.
+	TemporalSensitivity time.Duration
+	// ErrorSensitivity expresses tolerance to errors in underlying data;
+	// recorded per §3.1 and exposed to policies.
+	ErrorSensitivity float64
+}
+
+// Stats accumulates per-servlet counters used to self-tune invalidation.
+type Stats struct {
+	Requests   int64
+	Errors     int64
+	TotalServe time.Duration
+}
+
+// CacheKey computes the canonical page identifier for a request under a key
+// spec: HTTP host + path, plus the keyed get/post/cookie parameters in a
+// deterministic order. This is the paper's "URL" (§2.3.1). An empty KeySpec
+// keys on all GET parameters.
+func CacheKey(r *http.Request, post url.Values, keys KeySpec) string {
+	var parts []string
+	get := r.URL.Query()
+	if len(keys.Get)+len(keys.Post)+len(keys.Cookie) == 0 {
+		// Default: every GET parameter is a key.
+		names := make([]string, 0, len(get))
+		for n := range get {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			parts = append(parts, "g:"+n+"="+get.Get(n))
+		}
+	} else {
+		for _, n := range sortedCopy(keys.Get) {
+			parts = append(parts, "g:"+n+"="+get.Get(n))
+		}
+		for _, n := range sortedCopy(keys.Post) {
+			parts = append(parts, "p:"+n+"="+post.Get(n))
+		}
+		for _, n := range sortedCopy(keys.Cookie) {
+			v := ""
+			if ck, err := r.Cookie(n); err == nil {
+				v = ck.Value
+			}
+			parts = append(parts, "c:"+n+"="+v)
+		}
+	}
+	key := r.Host + r.URL.Path
+	if len(parts) > 0 {
+		key += "?" + strings.Join(parts, "&")
+	}
+	return key
+}
+
+func sortedCopy(in []string) []string {
+	out := append([]string(nil), in...)
+	sort.Strings(out)
+	return out
+}
+
+// String renders a short description of the meta record.
+func (m Meta) String() string {
+	return fmt.Sprintf("servlet %s (keys g=%v p=%v c=%v, temporal %s)",
+		m.Name, m.Keys.Get, m.Keys.Post, m.Keys.Cookie, m.TemporalSensitivity)
+}

@@ -1,0 +1,159 @@
+// Package balancer implements the traffic balancer in front of the web
+// server farm (the paper's Cisco LocalDirector): an HTTP reverse proxy that
+// spreads requests over a set of backends, with round-robin and
+// least-connections policies and passive health marking.
+package balancer
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Policy selects a backend.
+type Policy int
+
+// Balancing policies.
+const (
+	RoundRobin Policy = iota
+	LeastConnections
+)
+
+type backend struct {
+	base    string // e.g. "http://127.0.0.1:8081"
+	active  int    // in-flight requests
+	healthy bool
+	downAt  time.Time
+}
+
+// Balancer is an http.Handler proxying to a set of backends.
+type Balancer struct {
+	// Client performs backend requests; http.DefaultClient when nil.
+	Client *http.Client
+	// Policy selects backends; RoundRobin by default.
+	Policy Policy
+	// RetryAfter is how long an unhealthy backend stays out of rotation.
+	RetryAfter time.Duration
+
+	mu       sync.Mutex
+	backends []*backend
+	next     int
+}
+
+// New creates a balancer over the given backend base URLs.
+func New(backends ...string) *Balancer {
+	b := &Balancer{RetryAfter: time.Second}
+	for _, url := range backends {
+		b.backends = append(b.backends, &backend{base: url, healthy: true})
+	}
+	return b
+}
+
+// Backends returns the configured backend URLs.
+func (b *Balancer) Backends() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, len(b.backends))
+	for i, be := range b.backends {
+		out[i] = be.base
+	}
+	return out
+}
+
+// pick selects a backend per policy, skipping unhealthy ones whose retry
+// window has not elapsed. It increments the chosen backend's active count.
+func (b *Balancer) pick() (*backend, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.backends)
+	if n == 0 {
+		return nil, fmt.Errorf("balancer: no backends")
+	}
+	now := time.Now()
+	usable := func(be *backend) bool {
+		return be.healthy || now.Sub(be.downAt) >= b.RetryAfter
+	}
+	var chosen *backend
+	switch b.Policy {
+	case LeastConnections:
+		for _, be := range b.backends {
+			if !usable(be) {
+				continue
+			}
+			if chosen == nil || be.active < chosen.active {
+				chosen = be
+			}
+		}
+	default: // RoundRobin
+		for i := 0; i < n; i++ {
+			be := b.backends[(b.next+i)%n]
+			if usable(be) {
+				chosen = be
+				b.next = (b.next + i + 1) % n
+				break
+			}
+		}
+	}
+	if chosen == nil {
+		return nil, fmt.Errorf("balancer: all %d backends unhealthy", n)
+	}
+	chosen.active++
+	return chosen, nil
+}
+
+func (b *Balancer) release(be *backend, failed bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	be.active--
+	if failed {
+		be.healthy = false
+		be.downAt = time.Now()
+	} else {
+		be.healthy = true
+	}
+}
+
+func (b *Balancer) client() *http.Client {
+	if b.Client != nil {
+		return b.Client
+	}
+	return http.DefaultClient
+}
+
+// ServeHTTP proxies the request to a chosen backend.
+func (b *Balancer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	be, err := b.pick()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	url := be.base + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, url, r.Body)
+	if err != nil {
+		b.release(be, true)
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Host = r.Host
+	resp, err := b.client().Do(req)
+	if err != nil {
+		b.release(be, true)
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	for name, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(name, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	b.release(be, false)
+}

@@ -1,0 +1,196 @@
+package configs
+
+import (
+	"testing"
+)
+
+// fast returns parameters small enough for unit tests while keeping the
+// qualitative regimes (Conf I saturated, II/III stable).
+func fast() Params {
+	p := Defaults()
+	p.Duration = 60
+	return p
+}
+
+func TestDefaultsSane(t *testing.T) {
+	p := Defaults()
+	if p.RequestRate != 30 || p.WebServers != 4 || p.HitRatio != 0.7 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	mixSum := p.Mix[0] + p.Mix[1] + p.Mix[2]
+	if mixSum < 0.999 || mixSum > 1.001 {
+		t.Fatalf("mix sum: %f", mixSum)
+	}
+	if p.avgDB() <= 0 {
+		t.Fatal("avgDB")
+	}
+}
+
+func TestConfigIIsSaturated(t *testing.T) {
+	r := RunConfigI(fast())
+	if r.WSUtil < 0.98 {
+		t.Fatalf("Conf I web servers should saturate: util %.2f", r.WSUtil)
+	}
+	if r.ExpResp < 2000 {
+		t.Fatalf("Conf I should be in seconds: %.0f ms", r.ExpResp)
+	}
+	if r.HitResp != -1 {
+		t.Fatalf("Conf I has no cache: hit %.0f", r.HitResp)
+	}
+	// The paper: roughly one third of Conf I's time is DB time.
+	share := r.MissDB / r.MissResp
+	if share < 0.15 || share > 0.6 {
+		t.Fatalf("DB share %.2f outside plausible band", share)
+	}
+}
+
+func TestConfigIIStableAndSubSecondExpected(t *testing.T) {
+	r := RunAveraged(fast(), 5, RunConfigII)
+	if r.ExpResp > 2000 || r.ExpResp < 50 {
+		t.Fatalf("Conf II expected: %.0f ms", r.ExpResp)
+	}
+	if r.HitResp >= r.MissResp {
+		t.Fatalf("hit %.0f should beat miss %.0f", r.HitResp, r.MissResp)
+	}
+	if r.WSUtil > 0.95 {
+		t.Fatalf("Conf II web servers should be stable: %.2f", r.WSUtil)
+	}
+	ratio := float64(r.Hits) / float64(r.Hits+r.Misses)
+	if ratio < 0.6 || ratio > 0.8 {
+		t.Fatalf("hit ratio %.2f, want ≈0.7", ratio)
+	}
+}
+
+func TestConfigIIIBeatsConfigII(t *testing.T) {
+	p := Defaults() // full window: the near-critical DBMS needs it
+	for _, rate := range []float64{0, 48} {
+		p.UpdateRate = rate
+		r2 := RunAveraged(p, 7, RunConfigII)
+		r3 := RunAveraged(p, 7, RunConfigIII)
+		if r3.ExpResp >= r2.ExpResp {
+			t.Fatalf("upd=%.0f: Conf III (%.0f) should beat Conf II (%.0f)",
+				rate, r3.ExpResp, r2.ExpResp)
+		}
+		if r3.HitResp >= r2.HitResp {
+			t.Fatalf("upd=%.0f: III hits (%.0f) should beat II hits (%.0f)",
+				rate, r3.HitResp, r2.HitResp)
+		}
+	}
+}
+
+func TestConfigIIIHitFlatUnderUpdates(t *testing.T) {
+	p := fast()
+	p.UpdateRate = 0
+	r0 := RunAveraged(p, 5, RunConfigIII)
+	p.UpdateRate = 48
+	r48 := RunAveraged(p, 5, RunConfigIII)
+	// Hits are served outside the site LAN: update traffic must not move
+	// them (allow 20% tolerance for noise).
+	if r48.HitResp > r0.HitResp*1.2 {
+		t.Fatalf("Conf III hits rose with updates: %.1f → %.1f", r0.HitResp, r48.HitResp)
+	}
+}
+
+func TestConfigIIHitRisesUnderUpdates(t *testing.T) {
+	p := fast()
+	p.Duration = 120
+	p.UpdateRate = 0
+	r0 := RunAveraged(p, 7, RunConfigII)
+	p.UpdateRate = 48
+	r48 := RunAveraged(p, 7, RunConfigII)
+	// Conf II hits share the LAN with update and sync traffic.
+	if r48.HitResp <= r0.HitResp {
+		t.Fatalf("Conf II hits should rise with updates: %.1f → %.1f", r0.HitResp, r48.HitResp)
+	}
+}
+
+func TestTable3ConfigIICollapses(t *testing.T) {
+	p := fast()
+	p.Duration = 120
+	t2 := RunAveraged(p, 3, RunConfigII)
+	t3p := Table3Params(p)
+	t3 := RunAveraged(t3p, 3, RunConfigII)
+	if t3.ExpResp < 10*t2.ExpResp {
+		t.Fatalf("Table 3 Conf II should collapse: %.0f vs %.0f", t3.ExpResp, t2.ExpResp)
+	}
+	// The paper's surprise: with the connection overhead, hits are no
+	// better than misses (hits pay the contended local cache connection;
+	// in the paper they are outright worse).
+	if t3.HitResp < t3.MissResp*0.6 {
+		t.Fatalf("Table 3 hits (%.0f) should not beat misses (%.0f) by much",
+			t3.HitResp, t3.MissResp)
+	}
+	// Conf III is unaffected by the middle-tier change.
+	r3 := RunAveraged(t3p, 3, RunConfigIII)
+	if r3.ExpResp > 2000 {
+		t.Fatalf("Conf III should not change in Table 3 mode: %.0f", r3.ExpResp)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := fast()
+	a := RunConfigIII(p)
+	b := RunConfigIII(p)
+	if a != b {
+		t.Fatalf("same seed must reproduce: %+v vs %+v", a, b)
+	}
+	p.Seed = 99
+	c := RunConfigIII(p)
+	if a == c {
+		t.Fatal("different seed should differ")
+	}
+}
+
+func TestRunAveragedAggregates(t *testing.T) {
+	p := fast()
+	p.Duration = 30
+	r := RunAveraged(p, 3, RunConfigIII)
+	if r.Hits == 0 || r.Misses == 0 {
+		t.Fatalf("row: %+v", r)
+	}
+	one := RunAveraged(p, 0, RunConfigIII) // n<1 clamps to 1
+	if one.Hits == 0 {
+		t.Fatalf("row: %+v", one)
+	}
+}
+
+func TestTable2GridShape(t *testing.T) {
+	p := fast()
+	p.Duration = 40
+	cells := Table2(p, 1)
+	if len(cells) != 9 {
+		t.Fatalf("cells: %d", len(cells))
+	}
+	if cells[0].Config != "I" || cells[1].Config != "II" || cells[2].Config != "III" {
+		t.Fatalf("order: %+v", cells[:3])
+	}
+	if cells[0].Load != "No Updates" || cells[8].Load != "<12,12,12,12>" {
+		t.Fatalf("loads: %s %s", cells[0].Load, cells[8].Load)
+	}
+}
+
+func TestTable3GridUsesConnCosts(t *testing.T) {
+	p := fast()
+	p.Duration = 40
+	cells := Table3(p, 1)
+	if len(cells) != 9 {
+		t.Fatalf("cells: %d", len(cells))
+	}
+	// Conf II must be dramatically slower than in Table 2 at the same size.
+	t2 := Table2(p, 1)
+	if cells[1].Row.ExpResp < 5*t2[1].Row.ExpResp {
+		t.Fatalf("Table3 II %.0f vs Table2 II %.0f", cells[1].Row.ExpResp, t2[1].Row.ExpResp)
+	}
+}
+
+func TestUpdateLoadLabels(t *testing.T) {
+	if len(UpdateLoads) != 3 || UpdateLoads[0].Rate != 0 || UpdateLoads[2].Rate != 48 {
+		t.Fatalf("loads: %+v", UpdateLoads)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Light.String() != "light" || Medium.String() != "medium" || Heavy.String() != "heavy" {
+		t.Fatal("class names")
+	}
+}

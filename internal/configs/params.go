@@ -1,0 +1,192 @@
+// Package configs rebuilds the paper's three site architectures (§1.1–1.3,
+// §5) as open queueing networks on internal/simnet and measures the
+// response-time grid of Tables 2 and 3: miss DB time, miss response, hit
+// response, and expected response under each update load.
+//
+// Modeling notes (see DESIGN.md §2 for the substitution argument):
+//
+//   - Each web-server PC is a 1-server CPU station plus a worker-thread
+//     Resource held across the whole request — the paper's resource
+//     starvation ("processes holding essential system resources ... while
+//     waiting for query results").
+//   - Configuration I co-locates a DBMS replica on each PC, so queries and
+//     page generation contend for the same saturated CPU: the network is
+//     unstable at 30 req/s and mean response grows with the measurement
+//     window, reproducing the tens-of-seconds row.
+//   - Configurations II/III use one dedicated DBMS station; the site LAN is
+//     a shared station crossed by requests, queries, update traffic and
+//     (Conf II only) data-cache synchronization — which is why Conf II hit
+//     times rise with update rate while Conf III hits, served outside the
+//     LAN, stay flat.
+//   - Table 3 adds a per-access connection cost at the middle-tier cache
+//     (modeled as extra CPU work on the web-server PC), which tips the PCs
+//     into saturation: Conf II becomes worse than no caching at all.
+package configs
+
+// Class indexes the paper's three page weights.
+type Class int
+
+// Request classes (§5.2.1): light selects on the small table, medium on the
+// large table, heavy joins both.
+const (
+	Light Class = iota
+	Medium
+	Heavy
+)
+
+// String names the request class.
+func (c Class) String() string {
+	switch c {
+	case Light:
+		return "light"
+	case Medium:
+		return "medium"
+	default:
+		return "heavy"
+	}
+}
+
+// ServiceTimes are the calibrated service demands, in seconds, standing in
+// for the paper's 200 MHz PCs and 10 Mb/s site network.
+type ServiceTimes struct {
+	// DB is the DBMS service time per query, by class.
+	DB [3]float64
+	// ASPre is application-server work before the query (parsing, query
+	// preparation); ASPost is page generation afterwards. Both run on the
+	// web-server PC's CPU.
+	ASPre  float64
+	ASPost float64
+	// WANDelay is the one-way client↔site propagation delay (no queueing).
+	WANDelay float64
+	// LAN message service times on the shared site network.
+	LANRequest  float64 // inbound request
+	LANResponse float64 // outbound page
+	LANQuery    float64 // app server → DBMS
+	LANResult   float64 // DBMS → app server
+	LANUpdate   float64 // one update tuple crossing the site network
+	// DBUpdate is DBMS work to apply one update tuple (SQL execution at
+	// the single DBMS of Confs II/III).
+	DBUpdate float64
+	// DBUpdateReplica is per-replica work to apply one replicated tuple in
+	// Conf I (cheaper than DBUpdate: replicas apply shipped log records,
+	// not SQL).
+	DBUpdateReplica float64
+	// SyncBase/SyncPerTuple: Conf II data-cache synchronization message on
+	// the LAN, once per cache per SyncInterval (§5.2.5).
+	SyncBase     float64
+	SyncPerTuple float64
+	// SyncDBPerTuple is DBMS work per accumulated tuple to serve one
+	// cache's update-list fetch — Conf II pays it per cache per interval,
+	// which is the "heavy database-cache synchronization overhead" of
+	// §1.2; Conf III's single invalidator pays it once.
+	SyncDBPerTuple float64
+	// CacheService is the web cache's per-request work (Conf III).
+	CacheService float64
+	// PollDBCost is DBMS work for the invalidator's once-per-second
+	// polling query (Conf III; §5.2.4 simulates polling as one query/s).
+	PollDBCost float64
+}
+
+// Params is the full experiment parameterization (the paper's Table 1).
+type Params struct {
+	// Duration is the measured window in seconds.
+	Duration float64
+	// Seed drives all randomness; same seed, same result.
+	Seed int64
+	// RequestRate is HTTP requests per second (num_req).
+	RequestRate float64
+	// Mix is the class distribution (10 light, 10 medium, 10 heavy → ⅓ each).
+	Mix [3]float64
+	// UpdateRate is total updated tuples per second (update_rate);
+	// ⟨5,5,5,5⟩ = 20/s, ⟨12,12,12,12⟩ = 48/s.
+	UpdateRate float64
+	// WebServers is the PC count behind the balancer (rep_rate).
+	WebServers int
+	// ThreadsPerServer is each PC's worker pool size.
+	ThreadsPerServer int
+	// HitRatio is the cache hit ratio (hit_ratio, 70% in §5.2.4–5.2.5):
+	// web-cache hits in Conf III, data-cache hits in Conf II.
+	HitRatio float64
+	// SyncInterval is the data-cache/invalidator synchronization period.
+	SyncInterval float64
+	// MidTierConnCost is Table 3's per-access connection overhead at the
+	// middle-tier cache (0 reproduces Table 2). It is CPU work on the PC
+	// hosting the cache, paid by data-cache hits.
+	MidTierConnCost float64
+	// DBConnCost is Table 3's connection overhead for reaching the remote
+	// DBMS on a data-cache miss, paid at the DBMS (0 reproduces Table 2).
+	DBConnCost float64
+	// QueriesPerRequest is query_per_request (1 in the paper's workload).
+	QueriesPerRequest int
+	// Service are the component service demands.
+	Service ServiceTimes
+}
+
+// Defaults returns the calibrated parameter set reproducing Table 2's
+// no-update column within the paper's order of magnitude.
+func Defaults() Params {
+	return Params{
+		Duration:          150,
+		Seed:              1,
+		RequestRate:       30,
+		Mix:               [3]float64{1.0 / 3, 1.0 / 3, 1.0 / 3},
+		UpdateRate:        0,
+		WebServers:        4,
+		ThreadsPerServer:  256,
+		HitRatio:          0.7,
+		SyncInterval:      1.0,
+		QueriesPerRequest: 1,
+		Service: ServiceTimes{
+			DB:              [3]float64{0.032, 0.085, 0.175},
+			ASPre:           0.030,
+			ASPost:          0.030,
+			WANDelay:        0.015,
+			LANRequest:      0.002,
+			LANResponse:     0.004,
+			LANQuery:        0.002,
+			LANResult:       0.003,
+			LANUpdate:       0.006,
+			DBUpdate:        0.0012,
+			DBUpdateReplica: 0.0008,
+			SyncBase:        0.002,
+			SyncPerTuple:    0.0012,
+			SyncDBPerTuple:  0.0001,
+			CacheService:    0.003,
+			PollDBCost:      0.002,
+		},
+	}
+}
+
+// UpdateLoads are the paper's three update columns, as total tuples/s.
+var UpdateLoads = []struct {
+	Label string
+	Rate  float64
+}{
+	{"No Updates", 0},
+	{"<5,5,5,5>", 20},
+	{"<12,12,12,12>", 48},
+}
+
+// Row is one configuration × update-rate cell group of Tables 2/3; times
+// in milliseconds. HitResp and ExpResp are NaN-free: Conf I has no cache,
+// so HitResp is reported as -1 (the paper prints N/A).
+type Row struct {
+	MissDB   float64 // query issue → result available (the "DB" column)
+	MissResp float64 // end-user response time on a cache miss
+	HitResp  float64 // end-user response time on a cache hit (-1 if no cache)
+	ExpResp  float64 // observed mean over all requests
+
+	Hits, Misses int64
+	DBUtil       float64 // DBMS utilization (max across replicas)
+	WSUtil       float64 // web-server CPU utilization (max across PCs)
+	LANUtil      float64
+}
+
+// avgDB returns the class-weighted mean DB service time.
+func (p Params) avgDB() float64 {
+	s := 0.0
+	for c := 0; c < 3; c++ {
+		s += p.Mix[c] * p.Service.DB[c]
+	}
+	return s
+}

@@ -1,0 +1,337 @@
+package configs
+
+import (
+	"repro/internal/simnet"
+)
+
+// site bundles the stations shared by the three configurations.
+type site struct {
+	p     Params
+	sim   *simnet.Sim
+	lan   *simnet.Station
+	wsCPU []*simnet.Station
+	wsThr []*simnet.Resource
+
+	respHit  simnet.Tally
+	respMiss simnet.Tally
+	respAll  simnet.Tally
+	dbSpan   simnet.Tally
+
+	next int // round-robin web server index
+}
+
+func newSite(p Params) *site {
+	s := &site{p: p, sim: simnet.New(p.Seed)}
+	s.lan = simnet.NewStation(s.sim, "lan", 1)
+	for i := 0; i < p.WebServers; i++ {
+		s.wsCPU = append(s.wsCPU, simnet.NewStation(s.sim, "ws-cpu", 1))
+		s.wsThr = append(s.wsThr, simnet.NewResource(s.sim, "ws-threads", p.ThreadsPerServer))
+	}
+	return s
+}
+
+// pickWS round-robins over the web servers (the LocalDirector).
+func (s *site) pickWS() int {
+	i := s.next
+	s.next = (s.next + 1) % s.p.WebServers
+	return i
+}
+
+// pickClass draws a request class from the mix.
+func (s *site) pickClass() Class {
+	x := s.sim.Rng.Float64()
+	acc := 0.0
+	for c := 0; c < 2; c++ {
+		acc += s.p.Mix[c]
+		if x < acc {
+			return Class(c)
+		}
+	}
+	return Heavy
+}
+
+// arrivals schedules a Poisson request stream calling handle per request.
+func (s *site) arrivals(rate float64, handle func()) {
+	if rate <= 0 {
+		return
+	}
+	var next func()
+	next = func() {
+		handle()
+		s.sim.After(s.sim.Exp(1/rate), next)
+	}
+	s.sim.After(s.sim.Exp(1/rate), next)
+}
+
+// finish records one completed request.
+func (s *site) finish(start float64, hit bool) {
+	d := s.sim.Now() - start
+	s.respAll.Add(d)
+	if hit {
+		s.respHit.Add(d)
+	} else {
+		s.respMiss.Add(d)
+	}
+}
+
+// row assembles the result row. dbStations supplies utilization.
+func (s *site) row(dbStations []*simnet.Station) Row {
+	r := Row{
+		MissDB:   1000 * s.dbSpan.Mean(),
+		MissResp: 1000 * s.respMiss.Mean(),
+		HitResp:  -1,
+		ExpResp:  1000 * s.respAll.Mean(),
+		Hits:     s.respHit.N(),
+		Misses:   s.respMiss.N(),
+		LANUtil:  s.lan.Utilization(s.p.Duration),
+	}
+	if s.respHit.N() > 0 {
+		r.HitResp = 1000 * s.respHit.Mean()
+	}
+	for _, db := range dbStations {
+		if u := db.Utilization(s.p.Duration); u > r.DBUtil {
+			r.DBUtil = u
+		}
+	}
+	for _, ws := range s.wsCPU {
+		if u := ws.Utilization(s.p.Duration); u > r.WSUtil {
+			r.WSUtil = u
+		}
+	}
+	return r
+}
+
+// exps draws an exponential service time with the given mean (all service
+// demands are exponential to model the variability of real components).
+func (s *site) exps(mean float64) float64 { return s.sim.Exp(mean) }
+
+// ---------------------------------------------------------------------------
+// Configuration I — replicated web server + DBMS pairs, no caching (§1.1)
+// ---------------------------------------------------------------------------
+
+// RunConfigI simulates Configuration I: each PC hosts web server,
+// application server, and a DBMS replica; every request computes its page
+// from its local replica; updates are applied at every replica
+// (dist_synch_cost).
+func RunConfigI(p Params) Row {
+	s := newSite(p)
+	sv := p.Service
+
+	s.arrivals(p.RequestRate, func() {
+		start := s.sim.Now()
+		class := s.pickClass()
+		i := s.pickWS()
+		cpu, thr := s.wsCPU[i], s.wsThr[i]
+		// WAN in → LAN in → acquire worker → AS pre → DB (same CPU) →
+		// AS post → LAN out → WAN out.
+		s.sim.After(sv.WANDelay, func() {
+			s.lan.Visit(s.exps(sv.LANRequest), func() {
+				thr.Acquire(func() {
+					cpu.Visit(s.exps(sv.ASPre), func() {
+						qStart := s.sim.Now()
+						cpu.Visit(s.exps(sv.DB[class]), func() {
+							s.dbSpan.Add(s.sim.Now() - qStart)
+							cpu.Visit(s.exps(sv.ASPost), func() {
+								thr.Release()
+								s.lan.Visit(s.exps(sv.LANResponse), func() {
+									s.sim.After(sv.WANDelay, func() {
+										s.finish(start, false)
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+
+	// Updates: each tuple crosses the LAN once (the replication fan-out is
+	// a broadcast on the shared segment) and is applied on every replica's
+	// CPU — the dist_synch_cost of §5.1.1.
+	s.arrivals(p.UpdateRate, func() {
+		s.lan.Visit(s.exps(sv.LANUpdate), func() {
+			for i := 0; i < p.WebServers; i++ {
+				s.wsCPU[i].Visit(s.exps(sv.DBUpdateReplica), nil)
+			}
+		})
+	})
+
+	s.sim.Run(p.Duration)
+	return s.row(s.wsCPU) // DB shares the PC CPUs; report their utilization
+}
+
+// ---------------------------------------------------------------------------
+// Configuration II — single DBMS + middle-tier data caches (§1.2)
+// ---------------------------------------------------------------------------
+
+// RunConfigII simulates Configuration II: one dedicated DBMS, a data cache
+// on each PC answering HitRatio of the queries, delta-based cache
+// synchronization over the LAN every SyncInterval. MidTierConnCost > 0
+// reproduces Table 3 (cache = local DBMS with connection overhead).
+func RunConfigII(p Params) Row {
+	s := newSite(p)
+	sv := p.Service
+	db := simnet.NewStation(s.sim, "db", 1)
+
+	s.arrivals(p.RequestRate, func() {
+		start := s.sim.Now()
+		class := s.pickClass()
+		i := s.pickWS()
+		cpu, thr := s.wsCPU[i], s.wsThr[i]
+		dataHit := s.sim.Rng.Float64() < p.HitRatio
+
+		s.sim.After(sv.WANDelay, func() {
+			s.lan.Visit(s.exps(sv.LANRequest), func() {
+				thr.Acquire(func() {
+					cpu.Visit(s.exps(sv.ASPre), func() {
+						afterData := func() {
+							cpu.Visit(s.exps(sv.ASPost), func() {
+								thr.Release()
+								s.lan.Visit(s.exps(sv.LANResponse), func() {
+									s.sim.After(sv.WANDelay, func() {
+										s.finish(start, dataHit)
+									})
+								})
+							})
+						}
+						if dataHit {
+							// Data served by the middle-tier cache. Table 2
+							// mode: negligible. Table 3 mode: a connection
+							// to the local cache DBMS costs CPU.
+							if p.MidTierConnCost > 0 {
+								cpu.Visit(s.exps(p.MidTierConnCost), afterData)
+							} else {
+								afterData()
+							}
+						} else {
+							// Remote DBMS access; Table 3 mode pays a
+							// connection-establishment cost at the DBMS.
+							qStart := s.sim.Now()
+							s.lan.Visit(s.exps(sv.LANQuery), func() {
+								db.Visit(s.exps(p.DBConnCost+sv.DB[class]), func() {
+									s.lan.Visit(s.exps(sv.LANResult), func() {
+										s.dbSpan.Add(s.sim.Now() - qStart)
+										afterData()
+									})
+								})
+							})
+						}
+					})
+				})
+			})
+		})
+	})
+
+	// Updates go to the single DBMS over the LAN.
+	var tuplesSinceSync float64
+	s.arrivals(p.UpdateRate, func() {
+		tuplesSinceSync++
+		s.lan.Visit(s.exps(sv.LANUpdate), func() {
+			db.Visit(s.exps(sv.DBUpdate), nil)
+		})
+	})
+
+	// Data-cache synchronization: per cache per interval, one LAN message
+	// sized by the tuples accumulated since the last sync, plus a DB read
+	// of the update log (§5.2.5: "one query, which fetches the list of
+	// updates, per cache ... every second").
+	var syncTick func()
+	syncTick = func() {
+		n := tuplesSinceSync
+		tuplesSinceSync = 0
+		for i := 0; i < p.WebServers; i++ {
+			s.lan.Visit(s.exps(sv.SyncBase+sv.SyncPerTuple*n), func() {
+				db.Visit(s.exps(sv.PollDBCost+sv.SyncDBPerTuple*n), nil)
+			})
+		}
+		s.sim.After(p.SyncInterval, syncTick)
+	}
+	s.sim.After(p.SyncInterval, syncTick)
+
+	s.sim.Run(p.Duration)
+	return s.row([]*simnet.Station{db})
+}
+
+// ---------------------------------------------------------------------------
+// Configuration III — dynamic web-page cache in front of the site (§1.3)
+// ---------------------------------------------------------------------------
+
+// RunConfigIII simulates the proposed architecture: a web cache on its own
+// machine outside the site LAN serves HitRatio of the requests; misses
+// traverse the LAN to the PCs and the single DBMS; the invalidator issues
+// one polling query per second against the DBMS and sends (negligible)
+// invalidation messages to the cache.
+func RunConfigIII(p Params) Row {
+	s := newSite(p)
+	sv := p.Service
+	db := simnet.NewStation(s.sim, "db", 1)
+	cache := simnet.NewStation(s.sim, "webcache", 1)
+
+	s.arrivals(p.RequestRate, func() {
+		start := s.sim.Now()
+		class := s.pickClass()
+		pageHit := s.sim.Rng.Float64() < p.HitRatio
+
+		s.sim.After(sv.WANDelay, func() {
+			cache.Visit(s.exps(sv.CacheService), func() {
+				if pageHit {
+					// Served entirely outside the site network.
+					s.sim.After(sv.WANDelay, func() { s.finish(start, true) })
+					return
+				}
+				i := s.pickWS()
+				cpu, thr := s.wsCPU[i], s.wsThr[i]
+				s.lan.Visit(s.exps(sv.LANRequest), func() {
+					thr.Acquire(func() {
+						cpu.Visit(s.exps(sv.ASPre), func() {
+							qStart := s.sim.Now()
+							s.lan.Visit(s.exps(sv.LANQuery), func() {
+								db.Visit(s.exps(sv.DB[class]), func() {
+									s.lan.Visit(s.exps(sv.LANResult), func() {
+										s.dbSpan.Add(s.sim.Now() - qStart)
+										cpu.Visit(s.exps(sv.ASPost), func() {
+											thr.Release()
+											s.lan.Visit(s.exps(sv.LANResponse), func() {
+												cache.Visit(s.exps(sv.CacheService), func() {
+													s.sim.After(sv.WANDelay, func() {
+														s.finish(start, false)
+													})
+												})
+											})
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+
+	// Updates reach the DBMS over the LAN (the cache is outside it).
+	var tuplesSinceSync float64
+	s.arrivals(p.UpdateRate, func() {
+		tuplesSinceSync++
+		s.lan.Visit(s.exps(sv.LANUpdate), func() {
+			db.Visit(s.exps(sv.DBUpdate), nil)
+		})
+	})
+
+	// Invalidator: one polling query per second to the DBMS (§5.2.4), and
+	// an invalidation message to the cache sized by the update batch.
+	var pollTick func()
+	pollTick = func() {
+		n := tuplesSinceSync
+		tuplesSinceSync = 0
+		db.Visit(s.exps(sv.PollDBCost+sv.SyncDBPerTuple*n), func() {
+			cache.Visit(s.exps(0.0002*n), nil) // eject messages: tiny
+		})
+		s.sim.After(p.SyncInterval, pollTick)
+	}
+	s.sim.After(p.SyncInterval, pollTick)
+
+	s.sim.Run(p.Duration)
+	return s.row([]*simnet.Station{db})
+}

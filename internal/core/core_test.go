@@ -1,0 +1,165 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/invalidator"
+)
+
+func validOptions(t *testing.T) (Options, *engine.Database) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	return Options{
+		RequestLog: appserver.NewRequestLog(0),
+		QueryLog:   driver.NewQueryLog(0),
+		Puller:     invalidator.EngineLogPuller{Log: db.Log()},
+		Ejector:    invalidator.FuncEjector(func([]string) error { return nil }),
+	}, db
+}
+
+func TestNewValidation(t *testing.T) {
+	opts, _ := validOptions(t)
+	cases := []func(*Options){
+		func(o *Options) { o.RequestLog = nil },
+		func(o *Options) { o.QueryLog = nil },
+		func(o *Options) { o.Puller = nil },
+		func(o *Options) { o.Ejector = nil },
+	}
+	for i, mutate := range cases {
+		bad := opts
+		mutate(&bad)
+		if _, err := New(bad); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	if _, err := New(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	opts, _ := validOptions(t)
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Interval() != time.Second {
+		t.Fatalf("interval: %v", p.Interval())
+	}
+	opts.Interval = 50 * time.Millisecond
+	p2, _ := New(opts)
+	if p2.Interval() != 50*time.Millisecond {
+		t.Fatalf("interval: %v", p2.Interval())
+	}
+}
+
+func TestRulesInstalled(t *testing.T) {
+	opts, _ := validOptions(t)
+	opts.Rules = []invalidator.Rule{{Servlet: "private", Action: invalidator.ActionNeverCache}}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.CacheableServlet("private") {
+		t.Fatal("rule not applied")
+	}
+	if !p.CacheableServlet("public") {
+		t.Fatal("wrong servlet blocked")
+	}
+}
+
+func TestCustomThresholds(t *testing.T) {
+	opts, _ := validOptions(t)
+	opts.Thresholds = invalidator.DiscoveryThresholds{MaxInvalidationRatio: 0.1, MinBatchesBeforeJudging: 1}
+	if _, err := New(opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCycleCountsAndLastReport(t *testing.T) {
+	opts, db := validOptions(t)
+	p, _ := New(opts)
+	if _, err := p.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	db.ExecSQL("INSERT INTO t VALUES (2)")
+	rep, err := p.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.UpdateRecords != 1 {
+		t.Fatalf("report: %+v", rep)
+	}
+	last, lastErr, cycles := p.LastReport()
+	if lastErr != nil || cycles != 2 || last.UpdateRecords != 1 {
+		t.Fatalf("last: %+v %v %d", last, lastErr, cycles)
+	}
+}
+
+func TestStartStopLifecycle(t *testing.T) {
+	opts, db := validOptions(t)
+	opts.Interval = 5 * time.Millisecond
+	p, _ := New(opts)
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		t.Fatal("double start must fail")
+	}
+	db.ExecSQL("INSERT INTO t VALUES (3)")
+	deadline := time.After(2 * time.Second)
+	for {
+		_, _, cycles := p.LastReport()
+		if cycles >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("background loop not running")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	p.Stop()
+	_, _, after := p.LastReport()
+	time.Sleep(20 * time.Millisecond)
+	_, _, still := p.LastReport()
+	if still != after {
+		t.Fatal("cycles continued after Stop")
+	}
+	p.Stop() // idempotent
+	if err := p.Start(); err != nil {
+		t.Fatal("restart after stop should work")
+	}
+	p.Stop()
+}
+
+// TestSnifferInvalidatorIndependence checks the architectural property of
+// §2.2: the mapper only writes the QI/URL map; the invalidator only reads
+// it. Running the mapper standalone must not invalidate anything.
+func TestSnifferInvalidatorIndependence(t *testing.T) {
+	opts, _ := validOptions(t)
+	p, _ := New(opts)
+	base := time.Now()
+	opts.QueryLog.Append(driver.QueryLogEntry{SQL: "SELECT * FROM t",
+		Receive: base.Add(time.Millisecond), Deliver: base.Add(2 * time.Millisecond)})
+	opts.RequestLog.Append(appserver.RequestLogEntry{
+		Servlet: "s", CacheKey: "k", Cached: true,
+		Receive: base, Deliver: base.Add(3 * time.Millisecond)})
+	if n := p.Mapper.Run(); n != 1 {
+		t.Fatalf("mapped %d", n)
+	}
+	if _, ok := p.Map.Get("k"); !ok {
+		t.Fatal("map not written")
+	}
+	// The invalidator hasn't run; registry is untouched.
+	if pages := p.Invalidator.Registry().Pages(); len(pages) != 0 {
+		t.Fatalf("registry touched: %v", pages)
+	}
+}

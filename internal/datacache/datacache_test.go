@@ -1,0 +1,207 @@
+package datacache
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+func newCache(t *testing.T, capacity int) (*DataCache, *engine.Database) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(`
+		CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+		CREATE TABLE Mileage (model TEXT, EPA INT);
+		INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000), ('Honda', 'Civic', 16000);
+		INSERT INTO Mileage VALUES ('Corolla', 33), ('Civic', 31);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := driver.NewPool(driver.DirectDriver{DB: db}, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	return New(pool, capacity), db
+}
+
+func TestSelectCachedOnSecondAccess(t *testing.T) {
+	dc, _ := newCache(t, 0)
+	q := "SELECT * FROM Car WHERE price < 15500"
+	r1, err := dc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := dc.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Rows) != 1 || len(r2.Rows) != 1 {
+		t.Fatalf("rows: %v / %v", r1.Rows, r2.Rows)
+	}
+	st := dc.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestDMLPassesThroughAndInvalidates(t *testing.T) {
+	dc, db := newCache(t, 0)
+	q := "SELECT COUNT(*) FROM Car"
+	r, _ := dc.Query(q)
+	if r.Rows[0][0] != mem.Int(2) {
+		t.Fatalf("count: %v", r.Rows[0][0])
+	}
+	if _, err := dc.Query("INSERT INTO Car VALUES ('Kia', 'Rio', 12000)"); err != nil {
+		t.Fatal(err)
+	}
+	// Same client sees its own write (local invalidation on DML).
+	r, _ = dc.Query(q)
+	if r.Rows[0][0] != mem.Int(3) {
+		t.Fatalf("count after insert: %v", r.Rows[0][0])
+	}
+	// And the DML really reached the database.
+	res, _ := db.ExecSQL("SELECT COUNT(*) FROM Car")
+	if res.Rows[0][0] != mem.Int(3) {
+		t.Fatalf("db count: %v", res.Rows[0][0])
+	}
+	if dc.Stats().Passthrough != 1 {
+		t.Fatalf("stats: %+v", dc.Stats())
+	}
+}
+
+func TestSyncInvalidatesChangedTables(t *testing.T) {
+	dc, db := newCache(t, 0)
+	dc.Query("SELECT * FROM Car")
+	dc.Query("SELECT * FROM Mileage")
+	dc.Query("SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model")
+	if dc.Len() != 3 {
+		t.Fatalf("len: %d", dc.Len())
+	}
+	// Out-of-band update (another app server / backend process).
+	if _, err := db.ExecSQL("UPDATE Car SET price = 1 WHERE maker = 'Kia'"); err != nil {
+		t.Fatal(err)
+	}
+	db.ExecSQL("INSERT INTO Car VALUES ('Ford', 'Ka', 9000)")
+	n, err := dc.Sync(EngineLogPuller{Log: db.Log()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial data load is also in the log, so the first sync invalidates
+	// Car- and Mileage-dependent entries: all 3.
+	if n != 3 || dc.Len() != 0 {
+		t.Fatalf("n=%d len=%d", n, dc.Len())
+	}
+	// Fresh queries repopulate; a second sync with no new updates keeps them.
+	dc.Query("SELECT * FROM Car")
+	n, _ = dc.Sync(EngineLogPuller{Log: db.Log()})
+	if n != 0 || dc.Len() != 1 {
+		t.Fatalf("second sync: n=%d len=%d", n, dc.Len())
+	}
+	if dc.Stats().Syncs != 2 {
+		t.Fatalf("stats: %+v", dc.Stats())
+	}
+}
+
+func TestSyncAfterTruncationDropsEverything(t *testing.T) {
+	db := engine.NewDatabase()
+	db.ExecScript("CREATE TABLE t (a INT); INSERT INTO t VALUES (1)")
+	pool, _ := driver.NewPool(driver.DirectDriver{DB: db}, "", 1)
+	defer pool.Close()
+	dc := New(pool, 0)
+	dc.Query("SELECT * FROM t")
+	dc.Sync(EngineLogPuller{Log: db.Log()}) // catch up
+
+	// Overflow a tiny log to force truncation: swap in a tiny log by
+	// appending many updates to the default one and syncing from behind.
+	dc2 := New(pool, 0)
+	dc2.Query("SELECT * FROM t")
+	small := engine.NewUpdateLog(2)
+	for i := 0; i < 10; i++ {
+		small.Append(engine.UpdateRecord{Table: "unrelated", Op: engine.OpInsert})
+	}
+	n, err := dc2.Sync(EngineLogPuller{Log: small})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || dc2.Len() != 0 {
+		t.Fatalf("truncated sync must flush: n=%d len=%d", n, dc2.Len())
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	dc, _ := newCache(t, 2)
+	dc.Query("SELECT * FROM Car")
+	dc.Query("SELECT * FROM Mileage")
+	dc.Query("SELECT COUNT(*) FROM Car")
+	if dc.Len() != 2 {
+		t.Fatalf("len: %d", dc.Len())
+	}
+}
+
+func TestInvalidateTableCrossRef(t *testing.T) {
+	dc, _ := newCache(t, 0)
+	dc.Query("SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model")
+	if n := dc.InvalidateTable("mileage"); n != 1 {
+		t.Fatalf("n=%d", n)
+	}
+	if n := dc.InvalidateTable("car"); n != 0 {
+		t.Fatalf("join entry should already be gone, n=%d", n)
+	}
+}
+
+func TestAccessDelay(t *testing.T) {
+	dc, _ := newCache(t, 0)
+	dc.AccessDelay = 30 * time.Millisecond
+	start := time.Now()
+	dc.Query("SELECT * FROM Car")
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("access delay not applied")
+	}
+}
+
+func TestBadSQL(t *testing.T) {
+	dc, _ := newCache(t, 0)
+	if _, err := dc.Query("SELEKT"); err == nil {
+		t.Fatal("want parse error")
+	}
+}
+
+func TestDriverIntegration(t *testing.T) {
+	dc, _ := newCache(t, 0)
+	conn, err := Driver{Cache: dc}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r, err := conn.Query("SELECT COUNT(*) FROM Car")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0] != mem.Int(2) {
+		t.Fatalf("count: %v", r.Rows[0][0])
+	}
+	if _, err := (Driver{}).Connect(""); err == nil {
+		t.Fatal("nil cache must fail")
+	}
+}
+
+func TestSyncLoop(t *testing.T) {
+	dc, db := newCache(t, 0)
+	dc.Query("SELECT * FROM Car")
+	stop := make(chan struct{})
+	dc.StartSyncLoop(EngineLogPuller{Log: db.Log()}, 10*time.Millisecond, stop)
+	db.ExecSQL("INSERT INTO Car VALUES ('X', 'Y', 1)")
+	deadline := time.After(2 * time.Second)
+	for dc.Len() != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("sync loop did not invalidate")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	close(stop)
+}

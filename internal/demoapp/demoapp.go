@@ -1,0 +1,156 @@
+// Package demoapp is the paper's evaluation application (§5.2.1): a
+// database with one small (500-tuple) and one large (2500-tuple) table
+// sharing a join attribute with 10 uniformly distributed values, and three
+// dynamically generated pages — light (select on the small table), medium
+// (select on the large table), heavy (select-join over both) — each with
+// selectivity 0.1. The cmd/ binaries, examples and benchmarks all deploy
+// this application.
+package demoapp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/appserver"
+)
+
+// Default table sizes from §5.2.1.
+const (
+	SmallRows = 500
+	LargeRows = 2500
+	// JoinValues is the number of distinct join-attribute values; with a
+	// uniform distribution, filtering on one value selects 1/10 of each
+	// table (the paper's 0.1 selectivity).
+	JoinValues = 10
+)
+
+// SchemaSQL builds the CREATE TABLE + INSERT script seeding the two tables
+// deterministically.
+func SchemaSQL(smallRows, largeRows int, seed int64) string {
+	rng := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("CREATE TABLE small (id INT PRIMARY KEY, cat INT, val TEXT);\n")
+	b.WriteString("CREATE TABLE large (id INT PRIMARY KEY, cat INT, val TEXT);\n")
+	b.WriteString("CREATE INDEX small_cat ON small (cat);\n")
+	b.WriteString("CREATE INDEX large_cat ON large (cat);\n")
+	writeRows := func(table string, n int) {
+		const batch = 200
+		for start := 0; start < n; start += batch {
+			end := start + batch
+			if end > n {
+				end = n
+			}
+			b.WriteString("INSERT INTO " + table + " VALUES ")
+			for i := start; i < end; i++ {
+				if i > start {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "(%d, %d, 'v%d')", i, i%JoinValues, rng.Intn(1_000_000))
+			}
+			b.WriteString(";\n")
+		}
+	}
+	writeRows("small", smallRows)
+	writeRows("large", largeRows)
+	return b.String()
+}
+
+// DefaultSchemaSQL seeds the paper's sizes.
+func DefaultSchemaSQL() string { return SchemaSQL(SmallRows, LargeRows, 1) }
+
+// Def pairs a servlet's registration with its handler.
+type Def struct {
+	Meta    appserver.Meta
+	Handler appserver.ServletFunc
+}
+
+// Servlets returns the three page servlets, reading through the named data
+// source. Each takes a "cat" GET parameter (the join-attribute value,
+// 0..9) as its cache key.
+func Servlets(source string) []Def {
+	query := func(ctx *appserver.Context, sql string) (*appserver.Page, error) {
+		lease, err := ctx.Lease(source)
+		if err != nil {
+			return nil, err
+		}
+		defer lease.Release()
+		res, err := lease.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "<!-- %d rows -->\n", len(res.Rows))
+		for _, r := range res.Rows {
+			for i, v := range r {
+				if i > 0 {
+					b.WriteByte('\t')
+				}
+				b.WriteString(v.String())
+			}
+			b.WriteByte('\n')
+		}
+		return &appserver.Page{Body: []byte(b.String())}, nil
+	}
+	cat := func(ctx *appserver.Context) string {
+		c := ctx.Param("cat")
+		if c == "" {
+			c = "0"
+		}
+		return c
+	}
+	return []Def{
+		{
+			Meta: appserver.Meta{Name: "light", Keys: appserver.KeySpec{Get: []string{"cat"}}},
+			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
+				return query(ctx, "SELECT id, cat, val FROM small WHERE cat = "+cat(ctx))
+			},
+		},
+		{
+			Meta: appserver.Meta{Name: "medium", Keys: appserver.KeySpec{Get: []string{"cat"}}},
+			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
+				return query(ctx, "SELECT id, cat, val FROM large WHERE cat = "+cat(ctx))
+			},
+		},
+		{
+			Meta: appserver.Meta{Name: "heavy", Keys: appserver.KeySpec{Get: []string{"cat"}}},
+			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
+				return query(ctx, "SELECT small.id, large.id, small.val FROM small, large "+
+					"WHERE small.cat = large.cat AND small.cat = "+cat(ctx)+" ORDER BY small.id LIMIT 200")
+			},
+		},
+	}
+}
+
+// PageURLs returns the 30 demo page URLs (3 servlets × 10 categories)
+// under the given base URL.
+func PageURLs(base string) []string {
+	var urls []string
+	for _, s := range []string{"light", "medium", "heavy"} {
+		for c := 0; c < JoinValues; c++ {
+			urls = append(urls, fmt.Sprintf("%s/%s?cat=%d", base, s, c))
+		}
+	}
+	return urls
+}
+
+// UpdateStatement returns the paper's random update generator against the
+// two tables: inserts and deletes with random keys, preserving the join
+// attribute's 10-value domain.
+func UpdateStatement() func(*rand.Rand) string {
+	nextID := int64(10_000_000) // beyond seeded IDs so inserts never collide
+	return func(rng *rand.Rand) string {
+		table := "small"
+		size := SmallRows
+		if rng.Intn(2) == 1 {
+			table = "large"
+			size = LargeRows
+		}
+		if rng.Intn(2) == 0 {
+			nextID++
+			return fmt.Sprintf("INSERT INTO %s VALUES (%d, %d, 'u%d')",
+				table, nextID, rng.Intn(JoinValues), rng.Intn(1_000_000))
+		}
+		return fmt.Sprintf("DELETE FROM %s WHERE id = %d", table, rng.Intn(size))
+	}
+}

@@ -1,0 +1,168 @@
+package demoapp
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+func TestSchemaSeedsPaperSizes(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(DefaultSchemaSQL()); err != nil {
+		t.Fatal(err)
+	}
+	res, _ := db.ExecSQL("SELECT COUNT(*) FROM small")
+	if res.Rows[0][0] != mem.Int(SmallRows) {
+		t.Fatalf("small: %v", res.Rows[0][0])
+	}
+	res, _ = db.ExecSQL("SELECT COUNT(*) FROM large")
+	if res.Rows[0][0] != mem.Int(LargeRows) {
+		t.Fatalf("large: %v", res.Rows[0][0])
+	}
+	// Join attribute: 10 uniform values → selectivity 0.1 (§5.2.1).
+	res, _ = db.ExecSQL("SELECT COUNT(DISTINCT cat) FROM large")
+	if res.Rows[0][0] != mem.Int(JoinValues) {
+		t.Fatalf("cats: %v", res.Rows[0][0])
+	}
+	res, _ = db.ExecSQL("SELECT COUNT(*) FROM small WHERE cat = 3")
+	if res.Rows[0][0] != mem.Int(SmallRows/JoinValues) {
+		t.Fatalf("selectivity: %v", res.Rows[0][0])
+	}
+	// Join-attribute indexes exist for probe-accelerated joins.
+	if !db.Table("small").HasIndex("cat") || !db.Table("large").HasIndex("cat") {
+		t.Fatal("cat indexes missing")
+	}
+}
+
+func TestSchemaDeterministic(t *testing.T) {
+	if SchemaSQL(50, 100, 7) != SchemaSQL(50, 100, 7) {
+		t.Fatal("same seed must give same script")
+	}
+	if SchemaSQL(50, 100, 7) == SchemaSQL(50, 100, 8) {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestServletsDefs(t *testing.T) {
+	defs := Servlets("db")
+	if len(defs) != 3 {
+		t.Fatalf("defs: %d", len(defs))
+	}
+	names := map[string]bool{}
+	for _, d := range defs {
+		names[d.Meta.Name] = true
+		if len(d.Meta.Keys.Get) != 1 || d.Meta.Keys.Get[0] != "cat" {
+			t.Fatalf("%s keys: %+v", d.Meta.Name, d.Meta.Keys)
+		}
+	}
+	for _, want := range []string{"light", "medium", "heavy"} {
+		if !names[want] {
+			t.Fatalf("missing servlet %s", want)
+		}
+	}
+}
+
+func TestPageURLs(t *testing.T) {
+	urls := PageURLs("http://x")
+	if len(urls) != 3*JoinValues {
+		t.Fatalf("urls: %d", len(urls))
+	}
+	if urls[0] != "http://x/light?cat=0" {
+		t.Fatalf("first: %s", urls[0])
+	}
+	if urls[len(urls)-1] != "http://x/heavy?cat=9" {
+		t.Fatalf("last: %s", urls[len(urls)-1])
+	}
+}
+
+func TestUpdateStatementMixAndValidity(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(DefaultSchemaSQL()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	stmt := UpdateStatement()
+	inserts, deletes := 0, 0
+	for i := 0; i < 200; i++ {
+		sql := stmt(rng)
+		if strings.HasPrefix(sql, "INSERT") {
+			inserts++
+		} else {
+			deletes++
+		}
+		if _, err := db.ExecSQL(sql); err != nil {
+			t.Fatalf("%s: %v", sql, err)
+		}
+	}
+	if inserts == 0 || deletes == 0 {
+		t.Fatalf("mix: %d/%d", inserts, deletes)
+	}
+	// Inserted IDs never collide with seeds (no pk violations above).
+}
+
+func TestServletsServePages(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(SchemaSQL(50, 200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := driver.NewPool(driver.DirectDriver{DB: db}, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	reg := driver.NewRegistry()
+	reg.Bind("db", pool)
+	srv := appserver.NewServer(reg, appserver.NewRequestLog(0))
+	for _, d := range Servlets("db") {
+		srv.MustRegister(d.Meta, d.Handler)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	for _, name := range []string{"light", "medium", "heavy"} {
+		resp, err := http.Get(ts.URL + "/" + name + "?cat=3")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", name, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "rows -->") {
+			t.Fatalf("%s: body %q", name, body)
+		}
+		// Default cat when missing.
+		resp2, err := http.Get(ts.URL + "/" + name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp2.Body.Close()
+		if resp2.StatusCode != 200 {
+			t.Fatalf("%s no-cat: %d", name, resp2.StatusCode)
+		}
+	}
+	// Missing data source errors cleanly.
+	srv2 := appserver.NewServer(driver.NewRegistry(), appserver.NewRequestLog(0))
+	for _, d := range Servlets("db") {
+		srv2.MustRegister(d.Meta, d.Handler)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	resp, err := http.Get(ts2.URL + "/light?cat=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 500 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}

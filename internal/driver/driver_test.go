@@ -1,0 +1,289 @@
+package driver
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/wire"
+)
+
+func newTestDB(t testing.TB) *engine.Database {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(`
+		CREATE TABLE items (id INT PRIMARY KEY, name TEXT);
+		INSERT INTO items VALUES (1, 'one'), (2, 'two');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestDirectDriver(t *testing.T) {
+	db := newTestDB(t)
+	c, err := DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Query("SELECT name FROM items WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "two" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT 1"); err == nil {
+		t.Fatal("closed conn must error")
+	}
+}
+
+func TestDirectDriverNilDB(t *testing.T) {
+	if _, err := (DirectDriver{}).Connect(""); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestNetDriver(t *testing.T) {
+	db := newTestDB(t)
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, url := range []string{addr, "net://" + addr} {
+		c, err := NetDriver{}.Connect(url)
+		if err != nil {
+			t.Fatalf("%s: %v", url, err)
+		}
+		res, err := c.Query("SELECT COUNT(*) FROM items")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].I != 2 {
+			t.Fatalf("count: %v", res.Rows[0][0])
+		}
+		c.Close()
+	}
+}
+
+func TestLoggingDriverRecordsQueries(t *testing.T) {
+	db := newTestDB(t)
+	qlog := NewQueryLog(0)
+	d := NewLoggingDriver(DirectDriver{DB: db}, qlog)
+	c, err := d.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := time.Now()
+	if _, err := c.Query("SELECT * FROM items"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query("SELECT * FROM nonexistent"); err == nil {
+		t.Fatal("want error")
+	}
+	entries, _ := qlog.Since(1)
+	if len(entries) != 2 {
+		t.Fatalf("entries: %+v", entries)
+	}
+	e := entries[0]
+	if e.SQL != "SELECT * FROM items" || e.Err != "" {
+		t.Fatalf("entry: %+v", e)
+	}
+	if e.Receive.Before(before) || e.Deliver.Before(e.Receive) {
+		t.Fatalf("timestamps: %v %v", e.Receive, e.Deliver)
+	}
+	if entries[1].Err == "" {
+		t.Fatal("failed query should record error")
+	}
+}
+
+func TestQueryLogSinceAndTruncation(t *testing.T) {
+	l := NewQueryLog(2)
+	for i := 0; i < 5; i++ {
+		l.Append(QueryLogEntry{SQL: fmt.Sprintf("q%d", i)})
+	}
+	// Amortized trimming: between 2 and 3 newest entries retained.
+	if l.Len() < 2 || l.Len() > 3 {
+		t.Fatalf("len: %d", l.Len())
+	}
+	entries, trunc := l.Since(1)
+	if !trunc || len(entries) == 0 || entries[len(entries)-1].SQL != "q4" {
+		t.Fatalf("since: %+v trunc=%v", entries, trunc)
+	}
+	if l.NextID() != 6 {
+		t.Fatalf("next: %d", l.NextID())
+	}
+	none, _ := l.Since(100)
+	if len(none) != 0 {
+		t.Fatalf("beyond end: %+v", none)
+	}
+}
+
+func TestPoolReuseAndLimit(t *testing.T) {
+	db := newTestDB(t)
+	p, err := NewPool(DirectDriver{DB: db}, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	l1, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, idle := p.Stats()
+	if total != 2 || idle != 0 {
+		t.Fatalf("stats: %d %d", total, idle)
+	}
+	// Third Get blocks until a release.
+	got := make(chan *Lease)
+	go func() {
+		l, err := p.Get()
+		if err != nil {
+			t.Error(err)
+		}
+		got <- l
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get should block while pool exhausted")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l1.Release()
+	select {
+	case l3 := <-got:
+		l3.Release()
+	case <-time.After(time.Second):
+		t.Fatal("Get did not unblock")
+	}
+	l2.Release()
+	total, idle = p.Stats()
+	if total != 2 || idle != 2 {
+		t.Fatalf("stats after release: %d %d", total, idle)
+	}
+}
+
+func TestPoolLeaseTagsLoggingConns(t *testing.T) {
+	db := newTestDB(t)
+	qlog := NewQueryLog(0)
+	d := NewLoggingDriver(DirectDriver{DB: db}, qlog)
+	p, err := NewPool(d, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	l1, _ := p.Get()
+	l1.Query("SELECT 1")
+	id1 := l1.ID
+	l1.Release()
+	l2, _ := p.Get()
+	l2.Query("SELECT 2")
+	id2 := l2.ID
+	l2.Release()
+
+	if id1 == id2 {
+		t.Fatal("lease IDs must differ")
+	}
+	entries, _ := qlog.Since(1)
+	if len(entries) != 2 {
+		t.Fatalf("entries: %+v", entries)
+	}
+	if entries[0].LeaseID != id1 || entries[1].LeaseID != id2 {
+		t.Fatalf("lease attribution: %+v", entries)
+	}
+}
+
+func TestPoolDoubleReleaseIsNoop(t *testing.T) {
+	db := newTestDB(t)
+	p, _ := NewPool(DirectDriver{DB: db}, "", 1)
+	defer p.Close()
+	l, _ := p.Get()
+	l.Release()
+	l.Release() // second release must not duplicate the conn
+	_, idle := p.Stats()
+	if idle != 1 {
+		t.Fatalf("idle: %d", idle)
+	}
+}
+
+func TestPoolClose(t *testing.T) {
+	db := newTestDB(t)
+	p, _ := NewPool(DirectDriver{DB: db}, "", 1)
+	l, _ := p.Get()
+	p.Close()
+	if _, err := p.Get(); err == nil {
+		t.Fatal("Get after Close must fail")
+	}
+	l.Release() // releasing a lease after close closes the conn
+	total, idle := p.Stats()
+	if total != 0 || idle != 0 {
+		t.Fatalf("stats: %d %d", total, idle)
+	}
+}
+
+func TestPoolBadSize(t *testing.T) {
+	if _, err := NewPool(DirectDriver{}, "", 0); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestPoolConcurrentStress(t *testing.T) {
+	db := newTestDB(t)
+	qlog := NewQueryLog(0)
+	p, _ := NewPool(NewLoggingDriver(DirectDriver{DB: db}, qlog), "", 4)
+	defer p.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				l, err := p.Get()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := l.Query("SELECT COUNT(*) FROM items"); err != nil {
+					t.Error(err)
+				}
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if qlog.Len() != 400 {
+		t.Fatalf("logged %d queries", qlog.Len())
+	}
+	total, idle := p.Stats()
+	if total > 4 || idle != total {
+		t.Fatalf("stats: %d %d", total, idle)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	db := newTestDB(t)
+	r := NewRegistry()
+	p, _ := NewPool(DirectDriver{DB: db}, "", 1)
+	r.Bind("main", p)
+	got, err := r.Lookup("main")
+	if err != nil || got != p {
+		t.Fatalf("lookup: %v %v", got, err)
+	}
+	if _, err := r.Lookup("missing"); err == nil {
+		t.Fatal("want error")
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "main" {
+		t.Fatalf("names: %v", names)
+	}
+}

@@ -1,0 +1,529 @@
+package engine
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// newCarDB builds the paper's Example 4.1 database: Car(maker, model,
+// price) and Mileage(model, EPA).
+func newCarDB(t testing.TB) *Database {
+	t.Helper()
+	db := NewDatabase()
+	_, err := db.ExecScript(`
+		CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+		CREATE TABLE Mileage (model TEXT, EPA INT);
+		INSERT INTO Car VALUES ('Mitsubishi', 'Eclipse', 18000), ('Toyota', 'Corolla', 15000), ('Toyota', 'Avalon', 25000);
+		INSERT INTO Mileage VALUES ('Eclipse', 28), ('Corolla', 33), ('Avalon', 26);
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func mustQuery(t testing.TB, db *Database, sql string) *Result {
+	t.Helper()
+	res, err := db.ExecSQL(sql)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	return res
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT * FROM Car")
+	if len(res.Rows) != 3 || len(res.Columns) != 3 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+	if res.Columns[0] != "maker" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT model FROM Car WHERE price < 20000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestPaperJoinQuery(t *testing.T) {
+	db := newCarDB(t)
+	// Example 4.1's Query1 with the paper's shape.
+	res := mustQuery(t, db, `SELECT Car.maker, Car.model, Car.price, Mileage.EPA
+		FROM Car, Mileage
+		WHERE Car.model = Mileage.model AND Car.price < 20000`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[2].F >= 20000 {
+			t.Fatalf("price filter failed: %v", r)
+		}
+	}
+}
+
+func TestExplicitJoin(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT Car.model, EPA FROM Car JOIN Mileage ON Car.model = Mileage.model WHERE EPA > 27")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := newCarDB(t)
+	mustQuery(t, db, "INSERT INTO Car VALUES ('Honda', 'NSX', 90000)") // no mileage row
+	res := mustQuery(t, db, "SELECT Car.model, Mileage.EPA FROM Car LEFT JOIN Mileage ON Car.model = Mileage.model")
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	found := false
+	for _, r := range res.Rows {
+		if r[0].S == "NSX" {
+			found = true
+			if !r[1].IsNull() {
+				t.Fatalf("NSX EPA should be NULL: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("NSX row missing")
+	}
+}
+
+func TestCrossJoinCount(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM Car CROSS JOIN Mileage")
+	if res.Rows[0][0] != mem.Int(9) {
+		t.Fatalf("count: %v", res.Rows[0][0])
+	}
+}
+
+func TestTableAliases(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT c.model FROM Car AS c, Mileage AS m WHERE c.model = m.model AND m.EPA >= 33")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Corolla" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT a.model, b.model FROM Car a, Car b WHERE a.maker = b.maker AND a.model <> b.model")
+	if len(res.Rows) != 2 { // Corolla-Avalon both ways
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestDuplicateTableNameIsError(t *testing.T) {
+	db := newCarDB(t)
+	if _, err := db.ExecSQL("SELECT * FROM Car, Car"); err == nil {
+		t.Fatal("want error for duplicate FROM name")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	db := newCarDB(t)
+	if _, err := db.ExecSQL("SELECT model FROM Car, Mileage"); err == nil {
+		t.Fatal("want ambiguity error")
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT model, price FROM Car ORDER BY price DESC LIMIT 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].S != "Avalon" || res.Rows[1][0].S != "Eclipse" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car ORDER BY price LIMIT 1 OFFSET 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Eclipse" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car ORDER BY price OFFSET 5")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestOrderByAlias(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT model, price * 2 AS dbl FROM Car ORDER BY dbl DESC LIMIT 1")
+	if res.Rows[0][0].S != "Avalon" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT DISTINCT maker FROM Car")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(*), SUM(price), AVG(price), MIN(price), MAX(price) FROM Car")
+	r := res.Rows[0]
+	if r[0] != mem.Int(3) {
+		t.Fatalf("count: %v", r[0])
+	}
+	if r[1] != mem.Float(58000) {
+		t.Fatalf("sum: %v", r[1])
+	}
+	if r[3] != mem.Float(15000) || r[4] != mem.Float(25000) {
+		t.Fatalf("min/max: %v %v", r[3], r[4])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT maker, COUNT(*) AS n, AVG(price) FROM Car GROUP BY maker HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Toyota" || res.Rows[0][1] != mem.Int(2) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestGroupByOrderByAggregate(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT maker, COUNT(*) AS n FROM Car GROUP BY maker ORDER BY n DESC, maker")
+	if res.Rows[0][0].S != "Toyota" || res.Rows[1][0].S != "Mitsubishi" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestAggregateOverEmptyTable(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT)")
+	res := mustQuery(t, db, "SELECT COUNT(*), SUM(a), MIN(a) FROM t")
+	r := res.Rows[0]
+	if r[0] != mem.Int(0) || !r[1].IsNull() || !r[2].IsNull() {
+		t.Fatalf("row: %v", r)
+	}
+	// GROUP BY over empty input yields zero groups.
+	res = mustQuery(t, db, "SELECT a, COUNT(*) FROM t GROUP BY a")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT COUNT(DISTINCT maker) FROM Car")
+	if res.Rows[0][0] != mem.Int(2) {
+		t.Fatalf("got %v", res.Rows[0][0])
+	}
+}
+
+func TestAggregatesSkipNulls(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (1), (NULL), (3)")
+	res := mustQuery(t, db, "SELECT COUNT(a), SUM(a), AVG(a) FROM t")
+	r := res.Rows[0]
+	if r[0] != mem.Int(2) || r[1] != mem.Int(4) || r[2] != mem.Float(2) {
+		t.Fatalf("row: %v", r)
+	}
+}
+
+func TestUpdateBasic(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "UPDATE Car SET price = 14000 WHERE model = 'Corolla'")
+	if res.RowsAffected != 1 {
+		t.Fatalf("affected: %d", res.RowsAffected)
+	}
+	check := mustQuery(t, db, "SELECT price FROM Car WHERE model = 'Corolla'")
+	if check.Rows[0][0] != mem.Float(14000) {
+		t.Fatalf("price: %v", check.Rows[0][0])
+	}
+}
+
+func TestUpdateExpressionSeesOldValues(t *testing.T) {
+	db := newCarDB(t)
+	mustQuery(t, db, "UPDATE Car SET price = price * 2 WHERE maker = 'Toyota'")
+	res := mustQuery(t, db, "SELECT SUM(price) FROM Car WHERE maker = 'Toyota'")
+	if res.Rows[0][0] != mem.Float(80000) {
+		t.Fatalf("sum: %v", res.Rows[0][0])
+	}
+}
+
+func TestDeleteBasic(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "DELETE FROM Car WHERE maker = 'Toyota'")
+	if res.RowsAffected != 2 {
+		t.Fatalf("affected: %d", res.RowsAffected)
+	}
+	left := mustQuery(t, db, "SELECT COUNT(*) FROM Car")
+	if left.Rows[0][0] != mem.Int(1) {
+		t.Fatalf("remaining: %v", left.Rows[0][0])
+	}
+}
+
+func TestInsertWithColumnList(t *testing.T) {
+	db := newCarDB(t)
+	mustQuery(t, db, "INSERT INTO Car (model, maker) VALUES ('Civic', 'Honda')")
+	res := mustQuery(t, db, "SELECT price FROM Car WHERE model = 'Civic'")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("price should default NULL: %v", res.Rows[0][0])
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	db := newCarDB(t)
+	for _, sql := range []string{
+		"INSERT INTO Nope VALUES (1)",
+		"INSERT INTO Car (nope) VALUES (1)",
+		"INSERT INTO Car VALUES (1)", // arity
+	} {
+		if _, err := db.ExecSQL(sql); err == nil {
+			t.Errorf("%s: want error", sql)
+		}
+	}
+}
+
+func TestDDLErrors(t *testing.T) {
+	db := newCarDB(t)
+	if _, err := db.ExecSQL("CREATE TABLE Car (x INT)"); err == nil {
+		t.Fatal("duplicate table must fail")
+	}
+	if _, err := db.ExecSQL("CREATE TABLE IF NOT EXISTS Car (x INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecSQL("DROP TABLE Nope"); err == nil {
+		t.Fatal("drop missing must fail")
+	}
+	if _, err := db.ExecSQL("DROP TABLE IF EXISTS Nope"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecSQL("CREATE INDEX i ON Nope (x)"); err == nil {
+		t.Fatal("index on missing table must fail")
+	}
+}
+
+func TestDropTable(t *testing.T) {
+	db := newCarDB(t)
+	mustQuery(t, db, "DROP TABLE Mileage")
+	if db.Table("Mileage") != nil {
+		t.Fatal("table still present")
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "Car" {
+		t.Fatalf("names: %v", names)
+	}
+}
+
+func TestIndexAcceleratedLookup(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+	for i := 0; i < 100; i++ {
+		mustQuery(t, db, "INSERT INTO t VALUES ("+itoa(i)+", 'v"+itoa(i)+"')")
+	}
+	res := mustQuery(t, db, "SELECT v FROM t WHERE id = 42")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "v42" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func itoa(i int) string { return strconv.Itoa(i) }
+
+func TestIndexJoinProbe(t *testing.T) {
+	db := newCarDB(t)
+	mustQuery(t, db, "CREATE INDEX m_model ON Mileage (model)")
+	res := mustQuery(t, db, "SELECT Car.model, EPA FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < 20000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestNullComparisons(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (1, 'x'), (NULL, 'y')")
+	// NULL = NULL is unknown, so WHERE drops the row.
+	res := mustQuery(t, db, "SELECT * FROM t WHERE a = a")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT * FROM t WHERE a IS NULL")
+	if len(res.Rows) != 1 || res.Rows[0][1].S != "y" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT * FROM t WHERE NOT (a = 1)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("NOT over NULL should drop: %v", res.Rows)
+	}
+}
+
+func TestInBetweenLike(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT model FROM Car WHERE maker IN ('Toyota', 'Honda')")
+	if len(res.Rows) != 2 {
+		t.Fatalf("IN rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car WHERE price BETWEEN 15000 AND 18000")
+	if len(res.Rows) != 2 {
+		t.Fatalf("BETWEEN rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car WHERE model LIKE 'C%'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Corolla" {
+		t.Fatalf("LIKE rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car WHERE model LIKE '_valon'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("LIKE _ rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car WHERE maker NOT IN ('Toyota')")
+	if len(res.Rows) != 1 {
+		t.Fatalf("NOT IN rows: %v", res.Rows)
+	}
+}
+
+func TestNotInWithNullList(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (1), (2)")
+	// a NOT IN (2, NULL): for a=1, unknown (NULL could be 1) → dropped.
+	res := mustQuery(t, db, "SELECT * FROM t WHERE a NOT IN (2, NULL)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	db := NewDatabase()
+	res := mustQuery(t, db, "SELECT 1 + 2 * 3, 7 / 2, 8 / 2, 7 % 3, 2.5 + 1, 'a' || 'b'")
+	r := res.Rows[0]
+	if r[0] != mem.Int(7) {
+		t.Fatalf("1+2*3: %v", r[0])
+	}
+	if r[1] != mem.Float(3.5) {
+		t.Fatalf("7/2: %v", r[1])
+	}
+	if r[2] != mem.Int(4) {
+		t.Fatalf("8/2: %v", r[2])
+	}
+	if r[3] != mem.Int(1) {
+		t.Fatalf("7%%3: %v", r[3])
+	}
+	if r[4] != mem.Float(3.5) {
+		t.Fatalf("2.5+1: %v", r[4])
+	}
+	if r[5] != mem.Str("ab") {
+		t.Fatalf("concat: %v", r[5])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	db := NewDatabase()
+	if _, err := db.ExecSQL("SELECT 1 / 0"); err == nil {
+		t.Fatal("want division by zero error")
+	}
+	if _, err := db.ExecSQL("SELECT 1 % 0"); err == nil {
+		t.Fatal("want modulo by zero error")
+	}
+}
+
+func TestSelectStarQualified(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT Mileage.* FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.maker = 'Toyota'")
+	if len(res.Columns) != 2 || len(res.Rows) != 2 {
+		t.Fatalf("cols=%v rows=%v", res.Columns, res.Rows)
+	}
+}
+
+func TestUnboundPlaceholderError(t *testing.T) {
+	db := newCarDB(t)
+	if _, err := db.ExecSQL("SELECT * FROM Car WHERE price < $1"); err == nil {
+		t.Fatal("want unbound placeholder error")
+	}
+}
+
+func TestExecScriptStopsOnError(t *testing.T) {
+	db := NewDatabase()
+	_, err := db.ExecScript("CREATE TABLE t (a INT); INSERT INTO nope VALUES (1); INSERT INTO t VALUES (1)")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	res := mustQuery(t, db, "SELECT COUNT(*) FROM t")
+	if res.Rows[0][0] != mem.Int(0) {
+		t.Fatal("statement after error must not run")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := NewDatabase()
+	res := mustQuery(t, db, "SELECT UPPER('abc'), LOWER('DeF'), LENGTH('hello'), ABS(-4), ABS(-2.5), COALESCE(NULL, NULL, 7), SUBSTR('database', 5), SUBSTR('database', 1, 4)")
+	r := res.Rows[0]
+	want := []mem.Value{mem.Str("ABC"), mem.Str("def"), mem.Int(5), mem.Int(4),
+		mem.Float(2.5), mem.Int(7), mem.Str("base"), mem.Str("data")}
+	for i, w := range want {
+		if r[i] != w {
+			t.Errorf("fn %d: got %v, want %v", i, r[i], w)
+		}
+	}
+}
+
+func TestScalarFunctionsNullPropagation(t *testing.T) {
+	db := NewDatabase()
+	res := mustQuery(t, db, "SELECT UPPER(NULL), LENGTH(NULL), ABS(NULL), SUBSTR(NULL, 1)")
+	for i, v := range res.Rows[0] {
+		if !v.IsNull() {
+			t.Errorf("fn %d: got %v, want NULL", i, v)
+		}
+	}
+}
+
+func TestScalarFunctionInWhere(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT model FROM Car WHERE UPPER(maker) = 'TOYOTA'")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT model FROM Car WHERE LENGTH(model) > 6")
+	if len(res.Rows) != 2 { // Eclipse, Corolla
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestScalarFunctionOverAggregate(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT maker, ABS(AVG(price) - 20000) FROM Car GROUP BY maker ORDER BY maker")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Mitsubishi avg 18000 → |18000-20000| = 2000.
+	if res.Rows[0][1] != mem.Float(2000) {
+		t.Fatalf("abs over avg: %v", res.Rows[0][1])
+	}
+}
+
+func TestScalarFunctionErrors(t *testing.T) {
+	db := NewDatabase()
+	for _, sql := range []string{
+		"SELECT UPPER(1)",
+		"SELECT LENGTH(2.5)",
+		"SELECT ABS('x')",
+		"SELECT NOSUCHFUNC(1)",
+		"SELECT UPPER('a', 'b')",
+		"SELECT COALESCE()",
+		"SELECT SUBSTR('x')",
+	} {
+		if _, err := db.ExecSQL(sql); err == nil {
+			t.Errorf("%s: want error", sql)
+		}
+	}
+}
+
+func TestOrderByAggregateDirect(t *testing.T) {
+	db := newCarDB(t)
+	res := mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker ORDER BY COUNT(*) DESC")
+	if res.Rows[0][0].S != "Toyota" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}

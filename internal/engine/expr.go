@@ -1,0 +1,475 @@
+// Package engine implements the query processor of the reproduction's
+// in-memory DBMS: expression evaluation with SQL three-valued logic,
+// execution of SELECT (joins, aggregation, ordering), INSERT, UPDATE and
+// DELETE, DDL, and a redo-style update log that exposes per-relation
+// Δ⁺R / Δ⁻R delta tables to the invalidator (paper §4.2.1).
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// Env resolves column references during expression evaluation. Bindings map
+// a table's effective (alias or real, lower-cased) name to a row and its
+// schema.
+type Env struct {
+	bindings []binding
+}
+
+type binding struct {
+	name   string // lower-cased effective name; "" allowed for anonymous
+	schema *mem.Schema
+	row    mem.Row
+}
+
+// Bind adds a (table name → row) binding and returns the extended Env. The
+// receiver is not modified, so partially built envs can be shared across
+// join branches.
+func (e Env) Bind(name string, schema *mem.Schema, row mem.Row) Env {
+	nb := make([]binding, len(e.bindings), len(e.bindings)+1)
+	copy(nb, e.bindings)
+	nb = append(nb, binding{name: strings.ToLower(name), schema: schema, row: row})
+	return Env{bindings: nb}
+}
+
+// rebind replaces the row of the last binding in place; used by tight scan
+// loops to avoid reallocating the env per row.
+func (e *Env) rebind(row mem.Row) {
+	e.bindings[len(e.bindings)-1].row = row
+}
+
+// Resolve finds the value of a column reference.
+func (e Env) Resolve(c *sqlparser.ColumnRef) (mem.Value, error) {
+	if c.Table != "" {
+		want := strings.ToLower(c.Table)
+		for i := len(e.bindings) - 1; i >= 0; i-- {
+			b := e.bindings[i]
+			if b.name == want {
+				ci := b.schema.ColumnIndex(c.Column)
+				if ci < 0 {
+					return mem.Null(), fmt.Errorf("engine: table %s has no column %s", c.Table, c.Column)
+				}
+				return b.row[ci], nil
+			}
+		}
+		return mem.Null(), fmt.Errorf("engine: unknown table %s in reference %s", c.Table, c)
+	}
+	found := -1
+	var v mem.Value
+	for _, b := range e.bindings {
+		if ci := b.schema.ColumnIndex(c.Column); ci >= 0 {
+			if found >= 0 {
+				return mem.Null(), fmt.Errorf("engine: ambiguous column %s", c.Column)
+			}
+			found = ci
+			v = b.row[ci]
+		}
+	}
+	if found < 0 {
+		return mem.Null(), fmt.Errorf("engine: unknown column %s", c.Column)
+	}
+	return v, nil
+}
+
+// HasColumn reports whether the env can resolve the reference at all.
+func (e Env) HasColumn(c *sqlparser.ColumnRef) bool {
+	if c.Table != "" {
+		want := strings.ToLower(c.Table)
+		for _, b := range e.bindings {
+			if b.name == want {
+				return b.schema.ColumnIndex(c.Column) >= 0
+			}
+		}
+		return false
+	}
+	for _, b := range e.bindings {
+		if b.schema.ColumnIndex(c.Column) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Tri is three-valued logic truth: False, Unknown, True.
+type Tri int
+
+// Truth values.
+const (
+	False   Tri = 0
+	Unknown Tri = 1
+	True    Tri = 2
+)
+
+// Truth converts a Value to three-valued truth; NULL is Unknown, booleans
+// map directly, anything else is an error.
+func Truth(v mem.Value) (Tri, error) {
+	switch v.Kind {
+	case mem.KindNull:
+		return Unknown, nil
+	case mem.KindBool:
+		if v.B {
+			return True, nil
+		}
+		return False, nil
+	default:
+		return Unknown, fmt.Errorf("engine: %s value used as condition", v.Kind)
+	}
+}
+
+func triValue(t Tri) mem.Value {
+	switch t {
+	case True:
+		return mem.Bool(true)
+	case False:
+		return mem.Bool(false)
+	default:
+		return mem.Null()
+	}
+}
+
+// Eval evaluates e under env with SQL semantics: comparisons and arithmetic
+// over NULL yield NULL; AND/OR/NOT follow Kleene logic.
+func Eval(e sqlparser.Expr, env Env) (mem.Value, error) {
+	switch x := e.(type) {
+	case *sqlparser.IntLit:
+		return mem.Int(x.Value), nil
+	case *sqlparser.FloatLit:
+		return mem.Float(x.Value), nil
+	case *sqlparser.StringLit:
+		return mem.Str(x.Value), nil
+	case *sqlparser.BoolLit:
+		return mem.Bool(x.Value), nil
+	case *sqlparser.NullLit:
+		return mem.Null(), nil
+	case *sqlparser.Placeholder:
+		return mem.Null(), fmt.Errorf("engine: unbound placeholder %s", x.Name)
+	case *sqlparser.ColumnRef:
+		return env.Resolve(x)
+	case *sqlparser.ParenExpr:
+		return Eval(x.X, env)
+	case *sqlparser.UnaryExpr:
+		return evalUnary(x, env)
+	case *sqlparser.BinaryExpr:
+		return evalBinary(x, env)
+	case *sqlparser.InExpr:
+		return evalIn(x, env)
+	case *sqlparser.BetweenExpr:
+		return evalBetween(x, env)
+	case *sqlparser.LikeExpr:
+		return evalLike(x, env)
+	case *sqlparser.IsNullExpr:
+		v, err := Eval(x.X, env)
+		if err != nil {
+			return mem.Null(), err
+		}
+		return mem.Bool(v.IsNull() != x.Not), nil
+	case *sqlparser.FuncExpr:
+		if x.IsAggregate() {
+			return mem.Null(), fmt.Errorf("engine: aggregate %s outside aggregation context", x.Name)
+		}
+		return evalScalarFunc(x, env)
+	default:
+		return mem.Null(), fmt.Errorf("engine: cannot evaluate %T", e)
+	}
+}
+
+func evalUnary(x *sqlparser.UnaryExpr, env Env) (mem.Value, error) {
+	v, err := Eval(x.X, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	switch x.Op {
+	case "NOT":
+		t, err := Truth(v)
+		if err != nil {
+			return mem.Null(), err
+		}
+		switch t {
+		case True:
+			return mem.Bool(false), nil
+		case False:
+			return mem.Bool(true), nil
+		default:
+			return mem.Null(), nil
+		}
+	case "-":
+		switch v.Kind {
+		case mem.KindNull:
+			return mem.Null(), nil
+		case mem.KindInt:
+			return mem.Int(-v.I), nil
+		case mem.KindFloat:
+			return mem.Float(-v.F), nil
+		default:
+			return mem.Null(), fmt.Errorf("engine: cannot negate %s", v.Kind)
+		}
+	default:
+		return mem.Null(), fmt.Errorf("engine: unknown unary operator %q", x.Op)
+	}
+}
+
+func evalBinary(x *sqlparser.BinaryExpr, env Env) (mem.Value, error) {
+	// Kleene logic short-circuits: FALSE AND _ = FALSE even if _ errors on
+	// this row; likewise TRUE OR _.
+	if x.Op == sqlparser.OpAnd || x.Op == sqlparser.OpOr {
+		lv, err := Eval(x.Left, env)
+		if err != nil {
+			return mem.Null(), err
+		}
+		lt, err := Truth(lv)
+		if err != nil {
+			return mem.Null(), err
+		}
+		if x.Op == sqlparser.OpAnd && lt == False {
+			return mem.Bool(false), nil
+		}
+		if x.Op == sqlparser.OpOr && lt == True {
+			return mem.Bool(true), nil
+		}
+		rv, err := Eval(x.Right, env)
+		if err != nil {
+			return mem.Null(), err
+		}
+		rt, err := Truth(rv)
+		if err != nil {
+			return mem.Null(), err
+		}
+		if x.Op == sqlparser.OpAnd {
+			return triValue(min3(lt, rt)), nil
+		}
+		return triValue(max3(lt, rt)), nil
+	}
+
+	lv, err := Eval(x.Left, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	rv, err := Eval(x.Right, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	if x.Op.IsComparison() {
+		if lv.IsNull() || rv.IsNull() {
+			return mem.Null(), nil
+		}
+		c, err := mem.Compare(lv, rv)
+		if err != nil {
+			return mem.Null(), fmt.Errorf("engine: %w", err)
+		}
+		var b bool
+		switch x.Op {
+		case sqlparser.OpEq:
+			b = c == 0
+		case sqlparser.OpNotEq:
+			b = c != 0
+		case sqlparser.OpLt:
+			b = c < 0
+		case sqlparser.OpLtEq:
+			b = c <= 0
+		case sqlparser.OpGt:
+			b = c > 0
+		case sqlparser.OpGtEq:
+			b = c >= 0
+		}
+		return mem.Bool(b), nil
+	}
+	return evalArith(x.Op, lv, rv)
+}
+
+func min3(a, b Tri) Tri {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max3(a, b Tri) Tri {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func evalArith(op sqlparser.BinaryOp, l, r mem.Value) (mem.Value, error) {
+	if op == sqlparser.OpConcat {
+		if l.IsNull() || r.IsNull() {
+			return mem.Null(), nil
+		}
+		return mem.Str(l.String() + r.String()), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return mem.Null(), nil
+	}
+	// Integer arithmetic stays integral except for division by non-divisor.
+	if l.Kind == mem.KindInt && r.Kind == mem.KindInt {
+		a, b := l.I, r.I
+		switch op {
+		case sqlparser.OpAdd:
+			return mem.Int(a + b), nil
+		case sqlparser.OpSub:
+			return mem.Int(a - b), nil
+		case sqlparser.OpMul:
+			return mem.Int(a * b), nil
+		case sqlparser.OpDiv:
+			if b == 0 {
+				return mem.Null(), fmt.Errorf("engine: division by zero")
+			}
+			if a%b == 0 {
+				return mem.Int(a / b), nil
+			}
+			return mem.Float(float64(a) / float64(b)), nil
+		case sqlparser.OpMod:
+			if b == 0 {
+				return mem.Null(), fmt.Errorf("engine: modulo by zero")
+			}
+			return mem.Int(a % b), nil
+		}
+	}
+	lf, lok := asFloat(l)
+	rf, rok := asFloat(r)
+	if !lok || !rok {
+		return mem.Null(), fmt.Errorf("engine: %s is not valid between %s and %s", op, l.Kind, r.Kind)
+	}
+	switch op {
+	case sqlparser.OpAdd:
+		return mem.Float(lf + rf), nil
+	case sqlparser.OpSub:
+		return mem.Float(lf - rf), nil
+	case sqlparser.OpMul:
+		return mem.Float(lf * rf), nil
+	case sqlparser.OpDiv:
+		if rf == 0 {
+			return mem.Null(), fmt.Errorf("engine: division by zero")
+		}
+		return mem.Float(lf / rf), nil
+	case sqlparser.OpMod:
+		return mem.Null(), fmt.Errorf("engine: %% requires integer operands")
+	default:
+		return mem.Null(), fmt.Errorf("engine: unknown arithmetic operator %s", op)
+	}
+}
+
+func asFloat(v mem.Value) (float64, bool) {
+	switch v.Kind {
+	case mem.KindInt:
+		return float64(v.I), true
+	case mem.KindFloat:
+		return v.F, true
+	}
+	return 0, false
+}
+
+func evalIn(x *sqlparser.InExpr, env Env) (mem.Value, error) {
+	v, err := Eval(x.X, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	sawNull := v.IsNull()
+	match := false
+	for _, item := range x.List {
+		iv, err := Eval(item, env)
+		if err != nil {
+			return mem.Null(), err
+		}
+		if iv.IsNull() || v.IsNull() {
+			sawNull = true
+			continue
+		}
+		if mem.Equal(v, iv) {
+			match = true
+			break
+		}
+	}
+	var t Tri
+	switch {
+	case match:
+		t = True
+	case sawNull:
+		t = Unknown
+	default:
+		t = False
+	}
+	if x.Not {
+		t = 2 - t
+	}
+	return triValue(t), nil
+}
+
+func evalBetween(x *sqlparser.BetweenExpr, env Env) (mem.Value, error) {
+	v, err := Eval(x.X, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	lo, err := Eval(x.Lo, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	hi, err := Eval(x.Hi, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return mem.Null(), nil
+	}
+	c1, err := mem.Compare(v, lo)
+	if err != nil {
+		return mem.Null(), fmt.Errorf("engine: %w", err)
+	}
+	c2, err := mem.Compare(v, hi)
+	if err != nil {
+		return mem.Null(), fmt.Errorf("engine: %w", err)
+	}
+	in := c1 >= 0 && c2 <= 0
+	return mem.Bool(in != x.Not), nil
+}
+
+func evalLike(x *sqlparser.LikeExpr, env Env) (mem.Value, error) {
+	v, err := Eval(x.X, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	p, err := Eval(x.Pattern, env)
+	if err != nil {
+		return mem.Null(), err
+	}
+	if v.IsNull() || p.IsNull() {
+		return mem.Null(), nil
+	}
+	if v.Kind != mem.KindString || p.Kind != mem.KindString {
+		return mem.Null(), fmt.Errorf("engine: LIKE requires string operands")
+	}
+	m := likeMatch(v.S, p.S)
+	return mem.Bool(m != x.Not), nil
+}
+
+// likeMatch implements SQL LIKE with % (any run) and _ (any single byte),
+// via iterative greedy backtracking.
+func likeMatch(s, pattern string) bool {
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}

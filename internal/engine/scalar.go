@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// Scalar (non-aggregate) SQL functions. Because the invalidator evaluates
+// predicate conjuncts with the same Eval used here, every function added
+// makes delta analysis more precise for queries that use it (an unsupported
+// function degrades the page to conservative invalidation, never to
+// staleness).
+
+// evalScalarFunc evaluates a non-aggregate function call.
+func evalScalarFunc(f *sqlparser.FuncExpr, env Env) (mem.Value, error) {
+	args := make([]mem.Value, len(f.Args))
+	for i, a := range f.Args {
+		v, err := Eval(a, env)
+		if err != nil {
+			return mem.Null(), err
+		}
+		args[i] = v
+	}
+	return applyScalarFunc(f.Name, args)
+}
+
+func applyScalarFunc(name string, args []mem.Value) (mem.Value, error) {
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("engine: %s takes %d argument(s), got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "UPPER":
+		if err := arity(1); err != nil {
+			return mem.Null(), err
+		}
+		if args[0].IsNull() {
+			return mem.Null(), nil
+		}
+		if args[0].Kind != mem.KindString {
+			return mem.Null(), fmt.Errorf("engine: UPPER requires a string")
+		}
+		return mem.Str(strings.ToUpper(args[0].S)), nil
+	case "LOWER":
+		if err := arity(1); err != nil {
+			return mem.Null(), err
+		}
+		if args[0].IsNull() {
+			return mem.Null(), nil
+		}
+		if args[0].Kind != mem.KindString {
+			return mem.Null(), fmt.Errorf("engine: LOWER requires a string")
+		}
+		return mem.Str(strings.ToLower(args[0].S)), nil
+	case "LENGTH":
+		if err := arity(1); err != nil {
+			return mem.Null(), err
+		}
+		if args[0].IsNull() {
+			return mem.Null(), nil
+		}
+		if args[0].Kind != mem.KindString {
+			return mem.Null(), fmt.Errorf("engine: LENGTH requires a string")
+		}
+		return mem.Int(int64(len(args[0].S))), nil
+	case "ABS":
+		if err := arity(1); err != nil {
+			return mem.Null(), err
+		}
+		switch args[0].Kind {
+		case mem.KindNull:
+			return mem.Null(), nil
+		case mem.KindInt:
+			if args[0].I < 0 {
+				return mem.Int(-args[0].I), nil
+			}
+			return args[0], nil
+		case mem.KindFloat:
+			return mem.Float(math.Abs(args[0].F)), nil
+		default:
+			return mem.Null(), fmt.Errorf("engine: ABS requires a number")
+		}
+	case "COALESCE":
+		if len(args) == 0 {
+			return mem.Null(), fmt.Errorf("engine: COALESCE needs at least one argument")
+		}
+		for _, a := range args {
+			if !a.IsNull() {
+				return a, nil
+			}
+		}
+		return mem.Null(), nil
+	case "SUBSTR":
+		// SUBSTR(s, start [, length]) with 1-based start, SQL style.
+		if len(args) != 2 && len(args) != 3 {
+			return mem.Null(), fmt.Errorf("engine: SUBSTR takes 2 or 3 arguments")
+		}
+		if args[0].IsNull() || args[1].IsNull() || (len(args) == 3 && args[2].IsNull()) {
+			return mem.Null(), nil
+		}
+		if args[0].Kind != mem.KindString || args[1].Kind != mem.KindInt {
+			return mem.Null(), fmt.Errorf("engine: SUBSTR requires (string, int[, int])")
+		}
+		s := args[0].S
+		start := int(args[1].I)
+		if start < 1 {
+			start = 1
+		}
+		if start > len(s) {
+			return mem.Str(""), nil
+		}
+		out := s[start-1:]
+		if len(args) == 3 {
+			if args[2].Kind != mem.KindInt {
+				return mem.Null(), fmt.Errorf("engine: SUBSTR length must be an integer")
+			}
+			n := int(args[2].I)
+			if n < 0 {
+				n = 0
+			}
+			if n < len(out) {
+				out = out[:n]
+			}
+		}
+		return mem.Str(out), nil
+	default:
+		return mem.Null(), fmt.Errorf("engine: unknown function %s", name)
+	}
+}

@@ -1,0 +1,552 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// execSelect runs a SELECT. The pipeline is:
+//
+//	join enumeration (nested loops with predicate pushdown and hash-index
+//	point lookups) → WHERE residue → grouping/aggregation → HAVING →
+//	projection → DISTINCT → ORDER BY → LIMIT/OFFSET.
+//
+// Callers hold db.mu (read).
+func (db *Database) execSelect(s *sqlparser.SelectStmt) (*Result, error) {
+	// Resolve the FROM sources in order; explicit JOINs append to the chain
+	// with their ON condition treated as a pushed-down conjunct (INNER) or
+	// a null-extending probe (LEFT).
+	type source struct {
+		ref      sqlparser.TableRef
+		table    *mem.Table
+		joinType string         // "", "INNER", "CROSS", "LEFT"
+		on       sqlparser.Expr // for explicit joins
+	}
+	var sources []source
+	for _, ref := range s.From {
+		t := db.tables[strings.ToLower(ref.Name)]
+		if t == nil {
+			return nil, fmt.Errorf("engine: no table %s", ref.Name)
+		}
+		sources = append(sources, source{ref: ref, table: t})
+	}
+	for _, j := range s.Joins {
+		t := db.tables[strings.ToLower(j.Table.Name)]
+		if t == nil {
+			return nil, fmt.Errorf("engine: no table %s", j.Table.Name)
+		}
+		sources = append(sources, source{ref: j.Table, table: t, joinType: j.Type, on: j.On})
+	}
+
+	// No FROM: evaluate the select list once against the empty env; a WHERE
+	// clause (necessarily constant) gates the single tuple.
+	if len(sources) == 0 {
+		tuples := []Env{{}}
+		if s.Where != nil {
+			v, err := Eval(s.Where, Env{})
+			if err != nil {
+				return nil, err
+			}
+			tr, err := Truth(v)
+			if err != nil {
+				return nil, err
+			}
+			if tr != True {
+				tuples = nil
+			}
+		}
+		return db.projectRows(s, tuples)
+	}
+
+	// Duplicate effective names are ambiguous.
+	seen := map[string]bool{}
+	for _, src := range sources {
+		n := strings.ToLower(src.ref.EffectiveName())
+		if seen[n] {
+			return nil, fmt.Errorf("engine: duplicate table name %s in FROM", src.ref.EffectiveName())
+		}
+		seen[n] = true
+	}
+
+	// Partition WHERE into conjuncts and attach each to the earliest join
+	// level at which all its columns are resolvable (predicate pushdown).
+	conj := sqlparser.Conjuncts(s.Where)
+	for _, src := range sources {
+		if src.joinType == "INNER" && src.on != nil {
+			conj = append(conj, sqlparser.Conjuncts(src.on)...)
+		}
+	}
+	levelOf := func(e sqlparser.Expr) int {
+		lvl := 0
+		ok := true
+		for _, c := range sqlparser.ColumnsReferenced(e) {
+			found := -1
+			for i, src := range sources {
+				env := Env{}.Bind(src.ref.EffectiveName(), src.table.Schema, nil)
+				if env.HasColumn(c) {
+					if c.Table != "" {
+						found = i
+						break
+					}
+					if found >= 0 {
+						// Unqualified and resolvable in two sources:
+						// defer to the last level so the evaluator can
+						// report ambiguity.
+						found = len(sources) - 1
+						break
+					}
+					found = i
+				}
+			}
+			if found < 0 {
+				ok = false
+				break
+			}
+			if found > lvl {
+				lvl = found
+			}
+		}
+		if !ok {
+			return len(sources) - 1 // let evaluation surface the error
+		}
+		return lvl
+	}
+	predsAt := make([][]sqlparser.Expr, len(sources))
+	for _, e := range conj {
+		lvl := levelOf(e)
+		predsAt[lvl] = append(predsAt[lvl], e)
+	}
+
+	// eqLookup finds "col = expr" predicates usable as a hash-index probe
+	// at the given level: the column belongs to sources[lvl] and is indexed,
+	// and the other side references only earlier levels.
+	type probe struct {
+		column string
+		expr   sqlparser.Expr
+	}
+	findProbe := func(lvl int) *probe {
+		src := sources[lvl]
+		selfEnv := Env{}.Bind(src.ref.EffectiveName(), src.table.Schema, nil)
+		earlierOnly := func(e sqlparser.Expr) bool {
+			for _, c := range sqlparser.ColumnsReferenced(e) {
+				resolvedEarlier := false
+				for i := 0; i < lvl; i++ {
+					env := Env{}.Bind(sources[i].ref.EffectiveName(), sources[i].table.Schema, nil)
+					if env.HasColumn(c) {
+						resolvedEarlier = true
+						break
+					}
+				}
+				if !resolvedEarlier {
+					return false
+				}
+			}
+			return true
+		}
+		for _, e := range predsAt[lvl] {
+			b, ok := stripParens(e).(*sqlparser.BinaryExpr)
+			if !ok || b.Op != sqlparser.OpEq {
+				continue
+			}
+			for _, side := range [2]struct{ col, other sqlparser.Expr }{
+				{b.Left, b.Right}, {b.Right, b.Left},
+			} {
+				c, ok := stripParens(side.col).(*sqlparser.ColumnRef)
+				if !ok || !selfEnv.HasColumn(c) {
+					continue
+				}
+				// Qualified refs must name this source; unqualified must not
+				// also resolve earlier (ambiguity).
+				if c.Table != "" && strings.ToLower(c.Table) != strings.ToLower(src.ref.EffectiveName()) {
+					continue
+				}
+				if !src.table.HasIndex(c.Column) {
+					continue
+				}
+				if earlierOnly(side.other) {
+					return &probe{column: c.Column, expr: side.other}
+				}
+			}
+		}
+		return nil
+	}
+
+	// Recursive nested-loop join producing one Env per result tuple.
+	var out []Env
+	var enumerate func(lvl int, env Env) error
+	enumerate = func(lvl int, env Env) error {
+		if lvl == len(sources) {
+			out = append(out, env)
+			return nil
+		}
+		src := sources[lvl]
+		name := src.ref.EffectiveName()
+
+		matchRow := func(r mem.Row) (bool, Env, error) {
+			rowEnv := env.Bind(name, src.table.Schema, r)
+			for _, p := range predsAt[lvl] {
+				v, err := Eval(p, rowEnv)
+				if err != nil {
+					return false, Env{}, err
+				}
+				tr, err := Truth(v)
+				if err != nil {
+					return false, Env{}, err
+				}
+				if tr != True {
+					return false, Env{}, nil
+				}
+			}
+			return true, rowEnv, nil
+		}
+
+		if src.joinType == "LEFT" {
+			// LEFT JOIN: ON evaluated per probe row; WHERE conjuncts pinned
+			// to this level still apply after null-extension.
+			matched := false
+			var innerErr error
+			src.table.Scan(func(_ int64, r mem.Row) bool {
+				rowEnv := env.Bind(name, src.table.Schema, r)
+				if src.on != nil {
+					v, err := Eval(src.on, rowEnv)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					tr, err := Truth(v)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					if tr != True {
+						return true
+					}
+				}
+				okWhere := true
+				for _, p := range predsAt[lvl] {
+					v, err := Eval(p, rowEnv)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					tr, err := Truth(v)
+					if err != nil {
+						innerErr = err
+						return false
+					}
+					if tr != True {
+						okWhere = false
+						break
+					}
+				}
+				if okWhere {
+					matched = true
+					if err := enumerate(lvl+1, rowEnv); err != nil {
+						innerErr = err
+						return false
+					}
+				}
+				return true
+			})
+			if innerErr != nil {
+				return innerErr
+			}
+			if !matched {
+				nulls := make(mem.Row, len(src.table.Schema.Columns))
+				rowEnv := env.Bind(name, src.table.Schema, nulls)
+				okWhere := true
+				for _, p := range predsAt[lvl] {
+					v, err := Eval(p, rowEnv)
+					if err != nil {
+						return err
+					}
+					tr, err := Truth(v)
+					if err != nil {
+						return err
+					}
+					if tr != True {
+						okWhere = false
+						break
+					}
+				}
+				if okWhere {
+					return enumerate(lvl+1, rowEnv)
+				}
+			}
+			return nil
+		}
+
+		// Hash-index probe when an equality predicate allows it.
+		if pr := findProbe(lvl); pr != nil {
+			v, err := Eval(pr.expr, env)
+			if err != nil {
+				return err
+			}
+			ids, _ := src.table.IndexLookup(pr.column, v)
+			for _, id := range ids {
+				r, ok := src.table.Get(id)
+				if !ok {
+					continue
+				}
+				match, rowEnv, err := matchRow(r)
+				if err != nil {
+					return err
+				}
+				if match {
+					if err := enumerate(lvl+1, rowEnv); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		}
+
+		var innerErr error
+		src.table.Scan(func(_ int64, r mem.Row) bool {
+			match, rowEnv, err := matchRow(r)
+			if err != nil {
+				innerErr = err
+				return false
+			}
+			if match {
+				if err := enumerate(lvl+1, rowEnv); err != nil {
+					innerErr = err
+					return false
+				}
+			}
+			return true
+		})
+		return innerErr
+	}
+	if err := enumerate(0, Env{}); err != nil {
+		return nil, err
+	}
+	return db.projectRows(s, out)
+}
+
+func stripParens(e sqlparser.Expr) sqlparser.Expr {
+	for {
+		p, ok := e.(*sqlparser.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// hasAggregate reports whether any select item or HAVING uses an aggregate.
+func hasAggregate(s *sqlparser.SelectStmt) bool {
+	found := false
+	check := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncExpr); ok && f.IsAggregate() {
+				found = true
+				return false
+			}
+			return true
+		})
+	}
+	for _, it := range s.Items {
+		if it.Expr != nil {
+			check(it.Expr)
+		}
+	}
+	if s.Having != nil {
+		check(s.Having)
+	}
+	return found
+}
+
+// projectRows applies aggregation, projection, DISTINCT, ORDER BY and
+// LIMIT/OFFSET to the joined tuples.
+func (db *Database) projectRows(s *sqlparser.SelectStmt, tuples []Env) (*Result, error) {
+	if len(s.GroupBy) > 0 || hasAggregate(s) {
+		return db.projectAggregate(s, tuples)
+	}
+
+	cols, err := db.outputColumns(s, tuples)
+	if err != nil {
+		return nil, err
+	}
+
+	type outRow struct {
+		row  mem.Row
+		sort mem.Row // ORDER BY key values
+	}
+	var rows []outRow
+	for _, env := range tuples {
+		r, err := projectOne(s, env)
+		if err != nil {
+			return nil, err
+		}
+		or := outRow{row: r}
+		for _, o := range s.OrderBy {
+			v, err := evalOrderKey(o.Expr, env, s, r, cols)
+			if err != nil {
+				return nil, err
+			}
+			or.sort = append(or.sort, v)
+		}
+		rows = append(rows, or)
+	}
+
+	if s.Distinct {
+		seen := map[string]bool{}
+		kept := rows[:0]
+		for _, r := range rows {
+			k := r.row.Key()
+			if !seen[k] {
+				seen[k] = true
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	if len(s.OrderBy) > 0 {
+		var sortErr error
+		sort.SliceStable(rows, func(i, j int) bool {
+			less, err := orderLess(rows[i].sort, rows[j].sort, s.OrderBy)
+			if err != nil && sortErr == nil {
+				sortErr = err
+			}
+			return less
+		})
+		if sortErr != nil {
+			return nil, sortErr
+		}
+	}
+
+	final := make([]mem.Row, len(rows))
+	for i, r := range rows {
+		final[i] = r.row
+	}
+	final, err = applyLimit(s, final)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: cols, Rows: final}, nil
+}
+
+// outputColumns computes the result column names. Star expansion uses the
+// FROM tables' schemas in order.
+func (db *Database) outputColumns(s *sqlparser.SelectStmt, tuples []Env) ([]string, error) {
+	var cols []string
+	for _, it := range s.Items {
+		switch {
+		case it.Star:
+			refs := s.Tables()
+			for _, ref := range refs {
+				if it.StarTable != "" && !strings.EqualFold(it.StarTable, ref.EffectiveName()) {
+					continue
+				}
+				t := db.tables[strings.ToLower(ref.Name)]
+				if t == nil {
+					return nil, fmt.Errorf("engine: no table %s", ref.Name)
+				}
+				cols = append(cols, t.Schema.ColumnNames()...)
+			}
+		case it.Alias != "":
+			cols = append(cols, it.Alias)
+		default:
+			if c, ok := it.Expr.(*sqlparser.ColumnRef); ok {
+				cols = append(cols, c.Column)
+			} else {
+				cols = append(cols, it.Expr.String())
+			}
+		}
+	}
+	return cols, nil
+}
+
+// projectOne evaluates the select list for one joined tuple.
+func projectOne(s *sqlparser.SelectStmt, env Env) (mem.Row, error) {
+	var row mem.Row
+	for _, it := range s.Items {
+		if it.Star {
+			for _, b := range env.bindings {
+				if it.StarTable != "" && !strings.EqualFold(it.StarTable, b.name) {
+					continue
+				}
+				row = append(row, b.row...)
+			}
+			continue
+		}
+		v, err := Eval(it.Expr, env)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+	}
+	return row, nil
+}
+
+// evalOrderKey evaluates an ORDER BY key: aliases and output column names
+// refer to projected values; everything else evaluates in the row env.
+func evalOrderKey(e sqlparser.Expr, env Env, s *sqlparser.SelectStmt, projected mem.Row, cols []string) (mem.Value, error) {
+	if c, ok := e.(*sqlparser.ColumnRef); ok && c.Table == "" {
+		for i, name := range cols {
+			if strings.EqualFold(name, c.Column) && i < len(projected) {
+				return projected[i], nil
+			}
+		}
+	}
+	return Eval(e, env)
+}
+
+// orderLess compares two ORDER BY key tuples. NULLs sort first ascending.
+func orderLess(a, b mem.Row, keys []sqlparser.OrderItem) (bool, error) {
+	for i := range keys {
+		av, bv := a[i], b[i]
+		if av.IsNull() && bv.IsNull() {
+			continue
+		}
+		if av.IsNull() {
+			return !keys[i].Desc, nil
+		}
+		if bv.IsNull() {
+			return keys[i].Desc, nil
+		}
+		c, err := mem.Compare(av, bv)
+		if err != nil {
+			return false, fmt.Errorf("engine: ORDER BY: %w", err)
+		}
+		if c == 0 {
+			continue
+		}
+		if keys[i].Desc {
+			return c > 0, nil
+		}
+		return c < 0, nil
+	}
+	return false, nil
+}
+
+func applyLimit(s *sqlparser.SelectStmt, rows []mem.Row) ([]mem.Row, error) {
+	off := 0
+	if s.Offset != nil {
+		v, err := Eval(s.Offset, Env{})
+		if err != nil || v.Kind != mem.KindInt || v.I < 0 {
+			return nil, fmt.Errorf("engine: OFFSET must be a non-negative integer")
+		}
+		off = int(v.I)
+	}
+	if off >= len(rows) {
+		return nil, nil
+	}
+	rows = rows[off:]
+	if s.Limit != nil {
+		v, err := Eval(s.Limit, Env{})
+		if err != nil || v.Kind != mem.KindInt || v.I < 0 {
+			return nil, fmt.Errorf("engine: LIMIT must be a non-negative integer")
+		}
+		if int(v.I) < len(rows) {
+			rows = rows[:v.I]
+		}
+	}
+	return rows, nil
+}

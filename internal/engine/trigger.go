@@ -1,0 +1,96 @@
+package engine
+
+import (
+	"strings"
+	"sync"
+)
+
+// Trigger support exists to implement the paper's *rejected* design
+// alternative (§4: "embed, into the database, update sensitive triggers
+// which generate invalidation messages") as a measurable baseline. Triggers
+// run synchronously inside the DML critical section — which is precisely
+// the "heavy trigger management burden on the database" the paper argues
+// against; BenchmarkTriggerOverhead quantifies it.
+
+// TriggerFunc observes one row-level change. It runs while the database's
+// write lock is held: anything slow here stalls all other writers and
+// readers, exactly as DBMS-resident trigger work would.
+type TriggerFunc func(rec UpdateRecord)
+
+type triggerSet struct {
+	mu   sync.RWMutex
+	next int64
+	// byTable maps lower-cased table name → trigger id → fn. Empty-string
+	// key holds wildcard triggers (fire on every table).
+	byTable map[string]map[int64]TriggerFunc
+}
+
+func (t *triggerSet) add(table string, fn TriggerFunc) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.byTable == nil {
+		t.byTable = make(map[string]map[int64]TriggerFunc)
+	}
+	key := strings.ToLower(table)
+	set, ok := t.byTable[key]
+	if !ok {
+		set = make(map[int64]TriggerFunc)
+		t.byTable[key] = set
+	}
+	t.next++
+	set[t.next] = fn
+	return t.next
+}
+
+func (t *triggerSet) remove(id int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for key, set := range t.byTable {
+		if _, ok := set[id]; ok {
+			delete(set, id)
+			if len(set) == 0 {
+				delete(t.byTable, key)
+			}
+			return
+		}
+	}
+}
+
+func (t *triggerSet) fire(rec UpdateRecord) {
+	t.mu.RLock()
+	var fns []TriggerFunc
+	for _, fn := range t.byTable[strings.ToLower(rec.Table)] {
+		fns = append(fns, fn)
+	}
+	for _, fn := range t.byTable[""] {
+		fns = append(fns, fn)
+	}
+	t.mu.RUnlock()
+	for _, fn := range fns {
+		fn(rec)
+	}
+}
+
+func (t *triggerSet) empty() bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.byTable) == 0
+}
+
+// AddTrigger registers fn to run synchronously for every change to table
+// ("" = every table). It returns an id for RemoveTrigger.
+func (db *Database) AddTrigger(table string, fn TriggerFunc) int64 {
+	return db.triggers.add(table, fn)
+}
+
+// RemoveTrigger unregisters a trigger by id; unknown ids are ignored.
+func (db *Database) RemoveTrigger(id int64) { db.triggers.remove(id) }
+
+// logAndFire appends rec to the update log and fires matching triggers
+// synchronously (inside the caller's critical section).
+func (db *Database) logAndFire(rec UpdateRecord) {
+	db.log.Append(rec)
+	if !db.triggers.empty() {
+		db.triggers.fire(rec)
+	}
+}

@@ -1,0 +1,172 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestTriggersFireOnDML(t *testing.T) {
+	db := newCarDB(t)
+	var seen []UpdateRecord
+	id := db.AddTrigger("Car", func(rec UpdateRecord) { seen = append(seen, rec) })
+
+	mustQuery(t, db, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	mustQuery(t, db, "UPDATE Car SET price = 13000 WHERE model = 'Rio'")
+	mustQuery(t, db, "DELETE FROM Car WHERE model = 'Rio'")
+	mustQuery(t, db, "INSERT INTO Mileage VALUES ('Rio', 35)") // other table: no fire
+
+	// insert(1) + update(2) + delete(1) = 4 records, all for Car.
+	if len(seen) != 4 {
+		t.Fatalf("fired %d times: %+v", len(seen), seen)
+	}
+	ops := []UpdateOp{OpInsert, OpDelete, OpInsert, OpDelete}
+	for i, want := range ops {
+		if seen[i].Op != want || seen[i].Table != "Car" {
+			t.Fatalf("record %d: %+v", i, seen[i])
+		}
+	}
+	if seen[0].Op.String() != "INSERT" || seen[1].Op.String() != "DELETE" {
+		t.Fatal("op names")
+	}
+
+	db.RemoveTrigger(id)
+	mustQuery(t, db, "INSERT INTO Car VALUES ('Fiat', '500', 16000)")
+	if len(seen) != 4 {
+		t.Fatal("removed trigger fired")
+	}
+	db.RemoveTrigger(9999) // unknown id: no-op
+}
+
+func TestWildcardTrigger(t *testing.T) {
+	db := newCarDB(t)
+	n := 0
+	db.AddTrigger("", func(UpdateRecord) { n++ })
+	mustQuery(t, db, "INSERT INTO Car VALUES ('A', 'B', 1)")
+	mustQuery(t, db, "INSERT INTO Mileage VALUES ('B', 1)")
+	if n != 2 {
+		t.Fatalf("fired %d", n)
+	}
+}
+
+func TestMultipleTriggersSameTable(t *testing.T) {
+	db := newCarDB(t)
+	a, b := 0, 0
+	db.AddTrigger("car", func(UpdateRecord) { a++ }) // case-insensitive
+	db.AddTrigger("Car", func(UpdateRecord) { b++ })
+	mustQuery(t, db, "INSERT INTO Car VALUES ('A', 'B', 1)")
+	if a != 1 || b != 1 {
+		t.Fatalf("a=%d b=%d", a, b)
+	}
+}
+
+func TestThreeValuedLogicEdges(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT, b TEXT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (1, 'x'), (NULL, 'y'), (3, NULL)")
+
+	// OR with NULL: true OR unknown = true.
+	res := mustQuery(t, db, "SELECT b FROM t WHERE a = 1 OR a > 100")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// unknown OR true = true (row with NULL a still matches via b).
+	res = mustQuery(t, db, "SELECT b FROM t WHERE a > 100 OR b = 'y'")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "y" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// NOT NULL-comparison stays unknown → filtered.
+	res = mustQuery(t, db, "SELECT b FROM t WHERE NOT (a > 0)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Unary minus over NULL and float.
+	res = mustQuery(t, db, "SELECT -a FROM t WHERE b = 'y'")
+	if !res.Rows[0][0].IsNull() {
+		t.Fatalf("-NULL: %v", res.Rows[0][0])
+	}
+	res = mustQuery(t, db, "SELECT -(1.5)")
+	if res.Rows[0][0] != mem.Float(-1.5) {
+		t.Fatalf("-float: %v", res.Rows[0][0])
+	}
+	// Negating a string errors.
+	if _, err := db.ExecSQL("SELECT -b FROM t"); err == nil {
+		t.Fatal("want error")
+	}
+	// Non-boolean condition errors.
+	if _, err := db.ExecSQL("SELECT * FROM t WHERE a + 1"); err == nil {
+		t.Fatal("want condition-type error")
+	}
+}
+
+func TestBetweenAndLikeEdges(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT, s TEXT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (5, 'hello'), (NULL, 'world'), (7, NULL)")
+
+	// BETWEEN with NULL operand → unknown → filtered.
+	res := mustQuery(t, db, "SELECT s FROM t WHERE a BETWEEN 1 AND 10")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT a FROM t WHERE s LIKE '%orl%'")
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// LIKE with NULL → filtered, no error.
+	res = mustQuery(t, db, "SELECT a FROM t WHERE s LIKE 'h%'")
+	if len(res.Rows) != 1 || res.Rows[0][0] != mem.Int(5) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// LIKE over non-strings errors.
+	if _, err := db.ExecSQL("SELECT * FROM t WHERE a LIKE 'x'"); err == nil {
+		t.Fatal("want error")
+	}
+	// BETWEEN over incomparable kinds errors.
+	if _, err := db.ExecSQL("SELECT * FROM t WHERE a BETWEEN 'a' AND 'z'"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestHavingWithLogicAndNot(t *testing.T) {
+	db := newCarDB(t)
+	// Toyota: count 2 → true; Mitsubishi: count 1, min 18000 → false.
+	res := mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker HAVING COUNT(*) > 1 OR MIN(price) < 16000")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Toyota" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// OR succeeding through the right side for both groups.
+	res = mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker HAVING COUNT(*) > 5 OR MIN(price) < 19000 ORDER BY maker")
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker HAVING NOT (COUNT(*) > 1)")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Mitsubishi" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker HAVING COUNT(*) > 1 AND MAX(price) > 20000")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Toyota" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	// Arithmetic over aggregates in HAVING.
+	res = mustQuery(t, db, "SELECT maker FROM Car GROUP BY maker HAVING SUM(price) / COUNT(*) > 19000")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Toyota" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}
+
+func TestOrderByNulls(t *testing.T) {
+	db := NewDatabase()
+	mustQuery(t, db, "CREATE TABLE t (a INT)")
+	mustQuery(t, db, "INSERT INTO t VALUES (2), (NULL), (1), (NULL)")
+	res := mustQuery(t, db, "SELECT a FROM t ORDER BY a")
+	// NULLs first ascending.
+	if !res.Rows[0][0].IsNull() || !res.Rows[1][0].IsNull() ||
+		res.Rows[2][0] != mem.Int(1) || res.Rows[3][0] != mem.Int(2) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	res = mustQuery(t, db, "SELECT a FROM t ORDER BY a DESC")
+	if res.Rows[0][0] != mem.Int(2) || !res.Rows[3][0].IsNull() {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}

@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// UpdateOp distinguishes the two primitive changes in the update log. An SQL
+// UPDATE appears as a delete of the old row followed by an insert of the new
+// one, which is exactly the Δ⁻R / Δ⁺R decomposition the invalidator consumes
+// (paper §4.2.1).
+type UpdateOp int
+
+// Update operations.
+const (
+	OpInsert UpdateOp = iota
+	OpDelete
+)
+
+// String names the operation ("INSERT" or "DELETE").
+func (op UpdateOp) String() string {
+	if op == OpInsert {
+		return "INSERT"
+	}
+	return "DELETE"
+}
+
+// UpdateRecord is one entry of the database update log.
+type UpdateRecord struct {
+	LSN     int64 // monotonically increasing log sequence number, from 1
+	Time    time.Time
+	Table   string // table name as created (original case)
+	Op      UpdateOp
+	Columns []string // schema column names at the time of the change
+	Row     mem.Row  // full image of the inserted/deleted row
+}
+
+// UpdateLog is an append-only, bounded-memory log of row-level changes.
+// Readers poll with Since; the log retains at most Capacity records (old
+// records are discarded, and readers that fell behind can detect truncation
+// by comparing the first returned LSN with the one they asked for).
+type UpdateLog struct {
+	mu       sync.Mutex
+	recs     []UpdateRecord
+	firstLSN int64 // LSN of recs[0]
+	nextLSN  int64
+	capacity int
+}
+
+// DefaultLogCapacity bounds update log memory when no capacity is given.
+const DefaultLogCapacity = 1 << 16
+
+// NewUpdateLog creates a log retaining at most capacity records
+// (DefaultLogCapacity if capacity <= 0).
+func NewUpdateLog(capacity int) *UpdateLog {
+	if capacity <= 0 {
+		capacity = DefaultLogCapacity
+	}
+	return &UpdateLog{firstLSN: 1, nextLSN: 1, capacity: capacity}
+}
+
+// Append adds a record, assigning its LSN, and returns that LSN.
+func (l *UpdateLog) Append(rec UpdateRecord) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	rec.LSN = l.nextLSN
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	l.nextLSN++
+	l.recs = append(l.recs, rec)
+	// Trim in half-capacity batches so appends stay amortized O(1): between
+	// Capacity and 1.5×Capacity records are retained at any time.
+	if over := len(l.recs) - l.capacity*3/2; over > 0 {
+		drop := len(l.recs) - l.capacity
+		l.recs = append(l.recs[:0:0], l.recs[drop:]...)
+		l.firstLSN += int64(drop)
+	}
+	return rec.LSN
+}
+
+// NextLSN returns the LSN the next appended record will receive.
+func (l *UpdateLog) NextLSN() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Since returns a copy of all records with LSN >= lsn, plus truncated=true
+// when records at or after lsn have already been discarded (the caller
+// missed changes and must fall back to conservative behaviour).
+func (l *UpdateLog) Since(lsn int64) (recs []UpdateRecord, truncated bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lsn < 1 {
+		lsn = 1
+	}
+	truncated = lsn < l.firstLSN
+	start := lsn - l.firstLSN
+	if start < 0 {
+		start = 0
+	}
+	if start >= int64(len(l.recs)) {
+		return nil, truncated
+	}
+	out := make([]UpdateRecord, int64(len(l.recs))-start)
+	copy(out, l.recs[start:])
+	return out, truncated
+}
+
+// Delta groups a batch of update records into per-relation Δ⁺ (inserts) and
+// Δ⁻ (deletes) tables, the form §4.2.1 prescribes for group processing.
+type Delta struct {
+	Table   string
+	Columns []string
+	Plus    []mem.Row // Δ⁺R: inserted rows
+	Minus   []mem.Row // Δ⁻R: deleted rows
+}
+
+// BuildDeltas partitions records by table, preserving first-appearance
+// order of tables. Table-name matching is case-insensitive; the first
+// record's spelling and column set win.
+func BuildDeltas(recs []UpdateRecord) []*Delta {
+	var order []string
+	byTable := map[string]*Delta{}
+	for _, rec := range recs {
+		key := lowerName(rec.Table)
+		d, ok := byTable[key]
+		if !ok {
+			d = &Delta{Table: rec.Table, Columns: rec.Columns}
+			byTable[key] = d
+			order = append(order, key)
+		}
+		if rec.Op == OpInsert {
+			d.Plus = append(d.Plus, rec.Row)
+		} else {
+			d.Minus = append(d.Minus, rec.Row)
+		}
+	}
+	out := make([]*Delta, len(order))
+	for i, k := range order {
+		out[i] = byTable[k]
+	}
+	return out
+}
+
+func lowerName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestUpdateLogAppendSince(t *testing.T) {
+	l := NewUpdateLog(0)
+	for i := 0; i < 5; i++ {
+		lsn := l.Append(UpdateRecord{Table: "t", Op: OpInsert, Row: mem.Row{mem.Int(int64(i))}})
+		if lsn != int64(i+1) {
+			t.Fatalf("lsn %d, want %d", lsn, i+1)
+		}
+	}
+	recs, trunc := l.Since(3)
+	if trunc || len(recs) != 3 || recs[0].LSN != 3 {
+		t.Fatalf("since(3): %v trunc=%v", recs, trunc)
+	}
+	recs, trunc = l.Since(0)
+	if trunc || len(recs) != 5 {
+		t.Fatalf("since(0): %d trunc=%v", len(recs), trunc)
+	}
+	recs, _ = l.Since(99)
+	if len(recs) != 0 {
+		t.Fatalf("since(99): %v", recs)
+	}
+	if l.NextLSN() != 6 {
+		t.Fatalf("next lsn %d", l.NextLSN())
+	}
+}
+
+func TestUpdateLogTruncation(t *testing.T) {
+	l := NewUpdateLog(3)
+	for i := 0; i < 10; i++ {
+		l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+	}
+	recs, trunc := l.Since(1)
+	if !trunc {
+		t.Fatal("want truncated")
+	}
+	// Amortized trimming retains between Capacity and 1.5×Capacity records,
+	// always the newest, contiguous through LSN 10.
+	if len(recs) < 3 || len(recs) > 5 || recs[len(recs)-1].LSN != 10 {
+		t.Fatalf("recs: %+v", recs)
+	}
+	first := recs[0].LSN
+	for i, r := range recs {
+		if r.LSN != first+int64(i) {
+			t.Fatalf("gap at %d: %+v", i, recs)
+		}
+	}
+	// Reading from the retained region is not flagged truncated.
+	recs2, trunc := l.Since(first)
+	if trunc || len(recs2) != len(recs) {
+		t.Fatalf("since(%d): %d trunc=%v", first, len(recs2), trunc)
+	}
+}
+
+func TestUpdateLogConcurrentAppend(t *testing.T) {
+	l := NewUpdateLog(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+			}
+		}()
+	}
+	wg.Wait()
+	recs, _ := l.Since(1)
+	if len(recs) != 800 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != int64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+func TestDMLWritesLog(t *testing.T) {
+	db := newCarDB(t)
+	start := db.Log().NextLSN()
+	mustQuery(t, db, "INSERT INTO Car VALUES ('Ford', 'Focus', 17000)")
+	mustQuery(t, db, "UPDATE Car SET price = 16000 WHERE model = 'Focus'")
+	mustQuery(t, db, "DELETE FROM Car WHERE model = 'Focus'")
+	recs, _ := db.Log().Since(start)
+	// insert(1) + update(delete+insert=2) + delete(1) = 4
+	if len(recs) != 4 {
+		t.Fatalf("got %d records: %+v", len(recs), recs)
+	}
+	ops := []UpdateOp{OpInsert, OpDelete, OpInsert, OpDelete}
+	for i, want := range ops {
+		if recs[i].Op != want {
+			t.Fatalf("record %d op %v, want %v", i, recs[i].Op, want)
+		}
+		if recs[i].Table != "Car" {
+			t.Fatalf("record %d table %q", i, recs[i].Table)
+		}
+	}
+	// The update's delta carries full old and new images.
+	if recs[1].Row[2] != mem.Float(17000) || recs[2].Row[2] != mem.Float(16000) {
+		t.Fatalf("update images: %v / %v", recs[1].Row, recs[2].Row)
+	}
+}
+
+func TestLogRowsAreImmutableSnapshots(t *testing.T) {
+	db := newCarDB(t)
+	start := db.Log().NextLSN()
+	mustQuery(t, db, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	mustQuery(t, db, "UPDATE Car SET price = 99999 WHERE model = 'Rio'")
+	recs, _ := db.Log().Since(start)
+	if recs[0].Row[2] != mem.Float(12000) {
+		t.Fatalf("insert image mutated: %v", recs[0].Row)
+	}
+}
+
+func TestBuildDeltas(t *testing.T) {
+	recs := []UpdateRecord{
+		{Table: "Car", Op: OpInsert, Columns: []string{"a"}, Row: mem.Row{mem.Int(1)}},
+		{Table: "Mileage", Op: OpDelete, Columns: []string{"b"}, Row: mem.Row{mem.Int(2)}},
+		{Table: "car", Op: OpDelete, Columns: []string{"a"}, Row: mem.Row{mem.Int(3)}},
+		{Table: "Car", Op: OpInsert, Columns: []string{"a"}, Row: mem.Row{mem.Int(4)}},
+	}
+	deltas := BuildDeltas(recs)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas: %+v", deltas)
+	}
+	car := deltas[0]
+	if car.Table != "Car" || len(car.Plus) != 2 || len(car.Minus) != 1 {
+		t.Fatalf("car delta: %+v", car)
+	}
+	if deltas[1].Table != "Mileage" || len(deltas[1].Minus) != 1 {
+		t.Fatalf("mileage delta: %+v", deltas[1])
+	}
+}
+
+func TestBuildDeltasEmpty(t *testing.T) {
+	if d := BuildDeltas(nil); len(d) != 0 {
+		t.Fatalf("got %v", d)
+	}
+}

@@ -1,0 +1,410 @@
+package invalidator
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// This file implements the update/query independence analysis of Example
+// 4.1, generalized:
+//
+// For a query type Q over tables R₁…Rₙ with condition C (WHERE plus INNER
+// JOIN ON conjuncts) and a delta tuple t ∈ Δ±Rᵢ, the top-level conjuncts of
+// C are classified per occurrence of Rᵢ:
+//
+//   - local    — references only the occurrence: evaluable immediately once
+//                t is bound. Any false/unknown local conjunct proves t
+//                cannot join into the result through this occurrence.
+//   - external — references no occurrence columns: becomes part of the
+//                polling query unchanged.
+//   - mixed    — references the occurrence and other tables: t's values are
+//                substituted for the occurrence's columns, the residue goes
+//                into the polling query.
+//
+// If after local evaluation no residual conjuncts remain, the impact is
+// decided without touching the DBMS. Otherwise the polling query
+//
+//	SELECT <cols needed by parameterized residue> FROM <other tables>
+//	WHERE <substituted residue>
+//
+// decides it (non-empty ⇒ invalidate). Conjuncts with placeholders are kept
+// separate so all instances of a type share one polling query per delta
+// tuple and are finished client-side (the §4.1.2/§4.2.1 group processing).
+//
+// Anything the analysis cannot see through — LEFT JOINs, ambiguous
+// unqualified columns, unevaluable expressions — degrades to conservative
+// invalidation, never to staleness.
+
+// tablePlan is the cached decomposition of a query type with respect to
+// deltas on one table (identified by name + column fingerprint).
+type tablePlan struct {
+	conservative bool // treat any delta tuple as impact
+	occurrences  []*occurrencePlan
+}
+
+// occurrencePlan is the decomposition for one occurrence of the delta table
+// in the FROM list.
+type occurrencePlan struct {
+	name         string // effective (alias or table) name, original case
+	conservative bool   // unanalyzable conjunct ⇒ impact for any tuple
+
+	localConst    []sqlparser.Expr // local, fully bound
+	localParam    []sqlparser.Expr // local, contains placeholders
+	residualConst []sqlparser.Expr // needs substitution of occurrence refs
+	residualParam []sqlparser.Expr // same, and contains placeholders
+
+	// otherTables is the FROM list of the polling query: every table of the
+	// query except this occurrence.
+	otherTables []sqlparser.TableRef
+	// residualCols are the non-occurrence column refs appearing in
+	// residualParam; the polling query selects them so instance-specific
+	// predicates can be finished client-side.
+	residualCols []*sqlparser.ColumnRef
+}
+
+// colFingerprint identifies a delta table's schema variant.
+func colFingerprint(columns []string) string {
+	return strings.ToLower(strings.Join(columns, ","))
+}
+
+// planFor returns (building and caching on demand) the plan of qt for
+// deltas on table with the given columns.
+func (qt *QueryType) planFor(table string, columns []string) *tablePlan {
+	key := strings.ToLower(table) + "|" + colFingerprint(columns)
+	if p, ok := qt.plans[key]; ok {
+		return p
+	}
+	p := buildTablePlan(qt.Template, table, columns)
+	qt.plans[key] = p
+	return p
+}
+
+// buildTablePlan decomposes the template's condition for deltas on table.
+func buildTablePlan(tmpl *sqlparser.SelectStmt, table string, columns []string) *tablePlan {
+	plan := &tablePlan{}
+
+	// LEFT JOIN null-extension makes membership non-monotone in ways the
+	// conjunct analysis does not model; be conservative for the whole type.
+	for _, j := range tmpl.Joins {
+		if j.Type == "LEFT" {
+			plan.conservative = true
+			return plan
+		}
+	}
+
+	all := tmpl.Tables()
+	colSet := make(map[string]bool, len(columns))
+	for _, c := range columns {
+		colSet[strings.ToLower(c)] = true
+	}
+
+	// Combined condition: WHERE plus INNER JOIN ONs.
+	var conj []sqlparser.Expr
+	conj = append(conj, sqlparser.Conjuncts(tmpl.Where)...)
+	for _, j := range tmpl.Joins {
+		if j.Type == "INNER" && j.On != nil {
+			conj = append(conj, sqlparser.Conjuncts(j.On)...)
+		}
+	}
+
+	for occIdx, ref := range all {
+		if !strings.EqualFold(ref.Name, table) {
+			continue
+		}
+		occ := &occurrencePlan{name: ref.EffectiveName()}
+		for otherIdx, other := range all {
+			if otherIdx != occIdx {
+				occ.otherTables = append(occ.otherTables, other)
+			}
+		}
+
+		for _, c := range conj {
+			kind := classifyConjunct(c, occ.name, all, occIdx, colSet)
+			hasParam := containsPlaceholder(c)
+			switch kind {
+			case conjLocal:
+				if hasParam {
+					occ.localParam = append(occ.localParam, c)
+				} else {
+					occ.localConst = append(occ.localConst, c)
+				}
+			case conjExternal, conjMixed:
+				if hasParam {
+					occ.residualParam = append(occ.residualParam, c)
+				} else {
+					occ.residualConst = append(occ.residualConst, c)
+				}
+			default: // conjUnknown
+				occ.conservative = true
+			}
+		}
+
+		if !occ.conservative {
+			occ.residualCols = collectExternalRefs(occ.residualParam, occ.name, colSet, len(all) == 1)
+		}
+		plan.occurrences = append(plan.occurrences, occ)
+	}
+	return plan
+}
+
+type conjKind int
+
+const (
+	conjLocal conjKind = iota
+	conjExternal
+	conjMixed
+	conjUnknown
+)
+
+// classifyConjunct decides where a conjunct's column references live with
+// respect to the delta occurrence. occName is the occurrence's effective
+// name; all/occIdx give the query's full table list; deltaCols the delta
+// table's columns (lower-cased).
+func classifyConjunct(c sqlparser.Expr, occName string, all []sqlparser.TableRef, occIdx int, deltaCols map[string]bool) conjKind {
+	refs := sqlparser.ColumnsReferenced(c)
+	if len(refs) == 0 {
+		return conjLocal // constant condition: evaluable without any table
+	}
+	sawLocal, sawExternal := false, false
+	for _, ref := range refs {
+		switch ownerOfRef(ref, occName, all, occIdx, deltaCols) {
+		case ownerLocal:
+			sawLocal = true
+		case ownerExternal:
+			sawExternal = true
+		default:
+			return conjUnknown
+		}
+	}
+	switch {
+	case sawLocal && sawExternal:
+		return conjMixed
+	case sawLocal:
+		return conjLocal
+	default:
+		return conjExternal
+	}
+}
+
+type refOwner int
+
+const (
+	ownerLocal refOwner = iota
+	ownerExternal
+	ownerUnknown
+)
+
+// ownerOfRef resolves which table a column reference belongs to, knowing
+// only the delta table's schema.
+func ownerOfRef(ref *sqlparser.ColumnRef, occName string, all []sqlparser.TableRef, occIdx int, deltaCols map[string]bool) refOwner {
+	if ref.Table != "" {
+		if strings.EqualFold(ref.Table, occName) {
+			return ownerLocal
+		}
+		for i, t := range all {
+			if i != occIdx && strings.EqualFold(ref.Table, t.EffectiveName()) {
+				return ownerExternal
+			}
+		}
+		return ownerUnknown
+	}
+	// Unqualified.
+	if !deltaCols[strings.ToLower(ref.Column)] {
+		if len(all) == 1 {
+			// Single-table query referencing a column the delta record
+			// does not carry: schema mismatch — cannot analyze.
+			return ownerUnknown
+		}
+		// Not a delta column: must belong to some other table (the query
+		// executed successfully, so it resolves somewhere).
+		return ownerExternal
+	}
+	if len(all) == 1 {
+		return ownerLocal
+	}
+	// Could belong to the delta table or share a name with another table's
+	// column — unresolvable without the other schemas.
+	return ownerUnknown
+}
+
+func containsPlaceholder(e sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if _, ok := x.(*sqlparser.Placeholder); ok {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// collectExternalRefs gathers the distinct non-occurrence column refs in
+// the parameterized residual conjuncts.
+func collectExternalRefs(exprs []sqlparser.Expr, occName string, deltaCols map[string]bool, singleTable bool) []*sqlparser.ColumnRef {
+	var out []*sqlparser.ColumnRef
+	seen := map[string]bool{}
+	for _, e := range exprs {
+		for _, ref := range sqlparser.ColumnsReferenced(e) {
+			local := false
+			if ref.Table != "" {
+				local = strings.EqualFold(ref.Table, occName)
+			} else {
+				local = deltaCols[strings.ToLower(ref.Column)] && singleTable
+			}
+			if local {
+				continue
+			}
+			key := strings.ToLower(ref.Table) + "." + strings.ToLower(ref.Column)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, &sqlparser.ColumnRef{Table: ref.Table, Column: ref.Column})
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Tuple-time evaluation
+// ---------------------------------------------------------------------------
+
+// deltaEnv builds an evaluation environment binding the occurrence name to
+// the delta tuple.
+func deltaEnv(occName string, columns []string, row mem.Row) (engine.Env, error) {
+	cols := make([]mem.Column, len(columns))
+	for i, c := range columns {
+		cols[i] = mem.Column{Name: c, Type: sqlparser.TypeString}
+	}
+	schema, err := mem.NewSchema(occName, cols)
+	if err != nil {
+		return engine.Env{}, err
+	}
+	return engine.Env{}.Bind(occName, schema, row), nil
+}
+
+// evalLocal evaluates a local conjunct against the delta tuple. It returns
+// (true, nil) when the conjunct is satisfied; (false, nil) when it is false
+// or unknown (tuple cannot match); an error when evaluation failed (caller
+// goes conservative). NOTE: column types in the synthetic schema are
+// irrelevant — evaluation dispatches on the values' own kinds.
+func evalLocal(c sqlparser.Expr, env engine.Env) (bool, error) {
+	v, err := engine.Eval(c, env)
+	if err != nil {
+		return false, err
+	}
+	t, err := engine.Truth(v)
+	if err != nil {
+		return false, err
+	}
+	return t == engine.True, nil
+}
+
+// substituteOccurrence replaces every column reference belonging to the
+// occurrence with the delta tuple's literal value.
+func substituteOccurrence(e sqlparser.Expr, occName string, columns []string, row mem.Row, singleTable bool) sqlparser.Expr {
+	colIdx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		colIdx[strings.ToLower(c)] = i
+	}
+	return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+		ref, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil
+		}
+		isLocal := false
+		if ref.Table != "" {
+			isLocal = strings.EqualFold(ref.Table, occName)
+		} else {
+			_, isDelta := colIdx[strings.ToLower(ref.Column)]
+			isLocal = isDelta && singleTable
+		}
+		if !isLocal {
+			return nil
+		}
+		i, ok := colIdx[strings.ToLower(ref.Column)]
+		if !ok {
+			// Reference to a column the delta record does not carry —
+			// cannot substitute; the polling query will fail and the
+			// caller invalidates conservatively.
+			return nil
+		}
+		return row[i].Literal()
+	})
+}
+
+// bindPlaceholders replaces placeholders by ordinal with the instance's
+// argument literals.
+func bindPlaceholders(e sqlparser.Expr, args []mem.Value) sqlparser.Expr {
+	return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+		ph, ok := x.(*sqlparser.Placeholder)
+		if !ok {
+			return nil
+		}
+		if ph.Ordinal < 1 || ph.Ordinal > len(args) {
+			return nil // left unbound; evaluation will error → conservative
+		}
+		return args[ph.Ordinal-1].Literal()
+	})
+}
+
+// substituteRefs replaces the given column refs with literal values (used
+// to finish parameterized residual conjuncts against polling result rows).
+func substituteRefs(e sqlparser.Expr, refs []*sqlparser.ColumnRef, vals mem.Row) sqlparser.Expr {
+	return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+		ref, ok := x.(*sqlparser.ColumnRef)
+		if !ok {
+			return nil
+		}
+		for i, want := range refs {
+			if strings.EqualFold(ref.Table, want.Table) && strings.EqualFold(ref.Column, want.Column) {
+				return vals[i].Literal()
+			}
+		}
+		return nil
+	})
+}
+
+// buildPollSQL renders the polling query for one occurrence and delta
+// tuple: substituted residual-const conjuncts over the other tables,
+// selecting the columns parameterized residues need. existenceOnly adds
+// LIMIT 1.
+func buildPollSQL(occ *occurrencePlan, columns []string, row mem.Row, singleTable bool) (string, bool) {
+	existenceOnly := len(occ.residualParam) == 0
+
+	sel := &sqlparser.SelectStmt{}
+	if existenceOnly {
+		sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
+		sel.Limit = &sqlparser.IntLit{Value: 1}
+	} else {
+		sel.Distinct = true
+		for _, ref := range occ.residualCols {
+			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: ref.Table, Column: ref.Column}})
+		}
+		if len(sel.Items) == 0 {
+			sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
+		}
+	}
+	sel.From = append(sel.From, occ.otherTables...)
+
+	var where sqlparser.Expr
+	for _, c := range occ.residualConst {
+		sub := substituteOccurrence(c, occ.name, columns, row, singleTable)
+		if where == nil {
+			where = sub
+		} else {
+			where = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: where, Right: sub}
+		}
+	}
+	sel.Where = where
+	return sel.String(), existenceOnly
+}
+
+// analysisError wraps evaluation problems that force conservatism.
+type analysisError struct{ err error }
+
+func (e analysisError) Error() string { return fmt.Sprintf("invalidator: analysis: %v", e.err) }

@@ -1,0 +1,89 @@
+package invalidator
+
+import (
+	"net/http"
+
+	"repro/internal/webcache"
+)
+
+// Ejector delivers invalidation messages to caches (§4.2.4).
+type Ejector interface {
+	// Eject invalidates the pages with the given cache keys. Partial
+	// failure returns an error; the invalidator will retry the keys next
+	// cycle (they stay queued).
+	Eject(keys []string) error
+}
+
+// BulkEjector is implemented by ejectors that can flush an entire cache —
+// the recovery path when log loss makes precise invalidation impossible.
+type BulkEjector interface {
+	EjectAll() error
+}
+
+// CacheEjector invalidates an in-process web cache directly.
+type CacheEjector struct{ Cache *webcache.Cache }
+
+// Eject implements Ejector.
+func (e CacheEjector) Eject(keys []string) error {
+	for _, k := range keys {
+		e.Cache.Invalidate(k)
+	}
+	return nil
+}
+
+// EjectAll implements BulkEjector.
+func (e CacheEjector) EjectAll() error {
+	e.Cache.Clear()
+	return nil
+}
+
+// HTTPEjector sends `Cache-Control: eject` requests to one or more cache
+// endpoints (front-end, proxy, or edge caches).
+type HTTPEjector struct {
+	CacheURLs []string
+	Client    *http.Client
+}
+
+// Eject implements Ejector: every key is ejected from every cache.
+func (e HTTPEjector) Eject(keys []string) error {
+	var firstErr error
+	for _, url := range e.CacheURLs {
+		for _, k := range keys {
+			if err := webcache.Eject(e.Client, url, k); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// EjectAll implements BulkEjector: every cache is flushed.
+func (e HTTPEjector) EjectAll() error {
+	var firstErr error
+	for _, url := range e.CacheURLs {
+		if err := webcache.EjectAll(e.Client, url); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// MultiEjector fans out to several ejectors.
+type MultiEjector []Ejector
+
+// Eject implements Ejector.
+func (m MultiEjector) Eject(keys []string) error {
+	var firstErr error
+	for _, e := range m {
+		if err := e.Eject(keys); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// FuncEjector adapts a function.
+type FuncEjector func(keys []string) error
+
+// Eject implements Ejector.
+func (f FuncEjector) Eject(keys []string) error { return f(keys) }

@@ -1,0 +1,235 @@
+package invalidator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// IndexSet is the information management module's maintained external
+// indexes (§4, "external indexes kept within the invalidator"): multisets
+// of the values of selected (table, column) pairs, initialized with one
+// scan and kept current from the same delta stream the invalidator already
+// consumes. An existence poll of the form "∃ row ∈ T with T.c = v" is then
+// answered locally, trading invalidator memory for DBMS load — worthwhile
+// when the index is small, the query frequency high, and the update cost
+// low (the paper's three criteria).
+type IndexSet struct {
+	mu      sync.Mutex
+	indexes map[string]*maintainedIndex // "table|column" lower-cased
+}
+
+type maintainedIndex struct {
+	table  string
+	column string
+	counts map[string]int // value key → multiplicity
+	size   int
+}
+
+// NewIndexSet creates an empty set.
+func NewIndexSet() *IndexSet {
+	return &IndexSet{indexes: make(map[string]*maintainedIndex)}
+}
+
+func indexKey(table, column string) string {
+	return strings.ToLower(table) + "|" + strings.ToLower(column)
+}
+
+// Maintain starts maintaining an index over table.column, loading current
+// contents through p (one polling query, §4.3).
+func (s *IndexSet) Maintain(p Poller, table, column string) error {
+	if p == nil {
+		return fmt.Errorf("invalidator: index %s.%s: no poller", table, column)
+	}
+	res, err := p.Query(fmt.Sprintf("SELECT %s FROM %s", column, table))
+	if err != nil {
+		return fmt.Errorf("invalidator: load index %s.%s: %w", table, column, err)
+	}
+	idx := &maintainedIndex{table: table, column: column, counts: make(map[string]int)}
+	for _, row := range res.Rows {
+		if len(row) != 1 || row[0].IsNull() {
+			continue
+		}
+		idx.counts[row[0].Key()]++
+		idx.size++
+	}
+	s.mu.Lock()
+	s.indexes[indexKey(table, column)] = idx
+	s.mu.Unlock()
+	return nil
+}
+
+// Drop stops maintaining the index.
+func (s *IndexSet) Drop(table, column string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.indexes, indexKey(table, column))
+}
+
+// Maintained lists the maintained (table, column) pairs.
+func (s *IndexSet) Maintained() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.indexes))
+	for k := range s.indexes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Size returns the number of (non-NULL) entries of one index, or -1 when
+// not maintained.
+func (s *IndexSet) Size(table, column string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, ok := s.indexes[indexKey(table, column)]
+	if !ok {
+		return -1
+	}
+	return idx.size
+}
+
+// Contains answers whether any row of table has column = v; ok=false when
+// the pair is not maintained.
+func (s *IndexSet) Contains(table, column string, v mem.Value) (exists, ok bool) {
+	if v.IsNull() {
+		return false, true // equality with NULL never holds
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx, found := s.indexes[indexKey(table, column)]
+	if !found {
+		return false, false
+	}
+	return idx.counts[v.Key()] > 0, true
+}
+
+// Apply keeps indexes current from a batch of update records. The
+// invalidator calls it every cycle with the records it pulled anyway, so
+// maintenance adds no extra DBMS load.
+func (s *IndexSet) Apply(recs []engine.UpdateRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.indexes) == 0 {
+		return
+	}
+	for _, rec := range recs {
+		for _, idx := range s.indexes {
+			if !strings.EqualFold(idx.table, rec.Table) {
+				continue
+			}
+			ci := -1
+			for i, c := range rec.Columns {
+				if strings.EqualFold(c, idx.column) {
+					ci = i
+					break
+				}
+			}
+			if ci < 0 || ci >= len(rec.Row) || rec.Row[ci].IsNull() {
+				continue
+			}
+			k := rec.Row[ci].Key()
+			if rec.Op == engine.OpInsert {
+				idx.counts[k]++
+				idx.size++
+			} else {
+				if idx.counts[k] > 0 {
+					idx.counts[k]--
+					idx.size--
+					if idx.counts[k] == 0 {
+						delete(idx.counts, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// simpleEquality recognises polling residues of the form
+// "T.c = <literal>" (either side) over a single remaining table, the shape
+// maintained indexes can answer.
+func simpleEquality(occ *occurrencePlan, columns []string, row mem.Row, singleTable bool) (table, column string, v mem.Value, ok bool) {
+	if len(occ.residualParam) != 0 || len(occ.residualConst) != 1 || len(occ.otherTables) != 1 {
+		return "", "", mem.Null(), false
+	}
+	sub := substituteOccurrence(occ.residualConst[0], occ.name, columns, row, singleTable)
+	b, isBin := sub.(*sqlparser.BinaryExpr)
+	if !isBin || b.Op != sqlparser.OpEq {
+		return "", "", mem.Null(), false
+	}
+	tryMatch := func(colSide, litSide sqlparser.Expr) (string, mem.Value, bool) {
+		ref, isRef := colSide.(*sqlparser.ColumnRef)
+		if !isRef {
+			return "", mem.Null(), false
+		}
+		lit, err := mem.FromLiteral(litSide)
+		if err != nil {
+			return "", mem.Null(), false
+		}
+		// The ref must belong to the single remaining table.
+		other := occ.otherTables[0]
+		if ref.Table != "" && !strings.EqualFold(ref.Table, other.EffectiveName()) {
+			return "", mem.Null(), false
+		}
+		return ref.Column, lit, true
+	}
+	if col, lit, match := tryMatch(b.Left, b.Right); match {
+		return occ.otherTables[0].Name, col, lit, true
+	}
+	if col, lit, match := tryMatch(b.Right, b.Left); match {
+		return occ.otherTables[0].Name, col, lit, true
+	}
+	return "", "", mem.Null(), false
+}
+
+// Advice is a maintained-index recommendation (the paper's three criteria).
+type Advice struct {
+	Table  string
+	Column string
+	// PollCount is how many existence polls this pair would have answered.
+	PollCount int64
+}
+
+// adviceTracker accumulates missed index opportunities per cycle.
+type adviceTracker struct {
+	mu     sync.Mutex
+	misses map[string]int64
+}
+
+func newAdviceTracker() *adviceTracker {
+	return &adviceTracker{misses: make(map[string]int64)}
+}
+
+func (a *adviceTracker) note(table, column string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.misses[indexKey(table, column)]++
+}
+
+// advise returns pairs whose existence polls exceeded threshold, most
+// frequent first.
+func (a *adviceTracker) advise(threshold int64) []Advice {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []Advice
+	for k, n := range a.misses {
+		if n < threshold {
+			continue
+		}
+		parts := strings.SplitN(k, "|", 2)
+		out = append(out, Advice{Table: parts[0], Column: parts[1], PollCount: n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PollCount != out[j].PollCount {
+			return out[i].PollCount > out[j].PollCount
+		}
+		return out[i].Table+out[i].Column < out[j].Table+out[j].Column
+	})
+	return out
+}

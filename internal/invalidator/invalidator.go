@@ -1,0 +1,656 @@
+package invalidator
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sniffer"
+	"repro/internal/sqlparser"
+	"repro/internal/wire"
+)
+
+// LogPuller abstracts how the invalidator pulls the database update log
+// (§4.2.1 "pulls the update logs from the database").
+type LogPuller interface {
+	PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error)
+}
+
+// EngineLogPuller reads an in-process update log.
+type EngineLogPuller struct{ Log *engine.UpdateLog }
+
+// PullSince implements LogPuller.
+func (p EngineLogPuller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	recs, trunc := p.Log.Since(lsn)
+	return recs, trunc, p.Log.NextLSN(), nil
+}
+
+// WireLogPuller reads the update log over the wire protocol.
+type WireLogPuller struct{ Client *wire.Client }
+
+// PullSince implements LogPuller.
+func (p WireLogPuller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	return p.Client.LogSince(lsn)
+}
+
+// Config wires an Invalidator.
+type Config struct {
+	// Map is the sniffer's QI/URL map (required).
+	Map *sniffer.QIURLMap
+	// Mapper, when set, is run at the start of every cycle so sniffing and
+	// invalidation share the cadence (they stay logically independent).
+	Mapper *sniffer.Mapper
+	// Puller reads the database update log (required).
+	Puller LogPuller
+	// Poller executes polling queries: the DBMS itself or a middle-tier
+	// data cache (§2.4). Without one, undecidable tuples invalidate
+	// conservatively.
+	Poller Poller
+	// Ejector delivers invalidation messages (required).
+	Ejector Ejector
+	// Registry may be pre-populated via RegisterType; nil creates one.
+	Registry *Registry
+	// Policies may carry administrator rules; nil creates defaults.
+	Policies *Policies
+	// Indexes are maintained external indexes; nil creates an empty set.
+	Indexes *IndexSet
+	// PollBudget bounds polling time per cycle (0 = unbounded); exceeding
+	// it degrades to conservative invalidation (§4.2.2).
+	PollBudget time.Duration
+	// AdviceThreshold is the existence-poll count after which a maintained
+	// index is recommended (0 = default 16).
+	AdviceThreshold int64
+	// AutoIndex, when true, acts on the advice automatically: once a
+	// (table, column) pair crosses AdviceThreshold, the invalidator loads
+	// and maintains the index itself (§4.1's self-tuning, applying the
+	// paper's index criteria without an administrator).
+	AutoIndex bool
+}
+
+// Report summarizes one invalidation cycle.
+type Report struct {
+	MappedPages    int // request-log entries the mapper processed
+	PagesIngested  int // QI/URL map changes consumed
+	UpdateRecords  int // update-log records pulled
+	DeltaTuples    int // tuples across all delta tables
+	Polls          int // polling queries sent to the poller
+	IndexHits      int // polls answered by maintained indexes
+	PollTime       time.Duration
+	LocalDecisions int // tuple×type decisions made without polling
+	Invalidated    int // pages ejected
+	Conservative   int // instance invalidations decided conservatively
+	// Truncated is set when a source log (request, query, or update) lost
+	// entries before this cycle read them; the cycle responded by flushing
+	// every potentially affected page.
+	Truncated bool
+	EjectErr  error
+	Duration  time.Duration
+}
+
+// Invalidator orchestrates the §4 pipeline. Cycle is not safe for
+// concurrent invocation; Start runs it from a single goroutine.
+type Invalidator struct {
+	cfg      Config
+	registry *Registry
+	policies *Policies
+	indexes  *IndexSet
+	advice   *adviceTracker
+
+	mapVersion int64
+	lastLSN    int64
+	pending    []string // keys whose ejection failed; retried next cycle
+}
+
+// New creates an Invalidator from cfg.
+func New(cfg Config) *Invalidator {
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.Policies == nil {
+		cfg.Policies = NewPolicies(DefaultThresholds())
+	}
+	if cfg.Indexes == nil {
+		cfg.Indexes = NewIndexSet()
+	}
+	if cfg.AdviceThreshold <= 0 {
+		cfg.AdviceThreshold = 16
+	}
+	return &Invalidator{
+		cfg:      cfg,
+		registry: cfg.Registry,
+		policies: cfg.Policies,
+		indexes:  cfg.Indexes,
+		advice:   newAdviceTracker(),
+		lastLSN:  1,
+	}
+}
+
+// Registry exposes the registration module.
+func (inv *Invalidator) Registry() *Registry { return inv.registry }
+
+// Policies exposes the policy engine.
+func (inv *Invalidator) Policies() *Policies { return inv.policies }
+
+// Indexes exposes the maintained index set.
+func (inv *Invalidator) Indexes() *IndexSet { return inv.indexes }
+
+// Advise lists maintained-index recommendations collected so far.
+func (inv *Invalidator) Advise() []Advice { return inv.advice.advise(inv.cfg.AdviceThreshold) }
+
+// CacheableServlet is the feedback hook handed to the application server.
+func (inv *Invalidator) CacheableServlet(name string) bool {
+	return inv.policies.CacheableServlet(name)
+}
+
+// Start runs Cycle every interval until stop closes.
+func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				inv.Cycle() // errors are reflected in the next cycle's retry state
+			}
+		}
+	}()
+}
+
+// Cycle performs one sniff-ingest / update-pull / analyze / poll / eject
+// round and returns its report.
+func (inv *Invalidator) Cycle() (Report, error) {
+	start := time.Now()
+	var rep Report
+
+	// 1. Give the sniffer a chance to map fresh requests. If a source log
+	// was truncated before the mapper read it, pages may be cached with no
+	// QI/URL mapping — nothing can ever invalidate them precisely, so the
+	// only sound recovery is to flush the caches outright.
+	if inv.cfg.Mapper != nil {
+		rep.MappedPages = inv.cfg.Mapper.Run()
+		if inv.cfg.Mapper.TakeTruncated() {
+			rep.Truncated = true
+			if bulk, ok := inv.cfg.Ejector.(BulkEjector); ok {
+				if err := bulk.EjectAll(); err != nil {
+					rep.EjectErr = err
+				}
+			} else {
+				// Fall back to ejecting every page we do know about.
+				inv.cfg.Ejector.Eject(inv.registry.Pages())
+			}
+			for _, k := range inv.registry.Pages() {
+				inv.cfg.Map.Remove(k)
+				inv.registry.UnlinkPage(k)
+			}
+		}
+	}
+
+	// 2. Ingest QI/URL map changes (§4.1.2 online registration).
+	inv.ingestMap(&rep)
+
+	// 3. Pull the update log (§4.2.1).
+	recs, truncated, next, err := inv.cfg.Puller.PullSince(inv.lastLSN)
+	if err != nil {
+		rep.Duration = time.Since(start)
+		return rep, err
+	}
+	rep.UpdateRecords = len(recs)
+	rep.Truncated = rep.Truncated || truncated
+	inv.indexes.Apply(recs)
+	inv.lastLSN = next
+
+	impacted := make(map[string]bool)
+	if truncated {
+		// The log no longer reaches back to our last position: anything
+		// cached may be stale.
+		for _, k := range inv.registry.Pages() {
+			impacted[k] = true
+		}
+		rep.Conservative += len(impacted)
+	} else if len(recs) > 0 {
+		deltas := engine.BuildDeltas(recs)
+		// Tables with deletions in this batch: polling runs against the
+		// post-update state, so a deleted tuple whose join counterpart was
+		// deleted in the same batch would poll-miss. evalType goes
+		// conservative for exactly that combination.
+		delTables := make(map[string]bool)
+		for _, d := range deltas {
+			if len(d.Minus) > 0 {
+				delTables[lowerTableName(d.Table)] = true
+			}
+		}
+		pr := newPollRun(inv.cfg.Poller, inv.indexes, inv.cfg.PollBudget)
+		for _, d := range deltas {
+			rep.DeltaTuples += len(d.Plus) + len(d.Minus)
+			for _, qt := range inv.scheduleTypes(inv.registry.TypesForTable(d.Table)) {
+				insts := inv.registry.InstancesOf(qt)
+				if len(insts) == 0 {
+					continue
+				}
+				batchStart := time.Now()
+				pollsBefore, pollTimeBefore := pr.polls, pr.pollTime
+				res := inv.evalType(qt, d, insts, pr, delTables)
+				res.polls = pr.polls - pollsBefore
+				res.pollTime = pr.pollTime - pollTimeBefore
+				inv.recordTypeBatch(qt, len(insts), res, time.Since(batchStart))
+				rep.LocalDecisions += res.localDecisions
+				rep.Conservative += res.conservative
+				for _, inst := range res.impacted {
+					for page := range inst.Pages {
+						impacted[page] = true
+					}
+				}
+			}
+		}
+		rep.Polls = pr.polls
+		rep.IndexHits = pr.indexHits
+		rep.PollTime = pr.pollTime
+
+		// Conservative pages fall with any change at all.
+		for _, k := range inv.registry.ConservativePages() {
+			impacted[k] = true
+			rep.Conservative++
+		}
+	}
+
+	// 4. Send invalidation messages (§4.2.4), including retries.
+	keys := make([]string, 0, len(impacted)+len(inv.pending))
+	for k := range impacted {
+		keys = append(keys, k)
+	}
+	keys = append(keys, inv.pending...)
+	sort.Strings(keys)
+	keys = dedupeSorted(keys)
+	if len(keys) > 0 {
+		if err := inv.cfg.Ejector.Eject(keys); err != nil {
+			rep.EjectErr = err
+			inv.pending = keys
+		} else {
+			inv.pending = nil
+			for _, k := range keys {
+				inv.cfg.Map.Remove(k)
+				inv.registry.UnlinkPage(k)
+			}
+			rep.Invalidated = len(keys)
+		}
+	}
+
+	// 5. Refresh discovered policies (§4.1.4).
+	inv.policies.Evaluate(inv.registry)
+
+	// 6. Self-tuning: materialize advised indexes so future residues are
+	// answered inside the invalidator.
+	if inv.cfg.AutoIndex && inv.cfg.Poller != nil {
+		for _, adv := range inv.Advise() {
+			if inv.indexes.Size(adv.Table, adv.Column) >= 0 {
+				continue // already maintained
+			}
+			// Best effort: a failed load just means we keep polling.
+			inv.indexes.Maintain(inv.cfg.Poller, adv.Table, adv.Column)
+		}
+	}
+
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+func dedupeSorted(keys []string) []string {
+	out := keys[:0]
+	for i, k := range keys {
+		if i == 0 || keys[i-1] != k {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ingestMap consumes QI/URL map changes, registering instances and marking
+// unanalyzable pages conservative.
+func (inv *Invalidator) ingestMap(rep *Report) {
+	changes, v, resync := inv.cfg.Map.Changes(inv.mapVersion)
+	if resync {
+		changes, v = inv.cfg.Map.Snapshot()
+	}
+	inv.mapVersion = v
+	for _, pm := range changes {
+		rep.PagesIngested++
+		inv.registry.RelinkPage(pm.CacheKey)
+		for _, q := range pm.Queries {
+			stmt, err := sqlparser.Parse(q.SQL)
+			if err != nil {
+				inv.registry.MarkConservative(pm.CacheKey)
+				inv.policies.noteConservativeServlet(pm.Servlet)
+				continue
+			}
+			switch stmt.(type) {
+			case *sqlparser.SelectStmt:
+				inst, _, err := inv.registry.ObserveInstance(q.SQL, pm.CacheKey)
+				if err != nil {
+					inv.registry.MarkConservative(pm.CacheKey)
+					inv.policies.noteConservativeServlet(pm.Servlet)
+					continue
+				}
+				inv.policies.noteServletType(pm.Servlet, inst.Type)
+			case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt,
+				*sqlparser.CreateTableStmt, *sqlparser.DropTableStmt, *sqlparser.CreateIndexStmt:
+				// Writes don't feed page content; their effects arrive via
+				// the update log.
+			}
+		}
+	}
+}
+
+// typeBatchResult is the outcome of evaluating one delta table's tuples
+// against one query type.
+type typeBatchResult struct {
+	impacted       []*Instance
+	localDecisions int
+	conservative   int
+	polls          int
+	pollTime       time.Duration
+}
+
+// scheduleTypes orders query types for processing within a cycle — the
+// §4.2.2 schedule generation: each type's priority is the number of live
+// cached instances it protects, discounted by its historical polling cost.
+// When the polling budget runs out mid-cycle, the remaining (lowest-value)
+// types fall back to conservative invalidation, so the budget is spent
+// where precision saves the most cache content.
+func (inv *Invalidator) scheduleTypes(types []*QueryType) []*QueryType {
+	if len(types) < 2 {
+		return types
+	}
+	type scored struct {
+		qt       *QueryType
+		priority float64
+	}
+	items := make([]scored, len(types))
+	inv.registry.withLock(func() {
+		for i, qt := range types {
+			st := qt.stats
+			value := float64(st.LiveInstances)
+			cost := 1.0
+			if st.Polls > 0 {
+				// Mean poll time in milliseconds, floored at 1.
+				ms := float64(st.PollTime.Milliseconds()) / float64(st.Polls)
+				if ms > 1 {
+					cost = ms
+				}
+			}
+			items[i] = scored{qt: qt, priority: value / cost}
+		}
+	})
+	sort.SliceStable(items, func(i, j int) bool { return items[i].priority > items[j].priority })
+	out := make([]*QueryType, len(items))
+	for i, s := range items {
+		out[i] = s.qt
+	}
+	return out
+}
+
+// lowerTableName lower-cases ASCII table names.
+func lowerTableName(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c - 'A' + 'a'
+		}
+	}
+	return string(b)
+}
+
+// evalType runs the grouped analysis of §5.2/§4.2 for one (type, delta
+// table) pair. delTables names tables with deletions in this batch (for the
+// post-state polling hazard).
+func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instance, pr *pollRun, delTables map[string]bool) typeBatchResult {
+	var res typeBatchResult
+	plan := qt.planFor(d.Table, d.Columns)
+
+	allTables := qt.Template.Tables()
+	singleTable := len(allTables) == 1
+
+	// deletionHazard: a deleted tuple's join counterpart may itself have
+	// been deleted in this batch, in which case post-state polling would
+	// miss the pre-state match. True when another referenced table (or
+	// this table again, for self-joins) saw deletions.
+	selfCount := 0
+	for _, ref := range allTables {
+		if lowerTableName(ref.Name) == lowerTableName(d.Table) {
+			selfCount++
+		}
+	}
+	deletionHazard := false
+	for _, t := range qt.Tables {
+		if t == lowerTableName(d.Table) {
+			if selfCount >= 2 && delTables[t] {
+				deletionHazard = true
+			}
+			continue
+		}
+		if delTables[t] {
+			deletionHazard = true
+		}
+	}
+
+	// alive tracks instances not yet proven impacted; once impacted, an
+	// instance needs no further tuples.
+	alive := make(map[*Instance]bool, len(insts))
+	for _, i := range insts {
+		alive[i] = true
+	}
+	impact := func(inst *Instance, conservative bool) {
+		if !alive[inst] {
+			return
+		}
+		delete(alive, inst)
+		res.impacted = append(res.impacted, inst)
+		if conservative {
+			res.conservative++
+		}
+	}
+	impactAll := func(conservative bool) {
+		for _, inst := range insts {
+			impact(inst, conservative)
+		}
+	}
+
+	if plan.conservative {
+		impactAll(true)
+		return res
+	}
+
+	type tuple struct {
+		row     mem.Row
+		deleted bool
+	}
+	tuples := make([]tuple, 0, len(d.Plus)+len(d.Minus))
+	for _, r := range d.Plus {
+		tuples = append(tuples, tuple{row: r})
+	}
+	for _, r := range d.Minus {
+		tuples = append(tuples, tuple{row: r, deleted: true})
+	}
+
+	for _, tp := range tuples {
+		row := tp.row
+		if len(alive) == 0 {
+			break
+		}
+		for _, occ := range plan.occurrences {
+			if len(alive) == 0 {
+				break
+			}
+			if occ.conservative {
+				impactAll(true)
+				break
+			}
+			env, err := deltaEnv(occ.name, d.Columns, row)
+			if err != nil {
+				impactAll(true)
+				break
+			}
+			// Shared local conjuncts: one failure proves no instance can be
+			// affected through this occurrence by this tuple.
+			dead := false
+			for _, c := range occ.localConst {
+				ok, err := evalLocal(c, env)
+				if err != nil {
+					impactAll(true)
+					dead = true
+					break
+				}
+				if !ok {
+					dead = true
+					break
+				}
+			}
+			if dead {
+				if len(alive) == 0 {
+					break
+				}
+				continue
+			}
+
+			// Per-instance local parameterized conjuncts (group processing:
+			// evaluated client-side, no DBMS involved).
+			var candidates []*Instance
+			for inst := range alive {
+				pass := true
+				for _, c := range occ.localParam {
+					bound := bindPlaceholders(c, inst.Args)
+					ok, err := evalLocal(bound, env)
+					if err != nil {
+						impact(inst, true)
+						pass = false
+						break
+					}
+					if !ok {
+						pass = false
+						break
+					}
+				}
+				if pass {
+					candidates = append(candidates, inst)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			sort.Slice(candidates, func(i, j int) bool { return candidates[i].ArgsKey < candidates[j].ArgsKey })
+
+			if len(occ.residualConst) == 0 && len(occ.residualParam) == 0 {
+				// Entirely local: certain impact (Example 4.1's first case).
+				res.localDecisions++
+				for _, inst := range candidates {
+					impact(inst, false)
+				}
+				continue
+			}
+
+			// Post-state polling cannot witness a join partner deleted in
+			// the same batch: deleted tuples with a deletion hazard are
+			// invalidated conservatively instead of polled.
+			if tp.deleted && deletionHazard {
+				for _, inst := range candidates {
+					impact(inst, true)
+				}
+				continue
+			}
+
+			// Maintained-index shortcut for "∃ S.c = v" residues.
+			if table, col, v, ok := simpleEquality(occ, d.Columns, row, singleTable); ok {
+				if exists, covered := pr.existence(table, col, v); covered {
+					res.localDecisions++
+					if exists {
+						for _, inst := range candidates {
+							impact(inst, false)
+						}
+					}
+					continue
+				}
+				inv.advice.note(table, col)
+			}
+
+			sql, existenceOnly := buildPollSQL(occ, d.Columns, row, singleTable)
+			result, err := pr.exec(sql)
+			if err != nil {
+				for _, inst := range candidates {
+					impact(inst, true)
+				}
+				continue
+			}
+			if existenceOnly {
+				if len(result.Rows) > 0 {
+					for _, inst := range candidates {
+						impact(inst, false)
+					}
+				}
+				continue
+			}
+			// Finish per-instance parameterized residues against the
+			// polled rows.
+			for _, inst := range candidates {
+				matched, bad := false, false
+				for _, prow := range result.Rows {
+					all := true
+					for _, c := range occ.residualParam {
+						e := bindPlaceholders(c, inst.Args)
+						e = substituteOccurrence(e, occ.name, d.Columns, row, singleTable)
+						e = substituteRefs(e, occ.residualCols, prow)
+						v, err := engine.Eval(e, engine.Env{})
+						if err != nil {
+							bad = true
+							break
+						}
+						t, err := engine.Truth(v)
+						if err != nil {
+							bad = true
+							break
+						}
+						if t != engine.True {
+							all = false
+							break
+						}
+					}
+					if bad {
+						break
+					}
+					if all {
+						matched = true
+						break
+					}
+				}
+				if bad {
+					impact(inst, true)
+				} else if matched {
+					impact(inst, false)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// recordTypeBatch folds one batch's outcome into the type's statistics.
+func (inv *Invalidator) recordTypeBatch(qt *QueryType, nInsts int, res typeBatchResult, elapsed time.Duration) {
+	inv.registry.withLock(func() {
+		st := &qt.stats
+		st.UpdateBatches++
+		st.Impacts += int64(len(res.impacted))
+		st.Conservative += int64(res.conservative)
+		st.LocalDecisions += int64(res.localDecisions)
+		st.Polls += int64(res.polls)
+		st.PollTime += res.pollTime
+		st.InvalidationTime += elapsed
+		if elapsed > st.MaxInvalidation {
+			st.MaxInvalidation = elapsed
+		}
+		if nInsts > 0 {
+			ratio := float64(len(res.impacted)) / float64(nInsts)
+			st.InvalidationRatioEWMA = st.InvalidationRatioEWMA*7/8 + ratio/8
+		}
+	})
+}

@@ -1,0 +1,655 @@
+package invalidator
+
+import (
+	"errors"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// harness bundles a database, a QI/URL map, a recording ejector and an
+// invalidator wired in-process.
+type harness struct {
+	db       *engine.Database
+	m        *sniffer.QIURLMap
+	inv      *Invalidator
+	ejected  []string
+	ejectErr error
+}
+
+func newHarness(t testing.TB, schema string) *harness {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(schema); err != nil {
+		t.Fatal(err)
+	}
+	h := &harness{db: db, m: sniffer.NewQIURLMap()}
+	pollConn, err := driver.DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.inv = New(Config{
+		Map:    h.m,
+		Puller: EngineLogPuller{Log: db.Log()},
+		Poller: pollConn,
+		Ejector: FuncEjector(func(keys []string) error {
+			if h.ejectErr != nil {
+				return h.ejectErr
+			}
+			h.ejected = append(h.ejected, keys...)
+			return nil
+		}),
+	})
+	// Swallow the schema-setup log records.
+	if _, err := h.inv.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	h.ejected = nil
+	return h
+}
+
+// page registers a cached page whose content came from the given queries.
+func (h *harness) page(key string, queries ...string) {
+	var qis []sniffer.QueryInstance
+	for i, q := range queries {
+		qis = append(qis, sniffer.QueryInstance{SQL: q, LogID: int64(i + 1)})
+	}
+	h.m.Record(key, "servlet", 1, qis)
+}
+
+func (h *harness) cycle(t testing.TB) Report {
+	t.Helper()
+	rep, err := h.inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func (h *harness) exec(t testing.TB, sql string) {
+	t.Helper()
+	if _, err := h.db.ExecSQL(sql); err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+}
+
+func (h *harness) ejectedSorted() []string {
+	out := append([]string(nil), h.ejected...)
+	sort.Strings(out)
+	return out
+}
+
+const carSchema = `
+	CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+	CREATE TABLE Mileage (model TEXT, EPA INT);
+	INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000), ('Honda', 'Civic', 16000);
+	INSERT INTO Mileage VALUES ('Corolla', 33), ('Civic', 31), ('Avalon', 26);
+`
+
+// paperQuery1 is Example 4.1's join query (the paper's narrative: an
+// inserted car at 20,000 fails the price condition outright; one at 25,000
+// needs a polling query against Mileage).
+const paperQuery1 = "SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price > 20000"
+
+func TestExample41NoImpact(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("url1", paperQuery1)
+	h.cycle(t) // ingest mapping
+
+	// Fails Car.price > 20000 locally: decided without polling.
+	h.exec(t, "INSERT INTO Car VALUES ('Mitsubishi', 'Eclipse', 20000)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.Polls != 0 {
+		t.Fatalf("polls: %d", rep.Polls)
+	}
+	if rep.UpdateRecords != 1 {
+		t.Fatalf("records: %d", rep.UpdateRecords)
+	}
+}
+
+func TestExample41PollAndInvalidate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+
+	// Passes the local condition; Mileage has an 'Avalon' row, so the
+	// polling query is non-empty and url1 falls.
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 1 || h.ejected[0] != "url1" {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.Polls != 1 {
+		t.Fatalf("polls: %d", rep.Polls)
+	}
+}
+
+func TestExample41PollEmptyNoInvalidate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+
+	// Passes the local condition but no Mileage row for 'Viper'.
+	h.exec(t, "INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.Polls != 1 {
+		t.Fatalf("polls: %d", rep.Polls)
+	}
+}
+
+func TestSingleTableLocalDecision(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.page("expensive", "SELECT * FROM Car WHERE price > 50000")
+	h.cycle(t)
+
+	h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	rep := h.cycle(t)
+	if got := h.ejectedSorted(); len(got) != 1 || got[0] != "cheap" {
+		t.Fatalf("ejected: %v", got)
+	}
+	if rep.Polls != 0 {
+		t.Fatalf("single-table analysis must not poll: %d", rep.Polls)
+	}
+}
+
+func TestDeleteInvalidates(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	h.exec(t, "DELETE FROM Car WHERE model = 'Corolla'") // was in the result
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestDeleteOfNonMatchingRowNoInvalidate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	h.exec(t, "DELETE FROM Car WHERE model = 'Civic'") // 16000: not in result
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestUpdateInvalidatesWhenEitherImageMatches(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	// Old image matched (15000); new doesn't (99000): page is stale.
+	h.exec(t, "UPDATE Car SET price = 99000 WHERE model = 'Corolla'")
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestUpdateOfIrrelevantRowsNoInvalidate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	// 16000 → 17000: neither image matches price < 15500.
+	h.exec(t, "UPDATE Car SET price = 17000 WHERE model = 'Civic'")
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestGroupProcessingSharesPolls(t *testing.T) {
+	h := newHarness(t, carSchema)
+	// Three instances of one type (different price bounds), all join-based.
+	q := "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < "
+	h.page("p1", q+"16000")
+	h.page("p2", q+"20000")
+	h.page("p3", q+"12000")
+	h.cycle(t)
+
+	// Corolla-priced insert with an existing Mileage row.
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Corolla', 15500)")
+	rep := h.cycle(t)
+	// One combined polling query serves all three instances.
+	if rep.Polls != 1 {
+		t.Fatalf("polls: %d", rep.Polls)
+	}
+	// Only the instances whose bound matches 15500 are invalidated.
+	if got := h.ejectedSorted(); len(got) != 2 || got[0] != "p1" || got[1] != "p2" {
+		t.Fatalf("ejected: %v", got)
+	}
+}
+
+func TestSharedPageMultipleQueries(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("home", "SELECT * FROM Car WHERE price < 15500", "SELECT * FROM Mileage WHERE EPA > 40")
+	h.cycle(t)
+	// Second query's table changes in a matching way.
+	h.exec(t, "INSERT INTO Mileage VALUES ('Prius', 55)")
+	h.cycle(t)
+	if len(h.ejected) != 1 || h.ejected[0] != "home" {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestUnparseableQueryGoesConservative(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("weird", "SELECT /*+ ORACLE HINT SYNTAX */ FROM!!")
+	h.cycle(t)
+	// Any update at all fells the page.
+	h.exec(t, "INSERT INTO Mileage VALUES ('Z', 1)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 1 || h.ejected[0] != "weird" {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.Conservative == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestDMLQueriesIgnored(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("writer", "INSERT INTO Car VALUES ('X', 'Y', 1)", "SELECT * FROM Mileage WHERE EPA > 100")
+	h.cycle(t)
+	h.exec(t, "INSERT INTO Car VALUES ('A', 'B', 2)") // Car: only the INSERT referenced it
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestLeftJoinConservative(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("lj", "SELECT Car.model FROM Car LEFT JOIN Mileage ON Car.model = Mileage.model WHERE Car.price < 100000")
+	h.cycle(t)
+	// Deleting a Mileage row only affects null-extension; conservative
+	// analysis must still invalidate.
+	h.exec(t, "DELETE FROM Mileage WHERE model = 'Civic'")
+	rep := h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.Conservative == 0 {
+		t.Fatalf("report: %+v", rep)
+	}
+}
+
+func TestSimultaneousJoinPairDeletion(t *testing.T) {
+	// Both sides of the only matching join pair deleted in one batch:
+	// post-state polling sees neither; the hazard path must invalidate.
+	h := newHarness(t, carSchema)
+	h.page("url1", "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < 15500")
+	h.cycle(t)
+	h.exec(t, "DELETE FROM Car WHERE model = 'Corolla'")
+	h.exec(t, "DELETE FROM Mileage WHERE model = 'Corolla'")
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestLogTruncationInvalidatesEverything(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript("CREATE TABLE t (a INT)"); err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.NewQIURLMap()
+	var ejected []string
+	small := engine.NewUpdateLog(2)
+	inv := New(Config{
+		Map:    m,
+		Puller: EngineLogPuller{Log: small},
+		Ejector: FuncEjector(func(keys []string) error {
+			ejected = append(ejected, keys...)
+			return nil
+		}),
+	})
+	m.Record("pg", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM t"}})
+	if _, err := inv.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		small.Append(engine.UpdateRecord{Table: "unrelated", Op: engine.OpInsert})
+	}
+	rep, err := inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || len(ejected) != 1 || ejected[0] != "pg" {
+		t.Fatalf("rep=%+v ejected=%v", rep, ejected)
+	}
+}
+
+func TestNoPollerGoesConservative(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(carSchema); err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.NewQIURLMap()
+	var ejected []string
+	inv := New(Config{
+		Map:    m,
+		Puller: EngineLogPuller{Log: db.Log()},
+		Ejector: FuncEjector(func(keys []string) error {
+			ejected = append(ejected, keys...)
+			return nil
+		}),
+	})
+	inv.Cycle()
+	m.Record("url1", "s", 1, []sniffer.QueryInstance{{SQL: paperQuery1}})
+	inv.Cycle()
+	db.ExecSQL("INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)") // would poll-miss
+	rep, _ := inv.Cycle()
+	if len(ejected) != 1 {
+		t.Fatalf("ejected: %v", ejected)
+	}
+	if rep.Conservative == 0 {
+		t.Fatalf("rep: %+v", rep)
+	}
+}
+
+func TestPollBudgetExhaustionConservative(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.inv.cfg.PollBudget = time.Nanosecond // exhausted immediately
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	time.Sleep(time.Millisecond)
+	h.exec(t, "INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)") // poll would say no
+	rep := h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("budget exhaustion must invalidate conservatively: %v", h.ejected)
+	}
+	if rep.Conservative == 0 {
+		t.Fatalf("rep: %+v", rep)
+	}
+}
+
+func TestEjectFailureRetries(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	h.ejectErr = errors.New("cache unreachable")
+	h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	rep := h.cycle(t)
+	if rep.EjectErr == nil || rep.Invalidated != 0 {
+		t.Fatalf("rep: %+v", rep)
+	}
+	// Next cycle (no new updates) retries and succeeds.
+	h.ejectErr = nil
+	rep = h.cycle(t)
+	if rep.Invalidated != 1 || len(h.ejected) != 1 {
+		t.Fatalf("rep=%+v ejected=%v", rep, h.ejected)
+	}
+}
+
+func TestPageRegenerationRelinks(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("pg", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	// Page regenerated with a different query (different table).
+	h.page("pg", "SELECT * FROM Mileage WHERE EPA > 30")
+	h.cycle(t)
+	// Car changes no longer matter...
+	h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("stale link survived: %v", h.ejected)
+	}
+	// ...Mileage changes do.
+	h.exec(t, "INSERT INTO Mileage VALUES ('Rio', 35)")
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestInvalidatedPageUnlinked(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("cheap", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	h.ejected = nil
+	// Another matching insert: the page is gone from the cache, no second
+	// invalidation.
+	h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio2', 11000)")
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected again: %v", h.ejected)
+	}
+}
+
+func TestOfflineTypeRegistration(t *testing.T) {
+	h := newHarness(t, carSchema)
+	qt, err := h.inv.Registry().RegisterType("cheap-cars", "SELECT * FROM Car WHERE price < $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qt.Discovered || qt.Name != "cheap-cars" {
+		t.Fatalf("type: %+v", qt)
+	}
+	// An observed instance of the same shape reuses the registered type.
+	h.page("pg", "SELECT * FROM Car WHERE price < 15500")
+	h.cycle(t)
+	types := h.inv.Registry().Types()
+	if len(types) != 1 || types[0] != qt {
+		t.Fatalf("types: %v", types)
+	}
+	if _, err := h.inv.Registry().RegisterType("bad", "INSERT INTO Car VALUES (1)"); err == nil {
+		t.Fatal("non-SELECT type must fail")
+	}
+	if _, err := h.inv.Registry().RegisterType("bad", "NOT SQL"); err == nil {
+		t.Fatal("bad SQL must fail")
+	}
+}
+
+func TestMaintainedIndexAnswersExistencePolls(t *testing.T) {
+	h := newHarness(t, carSchema)
+	pollConn, _ := driver.DirectDriver{DB: h.db}.Connect("")
+	if err := h.inv.Indexes().Maintain(pollConn, "Mileage", "model"); err != nil {
+		t.Fatal(err)
+	}
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)")
+	rep := h.cycle(t)
+	if rep.Polls != 0 || rep.IndexHits != 1 {
+		t.Fatalf("rep: %+v", rep)
+	}
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestMaintainedIndexTracksDeltas(t *testing.T) {
+	h := newHarness(t, carSchema)
+	pollConn, _ := driver.DirectDriver{DB: h.db}.Connect("")
+	if err := h.inv.Indexes().Maintain(pollConn, "Mileage", "model"); err != nil {
+		t.Fatal(err)
+	}
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	// Remove Avalon's mileage row; the index must learn this via deltas.
+	h.exec(t, "DELETE FROM Mileage WHERE model = 'Avalon'")
+	h.cycle(t)
+	h.ejected = nil
+	// Now an Avalon insert should find no counterpart — no invalidation.
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+	if rep.IndexHits != 1 {
+		t.Fatalf("rep: %+v", rep)
+	}
+}
+
+func TestAdviceAfterRepeatedPolls(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.inv.cfg.AdviceThreshold = 3
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	for i := 0; i < 4; i++ {
+		h.exec(t, "INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)")
+		h.cycle(t)
+	}
+	adv := h.inv.Advise()
+	if len(adv) != 1 || adv[0].Table != "mileage" || adv[0].Column != "model" {
+		t.Fatalf("advice: %+v", adv)
+	}
+}
+
+func TestSelfJoinAnalysis(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("pairs", "SELECT a.model, b.model FROM Car a, Car b WHERE a.maker = b.maker AND a.model <> b.model AND a.price < 15500")
+	h.cycle(t)
+	// New Toyota under 15500 pairs with the existing Corolla via occurrence
+	// a (and with b's side as well).
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Yaris', 14000)")
+	h.cycle(t)
+	if len(h.ejected) != 1 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestSelfJoinNoMatchNoInvalidate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("pairs", "SELECT a.model, b.model FROM Car a, Car b WHERE a.maker = b.maker AND a.model <> b.model AND a.price < 15500 AND b.price < 15500")
+	h.cycle(t)
+	// A lone Ferrari pairs with nothing.
+	h.exec(t, "INSERT INTO Car VALUES ('Ferrari', 'F40', 900000)")
+	h.cycle(t)
+	if len(h.ejected) != 0 {
+		t.Fatalf("ejected: %v", h.ejected)
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	h.exec(t, "INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)")
+	h.cycle(t)
+	types := h.inv.Registry().Types()
+	if len(types) != 1 {
+		t.Fatalf("types: %v", types)
+	}
+	st := h.inv.Registry().StatsOf(types[0])
+	if st.UpdateBatches != 1 || st.Impacts != 1 || st.Polls != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.InvalidationRatioEWMA <= 0 {
+		t.Fatalf("ratio: %f", st.InvalidationRatioEWMA)
+	}
+}
+
+func TestPolicyRuleNeverCache(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.inv.Policies().AddRule(Rule{Table: "car", Action: ActionNeverCache})
+	h.page("url1", paperQuery1)
+	h.cycle(t)
+	types := h.inv.Registry().Types()
+	if len(types) != 1 || !types[0].NoCache {
+		t.Fatalf("types: %+v", types)
+	}
+	if h.inv.CacheableServlet("servlet") {
+		t.Fatal("servlet using a no-cache type must be non-cacheable")
+	}
+	if !h.inv.CacheableServlet("other") {
+		t.Fatal("unrelated servlet must stay cacheable")
+	}
+}
+
+func TestPolicyServletRule(t *testing.T) {
+	p := NewPolicies(DefaultThresholds())
+	p.AddRule(Rule{Servlet: "private", Action: ActionNeverCache})
+	if p.CacheableServlet("private") {
+		t.Fatal("rule ignored")
+	}
+	if !p.CacheableServlet("public") {
+		t.Fatal("wrong servlet matched")
+	}
+	p.AddRule(Rule{Servlet: "private", Action: ActionAlwaysCache})
+	if !p.CacheableServlet("private") {
+		t.Fatal("later rule must win")
+	}
+}
+
+func TestPolicyDiscoveryByInvalidationRatio(t *testing.T) {
+	h := newHarness(t, carSchema)
+	// EWMA (α=1/8) reaches 1-(7/8)^4 ≈ 0.41 after four all-invalidating
+	// batches; the 0.3 threshold must then trip.
+	h.inv.policies = NewPolicies(DiscoveryThresholds{
+		MaxInvalidationRatio:    0.3,
+		MinBatchesBeforeJudging: 2,
+	})
+	for i := 0; i < 4; i++ {
+		h.page("cheap", "SELECT * FROM Car WHERE price < 90000")
+		h.cycle(t)
+		// Every update invalidates the only instance: ratio 1.0.
+		h.exec(t, "INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+		h.cycle(t)
+	}
+	types := h.inv.Registry().Types()
+	if len(types) != 1 || !types[0].NoCache {
+		t.Fatalf("type should be marked no-cache: %+v", types[0])
+	}
+}
+
+func TestScheduleTypesPriority(t *testing.T) {
+	h := newHarness(t, carSchema)
+	// Type A protects 3 pages, type B one page.
+	h.page("a1", "SELECT * FROM Car WHERE price < 100")
+	h.page("a2", "SELECT * FROM Car WHERE price < 200")
+	h.page("a3", "SELECT * FROM Car WHERE price < 300")
+	h.page("b1", "SELECT * FROM Car WHERE maker = 'X'")
+	h.cycle(t)
+	types := h.inv.Registry().TypesForTable("Car")
+	if len(types) != 2 {
+		t.Fatalf("types: %d", len(types))
+	}
+	ordered := h.inv.scheduleTypes(types)
+	st0 := h.inv.Registry().StatsOf(ordered[0])
+	st1 := h.inv.Registry().StatsOf(ordered[1])
+	if st0.LiveInstances < st1.LiveInstances {
+		t.Fatalf("priority order wrong: %d before %d", st0.LiveInstances, st1.LiveInstances)
+	}
+	// Degenerate inputs pass through.
+	if got := h.inv.scheduleTypes(types[:1]); len(got) != 1 {
+		t.Fatalf("single: %v", got)
+	}
+	if got := h.inv.scheduleTypes(nil); got != nil {
+		t.Fatalf("nil: %v", got)
+	}
+}
+
+func TestScalarFunctionPredicateAnalysis(t *testing.T) {
+	h := newHarness(t, carSchema)
+	h.page("toyotas", "SELECT model FROM Car WHERE UPPER(maker) = 'TOYOTA'")
+	h.cycle(t)
+	// Local predicate with a scalar function: evaluated in the invalidator.
+	h.exec(t, "INSERT INTO Car VALUES ('honda', 'Fit', 14000)")
+	rep := h.cycle(t)
+	if len(h.ejected) != 0 || rep.Polls != 0 {
+		t.Fatalf("ejected=%v polls=%d", h.ejected, rep.Polls)
+	}
+	h.exec(t, "INSERT INTO Car VALUES ('toyota', 'Yaris', 14000)")
+	rep = h.cycle(t)
+	if len(h.ejected) != 1 || rep.Polls != 0 {
+		t.Fatalf("ejected=%v polls=%d", h.ejected, rep.Polls)
+	}
+}

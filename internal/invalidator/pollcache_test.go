@@ -1,0 +1,98 @@
+package invalidator
+
+import (
+	"testing"
+
+	"repro/internal/datacache"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// syncedPoller directs polling queries to a middle-tier data cache the
+// invalidator maintains itself (§2.4: "to reduce the load on the DBMS, [the
+// polling queries can be directed] to a middle-tier data cache maintained
+// by the invalidator"). The cache is synchronized from the same update-log
+// position the invalidator is about to process, so polls always observe at
+// least the state the deltas describe.
+type syncedPoller struct {
+	dc     *datacache.DataCache
+	puller datacache.LogPuller
+}
+
+func (p syncedPoller) Query(sql string) (*engine.Result, error) {
+	return p.dc.Query(sql)
+}
+
+// TestPollingViaDataCache wires the invalidator's poller to a data cache
+// and verifies (a) invalidation decisions stay correct, (b) repeated polls
+// of the same residue are served from the cache, not the DBMS.
+func TestPollingViaDataCache(t *testing.T) {
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(carSchema); err != nil {
+		t.Fatal(err)
+	}
+	backPool, err := driver.NewPool(driver.DirectDriver{DB: db}, "", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer backPool.Close()
+	dc := datacache.New(backPool, 0)
+	puller := datacache.EngineLogPuller{Log: db.Log()}
+
+	m := sniffer.NewQIURLMap()
+	var ejected []string
+	inv := New(Config{
+		Map:    m,
+		Puller: EngineLogPuller{Log: db.Log()},
+		Poller: syncedPoller{dc: dc, puller: puller},
+		Ejector: FuncEjector(func(keys []string) error {
+			ejected = append(ejected, keys...)
+			return nil
+		}),
+	})
+	cycle := func() Report {
+		t.Helper()
+		// Keep the polling cache at least as fresh as the deltas the
+		// invalidator is about to analyze.
+		if _, err := dc.Sync(puller); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := inv.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	cycle()
+
+	m.Record("url1", "s", 1, []sniffer.QueryInstance{{SQL: paperQuery1}})
+	cycle()
+
+	// First poll-needing insert: data cache misses, forwards to the DBMS.
+	db.ExecSQL("INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)") // no Mileage row
+	rep := cycle()
+	if len(ejected) != 0 || rep.Polls != 1 {
+		t.Fatalf("ejected=%v polls=%d", ejected, rep.Polls)
+	}
+	missesAfterFirst := dc.Stats().Misses
+
+	// Second identical residue: the data cache answers without the DBMS.
+	db.ExecSQL("INSERT INTO Car VALUES ('SSC', 'Viper', 95000)") // same model residue
+	rep = cycle()
+	if len(ejected) != 0 || rep.Polls != 1 {
+		t.Fatalf("second: ejected=%v polls=%d", ejected, rep.Polls)
+	}
+	st := dc.Stats()
+	if st.Hits == 0 || st.Misses != missesAfterFirst {
+		t.Fatalf("data cache should have served the repeat poll: %+v", st)
+	}
+
+	// A mileage row appears for 'Avalon'; an Avalon insert must invalidate
+	// even through the cached poller (sync keeps it fresh).
+	db.ExecSQL("INSERT INTO Car VALUES ('Toyota', 'Avalon', 25000)")
+	cycle()
+	if len(ejected) != 1 || ejected[0] != "url1" {
+		t.Fatalf("ejected: %v", ejected)
+	}
+}

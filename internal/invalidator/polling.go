@@ -1,0 +1,105 @@
+package invalidator
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+// Poller executes polling queries (§4.2.3). driver.Conn satisfies it, so
+// polls can go to the real DBMS, to a middle-tier data cache, or (in tests)
+// to an in-process database.
+type Poller interface {
+	Query(sql string) (*engine.Result, error)
+}
+
+// pollRun wraps a Poller with per-cycle deduplication, timing, budget
+// enforcement and the maintained-index shortcut. One pollRun lives for one
+// invalidation cycle.
+type pollRun struct {
+	poller  Poller
+	indexes *IndexSet
+	cache   map[string]*engine.Result
+	deny    map[string]error
+
+	polls     int
+	indexHits int
+	pollTime  time.Duration
+
+	// budget: when the deadline passes, exec returns errBudget and the
+	// caller falls back to conservative invalidation (§4.2.2's real-time
+	// trade-off).
+	deadline time.Time
+}
+
+type budgetError struct{}
+
+func (budgetError) Error() string { return "invalidator: polling budget exhausted" }
+
+// errBudget marks budget exhaustion.
+var errBudget = budgetError{}
+
+func newPollRun(p Poller, idx *IndexSet, budget time.Duration) *pollRun {
+	r := &pollRun{
+		poller:  p,
+		indexes: idx,
+		cache:   make(map[string]*engine.Result),
+		deny:    make(map[string]error),
+	}
+	if budget > 0 {
+		r.deadline = time.Now().Add(budget)
+	}
+	return r
+}
+
+func (r *pollRun) overBudget() bool {
+	return !r.deadline.IsZero() && time.Now().After(r.deadline)
+}
+
+// exec runs (or replays) a polling query.
+func (r *pollRun) exec(sql string) (*engine.Result, error) {
+	if res, ok := r.cache[sql]; ok {
+		return res, nil
+	}
+	if err, ok := r.deny[sql]; ok {
+		return nil, err
+	}
+	if r.overBudget() {
+		return nil, errBudget
+	}
+	if r.poller == nil {
+		err := analysisError{err: errNoPoller}
+		r.deny[sql] = err
+		return nil, err
+	}
+	start := time.Now()
+	res, err := r.poller.Query(sql)
+	r.pollTime += time.Since(start)
+	r.polls++
+	if err != nil {
+		r.deny[sql] = err
+		return nil, err
+	}
+	r.cache[sql] = res
+	return res, nil
+}
+
+// existence answers "does any row satisfy table.column = v" using a
+// maintained index when available; ok=false means no index covers it.
+func (r *pollRun) existence(table, column string, v mem.Value) (exists, ok bool) {
+	if r.indexes == nil {
+		return false, false
+	}
+	exists, ok = r.indexes.Contains(table, column, v)
+	if ok {
+		r.indexHits++
+	}
+	return exists, ok
+}
+
+type noPollerError struct{}
+
+func (noPollerError) Error() string { return "no poller configured" }
+
+var errNoPoller = noPollerError{}

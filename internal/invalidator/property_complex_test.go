@@ -1,0 +1,176 @@
+package invalidator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// This file extends the no-stale-pages property to the full predicate
+// vocabulary: IN, BETWEEN, LIKE, OR, NOT, IS NULL, arithmetic, and NULL
+// data — shapes where conservative fallbacks and three-valued logic have to
+// cooperate with the conjunct analysis.
+
+// randComplexQuery draws from a richer query pool than property_test.go.
+func randComplexQuery(rng *rand.Rand) string {
+	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
+	op := func() string { return ops[rng.Intn(len(ops))] }
+	n := func(max int) int { return rng.Intn(max) }
+	switch rng.Intn(10) {
+	case 0:
+		return fmt.Sprintf("SELECT a FROM R WHERE a IN (%d, %d, %d)", n(10), n(10), n(10))
+	case 1:
+		return fmt.Sprintf("SELECT a FROM R WHERE a BETWEEN %d AND %d", n(5), 5+n(5))
+	case 2:
+		return fmt.Sprintf("SELECT a FROM R WHERE c LIKE '%c%%'", 'a'+rune(n(4)))
+	case 3:
+		return fmt.Sprintf("SELECT a FROM R WHERE a %s %d OR b %s %d", op(), n(10), op(), n(5))
+	case 4:
+		return fmt.Sprintf("SELECT a FROM R WHERE NOT (a %s %d)", op(), n(10))
+	case 5:
+		return "SELECT a FROM R WHERE b IS NULL"
+	case 6:
+		return fmt.Sprintf("SELECT a FROM R WHERE a + b %s %d", op(), n(12))
+	case 7:
+		return fmt.Sprintf("SELECT R.a FROM R, S WHERE R.b = S.b AND (R.a %s %d OR S.d %s %d)",
+			op(), n(10), op(), n(10))
+	case 8:
+		return fmt.Sprintf("SELECT R.a FROM R, S WHERE R.b = S.b AND S.d IN (%d, %d)", n(10), n(10))
+	default:
+		return fmt.Sprintf("SELECT COUNT(*) FROM R WHERE a %s %d", op(), n(10))
+	}
+}
+
+func randComplexUpdate(rng *rand.Rand) string {
+	n := func(max int) int { return rng.Intn(max) }
+	switch rng.Intn(7) {
+	case 0, 1:
+		// Inserts, sometimes with NULLs.
+		b := fmt.Sprint(n(5))
+		if rng.Intn(4) == 0 {
+			b = "NULL"
+		}
+		return fmt.Sprintf("INSERT INTO R VALUES (%d, %s, '%c%d')", n(10), b, 'a'+rune(n(4)), n(10))
+	case 2:
+		return fmt.Sprintf("INSERT INTO S VALUES (%d, %d)", n(5), n(10))
+	case 3:
+		return fmt.Sprintf("DELETE FROM R WHERE a = %d", n(10))
+	case 4:
+		return fmt.Sprintf("DELETE FROM S WHERE b = %d", n(5))
+	case 5:
+		return fmt.Sprintf("UPDATE R SET c = 'z%d' WHERE a = %d", n(10), n(10))
+	default:
+		return fmt.Sprintf("UPDATE R SET b = NULL WHERE a = %d", n(10))
+	}
+}
+
+func TestPropertyNoStalePagesComplexPredicates(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		db := engine.NewDatabase()
+		if _, err := db.ExecScript(`
+			CREATE TABLE R (a INT, b INT, c TEXT);
+			CREATE TABLE S (b INT, d INT);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 25; i++ {
+			b := fmt.Sprint(rng.Intn(5))
+			if rng.Intn(5) == 0 {
+				b = "NULL"
+			}
+			db.ExecSQL(fmt.Sprintf("INSERT INTO R VALUES (%d, %s, '%c%d')",
+				rng.Intn(10), b, 'a'+rune(rng.Intn(4)), rng.Intn(10)))
+		}
+		for i := 0; i < 10; i++ {
+			db.ExecSQL(fmt.Sprintf("INSERT INTO S VALUES (%d, %d)", rng.Intn(5), rng.Intn(10)))
+		}
+
+		m := sniffer.NewQIURLMap()
+		ejected := map[string]bool{}
+		pollConn := directConn(t, db)
+		inv := New(Config{
+			Map:    m,
+			Puller: EngineLogPuller{Log: db.Log()},
+			Poller: pollConn,
+			Ejector: FuncEjector(func(keys []string) error {
+				for _, k := range keys {
+					ejected[k] = true
+				}
+				return nil
+			}),
+		})
+		if _, err := inv.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+
+		pages := map[string]string{}
+		for round := 0; round < 6; round++ {
+			before := map[string]string{}
+			for p := 0; p < 3; p++ {
+				key := fmt.Sprintf("pg-%d-%d", round, p)
+				sql := randComplexQuery(rng)
+				res, err := db.ExecSQL(sql)
+				if err != nil {
+					t.Fatalf("seed %d: %s: %v", seed, sql, err)
+				}
+				pages[key] = sql
+				before[key] = resultFingerprint(res)
+				m.Record(key, "s", int64(p), []sniffer.QueryInstance{{SQL: sql}})
+			}
+			for key, sql := range pages {
+				if _, done := before[key]; done {
+					continue
+				}
+				res, err := db.ExecSQL(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before[key] = resultFingerprint(res)
+			}
+			if _, err := inv.Cycle(); err != nil {
+				t.Fatal(err)
+			}
+
+			var stmts []string
+			for u := 0; u < 1+rng.Intn(3); u++ {
+				sql := randComplexUpdate(rng)
+				stmts = append(stmts, sql)
+				if _, err := db.ExecSQL(sql); err != nil {
+					t.Fatalf("seed %d: %s: %v", seed, sql, err)
+				}
+			}
+			ejected = map[string]bool{}
+			if _, err := inv.Cycle(); err != nil {
+				t.Fatal(err)
+			}
+			for key, sql := range pages {
+				res, err := db.ExecSQL(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if after := resultFingerprint(res); after != before[key] && !ejected[key] {
+					t.Fatalf("seed %d round %d: STALE %s\n  query: %s\n  updates: %v",
+						seed, round, key, sql, stmts)
+				}
+			}
+			for key := range ejected {
+				delete(pages, key)
+			}
+		}
+	}
+}
+
+// directConn is a test helper returning an in-process poller.
+func directConn(t *testing.T, db *engine.Database) Poller {
+	t.Helper()
+	return pollerFunc(func(sql string) (*engine.Result, error) { return db.ExecSQL(sql) })
+}
+
+// pollerFunc adapts a function to Poller.
+type pollerFunc func(string) (*engine.Result, error)
+
+func (f pollerFunc) Query(sql string) (*engine.Result, error) { return f(sql) }

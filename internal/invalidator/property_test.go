@@ -1,0 +1,222 @@
+package invalidator
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sniffer"
+)
+
+// This file checks the invalidator's central correctness guarantee with
+// randomized workloads: after any batch of updates, the set of invalidated
+// pages must be a superset of the pages whose query results actually
+// changed (no stale page is ever served). Precision (not invalidating
+// unaffected pages) is desirable but not required; soundness is.
+
+// propHarness runs one random scenario.
+type propHarness struct {
+	rng     *rand.Rand
+	db      *engine.Database
+	m       *sniffer.QIURLMap
+	inv     *Invalidator
+	ejected map[string]bool
+	pages   map[string]string // cache key → SQL
+}
+
+func newPropHarness(t *testing.T, seed int64) *propHarness {
+	t.Helper()
+	h := &propHarness{
+		rng:     rand.New(rand.NewSource(seed)),
+		db:      engine.NewDatabase(),
+		m:       sniffer.NewQIURLMap(),
+		ejected: make(map[string]bool),
+		pages:   make(map[string]string),
+	}
+	if _, err := h.db.ExecScript(`
+		CREATE TABLE R (a INT, b INT, c TEXT);
+		CREATE TABLE S (b INT, d INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	// Seed data.
+	for i := 0; i < 20; i++ {
+		h.db.ExecSQL(fmt.Sprintf("INSERT INTO R VALUES (%d, %d, '%c')",
+			h.rng.Intn(10), h.rng.Intn(5), 'a'+rune(h.rng.Intn(4))))
+	}
+	for i := 0; i < 12; i++ {
+		h.db.ExecSQL(fmt.Sprintf("INSERT INTO S VALUES (%d, %d)", h.rng.Intn(5), h.rng.Intn(10)))
+	}
+	pollConn, err := driver.DirectDriver{DB: h.db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.inv = New(Config{
+		Map:    h.m,
+		Puller: EngineLogPuller{Log: h.db.Log()},
+		Poller: pollConn,
+		Ejector: FuncEjector(func(keys []string) error {
+			for _, k := range keys {
+				h.ejected[k] = true
+			}
+			return nil
+		}),
+	})
+	if _, err := h.inv.Cycle(); err != nil { // swallow seed-data log
+		t.Fatal(err)
+	}
+	return h
+}
+
+// randQuery generates a random single-table or join SELECT.
+func (h *propHarness) randQuery() string {
+	ops := []string{"<", "<=", ">", ">=", "=", "<>"}
+	op := func() string { return ops[h.rng.Intn(len(ops))] }
+	switch h.rng.Intn(5) {
+	case 0:
+		return fmt.Sprintf("SELECT a, b FROM R WHERE a %s %d", op(), h.rng.Intn(10))
+	case 1:
+		return fmt.Sprintf("SELECT a FROM R WHERE a %s %d AND b %s %d",
+			op(), h.rng.Intn(10), op(), h.rng.Intn(5))
+	case 2:
+		return fmt.Sprintf("SELECT d FROM S WHERE d %s %d", op(), h.rng.Intn(10))
+	case 3:
+		return fmt.Sprintf("SELECT R.a, S.d FROM R, S WHERE R.b = S.b AND R.a %s %d",
+			op(), h.rng.Intn(10))
+	default:
+		return fmt.Sprintf("SELECT R.a FROM R, S WHERE R.b = S.b AND R.a %s %d AND S.d %s %d",
+			op(), h.rng.Intn(10), op(), h.rng.Intn(10))
+	}
+}
+
+// randUpdate applies one random DML statement.
+func (h *propHarness) randUpdate() string {
+	switch h.rng.Intn(6) {
+	case 0, 1:
+		return fmt.Sprintf("INSERT INTO R VALUES (%d, %d, '%c')",
+			h.rng.Intn(10), h.rng.Intn(5), 'a'+rune(h.rng.Intn(4)))
+	case 2:
+		return fmt.Sprintf("INSERT INTO S VALUES (%d, %d)", h.rng.Intn(5), h.rng.Intn(10))
+	case 3:
+		return fmt.Sprintf("DELETE FROM R WHERE a = %d", h.rng.Intn(10))
+	case 4:
+		return fmt.Sprintf("DELETE FROM S WHERE d = %d", h.rng.Intn(10))
+	default:
+		return fmt.Sprintf("UPDATE R SET b = %d WHERE a = %d", h.rng.Intn(5), h.rng.Intn(10))
+	}
+}
+
+// resultFingerprint canonicalizes a query result as a sorted multiset.
+func resultFingerprint(res *engine.Result) string {
+	keys := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		keys[i] = mem.Row(r).Key()
+	}
+	// Order-insensitive: sort.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := ""
+	for _, k := range keys {
+		out += k + "\x1e"
+	}
+	return out
+}
+
+// TestPropertyNoStalePages: across many random rounds, every page whose
+// result changed must have been ejected.
+func TestPropertyNoStalePages(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		h := newPropHarness(t, 1000+seed)
+
+		for round := 0; round < 8; round++ {
+			// "Serve" 1-4 pages: record their queries and results.
+			before := map[string]string{}
+			nPages := 1 + h.rng.Intn(4)
+			for p := 0; p < nPages; p++ {
+				key := fmt.Sprintf("page-%d-%d", round, p)
+				sql := h.randQuery()
+				res, err := h.db.ExecSQL(sql)
+				if err != nil {
+					t.Fatalf("seed %d: %s: %v", seed, sql, err)
+				}
+				h.pages[key] = sql
+				before[key] = resultFingerprint(res)
+				h.m.Record(key, "servlet", int64(p), []sniffer.QueryInstance{{SQL: sql}})
+			}
+			// Also re-fingerprint surviving older pages.
+			for key, sql := range h.pages {
+				if _, done := before[key]; done {
+					continue
+				}
+				res, err := h.db.ExecSQL(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				before[key] = resultFingerprint(res)
+			}
+			if _, err := h.inv.Cycle(); err != nil { // ingest mappings
+				t.Fatal(err)
+			}
+
+			// Random update batch.
+			nUpd := 1 + h.rng.Intn(4)
+			var stmts []string
+			for u := 0; u < nUpd; u++ {
+				sql := h.randUpdate()
+				stmts = append(stmts, sql)
+				if _, err := h.db.ExecSQL(sql); err != nil {
+					t.Fatalf("seed %d: %s: %v", seed, sql, err)
+				}
+			}
+
+			h.ejected = make(map[string]bool)
+			if _, err := h.inv.Cycle(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Soundness: changed ⇒ ejected.
+			for key, sql := range h.pages {
+				res, err := h.db.ExecSQL(sql)
+				if err != nil {
+					t.Fatal(err)
+				}
+				after := resultFingerprint(res)
+				if after != before[key] && !h.ejected[key] {
+					t.Fatalf("seed %d round %d: STALE PAGE %s\n  query: %s\n  updates: %v\n  before=%q after=%q",
+						seed, round, key, sql, stmts, before[key], after)
+				}
+			}
+			// Ejected pages are forgotten (they left the cache).
+			for key := range h.ejected {
+				delete(h.pages, key)
+			}
+		}
+	}
+}
+
+// TestPropertyPrecisionReasonable guards against a trivially sound but
+// useless implementation that invalidates everything: across rounds with
+// updates guaranteed irrelevant to the cached queries, nothing should be
+// ejected.
+func TestPropertyPrecisionReasonable(t *testing.T) {
+	h := newPropHarness(t, 42)
+	// Page depends on R rows with a < 3 only.
+	h.m.Record("narrow", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT a FROM R WHERE a < 3"}})
+	h.inv.Cycle()
+	for i := 0; i < 10; i++ {
+		// Inserts with a >= 5 can never affect it.
+		h.db.ExecSQL(fmt.Sprintf("INSERT INTO R VALUES (%d, %d, 'x')", 5+i%5, i%5))
+		h.db.ExecSQL(fmt.Sprintf("INSERT INTO S VALUES (%d, %d)", i%5, i))
+		h.ejected = make(map[string]bool)
+		h.inv.Cycle()
+		if h.ejected["narrow"] {
+			t.Fatalf("iteration %d: irrelevant update invalidated the page", i)
+		}
+	}
+}

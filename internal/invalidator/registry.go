@@ -1,0 +1,367 @@
+// Package invalidator implements CachePortal's invalidator (paper §4): it
+// registers query types and instances discovered from the sniffer's QI/URL
+// map (§4.1), pulls the database update log and organizes it into Δ⁺/Δ⁻
+// delta tables (§4.2.1), decides per delta tuple whether each cached query
+// instance is unaffected, certainly affected, or needs a polling query
+// (Example 4.1), schedules and executes those polling queries within a
+// real-time budget (§4.2.2–4.2.3), and sends `Cache-Control: eject`
+// invalidation messages for the affected pages (§4.2.4). The information
+// management module's auxiliary structures — maintained join indexes,
+// statistics, policies — live here too (§4.3).
+package invalidator
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// QueryType is a registered query template (§4.1.1): a SELECT with
+// placeholders where instances have literals.
+type QueryType struct {
+	ID   int64
+	Name string // optional human name from offline registration
+	// Key is the canonical template string (lower-cased); the identity of
+	// the type.
+	Key string
+	// Template is the canonicalized statement.
+	Template *sqlparser.SelectStmt
+	// Tables are the base tables referenced (lower-cased, deduplicated).
+	Tables []string
+	// Discovered is false for administrator-registered types (offline
+	// mode), true for types found by scanning the QI/URL map (§4.1.2).
+	Discovered bool
+
+	// NoCache is set by policy when pages depending on this type should
+	// not be cached (§4.1.4).
+	NoCache bool
+
+	stats TypeStats
+	plans map[string]*tablePlan // delta-table plan cache, keyed by table|colfp
+}
+
+// TypeStats are the self-tuning statistics of §4.1.1.
+type TypeStats struct {
+	Instances        int64 // instances ever registered
+	LiveInstances    int64 // instances currently linked to pages
+	Polls            int64 // polling queries issued for this type
+	PollTime         time.Duration
+	LocalDecisions   int64 // delta tuples decided without polling
+	Impacts          int64 // instance invalidations attributed to this type
+	Conservative     int64 // conservative (unanalyzed/budget) invalidations
+	UpdateBatches    int64 // delta batches that touched this type's tables
+	InvalidationTime time.Duration
+	MaxInvalidation  time.Duration
+	// InvalidationRatioEWMA tracks the fraction of live instances
+	// invalidated per touching update batch (exp. weighted, α=1/8).
+	InvalidationRatioEWMA float64
+}
+
+// Instance is a bound query instance linked to the cached pages it
+// produced.
+type Instance struct {
+	Type    *QueryType
+	Args    []mem.Value
+	ArgsKey string
+	// Bound is the instance statement with literals in place.
+	Bound *sqlparser.SelectStmt
+	// Pages is the set of cache keys whose content depends on this
+	// instance.
+	Pages map[string]bool
+}
+
+// Registry holds query types, instances and the instance↔page links — the
+// registration module's data structures (§4.1).
+type Registry struct {
+	mu         sync.Mutex
+	nextTypeID int64
+	types      map[string]*QueryType // template key → type
+	instances  map[string]*Instance  // template key + args key → instance
+	byTable    map[string]map[*QueryType]bool
+	pageLinks  map[string]map[*Instance]bool // cache key → instances
+	// conservativePages hold pages whose queries could not be analyzed
+	// (non-SELECT or unparseable): they are invalidated on every update.
+	conservativePages map[string]bool
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		types:             make(map[string]*QueryType),
+		instances:         make(map[string]*Instance),
+		byTable:           make(map[string]map[*QueryType]bool),
+		pageLinks:         make(map[string]map[*Instance]bool),
+		conservativePages: make(map[string]bool),
+	}
+}
+
+// RegisterType registers a query type from SQL text (offline/administrator
+// mode, §4.1.1). Placeholders mark the parameters. The same template
+// re-registers idempotently.
+func (r *Registry) RegisterType(name, sql string) (*QueryType, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, fmt.Errorf("invalidator: register type %q: %w", name, err)
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("invalidator: register type %q: not a SELECT", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qt := r.internType(sel)
+	qt.Discovered = false
+	if name != "" {
+		qt.Name = name
+	}
+	return qt, nil
+}
+
+// internType canonicalizes sel and returns the (possibly new) type.
+// Callers hold r.mu.
+func (r *Registry) internType(sel *sqlparser.SelectStmt) *QueryType {
+	tmplStmt, _ := sqlparser.Canonicalize(sel)
+	tmpl := tmplStmt.(*sqlparser.SelectStmt)
+	key := strings.ToLower(tmpl.String())
+	if qt, ok := r.types[key]; ok {
+		return qt
+	}
+	r.nextTypeID++
+	qt := &QueryType{
+		ID:         r.nextTypeID,
+		Key:        key,
+		Template:   tmpl,
+		Discovered: true,
+		plans:      make(map[string]*tablePlan),
+	}
+	seen := map[string]bool{}
+	for _, ref := range tmpl.Tables() {
+		t := strings.ToLower(ref.Name)
+		if !seen[t] {
+			seen[t] = true
+			qt.Tables = append(qt.Tables, t)
+		}
+	}
+	sort.Strings(qt.Tables)
+	r.types[key] = qt
+	for _, t := range qt.Tables {
+		set, ok := r.byTable[t]
+		if !ok {
+			set = make(map[*QueryType]bool)
+			r.byTable[t] = set
+		}
+		set[qt] = true
+	}
+	return qt
+}
+
+// argsKey builds the identity of an instance's bound parameters.
+func argsKey(args []mem.Value) string {
+	var b strings.Builder
+	for i, a := range args {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(a.Key())
+	}
+	return b.String()
+}
+
+// ObserveInstance registers (or refreshes) a bound query instance from the
+// QI/URL map and links it to a page (§4.1.2 discovery mode). It returns the
+// instance and whether its type was newly discovered.
+func (r *Registry) ObserveInstance(sql, cacheKey string) (*Instance, bool, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, false, fmt.Errorf("invalidator: %w", err)
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, false, fmt.Errorf("invalidator: %T is not a SELECT", stmt)
+	}
+	tmplStmt, litArgs := sqlparser.Canonicalize(sel)
+	_ = tmplStmt
+	args := make([]mem.Value, len(litArgs))
+	for i, e := range litArgs {
+		if e == nil {
+			// Unbound placeholder in a supposedly bound instance: cannot
+			// evaluate → caller treats the page conservatively.
+			return nil, false, fmt.Errorf("invalidator: instance has unbound placeholder")
+		}
+		v, err := mem.FromLiteral(e)
+		if err != nil {
+			return nil, false, err
+		}
+		args[i] = v
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	before := len(r.types)
+	qt := r.internType(sel)
+	newType := len(r.types) > before
+
+	ik := qt.Key + "\x00" + argsKey(args)
+	inst, ok := r.instances[ik]
+	if !ok {
+		inst = &Instance{
+			Type:    qt,
+			Args:    args,
+			ArgsKey: argsKey(args),
+			Bound:   sqlparser.CopyStmt(sel).(*sqlparser.SelectStmt),
+			Pages:   make(map[string]bool),
+		}
+		r.instances[ik] = inst
+		qt.stats.Instances++
+		qt.stats.LiveInstances++
+	}
+	if cacheKey != "" {
+		inst.Pages[cacheKey] = true
+		links, ok := r.pageLinks[cacheKey]
+		if !ok {
+			links = make(map[*Instance]bool)
+			r.pageLinks[cacheKey] = links
+		}
+		links[inst] = true
+	}
+	return inst, newType, nil
+}
+
+// MarkConservative records a page whose dependencies cannot be analyzed;
+// it will be invalidated whenever anything in the database changes.
+func (r *Registry) MarkConservative(cacheKey string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.conservativePages[cacheKey] = true
+}
+
+// ConservativePages returns the current conservative page set.
+func (r *Registry) ConservativePages() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.conservativePages))
+	for k := range r.conservativePages {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnlinkPage removes every instance↔page link for cacheKey (after its cache
+// entry was ejected). Instances left without pages stay registered (their
+// type statistics persist) but no longer participate in invalidation.
+func (r *Registry) UnlinkPage(cacheKey string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unlinkPageLocked(cacheKey)
+}
+
+func (r *Registry) unlinkPageLocked(cacheKey string) {
+	delete(r.conservativePages, cacheKey)
+	links, ok := r.pageLinks[cacheKey]
+	if !ok {
+		return
+	}
+	delete(r.pageLinks, cacheKey)
+	for inst := range links {
+		delete(inst.Pages, cacheKey)
+		if len(inst.Pages) == 0 {
+			delete(r.instances, inst.Type.Key+"\x00"+inst.ArgsKey)
+			inst.Type.stats.LiveInstances--
+		}
+	}
+}
+
+// RelinkPage replaces a page's links: called when the sniffer reports the
+// page was regenerated with a (possibly different) query set.
+func (r *Registry) RelinkPage(cacheKey string) {
+	r.UnlinkPage(cacheKey)
+}
+
+// TypesForTable returns the types referencing the (case-insensitive) table.
+func (r *Registry) TypesForTable(table string) []*QueryType {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	set := r.byTable[strings.ToLower(table)]
+	out := make([]*QueryType, 0, len(set))
+	for qt := range set {
+		out = append(out, qt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InstancesOf returns the live instances of a type (with ≥1 page).
+func (r *Registry) InstancesOf(qt *QueryType) []*Instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Instance
+	for _, inst := range r.instances {
+		if inst.Type == qt && len(inst.Pages) > 0 {
+			out = append(out, inst)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ArgsKey < out[j].ArgsKey })
+	return out
+}
+
+// Types returns all registered types ordered by ID.
+func (r *Registry) Types() []*QueryType {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*QueryType, 0, len(r.types))
+	for _, qt := range r.types {
+		out = append(out, qt)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Type returns the registered type for a canonical template key.
+func (r *Registry) Type(key string) (*QueryType, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qt, ok := r.types[strings.ToLower(key)]
+	return qt, ok
+}
+
+// Pages returns every page currently linked to at least one instance or
+// marked conservative.
+func (r *Registry) Pages() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	seen := make(map[string]bool, len(r.pageLinks)+len(r.conservativePages))
+	for k := range r.pageLinks {
+		seen[k] = true
+	}
+	for k := range r.conservativePages {
+		seen[k] = true
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StatsOf returns a copy of the type's statistics.
+func (r *Registry) StatsOf(qt *QueryType) TypeStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return qt.stats
+}
+
+// locked helpers used by the invalidator cycle (which coordinates its own
+// larger critical sections).
+
+func (r *Registry) withLock(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}

@@ -1,0 +1,203 @@
+package invalidator
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// TriggerBased is the paper's rejected first alternative (§4): invalidation
+// by update-sensitive triggers *inside* the database. It registers a
+// trigger that runs synchronously in the DBMS's write path and decides
+// page impact there. Two of the paper's criticisms materialize directly:
+//
+//   - "puts heavy trigger management burden on the database": the analysis
+//     runs while the DBMS's write lock is held, so every update pays for
+//     it inline (BenchmarkTriggerOverhead quantifies the slowdown);
+//   - "depends on the trigger management capabilities (such as ... join-
+//     based trigger conditions)": triggers cannot issue polling queries
+//     against their own database mid-update, so any residual (join)
+//     condition degrades to conservative invalidation — strictly less
+//     precise than CachePortal's external invalidator.
+//
+// It shares the Registry (query types, instances, pages) and the sniffer's
+// QI/URL map with the normal pipeline so the two approaches are directly
+// comparable.
+type TriggerBased struct {
+	registry *Registry
+	ejector  Ejector
+	m        *sniffer.QIURLMap
+
+	mu         sync.Mutex
+	mapVersion int64
+	db         *engine.Database
+	triggerID  int64
+
+	// Stats
+	updates      int64
+	invalidated  int64
+	conservative int64
+}
+
+// NewTriggerBased creates the baseline over a shared map and ejector.
+func NewTriggerBased(m *sniffer.QIURLMap, ejector Ejector) *TriggerBased {
+	return &TriggerBased{
+		registry: NewRegistry(),
+		m:        m,
+		ejector:  ejector,
+	}
+}
+
+// Registry exposes the shared registration module.
+func (tb *TriggerBased) Registry() *Registry { return tb.registry }
+
+// IngestMap consumes pending QI/URL map changes (call it after pages are
+// served; the trigger path has no periodic cycle to do it).
+func (tb *TriggerBased) IngestMap() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	changes, v, resync := tb.m.Changes(tb.mapVersion)
+	if resync {
+		changes, v = tb.m.Snapshot()
+	}
+	tb.mapVersion = v
+	n := 0
+	for _, pm := range changes {
+		n++
+		tb.registry.RelinkPage(pm.CacheKey)
+		for _, q := range pm.Queries {
+			if _, _, err := tb.registry.ObserveInstance(q.SQL, pm.CacheKey); err != nil {
+				tb.registry.MarkConservative(pm.CacheKey)
+			}
+		}
+	}
+	return n
+}
+
+// Attach installs the trigger on db. Detach removes it.
+func (tb *TriggerBased) Attach(db *engine.Database) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.db = db
+	tb.triggerID = db.AddTrigger("", tb.onUpdate)
+}
+
+// Detach removes the trigger.
+func (tb *TriggerBased) Detach() {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.db != nil {
+		tb.db.RemoveTrigger(tb.triggerID)
+		tb.db = nil
+	}
+}
+
+// Stats returns (updates seen, pages invalidated, conservative decisions).
+func (tb *TriggerBased) Stats() (updates, invalidated, conservative int64) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.updates, tb.invalidated, tb.conservative
+}
+
+// onUpdate runs inside the DBMS write path for every changed row.
+func (tb *TriggerBased) onUpdate(rec engine.UpdateRecord) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.updates++
+
+	impacted := map[string]bool{}
+	for _, qt := range tb.registry.TypesForTable(rec.Table) {
+		insts := tb.registry.InstancesOf(qt)
+		if len(insts) == 0 {
+			continue
+		}
+		plan := qt.planFor(rec.Table, rec.Columns)
+		for _, inst := range insts {
+			verdict := tb.evalInstance(qt, plan, rec, inst)
+			if verdict != 0 {
+				for page := range inst.Pages {
+					impacted[page] = true
+				}
+				if verdict == 2 {
+					tb.conservative++
+				}
+			}
+		}
+	}
+	for _, k := range tb.registry.ConservativePages() {
+		impacted[k] = true
+		tb.conservative++
+	}
+	if len(impacted) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(impacted))
+	for k := range impacted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	// Synchronous ejection from inside the write path — more of the §4
+	// burden the paper warns about.
+	if err := tb.ejector.Eject(keys); err == nil {
+		for _, k := range keys {
+			tb.m.Remove(k)
+			tb.registry.UnlinkPage(k)
+		}
+		tb.invalidated += int64(len(keys))
+	}
+}
+
+// evalInstance: 0 = no impact, 1 = exact impact, 2 = conservative impact.
+// Tuple-level conditions only; anything residual is conservative (no
+// polling is possible inside the trigger).
+func (tb *TriggerBased) evalInstance(qt *QueryType, plan *tablePlan, rec engine.UpdateRecord, inst *Instance) int {
+	if plan.conservative {
+		return 2
+	}
+	for _, occ := range plan.occurrences {
+		if occ.conservative {
+			return 2
+		}
+		env, err := deltaEnv(occ.name, rec.Columns, rec.Row)
+		if err != nil {
+			return 2
+		}
+		dead := false
+		for _, c := range occ.localConst {
+			ok, err := evalLocal(c, env)
+			if err != nil {
+				return 2
+			}
+			if !ok {
+				dead = true
+				break
+			}
+		}
+		if dead {
+			continue
+		}
+		pass := true
+		for _, c := range occ.localParam {
+			ok, err := evalLocal(bindPlaceholders(c, inst.Args), env)
+			if err != nil {
+				return 2
+			}
+			if !ok {
+				pass = false
+				break
+			}
+		}
+		if !pass {
+			continue
+		}
+		if len(occ.residualConst) == 0 && len(occ.residualParam) == 0 {
+			return 1
+		}
+		// Residual (join) condition: a trigger cannot poll its own
+		// database mid-update — conservative.
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,123 @@
+package invalidator
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+func newTriggerHarness(t *testing.T) (*TriggerBased, *engine.Database, *sniffer.QIURLMap, *[]string) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(carSchema); err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.NewQIURLMap()
+	var ejected []string
+	tb := NewTriggerBased(m, FuncEjector(func(keys []string) error {
+		ejected = append(ejected, keys...)
+		return nil
+	}))
+	tb.Attach(db)
+	t.Cleanup(tb.Detach)
+	return tb, db, m, &ejected
+}
+
+func TestTriggerBasedLocalPredicate(t *testing.T) {
+	tb, db, m, ejected := newTriggerHarness(t)
+	m.Record("cheap", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM Car WHERE price < 15500"}})
+	tb.IngestMap()
+
+	// Non-matching insert: exact no-impact, decided in the trigger.
+	db.ExecSQL("INSERT INTO Car VALUES ('Ferrari', 'F40', 900000)")
+	if len(*ejected) != 0 {
+		t.Fatalf("ejected: %v", *ejected)
+	}
+	// Matching insert: fires synchronously — no cycle call needed.
+	db.ExecSQL("INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	if len(*ejected) != 1 || (*ejected)[0] != "cheap" {
+		t.Fatalf("ejected: %v", *ejected)
+	}
+	updates, invalidated, conservative := tb.Stats()
+	if updates != 2 || invalidated != 1 || conservative != 0 {
+		t.Fatalf("stats: %d %d %d", updates, invalidated, conservative)
+	}
+}
+
+func TestTriggerBasedJoinIsConservative(t *testing.T) {
+	tb, db, m, ejected := newTriggerHarness(t)
+	m.Record("url1", "s", 1, []sniffer.QueryInstance{{SQL: paperQuery1}})
+	tb.IngestMap()
+
+	// Local predicate fails → exact no-impact even for the join query.
+	db.ExecSQL("INSERT INTO Car VALUES ('Mitsubishi', 'Eclipse', 20000)")
+	if len(*ejected) != 0 {
+		t.Fatalf("ejected: %v", *ejected)
+	}
+	// Local predicate passes but the join residue cannot be checked inside
+	// the trigger: conservative invalidation — even though the external
+	// invalidator would have polled and kept the page (no 'Viper' mileage).
+	db.ExecSQL("INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)")
+	if len(*ejected) != 1 {
+		t.Fatalf("ejected: %v", *ejected)
+	}
+	_, _, conservative := tb.Stats()
+	if conservative == 0 {
+		t.Fatal("join residue should be conservative")
+	}
+}
+
+func TestTriggerBasedDetach(t *testing.T) {
+	tb, db, m, ejected := newTriggerHarness(t)
+	m.Record("cheap", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM Car WHERE price < 15500"}})
+	tb.IngestMap()
+	tb.Detach()
+	db.ExecSQL("INSERT INTO Car VALUES ('Kia', 'Rio', 12000)")
+	if len(*ejected) != 0 {
+		t.Fatalf("detached trigger fired: %v", *ejected)
+	}
+}
+
+// TestTriggerVsLogBasedPrecision runs the same workload through both
+// approaches: the trigger baseline must invalidate a superset (never
+// stale), and strictly more pages on join workloads (the precision loss
+// the paper predicts).
+func TestTriggerVsLogBasedPrecision(t *testing.T) {
+	// Trigger-based side.
+	tbDB := engine.NewDatabase()
+	if _, err := tbDB.ExecScript(carSchema); err != nil {
+		t.Fatal(err)
+	}
+	tbMap := sniffer.NewQIURLMap()
+	var tbEjected []string
+	tb := NewTriggerBased(tbMap, FuncEjector(func(keys []string) error {
+		tbEjected = append(tbEjected, keys...)
+		return nil
+	}))
+	tb.Attach(tbDB)
+	defer tb.Detach()
+
+	// Log-based side.
+	h := newHarness(t, carSchema)
+
+	page := "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price > 20000"
+	tbMap.Record("url1", "s", 1, []sniffer.QueryInstance{{SQL: page}})
+	tb.IngestMap()
+	h.page("url1", page)
+	h.cycle(t)
+
+	// Insert with no mileage counterpart: external invalidator polls and
+	// keeps the page; trigger baseline cannot poll and drops it.
+	stmt := "INSERT INTO Car VALUES ('Dodge', 'Viper', 90000)"
+	tbDB.ExecSQL(stmt)
+	h.exec(t, stmt)
+	h.cycle(t)
+
+	if len(h.ejected) != 0 {
+		t.Fatalf("log-based should keep the page: %v", h.ejected)
+	}
+	if len(tbEjected) != 1 {
+		t.Fatalf("trigger-based should conservatively drop it: %v", tbEjected)
+	}
+}

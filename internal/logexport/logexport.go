@@ -1,0 +1,216 @@
+// Package logexport lets the sniffer/invalidator run on a separate machine,
+// as in the paper's Figure 7: "the invalidator sits on a separate machine
+// which fetches the logs from the appropriate servers at regular
+// intervals". The application server exposes its request log and query log
+// over HTTP; the remote side mirrors them into local log instances that the
+// ordinary sniffer.Mapper consumes unchanged.
+package logexport
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+)
+
+// DefaultPathPrefix is where the exporter mounts its endpoints.
+const DefaultPathPrefix = "/_cacheportal"
+
+// wire forms. Times travel as Unix nanoseconds.
+type wireRequestEntry struct {
+	ID       int64   `json:"id"`
+	Servlet  string  `json:"servlet"`
+	Request  string  `json:"request"`
+	Cookies  string  `json:"cookies"`
+	Post     string  `json:"post"`
+	CacheKey string  `json:"cache_key"`
+	Receive  int64   `json:"receive_ns"`
+	Deliver  int64   `json:"deliver_ns"`
+	Status   int     `json:"status"`
+	Cached   bool    `json:"cached"`
+	LeaseIDs []int64 `json:"lease_ids,omitempty"`
+}
+
+type wireQueryEntry struct {
+	ID      int64  `json:"id"`
+	LeaseID int64  `json:"lease_id,omitempty"`
+	SQL     string `json:"sql"`
+	Receive int64  `json:"receive_ns"`
+	Deliver int64  `json:"deliver_ns"`
+	Err     string `json:"err,omitempty"`
+}
+
+type logPage[T any] struct {
+	Entries   []T   `json:"entries"`
+	Truncated bool  `json:"truncated"`
+	Next      int64 `json:"next"` // pass as ?since= on the next pull
+}
+
+// Exporter serves the two logs over HTTP.
+type Exporter struct {
+	Requests *appserver.RequestLog
+	Queries  *driver.QueryLog
+}
+
+// Handler returns the exporter's http.Handler; mount it under
+// DefaultPathPrefix.
+func (e *Exporter) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(DefaultPathPrefix+"/logs/requests", e.serveRequests)
+	mux.HandleFunc(DefaultPathPrefix+"/logs/queries", e.serveQueries)
+	return mux
+}
+
+func sinceParam(r *http.Request) int64 {
+	n, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+func (e *Exporter) serveRequests(w http.ResponseWriter, r *http.Request) {
+	since := sinceParam(r)
+	entries, truncated := e.Requests.Since(since)
+	page := logPage[wireRequestEntry]{Truncated: truncated, Next: since}
+	for _, en := range entries {
+		page.Entries = append(page.Entries, wireRequestEntry{
+			ID: en.ID, Servlet: en.Servlet, Request: en.Request,
+			Cookies: en.Cookies, Post: en.Post, CacheKey: en.CacheKey,
+			Receive: en.Receive.UnixNano(), Deliver: en.Deliver.UnixNano(),
+			Status: en.Status, Cached: en.Cached, LeaseIDs: en.LeaseIDs,
+		})
+		page.Next = en.ID + 1
+	}
+	if page.Next < e.Requests.NextID() && len(page.Entries) == 0 {
+		page.Next = e.Requests.NextID()
+	}
+	writeJSON(w, page)
+}
+
+func (e *Exporter) serveQueries(w http.ResponseWriter, r *http.Request) {
+	since := sinceParam(r)
+	entries, truncated := e.Queries.Since(since)
+	page := logPage[wireQueryEntry]{Truncated: truncated, Next: since}
+	for _, en := range entries {
+		page.Entries = append(page.Entries, wireQueryEntry{
+			ID: en.ID, LeaseID: en.LeaseID, SQL: en.SQL,
+			Receive: en.Receive.UnixNano(), Deliver: en.Deliver.UnixNano(),
+			Err: en.Err,
+		})
+		page.Next = en.ID + 1
+	}
+	if page.Next < e.Queries.NextID() && len(page.Entries) == 0 {
+		page.Next = e.Queries.NextID()
+	}
+	writeJSON(w, page)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+// Wrap serves the exporter's endpoints alongside an existing handler: paths
+// under DefaultPathPrefix go to the exporter, everything else to next.
+func (e *Exporter) Wrap(next http.Handler) http.Handler {
+	h := e.Handler()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if len(r.URL.Path) >= len(DefaultPathPrefix) && r.URL.Path[:len(DefaultPathPrefix)] == DefaultPathPrefix {
+			h.ServeHTTP(w, r)
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Mirror pulls both remote logs into local RequestLog/QueryLog instances so
+// an unmodified sniffer.Mapper can run against them on another machine.
+type Mirror struct {
+	// BaseURL is the application server's base URL (the exporter is
+	// expected under BaseURL + DefaultPathPrefix).
+	BaseURL string
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+
+	// Requests and Queries are the local mirrors; NewMirror creates them.
+	Requests *appserver.RequestLog
+	Queries  *driver.QueryLog
+
+	nextReq   int64
+	nextQuery int64
+}
+
+// NewMirror builds a mirror of the exporter at baseURL.
+func NewMirror(baseURL string) *Mirror {
+	return &Mirror{
+		BaseURL:   baseURL,
+		Requests:  appserver.NewRequestLog(0),
+		Queries:   driver.NewQueryLog(0),
+		nextReq:   1,
+		nextQuery: 1,
+	}
+}
+
+func (m *Mirror) client() *http.Client {
+	if m.Client != nil {
+		return m.Client
+	}
+	return http.DefaultClient
+}
+
+func getJSON[T any](c *http.Client, url string, out *logPage[T]) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("logexport: GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Sync pulls one page of each log. It returns how many entries arrived.
+func (m *Mirror) Sync() (int, error) {
+	n := 0
+	var reqPage logPage[wireRequestEntry]
+	url := fmt.Sprintf("%s%s/logs/requests?since=%d", m.BaseURL, DefaultPathPrefix, m.nextReq)
+	if err := getJSON(m.client(), url, &reqPage); err != nil {
+		return n, err
+	}
+	for _, en := range reqPage.Entries {
+		m.Requests.Append(appserver.RequestLogEntry{
+			Servlet: en.Servlet, Request: en.Request, Cookies: en.Cookies,
+			Post: en.Post, CacheKey: en.CacheKey,
+			Receive: time.Unix(0, en.Receive), Deliver: time.Unix(0, en.Deliver),
+			Status: en.Status, Cached: en.Cached, LeaseIDs: en.LeaseIDs,
+		})
+		n++
+	}
+	if reqPage.Next > m.nextReq {
+		m.nextReq = reqPage.Next
+	}
+
+	var qPage logPage[wireQueryEntry]
+	url = fmt.Sprintf("%s%s/logs/queries?since=%d", m.BaseURL, DefaultPathPrefix, m.nextQuery)
+	if err := getJSON(m.client(), url, &qPage); err != nil {
+		return n, err
+	}
+	for _, en := range qPage.Entries {
+		m.Queries.Append(driver.QueryLogEntry{
+			LeaseID: en.LeaseID, SQL: en.SQL,
+			Receive: time.Unix(0, en.Receive), Deliver: time.Unix(0, en.Deliver),
+			Err: en.Err,
+		})
+		n++
+	}
+	if qPage.Next > m.nextQuery {
+		m.nextQuery = qPage.Next
+	}
+	return n, nil
+}

@@ -1,0 +1,167 @@
+package logexport
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+	"repro/internal/sniffer"
+)
+
+func newExporter(t *testing.T) (*Exporter, *httptest.Server) {
+	t.Helper()
+	e := &Exporter{
+		Requests: appserver.NewRequestLog(0),
+		Queries:  driver.NewQueryLog(0),
+	}
+	ts := httptest.NewServer(e.Handler())
+	t.Cleanup(ts.Close)
+	return e, ts
+}
+
+func TestMirrorSyncRoundtrip(t *testing.T) {
+	e, ts := newExporter(t)
+	base := time.Now().Truncate(time.Microsecond)
+	e.Queries.Append(driver.QueryLogEntry{
+		LeaseID: 7, SQL: "SELECT 1",
+		Receive: base.Add(time.Millisecond), Deliver: base.Add(2 * time.Millisecond),
+	})
+	e.Requests.Append(appserver.RequestLogEntry{
+		Servlet: "s", Request: "/s?a=1", Cookies: "u=alice", Post: "p=1",
+		CacheKey: "site/s?g:a=1", Receive: base, Deliver: base.Add(3 * time.Millisecond),
+		Status: 200, Cached: true, LeaseIDs: []int64{7},
+	})
+
+	m := NewMirror(ts.URL)
+	n, err := m.Sync()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("synced %d", n)
+	}
+	reqs, _ := m.Requests.Since(1)
+	if len(reqs) != 1 {
+		t.Fatalf("requests: %+v", reqs)
+	}
+	r := reqs[0]
+	if r.Servlet != "s" || r.CacheKey != "site/s?g:a=1" || !r.Cached ||
+		len(r.LeaseIDs) != 1 || r.LeaseIDs[0] != 7 {
+		t.Fatalf("entry: %+v", r)
+	}
+	if !r.Receive.Equal(base) || !r.Deliver.Equal(base.Add(3*time.Millisecond)) {
+		t.Fatalf("timestamps: %v %v", r.Receive, r.Deliver)
+	}
+	qs, _ := m.Queries.Since(1)
+	if len(qs) != 1 || qs[0].SQL != "SELECT 1" || qs[0].LeaseID != 7 {
+		t.Fatalf("queries: %+v", qs)
+	}
+}
+
+func TestMirrorIncremental(t *testing.T) {
+	e, ts := newExporter(t)
+	m := NewMirror(ts.URL)
+
+	// Empty sync advances nothing and mirrors nothing.
+	if n, err := m.Sync(); err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	for i := 0; i < 3; i++ {
+		e.Queries.Append(driver.QueryLogEntry{SQL: fmt.Sprintf("q%d", i)})
+	}
+	if n, _ := m.Sync(); n != 3 {
+		t.Fatalf("first pull: %d", n)
+	}
+	// No duplicates on re-sync.
+	if n, _ := m.Sync(); n != 0 {
+		t.Fatalf("re-pull: %d", n)
+	}
+	e.Queries.Append(driver.QueryLogEntry{SQL: "q3"})
+	if n, _ := m.Sync(); n != 1 {
+		t.Fatalf("incremental: %d", n)
+	}
+	qs, _ := m.Queries.Since(1)
+	if len(qs) != 4 || qs[3].SQL != "q3" {
+		t.Fatalf("mirrored: %+v", qs)
+	}
+}
+
+func TestMirrorFeedsMapper(t *testing.T) {
+	e, ts := newExporter(t)
+	base := time.Now()
+	e.Queries.Append(driver.QueryLogEntry{
+		LeaseID: 1, SQL: "SELECT * FROM t",
+		Receive: base.Add(time.Millisecond), Deliver: base.Add(2 * time.Millisecond),
+	})
+	e.Requests.Append(appserver.RequestLogEntry{
+		Servlet: "page", CacheKey: "k", Cached: true,
+		Receive: base, Deliver: base.Add(5 * time.Millisecond), LeaseIDs: []int64{1},
+	})
+
+	m := NewMirror(ts.URL)
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	qm := sniffer.NewQIURLMap()
+	mapper := sniffer.NewMapper(m.Requests, m.Queries, qm)
+	if n := mapper.Run(); n != 1 {
+		t.Fatalf("mapped %d", n)
+	}
+	pm, ok := qm.Get("k")
+	if !ok || len(pm.Queries) != 1 || pm.Queries[0].SQL != "SELECT * FROM t" {
+		t.Fatalf("mapping: %+v", pm)
+	}
+}
+
+func TestWrapRoutes(t *testing.T) {
+	e, _ := newExporter(t)
+	e.Queries.Append(driver.QueryLogEntry{SQL: "x"})
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "app")
+	})
+	ts := httptest.NewServer(e.Wrap(app))
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("app route: %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + DefaultPathPrefix + "/logs/queries?since=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type: %s", ct)
+	}
+}
+
+func TestSinceParamValidation(t *testing.T) {
+	e, ts := newExporter(t)
+	e.Queries.Append(driver.QueryLogEntry{SQL: "a"})
+	for _, q := range []string{"", "?since=abc", "?since=-5", "?since=0"} {
+		resp, err := http.Get(ts.URL + DefaultPathPrefix + "/logs/queries" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%q: status %d", q, resp.StatusCode)
+		}
+	}
+}
+
+func TestMirrorUnreachable(t *testing.T) {
+	m := NewMirror("http://127.0.0.1:1")
+	if _, err := m.Sync(); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,83 @@
+package simnet
+
+// Resource is a counted resource (worker threads, connections, memory
+// slots) that jobs hold across multiple service visits — unlike a Station,
+// whose server is released the moment service completes. Holding a unit
+// while waiting on another station is what models the paper's observation
+// that "processes holding essential system resources, such as memory and
+// network connection, while waiting for query results" starve the
+// web/application servers (§5.3.1).
+type Resource struct {
+	sim      *Sim
+	Name     string
+	Capacity int
+
+	inUse   int
+	waiters []waiter
+
+	granted   int64
+	totalWait float64
+	maxQueue  int
+}
+
+type waiter struct {
+	arrive float64
+	fn     func()
+}
+
+// NewResource creates a resource with the given capacity (>= 1).
+func NewResource(sim *Sim, name string, capacity int) *Resource {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Resource{sim: sim, Name: name, Capacity: capacity}
+}
+
+// Acquire requests one unit; fn runs (possibly immediately) once granted.
+// The holder must call Release exactly once.
+func (r *Resource) Acquire(fn func()) {
+	if r.inUse < r.Capacity {
+		r.inUse++
+		r.granted++
+		fn()
+		return
+	}
+	r.waiters = append(r.waiters, waiter{arrive: r.sim.now, fn: fn})
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+}
+
+// Release returns one unit, waking the longest-waiting acquirer.
+func (r *Resource) Release() {
+	if len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.granted++
+		r.totalWait += r.sim.now - w.arrive
+		// Hand the unit straight to the waiter (inUse stays constant).
+		w.fn()
+		return
+	}
+	r.inUse--
+	if r.inUse < 0 {
+		panic("simnet: Resource.Release without Acquire")
+	}
+}
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Waiting returns the number of blocked acquirers.
+func (r *Resource) Waiting() int { return len(r.waiters) }
+
+// MeanWait returns the average time acquirers spent blocked.
+func (r *Resource) MeanWait() float64 {
+	if r.granted == 0 {
+		return 0
+	}
+	return r.totalWait / float64(r.granted)
+}
+
+// MaxQueue returns the peak number of simultaneous waiters.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

@@ -1,0 +1,252 @@
+// Package simnet is a discrete-event queueing simulator: an event heap plus
+// FIFO service stations. It is the substrate on which internal/configs
+// rebuilds the paper's three site architectures (§5) as open queueing
+// networks, reproducing the contention phenomena — saturated co-located
+// servers, shared-LAN interference from update traffic, middle-tier
+// connection overhead — that drive Tables 2 and 3.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Sim is a discrete-event simulation clock. Time is in seconds.
+type Sim struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	Rng    *rand.Rand
+}
+
+// New creates a simulator with a deterministic seed.
+func New(seed int64) *Sim {
+	return &Sim{Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulation time in seconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// At schedules fn at absolute time t (>= Now).
+func (s *Sim) At(t float64, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, event{time: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn d seconds from now.
+func (s *Sim) After(d float64, fn func()) { s.At(s.now+d, fn) }
+
+// Run processes events until the queue empties or the clock passes until.
+func (s *Sim) Run(until float64) {
+	for s.events.Len() > 0 {
+		ev := s.events[0]
+		if ev.time > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = ev.time
+		ev.fn()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// Exp draws an exponential duration with the given mean.
+func (s *Sim) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.Rng.ExpFloat64() * mean
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}
+
+// Station is a FIFO queueing station with a fixed number of servers.
+type Station struct {
+	sim     *Sim
+	Name    string
+	Servers int
+
+	busy  int
+	queue []stationJob
+
+	// Statistics.
+	served    int64
+	busyTime  float64 // total server-seconds of service delivered
+	totalWait float64 // queueing delay (excluding service)
+	totalSoj  float64 // sojourn = wait + service
+	maxQueue  int
+}
+
+type stationJob struct {
+	service float64
+	arrive  float64
+	done    func()
+}
+
+// NewStation creates a station with the given number of servers (>= 1).
+func NewStation(sim *Sim, name string, servers int) *Station {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Station{sim: sim, Name: name, Servers: servers}
+}
+
+// Visit enqueues a job needing the given service time; done runs when the
+// job completes.
+func (st *Station) Visit(service float64, done func()) {
+	if service < 0 {
+		service = 0
+	}
+	job := stationJob{service: service, arrive: st.sim.now, done: done}
+	if st.busy < st.Servers {
+		st.start(job)
+		return
+	}
+	st.queue = append(st.queue, job)
+	if len(st.queue) > st.maxQueue {
+		st.maxQueue = len(st.queue)
+	}
+}
+
+func (st *Station) start(job stationJob) {
+	st.busy++
+	wait := st.sim.now - job.arrive
+	st.totalWait += wait
+	st.sim.After(job.service, func() {
+		st.busy--
+		st.served++
+		st.busyTime += job.service
+		st.totalSoj += wait + job.service
+		if len(st.queue) > 0 {
+			next := st.queue[0]
+			st.queue = st.queue[1:]
+			st.start(next)
+		}
+		if job.done != nil {
+			job.done()
+		}
+	})
+}
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (st *Station) QueueLen() int { return len(st.queue) }
+
+// Served returns the number of completed jobs.
+func (st *Station) Served() int64 { return st.served }
+
+// Utilization returns busy-time per server over elapsed seconds.
+func (st *Station) Utilization(elapsed float64) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return st.busyTime / (elapsed * float64(st.Servers))
+}
+
+// MeanWait returns the average queueing delay of completed jobs.
+func (st *Station) MeanWait() float64 {
+	if st.served == 0 {
+		return 0
+	}
+	return st.totalWait / float64(st.served)
+}
+
+// MeanSojourn returns the average wait+service of completed jobs.
+func (st *Station) MeanSojourn() float64 {
+	if st.served == 0 {
+		return 0
+	}
+	return st.totalSoj / float64(st.served)
+}
+
+// MaxQueue returns the peak queue length observed.
+func (st *Station) MaxQueue() int { return st.maxQueue }
+
+// String describes the station for diagnostics.
+func (st *Station) String() string {
+	return fmt.Sprintf("station %s (servers=%d served=%d)", st.Name, st.Servers, st.served)
+}
+
+// Tally accumulates scalar observations.
+type Tally struct {
+	n     int64
+	sum   float64
+	sumSq float64
+	min   float64
+	max   float64
+}
+
+// Add records one observation.
+func (t *Tally) Add(x float64) {
+	if t.n == 0 {
+		t.min, t.max = x, x
+	} else {
+		if x < t.min {
+			t.min = x
+		}
+		if x > t.max {
+			t.max = x
+		}
+	}
+	t.n++
+	t.sum += x
+	t.sumSq += x * x
+}
+
+// N returns the observation count.
+func (t *Tally) N() int64 { return t.n }
+
+// Mean returns the average (0 when empty).
+func (t *Tally) Mean() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.sum / float64(t.n)
+}
+
+// Std returns the sample standard deviation.
+func (t *Tally) Std() float64 {
+	if t.n < 2 {
+		return 0
+	}
+	v := (t.sumSq - t.sum*t.sum/float64(t.n)) / float64(t.n-1)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (t *Tally) Min() float64 { return t.min }
+
+// Max returns the largest observation (0 when empty).
+func (t *Tally) Max() float64 { return t.max }

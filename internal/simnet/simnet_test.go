@@ -1,0 +1,298 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(1, func() { order = append(order, 11) }) // same time: FIFO by seq
+	s.At(3, func() { order = append(order, 3) })
+	s.Run(10)
+	want := []int{1, 11, 2, 3}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order: %v", order)
+		}
+	}
+	if s.Now() != 10 {
+		t.Fatalf("now: %f", s.Now())
+	}
+}
+
+func TestRunStopsAtLimit(t *testing.T) {
+	s := New(1)
+	fired := false
+	s.At(5, func() { fired = true })
+	s.Run(4)
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if s.Now() != 4 {
+		t.Fatalf("now: %f", s.Now())
+	}
+	s.Run(6)
+	if !fired {
+		t.Fatal("event not fired after extending horizon")
+	}
+}
+
+func TestAfterAndPastScheduling(t *testing.T) {
+	s := New(1)
+	var at float64 = -1
+	s.After(2.5, func() { at = s.Now() })
+	s.Run(10)
+	if at != 2.5 {
+		t.Fatalf("at: %f", at)
+	}
+	// Scheduling in the past clamps to now.
+	s.At(1, func() { at = s.Now() })
+	s.Run(20)
+	if at != 10 {
+		t.Fatalf("past event at: %f", at)
+	}
+}
+
+func TestStationFIFOSingleServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "cpu", 1)
+	var done []float64
+	for i := 0; i < 3; i++ {
+		st.Visit(1.0, func() { done = append(done, s.Now()) })
+	}
+	s.Run(100)
+	want := []float64{1, 2, 3}
+	for i, w := range want {
+		if math.Abs(done[i]-w) > 1e-9 {
+			t.Fatalf("done: %v", done)
+		}
+	}
+	if st.Served() != 3 {
+		t.Fatalf("served: %d", st.Served())
+	}
+	// Waits: 0, 1, 2 → mean 1.
+	if math.Abs(st.MeanWait()-1) > 1e-9 {
+		t.Fatalf("mean wait: %f", st.MeanWait())
+	}
+	if math.Abs(st.MeanSojourn()-2) > 1e-9 {
+		t.Fatalf("mean sojourn: %f", st.MeanSojourn())
+	}
+}
+
+func TestStationMultiServer(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "cpu", 2)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		st.Visit(1.0, func() { done = append(done, s.Now()) })
+	}
+	s.Run(100)
+	// Two at t=1, two at t=2.
+	if math.Abs(done[1]-1) > 1e-9 || math.Abs(done[3]-2) > 1e-9 {
+		t.Fatalf("done: %v", done)
+	}
+	if st.MaxQueue() != 2 {
+		t.Fatalf("max queue: %d", st.MaxQueue())
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "cpu", 1)
+	st.Visit(3, nil)
+	s.Run(10)
+	if math.Abs(st.Utilization(10)-0.3) > 1e-9 {
+		t.Fatalf("util: %f", st.Utilization(10))
+	}
+}
+
+// M/M/1 sanity: with λ=0.5, μ=1 the mean sojourn is 1/(μ-λ) = 2.
+func TestMM1MeanSojourn(t *testing.T) {
+	s := New(42)
+	st := NewStation(s, "mm1", 1)
+	var tally Tally
+	var arrive func()
+	lambda := 0.5
+	arrive = func() {
+		start := s.Now()
+		st.Visit(s.Exp(1.0), func() { tally.Add(s.Now() - start) })
+		s.After(s.Exp(1/lambda), arrive)
+	}
+	s.After(s.Exp(1/lambda), arrive)
+	s.Run(40000)
+	got := tally.Mean()
+	if got < 1.8 || got > 2.2 {
+		t.Fatalf("M/M/1 sojourn = %f, want ≈2 (n=%d)", got, tally.N())
+	}
+}
+
+// An overloaded station's sojourn grows with the run length — the
+// saturation regime the Conf I experiments rely on.
+func TestOverloadGrowsWithHorizon(t *testing.T) {
+	mean := func(horizon float64) float64 {
+		s := New(7)
+		st := NewStation(s, "sat", 1)
+		var tally Tally
+		var arrive func()
+		arrive = func() {
+			start := s.Now()
+			st.Visit(s.Exp(1.0), func() { tally.Add(s.Now() - start) })
+			s.After(s.Exp(1/1.5), arrive) // λ=1.5 > μ=1
+		}
+		s.After(0, arrive)
+		s.Run(horizon)
+		return tally.Mean()
+	}
+	short := mean(100)
+	long := mean(400)
+	if long < 2*short {
+		t.Fatalf("saturation should scale with horizon: %f vs %f", short, long)
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	s := New(1)
+	if s.Exp(0) != 0 || s.Exp(-1) != 0 {
+		t.Fatal("non-positive mean must give 0")
+	}
+}
+
+func TestNegativeServiceClamped(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "cpu", 1)
+	fired := false
+	st.Visit(-5, func() { fired = true })
+	s.Run(1)
+	if !fired {
+		t.Fatal("job with clamped service never completed")
+	}
+}
+
+func TestTally(t *testing.T) {
+	var ty Tally
+	if ty.Mean() != 0 || ty.Std() != 0 {
+		t.Fatal("empty tally")
+	}
+	for _, x := range []float64{1, 2, 3, 4} {
+		ty.Add(x)
+	}
+	if ty.N() != 4 || ty.Mean() != 2.5 || ty.Min() != 1 || ty.Max() != 4 {
+		t.Fatalf("tally: %+v", ty)
+	}
+	if math.Abs(ty.Std()-1.2909944) > 1e-6 {
+		t.Fatalf("std: %f", ty.Std())
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	run := func() float64 {
+		s := New(99)
+		st := NewStation(s, "x", 1)
+		var tally Tally
+		var arrive func()
+		arrive = func() {
+			start := s.Now()
+			st.Visit(s.Exp(0.1), func() { tally.Add(s.Now() - start) })
+			s.After(s.Exp(0.2), arrive)
+		}
+		s.After(0, arrive)
+		s.Run(50)
+		return tally.Mean()
+	}
+	if run() != run() {
+		t.Fatal("same seed must give identical results")
+	}
+}
+
+func TestResourceAcquireRelease(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, "threads", 2)
+	order := []int{}
+	acquire := func(id int, hold float64) {
+		r.Acquire(func() {
+			order = append(order, id)
+			s.After(hold, r.Release)
+		})
+	}
+	s.At(0, func() { acquire(1, 5) })
+	s.At(0, func() { acquire(2, 5) })
+	s.At(1, func() { acquire(3, 1) }) // must wait until t=5
+	s.Run(100)
+	if len(order) != 3 || order[2] != 3 {
+		t.Fatalf("order: %v", order)
+	}
+	if r.InUse() != 0 || r.Waiting() != 0 {
+		t.Fatalf("state: inUse=%d waiting=%d", r.InUse(), r.Waiting())
+	}
+	if r.MeanWait() <= 0 {
+		t.Fatalf("mean wait: %f", r.MeanWait())
+	}
+	if r.MaxQueue() != 1 {
+		t.Fatalf("max queue: %d", r.MaxQueue())
+	}
+}
+
+func TestResourceHoldAcrossStations(t *testing.T) {
+	// The starvation pattern: a held unit blocks others even while its
+	// holder waits at a station.
+	s := New(1)
+	r := NewResource(s, "conn", 1)
+	cpu := NewStation(s, "cpu", 1)
+	var secondStarted float64 = -1
+	s.At(0, func() {
+		r.Acquire(func() {
+			cpu.Visit(10, func() { r.Release() })
+		})
+	})
+	s.At(1, func() {
+		r.Acquire(func() {
+			secondStarted = s.Now()
+			r.Release()
+		})
+	})
+	s.Run(100)
+	if secondStarted != 10 {
+		t.Fatalf("second acquire at %f, want 10", secondStarted)
+	}
+}
+
+func TestResourceReleasePanicsWithoutAcquire(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s := New(1)
+	NewResource(s, "x", 1).Release()
+}
+
+func TestResourceCapacityClamped(t *testing.T) {
+	s := New(1)
+	r := NewResource(s, "x", 0)
+	if r.Capacity != 1 {
+		t.Fatalf("capacity: %d", r.Capacity)
+	}
+}
+
+func TestStationStringAndQueueLen(t *testing.T) {
+	s := New(1)
+	st := NewStation(s, "db", 0) // clamps to 1
+	if st.Servers != 1 {
+		t.Fatalf("servers: %d", st.Servers)
+	}
+	st.Visit(5, nil)
+	st.Visit(5, nil)
+	if st.QueueLen() != 1 {
+		t.Fatalf("queue: %d", st.QueueLen())
+	}
+	if st.String() == "" {
+		t.Fatal("string")
+	}
+	if st.Utilization(0) != 0 || st.MeanWait() != 0 || st.MeanSojourn() != 0 {
+		t.Fatal("stats before completion")
+	}
+}

@@ -1,0 +1,152 @@
+package sniffer
+
+import (
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+)
+
+// MapperMode selects how queries are attributed to requests.
+type MapperMode int
+
+// Mapper modes. LeaseAffine is the zero value so configurations default to
+// the precise mode.
+const (
+	// LeaseAffine requires, besides interval containment, that the query's
+	// pool lease is one of the leases the request used, which removes the
+	// ambiguity when the application goes through connection pools (the
+	// recommended BEA deployment).
+	LeaseAffine MapperMode = iota
+	// IntervalOnly reproduces the paper's §3.3 rule exactly: a query belongs
+	// to a request when the query's [receive, delivery] interval is
+	// contained in the request's interval. Under concurrency this can
+	// attribute a query to several overlapping requests; the result is
+	// conservative (extra mappings cause extra invalidations, never stale
+	// pages).
+	IntervalOnly
+)
+
+// Mapper is the request-to-query mapper (§3.3): it incrementally reads the
+// request log and the query log and writes the QI/URL map.
+type Mapper struct {
+	Requests *appserver.RequestLog
+	Queries  *driver.QueryLog
+	Map      *QIURLMap
+	Mode     MapperMode
+	// Retention bounds how long unmatched query entries are buffered while
+	// waiting for their request entry (requests are logged at delivery
+	// time, after their queries). Default 30s.
+	Retention time.Duration
+	// OnlyCacheable skips requests whose responses were not cacheable
+	// (their pages are never stored, so no invalidation is needed). On by
+	// default via NewMapper.
+	OnlyCacheable bool
+
+	lastReq   int64
+	lastQuery int64
+	buffer    []driver.QueryLogEntry // unmatched queries, oldest first
+	truncated bool                   // a log was truncated before we read it
+}
+
+// TakeTruncated reports whether a source log was truncated since the last
+// call (entries were lost before the mapper read them) and clears the flag.
+// Lost request entries mean cached pages may exist with no QI/URL mapping;
+// the invalidator reacts by flushing the caches entirely — the only sound
+// recovery, since an unmapped page can never be invalidated precisely.
+func (mp *Mapper) TakeTruncated() bool {
+	t := mp.truncated
+	mp.truncated = false
+	return t
+}
+
+// NewMapper wires a mapper over the two logs.
+func NewMapper(requests *appserver.RequestLog, queries *driver.QueryLog, m *QIURLMap) *Mapper {
+	return &Mapper{
+		Requests:      requests,
+		Queries:       queries,
+		Map:           m,
+		Mode:          LeaseAffine,
+		Retention:     30 * time.Second,
+		OnlyCacheable: true,
+		lastReq:       1,
+		lastQuery:     1,
+	}
+}
+
+// Run performs one mapping pass and returns how many request entries were
+// mapped. Call it periodically (the invalidator's cycle does).
+func (mp *Mapper) Run() int {
+	// Pull requests first: any query belonging to a pulled request was
+	// logged before the request's delivery-time log append, so pulling
+	// queries second cannot miss them.
+	reqs, reqTrunc := mp.Requests.Since(mp.lastReq)
+	if len(reqs) > 0 {
+		mp.lastReq = reqs[len(reqs)-1].ID + 1
+	}
+	qs, qTrunc := mp.Queries.Since(mp.lastQuery)
+	if len(qs) > 0 {
+		mp.lastQuery = qs[len(qs)-1].ID + 1
+	}
+	if reqTrunc || qTrunc {
+		mp.truncated = true
+	}
+	mp.buffer = append(mp.buffer, qs...)
+
+	mapped := 0
+	for _, req := range reqs {
+		if mp.OnlyCacheable && !req.Cached {
+			continue
+		}
+		var queries []QueryInstance
+		for _, q := range mp.buffer {
+			if !mp.attributable(req, q) {
+				continue
+			}
+			queries = append(queries, QueryInstance{
+				SQL:     q.SQL,
+				LogID:   q.ID,
+				Receive: q.Receive,
+				Deliver: q.Deliver,
+			})
+		}
+		mp.Map.Record(req.CacheKey, req.Servlet, req.ID, queries)
+		mapped++
+	}
+
+	// Drop buffered queries that no future request can claim.
+	retention := mp.Retention
+	if retention <= 0 {
+		retention = 30 * time.Second
+	}
+	cutoff := time.Now().Add(-retention)
+	kept := mp.buffer[:0]
+	for _, q := range mp.buffer {
+		if q.Deliver.After(cutoff) {
+			kept = append(kept, q)
+		}
+	}
+	mp.buffer = kept
+	return mapped
+}
+
+// attributable implements the §3.3 containment rule, optionally narrowed by
+// lease affinity. Failed queries are never attributed: they produced no
+// page content.
+func (mp *Mapper) attributable(req appserver.RequestLogEntry, q driver.QueryLogEntry) bool {
+	if q.Err != "" {
+		return false
+	}
+	if q.Receive.Before(req.Receive) || q.Deliver.After(req.Deliver) {
+		return false
+	}
+	if mp.Mode == LeaseAffine && q.LeaseID != 0 && len(req.LeaseIDs) > 0 {
+		for _, id := range req.LeaseIDs {
+			if id == q.LeaseID {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,160 @@
+// Package sniffer implements CachePortal's sniffer (paper §3): it consumes
+// the HTTP request log (from the servlet-wrapper request logger) and the
+// query log (from the JDBC-wrapper query logger) and produces the QI/URL
+// map — the association between each cached page and the query instances
+// that generated it — which the invalidator interprets.
+package sniffer
+
+import (
+	"sync"
+	"time"
+)
+
+// QueryInstance is one logged query attributed to a page.
+type QueryInstance struct {
+	SQL     string
+	LogID   int64 // ID in the driver query log
+	Receive time.Time
+	Deliver time.Time
+}
+
+// PageMapping is one QI/URL map row set: a page (identified by its cache
+// key) together with the query instances of its latest generation. Fields
+// follow §2.4: a unique ID, the SQL text to be processed by the invalidator,
+// and the URL information.
+type PageMapping struct {
+	ID         int64 // unique row ID
+	CacheKey   string
+	Servlet    string
+	RequestID  int64
+	Queries    []QueryInstance
+	Generation int64     // bumps every time the page is regenerated
+	MappedAt   time.Time // when the mapping was (re)recorded
+}
+
+// QIURLMap is the QI/URL map: cache key → the page's current mapping.
+// A page regenerated after invalidation replaces its previous mapping and
+// bumps Generation. Readers poll with Changes.
+type QIURLMap struct {
+	mu      sync.Mutex
+	byKey   map[string]*PageMapping
+	nextID  int64
+	version int64
+	changed []string // cache keys in change order since the beginning
+	changeV []int64  // version at which each change happened
+}
+
+// NewQIURLMap creates an empty map.
+func NewQIURLMap() *QIURLMap {
+	return &QIURLMap{byKey: make(map[string]*PageMapping), nextID: 1}
+}
+
+// Record stores (or replaces) the mapping for a page.
+func (m *QIURLMap) Record(key, servlet string, requestID int64, queries []QueryInstance) *PageMapping {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.version++
+	pm, ok := m.byKey[key]
+	if !ok {
+		pm = &PageMapping{ID: m.nextID, CacheKey: key, Servlet: servlet}
+		m.nextID++
+		m.byKey[key] = pm
+	}
+	pm.Servlet = servlet
+	pm.RequestID = requestID
+	pm.Queries = append([]QueryInstance(nil), queries...)
+	pm.Generation++
+	pm.MappedAt = time.Now()
+	m.changed = append(m.changed, key)
+	m.changeV = append(m.changeV, m.version)
+	// Bound the change journal: drop entries older than the map size
+	// several times over (readers that far behind resynchronize via
+	// Snapshot).
+	if len(m.changed) > 4*len(m.byKey)+1024 {
+		cut := len(m.changed) / 2
+		m.changed = append(m.changed[:0:0], m.changed[cut:]...)
+		m.changeV = append(m.changeV[:0:0], m.changeV[cut:]...)
+	}
+	return pm
+}
+
+// Remove deletes a page's mapping (after its cache entry is invalidated).
+func (m *QIURLMap) Remove(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.byKey, key)
+}
+
+// Get returns a copy of the mapping for key.
+func (m *QIURLMap) Get(key string) (PageMapping, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	pm, ok := m.byKey[key]
+	if !ok {
+		return PageMapping{}, false
+	}
+	return *pm, true
+}
+
+// Len returns the number of mapped pages.
+func (m *QIURLMap) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.byKey)
+}
+
+// Version returns the current change version.
+func (m *QIURLMap) Version() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.version
+}
+
+// Changes returns copies of mappings changed after version since, plus the
+// new version, plus resync=true when the journal no longer reaches back to
+// since (the caller should Snapshot instead).
+func (m *QIURLMap) Changes(since int64) (changed []PageMapping, version int64, resync bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	version = m.version
+	if since >= version {
+		return nil, version, false
+	}
+	if len(m.changeV) == 0 || m.changeV[0] > since+1 {
+		// Journal may have been trimmed; if the first retained change is
+		// newer than since+1 the caller could have missed entries.
+		if since != 0 || len(m.changeV) == 0 || m.changeV[0] != 1 {
+			return nil, version, true
+		}
+	}
+	seen := map[string]bool{}
+	for i := len(m.changeV) - 1; i >= 0; i-- {
+		if m.changeV[i] <= since {
+			break
+		}
+		key := m.changed[i]
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		if pm, ok := m.byKey[key]; ok {
+			changed = append(changed, *pm)
+		}
+	}
+	// Reverse to change order.
+	for i, j := 0, len(changed)-1; i < j; i, j = i+1, j-1 {
+		changed[i], changed[j] = changed[j], changed[i]
+	}
+	return changed, version, false
+}
+
+// Snapshot returns copies of every mapping plus the current version.
+func (m *QIURLMap) Snapshot() ([]PageMapping, int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]PageMapping, 0, len(m.byKey))
+	for _, pm := range m.byKey {
+		out = append(out, *pm)
+	}
+	return out, m.version
+}

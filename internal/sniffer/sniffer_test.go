@@ -1,0 +1,269 @@
+package sniffer
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+)
+
+func TestQIURLMapRecordAndGet(t *testing.T) {
+	m := NewQIURLMap()
+	pm := m.Record("site/p?id=1", "p", 10, []QueryInstance{{SQL: "SELECT 1", LogID: 5}})
+	if pm.ID != 1 || pm.Generation != 1 {
+		t.Fatalf("pm: %+v", pm)
+	}
+	got, ok := m.Get("site/p?id=1")
+	if !ok || got.Servlet != "p" || len(got.Queries) != 1 {
+		t.Fatalf("got: %+v ok=%v", got, ok)
+	}
+	// Re-record bumps generation, keeps ID.
+	pm2 := m.Record("site/p?id=1", "p", 11, []QueryInstance{{SQL: "SELECT 2"}})
+	if pm2.ID != 1 || pm2.Generation != 2 {
+		t.Fatalf("pm2: %+v", pm2)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len: %d", m.Len())
+	}
+}
+
+func TestQIURLMapChanges(t *testing.T) {
+	m := NewQIURLMap()
+	m.Record("a", "s", 1, nil)
+	m.Record("b", "s", 2, nil)
+	changed, v, resync := m.Changes(0)
+	if resync || len(changed) != 2 || v != 2 {
+		t.Fatalf("changes: %+v v=%d resync=%v", changed, v, resync)
+	}
+	if changed[0].CacheKey != "a" || changed[1].CacheKey != "b" {
+		t.Fatalf("order: %+v", changed)
+	}
+	// No new changes.
+	changed, v2, _ := m.Changes(v)
+	if len(changed) != 0 || v2 != v {
+		t.Fatalf("idle changes: %+v", changed)
+	}
+	// Re-record dedupes to one change entry for the key.
+	m.Record("a", "s", 3, nil)
+	m.Record("a", "s", 4, nil)
+	changed, _, _ = m.Changes(v)
+	if len(changed) != 1 || changed[0].Generation != 3 {
+		t.Fatalf("dedup: %+v", changed)
+	}
+}
+
+func TestQIURLMapRemove(t *testing.T) {
+	m := NewQIURLMap()
+	m.Record("a", "s", 1, nil)
+	m.Remove("a")
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("still present")
+	}
+	// Changes for removed keys just skip them.
+	changed, _, _ := m.Changes(0)
+	if len(changed) != 0 {
+		t.Fatalf("changes: %+v", changed)
+	}
+}
+
+func TestQIURLMapSnapshot(t *testing.T) {
+	m := NewQIURLMap()
+	m.Record("a", "s", 1, nil)
+	m.Record("b", "s", 2, nil)
+	snap, v := m.Snapshot()
+	if len(snap) != 2 || v != 2 {
+		t.Fatalf("snapshot: %+v v=%d", snap, v)
+	}
+}
+
+// buildLogs fabricates one request with nested queries plus one unrelated
+// concurrent query.
+func buildLogs(t *testing.T, mode MapperMode) (*Mapper, *QIURLMap) {
+	t.Helper()
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	m := NewQIURLMap()
+	mp := NewMapper(rlog, qlog, m)
+	mp.Mode = mode
+
+	base := time.Now()
+	// Queries logged first (as in reality: queries complete before the
+	// request is delivered and logged).
+	qlog.Append(driver.QueryLogEntry{
+		LeaseID: 100, SQL: "SELECT * FROM Car WHERE price < 20000",
+		Receive: base.Add(10 * time.Millisecond), Deliver: base.Add(20 * time.Millisecond),
+	})
+	qlog.Append(driver.QueryLogEntry{ // concurrent query of another request
+		LeaseID: 200, SQL: "SELECT * FROM Mileage",
+		Receive: base.Add(12 * time.Millisecond), Deliver: base.Add(18 * time.Millisecond),
+	})
+	qlog.Append(driver.QueryLogEntry{ // failed query: never attributed
+		LeaseID: 100, SQL: "SELECT * FROM nope", Err: "no table",
+		Receive: base.Add(13 * time.Millisecond), Deliver: base.Add(14 * time.Millisecond),
+	})
+	rlog.Append(appserver.RequestLogEntry{
+		Servlet: "car", CacheKey: "site/car?g:max=20000", Cached: true,
+		Receive: base, Deliver: base.Add(30 * time.Millisecond),
+		LeaseIDs: []int64{100},
+	})
+	return mp, m
+}
+
+func TestMapperLeaseAffine(t *testing.T) {
+	mp, m := buildLogs(t, LeaseAffine)
+	if n := mp.Run(); n != 1 {
+		t.Fatalf("mapped %d", n)
+	}
+	pm, ok := m.Get("site/car?g:max=20000")
+	if !ok {
+		t.Fatal("mapping missing")
+	}
+	if len(pm.Queries) != 1 || pm.Queries[0].SQL != "SELECT * FROM Car WHERE price < 20000" {
+		t.Fatalf("queries: %+v", pm.Queries)
+	}
+}
+
+func TestMapperIntervalOnlyIsConservative(t *testing.T) {
+	mp, m := buildLogs(t, IntervalOnly)
+	mp.Run()
+	pm, _ := m.Get("site/car?g:max=20000")
+	// Interval-only attributes both successful overlapping queries.
+	if len(pm.Queries) != 2 {
+		t.Fatalf("queries: %+v", pm.Queries)
+	}
+}
+
+func TestMapperSkipsNonCacheable(t *testing.T) {
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	m := NewQIURLMap()
+	mp := NewMapper(rlog, qlog, m)
+	rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: "k", Cached: false,
+		Receive: time.Now(), Deliver: time.Now()})
+	if n := mp.Run(); n != 0 {
+		t.Fatalf("mapped %d", n)
+	}
+	if m.Len() != 0 {
+		t.Fatal("non-cacheable page mapped")
+	}
+	mp.OnlyCacheable = false
+	rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: "k2", Cached: false,
+		Receive: time.Now(), Deliver: time.Now()})
+	if n := mp.Run(); n != 1 {
+		t.Fatalf("mapped %d", n)
+	}
+}
+
+func TestMapperIncrementalAcrossRuns(t *testing.T) {
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	m := NewQIURLMap()
+	mp := NewMapper(rlog, qlog, m)
+
+	base := time.Now()
+	// First pass: only the query arrives.
+	qlog.Append(driver.QueryLogEntry{SQL: "SELECT 1",
+		Receive: base.Add(time.Millisecond), Deliver: base.Add(2 * time.Millisecond)})
+	if n := mp.Run(); n != 0 {
+		t.Fatalf("mapped %d", n)
+	}
+	// Second pass: the request arrives; the buffered query must match.
+	rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: "k", Cached: true,
+		Receive: base, Deliver: base.Add(3 * time.Millisecond)})
+	if n := mp.Run(); n != 1 {
+		t.Fatalf("mapped %d", n)
+	}
+	pm, _ := m.Get("k")
+	if len(pm.Queries) != 1 {
+		t.Fatalf("queries: %+v", pm.Queries)
+	}
+}
+
+func TestMapperBufferRetention(t *testing.T) {
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	mp := NewMapper(rlog, qlog, NewQIURLMap())
+	mp.Retention = time.Millisecond
+
+	old := time.Now().Add(-time.Hour)
+	qlog.Append(driver.QueryLogEntry{SQL: "SELECT 1", Receive: old, Deliver: old})
+	mp.Run()
+	if len(mp.buffer) != 0 {
+		t.Fatalf("stale query retained: %+v", mp.buffer)
+	}
+}
+
+func TestMapperQueryOutsideInterval(t *testing.T) {
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	m := NewQIURLMap()
+	mp := NewMapper(rlog, qlog, m)
+
+	base := time.Now()
+	qlog.Append(driver.QueryLogEntry{SQL: "EARLY",
+		Receive: base.Add(-time.Second), Deliver: base.Add(-time.Second)})
+	qlog.Append(driver.QueryLogEntry{SQL: "LATE",
+		Receive: base.Add(time.Millisecond), Deliver: base.Add(time.Hour)})
+	rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: "k", Cached: true,
+		Receive: base, Deliver: base.Add(10 * time.Millisecond)})
+	mp.Run()
+	pm, _ := m.Get("k")
+	if len(pm.Queries) != 0 {
+		t.Fatalf("queries: %+v", pm.Queries)
+	}
+}
+
+func TestQIURLMapJournalTrimForcesResync(t *testing.T) {
+	m := NewQIURLMap()
+	m.Record("base", "s", 1, nil)
+	_, v0, _ := m.Changes(0)
+	// Hammer one key so the journal trims.
+	for i := 0; i < 10000; i++ {
+		m.Record("hot", "s", int64(i), nil)
+	}
+	changed, v, resync := m.Changes(v0)
+	if resync {
+		// Acceptable: the reader must snapshot.
+		snap, sv := m.Snapshot()
+		if len(snap) != 2 || sv != v {
+			t.Fatalf("snapshot: %d entries v=%d", len(snap), sv)
+		}
+		return
+	}
+	// If no resync, the changes must include the hot key exactly once at
+	// its final generation.
+	found := false
+	for _, pm := range changed {
+		if pm.CacheKey == "hot" {
+			found = true
+			if pm.Generation != 10000 {
+				t.Fatalf("generation: %d", pm.Generation)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hot key missing from changes")
+	}
+}
+
+func TestQIURLMapReaderFarBehindResyncs(t *testing.T) {
+	m := NewQIURLMap()
+	for i := 0; i < 100; i++ {
+		m.Record("k"+string(rune('a'+i%26)), "s", int64(i), nil)
+	}
+	// Force heavy churn to trim the journal, then ask from version 1.
+	for i := 0; i < 20000; i++ {
+		m.Record("churn", "s", int64(i), nil)
+	}
+	_, _, resync := m.Changes(1)
+	if !resync {
+		// The journal may still reach back; then correctness is covered by
+		// the previous test. But a reader from 0 with a trimmed journal
+		// must get either everything or a resync signal.
+		changed, _, rs2 := m.Changes(0)
+		if !rs2 && len(changed) == 0 {
+			t.Fatal("reader from 0 got nothing and no resync")
+		}
+	}
+}

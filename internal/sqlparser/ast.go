@@ -1,0 +1,561 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Node is implemented by every AST node. String returns the canonical SQL
+// rendering (see printer.go).
+type Node interface {
+	fmt.Stringer
+	node()
+}
+
+// Stmt is a SQL statement.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Expr is a SQL scalar expression.
+type Expr interface {
+	Node
+	expr()
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+// ColumnRef names a column, optionally qualified by table (or alias).
+type ColumnRef struct {
+	Table  string // optional
+	Column string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ Value float64 }
+
+// StringLit is a string literal.
+type StringLit struct{ Value string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ Value bool }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// Placeholder is a query parameter: positional ($1, ?) or named (:x, $Vx).
+// Ordinal is the 1-based position among the statement's placeholders in
+// lexical order, assigned by the parser; it is what binding uses.
+type Placeholder struct {
+	Name    string // canonical text as written: "$1", "?", ":id", "$V1"
+	Ordinal int
+}
+
+// BinaryOp identifies a binary operator.
+type BinaryOp int
+
+// Binary operators in increasing precedence groups (see parser.go).
+const (
+	OpOr BinaryOp = iota
+	OpAnd
+	OpEq
+	OpNotEq
+	OpLt
+	OpLtEq
+	OpGt
+	OpGtEq
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpConcat
+)
+
+// String renders the operator in canonical SQL form.
+func (op BinaryOp) String() string {
+	switch op {
+	case OpOr:
+		return "OR"
+	case OpAnd:
+		return "AND"
+	case OpEq:
+		return "="
+	case OpNotEq:
+		return "<>"
+	case OpLt:
+		return "<"
+	case OpLtEq:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGtEq:
+		return ">="
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "%"
+	case OpConcat:
+		return "||"
+	default:
+		return fmt.Sprintf("BinaryOp(%d)", int(op))
+	}
+}
+
+// IsComparison reports whether op is a comparison operator.
+func (op BinaryOp) IsComparison() bool {
+	switch op {
+	case OpEq, OpNotEq, OpLt, OpLtEq, OpGt, OpGtEq:
+		return true
+	}
+	return false
+}
+
+// Flip returns the comparison with operand order reversed (a op b ⇔ b Flip(op) a).
+func (op BinaryOp) Flip() BinaryOp {
+	switch op {
+	case OpLt:
+		return OpGt
+	case OpLtEq:
+		return OpGtEq
+	case OpGt:
+		return OpLt
+	case OpGtEq:
+		return OpLtEq
+	default:
+		return op
+	}
+}
+
+// BinaryExpr is Left Op Right.
+type BinaryExpr struct {
+	Op    BinaryOp
+	Left  Expr
+	Right Expr
+}
+
+// UnaryExpr is NOT X or -X.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// ParenExpr preserves explicit grouping for exact round-tripping.
+type ParenExpr struct{ X Expr }
+
+// InExpr is X [NOT] IN (e1, e2, ...).
+type InExpr struct {
+	X    Expr
+	Not  bool
+	List []Expr
+}
+
+// BetweenExpr is X [NOT] BETWEEN Lo AND Hi.
+type BetweenExpr struct {
+	X   Expr
+	Not bool
+	Lo  Expr
+	Hi  Expr
+}
+
+// LikeExpr is X [NOT] LIKE Pattern. Patterns support % and _.
+type LikeExpr struct {
+	X       Expr
+	Not     bool
+	Pattern Expr
+}
+
+// IsNullExpr is X IS [NOT] NULL.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// FuncExpr is an aggregate or scalar function call. Star is true for
+// COUNT(*).
+type FuncExpr struct {
+	Name     string // upper-cased: COUNT, SUM, AVG, MIN, MAX, ...
+	Distinct bool
+	Star     bool
+	Args     []Expr
+}
+
+// IsAggregate reports whether the function is one of the five standard
+// aggregates.
+func (f *FuncExpr) IsAggregate() bool {
+	switch f.Name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func (*ColumnRef) expr()   {}
+func (*IntLit) expr()      {}
+func (*FloatLit) expr()    {}
+func (*StringLit) expr()   {}
+func (*BoolLit) expr()     {}
+func (*NullLit) expr()     {}
+func (*Placeholder) expr() {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*ParenExpr) expr()   {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*LikeExpr) expr()    {}
+func (*IsNullExpr) expr()  {}
+func (*FuncExpr) expr()    {}
+
+func (*ColumnRef) node()   {}
+func (*IntLit) node()      {}
+func (*FloatLit) node()    {}
+func (*StringLit) node()   {}
+func (*BoolLit) node()     {}
+func (*NullLit) node()     {}
+func (*Placeholder) node() {}
+func (*BinaryExpr) node()  {}
+func (*UnaryExpr) node()   {}
+func (*ParenExpr) node()   {}
+func (*InExpr) node()      {}
+func (*BetweenExpr) node() {}
+func (*LikeExpr) node()    {}
+func (*IsNullExpr) node()  {}
+func (*FuncExpr) node()    {}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+// SelectItem is one entry of a select list: expression with optional alias,
+// or a star (possibly table-qualified).
+type SelectItem struct {
+	Star      bool
+	StarTable string // for "t.*"
+	Expr      Expr   // nil when Star
+	Alias     string
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// EffectiveName returns the alias if present, else the table name. It is the
+// name by which columns reference this table in the query.
+func (t TableRef) EffectiveName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinClause is an explicit "JOIN t ON cond" attached to the FROM list.
+type JoinClause struct {
+	Type  string // "INNER", "LEFT", "CROSS"
+	Table TableRef
+	On    Expr // nil for CROSS
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// SelectStmt is a SELECT statement over a flat (possibly joined) FROM list.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    Expr // nil when absent
+	Offset   Expr // nil when absent
+}
+
+// Tables returns every table referenced in FROM and JOIN clauses, in order.
+func (s *SelectStmt) Tables() []TableRef {
+	out := make([]TableRef, 0, len(s.From)+len(s.Joins))
+	out = append(out, s.From...)
+	for _, j := range s.Joins {
+		out = append(out, j.Table)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// DML
+// ---------------------------------------------------------------------------
+
+// InsertStmt is INSERT INTO t [(cols)] VALUES (...), (...).
+type InsertStmt struct {
+	Table   string
+	Columns []string // empty means "all columns in schema order"
+	Rows    [][]Expr
+}
+
+// Assignment is one "col = expr" in an UPDATE SET list.
+type Assignment struct {
+	Column string
+	Value  Expr
+}
+
+// UpdateStmt is UPDATE t SET ... [WHERE ...].
+type UpdateStmt struct {
+	Table string
+	Set   []Assignment
+	Where Expr
+}
+
+// DeleteStmt is DELETE FROM t [WHERE ...].
+type DeleteStmt struct {
+	Table string
+	Where Expr
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+// ColumnType enumerates the storage types of the engine.
+type ColumnType int
+
+// Column types.
+const (
+	TypeInt ColumnType = iota
+	TypeFloat
+	TypeString
+	TypeBool
+)
+
+// String renders the type in canonical SQL form.
+func (t ColumnType) String() string {
+	switch t {
+	case TypeInt:
+		return "INT"
+	case TypeFloat:
+		return "FLOAT"
+	case TypeString:
+		return "TEXT"
+	case TypeBool:
+		return "BOOL"
+	default:
+		return fmt.Sprintf("ColumnType(%d)", int(t))
+	}
+}
+
+// ColumnDef is one column definition in CREATE TABLE.
+type ColumnDef struct {
+	Name       string
+	Type       ColumnType
+	NotNull    bool
+	PrimaryKey bool
+}
+
+// CreateTableStmt is CREATE TABLE [IF NOT EXISTS] t (cols...).
+type CreateTableStmt struct {
+	Table       string
+	IfNotExists bool
+	Columns     []ColumnDef
+}
+
+// DropTableStmt is DROP TABLE [IF EXISTS] t.
+type DropTableStmt struct {
+	Table    string
+	IfExists bool
+}
+
+// CreateIndexStmt is CREATE [UNIQUE] INDEX name ON t (col).
+type CreateIndexStmt struct {
+	Name   string
+	Table  string
+	Column string
+	Unique bool
+}
+
+func (*SelectStmt) stmt()      {}
+func (*InsertStmt) stmt()      {}
+func (*UpdateStmt) stmt()      {}
+func (*DeleteStmt) stmt()      {}
+func (*CreateTableStmt) stmt() {}
+func (*DropTableStmt) stmt()   {}
+func (*CreateIndexStmt) stmt() {}
+
+func (*SelectStmt) node()      {}
+func (*InsertStmt) node()      {}
+func (*UpdateStmt) node()      {}
+func (*DeleteStmt) node()      {}
+func (*CreateTableStmt) node() {}
+func (*DropTableStmt) node()   {}
+func (*CreateIndexStmt) node() {}
+
+// ---------------------------------------------------------------------------
+// Traversal helpers
+// ---------------------------------------------------------------------------
+
+// WalkExpr calls fn for e and every sub-expression, pre-order. fn returning
+// false prunes the subtree.
+func WalkExpr(e Expr, fn func(Expr) bool) {
+	if e == nil || !fn(e) {
+		return
+	}
+	switch x := e.(type) {
+	case *BinaryExpr:
+		WalkExpr(x.Left, fn)
+		WalkExpr(x.Right, fn)
+	case *UnaryExpr:
+		WalkExpr(x.X, fn)
+	case *ParenExpr:
+		WalkExpr(x.X, fn)
+	case *InExpr:
+		WalkExpr(x.X, fn)
+		for _, it := range x.List {
+			WalkExpr(it, fn)
+		}
+	case *BetweenExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Lo, fn)
+		WalkExpr(x.Hi, fn)
+	case *LikeExpr:
+		WalkExpr(x.X, fn)
+		WalkExpr(x.Pattern, fn)
+	case *IsNullExpr:
+		WalkExpr(x.X, fn)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			WalkExpr(a, fn)
+		}
+	}
+}
+
+// Placeholders returns every placeholder in the statement in ordinal order.
+func Placeholders(s Stmt) []*Placeholder {
+	var out []*Placeholder
+	collect := func(e Expr) bool {
+		if p, ok := e.(*Placeholder); ok {
+			out = append(out, p)
+		}
+		return true
+	}
+	walkStmtExprs(s, func(e Expr) { WalkExpr(e, collect) })
+	return out
+}
+
+// walkStmtExprs invokes fn on every top-level expression of the statement.
+func walkStmtExprs(s Stmt, fn func(Expr)) {
+	switch st := s.(type) {
+	case *SelectStmt:
+		for _, it := range st.Items {
+			if it.Expr != nil {
+				fn(it.Expr)
+			}
+		}
+		for _, j := range st.Joins {
+			if j.On != nil {
+				fn(j.On)
+			}
+		}
+		if st.Where != nil {
+			fn(st.Where)
+		}
+		for _, g := range st.GroupBy {
+			fn(g)
+		}
+		if st.Having != nil {
+			fn(st.Having)
+		}
+		for _, o := range st.OrderBy {
+			fn(o.Expr)
+		}
+		if st.Limit != nil {
+			fn(st.Limit)
+		}
+		if st.Offset != nil {
+			fn(st.Offset)
+		}
+	case *InsertStmt:
+		for _, row := range st.Rows {
+			for _, e := range row {
+				fn(e)
+			}
+		}
+	case *UpdateStmt:
+		for _, a := range st.Set {
+			fn(a.Value)
+		}
+		if st.Where != nil {
+			fn(st.Where)
+		}
+	case *DeleteStmt:
+		if st.Where != nil {
+			fn(st.Where)
+		}
+	}
+}
+
+// ColumnsReferenced returns the distinct column references in e, in first-
+// appearance order.
+func ColumnsReferenced(e Expr) []*ColumnRef {
+	var out []*ColumnRef
+	seen := map[string]bool{}
+	WalkExpr(e, func(x Expr) bool {
+		if c, ok := x.(*ColumnRef); ok {
+			key := strings.ToLower(c.Table) + "." + strings.ToLower(c.Column)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, c)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// Conjuncts flattens a conjunction: a AND (b AND c) → [a, b, c]. Parentheses
+// are looked through. A nil expression yields nil.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ParenExpr:
+		return Conjuncts(x.X)
+	case *BinaryExpr:
+		if x.Op == OpAnd {
+			return append(Conjuncts(x.Left), Conjuncts(x.Right)...)
+		}
+	}
+	return []Expr{e}
+}
+
+// Disjuncts flattens a disjunction: a OR (b OR c) → [a, b, c].
+func Disjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	switch x := e.(type) {
+	case *ParenExpr:
+		return Disjuncts(x.X)
+	case *BinaryExpr:
+		if x.Op == OpOr {
+			return append(Disjuncts(x.Left), Disjuncts(x.Right)...)
+		}
+	}
+	return []Expr{e}
+}

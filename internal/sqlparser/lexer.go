@@ -1,0 +1,312 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// LexError describes a lexical error with its position.
+type LexError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *LexError) Error() string { return fmt.Sprintf("sql: lex error at %s: %s", e.Pos, e.Msg) }
+
+// Lexer tokenizes SQL text. It is a simple single-pass scanner; callers
+// normally use the Parser, which embeds a Lexer, rather than this type
+// directly.
+type Lexer struct {
+	src    string
+	off    int
+	line   int
+	col    int
+	peeked *Token
+	err    error
+}
+
+// NewLexer returns a Lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Err returns the first error encountered, if any.
+func (l *Lexer) Err() error { return l.err }
+
+func (l *Lexer) pos() Pos { return Pos{Offset: l.off, Line: l.line, Column: l.col} }
+
+func (l *Lexer) errorf(p Pos, format string, args ...any) Token {
+	if l.err == nil {
+		l.err = &LexError{Pos: p, Msg: fmt.Sprintf(format, args...)}
+	}
+	return Token{Kind: KindEOF, Pos: p}
+}
+
+// advance consumes n bytes, maintaining line/column bookkeeping.
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n; i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+// Peek returns the next token without consuming it.
+func (l *Lexer) Peek() Token {
+	if l.peeked == nil {
+		t := l.scan()
+		l.peeked = &t
+	}
+	return *l.peeked
+}
+
+// Next returns the next token, consuming it.
+func (l *Lexer) Next() Token {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t
+	}
+	return l.scan()
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpaceAndComments advances past whitespace, -- line comments and
+// /* block */ comments.
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case isSpace(c):
+			l.advance(1)
+		case c == '-' && l.off+1 < len(l.src) && l.src[l.off+1] == '-':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			start := l.pos()
+			l.advance(2)
+			closed := false
+			for l.off+1 < len(l.src) {
+				if l.src[l.off] == '*' && l.src[l.off+1] == '/' {
+					l.advance(2)
+					closed = true
+					break
+				}
+				l.advance(1)
+			}
+			if !closed {
+				l.off = len(l.src)
+				l.errorf(start, "unterminated block comment")
+				return
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scan() Token {
+	l.skipSpaceAndComments()
+	if l.err != nil || l.off >= len(l.src) {
+		return Token{Kind: KindEOF, Pos: l.pos()}
+	}
+	p := l.pos()
+	c := l.src[l.off]
+	switch {
+	case isIdentStart(c):
+		return l.scanIdent(p)
+	case isDigit(c):
+		return l.scanNumber(p)
+	case c == '.':
+		// Could be ".5" (a number) or a dot operator.
+		if l.off+1 < len(l.src) && isDigit(l.src[l.off+1]) {
+			return l.scanNumber(p)
+		}
+		l.advance(1)
+		return Token{Kind: KindDot, Pos: p}
+	case c == '\'':
+		return l.scanString(p)
+	case c == '"':
+		return l.scanQuotedIdent(p)
+	case c == '$':
+		return l.scanDollarPlaceholder(p)
+	case c == ':':
+		return l.scanNamedPlaceholder(p)
+	case c == '?':
+		l.advance(1)
+		return Token{Kind: KindPlaceholder, Text: "?", Pos: p}
+	}
+	// Operators and punctuation.
+	two := ""
+	if l.off+1 < len(l.src) {
+		two = l.src[l.off : l.off+2]
+	}
+	switch two {
+	case "<>", "!=":
+		l.advance(2)
+		return Token{Kind: KindNotEq, Text: "<>", Pos: p}
+	case "<=":
+		l.advance(2)
+		return Token{Kind: KindLtEq, Text: "<=", Pos: p}
+	case ">=":
+		l.advance(2)
+		return Token{Kind: KindGtEq, Text: ">=", Pos: p}
+	case "||":
+		l.advance(2)
+		return Token{Kind: KindConcat, Text: "||", Pos: p}
+	}
+	l.advance(1)
+	switch c {
+	case '(':
+		return Token{Kind: KindLParen, Pos: p}
+	case ')':
+		return Token{Kind: KindRParen, Pos: p}
+	case ',':
+		return Token{Kind: KindComma, Pos: p}
+	case ';':
+		return Token{Kind: KindSemicolon, Pos: p}
+	case '*':
+		return Token{Kind: KindStar, Text: "*", Pos: p}
+	case '+':
+		return Token{Kind: KindPlus, Text: "+", Pos: p}
+	case '-':
+		return Token{Kind: KindMinus, Text: "-", Pos: p}
+	case '/':
+		return Token{Kind: KindSlash, Text: "/", Pos: p}
+	case '%':
+		return Token{Kind: KindPercent, Text: "%", Pos: p}
+	case '=':
+		return Token{Kind: KindEq, Text: "=", Pos: p}
+	case '<':
+		return Token{Kind: KindLt, Text: "<", Pos: p}
+	case '>':
+		return Token{Kind: KindGt, Text: ">", Pos: p}
+	}
+	return l.errorf(p, "unexpected character %q", c)
+}
+
+func (l *Lexer) scanIdent(p Pos) Token {
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+		l.advance(1)
+	}
+	text := l.src[start:l.off]
+	if IsKeyword(text) {
+		return Token{Kind: KindKeyword, Text: upper(text), Pos: p}
+	}
+	return Token{Kind: KindIdent, Text: text, Pos: p}
+}
+
+// scanQuotedIdent scans a "double quoted" identifier; "" escapes a quote.
+func (l *Lexer) scanQuotedIdent(p Pos) Token {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == '"' {
+			if l.off+1 < len(l.src) && l.src[l.off+1] == '"' {
+				b.WriteByte('"')
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			return Token{Kind: KindIdent, Text: b.String(), Pos: p}
+		}
+		b.WriteByte(c)
+		l.advance(1)
+	}
+	return l.errorf(p, "unterminated quoted identifier")
+}
+
+func (l *Lexer) scanNumber(p Pos) Token {
+	start := l.off
+	seenDot := false
+	seenExp := false
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case isDigit(c):
+			l.advance(1)
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.advance(1)
+		case (c == 'e' || c == 'E') && !seenExp && l.off > start:
+			// Exponent must be followed by digits (optionally signed).
+			j := l.off + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
+			}
+			if j < len(l.src) && isDigit(l.src[j]) {
+				seenExp = true
+				l.advance(j - l.off)
+			} else {
+				return Token{Kind: KindNumber, Text: l.src[start:l.off], Pos: p}
+			}
+		default:
+			return Token{Kind: KindNumber, Text: l.src[start:l.off], Pos: p}
+		}
+	}
+	return Token{Kind: KindNumber, Text: l.src[start:l.off], Pos: p}
+}
+
+// scanString scans a 'single quoted' SQL string; ” escapes a quote.
+func (l *Lexer) scanString(p Pos) Token {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		if c == '\'' {
+			if l.off+1 < len(l.src) && l.src[l.off+1] == '\'' {
+				b.WriteByte('\'')
+				l.advance(2)
+				continue
+			}
+			l.advance(1)
+			return Token{Kind: KindString, Text: b.String(), Pos: p}
+		}
+		b.WriteByte(c)
+		l.advance(1)
+	}
+	return l.errorf(p, "unterminated string literal")
+}
+
+// scanDollarPlaceholder scans $1, $2, ... or $name (the paper's $V1 style).
+func (l *Lexer) scanDollarPlaceholder(p Pos) Token {
+	l.advance(1) // '$'
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+		l.advance(1)
+	}
+	if l.off == start {
+		return l.errorf(p, "bare '$' is not a valid placeholder")
+	}
+	return Token{Kind: KindPlaceholder, Text: "$" + l.src[start:l.off], Pos: p}
+}
+
+// scanNamedPlaceholder scans :name.
+func (l *Lexer) scanNamedPlaceholder(p Pos) Token {
+	l.advance(1) // ':'
+	start := l.off
+	for l.off < len(l.src) && isIdentPart(l.src[l.off]) {
+		l.advance(1)
+	}
+	if l.off == start {
+		return l.errorf(p, "bare ':' is not a valid placeholder")
+	}
+	return Token{Kind: KindPlaceholder, Text: ":" + l.src[start:l.off], Pos: p}
+}

@@ -1,0 +1,201 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []Token {
+	t.Helper()
+	l := NewLexer(src)
+	var out []Token
+	for {
+		tok := l.Next()
+		if tok.Kind == KindEOF {
+			break
+		}
+		out = append(out, tok)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("lex %q: %v", src, err)
+	}
+	return out
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, "SELECT a, b FROM t WHERE a >= 10")
+	kinds := []TokenKind{KindKeyword, KindIdent, KindComma, KindIdent, KindKeyword,
+		KindIdent, KindKeyword, KindIdent, KindGtEq, KindNumber}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(kinds), toks)
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexKeywordsCaseInsensitive(t *testing.T) {
+	for _, src := range []string{"select", "SELECT", "SeLeCt"} {
+		toks := lexAll(t, src)
+		if len(toks) != 1 || toks[0].Kind != KindKeyword || toks[0].Text != "SELECT" {
+			t.Errorf("lex %q: got %v", src, toks)
+		}
+	}
+}
+
+func TestLexIdentifierPreservesCase(t *testing.T) {
+	toks := lexAll(t, "MyTable")
+	if toks[0].Kind != KindIdent || toks[0].Text != "MyTable" {
+		t.Fatalf("got %v", toks[0])
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]string{
+		"42":     "42",
+		"3.14":   "3.14",
+		".5":     ".5",
+		"1e10":   "1e10",
+		"2.5E-3": "2.5E-3",
+		"7e+2":   "7e+2",
+		"100.":   "100.",
+		"0":      "0",
+		"987654": "987654",
+		"1.0e0":  "1.0e0",
+		"123e":   "123", // trailing 'e' is not part of the number
+	}
+	for src, want := range cases {
+		l := NewLexer(src)
+		tok := l.Next()
+		if tok.Kind != KindNumber || tok.Text != want {
+			t.Errorf("lex %q: got %v %q, want number %q", src, tok.Kind, tok.Text, want)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	toks := lexAll(t, `'hello' 'it''s' ''`)
+	want := []string{"hello", "it's", ""}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != KindString || toks[i].Text != w {
+			t.Errorf("token %d: got %v %q, want string %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexUnterminatedString(t *testing.T) {
+	l := NewLexer("'abc")
+	l.Next()
+	if l.Err() == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestLexUnterminatedBlockComment(t *testing.T) {
+	l := NewLexer("SELECT /* never closed")
+	l.Next() // SELECT
+	l.Next()
+	if l.Err() == nil {
+		t.Fatal("want error for unterminated block comment")
+	}
+}
+
+func TestLexPlaceholders(t *testing.T) {
+	toks := lexAll(t, "$1 $V1 ? :name")
+	want := []string{"$1", "$V1", "?", ":name"}
+	for i, w := range want {
+		if toks[i].Kind != KindPlaceholder || toks[i].Text != w {
+			t.Errorf("token %d: got %v %q, want placeholder %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestLexBareDollarIsError(t *testing.T) {
+	l := NewLexer("$ ")
+	l.Next()
+	if l.Err() == nil {
+		t.Fatal("want error for bare $")
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "<> != <= >= < > = || + - * / %")
+	kinds := []TokenKind{KindNotEq, KindNotEq, KindLtEq, KindGtEq, KindLt, KindGt,
+		KindEq, KindConcat, KindPlus, KindMinus, KindStar, KindSlash, KindPercent}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d: got %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "SELECT -- line comment\n a /* block\ncomment */ FROM t")
+	var texts []string
+	for _, tok := range toks {
+		texts = append(texts, tok.String())
+	}
+	got := strings.Join(texts, " ")
+	if got != "SELECT a FROM t" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestLexQuotedIdent(t *testing.T) {
+	toks := lexAll(t, `"weird name" "with""quote"`)
+	if toks[0].Kind != KindIdent || toks[0].Text != "weird name" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != KindIdent || toks[1].Text != `with"quote` {
+		t.Errorf("got %v %q", toks[1].Kind, toks[1].Text)
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	l := NewLexer("SELECT\n  a")
+	tok := l.Next()
+	if tok.Pos.Line != 1 || tok.Pos.Column != 1 {
+		t.Errorf("SELECT at %v", tok.Pos)
+	}
+	tok = l.Next()
+	if tok.Pos.Line != 2 || tok.Pos.Column != 3 {
+		t.Errorf("a at %v, want 2:3", tok.Pos)
+	}
+}
+
+func TestLexDotNumberVsDotOperator(t *testing.T) {
+	toks := lexAll(t, "t.a .5")
+	if toks[0].Kind != KindIdent || toks[1].Kind != KindDot || toks[2].Kind != KindIdent {
+		t.Fatalf("t.a lexed as %v", toks[:3])
+	}
+	if toks[3].Kind != KindNumber || toks[3].Text != ".5" {
+		t.Fatalf(".5 lexed as %v %q", toks[3].Kind, toks[3].Text)
+	}
+}
+
+func TestLexUnexpectedChar(t *testing.T) {
+	l := NewLexer("a @ b")
+	l.Next()
+	l.Next()
+	if l.Err() == nil {
+		t.Fatal("want error for @")
+	}
+}
+
+func TestPeekDoesNotConsume(t *testing.T) {
+	l := NewLexer("SELECT a")
+	p1 := l.Peek()
+	p2 := l.Peek()
+	if p1 != p2 {
+		t.Fatalf("peek not stable: %v vs %v", p1, p2)
+	}
+	n := l.Next()
+	if n != p1 {
+		t.Fatalf("next %v != peek %v", n, p1)
+	}
+}

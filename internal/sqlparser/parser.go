@@ -1,0 +1,1109 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a syntax error with its position.
+type ParseError struct {
+	Pos Pos
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("sql: parse error at %s: %s", e.Pos, e.Msg)
+}
+
+// Parser is a recursive-descent parser for the supported SQL subset.
+type Parser struct {
+	lex          *Lexer
+	placeholders int
+}
+
+// Parse parses a single SQL statement (an optional trailing semicolon is
+// consumed) and verifies the entire input was consumed.
+func Parse(src string) (Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	stmt, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.lex.Peek(); t.Kind == KindSemicolon {
+		p.lex.Next()
+	}
+	if t := p.lex.Peek(); t.Kind != KindEOF {
+		return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s after statement", t)}
+	}
+	if err := p.lex.Err(); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+// ParseScript parses a semicolon-separated sequence of statements.
+func ParseScript(src string) ([]Stmt, error) {
+	p := &Parser{lex: NewLexer(src)}
+	var stmts []Stmt
+	for {
+		for p.lex.Peek().Kind == KindSemicolon {
+			p.lex.Next()
+		}
+		if p.lex.Peek().Kind == KindEOF {
+			break
+		}
+		p.placeholders = 0
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		switch t := p.lex.Peek(); t.Kind {
+		case KindSemicolon, KindEOF:
+		default:
+			return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s after statement", t)}
+		}
+	}
+	if err := p.lex.Err(); err != nil {
+		return nil, err
+	}
+	return stmts, nil
+}
+
+// ParseExpr parses a standalone scalar expression.
+func ParseExpr(src string) (Expr, error) {
+	p := &Parser{lex: NewLexer(src)}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.lex.Peek(); t.Kind != KindEOF {
+		return nil, &ParseError{Pos: t.Pos, Msg: fmt.Sprintf("unexpected %s after expression", t)}
+	}
+	if err := p.lex.Err(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static SQL.
+func MustParse(src string) Stmt {
+	s, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (p *Parser) errf(t Token, format string, args ...any) error {
+	return &ParseError{Pos: t.Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expectKeyword consumes the given keyword or fails.
+func (p *Parser) expectKeyword(kw string) error {
+	t := p.lex.Next()
+	if t.Kind != KindKeyword || t.Text != kw {
+		return p.errf(t, "expected %s, found %s", kw, t)
+	}
+	return nil
+}
+
+// peekKeyword reports whether the next token is the given keyword.
+func (p *Parser) peekKeyword(kw string) bool {
+	t := p.lex.Peek()
+	return t.Kind == KindKeyword && t.Text == kw
+}
+
+// acceptKeyword consumes the keyword if it is next and reports whether it did.
+func (p *Parser) acceptKeyword(kw string) bool {
+	if p.peekKeyword(kw) {
+		p.lex.Next()
+		return true
+	}
+	return false
+}
+
+// expectIdent consumes an identifier (or non-reserved keyword used as a
+// name) and returns its text.
+func (p *Parser) expectIdent(what string) (string, error) {
+	t := p.lex.Next()
+	if t.Kind == KindIdent {
+		return t.Text, nil
+	}
+	return "", p.errf(t, "expected %s, found %s", what, t)
+}
+
+func (p *Parser) expect(k TokenKind) error {
+	t := p.lex.Next()
+	if t.Kind != k {
+		return p.errf(t, "expected %s, found %s", k, t)
+	}
+	return nil
+}
+
+func (p *Parser) parseStmt() (Stmt, error) {
+	t := p.lex.Peek()
+	if t.Kind != KindKeyword {
+		return nil, p.errf(t, "expected statement, found %s", t)
+	}
+	switch t.Text {
+	case "SELECT":
+		return p.parseSelect()
+	case "INSERT":
+		return p.parseInsert()
+	case "UPDATE":
+		return p.parseUpdate()
+	case "DELETE":
+		return p.parseDelete()
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	default:
+		return nil, p.errf(t, "unsupported statement %s", t.Text)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SELECT
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	s.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Select list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.Items = append(s.Items, item)
+		if p.lex.Peek().Kind != KindComma {
+			break
+		}
+		p.lex.Next()
+	}
+
+	if p.acceptKeyword("FROM") {
+		for {
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			s.From = append(s.From, ref)
+			if p.lex.Peek().Kind != KindComma {
+				break
+			}
+			p.lex.Next()
+		}
+		// Explicit joins.
+		for {
+			jt := ""
+			switch {
+			case p.peekKeyword("JOIN"):
+				jt = "INNER"
+				p.lex.Next()
+			case p.peekKeyword("INNER"):
+				p.lex.Next()
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				jt = "INNER"
+			case p.peekKeyword("LEFT"):
+				p.lex.Next()
+				p.acceptKeyword("OUTER")
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				jt = "LEFT"
+			case p.peekKeyword("CROSS"):
+				p.lex.Next()
+				if err := p.expectKeyword("JOIN"); err != nil {
+					return nil, err
+				}
+				jt = "CROSS"
+			}
+			if jt == "" {
+				break
+			}
+			ref, err := p.parseTableRef()
+			if err != nil {
+				return nil, err
+			}
+			jc := JoinClause{Type: jt, Table: ref}
+			if jt != "CROSS" {
+				if err := p.expectKeyword("ON"); err != nil {
+					return nil, err
+				}
+				on, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				jc.On = on
+			}
+			s.Joins = append(s.Joins, jc)
+		}
+	}
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			s.GroupBy = append(s.GroupBy, e)
+			if p.lex.Peek().Kind != KindComma {
+				break
+			}
+			p.lex.Next()
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			s.OrderBy = append(s.OrderBy, item)
+			if p.lex.Peek().Kind != KindComma {
+				break
+			}
+			p.lex.Next()
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		s.Limit = e
+	}
+	if p.acceptKeyword("OFFSET") {
+		e, err := p.parsePrimary()
+		if err != nil {
+			return nil, err
+		}
+		s.Offset = e
+	}
+	return s, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	t := p.lex.Peek()
+	if t.Kind == KindStar {
+		p.lex.Next()
+		return SelectItem{Star: true}, nil
+	}
+	// "table.*"
+	if t.Kind == KindIdent {
+		// Need two-token lookahead for "ident . *"; the lexer only peeks one,
+		// so parse the expression and recognise the pattern structurally via
+		// a dedicated path: try ident '.' '*' by cloning position logic.
+		// Simpler: consume ident, check '.', then check '*'.
+		name := p.lex.Next().Text
+		if p.lex.Peek().Kind == KindLParen {
+			// Function call in the select list, e.g. UPPER(x).
+			call, err := p.parseFuncCall(upper(name))
+			if err != nil {
+				return SelectItem{}, err
+			}
+			e, err := p.parseExprFrom(call)
+			if err != nil {
+				return SelectItem{}, err
+			}
+			return p.finishSelectItem(e)
+		}
+		if p.lex.Peek().Kind == KindDot {
+			p.lex.Next()
+			if p.lex.Peek().Kind == KindStar {
+				p.lex.Next()
+				return SelectItem{Star: true, StarTable: name}, nil
+			}
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return SelectItem{}, err
+			}
+			e, err := p.parseExprFrom(&ColumnRef{Table: name, Column: col})
+			if err != nil {
+				return SelectItem{}, err
+			}
+			return p.finishSelectItem(e)
+		}
+		e, err := p.parseExprFrom(&ColumnRef{Column: name})
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return p.finishSelectItem(e)
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return p.finishSelectItem(e)
+}
+
+func (p *Parser) finishSelectItem(e Expr) (SelectItem, error) {
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent("alias")
+		if err != nil {
+			return SelectItem{}, err
+		}
+		item.Alias = a
+	} else if t := p.lex.Peek(); t.Kind == KindIdent {
+		item.Alias = t.Text
+		p.lex.Next()
+	}
+	return item, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Name: name}
+	if p.acceptKeyword("AS") {
+		a, err := p.expectIdent("table alias")
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if t := p.lex.Peek(); t.Kind == KindIdent {
+		ref.Alias = t.Text
+		p.lex.Next()
+	}
+	return ref, nil
+}
+
+// ---------------------------------------------------------------------------
+// INSERT / UPDATE / DELETE
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseInsert() (*InsertStmt, error) {
+	if err := p.expectKeyword("INSERT"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("INTO"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	s := &InsertStmt{Table: table}
+	if p.lex.Peek().Kind == KindLParen {
+		p.lex.Next()
+		for {
+			c, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			s.Columns = append(s.Columns, c)
+			if p.lex.Peek().Kind == KindComma {
+				p.lex.Next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(KindRParen); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect(KindLParen); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.lex.Peek().Kind == KindComma {
+				p.lex.Next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(KindRParen); err != nil {
+			return nil, err
+		}
+		s.Rows = append(s.Rows, row)
+		if p.lex.Peek().Kind == KindComma {
+			p.lex.Next()
+			continue
+		}
+		break
+	}
+	return s, nil
+}
+
+func (p *Parser) parseUpdate() (*UpdateStmt, error) {
+	if err := p.expectKeyword("UPDATE"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("SET"); err != nil {
+		return nil, err
+	}
+	s := &UpdateStmt{Table: table}
+	for {
+		col, err := p.expectIdent("column name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(KindEq); err != nil {
+			return nil, err
+		}
+		v, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Set = append(s.Set, Assignment{Column: col, Value: v})
+		if p.lex.Peek().Kind == KindComma {
+			p.lex.Next()
+			continue
+		}
+		break
+	}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+func (p *Parser) parseDelete() (*DeleteStmt, error) {
+	if err := p.expectKeyword("DELETE"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	s := &DeleteStmt{Table: table}
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = w
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// DDL
+// ---------------------------------------------------------------------------
+
+func (p *Parser) parseCreate() (Stmt, error) {
+	if err := p.expectKeyword("CREATE"); err != nil {
+		return nil, err
+	}
+	unique := p.acceptKeyword("UNIQUE")
+	switch {
+	case p.acceptKeyword("TABLE"):
+		if unique {
+			return nil, p.errf(p.lex.Peek(), "UNIQUE is not valid before TABLE")
+		}
+		return p.parseCreateTable()
+	case p.acceptKeyword("INDEX"):
+		return p.parseCreateIndex(unique)
+	default:
+		return nil, p.errf(p.lex.Peek(), "expected TABLE or INDEX after CREATE")
+	}
+}
+
+func (p *Parser) parseCreateTable() (*CreateTableStmt, error) {
+	s := &CreateTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		s.IfNotExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	s.Table = name
+	if err := p.expect(KindLParen); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.parseColumnDef()
+		if err != nil {
+			return nil, err
+		}
+		s.Columns = append(s.Columns, col)
+		if p.lex.Peek().Kind == KindComma {
+			p.lex.Next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(KindRParen); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (p *Parser) parseColumnDef() (ColumnDef, error) {
+	name, err := p.expectIdent("column name")
+	if err != nil {
+		return ColumnDef{}, err
+	}
+	t := p.lex.Next()
+	if t.Kind != KindKeyword {
+		return ColumnDef{}, p.errf(t, "expected column type, found %s", t)
+	}
+	def := ColumnDef{Name: name}
+	switch t.Text {
+	case "INT", "INTEGER", "BIGINT":
+		def.Type = TypeInt
+	case "FLOAT", "REAL":
+		def.Type = TypeFloat
+	case "DOUBLE":
+		def.Type = TypeFloat
+		p.acceptKeyword("PRECISION")
+	case "TEXT":
+		def.Type = TypeString
+	case "VARCHAR", "CHAR":
+		def.Type = TypeString
+		if p.lex.Peek().Kind == KindLParen { // length is parsed and ignored
+			p.lex.Next()
+			if err := p.expect(KindNumber); err != nil {
+				return ColumnDef{}, err
+			}
+			if err := p.expect(KindRParen); err != nil {
+				return ColumnDef{}, err
+			}
+		}
+	case "BOOL", "BOOLEAN":
+		def.Type = TypeBool
+	default:
+		return ColumnDef{}, p.errf(t, "unsupported column type %s", t.Text)
+	}
+	for {
+		switch {
+		case p.acceptKeyword("NOT"):
+			if err := p.expectKeyword("NULL"); err != nil {
+				return ColumnDef{}, err
+			}
+			def.NotNull = true
+		case p.acceptKeyword("PRIMARY"):
+			if err := p.expectKeyword("KEY"); err != nil {
+				return ColumnDef{}, err
+			}
+			def.PrimaryKey = true
+			def.NotNull = true
+		default:
+			return def, nil
+		}
+	}
+}
+
+func (p *Parser) parseCreateIndex(unique bool) (*CreateIndexStmt, error) {
+	name, err := p.expectIdent("index name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(KindLParen); err != nil {
+		return nil, err
+	}
+	col, err := p.expectIdent("column name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(KindRParen); err != nil {
+		return nil, err
+	}
+	return &CreateIndexStmt{Name: name, Table: table, Column: col, Unique: unique}, nil
+}
+
+func (p *Parser) parseDrop() (*DropTableStmt, error) {
+	if err := p.expectKeyword("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TABLE"); err != nil {
+		return nil, err
+	}
+	s := &DropTableStmt{}
+	if p.acceptKeyword("IF") {
+		if err := p.expectKeyword("EXISTS"); err != nil {
+			return nil, err
+		}
+		s.IfExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	s.Table = name
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+// ---------------------------------------------------------------------------
+
+// parseExpr parses a full boolean expression (lowest precedence: OR).
+func (p *Parser) parseExpr() (Expr, error) {
+	return p.parseOr()
+}
+
+// parseExprFrom continues expression parsing with an already-parsed primary
+// operand (used by parseSelectItem, which needs two-token lookahead).
+func (p *Parser) parseExprFrom(primary Expr) (Expr, error) {
+	e, err := p.parsePostfixFrom(primary)
+	if err != nil {
+		return nil, err
+	}
+	e, err = p.parseMulRest(e)
+	if err != nil {
+		return nil, err
+	}
+	e, err = p.parseAddRest(e)
+	if err != nil {
+		return nil, err
+	}
+	e, err = p.parseCmpRest(e)
+	if err != nil {
+		return nil, err
+	}
+	e, err = p.parseAndRest(e)
+	if err != nil {
+		return nil, err
+	}
+	return p.parseOrRest(e)
+}
+
+func (p *Parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseOrRest(left)
+}
+
+func (p *Parser) parseOrRest(left Expr) (Expr, error) {
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseAndRest(left)
+}
+
+func (p *Parser) parseAndRest(left Expr) (Expr, error) {
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseCmpRest(left)
+}
+
+// parseCmpRest parses comparison operators plus IN / BETWEEN / LIKE / IS.
+func (p *Parser) parseCmpRest(left Expr) (Expr, error) {
+	for {
+		t := p.lex.Peek()
+		var op BinaryOp
+		switch t.Kind {
+		case KindEq:
+			op = OpEq
+		case KindNotEq:
+			op = OpNotEq
+		case KindLt:
+			op = OpLt
+		case KindLtEq:
+			op = OpLtEq
+		case KindGt:
+			op = OpGt
+		case KindGtEq:
+			op = OpGtEq
+		case KindKeyword:
+			switch t.Text {
+			case "IN":
+				p.lex.Next()
+				return p.parseInTail(left, false)
+			case "BETWEEN":
+				p.lex.Next()
+				return p.parseBetweenTail(left, false)
+			case "LIKE":
+				p.lex.Next()
+				pat, err := p.parseAdditive()
+				if err != nil {
+					return nil, err
+				}
+				left = &LikeExpr{X: left, Pattern: pat}
+				continue
+			case "IS":
+				p.lex.Next()
+				not := p.acceptKeyword("NOT")
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				left = &IsNullExpr{X: left, Not: not}
+				continue
+			case "NOT":
+				// X NOT IN / NOT BETWEEN / NOT LIKE
+				p.lex.Next()
+				switch {
+				case p.acceptKeyword("IN"):
+					return p.parseInTail(left, true)
+				case p.acceptKeyword("BETWEEN"):
+					return p.parseBetweenTail(left, true)
+				case p.acceptKeyword("LIKE"):
+					pat, err := p.parseAdditive()
+					if err != nil {
+						return nil, err
+					}
+					left = &LikeExpr{X: left, Pattern: pat, Not: true}
+					continue
+				default:
+					return nil, p.errf(p.lex.Peek(), "expected IN, BETWEEN or LIKE after NOT")
+				}
+			default:
+				return left, nil
+			}
+		default:
+			return left, nil
+		}
+		p.lex.Next()
+		right, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseInTail(x Expr, not bool) (Expr, error) {
+	if err := p.expect(KindLParen); err != nil {
+		return nil, err
+	}
+	in := &InExpr{X: x, Not: not}
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		in.List = append(in.List, e)
+		if p.lex.Peek().Kind == KindComma {
+			p.lex.Next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(KindRParen); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+func (p *Parser) parseBetweenTail(x Expr, not bool) (Expr, error) {
+	lo, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AND"); err != nil {
+		return nil, err
+	}
+	hi, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	return &BetweenExpr{X: x, Not: not, Lo: lo, Hi: hi}, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseAddRest(left)
+}
+
+func (p *Parser) parseAddRest(left Expr) (Expr, error) {
+	for {
+		var op BinaryOp
+		switch p.lex.Peek().Kind {
+		case KindPlus:
+			op = OpAdd
+		case KindMinus:
+			op = OpSub
+		case KindConcat:
+			op = OpConcat
+		default:
+			return left, nil
+		}
+		p.lex.Next()
+		right, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseMulRest(left)
+}
+
+func (p *Parser) parseMulRest(left Expr) (Expr, error) {
+	for {
+		var op BinaryOp
+		switch p.lex.Peek().Kind {
+		case KindStar:
+			op = OpMul
+		case KindSlash:
+			op = OpDiv
+		case KindPercent:
+			op = OpMod
+		default:
+			return left, nil
+		}
+		p.lex.Next()
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	t := p.lex.Peek()
+	if t.Kind == KindMinus {
+		p.lex.Next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold -literal immediately so canonical form is stable.
+		switch lit := x.(type) {
+		case *IntLit:
+			return &IntLit{Value: -lit.Value}, nil
+		case *FloatLit:
+			return &FloatLit{Value: -lit.Value}, nil
+		}
+		return &UnaryExpr{Op: "-", X: x}, nil
+	}
+	if t.Kind == KindPlus {
+		p.lex.Next()
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary expression. (No true postfix operators in
+// this subset; the name marks the precedence level.)
+func (p *Parser) parsePostfix() (Expr, error) {
+	prim, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return prim, nil
+}
+
+func (p *Parser) parsePostfixFrom(prim Expr) (Expr, error) { return prim, nil }
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	t := p.lex.Next()
+	switch t.Kind {
+	case KindNumber:
+		if strings.ContainsAny(t.Text, ".eE") {
+			f, err := strconv.ParseFloat(t.Text, 64)
+			if err != nil {
+				return nil, p.errf(t, "bad numeric literal %q: %v", t.Text, err)
+			}
+			return &FloatLit{Value: f}, nil
+		}
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			// Overflowing integers degrade to float, like most SQL engines.
+			f, ferr := strconv.ParseFloat(t.Text, 64)
+			if ferr != nil {
+				return nil, p.errf(t, "bad numeric literal %q: %v", t.Text, err)
+			}
+			return &FloatLit{Value: f}, nil
+		}
+		return &IntLit{Value: n}, nil
+	case KindString:
+		return &StringLit{Value: t.Text}, nil
+	case KindPlaceholder:
+		p.placeholders++
+		return &Placeholder{Name: t.Text, Ordinal: p.placeholders}, nil
+	case KindLParen:
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(KindRParen); err != nil {
+			return nil, err
+		}
+		return &ParenExpr{X: e}, nil
+	case KindKeyword:
+		switch t.Text {
+		case "NULL":
+			return &NullLit{}, nil
+		case "TRUE":
+			return &BoolLit{Value: true}, nil
+		case "FALSE":
+			return &BoolLit{Value: false}, nil
+		case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			return p.parseFuncCall(t.Text)
+		case "NOT":
+			x, err := p.parseNot()
+			if err != nil {
+				return nil, err
+			}
+			return &UnaryExpr{Op: "NOT", X: x}, nil
+		}
+		return nil, p.errf(t, "unexpected keyword %s in expression", t.Text)
+	case KindIdent:
+		// Column reference (possibly qualified) or function call.
+		if p.lex.Peek().Kind == KindLParen {
+			return p.parseFuncCall(upper(t.Text))
+		}
+		if p.lex.Peek().Kind == KindDot {
+			p.lex.Next()
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			return &ColumnRef{Table: t.Text, Column: col}, nil
+		}
+		return &ColumnRef{Column: t.Text}, nil
+	default:
+		return nil, p.errf(t, "unexpected %s in expression", t)
+	}
+}
+
+func (p *Parser) parseFuncCall(name string) (Expr, error) {
+	if err := p.expect(KindLParen); err != nil {
+		return nil, err
+	}
+	f := &FuncExpr{Name: name}
+	if p.lex.Peek().Kind == KindStar {
+		p.lex.Next()
+		f.Star = true
+		if err := p.expect(KindRParen); err != nil {
+			return nil, err
+		}
+		return f, nil
+	}
+	if p.lex.Peek().Kind == KindRParen {
+		p.lex.Next()
+		return f, nil
+	}
+	f.Distinct = p.acceptKeyword("DISTINCT")
+	for {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Args = append(f.Args, e)
+		if p.lex.Peek().Kind == KindComma {
+			p.lex.Next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(KindRParen); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

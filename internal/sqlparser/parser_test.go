@@ -1,0 +1,396 @@
+package sqlparser
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundtrip asserts Parse(src).String() == want (or src when want == "").
+func roundtrip(t *testing.T, src, want string) Stmt {
+	t.Helper()
+	if want == "" {
+		want = src
+	}
+	s, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	if got := s.String(); got != want {
+		t.Fatalf("Parse(%q).String() = %q, want %q", src, got, want)
+	}
+	return s
+}
+
+func TestParseSelectStar(t *testing.T) {
+	s := roundtrip(t, "SELECT * FROM Car", "").(*SelectStmt)
+	if !s.Items[0].Star || len(s.From) != 1 || s.From[0].Name != "Car" {
+		t.Fatalf("bad AST: %+v", s)
+	}
+}
+
+func TestParsePaperQuery1(t *testing.T) {
+	// Example 4.1's query, reformatted.
+	src := "select * from Car, Mileage where Car.model = Mileage.model and Car.price < 20000"
+	s := roundtrip(t, src,
+		"SELECT * FROM Car, Mileage WHERE Car.model = Mileage.model AND Car.price < 20000").(*SelectStmt)
+	if len(s.From) != 2 {
+		t.Fatalf("want 2 FROM tables, got %d", len(s.From))
+	}
+	conj := Conjuncts(s.Where)
+	if len(conj) != 2 {
+		t.Fatalf("want 2 conjuncts, got %d", len(conj))
+	}
+}
+
+func TestParsePaperQueryType(t *testing.T) {
+	// §2.3.2's example query type with a $V1 parameter.
+	src := "SELECT * FROM R WHERE R.A > $V1 AND R.B < 200"
+	s := roundtrip(t, src, "")
+	ph := Placeholders(s)
+	if len(ph) != 1 || ph[0].Name != "$V1" || ph[0].Ordinal != 1 {
+		t.Fatalf("placeholders: %+v", ph)
+	}
+}
+
+func TestParseSelectFull(t *testing.T) {
+	roundtrip(t, "SELECT DISTINCT a, t.b AS x, COUNT(*) FROM t AS u, v WHERE a = 1 AND b <> 'z' GROUP BY a, t.b HAVING COUNT(*) > 2 ORDER BY a DESC, b LIMIT 10 OFFSET 5", "")
+}
+
+func TestParseExplicitJoin(t *testing.T) {
+	s := roundtrip(t, "SELECT * FROM a JOIN b ON a.id = b.id", "").(*SelectStmt)
+	if len(s.Joins) != 1 || s.Joins[0].Type != "INNER" {
+		t.Fatalf("joins: %+v", s.Joins)
+	}
+	tabs := s.Tables()
+	if len(tabs) != 2 || tabs[1].Name != "b" {
+		t.Fatalf("tables: %+v", tabs)
+	}
+}
+
+func TestParseLeftAndCrossJoin(t *testing.T) {
+	roundtrip(t, "SELECT * FROM a LEFT JOIN b ON a.id = b.id CROSS JOIN c", "")
+	roundtrip(t, "SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id",
+		"SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+	roundtrip(t, "SELECT * FROM a INNER JOIN b ON a.x = b.x",
+		"SELECT * FROM a JOIN b ON a.x = b.x")
+}
+
+func TestParseTableDotStar(t *testing.T) {
+	s := roundtrip(t, "SELECT t.*, u.a FROM t, u", "").(*SelectStmt)
+	if !s.Items[0].Star || s.Items[0].StarTable != "t" {
+		t.Fatalf("items: %+v", s.Items)
+	}
+}
+
+func TestParseImplicitAlias(t *testing.T) {
+	s := roundtrip(t, "SELECT a x FROM t u", "SELECT a AS x FROM t AS u").(*SelectStmt)
+	if s.Items[0].Alias != "x" || s.From[0].Alias != "u" {
+		t.Fatalf("aliases: %+v", s)
+	}
+	if s.From[0].EffectiveName() != "u" {
+		t.Fatalf("effective name: %q", s.From[0].EffectiveName())
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := roundtrip(t, "INSERT INTO Car (maker, model, price) VALUES ('Toyota', 'Avalon', 25000)", "").(*InsertStmt)
+	if s.Table != "Car" || len(s.Columns) != 3 || len(s.Rows) != 1 || len(s.Rows[0]) != 3 {
+		t.Fatalf("insert: %+v", s)
+	}
+}
+
+func TestParseInsertMultiRowNoColumns(t *testing.T) {
+	s := roundtrip(t, "INSERT INTO t VALUES (1, 'a'), (2, 'b')", "").(*InsertStmt)
+	if len(s.Columns) != 0 || len(s.Rows) != 2 {
+		t.Fatalf("insert: %+v", s)
+	}
+}
+
+func TestParseUpdate(t *testing.T) {
+	s := roundtrip(t, "UPDATE Car SET price = 19000, model = 'X' WHERE maker = 'Mitsubishi'", "").(*UpdateStmt)
+	if s.Table != "Car" || len(s.Set) != 2 || s.Where == nil {
+		t.Fatalf("update: %+v", s)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	s := roundtrip(t, "DELETE FROM Car WHERE price > 30000", "").(*DeleteStmt)
+	if s.Table != "Car" || s.Where == nil {
+		t.Fatalf("delete: %+v", s)
+	}
+	s2 := roundtrip(t, "DELETE FROM Car", "").(*DeleteStmt)
+	if s2.Where != nil {
+		t.Fatalf("delete without where: %+v", s2)
+	}
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := roundtrip(t,
+		"CREATE TABLE Car (id INT PRIMARY KEY, maker TEXT NOT NULL, price FLOAT, sold BOOL)", "").(*CreateTableStmt)
+	if len(s.Columns) != 4 {
+		t.Fatalf("columns: %+v", s.Columns)
+	}
+	if !s.Columns[0].PrimaryKey || !s.Columns[0].NotNull {
+		t.Fatalf("pk column: %+v", s.Columns[0])
+	}
+	if s.Columns[1].Type != TypeString || !s.Columns[1].NotNull {
+		t.Fatalf("maker column: %+v", s.Columns[1])
+	}
+}
+
+func TestParseCreateTableTypeAliases(t *testing.T) {
+	s := roundtrip(t,
+		"CREATE TABLE t (a INTEGER, b BIGINT, c REAL, d DOUBLE PRECISION, e VARCHAR(32), f CHAR(1), g BOOLEAN)",
+		"CREATE TABLE t (a INT, b INT, c FLOAT, d FLOAT, e TEXT, f TEXT, g BOOL)").(*CreateTableStmt)
+	want := []ColumnType{TypeInt, TypeInt, TypeFloat, TypeFloat, TypeString, TypeString, TypeBool}
+	for i, w := range want {
+		if s.Columns[i].Type != w {
+			t.Errorf("column %d: got %v, want %v", i, s.Columns[i].Type, w)
+		}
+	}
+}
+
+func TestParseCreateTableIfNotExists(t *testing.T) {
+	s := roundtrip(t, "CREATE TABLE IF NOT EXISTS t (a INT)", "").(*CreateTableStmt)
+	if !s.IfNotExists {
+		t.Fatal("IfNotExists not set")
+	}
+}
+
+func TestParseDropTable(t *testing.T) {
+	roundtrip(t, "DROP TABLE t", "")
+	s := roundtrip(t, "DROP TABLE IF EXISTS t", "").(*DropTableStmt)
+	if !s.IfExists {
+		t.Fatal("IfExists not set")
+	}
+}
+
+func TestParseCreateIndex(t *testing.T) {
+	s := roundtrip(t, "CREATE UNIQUE INDEX idx ON t (a)", "").(*CreateIndexStmt)
+	if !s.Unique || s.Table != "t" || s.Column != "a" {
+		t.Fatalf("index: %+v", s)
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	e, err := ParseExpr("a + b * c = d OR e AND NOT f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect: ((a + (b*c)) = d) OR (e AND (NOT f))
+	or, ok := e.(*BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top is %v", e)
+	}
+	cmp, ok := or.Left.(*BinaryExpr)
+	if !ok || cmp.Op != OpEq {
+		t.Fatalf("left of OR: %v", or.Left)
+	}
+	add, ok := cmp.Left.(*BinaryExpr)
+	if !ok || add.Op != OpAdd {
+		t.Fatalf("left of =: %v", cmp.Left)
+	}
+	if mul, ok := add.Right.(*BinaryExpr); !ok || mul.Op != OpMul {
+		t.Fatalf("right of +: %v", add.Right)
+	}
+	and, ok := or.Right.(*BinaryExpr)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("right of OR: %v", or.Right)
+	}
+	if not, ok := and.Right.(*UnaryExpr); !ok || not.Op != "NOT" {
+		t.Fatalf("right of AND: %v", and.Right)
+	}
+}
+
+func TestParseInBetweenLikeIsNull(t *testing.T) {
+	roundtrip(t, "SELECT * FROM t WHERE a IN (1, 2, 3)", "")
+	roundtrip(t, "SELECT * FROM t WHERE a NOT IN ('x')", "")
+	roundtrip(t, "SELECT * FROM t WHERE a BETWEEN 1 AND 10", "")
+	roundtrip(t, "SELECT * FROM t WHERE a NOT BETWEEN 1 AND 10", "")
+	roundtrip(t, "SELECT * FROM t WHERE name LIKE 'To%'", "")
+	roundtrip(t, "SELECT * FROM t WHERE name NOT LIKE '_x'", "")
+	roundtrip(t, "SELECT * FROM t WHERE a IS NULL", "")
+	roundtrip(t, "SELECT * FROM t WHERE a IS NOT NULL", "")
+}
+
+func TestParseNegativeNumberFolding(t *testing.T) {
+	e, err := ParseExpr("-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := e.(*IntLit)
+	if !ok || lit.Value != -5 {
+		t.Fatalf("got %v", e)
+	}
+	e2, _ := ParseExpr("-2.5")
+	if f, ok := e2.(*FloatLit); !ok || f.Value != -2.5 {
+		t.Fatalf("got %v", e2)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	s := roundtrip(t, "SELECT COUNT(*), SUM(a), AVG(b), MIN(c), MAX(d), COUNT(DISTINCT e) FROM t", "").(*SelectStmt)
+	f := s.Items[0].Expr.(*FuncExpr)
+	if !f.Star || !f.IsAggregate() {
+		t.Fatalf("count(*): %+v", f)
+	}
+	f6 := s.Items[5].Expr.(*FuncExpr)
+	if !f6.Distinct {
+		t.Fatalf("count distinct: %+v", f6)
+	}
+}
+
+func TestParseScript(t *testing.T) {
+	stmts, err := ParseScript(`
+		CREATE TABLE t (a INT);
+		INSERT INTO t VALUES (1);
+		SELECT * FROM t;
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("got %d statements", len(stmts))
+	}
+}
+
+func TestParseScriptPlaceholderOrdinalsResetPerStatement(t *testing.T) {
+	stmts, err := ParseScript("SELECT * FROM t WHERE a = ?; SELECT * FROM u WHERE b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range stmts {
+		ph := Placeholders(s)
+		if len(ph) != 1 || ph[0].Ordinal != 1 {
+			t.Fatalf("stmt %d placeholders: %+v", i, ph)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"INSERT INTO VALUES (1)",
+		"INSERT INTO t (a VALUES (1)",
+		"UPDATE t SET",
+		"UPDATE t SET a 5",
+		"DELETE t",
+		"CREATE TABLE t",
+		"CREATE TABLE t (a)",
+		"CREATE TABLE t (a INT", // unclosed paren
+		"SELECT * FROM t extra garbage ;;",
+		"SELECT * FROM t WHERE a = 'unclosed",
+		"SELECT a b c FROM t",
+		"SELECT * FROM t WHERE a NOT 5",
+		"CREATE UNIQUE TABLE t (a INT)",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error, got nil", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("SELECT *\nFROM t WHERE ???")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error lacks line 2 position: %v", err)
+	}
+}
+
+func TestConjunctsDisjuncts(t *testing.T) {
+	e, _ := ParseExpr("a = 1 AND (b = 2 AND c = 3) AND d = 4")
+	if got := len(Conjuncts(e)); got != 4 {
+		t.Fatalf("conjuncts: %d", got)
+	}
+	e2, _ := ParseExpr("a = 1 OR (b = 2 OR c = 3)")
+	if got := len(Disjuncts(e2)); got != 3 {
+		t.Fatalf("disjuncts: %d", got)
+	}
+	if Conjuncts(nil) != nil || Disjuncts(nil) != nil {
+		t.Fatal("nil input should give nil")
+	}
+}
+
+func TestColumnsReferenced(t *testing.T) {
+	e, _ := ParseExpr("t.a = u.b AND t.a > 5 AND c IS NULL")
+	cols := ColumnsReferenced(e)
+	if len(cols) != 3 {
+		t.Fatalf("got %d cols: %v", len(cols), cols)
+	}
+	if cols[0].Table != "t" || cols[0].Column != "a" {
+		t.Fatalf("first col: %+v", cols[0])
+	}
+}
+
+func TestWalkExprPrune(t *testing.T) {
+	e, _ := ParseExpr("(a + b) * c")
+	var visited []string
+	WalkExpr(e, func(x Expr) bool {
+		visited = append(visited, x.String())
+		_, isParen := x.(*ParenExpr)
+		return !isParen // prune inside parens
+	})
+	for _, v := range visited {
+		if v == "a" {
+			t.Fatal("prune did not work; visited inside parens")
+		}
+	}
+}
+
+func TestBinaryOpFlip(t *testing.T) {
+	cases := map[BinaryOp]BinaryOp{
+		OpLt: OpGt, OpGt: OpLt, OpLtEq: OpGtEq, OpGtEq: OpLtEq, OpEq: OpEq, OpNotEq: OpNotEq,
+	}
+	for op, want := range cases {
+		if got := op.Flip(); got != want {
+			t.Errorf("%v.Flip() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic on bad SQL")
+		}
+	}()
+	MustParse("NOT SQL AT ALL")
+}
+
+func TestParseStatementKinds(t *testing.T) {
+	cases := map[string]reflect.Type{
+		"SELECT 1":                 reflect.TypeOf(&SelectStmt{}),
+		"INSERT INTO t VALUES (1)": reflect.TypeOf(&InsertStmt{}),
+		"UPDATE t SET a = 1":       reflect.TypeOf(&UpdateStmt{}),
+		"DELETE FROM t":            reflect.TypeOf(&DeleteStmt{}),
+		"CREATE TABLE t (a INT)":   reflect.TypeOf(&CreateTableStmt{}),
+		"DROP TABLE t":             reflect.TypeOf(&DropTableStmt{}),
+		"CREATE INDEX i ON t (a)":  reflect.TypeOf(&CreateIndexStmt{}),
+	}
+	for src, want := range cases {
+		s, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		if reflect.TypeOf(s) != want {
+			t.Errorf("Parse(%q) = %T, want %v", src, s, want)
+		}
+	}
+}
+
+func TestSelectNoFrom(t *testing.T) {
+	s := roundtrip(t, "SELECT 1 + 2", "").(*SelectStmt)
+	if len(s.From) != 0 {
+		t.Fatalf("from: %+v", s.From)
+	}
+}

@@ -1,0 +1,91 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestParseNeverPanics throws random byte soup and random mutations of
+// valid SQL at the parser: it must return an error or a statement, never
+// panic or hang.
+func TestParseNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	alphabet := []byte("SELECTFROMWHEREINSERTVALUES()*,.;'\"=<>$?:ab01 \n\t%_-+/")
+	for i := 0; i < 3000; i++ {
+		n := rng.Intn(60)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		src := string(b)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on %q: %v", src, r)
+				}
+			}()
+			Parse(src)
+			ParseScript(src)
+			ParseExpr(src)
+		}()
+	}
+}
+
+// TestParseMutatedValidSQL mutates valid statements (drop/duplicate/replace
+// a token region) — the parser must survive and still accept the original.
+func TestParseMutatedValidSQL(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	valid := []string{
+		"SELECT a, b FROM t WHERE a = 1 AND b < 'x' ORDER BY a DESC LIMIT 3",
+		"INSERT INTO t (a, b) VALUES (1, 'z'), (2, NULL)",
+		"UPDATE t SET a = a + 1 WHERE b IN (1, 2, 3)",
+		"DELETE FROM t WHERE a BETWEEN 1 AND 9",
+		"CREATE TABLE t (a INT PRIMARY KEY, b VARCHAR(10) NOT NULL)",
+		"SELECT COUNT(*), maker FROM Car GROUP BY maker HAVING COUNT(*) > 1",
+	}
+	for _, src := range valid {
+		if _, err := Parse(src); err != nil {
+			t.Fatalf("valid SQL rejected: %s: %v", src, err)
+		}
+		for m := 0; m < 200; m++ {
+			b := []byte(src)
+			switch rng.Intn(3) {
+			case 0: // delete a span
+				if len(b) > 2 {
+					i := rng.Intn(len(b) - 1)
+					j := i + 1 + rng.Intn(len(b)-i-1)
+					b = append(b[:i], b[j:]...)
+				}
+			case 1: // duplicate a span
+				i := rng.Intn(len(b))
+				j := i + rng.Intn(len(b)-i)
+				b = append(b[:j], append(append([]byte{}, b[i:j]...), b[j:]...)...)
+			default: // replace a byte
+				b[rng.Intn(len(b))] = byte(rng.Intn(128))
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("panic on mutation %q: %v", b, r)
+					}
+				}()
+				Parse(string(b))
+			}()
+		}
+	}
+}
+
+// TestDeepNestingNoStackBlowup parses pathologically nested expressions.
+func TestDeepNestingNoStackBlowup(t *testing.T) {
+	depth := 2000
+	src := "SELECT " + strings.Repeat("(", depth) + "1" + strings.Repeat(")", depth)
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	// Unbalanced variant must error, not hang.
+	src = "SELECT " + strings.Repeat("(", depth) + "1"
+	if _, err := Parse(src); err == nil {
+		t.Fatal("unbalanced parens accepted")
+	}
+}

@@ -1,0 +1,230 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the transformations between query instances and query
+// types (paper §2.3.2, §4.1.2):
+//
+//   - Canonicalize turns a bound query instance into its query type by
+//     replacing every literal with a positional placeholder and recording the
+//     extracted literals. Two instances of the same type canonicalize to the
+//     same template string.
+//   - Bind performs the inverse: it substitutes literal expressions for the
+//     placeholders of a query type, producing a bound instance.
+//
+// Both operate on deep copies; input ASTs are never mutated.
+
+// RewriteExpr returns a deep copy of e with fn applied bottom-up: children
+// are rewritten first, then fn is offered the rebuilt node. fn returning nil
+// keeps the rebuilt node.
+func RewriteExpr(e Expr, fn func(Expr) Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	var out Expr
+	switch x := e.(type) {
+	case *ColumnRef:
+		c := *x
+		out = &c
+	case *IntLit:
+		c := *x
+		out = &c
+	case *FloatLit:
+		c := *x
+		out = &c
+	case *StringLit:
+		c := *x
+		out = &c
+	case *BoolLit:
+		c := *x
+		out = &c
+	case *NullLit:
+		out = &NullLit{}
+	case *Placeholder:
+		c := *x
+		out = &c
+	case *BinaryExpr:
+		out = &BinaryExpr{Op: x.Op, Left: RewriteExpr(x.Left, fn), Right: RewriteExpr(x.Right, fn)}
+	case *UnaryExpr:
+		out = &UnaryExpr{Op: x.Op, X: RewriteExpr(x.X, fn)}
+	case *ParenExpr:
+		out = &ParenExpr{X: RewriteExpr(x.X, fn)}
+	case *InExpr:
+		n := &InExpr{X: RewriteExpr(x.X, fn), Not: x.Not}
+		for _, it := range x.List {
+			n.List = append(n.List, RewriteExpr(it, fn))
+		}
+		out = n
+	case *BetweenExpr:
+		out = &BetweenExpr{X: RewriteExpr(x.X, fn), Not: x.Not, Lo: RewriteExpr(x.Lo, fn), Hi: RewriteExpr(x.Hi, fn)}
+	case *LikeExpr:
+		out = &LikeExpr{X: RewriteExpr(x.X, fn), Not: x.Not, Pattern: RewriteExpr(x.Pattern, fn)}
+	case *IsNullExpr:
+		out = &IsNullExpr{X: RewriteExpr(x.X, fn), Not: x.Not}
+	case *FuncExpr:
+		n := &FuncExpr{Name: x.Name, Distinct: x.Distinct, Star: x.Star}
+		for _, a := range x.Args {
+			n.Args = append(n.Args, RewriteExpr(a, fn))
+		}
+		out = n
+	default:
+		panic(fmt.Sprintf("sqlparser: RewriteExpr: unknown node %T", e))
+	}
+	if r := fn(out); r != nil {
+		return r
+	}
+	return out
+}
+
+// CopyExpr returns a deep copy of e.
+func CopyExpr(e Expr) Expr { return RewriteExpr(e, func(Expr) Expr { return nil }) }
+
+// RewriteStmt returns a deep copy of s with fn applied to every expression
+// (bottom-up, as RewriteExpr).
+func RewriteStmt(s Stmt, fn func(Expr) Expr) Stmt {
+	rw := func(e Expr) Expr {
+		if e == nil {
+			return nil
+		}
+		return RewriteExpr(e, fn)
+	}
+	switch st := s.(type) {
+	case *SelectStmt:
+		n := &SelectStmt{Distinct: st.Distinct}
+		for _, it := range st.Items {
+			n.Items = append(n.Items, SelectItem{Star: it.Star, StarTable: it.StarTable, Expr: rw(it.Expr), Alias: it.Alias})
+		}
+		n.From = append(n.From, st.From...)
+		for _, j := range st.Joins {
+			n.Joins = append(n.Joins, JoinClause{Type: j.Type, Table: j.Table, On: rw(j.On)})
+		}
+		n.Where = rw(st.Where)
+		for _, g := range st.GroupBy {
+			n.GroupBy = append(n.GroupBy, rw(g))
+		}
+		n.Having = rw(st.Having)
+		for _, o := range st.OrderBy {
+			n.OrderBy = append(n.OrderBy, OrderItem{Expr: rw(o.Expr), Desc: o.Desc})
+		}
+		n.Limit = rw(st.Limit)
+		n.Offset = rw(st.Offset)
+		return n
+	case *InsertStmt:
+		n := &InsertStmt{Table: st.Table}
+		n.Columns = append(n.Columns, st.Columns...)
+		for _, row := range st.Rows {
+			var nr []Expr
+			for _, e := range row {
+				nr = append(nr, rw(e))
+			}
+			n.Rows = append(n.Rows, nr)
+		}
+		return n
+	case *UpdateStmt:
+		n := &UpdateStmt{Table: st.Table, Where: rw(st.Where)}
+		for _, a := range st.Set {
+			n.Set = append(n.Set, Assignment{Column: a.Column, Value: rw(a.Value)})
+		}
+		return n
+	case *DeleteStmt:
+		return &DeleteStmt{Table: st.Table, Where: rw(st.Where)}
+	case *CreateTableStmt:
+		n := &CreateTableStmt{Table: st.Table, IfNotExists: st.IfNotExists}
+		n.Columns = append(n.Columns, st.Columns...)
+		return n
+	case *DropTableStmt:
+		c := *st
+		return &c
+	case *CreateIndexStmt:
+		c := *st
+		return &c
+	default:
+		panic(fmt.Sprintf("sqlparser: RewriteStmt: unknown statement %T", s))
+	}
+}
+
+// CopyStmt returns a deep copy of s.
+func CopyStmt(s Stmt) Stmt { return RewriteStmt(s, func(Expr) Expr { return nil }) }
+
+// IsLiteral reports whether e is a scalar literal (int, float, string, bool;
+// NULL is excluded because "x IS NULL" shape matters to invalidation).
+func IsLiteral(e Expr) bool {
+	switch e.(type) {
+	case *IntLit, *FloatLit, *StringLit, *BoolLit:
+		return true
+	}
+	return false
+}
+
+// Canonicalize converts a (typically bound) statement into its query type:
+// a deep copy in which every literal has been replaced by a positional
+// placeholder $1, $2, ... in left-to-right order, plus the list of extracted
+// literal expressions. Placeholders already present are preserved and also
+// re-numbered into the same positional sequence (their prior bound value is
+// unknown, so they stay placeholders and contribute nil to args).
+//
+// The canonical template string (Canonicalize(...).String()) is the identity
+// of a query type: instances of the same type yield byte-identical templates.
+func Canonicalize(s Stmt) (Stmt, []Expr) {
+	var args []Expr
+	n := 0
+	out := RewriteStmt(s, func(e Expr) Expr {
+		switch x := e.(type) {
+		case *IntLit, *FloatLit, *StringLit, *BoolLit:
+			n++
+			args = append(args, e)
+			return &Placeholder{Name: fmt.Sprintf("$%d", n), Ordinal: n}
+		case *Placeholder:
+			n++
+			args = append(args, nil)
+			return &Placeholder{Name: fmt.Sprintf("$%d", n), Ordinal: n}
+		default:
+			_ = x
+			return nil
+		}
+	})
+	return out, args
+}
+
+// Bind substitutes args for the placeholders of s, by ordinal: the i-th
+// placeholder in lexical order receives args[i]. It returns a deep copy and
+// an error if the count does not match or an arg is nil.
+func Bind(s Stmt, args []Expr) (Stmt, error) {
+	want := len(Placeholders(s))
+	if want != len(args) {
+		return nil, fmt.Errorf("sql: bind: statement has %d placeholders, got %d args", want, len(args))
+	}
+	i := 0
+	var bindErr error
+	out := RewriteStmt(s, func(e Expr) Expr {
+		if _, ok := e.(*Placeholder); ok {
+			if i < len(args) {
+				a := args[i]
+				i++
+				if a == nil {
+					if bindErr == nil {
+						bindErr = fmt.Errorf("sql: bind: arg %d is nil", i)
+					}
+					return nil
+				}
+				return CopyExpr(a)
+			}
+		}
+		return nil
+	})
+	if bindErr != nil {
+		return nil, bindErr
+	}
+	return out, nil
+}
+
+// TemplateKey returns the canonical template string for a statement,
+// lower-casing identifiers so that instances differing only in identifier
+// case map to the same query type.
+func TemplateKey(s Stmt) string {
+	t, _ := Canonicalize(s)
+	return strings.ToLower(t.String())
+}

@@ -1,0 +1,238 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestCanonicalizeExtractsLiterals(t *testing.T) {
+	s := MustParse("SELECT * FROM Car WHERE maker = 'Toyota' AND price < 25000")
+	tmpl, args := Canonicalize(s)
+	want := "SELECT * FROM Car WHERE maker = $1 AND price < $2"
+	if got := tmpl.String(); got != want {
+		t.Fatalf("template = %q, want %q", got, want)
+	}
+	if len(args) != 2 {
+		t.Fatalf("args: %v", args)
+	}
+	if v, ok := args[0].(*StringLit); !ok || v.Value != "Toyota" {
+		t.Fatalf("arg 0: %v", args[0])
+	}
+	if v, ok := args[1].(*IntLit); !ok || v.Value != 25000 {
+		t.Fatalf("arg 1: %v", args[1])
+	}
+}
+
+func TestCanonicalizeSameTypeSameTemplate(t *testing.T) {
+	a := MustParse("SELECT * FROM t WHERE x = 1 AND y = 'a'")
+	b := MustParse("SELECT * FROM t WHERE x = 99 AND y = 'zzz'")
+	ta, _ := Canonicalize(a)
+	tb, _ := Canonicalize(b)
+	if ta.String() != tb.String() {
+		t.Fatalf("%q != %q", ta.String(), tb.String())
+	}
+}
+
+func TestCanonicalizeDifferentTypesDiffer(t *testing.T) {
+	a := MustParse("SELECT * FROM t WHERE x = 1")
+	b := MustParse("SELECT * FROM t WHERE x < 1")
+	ta, _ := Canonicalize(a)
+	tb, _ := Canonicalize(b)
+	if ta.String() == tb.String() {
+		t.Fatal("different operators should give different templates")
+	}
+}
+
+func TestCanonicalizePreservesExistingPlaceholders(t *testing.T) {
+	s := MustParse("SELECT * FROM t WHERE a = $V1 AND b = 5")
+	tmpl, args := Canonicalize(s)
+	if got := tmpl.String(); got != "SELECT * FROM t WHERE a = $1 AND b = $2" {
+		t.Fatalf("template: %q", got)
+	}
+	if args[0] != nil {
+		t.Fatalf("placeholder arg should be nil, got %v", args[0])
+	}
+	if v, ok := args[1].(*IntLit); !ok || v.Value != 5 {
+		t.Fatalf("arg 1: %v", args[1])
+	}
+}
+
+func TestBindRoundtrip(t *testing.T) {
+	orig := MustParse("SELECT * FROM Car WHERE maker = 'Honda' AND price < 30000")
+	tmpl, args := Canonicalize(orig)
+	bound, err := Bind(tmpl, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound.String() != orig.String() {
+		t.Fatalf("bind(canonicalize(s)) = %q, want %q", bound.String(), orig.String())
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	tmpl := MustParse("SELECT * FROM t WHERE a = $1 AND b = $2")
+	if _, err := Bind(tmpl, []Expr{&IntLit{Value: 1}}); err == nil {
+		t.Fatal("want arity error")
+	}
+	if _, err := Bind(tmpl, []Expr{&IntLit{Value: 1}, nil}); err == nil {
+		t.Fatal("want nil-arg error")
+	}
+}
+
+func TestBindDoesNotMutateTemplate(t *testing.T) {
+	tmpl := MustParse("SELECT * FROM t WHERE a = $1")
+	before := tmpl.String()
+	if _, err := Bind(tmpl, []Expr{&IntLit{Value: 7}}); err != nil {
+		t.Fatal(err)
+	}
+	if tmpl.String() != before {
+		t.Fatalf("template mutated: %q", tmpl.String())
+	}
+}
+
+func TestTemplateKeyCaseInsensitive(t *testing.T) {
+	a := MustParse("SELECT * FROM CAR WHERE PRICE < 10")
+	b := MustParse("select * from car where price < 20")
+	if TemplateKey(a) != TemplateKey(b) {
+		t.Fatalf("%q != %q", TemplateKey(a), TemplateKey(b))
+	}
+}
+
+func TestCopyStmtIsDeep(t *testing.T) {
+	s := MustParse("UPDATE t SET a = 1 WHERE b = 2").(*UpdateStmt)
+	c := CopyStmt(s).(*UpdateStmt)
+	c.Set[0].Value = &IntLit{Value: 42}
+	if s.Set[0].Value.(*IntLit).Value != 1 {
+		t.Fatal("copy shares Set values with original")
+	}
+	c.Where.(*BinaryExpr).Right = &IntLit{Value: 9}
+	if s.Where.(*BinaryExpr).Right.(*IntLit).Value != 2 {
+		t.Fatal("copy shares Where with original")
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// randExpr builds a random boolean expression of bounded depth over the
+// given column names.
+func randExpr(r *rand.Rand, depth int, cols []string) Expr {
+	if depth <= 0 || r.Intn(4) == 0 {
+		// Leaf comparison.
+		col := &ColumnRef{Column: cols[r.Intn(len(cols))]}
+		ops := []BinaryOp{OpEq, OpNotEq, OpLt, OpLtEq, OpGt, OpGtEq}
+		op := ops[r.Intn(len(ops))]
+		var lit Expr
+		switch r.Intn(4) {
+		case 0:
+			lit = &IntLit{Value: int64(r.Intn(2000) - 1000)}
+		case 1:
+			lit = &FloatLit{Value: float64(r.Intn(1000)) / 4}
+		case 2:
+			lit = &StringLit{Value: string(rune('a' + r.Intn(26)))}
+		default:
+			lit = &BoolLit{Value: r.Intn(2) == 0}
+		}
+		return &BinaryExpr{Op: op, Left: col, Right: lit}
+	}
+	switch r.Intn(4) {
+	case 0:
+		return &BinaryExpr{Op: OpAnd, Left: randExpr(r, depth-1, cols), Right: randExpr(r, depth-1, cols)}
+	case 1:
+		return &BinaryExpr{Op: OpOr, Left: randExpr(r, depth-1, cols), Right: randExpr(r, depth-1, cols)}
+	case 2:
+		return &UnaryExpr{Op: "NOT", X: &ParenExpr{X: randExpr(r, depth-1, cols)}}
+	default:
+		return &ParenExpr{X: randExpr(r, depth-1, cols)}
+	}
+}
+
+// RandSelect builds a random SELECT statement for property tests.
+func randSelect(r *rand.Rand) *SelectStmt {
+	cols := []string{"a", "b", "c", "d"}
+	s := &SelectStmt{From: []TableRef{{Name: "t"}}}
+	n := 1 + r.Intn(3)
+	for i := 0; i < n; i++ {
+		s.Items = append(s.Items, SelectItem{Expr: &ColumnRef{Column: cols[r.Intn(len(cols))]}})
+	}
+	if r.Intn(5) > 0 {
+		s.Where = randExpr(r, 3, cols)
+	}
+	if r.Intn(3) == 0 {
+		s.OrderBy = append(s.OrderBy, OrderItem{Expr: &ColumnRef{Column: cols[r.Intn(len(cols))]}, Desc: r.Intn(2) == 0})
+	}
+	if r.Intn(4) == 0 {
+		s.Limit = &IntLit{Value: int64(1 + r.Intn(100))}
+	}
+	return s
+}
+
+// TestQuickPrintParseRoundtrip: for random ASTs, Parse(String(ast)) must
+// re-render to the identical string (print∘parse is the identity on
+// canonical output).
+func TestQuickPrintParseRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(randSelect(r))
+		},
+	}
+	prop := func(s *SelectStmt) bool {
+		src := s.String()
+		parsed, err := Parse(src)
+		if err != nil {
+			t.Logf("Parse(%q): %v", src, err)
+			return false
+		}
+		return parsed.String() == src
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCanonicalizeBindInverse: Bind(Canonicalize(s)) == s for random
+// fully-literal statements.
+func TestQuickCanonicalizeBindInverse(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	cfg := &quick.Config{
+		MaxCount: 500,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(randSelect(r))
+		},
+	}
+	prop := func(s *SelectStmt) bool {
+		tmpl, args := Canonicalize(s)
+		bound, err := Bind(tmpl, args)
+		if err != nil {
+			t.Logf("bind: %v", err)
+			return false
+		}
+		return bound.String() == s.String()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCanonicalizeIdempotent: canonicalizing a template again changes
+// nothing (templates contain no literals).
+func TestQuickCanonicalizeIdempotent(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	cfg := &quick.Config{
+		MaxCount: 300,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			vals[0] = reflect.ValueOf(randSelect(r))
+		},
+	}
+	prop := func(s *SelectStmt) bool {
+		t1, _ := Canonicalize(s)
+		t2, _ := Canonicalize(t1)
+		return t1.String() == t2.String()
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

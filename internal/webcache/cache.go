@@ -1,0 +1,316 @@
+// Package webcache implements the dynamic-content web cache of the paper's
+// Configuration III: an HTTP reverse proxy that stores pages marked
+// `Cache-Control: private, owner="cacheportal"` and evicts them on demand
+// when it receives a request carrying the extended `Cache-Control: eject`
+// header (the NetCache 4.0 mechanism the paper builds on, §4.2.4). Entries
+// are LRU-bounded and keyed by the canonical page identifier the
+// application server emits.
+package webcache
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one cached page.
+type Entry struct {
+	Key         string
+	Body        []byte
+	ContentType string
+	Servlet     string
+	StoredAt    time.Time
+}
+
+// Stats are the cache's counters.
+type Stats struct {
+	Hits          int64
+	Misses        int64
+	Stores        int64
+	Invalidations int64 // entries removed by eject requests
+	Evictions     int64 // entries removed by LRU pressure
+}
+
+// HitRatio returns hits/(hits+misses), or 0 when no lookups happened.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a thread-safe LRU page cache with invalidation. Besides direct
+// keys, the cache maintains aliases: the proxy derives a lookup key from the
+// raw request, while the origin names the canonical page key (its key-spec
+// projection of the request); an alias links the former to the latter so
+// subsequent raw requests hit.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[string]*list.Element // key → element whose Value is *Entry
+	lru       *list.List               // front = most recent
+	byServlet map[string]map[string]struct{}
+	alias     map[string]string   // request key → canonical key
+	aliasesOf map[string][]string // canonical key → its aliases
+	stats     Stats
+}
+
+// NewCache creates a cache holding at most capacity pages (unbounded if
+// capacity <= 0).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity:  capacity,
+		entries:   make(map[string]*list.Element),
+		lru:       list.New(),
+		byServlet: make(map[string]map[string]struct{}),
+		alias:     make(map[string]string),
+		aliasesOf: make(map[string][]string),
+	}
+}
+
+// Alias records that lookups for from should resolve to canonical key to.
+// Identity aliases are ignored.
+func (c *Cache) Alias(from, to string) {
+	if from == to {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.alias[from]; ok {
+		if prev == to {
+			return
+		}
+		c.removeAliasLocked(prev, from)
+	}
+	c.alias[from] = to
+	c.aliasesOf[to] = append(c.aliasesOf[to], from)
+}
+
+func (c *Cache) removeAliasLocked(target, from string) {
+	list := c.aliasesOf[target]
+	for i, a := range list {
+		if a == from {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(c.aliasesOf, target)
+	} else {
+		c.aliasesOf[target] = list
+	}
+}
+
+// dropAliasesLocked removes every alias pointing at key (called when the
+// entry disappears).
+func (c *Cache) dropAliasesLocked(key string) {
+	for _, a := range c.aliasesOf[key] {
+		delete(c.alias, a)
+	}
+	delete(c.aliasesOf, key)
+}
+
+// Resolve maps a request key through the alias table (one hop).
+func (c *Cache) Resolve(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if to, ok := c.alias[key]; ok {
+		return to
+	}
+	return key
+}
+
+// Get returns the cached page for key, updating recency and hit/miss
+// counters.
+func (c *Cache) Get(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	e := el.Value.(*Entry)
+	return e, true
+}
+
+// Peek returns the entry without touching counters or recency.
+func (c *Cache) Peek(key string) (*Entry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Entry), true
+}
+
+// Put stores a page, evicting the least-recently-used entry if the cache
+// is full.
+func (c *Cache) Put(e *Entry) {
+	if e.StoredAt.IsZero() {
+		e.StoredAt = time.Now()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[e.Key]; ok {
+		old := el.Value.(*Entry)
+		c.dropServletRef(old)
+		el.Value = e
+		c.lru.MoveToFront(el)
+	} else {
+		el := c.lru.PushFront(e)
+		c.entries[e.Key] = el
+		if c.capacity > 0 && c.lru.Len() > c.capacity {
+			c.evictOldest()
+		}
+	}
+	c.addServletRef(e)
+	c.stats.Stores++
+}
+
+func (c *Cache) addServletRef(e *Entry) {
+	if e.Servlet == "" {
+		return
+	}
+	set, ok := c.byServlet[e.Servlet]
+	if !ok {
+		set = make(map[string]struct{})
+		c.byServlet[e.Servlet] = set
+	}
+	set[e.Key] = struct{}{}
+}
+
+func (c *Cache) dropServletRef(e *Entry) {
+	if e.Servlet == "" {
+		return
+	}
+	if set, ok := c.byServlet[e.Servlet]; ok {
+		delete(set, e.Key)
+		if len(set) == 0 {
+			delete(c.byServlet, e.Servlet)
+		}
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		return
+	}
+	e := el.Value.(*Entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.Key)
+	c.dropServletRef(e)
+	c.dropAliasesLocked(e.Key)
+	c.stats.Evictions++
+}
+
+// Invalidate removes the page for key, returning whether it was present.
+// This is the handler for `Cache-Control: eject`.
+func (c *Cache) Invalidate(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*Entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.Key)
+	c.dropServletRef(e)
+	c.dropAliasesLocked(e.Key)
+	c.stats.Invalidations++
+	return true
+}
+
+// InvalidateServlet removes every page generated by the named servlet and
+// returns how many were removed (used by coarse request-based policies).
+func (c *Cache) InvalidateServlet(servlet string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := c.byServlet[servlet]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for key := range set {
+		if el, ok := c.entries[key]; ok {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.dropAliasesLocked(key)
+			c.stats.Invalidations++
+			n++
+		}
+	}
+	delete(c.byServlet, servlet)
+	return n
+}
+
+// InvalidatePrefix removes every page whose key starts with prefix and
+// returns the count; used for coarse URL-pattern policies.
+func (c *Cache) InvalidatePrefix(prefix string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			e := el.Value.(*Entry)
+			c.lru.Remove(el)
+			delete(c.entries, key)
+			c.dropServletRef(e)
+			c.dropAliasesLocked(key)
+			c.stats.Invalidations++
+			n++
+		}
+	}
+	return n
+}
+
+// Clear removes everything.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.lru.Init()
+	c.byServlet = make(map[string]map[string]struct{})
+	c.alias = make(map[string]string)
+	c.aliasesOf = make(map[string][]string)
+}
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Keys returns all cached keys, most recent first.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		out = append(out, el.Value.(*Entry).Key)
+	}
+	return out
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats = Stats{}
+}

@@ -1,0 +1,166 @@
+package webcache
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Model-based property test: the cache is compared against a trivial model
+// (map + recency list) across random operation sequences.
+type cacheOp struct {
+	kind    int // 0 put, 1 get, 2 invalidate, 3 invalidateServlet, 4 alias+get
+	key     int
+	servlet int
+}
+
+func TestQuickCacheMatchesModel(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	cfg := &quick.Config{
+		MaxCount: 150,
+		Values: func(vals []reflect.Value, _ *rand.Rand) {
+			n := 5 + r.Intn(120)
+			ops := make([]cacheOp, n)
+			for i := range ops {
+				ops[i] = cacheOp{kind: r.Intn(5), key: r.Intn(12), servlet: r.Intn(3)}
+			}
+			vals[0] = reflect.ValueOf(ops)
+			vals[1] = reflect.ValueOf(2 + r.Intn(8)) // capacity
+		},
+	}
+	prop := func(ops []cacheOp, capacity int) bool {
+		c := NewCache(capacity)
+		// Model: key → servlet; recency as slice (front = most recent).
+		model := map[string]string{}
+		var recency []string
+		touch := func(k string) {
+			for i, x := range recency {
+				if x == k {
+					recency = append(recency[:i], recency[i+1:]...)
+					break
+				}
+			}
+			recency = append([]string{k}, recency...)
+		}
+		remove := func(k string) {
+			delete(model, k)
+			for i, x := range recency {
+				if x == k {
+					recency = append(recency[:i], recency[i+1:]...)
+					break
+				}
+			}
+		}
+		for _, op := range ops {
+			k := fmt.Sprintf("k%d", op.key)
+			sv := fmt.Sprintf("s%d", op.servlet)
+			switch op.kind {
+			case 0:
+				c.Put(&Entry{Key: k, Servlet: sv, Body: []byte(k)})
+				model[k] = sv
+				touch(k)
+				if capacity > 0 && len(recency) > capacity {
+					victim := recency[len(recency)-1]
+					remove(victim)
+				}
+			case 1:
+				e, ok := c.Get(k)
+				_, mok := model[k]
+				if ok != mok {
+					return false
+				}
+				if ok {
+					if string(e.Body) != k {
+						return false
+					}
+					touch(k)
+				}
+			case 2:
+				got := c.Invalidate(k)
+				_, mok := model[k]
+				if got != mok {
+					return false
+				}
+				remove(k)
+			case 3:
+				n := c.InvalidateServlet(sv)
+				want := 0
+				var victims []string
+				for k2, s2 := range model {
+					if s2 == sv {
+						want++
+						victims = append(victims, k2)
+					}
+				}
+				for _, v := range victims {
+					remove(v)
+				}
+				if n != want {
+					return false
+				}
+			case 4:
+				c.Alias("alias-"+k, k)
+				e, ok := c.Get(c.Resolve("alias-" + k))
+				_, mok := model[k]
+				if ok != mok {
+					return false
+				}
+				if ok {
+					if e.Key != k {
+						return false
+					}
+					touch(k)
+				}
+			}
+			if c.Len() != len(model) {
+				return false
+			}
+			if capacity > 0 && c.Len() > capacity {
+				return false
+			}
+		}
+		// Final: every model key present, every other key absent.
+		for k := range model {
+			if _, ok := c.Peek(k); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAliasLifecycle: aliases never outlive their target entries.
+func TestQuickAliasLifecycle(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := NewCache(4)
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("k%d", r.Intn(10))
+			switch r.Intn(3) {
+			case 0:
+				c.Put(&Entry{Key: k})
+				c.Alias("a-"+k, k)
+			case 1:
+				c.Invalidate(k)
+			default:
+				// A resolved alias must point to a live entry or resolve to
+				// itself (identity for unknown keys).
+				target := c.Resolve("a-" + k)
+				if target != "a-"+k { // alias exists
+					if _, ok := c.Peek(target); !ok {
+						return false // dangling alias
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,277 @@
+package webcache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Header names shared with the application server. Kept as local constants
+// so the cache stays deployable without importing the app server (the
+// paper's independence requirement, §2.1).
+const (
+	keyHeader     = "X-Cacheportal-Key"
+	servletHeader = "X-Cacheportal-Servlet"
+	// HitHeader marks responses served from this cache.
+	HitHeader = "X-Cacheportal-Cache"
+)
+
+// Proxy is the caching reverse proxy. It forwards misses to Origin,
+// stores responses whose Cache-Control carries owner="cacheportal", and
+// processes `Cache-Control: eject` invalidation requests (§4.2.4).
+type Proxy struct {
+	// Origin is the downstream base URL, e.g. "http://127.0.0.1:8080".
+	Origin string
+	// Cache is the page store.
+	Cache *Cache
+	// Client performs origin requests; http.DefaultClient when nil.
+	Client *http.Client
+	// HitDelay/MissExtraDelay optionally add artificial latency, used by
+	// experiments to model cache and network distance.
+	HitDelay       time.Duration
+	MissExtraDelay time.Duration
+
+	// MaxAge, when positive, expires entries older than this — the
+	// time-based refresh of Oracle9i's web cache that the paper's
+	// introduction critiques: it re-computes pages whether or not they
+	// changed, yet still serves stale content for up to MaxAge. Zero means
+	// entries live until invalidated (the CachePortal model).
+	MaxAge time.Duration
+}
+
+// NewProxy creates a proxy in front of origin.
+func NewProxy(origin string, cache *Cache) *Proxy {
+	return &Proxy{Origin: origin, Cache: cache}
+}
+
+func (p *Proxy) client() *http.Client {
+	if p.Client != nil {
+		return p.Client
+	}
+	return http.DefaultClient
+}
+
+// ServeHTTP implements the proxy.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Invalidation request: an otherwise-normal request whose
+	// Cache-Control contains the extended "eject" directive.
+	if isEject(r) {
+		p.serveEject(w, r)
+		return
+	}
+
+	// Only GETs are served from (or admitted to) the cache.
+	if r.Method != http.MethodGet {
+		p.forward(w, r, "")
+		return
+	}
+	key := cacheKeyForRequest(r)
+	if e, ok := p.Cache.Get(p.Cache.Resolve(key)); ok {
+		if p.MaxAge > 0 && time.Since(e.StoredAt) > p.MaxAge {
+			// Time-based expiry: drop and refetch.
+			p.Cache.Invalidate(e.Key)
+			p.forward(w, r, key)
+			return
+		}
+		if p.HitDelay > 0 {
+			time.Sleep(p.HitDelay)
+		}
+		w.Header().Set("Content-Type", e.ContentType)
+		w.Header().Set(HitHeader, "hit")
+		w.Header().Set(keyHeader, e.Key)
+		w.WriteHeader(http.StatusOK)
+		w.Write(e.Body)
+		return
+	}
+	if p.MissExtraDelay > 0 {
+		time.Sleep(p.MissExtraDelay)
+	}
+	p.forward(w, r, key)
+}
+
+// isEject reports whether the request carries Cache-Control: eject.
+func isEject(r *http.Request) bool {
+	for _, v := range r.Header.Values("Cache-Control") {
+		for _, part := range strings.Split(v, ",") {
+			if strings.TrimSpace(part) == "eject" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ClearHeader, when set to "all" on an eject request, flushes the whole
+// cache — the sledgehammer the invalidator reaches for after losing log
+// entries, when precise invalidation is no longer possible.
+const ClearHeader = "X-Cacheportal-Clear"
+
+// serveEject removes the page named by the X-Cacheportal-Key header (or the
+// request URL when absent) and reports the outcome.
+func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
+	key := r.Header.Get(keyHeader)
+	removed := 0
+	switch {
+	case r.Header.Get(ClearHeader) == "all":
+		removed = p.Cache.Len()
+		p.Cache.Clear()
+	case key != "":
+		if p.Cache.Invalidate(key) {
+			removed = 1
+		}
+	case r.Header.Get(servletHeader) != "":
+		removed = p.Cache.InvalidateServlet(r.Header.Get(servletHeader))
+	default:
+		removed = p.Cache.InvalidatePrefix(cacheKeyForRequest(r))
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "ejected %d\n", removed)
+}
+
+// cacheKeyForRequest keys a request before the origin has told us its
+// canonical key: host+path+sorted raw query+cookies. Cookies MUST be part
+// of this key: the origin's key spec may project them away when they don't
+// affect the page, but until the alias to the canonical key is learned the
+// proxy cannot know that — and omitting them would let one user's
+// personalized page answer another user's request. The origin's
+// X-Cacheportal-Key takes precedence at store time; an alias links this
+// request-derived key to it.
+func cacheKeyForRequest(r *http.Request) string {
+	q := r.URL.Query()
+	key := r.Host + r.URL.Path + "?" + sortedEncode(q)
+	if cookies := r.Cookies(); len(cookies) > 0 {
+		parts := make([]string, 0, len(cookies))
+		for _, c := range cookies {
+			parts = append(parts, c.Name+"="+c.Value)
+		}
+		sort.Strings(parts)
+		key += "#" + strings.Join(parts, ";")
+	}
+	return key
+}
+
+func sortedEncode(q map[string][]string) string {
+	keys := make([]string, 0, len(q))
+	for k := range q {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]string, 0, len(q))
+	for _, k := range keys {
+		for _, v := range q[k] {
+			vals = append(vals, k+"="+v)
+		}
+	}
+	return strings.Join(vals, "&")
+}
+
+// forward proxies the request to the origin and caches eligible responses.
+func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey string) {
+	url := p.Origin + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(r.Method, url, r.Body)
+	if err != nil {
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	req.Header = r.Header.Clone()
+	req.Host = r.Host
+	resp, err := p.client().Do(req)
+	if err != nil {
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+		return
+	}
+
+	if resp.StatusCode == http.StatusOK && r.Method == http.MethodGet && cacheableResponse(resp) {
+		key := resp.Header.Get(keyHeader)
+		if key == "" {
+			key = requestKey
+		}
+		p.Cache.Put(&Entry{
+			Key:         key,
+			Body:        body,
+			ContentType: resp.Header.Get("Content-Type"),
+			Servlet:     resp.Header.Get(servletHeader),
+		})
+		// Remember how this raw request maps to the canonical page key so
+		// later identical requests hit even when the origin's key spec
+		// projects away some parameters.
+		p.Cache.Alias(requestKey, key)
+	}
+
+	for name, vals := range resp.Header {
+		for _, v := range vals {
+			w.Header().Add(name, v)
+		}
+	}
+	w.Header().Set(HitHeader, "miss")
+	w.WriteHeader(resp.StatusCode)
+	w.Write(body)
+}
+
+// cacheableResponse reports whether the response is marked with the
+// CachePortal owner token.
+func cacheableResponse(resp *http.Response) bool {
+	cc := resp.Header.Get("Cache-Control")
+	if cc == "" {
+		return false
+	}
+	lcc := strings.ToLower(cc)
+	if strings.Contains(lcc, "no-cache") || strings.Contains(lcc, "no-store") {
+		return false
+	}
+	return strings.Contains(lcc, `owner="`+CacheOwnerToken+`"`)
+}
+
+// CacheOwnerToken is the owner value this cache honours.
+const CacheOwnerToken = "cacheportal"
+
+// Eject sends an invalidation for key to a cache at addr (helper used by
+// the invalidator and by tests). It is a plain HTTP request carrying the
+// extended header, per §4.2.4.
+func Eject(client *http.Client, cacheURL, key string) error {
+	return ejectRequest(client, cacheURL, func(req *http.Request) {
+		req.Header.Set(keyHeader, key)
+	})
+}
+
+// EjectAll flushes the entire remote cache.
+func EjectAll(client *http.Client, cacheURL string) error {
+	return ejectRequest(client, cacheURL, func(req *http.Request) {
+		req.Header.Set(ClearHeader, "all")
+	})
+}
+
+func ejectRequest(client *http.Client, cacheURL string, decorate func(*http.Request)) error {
+	req, err := http.NewRequest(http.MethodGet, cacheURL+"/", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Cache-Control", "eject")
+	decorate(req)
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("webcache: eject: status %d", resp.StatusCode)
+	}
+	return nil
+}

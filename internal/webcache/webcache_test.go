@@ -1,0 +1,411 @@
+package webcache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestCachePutGetLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put(&Entry{Key: "a", Body: []byte("A")})
+	c.Put(&Entry{Key: "b", Body: []byte("B")})
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(&Entry{Key: "c", Body: []byte("C")}) // evicts b (a was just touched)
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if _, ok := c.Peek("a"); !ok {
+		t.Fatal("a should survive")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Stores != 3 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "k", Body: []byte("x"), Servlet: "s"})
+	if !c.Invalidate("k") {
+		t.Fatal("invalidate should report removal")
+	}
+	if c.Invalidate("k") {
+		t.Fatal("second invalidate should be false")
+	}
+	if c.Stats().Invalidations != 1 {
+		t.Fatalf("stats: %+v", c.Stats())
+	}
+}
+
+func TestCacheInvalidateServlet(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "k1", Servlet: "s1"})
+	c.Put(&Entry{Key: "k2", Servlet: "s1"})
+	c.Put(&Entry{Key: "k3", Servlet: "s2"})
+	if n := c.InvalidateServlet("s1"); n != 2 {
+		t.Fatalf("removed %d", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+	if n := c.InvalidateServlet("missing"); n != 0 {
+		t.Fatalf("removed %d", n)
+	}
+}
+
+func TestCacheInvalidatePrefix(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "site/product?id=1"})
+	c.Put(&Entry{Key: "site/product?id=2"})
+	c.Put(&Entry{Key: "site/home"})
+	if n := c.InvalidatePrefix("site/product"); n != 2 {
+		t.Fatalf("removed %d", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheOverwriteSameKey(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "k", Body: []byte("v1"), Servlet: "s1"})
+	c.Put(&Entry{Key: "k", Body: []byte("v2"), Servlet: "s2"})
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+	e, _ := c.Peek("k")
+	if string(e.Body) != "v2" {
+		t.Fatalf("body %q", e.Body)
+	}
+	// Old servlet association must be gone.
+	if n := c.InvalidateServlet("s1"); n != 0 {
+		t.Fatalf("stale servlet ref removed %d", n)
+	}
+	if n := c.InvalidateServlet("s2"); n != 1 {
+		t.Fatalf("new servlet ref removed %d", n)
+	}
+}
+
+func TestStatsHitRatio(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "k"})
+	c.Get("k")
+	c.Get("k")
+	c.Get("missing")
+	got := c.Stats().HitRatio()
+	if got < 0.66 || got > 0.67 {
+		t.Fatalf("ratio %f", got)
+	}
+	if (Stats{}).HitRatio() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	c.ResetStats()
+	if c.Stats().Hits != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestKeysOrder(t *testing.T) {
+	c := NewCache(0)
+	c.Put(&Entry{Key: "a"})
+	c.Put(&Entry{Key: "b"})
+	c.Get("a")
+	keys := c.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "b" {
+		t.Fatalf("keys: %v", keys)
+	}
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatal("clear failed")
+	}
+}
+
+// newOrigin builds a fake app server whose responses are cacheable and
+// counts the requests reaching it.
+func newOrigin(t *testing.T, hits *int64) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(hits, 1)
+		id := r.URL.Query().Get("id")
+		w.Header().Set("Content-Type", "text/html")
+		w.Header().Set(keyHeader, "origin/page?id="+id)
+		w.Header().Set(servletHeader, "page")
+		w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+		fmt.Fprintf(w, "page %s v%d", id, atomic.LoadInt64(hits))
+	}))
+}
+
+func TestProxyCachesAndServesHits(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+
+	get := func(url string) (string, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get(HitHeader)
+	}
+
+	b1, h1 := get(proxy.URL + "/page?id=1")
+	if h1 != "miss" {
+		t.Fatalf("first: %s", h1)
+	}
+	b2, h2 := get(proxy.URL + "/page?id=1")
+	if h2 != "hit" || b2 != b1 {
+		t.Fatalf("second: %s %q vs %q", h2, b2, b1)
+	}
+	if atomic.LoadInt64(&originHits) != 1 {
+		t.Fatalf("origin hits: %d", originHits)
+	}
+	_, h3 := get(proxy.URL + "/page?id=2")
+	if h3 != "miss" {
+		t.Fatalf("different key: %s", h3)
+	}
+}
+
+func TestProxyDoesNotCacheNoCacheResponses(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-cache")
+		fmt.Fprint(w, "private stuff")
+	}))
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+	http.Get(proxy.URL + "/x")
+	http.Get(proxy.URL + "/x")
+	if cache.Len() != 0 {
+		t.Fatalf("cached %d entries", cache.Len())
+	}
+}
+
+func TestProxyDoesNotCacheUnmarkedResponses(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "no cache-control at all")
+	}))
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+	http.Get(proxy.URL + "/x")
+	if cache.Len() != 0 {
+		t.Fatalf("cached %d entries", cache.Len())
+	}
+}
+
+func TestEjectRequest(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+
+	http.Get(proxy.URL + "/page?id=1")
+	if cache.Len() != 1 {
+		t.Fatalf("cache len %d", cache.Len())
+	}
+	if err := Eject(nil, proxy.URL, "origin/page?id=1"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("entry not ejected")
+	}
+	// Next request goes back to the origin.
+	resp, _ := http.Get(proxy.URL + "/page?id=1")
+	resp.Body.Close()
+	if got := resp.Header.Get(HitHeader); got != "miss" {
+		t.Fatalf("after eject: %s", got)
+	}
+	if atomic.LoadInt64(&originHits) != 2 {
+		t.Fatalf("origin hits: %d", originHits)
+	}
+}
+
+func TestEjectByServletHeader(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+	http.Get(proxy.URL + "/page?id=1")
+	http.Get(proxy.URL + "/page?id=2")
+
+	req, _ := http.NewRequest("GET", proxy.URL+"/", nil)
+	req.Header.Set("Cache-Control", "eject")
+	req.Header.Set(servletHeader, "page")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ejected 2\n" {
+		t.Fatalf("body: %q", body)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("cache len %d", cache.Len())
+	}
+}
+
+func TestProxyBadOrigin(t *testing.T) {
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy("http://127.0.0.1:1", cache)) // nothing listens
+	defer proxy.Close()
+	resp, err := http.Get(proxy.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+}
+
+func TestIsEjectParsing(t *testing.T) {
+	mk := func(cc string) *http.Request {
+		r, _ := http.NewRequest("GET", "http://x/", nil)
+		if cc != "" {
+			r.Header.Set("Cache-Control", cc)
+		}
+		return r
+	}
+	cases := map[string]bool{
+		"eject":           true,
+		"no-cache, eject": true,
+		" eject ":         true,
+		"ejecting":        false,
+		"no-cache":        false,
+		"":                false,
+	}
+	for cc, want := range cases {
+		if got := isEject(mk(cc)); got != want {
+			t.Errorf("isEject(%q) = %v", cc, got)
+		}
+	}
+}
+
+func TestConcurrentCacheAccess(t *testing.T) {
+	c := NewCache(64)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				k := "k" + strconv.Itoa((g*31+i)%100)
+				if i%3 == 0 {
+					c.Put(&Entry{Key: k, Servlet: "s" + strconv.Itoa(i%5)})
+				} else if i%7 == 0 {
+					c.Invalidate(k)
+				} else {
+					c.Get(k)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Len() > 64 {
+		t.Fatalf("capacity exceeded: %d", c.Len())
+	}
+}
+
+// TestCookiePersonalizationNotLeaked: pages keyed by cookie must never be
+// served to a request carrying a different cookie, even though the proxy's
+// request-derived key is learned before the origin's key spec is known.
+func TestCookiePersonalizationNotLeaked(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		user := "anon"
+		if c, err := r.Cookie("user"); err == nil {
+			user = c.Value
+		}
+		w.Header().Set(keyHeader, "site/home?c:user="+user)
+		w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+		fmt.Fprintf(w, "hello %s", user)
+	}))
+	defer origin.Close()
+	proxy := httptest.NewServer(NewProxy(origin.URL, NewCache(0)))
+	defer proxy.Close()
+
+	get := func(user string) (string, string) {
+		req, _ := http.NewRequest("GET", proxy.URL+"/home", nil)
+		if user != "" {
+			req.AddCookie(&http.Cookie{Name: "user", Value: user})
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get(HitHeader)
+	}
+
+	if body, _ := get("alice"); body != "hello alice" {
+		t.Fatalf("alice: %q", body)
+	}
+	// Bob must NOT receive Alice's cached page.
+	body, state := get("bob")
+	if body != "hello bob" {
+		t.Fatalf("bob got %q (%s) — personalization leak", body, state)
+	}
+	// Alice's second visit is a hit on her own page.
+	body, state = get("alice")
+	if state != "hit" || body != "hello alice" {
+		t.Fatalf("alice repeat: %q (%s)", body, state)
+	}
+	// And bob's too, under his own key.
+	body, state = get("bob")
+	if state != "hit" || body != "hello bob" {
+		t.Fatalf("bob repeat: %q (%s)", body, state)
+	}
+}
+
+// TestPostBypassesCache: POSTs are never answered from the cache and never
+// stored.
+func TestPostBypassesCache(t *testing.T) {
+	var hits int64
+	origin := newOrigin(t, &hits)
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache))
+	defer proxy.Close()
+
+	// Warm with a GET.
+	http.Get(proxy.URL + "/page?id=1")
+	if cache.Len() != 1 {
+		t.Fatalf("len: %d", cache.Len())
+	}
+	// POST to the same URL must reach the origin, not the cache.
+	resp, err := http.Post(proxy.URL+"/page?id=1", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(HitHeader); got != "miss" {
+		t.Fatalf("post: %s", got)
+	}
+	if atomic.LoadInt64(&hits) != 2 {
+		t.Fatalf("origin hits: %d", hits)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("post stored: len %d", cache.Len())
+	}
+}

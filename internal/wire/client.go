@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Client is a synchronous wire-protocol client. A Client corresponds to one
+// database connection; concurrent callers are serialized, as on a JDBC
+// connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+}
+
+// Dial connects to a wire server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return Response{}, errors.New("wire: client closed")
+	}
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("wire: send: %w", err)
+	}
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return Response{}, fmt.Errorf("wire: receive: %w", err)
+	}
+	return resp, nil
+}
+
+// Query executes one SQL statement and returns its result.
+func (c *Client) Query(sql string) (*engine.Result, error) {
+	resp, err := c.roundTrip(Request{Op: OpQuery, Query: sql})
+	if err != nil {
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	res := &engine.Result{Columns: resp.Columns, RowsAffected: resp.RowsAffected}
+	for _, r := range resp.Rows {
+		res.Rows = append(res.Rows, DecodeRow(r))
+	}
+	return res, nil
+}
+
+// LogSince pulls update-log records with LSN >= lsn. It returns the records,
+// whether the log was truncated before lsn, and the LSN to poll from next.
+func (c *Client) LogSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	resp, err := c.roundTrip(Request{Op: OpLogSince, LSN: lsn})
+	if err != nil {
+		return nil, false, 0, err
+	}
+	if resp.Error != "" {
+		return nil, false, 0, errors.New(resp.Error)
+	}
+	recs := make([]engine.UpdateRecord, 0, len(resp.Records))
+	for _, r := range resp.Records {
+		recs = append(recs, DecodeRecord(r))
+	}
+	return recs, resp.Truncated, resp.NextLSN, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip(Request{Op: OpPing})
+	if err != nil {
+		return err
+	}
+	if resp.Error != "" {
+		return errors.New(resp.Error)
+	}
+	return nil
+}
+
+// Close closes the underlying connection. Safe to call twice.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

@@ -1,0 +1,141 @@
+// Package wire implements the client/server protocol of the reproduction's
+// DBMS: newline-delimited JSON frames over TCP. It is the network boundary
+// that the paper's JDBC drivers provided; the query-logging wrapper in
+// internal/driver interposes on it exactly as the paper's JDBC wrapper did
+// (§3.2), and the invalidator uses the LogSince operation to pull the
+// database update log (§4.2.1).
+package wire
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+)
+
+// Op is the request operation.
+type Op string
+
+// Request operations.
+const (
+	OpQuery    Op = "query"    // execute one SQL statement
+	OpLogSince Op = "logsince" // fetch update-log records with LSN >= LSN
+	OpPing     Op = "ping"     // liveness probe
+)
+
+// Request is one client→server frame.
+type Request struct {
+	Op    Op     `json:"op"`
+	Query string `json:"query,omitempty"`
+	LSN   int64  `json:"lsn,omitempty"`
+}
+
+// LogRecord is the wire form of an engine.UpdateRecord.
+type LogRecord struct {
+	LSN     int64       `json:"lsn"`
+	TimeNS  int64       `json:"time_ns"`
+	Table   string      `json:"table"`
+	Op      string      `json:"op"` // "INSERT" or "DELETE"
+	Columns []string    `json:"columns"`
+	Row     []WireValue `json:"row"`
+}
+
+// WireValue is the wire form of a mem.Value.
+type WireValue struct {
+	// K is the kind: "n" null, "i" int, "f" float, "s" string, "b" bool.
+	K string  `json:"k"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	S string  `json:"s,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// Response is one server→client frame.
+type Response struct {
+	Error        string        `json:"error,omitempty"`
+	Columns      []string      `json:"columns,omitempty"`
+	Rows         [][]WireValue `json:"rows,omitempty"`
+	RowsAffected int           `json:"rows_affected,omitempty"`
+	Records      []LogRecord   `json:"records,omitempty"`
+	Truncated    bool          `json:"truncated,omitempty"`
+	NextLSN      int64         `json:"next_lsn,omitempty"`
+}
+
+// EncodeValue converts a mem.Value to its wire form.
+func EncodeValue(v mem.Value) WireValue {
+	switch v.Kind {
+	case mem.KindInt:
+		return WireValue{K: "i", I: v.I}
+	case mem.KindFloat:
+		return WireValue{K: "f", F: v.F}
+	case mem.KindString:
+		return WireValue{K: "s", S: v.S}
+	case mem.KindBool:
+		return WireValue{K: "b", B: v.B}
+	default:
+		return WireValue{K: "n"}
+	}
+}
+
+// DecodeValue converts a wire value back to a mem.Value. Unknown kinds
+// decode as NULL, keeping the decoder total.
+func DecodeValue(w WireValue) mem.Value {
+	switch w.K {
+	case "i":
+		return mem.Int(w.I)
+	case "f":
+		return mem.Float(w.F)
+	case "s":
+		return mem.Str(w.S)
+	case "b":
+		return mem.Bool(w.B)
+	default:
+		return mem.Null()
+	}
+}
+
+// EncodeRow converts a mem.Row.
+func EncodeRow(r mem.Row) []WireValue {
+	out := make([]WireValue, len(r))
+	for i, v := range r {
+		out[i] = EncodeValue(v)
+	}
+	return out
+}
+
+// DecodeRow converts a wire row.
+func DecodeRow(ws []WireValue) mem.Row {
+	out := make(mem.Row, len(ws))
+	for i, w := range ws {
+		out[i] = DecodeValue(w)
+	}
+	return out
+}
+
+// EncodeRecord converts an engine.UpdateRecord.
+func EncodeRecord(r engine.UpdateRecord) LogRecord {
+	return LogRecord{
+		LSN:     r.LSN,
+		TimeNS:  r.Time.UnixNano(),
+		Table:   r.Table,
+		Op:      r.Op.String(),
+		Columns: r.Columns,
+		Row:     EncodeRow(r.Row),
+	}
+}
+
+// DecodeRecord converts a wire record back to an engine.UpdateRecord.
+func DecodeRecord(r LogRecord) engine.UpdateRecord {
+	op := engine.OpInsert
+	if r.Op == "DELETE" {
+		op = engine.OpDelete
+	}
+	return engine.UpdateRecord{
+		LSN:     r.LSN,
+		Time:    time.Unix(0, r.TimeNS),
+		Table:   r.Table,
+		Op:      op,
+		Columns: r.Columns,
+		Row:     DecodeRow(r.Row),
+	}
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// Server serves a Database over the wire protocol. One goroutine per
+// connection; frames on a connection are processed sequentially, matching
+// the paper's per-connection JDBC semantics.
+type Server struct {
+	DB *engine.Database
+
+	// QueryDelay, when non-nil, returns an artificial service time added
+	// before executing each query; experiments use it to emulate slower
+	// hardware without touching the engine.
+	QueryDelay func(sql string) time.Duration
+
+	// Logf, when non-nil, receives diagnostic messages (default: silent).
+	Logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// Stats
+	queries int64
+}
+
+// NewServer creates a server for db.
+func NewServer(db *engine.Database) *Server {
+	return &Server{DB: db, conns: make(map[net.Conn]struct{})}
+}
+
+// Listen binds addr ("host:port", ":0" for ephemeral) and starts accepting
+// in a background goroutine. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("wire: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return "", errors.New("wire: server already closed")
+	}
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	dec := json.NewDecoder(conn)
+	enc := json.NewEncoder(conn)
+	for {
+		var req Request
+		if err := dec.Decode(&req); err != nil {
+			return // client went away or sent garbage; drop the connection
+		}
+		resp := s.handle(req)
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handle(req Request) Response {
+	switch req.Op {
+	case OpPing:
+		return Response{}
+	case OpQuery:
+		if d := s.queryDelay(req.Query); d > 0 {
+			time.Sleep(d)
+		}
+		s.mu.Lock()
+		s.queries++
+		s.mu.Unlock()
+		res, err := s.DB.ExecSQL(req.Query)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		resp := Response{Columns: res.Columns, RowsAffected: res.RowsAffected}
+		for _, r := range res.Rows {
+			resp.Rows = append(resp.Rows, EncodeRow(r))
+		}
+		return resp
+	case OpLogSince:
+		recs, truncated := s.DB.Log().Since(req.LSN)
+		resp := Response{Truncated: truncated, NextLSN: s.DB.Log().NextLSN()}
+		for _, r := range recs {
+			resp.Records = append(resp.Records, EncodeRecord(r))
+		}
+		return resp
+	default:
+		return Response{Error: fmt.Sprintf("wire: unknown op %q", req.Op)}
+	}
+}
+
+func (s *Server) queryDelay(sql string) time.Duration {
+	if s.QueryDelay == nil {
+		return 0
+	}
+	return s.QueryDelay(sql)
+}
+
+// Queries returns the number of queries served so far.
+func (s *Server) Queries() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handler goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

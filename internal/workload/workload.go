@@ -1,0 +1,272 @@
+// Package workload implements the paper's request and update generators
+// (§5.2.2–5.2.3) for driving a *live* site over HTTP and SQL — the RG/UG
+// boxes of Figures 2–4. (The simulation experiments have their own arrival
+// processes inside internal/configs; this package exercises the real
+// stack.)
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Result of one generated request.
+type Result struct {
+	URL      string
+	Latency  time.Duration
+	Status   int
+	CacheHit bool
+	Err      error
+}
+
+// Stats aggregates request results.
+type Stats struct {
+	mu       sync.Mutex
+	n        int64
+	errs     int64
+	hits     int64
+	totalLat time.Duration
+	maxLat   time.Duration
+}
+
+func (s *Stats) add(r Result) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	if r.Err != nil || r.Status >= 500 {
+		s.errs++
+		return
+	}
+	if r.CacheHit {
+		s.hits++
+	}
+	s.totalLat += r.Latency
+	if r.Latency > s.maxLat {
+		s.maxLat = r.Latency
+	}
+}
+
+// Requests returns how many requests were issued.
+func (s *Stats) Requests() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Errors returns how many failed.
+func (s *Stats) Errors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.errs
+}
+
+// HitRatio returns the fraction of successful requests served by a cache.
+func (s *Stats) HitRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.n - s.errs
+	if ok == 0 {
+		return 0
+	}
+	return float64(s.hits) / float64(ok)
+}
+
+// MeanLatency returns the average latency of successful requests.
+func (s *Stats) MeanLatency() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.n - s.errs
+	if ok == 0 {
+		return 0
+	}
+	return s.totalLat / time.Duration(ok)
+}
+
+// MaxLatency returns the slowest successful request.
+func (s *Stats) MaxLatency() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxLat
+}
+
+// RequestGen issues Poisson-arrival GET requests to a weighted URL set.
+type RequestGen struct {
+	// Rate is mean requests per second.
+	Rate float64
+	// URLs are the candidate targets; Weights (same length, optional)
+	// bias selection. With a Zipf source set, URLs are ranked by
+	// popularity instead.
+	URLs    []string
+	Weights []float64
+	// Zipf, when non-nil, picks URL indexes by Zipf rank (popular-first).
+	Zipf *rand.Zipf
+	// Client defaults to http.DefaultClient.
+	Client *http.Client
+	// OnResult, when set, observes every completed request.
+	OnResult func(Result)
+
+	rng *rand.Rand
+}
+
+// NewRequestGen creates a generator with a deterministic seed.
+func NewRequestGen(rate float64, seed int64, urls ...string) *RequestGen {
+	return &RequestGen{Rate: rate, URLs: urls, rng: rand.New(rand.NewSource(seed))}
+}
+
+// WithZipf makes URL selection Zipf-distributed with parameter s > 1 over
+// the URL list (index 0 most popular).
+func (g *RequestGen) WithZipf(s float64) *RequestGen {
+	g.Zipf = rand.NewZipf(g.rng, s, 1, uint64(len(g.URLs)-1))
+	return g
+}
+
+func (g *RequestGen) pick() string {
+	switch {
+	case g.Zipf != nil:
+		return g.URLs[int(g.Zipf.Uint64())]
+	case len(g.Weights) == len(g.URLs) && len(g.URLs) > 0:
+		total := 0.0
+		for _, w := range g.Weights {
+			total += w
+		}
+		x := g.rng.Float64() * total
+		for i, w := range g.Weights {
+			x -= w
+			if x < 0 {
+				return g.URLs[i]
+			}
+		}
+		return g.URLs[len(g.URLs)-1]
+	default:
+		return g.URLs[g.rng.Intn(len(g.URLs))]
+	}
+}
+
+func (g *RequestGen) client() *http.Client {
+	if g.Client != nil {
+		return g.Client
+	}
+	return http.DefaultClient
+}
+
+// Run issues requests for the given duration (Poisson arrivals, each
+// request served in its own goroutine) and returns the stats. It blocks
+// until in-flight requests complete.
+func (g *RequestGen) Run(d time.Duration) *Stats {
+	stats := &Stats{}
+	if g.Rate <= 0 || len(g.URLs) == 0 {
+		return stats
+	}
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		url := g.pick()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := g.one(url)
+			stats.add(res)
+			if g.OnResult != nil {
+				g.OnResult(res)
+			}
+		}()
+		gap := time.Duration(g.rng.ExpFloat64() * float64(time.Second) / g.Rate)
+		time.Sleep(gap)
+	}
+	wg.Wait()
+	return stats
+}
+
+// one performs a single request.
+func (g *RequestGen) one(url string) Result {
+	start := time.Now()
+	resp, err := g.client().Get(url)
+	r := Result{URL: url, Latency: time.Since(start), Err: err}
+	if err != nil {
+		return r
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	r.Latency = time.Since(start)
+	r.Status = resp.StatusCode
+	r.CacheHit = strings.EqualFold(resp.Header.Get("X-Cacheportal-Cache"), "hit")
+	return r
+}
+
+// Execer runs SQL (the database, a wire client, or a Site).
+type Execer interface {
+	Exec(sql string) error
+}
+
+// ExecFunc adapts a function to Execer.
+type ExecFunc func(sql string) error
+
+// Exec implements Execer.
+func (f ExecFunc) Exec(sql string) error { return f(sql) }
+
+// UpdateGen issues random updates at a fixed rate (§5.2.3: "generates
+// random updates to the database over the network").
+type UpdateGen struct {
+	// Rate is mean statements per second.
+	Rate float64
+	// Statement produces the next SQL statement.
+	Statement func(rng *rand.Rand) string
+	// Target executes it.
+	Target Execer
+
+	rng *rand.Rand
+
+	mu     sync.Mutex
+	issued int64
+	failed int64
+}
+
+// NewUpdateGen creates an update generator with a deterministic seed.
+func NewUpdateGen(rate float64, seed int64, target Execer, stmt func(*rand.Rand) string) *UpdateGen {
+	return &UpdateGen{Rate: rate, Statement: stmt, Target: target, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Run issues updates for the duration, blocking until done. It returns
+// (issued, failed).
+func (g *UpdateGen) Run(d time.Duration) (int64, int64) {
+	if g.Rate <= 0 {
+		return 0, 0
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		sql := g.Statement(g.rng)
+		err := g.Target.Exec(sql)
+		g.mu.Lock()
+		g.issued++
+		if err != nil {
+			g.failed++
+		}
+		g.mu.Unlock()
+		time.Sleep(time.Duration(g.rng.ExpFloat64() * float64(time.Second) / g.Rate))
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.issued, g.failed
+}
+
+// PaperUpdateStatement builds the paper's update mix for two tables: random
+// insertions and deletions against each (§5.2.3).
+func PaperUpdateStatement(small, large string) func(*rand.Rand) string {
+	return func(rng *rand.Rand) string {
+		table := small
+		if rng.Intn(2) == 1 {
+			table = large
+		}
+		join := rng.Intn(10) // the shared join attribute has 10 values
+		if rng.Intn(2) == 0 {
+			return fmt.Sprintf("INSERT INTO %s VALUES (%d, %d, '%c')",
+				table, rng.Intn(1_000_000), join, 'a'+rune(rng.Intn(26)))
+		}
+		return fmt.Sprintf("DELETE FROM %s WHERE id = %d", table, rng.Intn(1_000_000))
+	}
+}

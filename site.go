@@ -1,0 +1,270 @@
+package cacheportal
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/balancer"
+	"repro/internal/core"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/invalidator"
+	"repro/internal/webcache"
+	"repro/internal/wire"
+)
+
+// ServletDef pairs a servlet's registration metadata with its handler.
+type ServletDef struct {
+	Meta    Meta
+	Handler ServletFunc
+}
+
+// SiteConfig describes a complete single-process Configuration III site.
+type SiteConfig struct {
+	// Schema is a SQL script creating and seeding the database (required).
+	Schema string
+	// Servlets are the application (required, at least one).
+	Servlets []ServletDef
+	// CacheCapacity bounds the web cache (0 = unbounded).
+	CacheCapacity int
+	// PoolSize is each app server's DB connection pool (default 8).
+	PoolSize int
+	// WebServers is how many app-server instances to run behind a
+	// round-robin balancer (default 1; >1 adds the paper's LocalDirector
+	// tier in front of the farm).
+	WebServers int
+	// Interval is the CachePortal cycle cadence (default 200ms; the paper
+	// used 1s).
+	Interval time.Duration
+	// PollBudget bounds per-cycle polling time (0 = unbounded).
+	PollBudget time.Duration
+	// Rules are administrator invalidation policies.
+	Rules []Rule
+	// SourceName is the data source name servlets use (default "db").
+	SourceName string
+}
+
+// Site is a running Configuration III deployment: DBMS over TCP, servlet
+// container behind a caching reverse proxy, and a CachePortal keeping the
+// cache fresh. Use CacheURL as the end-user entry point.
+type Site struct {
+	DB       *engine.Database
+	DBServer *wire.Server
+	DBAddr   string
+
+	QueryLog   *QueryLog
+	RequestLog *RequestLog
+
+	// App is the first (or only) app server; Apps lists all of them.
+	App  *appserver.Server
+	Apps []*appserver.Server
+	// AppURL is the origin the cache forwards to: the single app server,
+	// or the balancer when WebServers > 1. AppURLs lists each server.
+	AppURL   string
+	AppURLs  []string
+	Cache    *webcache.Cache
+	Proxy    *webcache.Proxy
+	CacheURL string
+
+	Portal *Portal
+
+	appHTTP   []*http.Server
+	proxyHTTP *http.Server
+	appLn     []net.Listener
+	proxyLn   net.Listener
+	lbHTTP    *http.Server
+	lbLn      net.Listener
+	pools     []*driver.Pool
+	pollConn  driver.Conn
+}
+
+// NewSite assembles and starts a Site.
+func NewSite(cfg SiteConfig) (*Site, error) {
+	if cfg.Schema == "" {
+		return nil, fmt.Errorf("cacheportal: SiteConfig.Schema is required")
+	}
+	if len(cfg.Servlets) == 0 {
+		return nil, fmt.Errorf("cacheportal: at least one servlet is required")
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 8
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 200 * time.Millisecond
+	}
+	if cfg.SourceName == "" {
+		cfg.SourceName = "db"
+	}
+
+	s := &Site{}
+	ok := false
+	defer func() {
+		if !ok {
+			s.Close()
+		}
+	}()
+
+	// Database server.
+	s.DB = engine.NewDatabase()
+	if _, err := s.DB.ExecScript(cfg.Schema); err != nil {
+		return nil, fmt.Errorf("cacheportal: schema: %w", err)
+	}
+	s.DBServer = wire.NewServer(s.DB)
+	addr, err := s.DBServer.Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s.DBAddr = addr
+
+	// Application server farm with logging driver + pool + data source.
+	// All servers share the two logs, so the sniffer sees the whole farm.
+	s.QueryLog = driver.NewQueryLog(0)
+	s.RequestLog = appserver.NewRequestLog(0)
+	logged := driver.NewLoggingDriver(driver.NetDriver{}, s.QueryLog)
+	nServers := cfg.WebServers
+	if nServers < 1 {
+		nServers = 1
+	}
+	for i := 0; i < nServers; i++ {
+		pool, err := driver.NewPool(logged, addr, cfg.PoolSize)
+		if err != nil {
+			return nil, err
+		}
+		s.pools = append(s.pools, pool)
+		reg := driver.NewRegistry()
+		reg.Bind(cfg.SourceName, pool)
+		app := appserver.NewServer(reg, s.RequestLog)
+		app.MinSensitivity = cfg.Interval
+		for _, def := range cfg.Servlets {
+			if err := app.Register(def.Meta, def.Handler); err != nil {
+				return nil, err
+			}
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		hs := &http.Server{Handler: app}
+		go hs.Serve(ln)
+		s.Apps = append(s.Apps, app)
+		s.appHTTP = append(s.appHTTP, hs)
+		s.appLn = append(s.appLn, ln)
+		s.AppURLs = append(s.AppURLs, "http://"+ln.Addr().String())
+	}
+	s.App = s.Apps[0]
+	s.AppURL = s.AppURLs[0]
+	if nServers > 1 {
+		lb := balancer.New(s.AppURLs...)
+		s.lbLn, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		s.lbHTTP = &http.Server{Handler: lb}
+		go s.lbHTTP.Serve(s.lbLn)
+		s.AppURL = "http://" + s.lbLn.Addr().String()
+	}
+
+	// Caching reverse proxy (the dynamic web content cache).
+	s.Cache = webcache.NewCache(cfg.CacheCapacity)
+	s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
+	s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s.proxyHTTP = &http.Server{Handler: s.Proxy}
+	go s.proxyHTTP.Serve(s.proxyLn)
+	s.CacheURL = "http://" + s.proxyLn.Addr().String()
+
+	// CachePortal: polls the update log over the wire, polls via its own
+	// connection, ejects directly into the cache.
+	logClient, err := wire.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.pollConn, err = driver.NetDriver{}.Connect(addr)
+	if err != nil {
+		logClient.Close()
+		return nil, err
+	}
+	portal, err := core.New(core.Options{
+		RequestLog: s.RequestLog,
+		QueryLog:   s.QueryLog,
+		Puller:     invalidator.WireLogPuller{Client: logClient},
+		Poller:     s.pollConn,
+		Ejector:    invalidator.CacheEjector{Cache: s.Cache},
+		Interval:   cfg.Interval,
+		PollBudget: cfg.PollBudget,
+		Rules:      cfg.Rules,
+	})
+	if err != nil {
+		logClient.Close()
+		return nil, err
+	}
+	s.Portal = portal
+	for _, app := range s.Apps {
+		app.Cacheable = portal.CacheableServlet
+	}
+	// Let the portal skip the schema-seeding log records so the cache
+	// doesn't churn on startup.
+	if _, err := portal.Cycle(); err != nil {
+		return nil, err
+	}
+	if err := portal.Start(); err != nil {
+		return nil, err
+	}
+
+	ok = true
+	return s, nil
+}
+
+// Close shuts every component down. Safe on partially built sites.
+func (s *Site) Close() {
+	if s.Portal != nil {
+		s.Portal.Stop()
+	}
+	if s.proxyHTTP != nil {
+		s.proxyHTTP.Close()
+	}
+	if s.lbHTTP != nil {
+		s.lbHTTP.Close()
+	}
+	for _, hs := range s.appHTTP {
+		hs.Close()
+	}
+	for _, p := range s.pools {
+		p.Close()
+	}
+	if s.pollConn != nil {
+		s.pollConn.Close()
+	}
+	if s.DBServer != nil {
+		s.DBServer.Close()
+	}
+}
+
+// Exec runs a backend update against the database (the paper's "Upd"
+// arrow: changes arriving outside the web path).
+func (s *Site) Exec(sql string) error {
+	_, err := s.DB.ExecSQL(sql)
+	return err
+}
+
+// WaitForInvalidation runs portal cycles until the page with the given
+// cache key is gone from the cache or the timeout elapses. It returns
+// whether the page was invalidated. Intended for tests and demos; the
+// background loop does the same work on its own cadence.
+func (s *Site) WaitForInvalidation(cacheKey string, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if _, present := s.Cache.Peek(cacheKey); !present {
+			return true
+		}
+		s.Portal.Cycle()
+		time.Sleep(5 * time.Millisecond)
+	}
+	_, present := s.Cache.Peek(cacheKey)
+	return !present
+}

@@ -1,0 +1,98 @@
+package cacheportal
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/webcache"
+)
+
+// TestTTLBaselineServesStaleWithinWindow demonstrates the freshness gap the
+// paper's introduction describes: a time-based cache (Oracle9i-style
+// refresh) serves content up to MaxAge stale after an update, while
+// CachePortal's invalidation removes exactly the affected page as soon as
+// the invalidator observes the update.
+func TestTTLBaselineServesStaleWithinWindow(t *testing.T) {
+	var version int64 = 1
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Cacheportal-Key", "page")
+		w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+		fmt.Fprintf(w, "v%d", atomic.LoadInt64(&version))
+	}))
+	defer origin.Close()
+
+	proxy := webcache.NewProxy(origin.URL, webcache.NewCache(0))
+	proxy.MaxAge = 200 * time.Millisecond
+	ttl := httptest.NewServer(proxy)
+	defer ttl.Close()
+
+	get := func() string {
+		resp, err := http.Get(ttl.URL + "/page")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b)
+	}
+
+	if got := get(); got != "v1" {
+		t.Fatalf("first: %q", got)
+	}
+	// The "database" changes...
+	atomic.StoreInt64(&version, 2)
+	// ...but within the TTL window the cache still serves v1: STALE.
+	if got := get(); got != "v1" {
+		t.Fatalf("TTL cache should still serve stale v1, got %q", got)
+	}
+	// After expiry the fresh version appears (and a page that never
+	// changed would have been refetched just the same — wasted work).
+	time.Sleep(250 * time.Millisecond)
+	if got := get(); got != "v2" {
+		t.Fatalf("after TTL: %q", got)
+	}
+}
+
+// TestCachePortalNoStaleWindowBeyondCycle contrasts: with CachePortal the
+// staleness window is bounded by the invalidation cycle, not by a TTL
+// guess, and untouched pages are never refetched.
+func TestCachePortalNoStaleWindowBeyondCycle(t *testing.T) {
+	site := carSite(t)
+	urlTouched := site.CacheURL + "/under?price=20000"
+	urlUntouched := site.CacheURL + "/under?price=16500"
+
+	fetch := func(url string) (string, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return string(b), resp.Header.Get(webcache.HitHeader)
+	}
+	fetch(urlTouched)
+	fetch(urlUntouched)
+	fetch(urlTouched)
+	fetch(urlUntouched)
+
+	if err := site.Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 18000)"); err != nil {
+		t.Fatal(err)
+	}
+	// One synchronous cycle bounds the staleness window.
+	site.Portal.Cycle()
+
+	got, state := fetch(urlTouched)
+	if state != "miss" || !strings.Contains(got, "Avalon") {
+		t.Fatalf("touched page: %s %q", state, got)
+	}
+	// The untouched page was not refetched: still a hit (no TTL churn).
+	if _, state := fetch(urlUntouched); state != "hit" {
+		t.Fatalf("untouched page should stay cached, got %s", state)
+	}
+}
