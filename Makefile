@@ -1,0 +1,31 @@
+GO ?= go
+
+.PHONY: all build test race bench bench-parallel bench-json clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — the parallel invalidation pipeline
+# and the sharded web cache must stay race-free.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# Parallel-scaling benchmarks: invalidator worker sweep + sharded cache.
+bench-parallel:
+	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded' -benchtime 2s .
+
+# Re-measure the invalidator scaling sweep and refresh BENCH_invalidator.json.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded|BenchmarkInvalidatorCycle$$|BenchmarkWebCache$$' -benchtime 2s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_invalidator.json
+
+clean:
+	$(GO) clean ./...

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -469,6 +470,94 @@ func BenchmarkEngineInsert(b *testing.B) {
 	}
 }
 
+// parallelInvalidatorBench builds a poll-heavy harness: nTables
+// independent join query types over a shared `upd` table, each needing one
+// residual poll per update, with an artificial per-poll DBMS latency. This
+// is the workload where evaluation parallelism pays: the cycle is
+// round-trip-bound, not CPU-bound.
+func parallelInvalidatorBench(b *testing.B, workers, nTables int, pollDelay time.Duration) (*invalidator.Invalidator, *engine.Database) {
+	b.Helper()
+	db := engine.NewDatabase()
+	schema := "CREATE TABLE upd (a INT, b INT);\n"
+	for i := 0; i < nTables; i++ {
+		schema += fmt.Sprintf("CREATE TABLE j%d (a INT, b INT);\nINSERT INTO j%d VALUES (1, 1), (2, 2);\n", i, i)
+	}
+	if _, err := db.ExecScript(schema); err != nil {
+		b.Fatal(err)
+	}
+	drv := driver.DirectDriver{DB: db}
+	if pollDelay > 0 {
+		drv.Delay = func(string) time.Duration { return pollDelay }
+	}
+	nConns := workers
+	if nConns < 1 {
+		nConns = 1
+	}
+	conns := make([]invalidator.Poller, nConns)
+	for i := range conns {
+		c, err := drv.Connect("")
+		if err != nil {
+			b.Fatal(err)
+		}
+		conns[i] = c
+	}
+	var poller invalidator.Poller = conns[0]
+	if len(conns) > 1 {
+		poller = invalidator.NewConcurrentPoller(conns...)
+	}
+	m := sniffer.NewQIURLMap()
+	inv := invalidator.New(invalidator.Config{
+		Map:     m,
+		Puller:  invalidator.EngineLogPuller{Log: db.Log()},
+		Poller:  poller,
+		Ejector: invalidator.FuncEjector(func([]string) error { return nil }),
+		Workers: workers,
+	})
+	if _, err := inv.Cycle(); err != nil { // swallow schema-setup records
+		b.Fatal(err)
+	}
+	for i := 0; i < nTables; i++ {
+		// One type per table: the polling queries have distinct SQL, so
+		// in-flight dedup cannot collapse them and every unit really polls.
+		sql := fmt.Sprintf(
+			"SELECT upd.a FROM upd, j%d WHERE upd.a = j%d.a AND upd.b > 5", i, i)
+		m.Record(fmt.Sprintf("page-%d", i), "s", int64(i), []sniffer.QueryInstance{{SQL: sql}})
+	}
+	if _, err := inv.Cycle(); err != nil { // ingest the page mappings
+		b.Fatal(err)
+	}
+	return inv, db
+}
+
+// BenchmarkInvalidatorCycleParallel sweeps the worker-pool size on the
+// poll-heavy workload (24 types × one 200µs poll each per update). The
+// inserted tuple passes every local predicate but joins with nothing, so
+// the page population stays constant and each iteration measures one full
+// polling cycle.
+func BenchmarkInvalidatorCycleParallel(b *testing.B) {
+	const nTables = 24
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			inv, db := parallelInvalidatorBench(b, workers, nTables, 200*time.Microsecond)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// a=999 exists in no j table: every type polls, none match.
+				db.ExecSQL(fmt.Sprintf("INSERT INTO upd VALUES (999, %d)", 10+i))
+				rep, err := inv.Cycle()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Invalidated != 0 {
+					b.Fatal("population must stay constant")
+				}
+				if rep.Polls != nTables {
+					b.Fatalf("polls=%d, want %d", rep.Polls, nTables)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkWebCache measures the page cache's hot path.
 func BenchmarkWebCache(b *testing.B) {
 	c := webcache.NewCache(1024)
@@ -478,6 +567,39 @@ func BenchmarkWebCache(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		c.Get(fmt.Sprintf("k%d", i%1024))
+	}
+}
+
+// BenchmarkWebCacheSharded measures the cache under concurrent mixed
+// load (7:1 get:put) at different shard counts; shards=1 is the old
+// single-mutex cache.
+func BenchmarkWebCacheSharded(b *testing.B) {
+	const population = 4096
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := webcache.NewCacheSharded(population, shards)
+			keys := make([]string, population)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%d", i)
+				c.Put(&webcache.Entry{Key: keys[i], Body: []byte("body"), Servlet: "s"})
+			}
+			var goroutineID atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Stagger goroutines across the key space so they contend
+				// the way independent clients would, not in lockstep.
+				i := int(goroutineID.Add(1)) * 997
+				for pb.Next() {
+					k := keys[i%population]
+					if i%8 == 0 {
+						c.Put(&webcache.Entry{Key: k, Body: []byte("body"), Servlet: "s"})
+					} else {
+						c.Get(k)
+					}
+					i++
+				}
+			})
+		})
 	}
 }
 

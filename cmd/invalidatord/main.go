@@ -35,6 +35,9 @@ func main() {
 	caches := flag.String("cache", "http://127.0.0.1:8090", "comma-separated web cache URLs to eject from")
 	interval := flag.Duration("interval", time.Second, "invalidation cycle interval")
 	pollBudget := flag.Duration("poll-budget", 0, "max polling time per cycle (0 = unbounded)")
+	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	pollConns := flag.Int("poll-conns", 1, "DB connections for polling queries (>1 polls in parallel)")
+	ejectBatch := flag.Int("eject-batch", 0, "keys per batched eject request (0 = default)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	flag.Parse()
 
@@ -43,11 +46,22 @@ func main() {
 		log.Fatalf("invalidatord: update log: %v", err)
 	}
 	defer logClient.Close()
-	pollConn, err := driver.NetDriver{}.Connect(*dbAddr)
-	if err != nil {
-		log.Fatalf("invalidatord: polling connection: %v", err)
+	if *pollConns < 1 {
+		*pollConns = 1
 	}
-	defer pollConn.Close()
+	conns := make([]invalidator.Poller, 0, *pollConns)
+	for i := 0; i < *pollConns; i++ {
+		c, err := driver.NetDriver{}.Connect(*dbAddr)
+		if err != nil {
+			log.Fatalf("invalidatord: polling connection: %v", err)
+		}
+		defer c.Close()
+		conns = append(conns, c)
+	}
+	var poller invalidator.Poller = conns[0]
+	if len(conns) > 1 {
+		poller = invalidator.NewConcurrentPoller(conns...)
+	}
 
 	mirror := logexport.NewMirror(*appURL)
 	qiMap := sniffer.NewQIURLMap()
@@ -57,9 +71,10 @@ func main() {
 		Map:        qiMap,
 		Mapper:     mapper,
 		Puller:     invalidator.WireLogPuller{Client: logClient},
-		Poller:     pollConn,
-		Ejector:    invalidator.HTTPEjector{CacheURLs: strings.Split(*caches, ",")},
+		Poller:     poller,
+		Ejector:    invalidator.HTTPEjector{CacheURLs: strings.Split(*caches, ","), MaxBatch: *ejectBatch},
 		PollBudget: *pollBudget,
+		Workers:    *workers,
 	})
 
 	fmt.Printf("invalidatord: app=%s db=%s caches=%s interval=%s\n",

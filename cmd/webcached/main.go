@@ -22,10 +22,11 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP address to listen on")
 	origin := flag.String("origin", "http://127.0.0.1:8080", "origin server base URL")
 	capacity := flag.Int("capacity", 0, "max cached pages (0 = unbounded)")
+	shards := flag.Int("shards", 0, "cache lock shards (0 = auto, 1 = single exact LRU)")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
 	flag.Parse()
 
-	cache := webcache.NewCache(*capacity)
+	cache := webcache.NewCacheSharded(*capacity, *shards)
 	proxy := webcache.NewProxy(*origin, cache)
 
 	if *statsEvery > 0 {

@@ -36,6 +36,9 @@ type Options struct {
 	Interval time.Duration
 	// PollBudget bounds per-cycle polling time (0 = unbounded).
 	PollBudget time.Duration
+	// Workers bounds the invalidator's evaluation parallelism (0 =
+	// GOMAXPROCS, 1 = sequential).
+	Workers int
 	// MapperMode selects query attribution (default LeaseAffine).
 	MapperMode sniffer.MapperMode
 	// Rules are administrator invalidation policies.
@@ -101,6 +104,7 @@ func New(opts Options) (*Portal, error) {
 		Ejector:    opts.Ejector,
 		Policies:   pol,
 		PollBudget: opts.PollBudget,
+		Workers:    opts.Workers,
 	})
 	return &Portal{Map: m, Mapper: mp, Invalidator: inv, interval: opts.Interval}, nil
 }

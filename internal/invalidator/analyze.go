@@ -75,6 +75,8 @@ func colFingerprint(columns []string) string {
 // deltas on table with the given columns.
 func (qt *QueryType) planFor(table string, columns []string) *tablePlan {
 	key := strings.ToLower(table) + "|" + colFingerprint(columns)
+	qt.plansMu.Lock()
+	defer qt.plansMu.Unlock()
 	if p, ok := qt.plans[key]; ok {
 		return p
 	}

@@ -1,0 +1,66 @@
+package invalidator
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// ConcurrentPoller dispatches polling queries concurrently over a set of
+// underlying connections, deduplicating identical in-flight query texts.
+// It extends the invalidator's per-cycle text deduplication across
+// concurrent callers: while a query is executing, any caller asking for the
+// same text waits for and shares that result instead of issuing a second
+// DBMS round trip. Unlike the per-cycle poll cache, completed results are
+// NOT retained — the next call with the same text polls again, so answers
+// never go stale across cycles.
+//
+// Each underlying Poller (driver.Conn, wire client, data cache) serializes
+// its own callers, so a single connection gives deduplication but no
+// parallelism; hand NewConcurrentPoller several connections to let distinct
+// query texts run in parallel, round-robined across the pool.
+type ConcurrentPoller struct {
+	conns []Poller
+	next  atomic.Uint64
+
+	mu       sync.Mutex
+	inflight map[string]*inflightPoll
+}
+
+type inflightPoll struct {
+	ready chan struct{}
+	res   *engine.Result
+	err   error
+}
+
+// NewConcurrentPoller builds a ConcurrentPoller over one or more
+// connections. It panics when called with none.
+func NewConcurrentPoller(conns ...Poller) *ConcurrentPoller {
+	if len(conns) == 0 {
+		panic("invalidator: NewConcurrentPoller needs at least one connection")
+	}
+	return &ConcurrentPoller{conns: conns, inflight: make(map[string]*inflightPoll)}
+}
+
+// Query implements Poller.
+func (p *ConcurrentPoller) Query(sql string) (*engine.Result, error) {
+	p.mu.Lock()
+	if call, ok := p.inflight[sql]; ok {
+		p.mu.Unlock()
+		<-call.ready
+		return call.res, call.err
+	}
+	call := &inflightPoll{ready: make(chan struct{})}
+	p.inflight[sql] = call
+	p.mu.Unlock()
+
+	conn := p.conns[p.next.Add(1)%uint64(len(p.conns))]
+	call.res, call.err = conn.Query(sql)
+
+	p.mu.Lock()
+	delete(p.inflight, sql)
+	p.mu.Unlock()
+	close(call.ready)
+	return call.res, call.err
+}

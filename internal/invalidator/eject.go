@@ -1,7 +1,10 @@
 package invalidator
 
 import (
+	"errors"
 	"net/http"
+	"sort"
+	"sync"
 
 	"repro/internal/webcache"
 )
@@ -10,8 +13,18 @@ import (
 type Ejector interface {
 	// Eject invalidates the pages with the given cache keys. Partial
 	// failure returns an error; the invalidator will retry the keys next
-	// cycle (they stay queued).
+	// cycle (they stay queued). Errors implementing KeyedEjectError narrow
+	// the retry to the keys that actually failed.
 	Eject(keys []string) error
+}
+
+// KeyedEjectError is implemented by Eject errors that know which keys
+// failed, so a partially failed eject retries only those instead of the
+// whole batch. Ejection is idempotent, so retrying a failed key against a
+// cache that already accepted it is harmless.
+type KeyedEjectError interface {
+	error
+	FailedKeys() []string
 }
 
 // BulkEjector is implemented by ejectors that can flush an entire cache —
@@ -20,14 +33,33 @@ type BulkEjector interface {
 	EjectAll() error
 }
 
+// PartialEjectError reports an eject that failed for some keys. Err joins
+// every underlying per-cache/per-batch error (errors.Join); Keys lists the
+// distinct keys still requiring ejection.
+type PartialEjectError struct {
+	Keys []string
+	Err  error
+}
+
+// Error implements error.
+func (e *PartialEjectError) Error() string { return "invalidator: eject: " + e.Err.Error() }
+
+// Unwrap exposes the joined per-cache errors.
+func (e *PartialEjectError) Unwrap() error { return e.Err }
+
+// FailedKeys implements KeyedEjectError. The returned slice is a copy.
+func (e *PartialEjectError) FailedKeys() []string {
+	out := make([]string, len(e.Keys))
+	copy(out, e.Keys)
+	return out
+}
+
 // CacheEjector invalidates an in-process web cache directly.
 type CacheEjector struct{ Cache *webcache.Cache }
 
 // Eject implements Ejector.
 func (e CacheEjector) Eject(keys []string) error {
-	for _, k := range keys {
-		e.Cache.Invalidate(k)
-	}
+	e.Cache.InvalidateMany(keys)
 	return nil
 }
 
@@ -37,49 +69,136 @@ func (e CacheEjector) EjectAll() error {
 	return nil
 }
 
+// DefaultEjectBatch is how many keys an HTTPEjector packs into one
+// `Cache-Control: eject` request when MaxBatch is unset.
+const DefaultEjectBatch = 256
+
 // HTTPEjector sends `Cache-Control: eject` requests to one or more cache
-// endpoints (front-end, proxy, or edge caches).
+// endpoints (front-end, proxy, or edge caches). Keys are packed into
+// batched eject requests (MaxBatch per message) and the caches are
+// notified concurrently, so invalidating k pages across n caches costs
+// ⌈k/MaxBatch⌉ sequential round trips instead of k×n.
 type HTTPEjector struct {
 	CacheURLs []string
 	Client    *http.Client
+	// MaxBatch caps keys per eject request (default DefaultEjectBatch).
+	MaxBatch int
 }
 
-// Eject implements Ejector: every key is ejected from every cache.
+// Eject implements Ejector: every key is ejected from every cache. All
+// per-cache errors are collected (errors.Join); the returned
+// PartialEjectError names exactly the keys in failed batches, so the
+// invalidator retries those alone.
 func (e HTTPEjector) Eject(keys []string) error {
-	var firstErr error
-	for _, url := range e.CacheURLs {
-		for _, k := range keys {
-			if err := webcache.Eject(e.Client, url, k); err != nil && firstErr == nil {
-				firstErr = err
+	if len(keys) == 0 {
+		return nil
+	}
+	batch := e.MaxBatch
+	if batch <= 0 {
+		batch = DefaultEjectBatch
+	}
+	var chunks [][]string
+	for start := 0; start < len(keys); start += batch {
+		end := start + batch
+		if end > len(keys) {
+			end = len(keys)
+		}
+		chunks = append(chunks, keys[start:end])
+	}
+
+	type failure struct {
+		err  error
+		keys []string
+	}
+	fails := make([][]failure, len(e.CacheURLs))
+	var wg sync.WaitGroup
+	wg.Add(len(e.CacheURLs))
+	for i, url := range e.CacheURLs {
+		go func(i int, url string) {
+			defer wg.Done()
+			for _, chunk := range chunks {
+				if err := webcache.EjectKeys(e.Client, url, chunk); err != nil {
+					fails[i] = append(fails[i], failure{err: err, keys: chunk})
+				}
+			}
+		}(i, url)
+	}
+	wg.Wait()
+
+	var errs []error
+	failed := make(map[string]bool)
+	for _, perCache := range fails {
+		for _, f := range perCache {
+			errs = append(errs, f.err)
+			for _, k := range f.keys {
+				failed[k] = true
 			}
 		}
 	}
-	return firstErr
+	if len(errs) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(failed))
+	for k := range failed {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return &PartialEjectError{Keys: out, Err: errors.Join(errs...)}
 }
 
 // EjectAll implements BulkEjector: every cache is flushed.
 func (e HTTPEjector) EjectAll() error {
-	var firstErr error
+	var errs []error
 	for _, url := range e.CacheURLs {
-		if err := webcache.EjectAll(e.Client, url); err != nil && firstErr == nil {
-			firstErr = err
+		if err := webcache.EjectAll(e.Client, url); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }
 
 // MultiEjector fans out to several ejectors.
 type MultiEjector []Ejector
 
-// Eject implements Ejector.
+// Eject implements Ejector, joining every sub-ejector's error. When every
+// failing sub-ejector reports its failed keys, the joined error narrows
+// the retry set to their union; one opaque failure widens it back to all
+// keys. The widened error still wraps a PartialEjectError naming every key
+// (rather than the bare join) so that errors.As cannot reach a nested,
+// too-narrow key list from a sibling sub-ejector.
 func (m MultiEjector) Eject(keys []string) error {
-	var firstErr error
+	var errs []error
+	failed := make(map[string]bool)
+	opaque := false
 	for _, e := range m {
-		if err := e.Eject(keys); err != nil && firstErr == nil {
-			firstErr = err
+		err := e.Eject(keys)
+		if err == nil {
+			continue
+		}
+		errs = append(errs, err)
+		var ke KeyedEjectError
+		if errors.As(err, &ke) {
+			for _, k := range ke.FailedKeys() {
+				failed[k] = true
+			}
+		} else {
+			opaque = true
 		}
 	}
-	return firstErr
+	if len(errs) == 0 {
+		return nil
+	}
+	joined := errors.Join(errs...)
+	var out []string
+	if opaque {
+		out = append(out, keys...)
+	} else {
+		for k := range failed {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return &PartialEjectError{Keys: dedupeSorted(out), Err: joined}
 }
 
 // FuncEjector adapts a function.

@@ -1,7 +1,11 @@
 package invalidator
 
 import (
+	"errors"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -56,8 +60,17 @@ type Config struct {
 	// Indexes are maintained external indexes; nil creates an empty set.
 	Indexes *IndexSet
 	// PollBudget bounds polling time per cycle (0 = unbounded); exceeding
-	// it degrades to conservative invalidation (§4.2.2).
+	// it degrades to conservative invalidation (§4.2.2). Under parallel
+	// evaluation the budget is a token bucket shared by all workers: the
+	// cumulative DBMS polling time per cycle stays bounded no matter how
+	// many polls run at once.
 	PollBudget time.Duration
+	// Workers bounds how many (query type × delta table) evaluation units
+	// run concurrently within one cycle (§4.2.2 scalability). 0 defaults to
+	// GOMAXPROCS; 1 restores strictly sequential evaluation. The
+	// invalidated page set is identical at any worker count — only
+	// throughput changes.
+	Workers int
 	// AdviceThreshold is the existence-poll count after which a maintained
 	// index is recommended (0 = default 16).
 	AdviceThreshold int64
@@ -89,7 +102,10 @@ type Report struct {
 }
 
 // Invalidator orchestrates the §4 pipeline. Cycle is not safe for
-// concurrent invocation; Start runs it from a single goroutine.
+// concurrent invocation; Start runs it from a single goroutine. Within one
+// cycle, independent (query type × delta table) units are evaluated on a
+// bounded worker pool (Config.Workers) and polling queries run
+// concurrently with in-flight deduplication.
 type Invalidator struct {
 	cfg      Config
 	registry *Registry
@@ -115,6 +131,9 @@ func New(cfg Config) *Invalidator {
 	}
 	if cfg.AdviceThreshold <= 0 {
 		cfg.AdviceThreshold = 16
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	return &Invalidator{
 		cfg:      cfg,
@@ -223,6 +242,20 @@ func (inv *Invalidator) Cycle() (Report, error) {
 			}
 		}
 		pr := newPollRun(inv.cfg.Poller, inv.indexes, inv.cfg.PollBudget)
+
+		// Build the cycle's schedule up front: one work unit per (query
+		// type × delta table) pair, in delta order with each table's types
+		// in §4.2.2 priority order. Units are independent — the registry is
+		// not mutated until the eject step — so workers claim them from the
+		// front of this list; high-value units start first, and when the
+		// shared polling budget runs out, the (lowest-value) tail degrades
+		// to conservative invalidation, exactly the sequential trade-off.
+		type workUnit struct {
+			d     *engine.Delta
+			qt    *QueryType
+			insts []*Instance
+		}
+		var units []workUnit
 		for _, d := range deltas {
 			rep.DeltaTuples += len(d.Plus) + len(d.Minus)
 			for _, qt := range inv.scheduleTypes(inv.registry.TypesForTable(d.Table)) {
@@ -230,24 +263,61 @@ func (inv *Invalidator) Cycle() (Report, error) {
 				if len(insts) == 0 {
 					continue
 				}
-				batchStart := time.Now()
-				pollsBefore, pollTimeBefore := pr.polls, pr.pollTime
-				res := inv.evalType(qt, d, insts, pr, delTables)
-				res.polls = pr.polls - pollsBefore
-				res.pollTime = pr.pollTime - pollTimeBefore
-				inv.recordTypeBatch(qt, len(insts), res, time.Since(batchStart))
-				rep.LocalDecisions += res.localDecisions
-				rep.Conservative += res.conservative
-				for _, inst := range res.impacted {
-					for page := range inst.Pages {
-						impacted[page] = true
-					}
-				}
+				units = append(units, workUnit{d: d, qt: qt, insts: insts})
 			}
 		}
-		rep.Polls = pr.polls
-		rep.IndexHits = pr.indexHits
-		rep.PollTime = pr.pollTime
+
+		// Per-worker Report counters merge through atomics so the cycle's
+		// statistics stay exact; the impacted page set merges under its own
+		// mutex.
+		var localDecisions, conservative atomic.Int64
+		var impactedMu sync.Mutex
+		process := func(u workUnit) {
+			batchStart := time.Now()
+			res := inv.evalType(u.qt, u.d, u.insts, pr, delTables)
+			inv.recordTypeBatch(u.qt, len(u.insts), res, time.Since(batchStart))
+			localDecisions.Add(int64(res.localDecisions))
+			conservative.Add(int64(res.conservative))
+			impactedMu.Lock()
+			for _, inst := range res.impacted {
+				for page := range inst.Pages {
+					impacted[page] = true
+				}
+			}
+			impactedMu.Unlock()
+		}
+
+		workers := inv.cfg.Workers
+		if workers > len(units) {
+			workers = len(units)
+		}
+		if workers <= 1 {
+			for _, u := range units {
+				process(u)
+			}
+		} else {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(workers)
+			for w := 0; w < workers; w++ {
+				go func() {
+					defer wg.Done()
+					for {
+						i := int(cursor.Add(1)) - 1
+						if i >= len(units) {
+							return
+						}
+						process(units[i])
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		rep.LocalDecisions += int(localDecisions.Load())
+		rep.Conservative += int(conservative.Load())
+		rep.Polls = int(pr.polls.Load())
+		rep.IndexHits = int(pr.indexHits.Load())
+		rep.PollTime = time.Duration(pr.pollTime.Load())
 
 		// Conservative pages fall with any change at all.
 		for _, k := range inv.registry.ConservativePages() {
@@ -256,18 +326,46 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		}
 	}
 
-	// 4. Send invalidation messages (§4.2.4), including retries.
-	keys := make([]string, 0, len(impacted)+len(inv.pending))
+	// 4. Send invalidation messages (§4.2.4), including retries. Pending
+	// keys (whose ejection failed in an earlier cycle) merge into this
+	// cycle's set — deduplicated, so the retry list cannot grow past the
+	// live page population — and keys whose pages have since left the
+	// registry are dropped: nothing can reinstate them, so retrying is
+	// pure cache noise.
+	for _, k := range inv.pending {
+		if inv.registry.HasPage(k) {
+			impacted[k] = true
+		}
+	}
+	keys := make([]string, 0, len(impacted))
 	for k := range impacted {
 		keys = append(keys, k)
 	}
-	keys = append(keys, inv.pending...)
 	sort.Strings(keys)
-	keys = dedupeSorted(keys)
 	if len(keys) > 0 {
 		if err := inv.cfg.Ejector.Eject(keys); err != nil {
 			rep.EjectErr = err
-			inv.pending = keys
+			// A KeyedEjectError narrows the retry set to the keys that
+			// actually failed; keys every cache accepted are finished now.
+			failed := keys
+			var ke KeyedEjectError
+			if errors.As(err, &ke) {
+				failed = ke.FailedKeys()
+			}
+			failedSet := make(map[string]bool, len(failed))
+			for _, k := range failed {
+				failedSet[k] = true
+			}
+			for _, k := range keys {
+				if failedSet[k] {
+					continue
+				}
+				inv.cfg.Map.Remove(k)
+				inv.registry.UnlinkPage(k)
+				rep.Invalidated++
+			}
+			sort.Strings(failed)
+			inv.pending = dedupeSorted(failed)
 		} else {
 			inv.pending = nil
 			for _, k := range keys {
@@ -349,8 +447,11 @@ type typeBatchResult struct {
 	impacted       []*Instance
 	localDecisions int
 	conservative   int
-	polls          int
-	pollTime       time.Duration
+	// polls/pollTime count the polling queries this unit itself issued
+	// (replays and polls awaited from other units are free, as in the
+	// sequential accounting).
+	polls    int
+	pollTime time.Duration
 }
 
 // scheduleTypes orders query types for processing within a cycle — the
@@ -404,7 +505,9 @@ func lowerTableName(s string) string {
 
 // evalType runs the grouped analysis of §5.2/§4.2 for one (type, delta
 // table) pair. delTables names tables with deletions in this batch (for the
-// post-state polling hazard).
+// post-state polling hazard). Safe for concurrent invocation across
+// distinct (type, delta) units: shared state is reached only through the
+// thread-safe pollRun, advice tracker, and per-type plan cache.
 func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instance, pr *pollRun, delTables map[string]bool) typeBatchResult {
 	var res typeBatchResult
 	plan := qt.planFor(d.Table, d.Columns)
@@ -575,7 +678,7 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 			}
 
 			sql, existenceOnly := buildPollSQL(occ, d.Columns, row, singleTable)
-			result, err := pr.exec(sql)
+			result, err := pr.exec(sql, &res)
 			if err != nil {
 				for _, inst := range candidates {
 					impact(inst, true)

@@ -1,6 +1,8 @@
 package invalidator
 
 import (
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -16,21 +18,41 @@ type Poller interface {
 
 // pollRun wraps a Poller with per-cycle deduplication, timing, budget
 // enforcement and the maintained-index shortcut. One pollRun lives for one
-// invalidation cycle.
+// invalidation cycle. It is safe for concurrent use by the cycle's eval
+// workers: completed queries are replayed from the per-cycle cache, and a
+// query text already executing is awaited rather than re-issued (in-flight
+// deduplication), so each distinct polling query reaches the DBMS at most
+// once per cycle regardless of worker count.
 type pollRun struct {
 	poller  Poller
 	indexes *IndexSet
-	cache   map[string]*engine.Result
-	deny    map[string]error
 
-	polls     int
-	indexHits int
-	pollTime  time.Duration
+	mu    sync.Mutex
+	calls map[string]*pollCall // query text → completed or in-flight call
 
-	// budget: when the deadline passes, exec returns errBudget and the
-	// caller falls back to conservative invalidation (§4.2.2's real-time
-	// trade-off).
+	polls     atomic.Int64
+	indexHits atomic.Int64
+	pollTime  atomic.Int64 // nanoseconds across all issued polls
+
+	// Budget (§4.2.2's real-time trade-off): a shared token bucket of
+	// polling time, drained by every issued poll, plus the wall-clock
+	// deadline the sequential implementation enforced. When either is
+	// exhausted exec returns errBudget and the caller degrades to
+	// conservative invalidation. The bucket makes the budget mean "total
+	// DBMS polling work per cycle" even when many workers poll at once;
+	// the deadline keeps the cycle's wall-clock bound.
+	bucket   atomic.Int64 // remaining nanoseconds; only read when bounded
+	bounded  bool
 	deadline time.Time
+}
+
+// pollCall is one deduplicated polling query: in flight until ready is
+// closed, then a completed cache entry (including failures, which replay
+// the same error — the sequential implementation's deny list).
+type pollCall struct {
+	ready chan struct{}
+	res   *engine.Result
+	err   error
 }
 
 type budgetError struct{}
@@ -44,46 +66,68 @@ func newPollRun(p Poller, idx *IndexSet, budget time.Duration) *pollRun {
 	r := &pollRun{
 		poller:  p,
 		indexes: idx,
-		cache:   make(map[string]*engine.Result),
-		deny:    make(map[string]error),
+		calls:   make(map[string]*pollCall),
 	}
 	if budget > 0 {
+		r.bounded = true
+		r.bucket.Store(int64(budget))
 		r.deadline = time.Now().Add(budget)
 	}
 	return r
 }
 
 func (r *pollRun) overBudget() bool {
-	return !r.deadline.IsZero() && time.Now().After(r.deadline)
+	if !r.bounded {
+		return false
+	}
+	return r.bucket.Load() <= 0 || time.Now().After(r.deadline)
 }
 
-// exec runs (or replays) a polling query.
-func (r *pollRun) exec(sql string) (*engine.Result, error) {
-	if res, ok := r.cache[sql]; ok {
-		return res, nil
-	}
-	if err, ok := r.deny[sql]; ok {
-		return nil, err
+// exec runs (or replays, or awaits) a polling query. Per-unit poll counts
+// and timing are accumulated into st (only for polls this call actually
+// issued, mirroring the sequential accounting where replays were free).
+func (r *pollRun) exec(sql string, st *typeBatchResult) (*engine.Result, error) {
+	r.mu.Lock()
+	if call, ok := r.calls[sql]; ok {
+		r.mu.Unlock()
+		<-call.ready // completed calls have a closed channel: no wait
+		return call.res, call.err
 	}
 	if r.overBudget() {
+		r.mu.Unlock()
 		return nil, errBudget
 	}
 	if r.poller == nil {
-		err := analysisError{err: errNoPoller}
-		r.deny[sql] = err
-		return nil, err
+		call := &pollCall{ready: closedChan, err: analysisError{err: errNoPoller}}
+		r.calls[sql] = call
+		r.mu.Unlock()
+		return nil, call.err
 	}
+	call := &pollCall{ready: make(chan struct{})}
+	r.calls[sql] = call
+	r.mu.Unlock()
+
 	start := time.Now()
-	res, err := r.poller.Query(sql)
-	r.pollTime += time.Since(start)
-	r.polls++
-	if err != nil {
-		r.deny[sql] = err
-		return nil, err
+	call.res, call.err = r.poller.Query(sql)
+	took := time.Since(start)
+	if r.bounded {
+		r.bucket.Add(-int64(took))
 	}
-	r.cache[sql] = res
-	return res, nil
+	r.polls.Add(1)
+	r.pollTime.Add(int64(took))
+	st.polls++
+	st.pollTime += took
+	close(call.ready)
+	return call.res, call.err
 }
+
+// closedChan is a pre-closed channel shared by calls that complete at
+// registration time (no poller configured).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
 
 // existence answers "does any row satisfy table.column = v" using a
 // maintained index when available; ok=false means no index covers it.
@@ -93,7 +137,7 @@ func (r *pollRun) existence(table, column string, v mem.Value) (exists, ok bool)
 	}
 	exists, ok = r.indexes.Contains(table, column, v)
 	if ok {
-		r.indexHits++
+		r.indexHits.Add(1)
 	}
 	return exists, ok
 }

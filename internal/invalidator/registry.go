@@ -42,7 +42,12 @@ type QueryType struct {
 	NoCache bool
 
 	stats TypeStats
-	plans map[string]*tablePlan // delta-table plan cache, keyed by table|colfp
+
+	// plans caches delta-table decompositions, keyed by table|colfp.
+	// Guarded by plansMu: parallel eval workers may plan for the same type
+	// against different delta tables at once.
+	plansMu sync.Mutex
+	plans   map[string]*tablePlan
 }
 
 // TypeStats are the self-tuning statistics of §4.1.1.
@@ -348,6 +353,19 @@ func (r *Registry) Pages() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// HasPage reports whether the page is still known to the registry — linked
+// to at least one instance or marked conservative. The eject retry path
+// uses it to drop pending keys whose pages have since left the registry.
+func (r *Registry) HasPage(cacheKey string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.conservativePages[cacheKey] {
+		return true
+	}
+	_, ok := r.pageLinks[cacheKey]
+	return ok
 }
 
 // StatsOf returns a copy of the type's statistics.

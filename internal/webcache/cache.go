@@ -5,12 +5,20 @@
 // header (the NetCache 4.0 mechanism the paper builds on, §4.2.4). Entries
 // are LRU-bounded and keyed by the canonical page identifier the
 // application server emits.
+//
+// The store is N-way sharded by FNV-1a key hash: each shard has its own
+// mutex, LRU list, servlet index and statistics, so concurrent requests on
+// different keys never contend on a single lock. Capacity is divided
+// across shards (eviction is per-shard LRU); small caches collapse to one
+// shard and keep exact global LRU semantics.
 package webcache
 
 import (
 	"container/list"
+	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,7 +31,7 @@ type Entry struct {
 	StoredAt    time.Time
 }
 
-// Stats are the cache's counters.
+// Stats are the cache's counters (aggregated across shards).
 type Stats struct {
 	Hits          int64
 	Misses        int64
@@ -41,33 +49,125 @@ func (s Stats) HitRatio() float64 {
 	return float64(s.Hits) / float64(total)
 }
 
-// Cache is a thread-safe LRU page cache with invalidation. Besides direct
-// keys, the cache maintains aliases: the proxy derives a lookup key from the
-// raw request, while the origin names the canonical page key (its key-spec
-// projection of the request); an alias links the former to the latter so
-// subsequent raw requests hit.
-type Cache struct {
+// shardEntry wraps an Entry with its global recency stamp (for Keys()).
+type shardEntry struct {
+	e   *Entry
+	seq uint64
+}
+
+// cacheShard is one lock domain: a map + LRU list + servlet index + stats.
+type cacheShard struct {
 	mu        sync.Mutex
-	capacity  int
-	entries   map[string]*list.Element // key → element whose Value is *Entry
-	lru       *list.List               // front = most recent
+	capacity  int                      // 0 = unbounded
+	entries   map[string]*list.Element // key → element whose Value is *shardEntry
+	lru       *list.List               // front = most recent within this shard
 	byServlet map[string]map[string]struct{}
-	alias     map[string]string   // request key → canonical key
-	aliasesOf map[string][]string // canonical key → its aliases
 	stats     Stats
 }
 
+// stamp returns the next global recency stamp. Single-shard caches skip
+// the atomic: their LRU list alone is the exact global order.
+func (c *Cache) stamp() uint64 {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return c.seq.Add(1)
+}
+
+// Cache is a thread-safe sharded LRU page cache with invalidation. Besides
+// direct keys, the cache maintains aliases: the proxy derives a lookup key
+// from the raw request, while the origin names the canonical page key (its
+// key-spec projection of the request); an alias links the former to the
+// latter so subsequent raw requests hit. The alias table is shared across
+// shards under its own read-mostly lock.
+type Cache struct {
+	shards []*cacheShard
+	seq    atomic.Uint64 // global recency stamp
+
+	aliasMu   sync.RWMutex
+	alias     map[string]string   // request key → canonical key
+	aliasesOf map[string][]string // canonical key → its aliases
+}
+
+// minShardCapacity is the smallest per-shard capacity worth sharding for:
+// below it, eviction skew outweighs lock contention, so the shard count is
+// reduced (down to 1, which is exact global LRU).
+const minShardCapacity = 32
+
+// defaultShardCount sizes the shard set for a capacity: roughly GOMAXPROCS
+// rounded up to a power of two (capped at 16), reduced until every shard
+// holds at least minShardCapacity pages.
+func defaultShardCount(capacity int) int {
+	n := 1
+	for n < runtime.GOMAXPROCS(0) && n < 16 {
+		n <<= 1
+	}
+	if capacity > 0 {
+		for n > 1 && capacity/n < minShardCapacity {
+			n >>= 1
+		}
+	}
+	return n
+}
+
 // NewCache creates a cache holding at most capacity pages (unbounded if
-// capacity <= 0).
+// capacity <= 0), sharded for the machine's parallelism. Small capacities
+// get a single shard — exact LRU — automatically.
 func NewCache(capacity int) *Cache {
-	return &Cache{
-		capacity:  capacity,
-		entries:   make(map[string]*list.Element),
-		lru:       list.New(),
-		byServlet: make(map[string]map[string]struct{}),
+	return NewCacheSharded(capacity, 0)
+}
+
+// NewCacheSharded creates a cache with an explicit shard count (0 = choose
+// automatically, 1 = exact single-LRU semantics). Capacity is divided as
+// evenly as possible across shards; the total never exceeds capacity.
+func NewCacheSharded(capacity, shards int) *Cache {
+	if shards <= 0 {
+		shards = defaultShardCount(capacity)
+	}
+	if capacity > 0 && shards > capacity {
+		shards = capacity
+	}
+	c := &Cache{
+		shards:    make([]*cacheShard, shards),
 		alias:     make(map[string]string),
 		aliasesOf: make(map[string][]string),
 	}
+	for i := range c.shards {
+		cap := 0
+		if capacity > 0 {
+			cap = capacity / shards
+			if i < capacity%shards {
+				cap++
+			}
+		}
+		c.shards[i] = &cacheShard{
+			capacity:  cap,
+			entries:   make(map[string]*list.Element),
+			lru:       list.New(),
+			byServlet: make(map[string]map[string]struct{}),
+		}
+	}
+	return c
+}
+
+// ShardCount reports how many lock domains the cache uses.
+func (c *Cache) ShardCount() int { return len(c.shards) }
+
+// shardFor hashes a key (FNV-1a) to its shard.
+func (c *Cache) shardFor(key string) *cacheShard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return c.shards[h%uint64(len(c.shards))]
 }
 
 // Alias records that lookups for from should resolve to canonical key to.
@@ -76,8 +176,8 @@ func (c *Cache) Alias(from, to string) {
 	if from == to {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.aliasMu.Lock()
+	defer c.aliasMu.Unlock()
 	if prev, ok := c.alias[from]; ok {
 		if prev == to {
 			return
@@ -104,19 +204,22 @@ func (c *Cache) removeAliasLocked(target, from string) {
 	}
 }
 
-// dropAliasesLocked removes every alias pointing at key (called when the
-// entry disappears).
-func (c *Cache) dropAliasesLocked(key string) {
+// dropAliases removes every alias pointing at key (called when the entry
+// disappears). Safe to call while holding a shard lock: alias code never
+// takes shard locks.
+func (c *Cache) dropAliases(key string) {
+	c.aliasMu.Lock()
 	for _, a := range c.aliasesOf[key] {
 		delete(c.alias, a)
 	}
 	delete(c.aliasesOf, key)
+	c.aliasMu.Unlock()
 }
 
 // Resolve maps a request key through the alias table (one hop).
 func (c *Cache) Resolve(key string) string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.aliasMu.RLock()
+	defer c.aliasMu.RUnlock()
 	if to, ok := c.alias[key]; ok {
 		return to
 	}
@@ -126,191 +229,281 @@ func (c *Cache) Resolve(key string) string {
 // Get returns the cached page for key, updating recency and hit/miss
 // counters.
 func (c *Cache) Get(key string) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
-		c.stats.Misses++
+		s.stats.Misses++
 		return nil, false
 	}
-	c.lru.MoveToFront(el)
-	c.stats.Hits++
-	e := el.Value.(*Entry)
-	return e, true
+	s.lru.MoveToFront(el)
+	se := el.Value.(*shardEntry)
+	se.seq = c.stamp()
+	s.stats.Hits++
+	return se.e, true
 }
 
 // Peek returns the entry without touching counters or recency.
 func (c *Cache) Peek(key string) (*Entry, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
 		return nil, false
 	}
-	return el.Value.(*Entry), true
+	return el.Value.(*shardEntry).e, true
 }
 
-// Put stores a page, evicting the least-recently-used entry if the cache
-// is full.
+// Put stores a page, evicting the least-recently-used entry of the key's
+// shard if that shard is full.
 func (c *Cache) Put(e *Entry) {
 	if e.StoredAt.IsZero() {
 		e.StoredAt = time.Now()
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[e.Key]; ok {
-		old := el.Value.(*Entry)
-		c.dropServletRef(old)
-		el.Value = e
-		c.lru.MoveToFront(el)
+	s := c.shardFor(e.Key)
+	seq := c.stamp()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[e.Key]; ok {
+		se := el.Value.(*shardEntry)
+		s.dropServletRef(se.e)
+		se.e, se.seq = e, seq
+		s.lru.MoveToFront(el)
 	} else {
-		el := c.lru.PushFront(e)
-		c.entries[e.Key] = el
-		if c.capacity > 0 && c.lru.Len() > c.capacity {
-			c.evictOldest()
+		el := s.lru.PushFront(&shardEntry{e: e, seq: seq})
+		s.entries[e.Key] = el
+		if s.capacity > 0 && s.lru.Len() > s.capacity {
+			c.evictOldest(s)
 		}
 	}
-	c.addServletRef(e)
-	c.stats.Stores++
+	s.addServletRef(e)
+	s.stats.Stores++
 }
 
-func (c *Cache) addServletRef(e *Entry) {
+func (s *cacheShard) addServletRef(e *Entry) {
 	if e.Servlet == "" {
 		return
 	}
-	set, ok := c.byServlet[e.Servlet]
+	set, ok := s.byServlet[e.Servlet]
 	if !ok {
 		set = make(map[string]struct{})
-		c.byServlet[e.Servlet] = set
+		s.byServlet[e.Servlet] = set
 	}
 	set[e.Key] = struct{}{}
 }
 
-func (c *Cache) dropServletRef(e *Entry) {
+func (s *cacheShard) dropServletRef(e *Entry) {
 	if e.Servlet == "" {
 		return
 	}
-	if set, ok := c.byServlet[e.Servlet]; ok {
+	if set, ok := s.byServlet[e.Servlet]; ok {
 		delete(set, e.Key)
 		if len(set) == 0 {
-			delete(c.byServlet, e.Servlet)
+			delete(s.byServlet, e.Servlet)
 		}
 	}
 }
 
-func (c *Cache) evictOldest() {
-	el := c.lru.Back()
+// evictOldest removes the shard's LRU victim. Callers hold s.mu.
+func (c *Cache) evictOldest(s *cacheShard) {
+	el := s.lru.Back()
 	if el == nil {
 		return
 	}
-	e := el.Value.(*Entry)
-	c.lru.Remove(el)
-	delete(c.entries, e.Key)
-	c.dropServletRef(e)
-	c.dropAliasesLocked(e.Key)
-	c.stats.Evictions++
+	se := el.Value.(*shardEntry)
+	s.lru.Remove(el)
+	delete(s.entries, se.e.Key)
+	s.dropServletRef(se.e)
+	c.dropAliases(se.e.Key)
+	s.stats.Evictions++
 }
 
 // Invalidate removes the page for key, returning whether it was present.
 // This is the handler for `Cache-Control: eject`.
 func (c *Cache) Invalidate(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return c.invalidateLocked(s, key)
+}
+
+// invalidateLocked removes key from s. Callers hold s.mu.
+func (c *Cache) invalidateLocked(s *cacheShard, key string) bool {
+	el, ok := s.entries[key]
 	if !ok {
 		return false
 	}
-	e := el.Value.(*Entry)
-	c.lru.Remove(el)
-	delete(c.entries, e.Key)
-	c.dropServletRef(e)
-	c.dropAliasesLocked(e.Key)
-	c.stats.Invalidations++
+	se := el.Value.(*shardEntry)
+	s.lru.Remove(el)
+	delete(s.entries, key)
+	s.dropServletRef(se.e)
+	c.dropAliases(key)
+	s.stats.Invalidations++
 	return true
+}
+
+// InvalidateMany removes every present page among keys and returns how many
+// were removed — the batched `Cache-Control: eject` handler. Keys are
+// grouped by shard so each shard's lock is taken once per batch.
+func (c *Cache) InvalidateMany(keys []string) int {
+	if len(keys) == 0 {
+		return 0
+	}
+	byShard := make(map[*cacheShard][]string, len(c.shards))
+	for _, k := range keys {
+		s := c.shardFor(k)
+		byShard[s] = append(byShard[s], k)
+	}
+	n := 0
+	for s, ks := range byShard {
+		s.mu.Lock()
+		for _, k := range ks {
+			if c.invalidateLocked(s, k) {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // InvalidateServlet removes every page generated by the named servlet and
 // returns how many were removed (used by coarse request-based policies).
 func (c *Cache) InvalidateServlet(servlet string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	set, ok := c.byServlet[servlet]
-	if !ok {
-		return 0
-	}
 	n := 0
-	for key := range set {
-		if el, ok := c.entries[key]; ok {
-			c.lru.Remove(el)
-			delete(c.entries, key)
-			c.dropAliasesLocked(key)
-			c.stats.Invalidations++
-			n++
+	for _, s := range c.shards {
+		s.mu.Lock()
+		set, ok := s.byServlet[servlet]
+		if !ok {
+			s.mu.Unlock()
+			continue
 		}
+		for key := range set {
+			if el, ok := s.entries[key]; ok {
+				s.lru.Remove(el)
+				delete(s.entries, key)
+				c.dropAliases(key)
+				s.stats.Invalidations++
+				n++
+			}
+		}
+		delete(s.byServlet, servlet)
+		s.mu.Unlock()
 	}
-	delete(c.byServlet, servlet)
 	return n
 }
 
 // InvalidatePrefix removes every page whose key starts with prefix and
 // returns the count; used for coarse URL-pattern policies.
 func (c *Cache) InvalidatePrefix(prefix string) int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	n := 0
-	for key, el := range c.entries {
-		if strings.HasPrefix(key, prefix) {
-			e := el.Value.(*Entry)
-			c.lru.Remove(el)
-			delete(c.entries, key)
-			c.dropServletRef(e)
-			c.dropAliasesLocked(key)
-			c.stats.Invalidations++
-			n++
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for key, el := range s.entries {
+			if strings.HasPrefix(key, prefix) {
+				se := el.Value.(*shardEntry)
+				s.lru.Remove(el)
+				delete(s.entries, key)
+				s.dropServletRef(se.e)
+				c.dropAliases(key)
+				s.stats.Invalidations++
+				n++
+			}
 		}
+		s.mu.Unlock()
 	}
 	return n
 }
 
 // Clear removes everything.
 func (c *Cache) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.lru.Init()
-	c.byServlet = make(map[string]map[string]struct{})
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.entries = make(map[string]*list.Element)
+		s.lru.Init()
+		s.byServlet = make(map[string]map[string]struct{})
+		s.mu.Unlock()
+	}
+	c.aliasMu.Lock()
 	c.alias = make(map[string]string)
 	c.aliasesOf = make(map[string][]string)
+	c.aliasMu.Unlock()
 }
 
 // Len returns the number of cached pages.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Keys returns all cached keys, most recent first.
+// Keys returns all cached keys, most recent first (global recency order —
+// the single shard's LRU list directly, or reconstructed from per-entry
+// access stamps across shards).
 func (c *Cache) Keys() []string {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]string, 0, c.lru.Len())
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		out = append(out, el.Value.(*Entry).Key)
+	if len(c.shards) == 1 {
+		s := c.shards[0]
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		out := make([]string, 0, s.lru.Len())
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			out = append(out, el.Value.(*shardEntry).e.Key)
+		}
+		return out
+	}
+	type stamped struct {
+		key string
+		seq uint64
+	}
+	var all []stamped
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			se := el.Value.(*shardEntry)
+			all = append(all, stamped{key: se.e.Key, seq: se.seq})
+		}
+		s.mu.Unlock()
+	}
+	// Insertion sort by seq descending; n is small in practice and the
+	// per-shard lists arrive mostly ordered.
+	for i := 1; i < len(all); i++ {
+		for j := i; j > 0 && all[j].seq > all[j-1].seq; j-- {
+			all[j], all[j-1] = all[j-1], all[j]
+		}
+	}
+	out := make([]string, len(all))
+	for i, st := range all {
+		out[i] = st.key
 	}
 	return out
 }
 
-// Stats returns a copy of the counters.
+// Stats returns the counters aggregated across shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	var agg Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		agg.Hits += s.stats.Hits
+		agg.Misses += s.stats.Misses
+		agg.Stores += s.stats.Stores
+		agg.Invalidations += s.stats.Invalidations
+		agg.Evictions += s.stats.Evictions
+		s.mu.Unlock()
+	}
+	return agg
 }
 
 // ResetStats zeroes the counters.
 func (c *Cache) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.stats = Stats{}
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.stats = Stats{}
+		s.mu.Unlock()
+	}
 }

@@ -17,6 +17,9 @@ const (
 	servletHeader = "X-Cacheportal-Servlet"
 	// HitHeader marks responses served from this cache.
 	HitHeader = "X-Cacheportal-Cache"
+	// batchHeader marks an eject request whose body carries many keys,
+	// newline-separated, so one round trip invalidates a whole batch.
+	batchHeader = "X-Cacheportal-Batch"
 )
 
 // Proxy is the caching reverse proxy. It forwards misses to Origin,
@@ -110,11 +113,25 @@ func isEject(r *http.Request) bool {
 const ClearHeader = "X-Cacheportal-Clear"
 
 // serveEject removes the page named by the X-Cacheportal-Key header (or the
-// request URL when absent) and reports the outcome.
+// request URL when absent) and reports the outcome. Batched ejects carry
+// X-Cacheportal-Batch and list one key per line in the request body.
 func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
 	key := r.Header.Get(keyHeader)
 	removed := 0
 	switch {
+	case r.Header.Get(batchHeader) != "":
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, "bad eject body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		var keys []string
+		for _, line := range strings.Split(string(body), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				keys = append(keys, line)
+			}
+		}
+		removed = p.Cache.InvalidateMany(keys)
 	case r.Header.Get(ClearHeader) == "all":
 		removed = p.Cache.Len()
 		p.Cache.Clear()
@@ -245,6 +262,36 @@ func Eject(client *http.Client, cacheURL, key string) error {
 	return ejectRequest(client, cacheURL, func(req *http.Request) {
 		req.Header.Set(keyHeader, key)
 	})
+}
+
+// EjectKeys invalidates many keys at a remote cache in one request: a POST
+// carrying the eject directive, the batch marker header, and one key per
+// line in the body. The remote answers "ejected N" like single ejects.
+func EjectKeys(client *http.Client, cacheURL string, keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	body := strings.NewReader(strings.Join(keys, "\n") + "\n")
+	req, err := http.NewRequest(http.MethodPost, cacheURL+"/", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Cache-Control", "eject")
+	req.Header.Set(batchHeader, "1")
+	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("webcache: batch eject: status %d", resp.StatusCode)
+	}
+	return nil
 }
 
 // EjectAll flushes the entire remote cache.

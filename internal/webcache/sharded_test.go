@@ -1,0 +1,206 @@
+package webcache
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestShardedCapacitySplit: capacity is divided across shards with nothing
+// lost to rounding, and the total Len never exceeds it.
+func TestShardedCapacitySplit(t *testing.T) {
+	for _, tc := range []struct{ capacity, shards int }{
+		{100, 8}, {101, 8}, {7, 16}, {1, 4}, {64, 3},
+	} {
+		c := NewCacheSharded(tc.capacity, tc.shards)
+		total := 0
+		for _, s := range c.shards {
+			if s.capacity == 0 {
+				t.Fatalf("cap=%d shards=%d: a shard got zero capacity", tc.capacity, tc.shards)
+			}
+			total += s.capacity
+		}
+		if total != tc.capacity {
+			t.Fatalf("cap=%d shards=%d: shard capacities sum to %d", tc.capacity, tc.shards, total)
+		}
+		for i := 0; i < 4*tc.capacity; i++ {
+			c.Put(&Entry{Key: fmt.Sprintf("k%d", i)})
+		}
+		if c.Len() > tc.capacity {
+			t.Fatalf("cap=%d shards=%d: Len %d exceeds capacity", tc.capacity, tc.shards, c.Len())
+		}
+	}
+	// Small capacities collapse to one shard: exact global LRU preserved.
+	if n := NewCache(8).ShardCount(); n != 1 {
+		t.Fatalf("capacity 8 should use 1 shard, got %d", n)
+	}
+	// Unbounded caches shard freely.
+	if n := NewCacheSharded(0, 8).ShardCount(); n != 8 {
+		t.Fatalf("unbounded cache should honour requested shards, got %d", n)
+	}
+}
+
+// TestInvalidateMany: batch invalidation removes exactly the present keys
+// and reports the count.
+func TestInvalidateMany(t *testing.T) {
+	c := NewCacheSharded(0, 8)
+	for i := 0; i < 50; i++ {
+		c.Put(&Entry{Key: fmt.Sprintf("k%d", i), Servlet: "s"})
+	}
+	n := c.InvalidateMany([]string{"k0", "k7", "k49", "missing", "k7"})
+	if n != 3 {
+		t.Fatalf("removed %d, want 3", n)
+	}
+	if c.Len() != 47 {
+		t.Fatalf("len %d, want 47", c.Len())
+	}
+	if _, ok := c.Get("k7"); ok {
+		t.Fatal("k7 should be gone")
+	}
+	if got := c.Stats().Invalidations; got != 3 {
+		t.Fatalf("invalidation counter %d, want 3", got)
+	}
+	// Aliases to invalidated keys die with them.
+	c.Alias("req-k1", "k1")
+	c.InvalidateMany([]string{"k1"})
+	if got := c.Resolve("req-k1"); got != "req-k1" {
+		t.Fatalf("alias survived invalidation: %q", got)
+	}
+}
+
+// TestShardedConcurrentMixedOps hammers every cache operation from many
+// goroutines on a multi-shard cache; run under -race this is the data-race
+// proof for the sharded rewrite.
+func TestShardedConcurrentMixedOps(t *testing.T) {
+	c := NewCacheSharded(512, 8)
+	if c.ShardCount() != 8 {
+		t.Fatalf("want 8 shards, got %d", c.ShardCount())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				k := fmt.Sprintf("key-%d", rng.Intn(600))
+				switch rng.Intn(10) {
+				case 0:
+					c.Invalidate(k)
+				case 1:
+					c.InvalidateMany([]string{k, fmt.Sprintf("key-%d", rng.Intn(600))})
+				case 2:
+					c.Alias("alias-"+k, k)
+				case 3:
+					c.Resolve("alias-" + k)
+				case 4:
+					c.Keys()
+				case 5:
+					c.Stats()
+				case 6:
+					c.InvalidateServlet(fmt.Sprintf("s%d", rng.Intn(4)))
+				default:
+					if _, ok := c.Get(k); !ok {
+						c.Put(&Entry{Key: k, Body: []byte("v"), Servlet: fmt.Sprintf("s%d", rng.Intn(4))})
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 512 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+	// The cache is still coherent: every surviving key resolves and gets.
+	for _, k := range c.Keys() {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("Keys() listed %q but Peek misses", k)
+		}
+	}
+}
+
+// TestKeysGlobalRecencyAcrossShards: Keys() must interleave entries from
+// different shards in true global recency order, not per-shard order.
+func TestKeysGlobalRecencyAcrossShards(t *testing.T) {
+	c := NewCacheSharded(0, 4)
+	keys := []string{"a", "b", "c", "d", "e", "f"}
+	for _, k := range keys {
+		c.Put(&Entry{Key: k})
+	}
+	// Touch in a scrambled order; recency becomes the reverse of it.
+	touch := []string{"c", "a", "f", "b", "e", "d"}
+	for _, k := range touch {
+		c.Get(k)
+	}
+	got := c.Keys()
+	want := []string{"d", "e", "b", "f", "a", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("keys: %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("global recency broken: got %v want %v", got, want)
+		}
+	}
+}
+
+// TestBatchEjectProtocol: one POST with the batch header and a newline key
+// list removes every named page and answers with the count.
+func TestBatchEjectProtocol(t *testing.T) {
+	cache := NewCacheSharded(0, 4)
+	for i := 0; i < 20; i++ {
+		cache.Put(&Entry{Key: fmt.Sprintf("p%d", i), Body: []byte("x")})
+	}
+	srv := httptest.NewServer(NewProxy("", cache))
+	defer srv.Close()
+
+	if err := EjectKeys(nil, srv.URL, []string{"p1", "p5", "p19", "ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 17 {
+		t.Fatalf("len %d, want 17", cache.Len())
+	}
+	for _, k := range []string{"p1", "p5", "p19"} {
+		if _, ok := cache.Peek(k); ok {
+			t.Fatalf("%s survived batch eject", k)
+		}
+	}
+	// Empty batches are a no-op without a request.
+	if err := EjectKeys(nil, srv.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// The response body reports how many pages were actually removed.
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/",
+		strings.NewReader("p2\np3\nghost\n"))
+	req.Header.Set("Cache-Control", "eject")
+	req.Header.Set(batchHeader, "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var n int
+	if _, err := fmt.Fscanf(resp.Body, "ejected %d", &n); err != nil || n != 2 {
+		t.Fatalf("response: n=%d err=%v", n, err)
+	}
+}
+
+// TestSingleEjectStillWorks: the legacy one-key header protocol coexists
+// with batching.
+func TestSingleEjectStillWorks(t *testing.T) {
+	cache := NewCacheSharded(0, 4)
+	cache.Put(&Entry{Key: "solo", Body: []byte("x")})
+	srv := httptest.NewServer(NewProxy("", cache))
+	defer srv.Close()
+	if err := Eject(nil, srv.URL, "solo"); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("single eject failed")
+	}
+}

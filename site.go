@@ -41,6 +41,12 @@ type SiteConfig struct {
 	Interval time.Duration
 	// PollBudget bounds per-cycle polling time (0 = unbounded).
 	PollBudget time.Duration
+	// Workers bounds the invalidator's evaluation parallelism (0 =
+	// GOMAXPROCS, 1 = sequential).
+	Workers int
+	// PollConns is how many DB connections the invalidator polls over
+	// (default 1; >1 lets concurrent workers poll in parallel).
+	PollConns int
 	// Rules are administrator invalidation policies.
 	Rules []Rule
 	// SourceName is the data source name servlets use (default "db").
@@ -79,6 +85,7 @@ type Site struct {
 	lbLn      net.Listener
 	pools     []*driver.Pool
 	pollConn  driver.Conn
+	pollConns []driver.Conn
 }
 
 // NewSite assembles and starts a Site.
@@ -189,14 +196,29 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		logClient.Close()
 		return nil, err
 	}
+	poller := invalidator.Poller(s.pollConn)
+	if cfg.PollConns > 1 {
+		conns := []invalidator.Poller{s.pollConn}
+		for i := 1; i < cfg.PollConns; i++ {
+			c, err := driver.NetDriver{}.Connect(addr)
+			if err != nil {
+				logClient.Close()
+				return nil, err
+			}
+			s.pollConns = append(s.pollConns, c)
+			conns = append(conns, c)
+		}
+		poller = invalidator.NewConcurrentPoller(conns...)
+	}
 	portal, err := core.New(core.Options{
 		RequestLog: s.RequestLog,
 		QueryLog:   s.QueryLog,
 		Puller:     invalidator.WireLogPuller{Client: logClient},
-		Poller:     s.pollConn,
+		Poller:     poller,
 		Ejector:    invalidator.CacheEjector{Cache: s.Cache},
 		Interval:   cfg.Interval,
 		PollBudget: cfg.PollBudget,
+		Workers:    cfg.Workers,
 		Rules:      cfg.Rules,
 	})
 	if err != nil {
@@ -239,6 +261,9 @@ func (s *Site) Close() {
 	}
 	if s.pollConn != nil {
 		s.pollConn.Close()
+	}
+	for _, c := range s.pollConns {
+		c.Close()
 	}
 	if s.DBServer != nil {
 		s.DBServer.Close()
