@@ -22,10 +22,13 @@ bench:
 bench-parallel:
 	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded' -benchtime 2s .
 
-# Re-measure the invalidator scaling sweep and refresh BENCH_invalidator.json.
+# Re-measure the invalidator scaling sweep and refresh BENCH_invalidator.json,
+# embedding the live pipeline's staleness/hit-ratio snapshot under "obs".
 bench-json:
+	$(GO) run ./cmd/experiment -staleness 30 -obs-out .obs-staleness.json
 	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded|BenchmarkInvalidatorCycle$$|BenchmarkWebCache$$' -benchtime 2s . \
-		| $(GO) run ./cmd/benchjson -out BENCH_invalidator.json
+		| $(GO) run ./cmd/benchjson -obs .obs-staleness.json -out BENCH_invalidator.json
+	rm -f .obs-staleness.json
 
 clean:
 	$(GO) clean ./...

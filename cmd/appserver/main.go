@@ -17,12 +17,16 @@ import (
 	"repro/internal/demoapp"
 	"repro/internal/driver"
 	"repro/internal/logexport"
+	"repro/internal/obs"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:8080", "HTTP address to listen on")
 	dbAddr := flag.String("db", "127.0.0.1:7000", "dbserver address")
 	pool := flag.Int("pool", 8, "database connection pool size")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:8081", "address for /debug/metrics and /debug/vars (empty = off)")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
+	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	flag.Parse()
 
 	qlog := driver.NewQueryLog(0)
@@ -44,7 +48,20 @@ func main() {
 	// them (the paper's Figure 7 deployment).
 	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog}
 
+	oreg := obs.NewRegistry()
+	handler := obs.HTTPMiddleware(oreg, "appserver", exporter.Wrap(srv))
+	if *debugAddr != "" {
+		dbg := obs.Serve(*debugAddr, oreg, *withPprof, func(err error) {
+			log.Printf("appserver: debug server: %v", err)
+		})
+		defer dbg.Close()
+		fmt.Printf("appserver: debug endpoints on http://%s/debug/metrics\n", *debugAddr)
+	}
+	if *obsLog > 0 {
+		go obs.LogLoop(oreg, *obsLog, log.Printf, make(chan struct{}))
+	}
+
 	fmt.Printf("appserver on %s (db %s): /light /medium /heavy ?cat=0..9\n", *listen, *dbAddr)
 	fmt.Printf("log export under %s/logs/{requests,queries}\n", logexport.DefaultPathPrefix)
-	log.Fatal(http.ListenAndServe(*listen, exporter.Wrap(srv)))
+	log.Fatal(http.ListenAndServe(*listen, handler))
 }

@@ -30,10 +30,16 @@ type Record struct {
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
+	// Obs is an optional observability snapshot (from `experiment
+	// -staleness -obs-out`) embedded verbatim, so the benchmark artifact
+	// carries the live pipeline's staleness and hit-ratio figures next to
+	// the microbenchmark numbers.
+	Obs json.RawMessage `json:"obs,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	obsFile := flag.String("obs", "", "JSON metrics snapshot to embed under \"obs\"")
 	flag.Parse()
 
 	var rec Record
@@ -79,6 +85,17 @@ func main() {
 	}
 	if err := sc.Err(); err != nil {
 		log.Fatal(err)
+	}
+
+	if *obsFile != "" {
+		buf, err := os.ReadFile(*obsFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !json.Valid(buf) {
+			log.Fatalf("benchjson: %s is not valid JSON", *obsFile)
+		}
+		rec.Obs = json.RawMessage(buf)
 	}
 
 	buf, err := json.MarshalIndent(rec, "", "  ")

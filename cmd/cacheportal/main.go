@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/demoapp"
+	"repro/internal/obs"
 
 	cacheportal "repro"
 )
@@ -33,6 +34,9 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "invalidation cycle interval")
 	capacity := flag.Int("capacity", 0, "web cache capacity (0 = unbounded)")
 	report := flag.Duration("report", 5*time.Second, "status report interval (0 = never)")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:8095", "address for /debug/metrics and /debug/vars (empty = off)")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
+	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	flag.Parse()
 
 	var defs []cacheportal.ServletDef
@@ -62,6 +66,17 @@ func main() {
 	fmt.Printf("  app server (uncached): %s\n", site.AppURL)
 	fmt.Printf("  database (wire protocol): %s\n", site.DBAddr)
 	fmt.Printf("  invalidation cycle: %s\n", *interval)
+
+	if *debugAddr != "" {
+		dbg := obs.Serve(*debugAddr, site.Obs, *withPprof, func(err error) {
+			log.Printf("cacheportal: debug server: %v", err)
+		})
+		defer dbg.Close()
+		fmt.Printf("  debug endpoints: http://%s/debug/metrics\n", *debugAddr)
+	}
+	if *obsLog > 0 {
+		go obs.LogLoop(site.Obs, *obsLog, log.Printf, make(chan struct{}))
+	}
 
 	if *report > 0 {
 		go func() {

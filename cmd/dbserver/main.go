@@ -17,6 +17,7 @@ import (
 	"syscall"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -24,6 +25,9 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7000", "address to listen on")
 	initFile := flag.String("init", "", "SQL script to execute at startup")
 	initSQL := flag.String("exec", "", "SQL script text to execute at startup")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:7001", "address for /debug/metrics and /debug/vars (empty = off)")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
+	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	flag.Parse()
 
 	db := engine.NewDatabase()
@@ -48,6 +52,19 @@ func main() {
 		log.Fatalf("dbserver: %v", err)
 	}
 	fmt.Printf("dbserver listening on %s (tables: %v)\n", addr, db.TableNames())
+
+	reg := obs.NewRegistry()
+	srv.Instrument(reg, "dbserver")
+	if *debugAddr != "" {
+		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+			log.Printf("dbserver: debug server: %v", err)
+		})
+		defer dbg.Close()
+		fmt.Printf("dbserver: debug endpoints on http://%s/debug/metrics\n", *debugAddr)
+	}
+	if *obsLog > 0 {
+		go obs.LogLoop(reg, *obsLog, log.Printf, make(chan struct{}))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -10,6 +10,7 @@
 //	experiment -sweep hitratio   # Conf III expected response vs hit ratio
 //	experiment -sweep updates    # Conf II/III vs update rate (fine grid)
 //	experiment -sweep threads    # Conf I response vs worker threads
+//	experiment -staleness 30     # live pipeline: commit-to-eject staleness
 package main
 
 import (
@@ -28,7 +29,16 @@ func main() {
 	reps := flag.Int("reps", configs.Replications, "replications per cell")
 	duration := flag.Float64("duration", 0, "override measured window (seconds)")
 	seed := flag.Int64("seed", 1, "base random seed")
+	staleness := flag.Int("staleness", 0, "run the live staleness experiment for N update rounds (skips tables/sweeps)")
+	obsOut := flag.String("obs-out", "", "write the staleness run's metrics snapshot to this JSON file")
 	flag.Parse()
+
+	if *staleness > 0 {
+		if err := runStaleness(*staleness, *obsOut); err != nil {
+			log.Fatalf("experiment: staleness: %v", err)
+		}
+		return
+	}
 
 	base := configs.Defaults()
 	base.Seed = *seed

@@ -25,6 +25,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/invalidator"
 	"repro/internal/logexport"
+	"repro/internal/obs"
 	"repro/internal/sniffer"
 	"repro/internal/wire"
 )
@@ -39,6 +40,9 @@ func main() {
 	pollConns := flag.Int("poll-conns", 1, "DB connections for polling queries (>1 polls in parallel)")
 	ejectBatch := flag.Int("eject-batch", 0, "keys per batched eject request (0 = default)")
 	verbose := flag.Bool("v", false, "log every cycle")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
+	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	flag.Parse()
 
 	logClient, err := wire.Dial(*dbAddr)
@@ -58,29 +62,48 @@ func main() {
 		defer c.Close()
 		conns = append(conns, c)
 	}
+	reg := obs.NewRegistry()
 	var poller invalidator.Poller = conns[0]
 	if len(conns) > 1 {
-		poller = invalidator.NewConcurrentPoller(conns...)
+		cp := invalidator.NewConcurrentPoller(conns...)
+		cp.Instrument(reg, "poller")
+		poller = cp
 	}
 
 	mirror := logexport.NewMirror(*appURL)
 	qiMap := sniffer.NewQIURLMap()
 	mapper := sniffer.NewMapper(mirror.Requests, mirror.Queries, qiMap)
+	mapper.Obs = reg
 
 	inv := invalidator.New(invalidator.Config{
-		Map:        qiMap,
-		Mapper:     mapper,
-		Puller:     invalidator.WireLogPuller{Client: logClient},
-		Poller:     poller,
-		Ejector:    invalidator.HTTPEjector{CacheURLs: strings.Split(*caches, ","), MaxBatch: *ejectBatch},
+		Map:    qiMap,
+		Mapper: mapper,
+		Puller: invalidator.WireLogPuller{Client: logClient},
+		Poller: poller,
+		Ejector: invalidator.HTTPEjector{
+			CacheURLs: strings.Split(*caches, ","),
+			MaxBatch:  *ejectBatch,
+			Obs:       reg,
+		},
 		PollBudget: *pollBudget,
 		Workers:    *workers,
+		Obs:        reg,
 	})
 
 	fmt.Printf("invalidatord: app=%s db=%s caches=%s interval=%s\n",
 		*appURL, *dbAddr, *caches, *interval)
 
 	stop := make(chan struct{})
+	if *debugAddr != "" {
+		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+			log.Printf("invalidatord: debug server: %v", err)
+		})
+		defer dbg.Close()
+		fmt.Printf("invalidatord: debug endpoints on http://%s/debug/metrics\n", *debugAddr)
+	}
+	if *obsLog > 0 {
+		go obs.LogLoop(reg, *obsLog, log.Printf, stop)
+	}
 	go func() {
 		ticker := time.NewTicker(*interval)
 		defer ticker.Stop()

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/webcache"
 )
 
@@ -24,10 +25,27 @@ func main() {
 	capacity := flag.Int("capacity", 0, "max cached pages (0 = unbounded)")
 	shards := flag.Int("shards", 0, "cache lock shards (0 = auto, 1 = single exact LRU)")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
+	debugAddr := flag.String("debug-addr", "127.0.0.1:8091", "address for /debug/metrics and /debug/vars (empty = off)")
+	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
+	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	flag.Parse()
 
+	reg := obs.NewRegistry()
 	cache := webcache.NewCacheSharded(*capacity, *shards)
+	cache.Instrument(reg, "webcache")
 	proxy := webcache.NewProxy(*origin, cache)
+	handler := obs.HTTPMiddleware(reg, "proxy", proxy)
+
+	if *debugAddr != "" {
+		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+			log.Printf("webcached: debug server: %v", err)
+		})
+		defer dbg.Close()
+		fmt.Printf("webcached: debug endpoints on http://%s/debug/metrics\n", *debugAddr)
+	}
+	if *obsLog > 0 {
+		go obs.LogLoop(reg, *obsLog, log.Printf, make(chan struct{}))
+	}
 
 	if *statsEvery > 0 {
 		go func() {
@@ -40,5 +58,5 @@ func main() {
 	}
 
 	fmt.Printf("webcached on %s → %s\n", *listen, *origin)
-	log.Fatal(http.ListenAndServe(*listen, proxy))
+	log.Fatal(http.ListenAndServe(*listen, handler))
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/appserver"
 	"repro/internal/driver"
 	"repro/internal/invalidator"
+	"repro/internal/obs"
 	"repro/internal/sniffer"
 )
 
@@ -45,6 +46,10 @@ type Options struct {
 	Rules []invalidator.Rule
 	// Thresholds drive policy discovery; zero value uses defaults.
 	Thresholds invalidator.DiscoveryThresholds
+	// Obs receives the sniffer's and invalidator's metrics and the
+	// freshness-trace histograms. Nil allocates a private registry, so
+	// instrumentation is always on; reach it via Portal.Obs.
+	Obs *obs.Registry
 }
 
 // Portal is a running CachePortal: the sniffer + invalidator pair.
@@ -52,6 +57,9 @@ type Portal struct {
 	Map         *sniffer.QIURLMap
 	Mapper      *sniffer.Mapper
 	Invalidator *invalidator.Invalidator
+	// Obs is the registry every pipeline stage reports into (the one from
+	// Options.Obs, or the private registry New allocated).
+	Obs *obs.Registry
 
 	interval time.Duration
 
@@ -82,9 +90,13 @@ func New(opts Options) (*Portal, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = time.Second
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
 	m := sniffer.NewQIURLMap()
 	mp := sniffer.NewMapper(opts.RequestLog, opts.QueryLog, m)
 	mp.Mode = opts.MapperMode
+	mp.Obs = opts.Obs
 
 	var pol *invalidator.Policies
 	if opts.Thresholds == (invalidator.DiscoveryThresholds{}) {
@@ -105,8 +117,12 @@ func New(opts Options) (*Portal, error) {
 		Policies:   pol,
 		PollBudget: opts.PollBudget,
 		Workers:    opts.Workers,
+		Obs:        opts.Obs,
 	})
-	return &Portal{Map: m, Mapper: mp, Invalidator: inv, interval: opts.Interval}, nil
+	if cp, ok := opts.Poller.(*invalidator.ConcurrentPoller); ok {
+		cp.Instrument(opts.Obs, "poller")
+	}
+	return &Portal{Map: m, Mapper: mp, Invalidator: inv, Obs: opts.Obs, interval: opts.Interval}, nil
 }
 
 // Interval returns the configured cycle cadence; the application server's

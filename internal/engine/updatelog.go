@@ -117,6 +117,11 @@ type Delta struct {
 	Columns []string
 	Plus    []mem.Row // Δ⁺R: inserted rows
 	Minus   []mem.Row // Δ⁻R: deleted rows
+	// Stamp is the commit time of the oldest record folded into this delta
+	// — the freshness-trace origin. A page invalidated because of this
+	// delta has been stale since at most Stamp, so eject-time minus Stamp
+	// is the measured staleness window (paper §5's freshness criterion).
+	Stamp time.Time
 }
 
 // BuildDeltas partitions records by table, preserving first-appearance
@@ -129,9 +134,12 @@ func BuildDeltas(recs []UpdateRecord) []*Delta {
 		key := lowerName(rec.Table)
 		d, ok := byTable[key]
 		if !ok {
-			d = &Delta{Table: rec.Table, Columns: rec.Columns}
+			d = &Delta{Table: rec.Table, Columns: rec.Columns, Stamp: rec.Time}
 			byTable[key] = d
 			order = append(order, key)
+		}
+		if !rec.Time.IsZero() && (d.Stamp.IsZero() || rec.Time.Before(d.Stamp)) {
+			d.Stamp = rec.Time
 		}
 		if rec.Op == OpInsert {
 			d.Plus = append(d.Plus, rec.Row)

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ConcurrentPoller dispatches polling queries concurrently over a set of
@@ -26,6 +27,21 @@ type ConcurrentPoller struct {
 
 	mu       sync.Mutex
 	inflight map[string]*inflightPoll
+
+	// Utilization counters (always on; read by Stats and Instrument).
+	queries atomic.Int64 // queries issued to a connection
+	dedups  atomic.Int64 // callers that shared an in-flight result
+	active  atomic.Int64 // queries currently executing on a connection
+	perConn []atomic.Int64
+}
+
+// ConcPollerStats is a snapshot of a ConcurrentPoller's utilization.
+type ConcPollerStats struct {
+	Conns   int     // pool size
+	Queries int64   // queries issued to connections
+	Dedups  int64   // callers answered by an in-flight duplicate
+	Active  int64   // queries executing right now
+	PerConn []int64 // queries issued per connection (round-robin skew)
 }
 
 type inflightPoll struct {
@@ -40,7 +56,37 @@ func NewConcurrentPoller(conns ...Poller) *ConcurrentPoller {
 	if len(conns) == 0 {
 		panic("invalidator: NewConcurrentPoller needs at least one connection")
 	}
-	return &ConcurrentPoller{conns: conns, inflight: make(map[string]*inflightPoll)}
+	return &ConcurrentPoller{
+		conns:    conns,
+		inflight: make(map[string]*inflightPoll),
+		perConn:  make([]atomic.Int64, len(conns)),
+	}
+}
+
+// Stats snapshots the poller's utilization counters.
+func (p *ConcurrentPoller) Stats() ConcPollerStats {
+	s := ConcPollerStats{
+		Conns:   len(p.conns),
+		Queries: p.queries.Load(),
+		Dedups:  p.dedups.Load(),
+		Active:  p.active.Load(),
+		PerConn: make([]int64, len(p.perConn)),
+	}
+	for i := range p.perConn {
+		s.PerConn[i] = p.perConn[i].Load()
+	}
+	return s
+}
+
+// Instrument registers the poller's utilization with reg under
+// "<prefix>.": pool size, issued/deduplicated query totals, and the
+// in-flight gauge. Pull-style gauge funcs — the query path records only
+// its own atomics.
+func (p *ConcurrentPoller) Instrument(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".conns", func() int64 { return int64(len(p.conns)) })
+	reg.GaugeFunc(prefix+".queries_total", p.queries.Load)
+	reg.GaugeFunc(prefix+".dedup_waits_total", p.dedups.Load)
+	reg.GaugeFunc(prefix+".active", p.active.Load)
 }
 
 // Query implements Poller.
@@ -48,6 +94,7 @@ func (p *ConcurrentPoller) Query(sql string) (*engine.Result, error) {
 	p.mu.Lock()
 	if call, ok := p.inflight[sql]; ok {
 		p.mu.Unlock()
+		p.dedups.Add(1)
 		<-call.ready
 		return call.res, call.err
 	}
@@ -55,8 +102,12 @@ func (p *ConcurrentPoller) Query(sql string) (*engine.Result, error) {
 	p.inflight[sql] = call
 	p.mu.Unlock()
 
-	conn := p.conns[p.next.Add(1)%uint64(len(p.conns))]
-	call.res, call.err = conn.Query(sql)
+	slot := p.next.Add(1) % uint64(len(p.conns))
+	p.queries.Add(1)
+	p.perConn[slot].Add(1)
+	p.active.Add(1)
+	call.res, call.err = p.conns[slot].Query(sql)
+	p.active.Add(-1)
 
 	p.mu.Lock()
 	delete(p.inflight, sql)

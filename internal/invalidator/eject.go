@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/webcache"
 )
 
@@ -83,6 +85,10 @@ type HTTPEjector struct {
 	Client    *http.Client
 	// MaxBatch caps keys per eject request (default DefaultEjectBatch).
 	MaxBatch int
+	// Obs, when set, records eject fan-out telemetry: per-batch round-trip
+	// time ("ejector.batch_seconds"), whole-call fan-out time
+	// ("ejector.fanout_seconds"), and batch/key/failure totals.
+	Obs *obs.Registry
 }
 
 // Eject implements Ejector: every key is ejected from every cache. All
@@ -106,6 +112,19 @@ func (e HTTPEjector) Eject(keys []string) error {
 		chunks = append(chunks, keys[start:end])
 	}
 
+	// Resolved once per Eject call: ejects ride the cycle cadence, not the
+	// request path, so the registry lookups here are cheap enough.
+	var batchLat, fanoutLat *obs.Histogram
+	var batchesSent, keysSent, batchFails *obs.Counter
+	if e.Obs != nil {
+		batchLat = e.Obs.Histogram("ejector.batch_seconds")
+		fanoutLat = e.Obs.Histogram("ejector.fanout_seconds")
+		batchesSent = e.Obs.Counter("ejector.batches_total")
+		keysSent = e.Obs.Counter("ejector.keys_total")
+		batchFails = e.Obs.Counter("ejector.batch_failures_total")
+	}
+	fanoutStart := time.Now()
+
 	type failure struct {
 		err  error
 		keys []string
@@ -117,13 +136,26 @@ func (e HTTPEjector) Eject(keys []string) error {
 		go func(i int, url string) {
 			defer wg.Done()
 			for _, chunk := range chunks {
-				if err := webcache.EjectKeys(e.Client, url, chunk); err != nil {
+				start := time.Now()
+				err := webcache.EjectKeys(e.Client, url, chunk)
+				if batchLat != nil {
+					batchLat.ObserveDuration(time.Since(start))
+					batchesSent.Inc()
+					keysSent.Add(int64(len(chunk)))
+				}
+				if err != nil {
+					if batchFails != nil {
+						batchFails.Inc()
+					}
 					fails[i] = append(fails[i], failure{err: err, keys: chunk})
 				}
 			}
 		}(i, url)
 	}
 	wg.Wait()
+	if fanoutLat != nil {
+		fanoutLat.ObserveDuration(time.Since(fanoutStart))
+	}
 
 	var errs []error
 	failed := make(map[string]bool)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 	"repro/internal/sniffer"
 	"repro/internal/sqlparser"
 	"repro/internal/wire"
@@ -79,6 +80,11 @@ type Config struct {
 	// and maintains the index itself (§4.1's self-tuning, applying the
 	// paper's index criteria without an administrator).
 	AutoIndex bool
+	// Obs receives the invalidator's metrics (cycle phases, poll counts,
+	// and the commit-to-eject staleness histograms); nil creates a private
+	// registry, so instrumentation is always on — it costs atomic adds
+	// only.
+	Obs *obs.Registry
 }
 
 // Report summarizes one invalidation cycle.
@@ -88,6 +94,8 @@ type Report struct {
 	UpdateRecords  int // update-log records pulled
 	DeltaTuples    int // tuples across all delta tables
 	Polls          int // polling queries sent to the poller
+	PollsDeduped   int // polls answered from the per-cycle dedup cache
+	PollsDenied    int // polls refused because the budget ran out
 	IndexHits      int // polls answered by maintained indexes
 	PollTime       time.Duration
 	LocalDecisions int // tuple×type decisions made without polling
@@ -113,9 +121,17 @@ type Invalidator struct {
 	indexes  *IndexSet
 	advice   *adviceTracker
 
+	obs            *obs.Registry
+	met            invMetrics
+	stalenessHists map[string]*obs.Histogram // servlet → staleness histogram
+
 	mapVersion int64
 	lastLSN    int64
 	pending    []string // keys whose ejection failed; retried next cycle
+	// pendingStamp carries each pending key's freshness stamp across retry
+	// cycles, so a retried eject still reports its true commit-to-eject
+	// latency.
+	pendingStamp map[string]time.Time
 }
 
 // New creates an Invalidator from cfg.
@@ -135,15 +151,25 @@ func New(cfg Config) *Invalidator {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 	return &Invalidator{
-		cfg:      cfg,
-		registry: cfg.Registry,
-		policies: cfg.Policies,
-		indexes:  cfg.Indexes,
-		advice:   newAdviceTracker(),
-		lastLSN:  1,
+		cfg:            cfg,
+		registry:       cfg.Registry,
+		policies:       cfg.Policies,
+		indexes:        cfg.Indexes,
+		advice:         newAdviceTracker(),
+		obs:            cfg.Obs,
+		met:            newInvMetrics(cfg.Obs),
+		stalenessHists: make(map[string]*obs.Histogram),
+		pendingStamp:   make(map[string]time.Time),
+		lastLSN:        1,
 	}
 }
+
+// Obs exposes the invalidator's metrics registry.
+func (inv *Invalidator) Obs() *obs.Registry { return inv.obs }
 
 // Registry exposes the registration module.
 func (inv *Invalidator) Registry() *Registry { return inv.registry }
@@ -183,6 +209,29 @@ func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
 func (inv *Invalidator) Cycle() (Report, error) {
 	start := time.Now()
 	var rep Report
+	defer func() {
+		m := &inv.met
+		m.cycles.Inc()
+		m.cycleSeconds.ObserveDuration(rep.Duration)
+		m.mapperPages.Add(int64(rep.MappedPages))
+		m.pagesIngested.Add(int64(rep.PagesIngested))
+		m.updateRecords.Add(int64(rep.UpdateRecords))
+		m.deltaTuples.Add(int64(rep.DeltaTuples))
+		m.polls.Add(int64(rep.Polls))
+		m.pollsDeduped.Add(int64(rep.PollsDeduped))
+		m.pollsDenied.Add(int64(rep.PollsDenied))
+		m.indexHits.Add(int64(rep.IndexHits))
+		m.localDecisions.Add(int64(rep.LocalDecisions))
+		m.invalidated.Add(int64(rep.Invalidated))
+		m.conservative.Add(int64(rep.Conservative))
+		m.retryDepth.Set(int64(len(inv.pending)))
+		if rep.Truncated {
+			m.truncations.Inc()
+		}
+		if rep.EjectErr != nil {
+			m.ejectErrors.Inc()
+		}
+	}()
 
 	// 1. Give the sniffer a chance to map fresh requests. If a source log
 	// was truncated before the mapper read it, pages may be cached with no
@@ -221,15 +270,31 @@ func (inv *Invalidator) Cycle() (Report, error) {
 	inv.indexes.Apply(recs)
 	inv.lastLSN = next
 
-	impacted := make(map[string]bool)
+	// impacted maps each page to its freshness stamp: the commit time of
+	// the oldest update that made it stale. A zero stamp means the origin
+	// is unknown (log truncation) and no staleness sample is recorded;
+	// unknown dominates when causes merge.
+	impacted := make(map[string]time.Time)
+	mark := func(key string, stamp time.Time) {
+		prev, ok := impacted[key]
+		switch {
+		case !ok:
+			impacted[key] = stamp
+		case prev.IsZero() || stamp.IsZero():
+			impacted[key] = time.Time{}
+		case stamp.Before(prev):
+			impacted[key] = stamp
+		}
+	}
 	if truncated {
 		// The log no longer reaches back to our last position: anything
 		// cached may be stale.
 		for _, k := range inv.registry.Pages() {
-			impacted[k] = true
+			mark(k, time.Time{})
 		}
 		rep.Conservative += len(impacted)
 	} else if len(recs) > 0 {
+		analyzeStart := time.Now()
 		deltas := engine.BuildDeltas(recs)
 		// Tables with deletions in this batch: polling runs against the
 		// post-update state, so a deleted tuple whose join counterpart was
@@ -241,7 +306,7 @@ func (inv *Invalidator) Cycle() (Report, error) {
 				delTables[lowerTableName(d.Table)] = true
 			}
 		}
-		pr := newPollRun(inv.cfg.Poller, inv.indexes, inv.cfg.PollBudget)
+		pr := newPollRun(inv.cfg.Poller, inv.indexes, inv.cfg.PollBudget, inv.met.pollSeconds)
 
 		// Build the cycle's schedule up front: one work unit per (query
 		// type × delta table) pair, in delta order with each table's types
@@ -281,7 +346,7 @@ func (inv *Invalidator) Cycle() (Report, error) {
 			impactedMu.Lock()
 			for _, inst := range res.impacted {
 				for page := range inst.Pages {
-					impacted[page] = true
+					mark(page, u.d.Stamp)
 				}
 			}
 			impactedMu.Unlock()
@@ -316,14 +381,19 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		rep.LocalDecisions += int(localDecisions.Load())
 		rep.Conservative += int(conservative.Load())
 		rep.Polls = int(pr.polls.Load())
+		rep.PollsDeduped = int(pr.deduped.Load())
+		rep.PollsDenied = int(pr.denied.Load())
 		rep.IndexHits = int(pr.indexHits.Load())
 		rep.PollTime = time.Duration(pr.pollTime.Load())
 
-		// Conservative pages fall with any change at all.
+		// Conservative pages fall with any change at all; their staleness
+		// origin is the batch's oldest record.
+		batchStamp := recs[0].Time
 		for _, k := range inv.registry.ConservativePages() {
-			impacted[k] = true
+			mark(k, batchStamp)
 			rep.Conservative++
 		}
+		inv.met.analyzeSeconds.ObserveDuration(time.Since(analyzeStart))
 	}
 
 	// 4. Send invalidation messages (§4.2.4), including retries. Pending
@@ -334,7 +404,7 @@ func (inv *Invalidator) Cycle() (Report, error) {
 	// pure cache noise.
 	for _, k := range inv.pending {
 		if inv.registry.HasPage(k) {
-			impacted[k] = true
+			mark(k, inv.pendingStamp[k])
 		}
 	}
 	keys := make([]string, 0, len(impacted))
@@ -342,8 +412,29 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	// finish completes one ejected key: the commit-to-eject staleness
+	// sample is recorded (globally and per servlet) before the mapping —
+	// which names the servlet — is removed.
+	finish := func(k string, now time.Time) {
+		if stamp := impacted[k]; !stamp.IsZero() {
+			lat := now.Sub(stamp)
+			if lat < 0 {
+				lat = 0
+			}
+			inv.met.staleness.ObserveDuration(lat)
+			if pm, ok := inv.cfg.Map.Get(k); ok && pm.Servlet != "" {
+				inv.stalenessFor(pm.Servlet).ObserveDuration(lat)
+			}
+		}
+		inv.cfg.Map.Remove(k)
+		inv.registry.UnlinkPage(k)
+	}
 	if len(keys) > 0 {
-		if err := inv.cfg.Ejector.Eject(keys); err != nil {
+		ejectStart := time.Now()
+		err := inv.cfg.Ejector.Eject(keys)
+		now := time.Now()
+		inv.met.ejectSeconds.ObserveDuration(now.Sub(ejectStart))
+		if err != nil {
 			rep.EjectErr = err
 			// A KeyedEjectError narrows the retry set to the keys that
 			// actually failed; keys every cache accepted are finished now.
@@ -360,17 +451,21 @@ func (inv *Invalidator) Cycle() (Report, error) {
 				if failedSet[k] {
 					continue
 				}
-				inv.cfg.Map.Remove(k)
-				inv.registry.UnlinkPage(k)
+				finish(k, now)
 				rep.Invalidated++
 			}
 			sort.Strings(failed)
 			inv.pending = dedupeSorted(failed)
+			stamps := make(map[string]time.Time, len(inv.pending))
+			for _, k := range inv.pending {
+				stamps[k] = impacted[k]
+			}
+			inv.pendingStamp = stamps
 		} else {
 			inv.pending = nil
+			inv.pendingStamp = make(map[string]time.Time)
 			for _, k := range keys {
-				inv.cfg.Map.Remove(k)
-				inv.registry.UnlinkPage(k)
+				finish(k, now)
 			}
 			rep.Invalidated = len(keys)
 		}

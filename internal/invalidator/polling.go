@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/obs"
 )
 
 // Poller executes polling queries (§4.2.3). driver.Conn satisfies it, so
@@ -31,8 +32,13 @@ type pollRun struct {
 	calls map[string]*pollCall // query text → completed or in-flight call
 
 	polls     atomic.Int64
+	deduped   atomic.Int64 // polls answered by replay/await instead of the DBMS
+	denied    atomic.Int64 // polls refused because the budget ran out
 	indexHits atomic.Int64
 	pollTime  atomic.Int64 // nanoseconds across all issued polls
+
+	// latHist, when non-nil, receives each issued poll's round-trip time.
+	latHist *obs.Histogram
 
 	// Budget (§4.2.2's real-time trade-off): a shared token bucket of
 	// polling time, drained by every issued poll, plus the wall-clock
@@ -62,11 +68,12 @@ func (budgetError) Error() string { return "invalidator: polling budget exhauste
 // errBudget marks budget exhaustion.
 var errBudget = budgetError{}
 
-func newPollRun(p Poller, idx *IndexSet, budget time.Duration) *pollRun {
+func newPollRun(p Poller, idx *IndexSet, budget time.Duration, latHist *obs.Histogram) *pollRun {
 	r := &pollRun{
 		poller:  p,
 		indexes: idx,
 		calls:   make(map[string]*pollCall),
+		latHist: latHist,
 	}
 	if budget > 0 {
 		r.bounded = true
@@ -90,11 +97,13 @@ func (r *pollRun) exec(sql string, st *typeBatchResult) (*engine.Result, error) 
 	r.mu.Lock()
 	if call, ok := r.calls[sql]; ok {
 		r.mu.Unlock()
+		r.deduped.Add(1)
 		<-call.ready // completed calls have a closed channel: no wait
 		return call.res, call.err
 	}
 	if r.overBudget() {
 		r.mu.Unlock()
+		r.denied.Add(1)
 		return nil, errBudget
 	}
 	if r.poller == nil {
@@ -115,6 +124,9 @@ func (r *pollRun) exec(sql string, st *typeBatchResult) (*engine.Result, error) 
 	}
 	r.polls.Add(1)
 	r.pollTime.Add(int64(took))
+	if r.latHist != nil {
+		r.latHist.ObserveDuration(took)
+	}
 	st.polls++
 	st.pollTime += took
 	close(call.ready)

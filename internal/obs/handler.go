@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"time"
+)
+
+// MetricsHandler serves the registry's full JSON snapshot — the
+// /debug/metrics document.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot())
+	})
+}
+
+// VarsHandler serves the flattened expvar-style view — the /debug/vars
+// document: one JSON object, histogram percentiles precomputed.
+func VarsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(r.Snapshot().Vars())
+	})
+}
+
+// Mount attaches the debug endpoints to mux: /debug/metrics, /debug/vars,
+// and (when withPprof) the net/http/pprof handlers under /debug/pprof/.
+// The pprof routes are only reachable through muxes that call Mount with
+// withPprof=true; nothing is registered on http.DefaultServeMux.
+func Mount(mux *http.ServeMux, r *Registry, withPprof bool) {
+	mux.Handle("/debug/metrics", MetricsHandler(r))
+	mux.Handle("/debug/vars", VarsHandler(r))
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// Serve starts an HTTP server on addr exposing the Mount endpoints — the
+// daemons' -debug-addr listener. It returns the server (for Close) and
+// runs ListenAndServe in a background goroutine; startup errors surface
+// through errf when non-nil.
+func Serve(addr string, r *Registry, withPprof bool, errf func(error)) *http.Server {
+	mux := http.NewServeMux()
+	Mount(mux, r, withPprof)
+	srv := &http.Server{Addr: addr, Handler: mux}
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {
+			errf(err)
+		}
+	}()
+	return srv
+}
+
+// LogLoop emits a one-line structured snapshot through logf every interval
+// until stop closes — the optional periodic log export. Counters and
+// gauges print as k=v; histograms as k.p50/p95/count. Keys are sorted so
+// successive lines diff cleanly.
+func LogLoop(r *Registry, interval time.Duration, logf func(format string, args ...any), stop <-chan struct{}) {
+	if interval <= 0 || logf == nil {
+		return
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+			logf("obs: %s", FormatLine(r.Snapshot()))
+		}
+	}
+}
+
+// FormatLine renders a snapshot as a sorted single-line k=v list.
+func FormatLine(s Snapshot) string {
+	vars := s.Vars()
+	keys := make([]string, 0, len(vars))
+	for k := range vars {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		switch v := vars[k].(type) {
+		case int64:
+			b.WriteString(formatInt(v))
+		case float64:
+			b.WriteString(formatFloat(v))
+		}
+	}
+	return b.String()
+}
+
+func formatInt(v int64) string {
+	buf, _ := json.Marshal(v)
+	return string(buf)
+}
+
+func formatFloat(v float64) string {
+	buf, _ := json.Marshal(jsonRound(v))
+	return string(buf)
+}
+
+// jsonRound trims float noise to 6 decimals for log lines. Values outside
+// the safely scalable range pass through unchanged.
+func jsonRound(v float64) float64 {
+	if v != v || v <= 0 || v > 1e12 {
+		return v
+	}
+	const scale = 1e6
+	return float64(int64(v*scale+0.5)) / scale
+}
+
+// HTTPMiddleware wraps h, counting requests into <name>.requests_total and
+// recording service time into the <name>.request_seconds histogram. The
+// handles are resolved once, here, not per request.
+func HTTPMiddleware(r *Registry, name string, h http.Handler) http.Handler {
+	reqs := r.Counter(name + ".requests_total")
+	lat := r.Histogram(name + ".request_seconds")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		start := time.Now()
+		h.ServeHTTP(w, req)
+		reqs.Inc()
+		lat.ObserveDuration(time.Since(start))
+	})
+}

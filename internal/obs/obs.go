@@ -1,0 +1,331 @@
+// Package obs is CachePortal's dependency-free observability core: a
+// metrics registry of atomic counters, gauges, and fixed-bucket latency
+// histograms, with JSON snapshot export. Every pipeline stage — sniffer,
+// invalidator, pollers, web cache, ejectors — records into a Registry, and
+// the daemons expose it over HTTP (/debug/metrics, /debug/vars; see
+// handler.go).
+//
+// The paper's freshness/performance trade is only as good as its staleness
+// window, so the registry's histograms are built to measure exactly that:
+// the invalidator stamps every update-log record at ingestion, propagates
+// the stamp through delta analysis and polling, and records the
+// commit-to-eject latency here (metric "invalidator.staleness_seconds",
+// plus one histogram per servlet).
+//
+// Hot-path cost: recording is one or two uncontended atomic adds; metric
+// handles are resolved once (a mutex-guarded map lookup) and cached by the
+// instrumented component, never per operation.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; use a Gauge for those).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomically settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram. Bucket i counts observations
+// v <= Bounds[i]; one implicit overflow bucket counts the rest. Observe is
+// lock-free: a binary search over the (immutable) bounds plus two atomic
+// adds.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	max    atomic.Uint64 // float64 bits
+}
+
+// LatencyBuckets are the default bounds, in seconds: 100µs to 10s,
+// roughly logarithmic. They cover everything from a shard-lock hold to a
+// stalled invalidation cycle.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets builds n bounds starting at start, each factor× the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose bound >= v (le semantics).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.max.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.max.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records d in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns how many values were observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Snapshot captures the histogram's current state. Concurrent observers may
+// land between the per-bucket loads; the snapshot is consistent enough for
+// reporting (counts never decrease).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]int64, len(h.counts)),
+		Sum:    math.Float64frombits(h.sum.Load()),
+		Max:    math.Float64frombits(h.max.Load()),
+	}
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	return s
+}
+
+// HistogramSnapshot is the exported state of a Histogram.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Max    float64   `json:"max,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
+	Counts []int64 `json:"counts"`
+}
+
+// Mean returns Sum/Count, or 0 with no observations.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the bucket containing it, the standard fixed-bucket estimator. The
+// overflow bucket reports its lower bound (the estimate cannot exceed
+// observed data meaningfully there). Returns 0 with no observations.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum int64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += c
+		if float64(cum) < rank {
+			continue
+		}
+		if i == len(s.Bounds) {
+			// Overflow bucket: clamp to the largest finite bound (or Max
+			// when it is known and larger).
+			if s.Max > 0 {
+				return s.Max
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(prev))/float64(c)
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Registry holds named metrics. Names are dotted paths
+// ("invalidator.cycle_seconds"); a name identifies exactly one metric of
+// one kind. Get-or-create accessors make wiring order irrelevant: the
+// first caller creates, later callers share.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers (or replaces) a pull-style gauge: fn is evaluated at
+// snapshot time. Use for values another component already maintains (cache
+// sizes, log positions) so the hot path records nothing.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// bounds on first use (LatencyBuckets when none are given). Later callers
+// share the first creation's bounds.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time JSON-serializable export of a Registry.
+type Snapshot struct {
+	TakenAt    time.Time                    `json:"taken_at"`
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot exports every metric's current value. GaugeFuncs are evaluated
+// outside the registry lock so a slow or re-entrant func cannot deadlock
+// registration.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	s := Snapshot{
+		TakenAt:    time.Now(),
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for name, fn := range r.gaugeFuncs {
+		funcs[name] = fn
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for name, h := range r.hists {
+		hists[name] = h
+	}
+	r.mu.Unlock()
+
+	for name, fn := range funcs {
+		s.Gauges[name] = fn()
+	}
+	for name, h := range hists {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// Vars flattens a snapshot into an expvar-style map: counters and gauges
+// by name, histograms as name.count / name.sum / name.mean / name.p50 /
+// name.p95 / name.p99 / name.max.
+func (s Snapshot) Vars() map[string]any {
+	out := make(map[string]any, len(s.Counters)+len(s.Gauges)+7*len(s.Histograms))
+	for name, v := range s.Counters {
+		out[name] = v
+	}
+	for name, v := range s.Gauges {
+		out[name] = v
+	}
+	for name, h := range s.Histograms {
+		out[name+".count"] = h.Count
+		out[name+".sum"] = h.Sum
+		out[name+".mean"] = h.Mean()
+		out[name+".p50"] = h.Quantile(0.50)
+		out[name+".p95"] = h.Quantile(0.95)
+		out[name+".p99"] = h.Quantile(0.99)
+		out[name+".max"] = h.Max
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter: %d", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("counter not shared by name")
+	}
+	g := r.Gauge("g")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge: %d", got)
+	}
+	r.GaugeFunc("gf", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["c"] != 5 || s.Gauges["g"] != 4 || s.Gauges["gf"] != 42 {
+		t.Fatalf("snapshot: %+v", s)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-semantics: a value exactly on a
+// bound lands in that bound's bucket, one past it in the next.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 1, 2, 4)
+	h.Observe(1)   // == bounds[0] → bucket 0
+	h.Observe(1.5) // bucket 1
+	h.Observe(2)   // == bounds[1] → bucket 1
+	h.Observe(4)   // == bounds[2] → bucket 2
+	h.Observe(9)   // overflow bucket
+	s := h.Snapshot()
+	want := []int64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d: got %d want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count: %d", s.Count)
+	}
+	if math.Abs(s.Sum-17.5) > 1e-9 {
+		t.Fatalf("sum: %g", s.Sum)
+	}
+	if s.Max != 9 {
+		t.Fatalf("max: %g", s.Max)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", 10, 20, 30)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%30) + 0.5) // uniform over (0,30)
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q < 10 || q > 20 {
+		t.Fatalf("p50 outside middle bucket: %g", q)
+	}
+	if q := s.Quantile(0.99); q < 20 || q > 30 {
+		t.Fatalf("p99 outside last bucket: %g", q)
+	}
+	if q := s.Quantile(1); q > 30 {
+		t.Fatalf("p100 beyond max bound: %g", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Fatal("empty snapshot quantile/mean must be 0")
+	}
+	// All mass in the overflow bucket reports the observed max.
+	h2 := r.Histogram("h2", 1)
+	h2.Observe(50)
+	if q := h2.Snapshot().Quantile(0.5); q != 50 {
+		t.Fatalf("overflow quantile: %g", q)
+	}
+}
+
+// TestRegistryConcurrency exercises registration and recording from many
+// goroutines; run with -race.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const per = 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared.counter")
+			g := r.Gauge("shared.gauge")
+			h := r.Histogram("shared.hist")
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Observe(float64(i) / per)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["shared.counter"] != workers*per {
+		t.Fatalf("counter lost updates: %d", s.Counters["shared.counter"])
+	}
+	h := s.Histograms["shared.hist"]
+	if h.Count != workers*per {
+		t.Fatalf("histogram lost observations: %d", h.Count)
+	}
+	var sum int64
+	for _, c := range h.Counts {
+		sum += c
+	}
+	if sum != h.Count {
+		t.Fatalf("bucket counts %d != count %d", sum, h.Count)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d")
+	h.ObserveDuration(250 * time.Millisecond)
+	s := h.Snapshot()
+	if math.Abs(s.Sum-0.25) > 1e-9 {
+		t.Fatalf("seconds: %g", s.Sum)
+	}
+}
+
+func TestHandlersServeJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.total").Add(3)
+	r.Histogram("a.seconds").Observe(0.02)
+
+	mux := http.NewServeMux()
+	Mount(mux, r, true)
+
+	rw := httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var snap Snapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if snap.Counters["a.total"] != 3 || snap.Histograms["a.seconds"].Count != 1 {
+		t.Fatalf("metrics content: %+v", snap)
+	}
+
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/vars", nil))
+	var vars map[string]any
+	if err := json.Unmarshal(rw.Body.Bytes(), &vars); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if _, ok := vars["a.seconds.p95"]; !ok {
+		t.Fatalf("vars missing histogram percentile: %v", vars)
+	}
+
+	rw = httptest.NewRecorder()
+	mux.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rw.Code != 200 {
+		t.Fatalf("pprof not mounted: %d", rw.Code)
+	}
+
+	// Without the flag, pprof must be absent.
+	bare := http.NewServeMux()
+	Mount(bare, r, false)
+	rw = httptest.NewRecorder()
+	bare.ServeHTTP(rw, httptest.NewRequest("GET", "/debug/pprof/cmdline", nil))
+	if rw.Code == 200 {
+		t.Fatal("pprof mounted without flag")
+	}
+}
+
+func TestHTTPMiddleware(t *testing.T) {
+	r := NewRegistry()
+	h := HTTPMiddleware(r, "web", http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.WriteHeader(204)
+	}))
+	for i := 0; i < 3; i++ {
+		rw := httptest.NewRecorder()
+		h.ServeHTTP(rw, httptest.NewRequest("GET", "/", nil))
+	}
+	s := r.Snapshot()
+	if s.Counters["web.requests_total"] != 3 {
+		t.Fatalf("requests: %d", s.Counters["web.requests_total"])
+	}
+	if s.Histograms["web.request_seconds"].Count != 3 {
+		t.Fatalf("latency samples: %d", s.Histograms["web.request_seconds"].Count)
+	}
+}
+
+func TestFormatLine(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Add(2)
+	line := FormatLine(r.Snapshot())
+	if line != "a=2 b=1" {
+		t.Fatalf("line: %q", line)
+	}
+}

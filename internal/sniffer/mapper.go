@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/appserver"
 	"repro/internal/driver"
+	"repro/internal/obs"
 )
 
 // MapperMode selects how queries are attributed to requests.
@@ -42,11 +43,27 @@ type Mapper struct {
 	// (their pages are never stored, so no invalidation is needed). On by
 	// default via NewMapper.
 	OnlyCacheable bool
+	// Obs, when set, receives the mapper's build metrics: pages mapped,
+	// queries attributed, run latency, buffered-query depth, truncations.
+	// Set it before the first Run; handles are resolved lazily once.
+	Obs *obs.Registry
 
 	lastReq   int64
 	lastQuery int64
 	buffer    []driver.QueryLogEntry // unmatched queries, oldest first
 	truncated bool                   // a log was truncated before we read it
+
+	met *mapperMetrics
+}
+
+// mapperMetrics are the mapper's cached obs handles.
+type mapperMetrics struct {
+	runs       *obs.Counter
+	pages      *obs.Counter
+	queries    *obs.Counter
+	truncs     *obs.Counter
+	runSeconds *obs.Histogram
+	buffered   *obs.Gauge
 }
 
 // TakeTruncated reports whether a source log was truncated since the last
@@ -74,9 +91,44 @@ func NewMapper(requests *appserver.RequestLog, queries *driver.QueryLog, m *QIUR
 	}
 }
 
+// metrics lazily resolves the obs handles (the mapper is single-flight, so
+// no lock is needed).
+func (mp *Mapper) metrics() *mapperMetrics {
+	if mp.met == nil && mp.Obs != nil {
+		mp.met = &mapperMetrics{
+			runs:       mp.Obs.Counter("sniffer.map_runs_total"),
+			pages:      mp.Obs.Counter("sniffer.pages_mapped_total"),
+			queries:    mp.Obs.Counter("sniffer.queries_attributed_total"),
+			truncs:     mp.Obs.Counter("sniffer.truncations_total"),
+			runSeconds: mp.Obs.Histogram("sniffer.map_run_seconds"),
+			buffered:   mp.Obs.Gauge("sniffer.queries_buffered"),
+		}
+	}
+	return mp.met
+}
+
 // Run performs one mapping pass and returns how many request entries were
 // mapped. Call it periodically (the invalidator's cycle does).
 func (mp *Mapper) Run() int {
+	met := mp.metrics()
+	var runStart time.Time
+	if met != nil {
+		runStart = time.Now()
+	}
+	mapped, attributed := mp.run()
+	if met != nil {
+		met.runs.Inc()
+		met.pages.Add(int64(mapped))
+		met.queries.Add(int64(attributed))
+		met.buffered.Set(int64(len(mp.buffer)))
+		met.runSeconds.ObserveDuration(time.Since(runStart))
+	}
+	return mapped
+}
+
+// run is the mapping pass proper; it returns mapped request entries and
+// attributed query instances.
+func (mp *Mapper) run() (mapped, attributed int) {
 	// Pull requests first: any query belonging to a pulled request was
 	// logged before the request's delivery-time log append, so pulling
 	// queries second cannot miss them.
@@ -90,10 +142,12 @@ func (mp *Mapper) Run() int {
 	}
 	if reqTrunc || qTrunc {
 		mp.truncated = true
+		if mp.met != nil {
+			mp.met.truncs.Inc()
+		}
 	}
 	mp.buffer = append(mp.buffer, qs...)
 
-	mapped := 0
 	for _, req := range reqs {
 		if mp.OnlyCacheable && !req.Cached {
 			continue
@@ -112,6 +166,7 @@ func (mp *Mapper) Run() int {
 		}
 		mp.Map.Record(req.CacheKey, req.Servlet, req.ID, queries)
 		mapped++
+		attributed += len(queries)
 	}
 
 	// Drop buffered queries that no future request can claim.
@@ -127,7 +182,7 @@ func (mp *Mapper) Run() int {
 		}
 	}
 	mp.buffer = kept
-	return mapped
+	return mapped, attributed
 }
 
 // attributable implements the §3.3 containment rule, optionally narrowed by

@@ -37,16 +37,37 @@ type Stats struct {
 	Misses        int64
 	Stores        int64
 	Invalidations int64 // entries removed by eject requests
+	EjectMisses   int64 // eject requests naming keys that were not cached
 	Evictions     int64 // entries removed by LRU pressure
 }
 
-// HitRatio returns hits/(hits+misses), or 0 when no lookups happened.
+// HitRatio returns hits/(hits+misses), or 0 when no lookups happened
+// (guarded: derived ratios never produce NaN).
 func (s Stats) HitRatio() float64 {
 	total := s.Hits + s.Misses
 	if total == 0 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// InvalidationPrecision returns the fraction of eject requests that
+// removed a live entry — the invalidation-precision figure transparent
+// invalidation systems are judged by. 0 when no ejects happened.
+func (s Stats) InvalidationPrecision() float64 {
+	total := s.Invalidations + s.EjectMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Invalidations) / float64(total)
+}
+
+// EvictionRate returns evictions per store, or 0 when nothing was stored.
+func (s Stats) EvictionRate() float64 {
+	if s.Stores == 0 {
+		return 0
+	}
+	return float64(s.Evictions) / float64(s.Stores)
 }
 
 // shardEntry wraps an Entry with its global recency stamp (for Keys()).
@@ -329,10 +350,13 @@ func (c *Cache) Invalidate(key string) bool {
 	return c.invalidateLocked(s, key)
 }
 
-// invalidateLocked removes key from s. Callers hold s.mu.
+// invalidateLocked removes key from s. Callers hold s.mu. Ejects naming
+// absent keys (already evicted, or never cached) count as EjectMisses so
+// the invalidator's precision is observable.
 func (c *Cache) invalidateLocked(s *cacheShard, key string) bool {
 	el, ok := s.entries[key]
 	if !ok {
+		s.stats.EjectMisses++
 		return false
 	}
 	se := el.Value.(*shardEntry)
@@ -493,13 +517,24 @@ func (c *Cache) Stats() Stats {
 		agg.Misses += s.stats.Misses
 		agg.Stores += s.stats.Stores
 		agg.Invalidations += s.stats.Invalidations
+		agg.EjectMisses += s.stats.EjectMisses
 		agg.Evictions += s.stats.Evictions
 		s.mu.Unlock()
 	}
 	return agg
 }
 
-// ResetStats zeroes the counters.
+// StatsOfShard returns shard i's counters (i in [0, ShardCount())), for
+// spotting hash skew across lock domains.
+func (c *Cache) StatsOfShard(i int) Stats {
+	s := c.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ResetStats zeroes every counter — including the per-shard eviction and
+// eject counters — atomically with respect to each shard (under its lock).
 func (c *Cache) ResetStats() {
 	for _, s := range c.shards {
 		s.mu.Lock()

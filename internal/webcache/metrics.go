@@ -1,0 +1,39 @@
+package webcache
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// Instrument registers the cache's counters with reg as pull-style gauges
+// under "<prefix>.": aggregate hit/miss/store/invalidation/eject-miss/
+// eviction totals, the derived hit ratio and invalidation precision (in
+// thousandths, so they survive the integer gauge), the live entry count,
+// and per-shard hit/miss/invalidation/eviction counters under
+// "<prefix>.shard<N>.". Gauge funcs are evaluated only at snapshot time,
+// so the request path pays nothing.
+func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".entries", func() int64 { return int64(c.Len()) })
+	reg.GaugeFunc(prefix+".shards", func() int64 { return int64(c.ShardCount()) })
+	reg.GaugeFunc(prefix+".hits_total", func() int64 { return c.Stats().Hits })
+	reg.GaugeFunc(prefix+".misses_total", func() int64 { return c.Stats().Misses })
+	reg.GaugeFunc(prefix+".stores_total", func() int64 { return c.Stats().Stores })
+	reg.GaugeFunc(prefix+".invalidations_total", func() int64 { return c.Stats().Invalidations })
+	reg.GaugeFunc(prefix+".eject_misses_total", func() int64 { return c.Stats().EjectMisses })
+	reg.GaugeFunc(prefix+".evictions_total", func() int64 { return c.Stats().Evictions })
+	reg.GaugeFunc(prefix+".hit_ratio_milli", func() int64 {
+		return int64(c.Stats().HitRatio() * 1000)
+	})
+	reg.GaugeFunc(prefix+".invalidation_precision_milli", func() int64 {
+		return int64(c.Stats().InvalidationPrecision() * 1000)
+	})
+	for i := 0; i < c.ShardCount(); i++ {
+		i := i
+		sp := fmt.Sprintf("%s.shard%d.", prefix, i)
+		reg.GaugeFunc(sp+"hits_total", func() int64 { return c.StatsOfShard(i).Hits })
+		reg.GaugeFunc(sp+"misses_total", func() int64 { return c.StatsOfShard(i).Misses })
+		reg.GaugeFunc(sp+"invalidations_total", func() int64 { return c.StatsOfShard(i).Invalidations })
+		reg.GaugeFunc(sp+"evictions_total", func() int64 { return c.StatsOfShard(i).Evictions })
+	}
+}

@@ -1,0 +1,129 @@
+package webcache
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestStatsRatiosGuardZeroDenominator(t *testing.T) {
+	var s Stats
+	for name, v := range map[string]float64{
+		"HitRatio":              s.HitRatio(),
+		"InvalidationPrecision": s.InvalidationPrecision(),
+		"EvictionRate":          s.EvictionRate(),
+	} {
+		if v != 0 || math.IsNaN(v) {
+			t.Fatalf("%s on zero stats: %g", name, v)
+		}
+	}
+}
+
+func TestEjectMissCounting(t *testing.T) {
+	c := NewCache(10)
+	c.Put(&Entry{Key: "a", Body: []byte("x")})
+	c.Put(&Entry{Key: "b", Body: []byte("y")})
+
+	if !c.Invalidate("a") {
+		t.Fatal("a should have been present")
+	}
+	if c.Invalidate("ghost") {
+		t.Fatal("ghost should not have been present")
+	}
+	if n := c.InvalidateMany([]string{"b", "gone1", "gone2"}); n != 1 {
+		t.Fatalf("InvalidateMany removed %d", n)
+	}
+
+	st := c.Stats()
+	if st.Invalidations != 2 {
+		t.Fatalf("invalidations: %d", st.Invalidations)
+	}
+	if st.EjectMisses != 3 {
+		t.Fatalf("eject misses: %d", st.EjectMisses)
+	}
+	if p := st.InvalidationPrecision(); math.Abs(p-0.4) > 1e-9 {
+		t.Fatalf("precision: %g", p)
+	}
+}
+
+func TestResetStatsClearsEverything(t *testing.T) {
+	c := NewCacheSharded(4, 4)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f"} {
+		c.Put(&Entry{Key: k, Body: []byte(k)})
+	}
+	c.Get("a")
+	c.Get("nope")
+	c.Invalidate("b")
+	c.Invalidate("ghost")
+
+	before := c.Stats()
+	if before.Stores == 0 || before.Evictions == 0 || before.EjectMisses == 0 {
+		t.Fatalf("expected activity before reset: %+v", before)
+	}
+	c.ResetStats()
+	if after := c.Stats(); after != (Stats{}) {
+		t.Fatalf("reset left counters: %+v", after)
+	}
+	for i := 0; i < c.ShardCount(); i++ {
+		if ss := c.StatsOfShard(i); ss != (Stats{}) {
+			t.Fatalf("shard %d not reset: %+v", i, ss)
+		}
+	}
+}
+
+func TestStatsOfShardSumsToAggregate(t *testing.T) {
+	c := NewCacheSharded(0, 4)
+	for _, k := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		c.Put(&Entry{Key: k, Body: []byte(k)})
+		c.Get(k)
+	}
+	c.Get("missing")
+	var sum Stats
+	for i := 0; i < c.ShardCount(); i++ {
+		ss := c.StatsOfShard(i)
+		sum.Hits += ss.Hits
+		sum.Misses += ss.Misses
+		sum.Stores += ss.Stores
+		sum.Invalidations += ss.Invalidations
+		sum.EjectMisses += ss.EjectMisses
+		sum.Evictions += ss.Evictions
+	}
+	if agg := c.Stats(); sum != agg {
+		t.Fatalf("per-shard sum %+v != aggregate %+v", sum, agg)
+	}
+}
+
+func TestCacheInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCacheSharded(0, 2)
+	c.Instrument(reg, "webcache")
+	c.Put(&Entry{Key: "a", Body: []byte("x")})
+	c.Get("a")
+	c.Get("a")
+	c.Get("miss")
+
+	s := reg.Snapshot()
+	if s.Gauges["webcache.hits_total"] != 2 || s.Gauges["webcache.misses_total"] != 1 {
+		t.Fatalf("hit/miss gauges: %+v", s.Gauges)
+	}
+	if s.Gauges["webcache.entries"] != 1 {
+		t.Fatalf("entries gauge: %d", s.Gauges["webcache.entries"])
+	}
+	// hits/(hits+misses) = 2/3 ≈ 666 milli-units.
+	if hr := s.Gauges["webcache.hit_ratio_milli"]; hr != 666 {
+		t.Fatalf("hit ratio milli: %d", hr)
+	}
+	var perShardHits int64
+	for i := 0; i < c.ShardCount(); i++ {
+		perShardHits += s.Gauges[shardGaugeName("webcache", i, "hits_total")]
+	}
+	if perShardHits != 2 {
+		t.Fatalf("per-shard hits: %d", perShardHits)
+	}
+}
+
+// shardGaugeName mirrors Instrument's per-shard naming.
+func shardGaugeName(prefix string, shard int, field string) string {
+	return prefix + ".shard" + string(rune('0'+shard)) + "." + field
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Server serves a Database over the wire protocol. One goroutine per
@@ -146,6 +147,23 @@ func (s *Server) Queries() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queries
+}
+
+// Conns returns the number of live client connections.
+func (s *Server) Conns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Instrument registers the server's counters with reg under "<prefix>.":
+// queries served, open connections, and the update log's next LSN (its
+// growth rate is the site's write throughput). Pull-style gauges — the
+// query path is untouched.
+func (s *Server) Instrument(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+".queries_total", s.Queries)
+	reg.GaugeFunc(prefix+".conns", func() int64 { return int64(s.Conns()) })
+	reg.GaugeFunc(prefix+".log_next_lsn", func() int64 { return s.DB.Log().NextLSN() })
 }
 
 // Close stops accepting, closes every live connection, and waits for

@@ -1,0 +1,72 @@
+package cacheportal
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestFreshnessTraceRecordsStaleness drives one full update→invalidate round
+// trip through a live site and asserts the freshness trace produced a
+// commit-to-eject staleness sample: the record was stamped at ingestion, the
+// stamp survived delta analysis and eject, and the measured window is
+// positive.
+func TestFreshnessTraceRecordsStaleness(t *testing.T) {
+	site := carSite(t)
+	url := site.CacheURL + "/under?price=20000"
+	_, _, key := fetch(t, url)
+
+	if err := site.Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 18000)"); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(key, 5*time.Second) {
+		t.Fatal("page not invalidated")
+	}
+
+	snap := site.Obs.Snapshot()
+	h, ok := snap.Histograms["invalidator.staleness_seconds"]
+	if !ok {
+		t.Fatal("staleness histogram missing from snapshot")
+	}
+	if h.Count < 1 {
+		t.Fatalf("no staleness samples recorded: %+v", h)
+	}
+	if h.Sum <= 0 {
+		t.Fatalf("staleness sum not positive: %g", h.Sum)
+	}
+	perServlet, ok := snap.Histograms["invalidator.staleness_seconds.under"]
+	if !ok || perServlet.Count < 1 {
+		t.Fatalf("per-servlet staleness missing: ok=%v %+v", ok, perServlet)
+	}
+
+	// The pipeline counters must show the trip: records ingested, a page
+	// invalidated, cycles run.
+	for _, name := range []string{
+		"invalidator.cycles_total",
+		"invalidator.update_records_total",
+		"invalidator.pages_invalidated_total",
+		"sniffer.map_runs_total",
+	} {
+		if snap.Counters[name] < 1 {
+			t.Fatalf("%s = %d, want >= 1", name, snap.Counters[name])
+		}
+	}
+	if snap.Gauges["webcache.invalidations_total"] < 1 {
+		t.Fatalf("cache invalidation gauge: %d", snap.Gauges["webcache.invalidations_total"])
+	}
+
+	// The /debug/metrics document a daemon would serve round-trips with the
+	// staleness histogram intact.
+	rw := httptest.NewRecorder()
+	obs.MetricsHandler(site.Obs).ServeHTTP(rw, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("/debug/metrics not JSON: %v", err)
+	}
+	if decoded.Histograms["invalidator.staleness_seconds"].Count < 1 {
+		t.Fatal("staleness histogram empty in /debug/metrics")
+	}
+}

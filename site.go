@@ -12,6 +12,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/engine"
 	"repro/internal/invalidator"
+	"repro/internal/obs"
 	"repro/internal/webcache"
 	"repro/internal/wire"
 )
@@ -51,6 +52,9 @@ type SiteConfig struct {
 	Rules []Rule
 	// SourceName is the data source name servlets use (default "db").
 	SourceName string
+	// Obs receives metrics from every tier (cache, sniffer, invalidator,
+	// freshness trace). Nil allocates a registry; reach it via Site.Obs.
+	Obs *obs.Registry
 }
 
 // Site is a running Configuration III deployment: DBMS over TCP, servlet
@@ -76,6 +80,10 @@ type Site struct {
 	CacheURL string
 
 	Portal *Portal
+	// Obs is the site-wide metrics registry (SiteConfig.Obs or the one
+	// allocated by NewSite). Serve it with obs.MetricsHandler, or snapshot
+	// it directly.
+	Obs *obs.Registry
 
 	appHTTP   []*http.Server
 	proxyHTTP *http.Server
@@ -105,8 +113,11 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	if cfg.SourceName == "" {
 		cfg.SourceName = "db"
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = obs.NewRegistry()
+	}
 
-	s := &Site{}
+	s := &Site{Obs: cfg.Obs}
 	ok := false
 	defer func() {
 		if !ok {
@@ -176,6 +187,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 
 	// Caching reverse proxy (the dynamic web content cache).
 	s.Cache = webcache.NewCache(cfg.CacheCapacity)
+	s.Cache.Instrument(cfg.Obs, "webcache")
 	s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
 	s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -220,6 +232,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		PollBudget: cfg.PollBudget,
 		Workers:    cfg.Workers,
 		Rules:      cfg.Rules,
+		Obs:        cfg.Obs,
 	})
 	if err != nil {
 		logClient.Close()
