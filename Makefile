@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-parallel bench-json clean
+.PHONY: all build test race chaos bench bench-parallel bench-json clean
 
 all: build test
 
@@ -14,6 +14,13 @@ test:
 # and the sharded web cache must stay race-free.
 race:
 	$(GO) test -race ./...
+
+# Fault-tolerance suite under the race detector: the chaos integration
+# tests (full pipeline under injected faults), the invalidator's recovery
+# regression tests, and the faults/wire fault-path tests.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/backoff/
+	$(GO) test -race -run 'Chaos|Recover|Truncation|Pending|Breaker|Deadline|Backoff' . ./internal/wire/ ./internal/invalidator/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

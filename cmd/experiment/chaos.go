@@ -1,0 +1,103 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/demoapp"
+	"repro/internal/faults"
+
+	cacheportal "repro"
+)
+
+// chaosParams are the -chaos-* flag values.
+type chaosParams struct {
+	Seed      int64
+	ErrorRate float64
+	DropRate  float64
+	DelayRate float64
+}
+
+// runChaos deploys the full Configuration III site with a seeded fault
+// injector on its invalidation path (log puller + ejector) and drives
+// update→invalidate rounds through it: the live counterpart of the chaos
+// integration test. Every run is reproducible from its seed. The assertion
+// is the §4.2.4 guarantee under faults — every stale page is still ejected,
+// just later — and the printout shows what that degradation cost.
+func runChaos(rounds int, p chaosParams) error {
+	inj := faults.New(faults.Config{
+		Seed:      p.Seed,
+		ErrorRate: p.ErrorRate,
+		DropRate:  p.DropRate,
+		DelayRate: p.DelayRate,
+		Delay:     5 * time.Millisecond,
+	})
+	inj.Disable() // boot cleanly; faults start with the first round
+
+	var defs []cacheportal.ServletDef
+	for _, d := range demoapp.Servlets("db") {
+		defs = append(defs, cacheportal.ServletDef{Meta: d.Meta, Handler: d.Handler})
+	}
+	site, err := cacheportal.NewSite(cacheportal.SiteConfig{
+		Schema:   demoapp.DefaultSchemaSQL(),
+		Servlets: defs,
+		Interval: 50 * time.Millisecond,
+		Chaos:    inj,
+	})
+	if err != nil {
+		return err
+	}
+	defer site.Close()
+
+	get := func(url string) (key string, err error) {
+		resp, err := http.Get(url)
+		if err != nil {
+			return "", err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return "", fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+		}
+		return resp.Header.Get("X-Cacheportal-Key"), nil
+	}
+
+	inj.Enable()
+	nextID := 60_000_000
+	for r := 0; r < rounds; r++ {
+		cat := r % demoapp.JoinValues
+		url := fmt.Sprintf("%s/light?cat=%d", site.CacheURL, cat)
+		key, err := get(url)
+		if err != nil {
+			return err
+		}
+		nextID++
+		if err := site.Exec(fmt.Sprintf("INSERT INTO small VALUES (%d, %d, 'x')", nextID, cat)); err != nil {
+			return err
+		}
+		// Generous deadline: injected faults stretch convergence, they must
+		// not break it. Retry/backoff/breaker make this bounded.
+		if !site.WaitForInvalidation(key, 30*time.Second) {
+			return fmt.Errorf("round %d: page %s never invalidated under chaos (permanent staleness)", r, key)
+		}
+	}
+	inj.Heal()
+
+	snap := site.Obs.Snapshot()
+	h := snap.Histograms["invalidator.staleness_seconds"]
+	fmt.Printf("== Chaos: %d update rounds, seed %d (error=%.2f drop=%.2f delay=%.2f) ==\n",
+		rounds, p.Seed, p.ErrorRate, p.DropRate, p.DelayRate)
+	fmt.Printf("faults injected: %d (%d errors, %d drops, %d delays)\n",
+		snap.Counters["faults.injected_total"], snap.Counters["faults.errors_total"],
+		snap.Counters["faults.drops_total"], snap.Counters["faults.delays_total"])
+	fmt.Printf("invalidator: %d cycles, %d cycle errors, %d eject errors, %d breaker trips, %d truncations\n",
+		snap.Counters["invalidator.cycles_total"], snap.Counters["invalidator.cycle_errors_total"],
+		snap.Counters["invalidator.eject_errors_total"], snap.Counters["invalidator.breaker_trips_total"],
+		snap.Counters["invalidator.truncations_total"])
+	fmt.Printf("staleness under chaos: p50=%.1fms p95=%.1fms p99=%.1fms max=%.1fms (n=%d)\n",
+		h.Quantile(0.50)*1e3, h.Quantile(0.95)*1e3, h.Quantile(0.99)*1e3, h.Max*1e3, h.Count)
+	fmt.Println("no permanent staleness: every invalidated page was ejected")
+	return nil
+}

@@ -11,6 +11,7 @@
 //	experiment -sweep updates    # Conf II/III vs update rate (fine grid)
 //	experiment -sweep threads    # Conf I response vs worker threads
 //	experiment -staleness 30     # live pipeline: commit-to-eject staleness
+//	experiment -chaos 20         # live pipeline under injected faults
 package main
 
 import (
@@ -31,7 +32,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	staleness := flag.Int("staleness", 0, "run the live staleness experiment for N update rounds (skips tables/sweeps)")
 	obsOut := flag.String("obs-out", "", "write the staleness run's metrics snapshot to this JSON file")
+	chaos := flag.Int("chaos", 0, "run the live pipeline under injected faults for N update rounds (skips tables/sweeps)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault injector seed (chaos runs are reproducible per seed)")
+	chaosError := flag.Float64("chaos-error", 0.2, "per-operation probability of an injected error")
+	chaosDrop := flag.Float64("chaos-drop", 0.1, "per-operation probability of an injected connection drop")
+	chaosDelay := flag.Float64("chaos-delay", 0.2, "per-operation probability of an injected delay")
 	flag.Parse()
+
+	if *chaos > 0 {
+		err := runChaos(*chaos, chaosParams{
+			Seed: *chaosSeed, ErrorRate: *chaosError, DropRate: *chaosDrop, DelayRate: *chaosDelay,
+		})
+		if err != nil {
+			log.Fatalf("experiment: chaos: %v", err)
+		}
+		return
+	}
 
 	if *staleness > 0 {
 		if err := runStaleness(*staleness, *obsOut); err != nil {

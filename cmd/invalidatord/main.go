@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -39,6 +40,8 @@ func main() {
 	workers := flag.Int("workers", 0, "evaluation worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	pollConns := flag.Int("poll-conns", 1, "DB connections for polling queries (>1 polls in parallel)")
 	ejectBatch := flag.Int("eject-batch", 0, "keys per batched eject request (0 = default)")
+	dbTimeout := flag.Duration("db-timeout", 0, "per-roundtrip deadline on the update-log connection (0 = default 10s, <0 = none)")
+	httpTimeout := flag.Duration("http-timeout", 0, "request timeout for log fetch and ejects (0 = default 10s)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
@@ -50,6 +53,11 @@ func main() {
 		log.Fatalf("invalidatord: update log: %v", err)
 	}
 	defer logClient.Close()
+	logClient.Timeout = *dbTimeout
+	var httpClient *http.Client // nil = shared default with timeouts
+	if *httpTimeout > 0 {
+		httpClient = &http.Client{Timeout: *httpTimeout}
+	}
 	if *pollConns < 1 {
 		*pollConns = 1
 	}
@@ -71,6 +79,7 @@ func main() {
 	}
 
 	mirror := logexport.NewMirror(*appURL)
+	mirror.Client = httpClient
 	qiMap := sniffer.NewQIURLMap()
 	mapper := sniffer.NewMapper(mirror.Requests, mirror.Queries, qiMap)
 	mapper.Obs = reg
@@ -82,6 +91,7 @@ func main() {
 		Poller: poller,
 		Ejector: invalidator.HTTPEjector{
 			CacheURLs: strings.Split(*caches, ","),
+			Client:    httpClient,
 			MaxBatch:  *ejectBatch,
 			Obs:       reg,
 		},
@@ -105,27 +115,37 @@ func main() {
 		go obs.LogLoop(reg, *obsLog, log.Printf, stop)
 	}
 	go func() {
-		ticker := time.NewTicker(*interval)
-		defer ticker.Stop()
+		// Consecutive failures (log fetch or cycle) stretch the cadence with
+		// capped exponential backoff instead of hammering a dead dependency;
+		// one clean cycle restores the configured interval.
+		failures := 0
+		timer := time.NewTimer(*interval)
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
-				if _, err := mirror.Sync(); err != nil {
-					log.Printf("invalidatord: log fetch: %v", err)
-					continue // app server may be restarting; retry next tick
-				}
-				rep, err := inv.Cycle()
-				if err != nil {
-					log.Printf("invalidatord: cycle: %v", err)
-					continue
-				}
-				if *verbose || rep.Invalidated > 0 {
-					log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
-						rep.MappedPages, rep.UpdateRecords, rep.Polls,
-						rep.Invalidated, rep.Conservative, rep.Duration)
-				}
+			case <-timer.C:
+			}
+			if _, err := mirror.Sync(); err != nil {
+				log.Printf("invalidatord: log fetch: %v", err)
+				failures++
+				timer.Reset(invalidator.NextCycleDelay(*interval, failures))
+				continue // app server may be restarting; retry after backoff
+			}
+			rep, err := inv.Cycle()
+			if err != nil {
+				log.Printf("invalidatord: cycle: %v", err)
+				failures++
+				timer.Reset(invalidator.NextCycleDelay(*interval, failures))
+				continue
+			}
+			failures = 0
+			timer.Reset(*interval)
+			if *verbose || rep.Invalidated > 0 {
+				log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
+					rep.MappedPages, rep.UpdateRecords, rep.Polls,
+					rep.Invalidated, rep.Conservative, rep.Duration)
 			}
 		}
 	}()

@@ -23,6 +23,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:8090", "HTTP address to listen on")
 	origin := flag.String("origin", "http://127.0.0.1:8080", "origin server base URL")
 	capacity := flag.Int("capacity", 0, "max cached pages (0 = unbounded)")
+	originTimeout := flag.Duration("origin-timeout", 0, "origin request timeout (0 = default 10s)")
 	shards := flag.Int("shards", 0, "cache lock shards (0 = auto, 1 = single exact LRU)")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8091", "address for /debug/metrics and /debug/vars (empty = off)")
@@ -34,6 +35,9 @@ func main() {
 	cache := webcache.NewCacheSharded(*capacity, *shards)
 	cache.Instrument(reg, "webcache")
 	proxy := webcache.NewProxy(*origin, cache)
+	if *originTimeout > 0 {
+		proxy.Client = &http.Client{Timeout: *originTimeout}
+	}
 	handler := obs.HTTPMiddleware(reg, "proxy", proxy)
 
 	if *debugAddr != "" {

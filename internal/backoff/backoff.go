@@ -1,0 +1,42 @@
+// Package backoff computes capped exponential backoff with jitter. It is
+// the one retry policy shared by every component that reconnects or retries
+// on a cadence — the wire client, the invalidator's cycle loop, the portal,
+// and the daemons — so their degradation behaviour is uniform: double the
+// wait on each consecutive failure, cap it, and spread retries with ±25%
+// jitter so a farm of failing components does not retry in lockstep.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Delay returns how long to wait before retry number attempt (1 = first
+// retry after the first failure): base·2^(attempt-1) with ±25% jitter,
+// capped at max (0 = uncapped). attempt < 1 is treated as 1; base <= 0
+// returns 0 (no waiting policy configured).
+func Delay(base time.Duration, attempt int, max time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	// 31 doublings from any sane base already exceeds every cap in use;
+	// bounding the loop keeps huge attempt counts overflow-free.
+	for i := 1; i < attempt && i < 32; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	if j := d / 4; j > 0 {
+		d = d - j + time.Duration(rand.Int63n(int64(2*j)))
+	}
+	return d
+}

@@ -1,0 +1,42 @@
+package backoff
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	base := 100 * time.Millisecond
+	max := time.Second
+	prevHi := time.Duration(0)
+	for attempt := 1; attempt <= 8; attempt++ {
+		ideal := base << (attempt - 1)
+		if ideal > max {
+			ideal = max
+		}
+		lo, hi := ideal-ideal/4, ideal+ideal/4
+		for i := 0; i < 50; i++ {
+			d := Delay(base, attempt, max)
+			if d < lo || d > hi {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, lo, hi)
+			}
+		}
+		if hi < prevHi {
+			t.Fatalf("attempt %d: upper bound shrank", attempt)
+		}
+		prevHi = hi
+	}
+	// The cap holds no matter how large the attempt count gets.
+	if d := Delay(base, 1_000_000, max); d > max+max/4 {
+		t.Fatalf("capped delay %v exceeds max", d)
+	}
+}
+
+func TestDelayEdgeCases(t *testing.T) {
+	if d := Delay(0, 3, time.Second); d != 0 {
+		t.Fatalf("zero base: %v", d)
+	}
+	if d := Delay(time.Second, 0, 0); d < 750*time.Millisecond || d > 1250*time.Millisecond {
+		t.Fatalf("attempt 0 should behave like attempt 1: %v", d)
+	}
+}

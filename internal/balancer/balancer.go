@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"sync"
 	"time"
+
+	"repro/internal/httpx"
 )
 
 // Policy selects a backend.
@@ -116,10 +118,7 @@ func (b *Balancer) release(be *backend, failed bool) {
 }
 
 func (b *Balancer) client() *http.Client {
-	if b.Client != nil {
-		return b.Client
-	}
-	return http.DefaultClient
+	return httpx.Client(b.Client)
 }
 
 // ServeHTTP proxies the request to a chosen backend.

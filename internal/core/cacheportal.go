@@ -149,6 +149,9 @@ func (p *Portal) Cycle() (invalidator.Report, error) {
 }
 
 // Start launches the background loop. Calling Start twice is an error.
+// Consecutive cycle errors stretch the cadence with capped exponential
+// backoff (invalidator.NextCycleDelay) instead of silently ticking against
+// a failing dependency; one success restores the configured interval.
 func (p *Portal) Start() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -159,14 +162,20 @@ func (p *Portal) Start() error {
 	p.stopped = make(chan struct{})
 	go func(stop <-chan struct{}, done chan<- struct{}) {
 		defer close(done)
-		ticker := time.NewTicker(p.interval)
-		defer ticker.Stop()
+		failures := 0
+		timer := time.NewTimer(p.interval)
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
-				p.Cycle()
+			case <-timer.C:
+				if _, err := p.Cycle(); err != nil {
+					failures++
+				} else {
+					failures = 0
+				}
+				timer.Reset(invalidator.NextCycleDelay(p.interval, failures))
 			}
 		}
 	}(p.stopCh, p.stopped)

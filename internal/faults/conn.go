@@ -1,0 +1,72 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+)
+
+// WrapConn wraps c so every Read and Write consults inj first: Delay stalls
+// the call, Error fails it, Drop closes the underlying connection and fails
+// the call (the peer sees a reset), and Blackhole stalls for the injector's
+// hold time and then fails. The wrapper never corrupts bytes — the fault
+// model is crash/omission, not Byzantine.
+func WrapConn(c net.Conn, inj *Injector) net.Conn {
+	return &conn{Conn: c, inj: inj}
+}
+
+type conn struct {
+	net.Conn
+	inj *Injector
+}
+
+// fault applies one decision to the named operation; a non-nil error means
+// the operation must not proceed.
+func (c *conn) fault(op string) error {
+	switch k, d := c.inj.Decide(); k {
+	case Delay:
+		sleep(d, nil)
+	case Error:
+		return fmt.Errorf("faults: conn %s: %w", op, ErrInjected)
+	case Drop:
+		c.Conn.Close()
+		return fmt.Errorf("faults: conn %s dropped: %w", op, ErrInjected)
+	case Blackhole:
+		sleep(c.inj.Hold(), nil)
+		return fmt.Errorf("faults: conn %s black-holed: %w", op, ErrInjected)
+	}
+	return nil
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	if err := c.fault("read"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	if err := c.fault("write"); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(p)
+}
+
+// WrapListener wraps ln so every accepted connection is wrapped with
+// WrapConn(…, inj): a one-line way to make an entire server's traffic
+// faulty without touching the server.
+func WrapListener(ln net.Listener, inj *Injector) net.Listener {
+	return &listener{Listener: ln, inj: inj}
+}
+
+type listener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(c, l.inj), nil
+}

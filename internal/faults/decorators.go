@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/engine"
+	"repro/internal/invalidator"
+)
+
+// apply turns one decision into a pass/fail outcome for a logical
+// (non-transport) operation: Delay stalls then proceeds; Error, Drop, and
+// Blackhole all fail — for a logical operation there is no connection to
+// sever, so Drop degrades to an error and Blackhole stalls for the hold
+// time first (modeling a call stuck in a dead peer).
+func apply(inj *Injector, op string) error {
+	switch k, d := inj.Decide(); k {
+	case Delay:
+		sleep(d, nil)
+	case Error, Drop:
+		return fmt.Errorf("faults: %s: %w", op, ErrInjected)
+	case Blackhole:
+		sleep(inj.Hold(), nil)
+		return fmt.Errorf("faults: %s black-holed: %w", op, ErrInjected)
+	}
+	return nil
+}
+
+// Ejector makes an invalidator.Ejector faulty. It always presents a
+// BulkEjector face so the invalidator's truncation and breaker paths stay
+// reachable; wrapping a non-bulk ejector makes EjectAll fail outright
+// (there is nothing sound to delegate to).
+type Ejector struct {
+	Next invalidator.Ejector
+	Inj  *Injector
+}
+
+// Eject implements invalidator.Ejector.
+func (e Ejector) Eject(keys []string) error {
+	if err := apply(e.Inj, "eject"); err != nil {
+		return err
+	}
+	return e.Next.Eject(keys)
+}
+
+// EjectAll implements invalidator.BulkEjector.
+func (e Ejector) EjectAll() error {
+	if err := apply(e.Inj, "eject-all"); err != nil {
+		return err
+	}
+	bulk, ok := e.Next.(invalidator.BulkEjector)
+	if !ok {
+		return fmt.Errorf("faults: eject-all: wrapped ejector %T is not bulk", e.Next)
+	}
+	return bulk.EjectAll()
+}
+
+// Puller makes an invalidator.LogPuller faulty: a faulted pull returns an
+// error and no records, never a partial or reordered batch.
+type Puller struct {
+	Next invalidator.LogPuller
+	Inj  *Injector
+}
+
+// PullSince implements invalidator.LogPuller.
+func (p Puller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	if err := apply(p.Inj, "log-pull"); err != nil {
+		return nil, false, 0, err
+	}
+	return p.Next.PullSince(lsn)
+}
+
+// Mapper makes an invalidator.Mapper faulty. Run has no error path, so a
+// faulted run is skipped entirely (the mapper machine being down for one
+// cycle): unread log entries pile up and, if the outage outlasts the log
+// capacity, surface as a genuine truncation — exactly the production
+// failure mode. ForceTruncate additionally injects a spurious truncation
+// signal for recovery tests.
+type Mapper struct {
+	Next invalidator.Mapper
+	Inj  *Injector
+
+	forced atomic.Bool
+}
+
+// Run implements invalidator.Mapper.
+func (m *Mapper) Run() int {
+	if err := apply(m.Inj, "mapper-run"); err != nil {
+		return 0
+	}
+	return m.Next.Run()
+}
+
+// TakeTruncated implements invalidator.Mapper.
+func (m *Mapper) TakeTruncated() bool {
+	return m.forced.Swap(false) || m.Next.TakeTruncated()
+}
+
+// ForceTruncate makes the next TakeTruncated report a truncation even if
+// the underlying mapper saw none.
+func (m *Mapper) ForceTruncate() { m.forced.Store(true) }

@@ -1,0 +1,251 @@
+// Package faults is CachePortal's deterministic fault-injection layer. An
+// Injector is a seedable source of fault decisions — delay, error, dropped
+// connection, or black-hole — that wrappers apply to the pipeline's I/O
+// edges: net.Conn / net.Listener (the wire protocol), http.RoundTripper
+// (log mirror, ejector, proxy), and decorators for the invalidator's
+// Ejector, LogPuller, and Mapper. Tests use scripted faults (FailNext) for
+// exact scenarios; the chaos mode of cmd/experiment and the chaos
+// integration test use seeded random rates, so every chaos run is
+// reproducible from its seed.
+//
+// The injector never fabricates partial data: a faulted operation either
+// completes untouched (after an injected delay) or fails outright, matching
+// the crash/omission fault model of DESIGN.md §7.
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Kind classifies one injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// None means the operation proceeds untouched.
+	None Kind = iota
+	// Delay stalls the operation for up to Config.Delay, then lets it
+	// proceed (slow network / overloaded peer).
+	Delay
+	// Error fails the operation immediately with ErrInjected (refused
+	// connection, 5xx, serialization failure).
+	Error
+	// Drop severs the underlying transport mid-operation: connections are
+	// closed, requests aborted (peer crash, connection reset).
+	Drop
+	// Blackhole makes the operation hang — until the caller's context or
+	// deadline fires, or Config.BlackholeHold elapses — and then fail. This
+	// is the fault that distinguishes deadline-bearing code from code that
+	// blocks forever.
+	Blackhole
+)
+
+// String names the kind for metrics and logs.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Drop:
+		return "drop"
+	case Blackhole:
+		return "blackhole"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrInjected marks every failure the injector fabricates; test assertions
+// and retry policies can identify synthetic faults with errors.Is.
+var ErrInjected = errors.New("faults: injected failure")
+
+// Config parameterizes an Injector. Rates are independent probabilities per
+// operation, evaluated in order Error, Drop, Blackhole, Delay (first match
+// wins), so at most one fault is injected per operation.
+type Config struct {
+	// Seed makes the fault sequence reproducible; 1 is used when zero.
+	Seed int64
+	// ErrorRate / DropRate / BlackholeRate / DelayRate are per-operation
+	// probabilities in [0, 1].
+	ErrorRate     float64
+	DropRate      float64
+	BlackholeRate float64
+	DelayRate     float64
+	// Delay is the maximum injected delay (uniform in (0, Delay]); default
+	// 10ms when a DelayRate is set.
+	Delay time.Duration
+	// BlackholeHold bounds how long a black-holed operation hangs when the
+	// caller brings no context or deadline of its own; default 1s. It keeps
+	// chaos tests finite even against code with missing deadlines.
+	BlackholeHold time.Duration
+}
+
+// Injector decides, operation by operation, which fault (if any) to inject.
+// It is safe for concurrent use. A disabled injector (Disable/Heal) decides
+// None for everything, so "faults heal" is one call.
+type Injector struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	enabled bool
+	forced  []Kind // scripted decisions, consumed before the random ones
+
+	met *metrics
+}
+
+// metrics are the injector's obs handles (nil until Instrument).
+type metrics struct {
+	injected   *obs.Counter
+	delays     *obs.Counter
+	errs       *obs.Counter
+	drops      *obs.Counter
+	blackholes *obs.Counter
+}
+
+// New creates an enabled Injector from cfg.
+func New(cfg Config) *Injector {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Delay <= 0 {
+		cfg.Delay = 10 * time.Millisecond
+	}
+	if cfg.BlackholeHold <= 0 {
+		cfg.BlackholeHold = time.Second
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed)), enabled: true}
+}
+
+// Instrument registers the injector's counters with reg ("faults.*" when
+// prefix is empty): total injected faults plus one counter per kind.
+func (i *Injector) Instrument(reg *obs.Registry, prefix string) {
+	if prefix == "" {
+		prefix = "faults"
+	}
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.met = &metrics{
+		injected:   reg.Counter(prefix + ".injected_total"),
+		delays:     reg.Counter(prefix + ".delays_total"),
+		errs:       reg.Counter(prefix + ".errors_total"),
+		drops:      reg.Counter(prefix + ".drops_total"),
+		blackholes: reg.Counter(prefix + ".blackholes_total"),
+	}
+}
+
+// Enable turns random fault injection on (the state New returns).
+func (i *Injector) Enable() {
+	i.mu.Lock()
+	i.enabled = true
+	i.mu.Unlock()
+}
+
+// Disable stops random injection; scripted faults (FailNext) still fire.
+func (i *Injector) Disable() {
+	i.mu.Lock()
+	i.enabled = false
+	i.mu.Unlock()
+}
+
+// Heal disables random injection and discards any scripted faults: from the
+// next operation on, everything succeeds.
+func (i *Injector) Heal() {
+	i.mu.Lock()
+	i.enabled = false
+	i.forced = nil
+	i.mu.Unlock()
+}
+
+// Enabled reports whether random injection is on.
+func (i *Injector) Enabled() bool {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.enabled
+}
+
+// FailNext scripts the next decisions exactly: each listed kind is consumed
+// by one upcoming operation, before any random decision applies.
+func (i *Injector) FailNext(kinds ...Kind) {
+	i.mu.Lock()
+	i.forced = append(i.forced, kinds...)
+	i.mu.Unlock()
+}
+
+// Decide picks the fault for one operation and counts it. Wrappers call it
+// once per operation; the sampled delay accompanies Delay decisions.
+func (i *Injector) Decide() (Kind, time.Duration) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	k := None
+	if len(i.forced) > 0 {
+		k = i.forced[0]
+		i.forced = i.forced[1:]
+	} else if i.enabled {
+		p := i.rng.Float64()
+		switch {
+		case p < i.cfg.ErrorRate:
+			k = Error
+		case p < i.cfg.ErrorRate+i.cfg.DropRate:
+			k = Drop
+		case p < i.cfg.ErrorRate+i.cfg.DropRate+i.cfg.BlackholeRate:
+			k = Blackhole
+		case p < i.cfg.ErrorRate+i.cfg.DropRate+i.cfg.BlackholeRate+i.cfg.DelayRate:
+			k = Delay
+		}
+	}
+	var d time.Duration
+	if k == Delay {
+		d = time.Duration(i.rng.Int63n(int64(i.cfg.Delay))) + 1
+	}
+	i.countLocked(k)
+	return k, d
+}
+
+func (i *Injector) countLocked(k Kind) {
+	if i.met == nil || k == None {
+		return
+	}
+	i.met.injected.Inc()
+	switch k {
+	case Delay:
+		i.met.delays.Inc()
+	case Error:
+		i.met.errs.Inc()
+	case Drop:
+		i.met.drops.Inc()
+	case Blackhole:
+		i.met.blackholes.Inc()
+	}
+}
+
+// Hold returns the configured black-hole hold time.
+func (i *Injector) Hold() time.Duration {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.cfg.BlackholeHold
+}
+
+// sleep blocks for d or until done closes (done may be nil).
+func sleep(d time.Duration, done <-chan struct{}) {
+	if d <= 0 {
+		return
+	}
+	if done == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-done:
+	}
+}

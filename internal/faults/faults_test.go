@@ -1,0 +1,316 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/invalidator"
+	"repro/internal/obs"
+)
+
+// decisions drains n decisions from inj, returning just the kinds.
+func decisions(inj *Injector, n int) []Kind {
+	out := make([]Kind, n)
+	for i := range out {
+		out[i], _ = inj.Decide()
+	}
+	return out
+}
+
+func TestDecideDeterministicFromSeed(t *testing.T) {
+	cfg := Config{Seed: 42, ErrorRate: 0.2, DropRate: 0.2, BlackholeRate: 0.1, DelayRate: 0.2}
+	a := decisions(New(cfg), 200)
+	b := decisions(New(cfg), 200)
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d diverged: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != None {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("seeded injector with 70% combined rate injected nothing in 200 ops")
+	}
+	// A different seed must eventually diverge.
+	c := decisions(New(Config{Seed: 43, ErrorRate: 0.2, DropRate: 0.2, BlackholeRate: 0.1, DelayRate: 0.2}), 200)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-decision sequences")
+	}
+}
+
+func TestFailNextScriptsExactSequence(t *testing.T) {
+	inj := New(Config{})
+	inj.Disable() // no random noise: only the script fires
+	inj.FailNext(Error, Drop, Blackhole)
+	want := []Kind{Error, Drop, Blackhole, None, None}
+	for i, w := range want {
+		if k, _ := inj.Decide(); k != w {
+			t.Fatalf("decision %d = %v, want %v", i, k, w)
+		}
+	}
+}
+
+func TestHealDiscardsScriptAndRandomness(t *testing.T) {
+	inj := New(Config{ErrorRate: 1})
+	inj.FailNext(Drop, Drop)
+	inj.Heal()
+	for i := 0; i < 50; i++ {
+		if k, _ := inj.Decide(); k != None {
+			t.Fatalf("decision %d after Heal = %v, want None", i, k)
+		}
+	}
+}
+
+func TestInstrumentCountsByKind(t *testing.T) {
+	reg := obs.NewRegistry()
+	inj := New(Config{})
+	inj.Instrument(reg, "")
+	inj.Disable()
+	inj.FailNext(Error, Error, Drop, Blackhole, Delay)
+	decisions(inj, 10)
+	checks := map[string]int64{
+		"faults.injected_total":   5,
+		"faults.errors_total":     2,
+		"faults.drops_total":      1,
+		"faults.blackholes_total": 1,
+		"faults.delays_total":     1,
+	}
+	for name, want := range checks {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestConnWrapperErrorAndDrop(t *testing.T) {
+	a, b := net.Pipe()
+	defer b.Close()
+	inj := New(Config{})
+	inj.Disable()
+	fc := WrapConn(a, inj)
+
+	// Error: the call fails, the connection survives.
+	inj.FailNext(Error)
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Write under Error fault: err = %v, want ErrInjected", err)
+	}
+
+	// A clean write still goes through to the peer.
+	go func() {
+		buf := make([]byte, 1)
+		b.Read(buf)
+	}()
+	if _, err := fc.Write([]byte("y")); err != nil {
+		t.Fatalf("clean Write failed: %v", err)
+	}
+
+	// Drop: the call fails AND the underlying connection is severed.
+	inj.FailNext(Drop)
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Read under Drop fault: err = %v, want ErrInjected", err)
+	}
+	if _, err := a.Write([]byte("z")); err == nil {
+		t.Fatal("underlying conn still writable after Drop")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := New(Config{})
+	inj.Disable()
+	fln := WrapListener(ln, inj)
+	defer fln.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := fln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		_, err = c.Read(make([]byte, 1))
+		done <- err
+	}()
+
+	inj.FailNext(Error) // consumed by the server side's first Read
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("x"))
+	if err := <-done; !errors.Is(err, ErrInjected) {
+		t.Fatalf("accepted conn Read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestTransportWrapper(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	inj := New(Config{BlackholeHold: 5 * time.Second})
+	inj.Disable()
+	client := &http.Client{Transport: WrapTransport(nil, inj)}
+
+	inj.FailNext(Error)
+	if _, err := client.Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("GET under Error fault: err = %v, want ErrInjected", err)
+	}
+
+	// Healthy request goes through.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("clean GET failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// Blackhole respects the request context: with a 50ms deadline the call
+	// must return long before the 5s hold.
+	inj.FailNext(Blackhole)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("black-holed request succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("black-holed request ignored its context: took %s", elapsed)
+	}
+}
+
+// stubEjector records ejects and can act as a BulkEjector.
+type stubEjector struct {
+	ejected [][]string
+	flushes int
+}
+
+func (s *stubEjector) Eject(keys []string) error { s.ejected = append(s.ejected, keys); return nil }
+func (s *stubEjector) EjectAll() error           { s.flushes++; return nil }
+
+// keysOnlyEjector has no EjectAll.
+type keysOnlyEjector struct{}
+
+func (keysOnlyEjector) Eject([]string) error { return nil }
+
+func TestEjectorDecorator(t *testing.T) {
+	next := &stubEjector{}
+	inj := New(Config{})
+	inj.Disable()
+	e := Ejector{Next: next, Inj: inj}
+
+	inj.FailNext(Error)
+	if err := e.Eject([]string{"a"}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Eject under fault: err = %v, want ErrInjected", err)
+	}
+	if len(next.ejected) != 0 {
+		t.Fatal("faulted Eject reached the wrapped ejector")
+	}
+	if err := e.Eject([]string{"a"}); err != nil || len(next.ejected) != 1 {
+		t.Fatalf("clean Eject: err=%v forwarded=%d", err, len(next.ejected))
+	}
+	if err := e.EjectAll(); err != nil || next.flushes != 1 {
+		t.Fatalf("clean EjectAll: err=%v flushes=%d", err, next.flushes)
+	}
+
+	// The decorator is always a BulkEjector, but over a keys-only ejector
+	// EjectAll must fail rather than silently no-op.
+	var asBulk invalidator.Ejector = Ejector{Next: keysOnlyEjector{}, Inj: inj}
+	bulk, ok := asBulk.(invalidator.BulkEjector)
+	if !ok {
+		t.Fatal("faults.Ejector does not satisfy BulkEjector")
+	}
+	if err := bulk.EjectAll(); err == nil {
+		t.Fatal("EjectAll over keys-only ejector reported success")
+	}
+}
+
+// stubPuller returns a fixed record batch.
+type stubPuller struct{ calls int }
+
+func (s *stubPuller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	s.calls++
+	return []engine.UpdateRecord{{LSN: lsn}}, false, lsn + 1, nil
+}
+
+func TestPullerDecorator(t *testing.T) {
+	next := &stubPuller{}
+	inj := New(Config{})
+	inj.Disable()
+	p := Puller{Next: next, Inj: inj}
+
+	inj.FailNext(Drop)
+	if _, _, _, err := p.PullSince(7); !errors.Is(err, ErrInjected) {
+		t.Fatalf("PullSince under fault: err = %v, want ErrInjected", err)
+	}
+	if next.calls != 0 {
+		t.Fatal("faulted pull reached the wrapped puller")
+	}
+	recs, trunc, next2, err := p.PullSince(7)
+	if err != nil || trunc || next2 != 8 || len(recs) != 1 {
+		t.Fatalf("clean pull: recs=%d trunc=%v next=%d err=%v", len(recs), trunc, next2, err)
+	}
+}
+
+// stubMapper counts runs and reports a scripted truncation once.
+type stubMapper struct {
+	runs      int
+	truncated bool
+}
+
+func (s *stubMapper) Run() int { s.runs++; return 3 }
+func (s *stubMapper) TakeTruncated() bool {
+	t := s.truncated
+	s.truncated = false
+	return t
+}
+
+func TestMapperDecorator(t *testing.T) {
+	next := &stubMapper{}
+	inj := New(Config{})
+	inj.Disable()
+	m := &Mapper{Next: next, Inj: inj}
+
+	inj.FailNext(Error)
+	if n := m.Run(); n != 0 || next.runs != 0 {
+		t.Fatalf("faulted Run: n=%d underlying runs=%d, want 0/0", n, next.runs)
+	}
+	if n := m.Run(); n != 3 || next.runs != 1 {
+		t.Fatalf("clean Run: n=%d underlying runs=%d, want 3/1", n, next.runs)
+	}
+
+	// ForceTruncate surfaces once, then defers to the wrapped mapper.
+	m.ForceTruncate()
+	if !m.TakeTruncated() {
+		t.Fatal("TakeTruncated missed the forced truncation")
+	}
+	if m.TakeTruncated() {
+		t.Fatal("forced truncation reported twice")
+	}
+	next.truncated = true
+	if !m.TakeTruncated() {
+		t.Fatal("TakeTruncated hid the wrapped mapper's truncation")
+	}
+}

@@ -1,0 +1,49 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// WrapTransport wraps rt (http.DefaultTransport when nil) so every
+// round trip consults inj: Delay stalls the request (respecting its
+// context), Error and Drop abort it, and Blackhole hangs until the
+// request's context fires — or the injector's hold time elapses — and then
+// fails. Install it as the Transport of any *http.Client to make that
+// client's edge faulty: the log mirror, the ejector, or the caching proxy.
+func WrapTransport(rt http.RoundTripper, inj *Injector) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &transport{rt: rt, inj: inj}
+}
+
+type transport struct {
+	rt  http.RoundTripper
+	inj *Injector
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch k, d := t.inj.Decide(); k {
+	case Delay:
+		sleep(d, req.Context().Done())
+		if err := req.Context().Err(); err != nil {
+			return nil, err
+		}
+	case Error:
+		return nil, fmt.Errorf("faults: http %s %s: %w", req.Method, req.URL, ErrInjected)
+	case Drop:
+		return nil, fmt.Errorf("faults: http %s %s dropped: %w", req.Method, req.URL, ErrInjected)
+	case Blackhole:
+		hold := time.NewTimer(t.inj.Hold())
+		defer hold.Stop()
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-hold.C:
+			return nil, fmt.Errorf("faults: http %s %s black-holed: %w", req.Method, req.URL, ErrInjected)
+		}
+	}
+	return t.rt.RoundTrip(req)
+}

@@ -82,7 +82,9 @@ const DefaultEjectBatch = 256
 // ⌈k/MaxBatch⌉ sequential round trips instead of k×n.
 type HTTPEjector struct {
 	CacheURLs []string
-	Client    *http.Client
+	// Client defaults to the shared timeout-bearing client (httpx.Default),
+	// so a hung cache cannot wedge the invalidation cycle.
+	Client *http.Client
 	// MaxBatch caps keys per eject request (default DefaultEjectBatch).
 	MaxBatch int
 	// Obs, when set, records eject fan-out telemetry: per-batch round-trip

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/obs"
@@ -39,13 +40,23 @@ func (p WireLogPuller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64,
 	return p.Client.LogSince(lsn)
 }
 
+// Mapper is the sniffer-facing half of the cycle: Run performs one mapping
+// pass and returns how many request entries were mapped; TakeTruncated
+// reports-and-clears whether a source log lost entries before they were
+// read. *sniffer.Mapper implements it; tests and fault injectors substitute
+// their own.
+type Mapper interface {
+	Run() int
+	TakeTruncated() bool
+}
+
 // Config wires an Invalidator.
 type Config struct {
 	// Map is the sniffer's QI/URL map (required).
 	Map *sniffer.QIURLMap
 	// Mapper, when set, is run at the start of every cycle so sniffing and
 	// invalidation share the cadence (they stay logically independent).
-	Mapper *sniffer.Mapper
+	Mapper Mapper
 	// Puller reads the database update log (required).
 	Puller LogPuller
 	// Poller executes polling queries: the DBMS itself or a middle-tier
@@ -80,12 +91,23 @@ type Config struct {
 	// and maintains the index itself (§4.1's self-tuning, applying the
 	// paper's index criteria without an administrator).
 	AutoIndex bool
+	// BreakerThreshold is the circuit breaker on the ejector: after this
+	// many consecutive cycles whose eject round failed, the invalidator
+	// stops trusting precise ejection and falls back to a conservative bulk
+	// flush (EjectAll) when the ejector supports it — trading cache content
+	// for the §4.2.4 guarantee that no stale page outlives its retry loop.
+	// 0 defaults to DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
 	// Obs receives the invalidator's metrics (cycle phases, poll counts,
 	// and the commit-to-eject staleness histograms); nil creates a private
 	// registry, so instrumentation is always on — it costs atomic adds
 	// only.
 	Obs *obs.Registry
 }
+
+// DefaultBreakerThreshold is how many consecutive failed eject rounds open
+// the ejector circuit breaker when Config.BreakerThreshold is unset.
+const DefaultBreakerThreshold = 3
 
 // Report summarizes one invalidation cycle.
 type Report struct {
@@ -132,6 +154,15 @@ type Invalidator struct {
 	// cycles, so a retried eject still reports its true commit-to-eject
 	// latency.
 	pendingStamp map[string]time.Time
+	// flushPending records that a truncation was observed but the
+	// compensating cache flush has not landed yet. It survives across
+	// cycles: mappings are only destroyed after the flush succeeds, because
+	// dropping them first would leave cached pages nothing can ever
+	// invalidate (permanent staleness).
+	flushPending bool
+	// ejectFailStreak counts consecutive cycles whose eject round returned
+	// an error; it feeds the circuit breaker and resets on any success.
+	ejectFailStreak int
 }
 
 // New creates an Invalidator from cfg.
@@ -147,6 +178,9 @@ func New(cfg Config) *Invalidator {
 	}
 	if cfg.AdviceThreshold <= 0 {
 		cfg.AdviceThreshold = 16
+	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = DefaultBreakerThreshold
 	}
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
@@ -188,17 +222,43 @@ func (inv *Invalidator) CacheableServlet(name string) bool {
 	return inv.policies.CacheableServlet(name)
 }
 
-// Start runs Cycle every interval until stop closes.
+// maxCycleBackoffFactor caps the error backoff of the cycle loop at this
+// multiple of the configured interval: enough to stop hammering a dead
+// dependency, small enough that recovery is noticed quickly.
+const maxCycleBackoffFactor = 16
+
+// NextCycleDelay returns how long a cycle loop should wait before the next
+// cycle: the configured interval after a success, capped exponential
+// backoff with jitter after failures consecutive errors. Shared by Start,
+// the portal's loop, and invalidatord so every deployment degrades the same
+// way.
+func NextCycleDelay(interval time.Duration, failures int) time.Duration {
+	if failures <= 0 {
+		return interval
+	}
+	return backoff.Delay(interval, failures, maxCycleBackoffFactor*interval)
+}
+
+// Start runs Cycle every interval until stop closes. Consecutive cycle
+// errors stretch the cadence with exponential backoff (capped, jittered)
+// instead of silently ticking against a failing dependency; one success
+// restores the configured interval.
 func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
 	go func() {
-		ticker := time.NewTicker(interval)
-		defer ticker.Stop()
+		failures := 0
+		timer := time.NewTimer(interval)
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-ticker.C:
-				inv.Cycle() // errors are reflected in the next cycle's retry state
+			case <-timer.C:
+				if _, err := inv.Cycle(); err != nil {
+					failures++
+				} else {
+					failures = 0
+				}
+				timer.Reset(NextCycleDelay(interval, failures))
 			}
 		}
 	}()
@@ -206,9 +266,8 @@ func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
 
 // Cycle performs one sniff-ingest / update-pull / analyze / poll / eject
 // round and returns its report.
-func (inv *Invalidator) Cycle() (Report, error) {
+func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	start := time.Now()
-	var rep Report
 	defer func() {
 		m := &inv.met
 		m.cycles.Inc()
@@ -225,35 +284,49 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		m.invalidated.Add(int64(rep.Invalidated))
 		m.conservative.Add(int64(rep.Conservative))
 		m.retryDepth.Set(int64(len(inv.pending)))
+		m.ejectFailStreak.Set(int64(inv.ejectFailStreak))
 		if rep.Truncated {
 			m.truncations.Inc()
 		}
 		if rep.EjectErr != nil {
 			m.ejectErrors.Inc()
 		}
+		if retErr != nil {
+			m.cycleErrors.Inc()
+		}
 	}()
 
 	// 1. Give the sniffer a chance to map fresh requests. If a source log
 	// was truncated before the mapper read it, pages may be cached with no
 	// QI/URL mapping — nothing can ever invalidate them precisely, so the
-	// only sound recovery is to flush the caches outright.
+	// only sound recovery is to flush the caches outright. The flush must
+	// LAND before any mapping is destroyed: flushPending carries the
+	// obligation across cycles when the flush itself fails, so a faulty
+	// ejector delays recovery but never converts it into permanent
+	// staleness.
 	if inv.cfg.Mapper != nil {
 		rep.MappedPages = inv.cfg.Mapper.Run()
 		if inv.cfg.Mapper.TakeTruncated() {
-			rep.Truncated = true
-			if bulk, ok := inv.cfg.Ejector.(BulkEjector); ok {
-				if err := bulk.EjectAll(); err != nil {
-					rep.EjectErr = err
-				}
+			inv.flushPending = true
+		}
+	}
+	if inv.flushPending {
+		rep.Truncated = true
+		if bulk, ok := inv.cfg.Ejector.(BulkEjector); ok {
+			if err := bulk.EjectAll(); err != nil {
+				rep.EjectErr = err // keep all state; retry the flush next cycle
 			} else {
-				// Fall back to ejecting every page we do know about.
-				inv.cfg.Ejector.Eject(inv.registry.Pages())
-			}
-			for _, k := range inv.registry.Pages() {
-				inv.cfg.Map.Remove(k)
-				inv.registry.UnlinkPage(k)
+				inv.flushPending = false
+				for _, k := range inv.registry.Pages() {
+					inv.cfg.Map.Remove(k)
+					inv.registry.UnlinkPage(k)
+				}
 			}
 		}
+		// Without bulk support, every known page is routed through the
+		// ordinary eject machinery below (marked with an unknown-origin
+		// stamp), so failures land in the pending retry list instead of
+		// being discarded.
 	}
 
 	// 2. Ingest QI/URL map changes (§4.1.2 online registration).
@@ -396,17 +469,36 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		inv.met.analyzeSeconds.ObserveDuration(time.Since(analyzeStart))
 	}
 
+	// Truncation fallback for non-bulk ejectors: flush every page the
+	// registry knows about through the keyed machinery, with an
+	// unknown-origin (zero) stamp so no staleness sample is fabricated.
+	// Keys that fail to eject enter the pending retry list below; only then
+	// is the flush obligation considered discharged.
+	if inv.flushPending {
+		if _, ok := inv.cfg.Ejector.(BulkEjector); !ok {
+			for _, k := range inv.registry.Pages() {
+				mark(k, time.Time{})
+			}
+			inv.flushPending = false
+		}
+	}
+
 	// 4. Send invalidation messages (§4.2.4), including retries. Pending
 	// keys (whose ejection failed in an earlier cycle) merge into this
 	// cycle's set — deduplicated, so the retry list cannot grow past the
 	// live page population — and keys whose pages have since left the
 	// registry are dropped: nothing can reinstate them, so retrying is
-	// pure cache noise.
+	// pure cache noise. The retry list is cleared unconditionally here and
+	// rebuilt from this cycle's outcome: even when every pending page has
+	// left the registry (so no eject runs at all), dropped keys and their
+	// stamps must not linger.
 	for _, k := range inv.pending {
 		if inv.registry.HasPage(k) {
 			mark(k, inv.pendingStamp[k])
 		}
 	}
+	inv.pending = nil
+	inv.pendingStamp = make(map[string]time.Time)
 	keys := make([]string, 0, len(impacted))
 	for k := range impacted {
 		keys = append(keys, k)
@@ -436,6 +528,7 @@ func (inv *Invalidator) Cycle() (Report, error) {
 		inv.met.ejectSeconds.ObserveDuration(now.Sub(ejectStart))
 		if err != nil {
 			rep.EjectErr = err
+			inv.ejectFailStreak++
 			// A KeyedEjectError narrows the retry set to the keys that
 			// actually failed; keys every cache accepted are finished now.
 			failed := keys
@@ -461,9 +554,27 @@ func (inv *Invalidator) Cycle() (Report, error) {
 				stamps[k] = impacted[k]
 			}
 			inv.pendingStamp = stamps
+			// Circuit breaker: precise ejection has now failed for several
+			// consecutive cycles, so stop trusting it and flush the caches
+			// outright. A successful bulk flush discharges every pending
+			// key at once (flushed pages cannot be stale); a failed one
+			// leaves the retry state untouched for the next cycle.
+			if bulk, ok := inv.cfg.Ejector.(BulkEjector); ok &&
+				inv.cfg.BreakerThreshold > 0 && inv.ejectFailStreak >= inv.cfg.BreakerThreshold {
+				inv.met.breakerTrips.Inc()
+				if berr := bulk.EjectAll(); berr == nil {
+					for _, k := range inv.pending {
+						finish(k, now)
+						rep.Invalidated++
+					}
+					rep.Conservative += len(inv.pending)
+					inv.pending = nil
+					inv.pendingStamp = make(map[string]time.Time)
+					inv.ejectFailStreak = 0
+				}
+			}
 		} else {
-			inv.pending = nil
-			inv.pendingStamp = make(map[string]time.Time)
+			inv.ejectFailStreak = 0
 			for _, k := range keys {
 				finish(k, now)
 			}

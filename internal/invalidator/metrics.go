@@ -8,50 +8,56 @@ import (
 // registry lookup each at construction, plain atomic operations afterwards,
 // so instrumentation stays off the cycle's hot path.
 type invMetrics struct {
-	cycles         *obs.Counter
-	cycleSeconds   *obs.Histogram
-	mapperPages    *obs.Counter
-	pagesIngested  *obs.Counter
-	updateRecords  *obs.Counter
-	deltaTuples    *obs.Counter
-	analyzeSeconds *obs.Histogram
-	polls          *obs.Counter
-	pollsDeduped   *obs.Counter
-	pollsDenied    *obs.Counter
-	pollSeconds    *obs.Histogram
-	indexHits      *obs.Counter
-	localDecisions *obs.Counter
-	invalidated    *obs.Counter
-	conservative   *obs.Counter
-	truncations    *obs.Counter
-	ejectErrors    *obs.Counter
-	retryDepth     *obs.Gauge
-	ejectSeconds   *obs.Histogram
-	staleness      *obs.Histogram
+	cycles          *obs.Counter
+	cycleSeconds    *obs.Histogram
+	mapperPages     *obs.Counter
+	pagesIngested   *obs.Counter
+	updateRecords   *obs.Counter
+	deltaTuples     *obs.Counter
+	analyzeSeconds  *obs.Histogram
+	polls           *obs.Counter
+	pollsDeduped    *obs.Counter
+	pollsDenied     *obs.Counter
+	pollSeconds     *obs.Histogram
+	indexHits       *obs.Counter
+	localDecisions  *obs.Counter
+	invalidated     *obs.Counter
+	conservative    *obs.Counter
+	truncations     *obs.Counter
+	ejectErrors     *obs.Counter
+	cycleErrors     *obs.Counter
+	breakerTrips    *obs.Counter
+	retryDepth      *obs.Gauge
+	ejectFailStreak *obs.Gauge
+	ejectSeconds    *obs.Histogram
+	staleness       *obs.Histogram
 }
 
 func newInvMetrics(reg *obs.Registry) invMetrics {
 	return invMetrics{
-		cycles:         reg.Counter("invalidator.cycles_total"),
-		cycleSeconds:   reg.Histogram("invalidator.cycle_seconds"),
-		mapperPages:    reg.Counter("invalidator.mapper_pages_total"),
-		pagesIngested:  reg.Counter("invalidator.map_ingested_total"),
-		updateRecords:  reg.Counter("invalidator.update_records_total"),
-		deltaTuples:    reg.Counter("invalidator.delta_tuples_total"),
-		analyzeSeconds: reg.Histogram("invalidator.analyze_seconds"),
-		polls:          reg.Counter("invalidator.polls_total"),
-		pollsDeduped:   reg.Counter("invalidator.polls_deduped_total"),
-		pollsDenied:    reg.Counter("invalidator.polls_budget_denied_total"),
-		pollSeconds:    reg.Histogram("invalidator.poll_seconds"),
-		indexHits:      reg.Counter("invalidator.index_hits_total"),
-		localDecisions: reg.Counter("invalidator.local_decisions_total"),
-		invalidated:    reg.Counter("invalidator.pages_invalidated_total"),
-		conservative:   reg.Counter("invalidator.conservative_total"),
-		truncations:    reg.Counter("invalidator.truncations_total"),
-		ejectErrors:    reg.Counter("invalidator.eject_errors_total"),
-		retryDepth:     reg.Gauge("invalidator.retry_list_depth"),
-		ejectSeconds:   reg.Histogram("invalidator.eject_seconds"),
-		staleness:      reg.Histogram("invalidator.staleness_seconds"),
+		cycles:          reg.Counter("invalidator.cycles_total"),
+		cycleSeconds:    reg.Histogram("invalidator.cycle_seconds"),
+		mapperPages:     reg.Counter("invalidator.mapper_pages_total"),
+		pagesIngested:   reg.Counter("invalidator.map_ingested_total"),
+		updateRecords:   reg.Counter("invalidator.update_records_total"),
+		deltaTuples:     reg.Counter("invalidator.delta_tuples_total"),
+		analyzeSeconds:  reg.Histogram("invalidator.analyze_seconds"),
+		polls:           reg.Counter("invalidator.polls_total"),
+		pollsDeduped:    reg.Counter("invalidator.polls_deduped_total"),
+		pollsDenied:     reg.Counter("invalidator.polls_budget_denied_total"),
+		pollSeconds:     reg.Histogram("invalidator.poll_seconds"),
+		indexHits:       reg.Counter("invalidator.index_hits_total"),
+		localDecisions:  reg.Counter("invalidator.local_decisions_total"),
+		invalidated:     reg.Counter("invalidator.pages_invalidated_total"),
+		conservative:    reg.Counter("invalidator.conservative_total"),
+		truncations:     reg.Counter("invalidator.truncations_total"),
+		ejectErrors:     reg.Counter("invalidator.eject_errors_total"),
+		cycleErrors:     reg.Counter("invalidator.cycle_errors_total"),
+		breakerTrips:    reg.Counter("invalidator.breaker_trips_total"),
+		retryDepth:      reg.Gauge("invalidator.retry_list_depth"),
+		ejectFailStreak: reg.Gauge("invalidator.eject_fail_streak"),
+		ejectSeconds:    reg.Histogram("invalidator.eject_seconds"),
+		staleness:       reg.Histogram("invalidator.staleness_seconds"),
 	}
 }
 

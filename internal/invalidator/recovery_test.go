@@ -1,0 +1,300 @@
+package invalidator
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/sniffer"
+	"repro/internal/webcache"
+)
+
+// chaosBulkEjector is a bulk-capable ejector whose EjectAll can be made to
+// fail, modeling a cache that refuses the conservative flush.
+type chaosBulkEjector struct {
+	cache   *webcache.Cache
+	failAll bool
+	flushes int
+}
+
+func (e *chaosBulkEjector) Eject(keys []string) error {
+	e.cache.InvalidateMany(keys)
+	return nil
+}
+
+func (e *chaosBulkEjector) EjectAll() error {
+	if e.failAll {
+		return errors.New("flush refused")
+	}
+	e.flushes++
+	e.cache.Clear()
+	return nil
+}
+
+// scriptEjector is a keys-only ejector (no EjectAll) with a failure switch.
+type scriptEjector struct {
+	fail    bool
+	ejected [][]string
+}
+
+func (e *scriptEjector) Eject(keys []string) error {
+	if e.fail {
+		return errors.New("eject refused")
+	}
+	e.ejected = append(e.ejected, keys)
+	return nil
+}
+
+// truncationFixture builds an invalidator over a capacity-2 request log (so
+// a burst of entries triggers mapper-observed log loss), with page "k"
+// pre-registered through the QI/URL map.
+func truncationFixture(t *testing.T, ej Ejector) (*Invalidator, *sniffer.QIURLMap, *appserver.RequestLog) {
+	t.Helper()
+	db := engine.NewDatabase()
+	rlog := appserver.NewRequestLog(2)
+	qlog := driver.NewQueryLog(0)
+	m := sniffer.NewQIURLMap()
+	mp := sniffer.NewMapper(rlog, qlog, m)
+	inv := New(Config{
+		Map:     m,
+		Mapper:  mp,
+		Puller:  EngineLogPuller{Log: db.Log()},
+		Ejector: ej,
+	})
+	m.Record("k", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM Car WHERE price < 15500"}})
+	if _, err := inv.Cycle(); err != nil { // ingest the mapping; no loss yet
+		t.Fatal(err)
+	}
+	if !inv.registry.HasPage("k") {
+		t.Fatal("fixture: page k not registered")
+	}
+	return inv, m, rlog
+}
+
+// overflow pushes enough entries through the capacity-2 request log that the
+// mapper's next run observes truncation. The entries are uncached traffic so
+// they do not re-record (and thereby clobber) page k's mapping.
+func overflow(rlog *appserver.RequestLog) {
+	now := time.Now()
+	for i := 0; i < 5; i++ {
+		rlog.Append(appserver.RequestLogEntry{
+			Servlet: "s", Request: "/burst", Receive: now, Deliver: now,
+		})
+	}
+}
+
+// TestTruncationFlushFailureKeepsMappings is the regression test for the
+// unsound truncation recovery: when the compensating EjectAll fails, the
+// QI/URL mappings must survive — destroying them would leave cached pages
+// nothing can ever invalidate. The flush obligation carries across cycles
+// and the mappings fall only once it lands.
+func TestTruncationFlushFailureKeepsMappings(t *testing.T) {
+	cache := webcache.NewCache(0)
+	cache.Put(&webcache.Entry{Key: "orphan"})
+	ej := &chaosBulkEjector{cache: cache, failAll: true}
+	inv, m, rlog := truncationFixture(t, ej)
+
+	overflow(rlog)
+	rep, err := inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated {
+		t.Fatalf("truncation not observed: %+v", rep)
+	}
+	if rep.EjectErr == nil {
+		t.Fatal("failed EjectAll not reported")
+	}
+	if !inv.registry.HasPage("k") {
+		t.Fatal("mappings destroyed although the flush never landed")
+	}
+	if _, ok := m.Get("k"); !ok {
+		t.Fatal("QI/URL mapping destroyed although the flush never landed")
+	}
+	if !inv.flushPending {
+		t.Fatal("flush obligation dropped after a failed EjectAll")
+	}
+
+	// Heal the ejector: the next cycle must retry the flush, and only then
+	// tear the mappings down.
+	ej.failAll = false
+	rep, err = inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.EjectErr != nil {
+		t.Fatalf("healed flush cycle: %+v", rep)
+	}
+	if ej.flushes != 1 || cache.Len() != 0 {
+		t.Fatalf("flush did not land: flushes=%d cacheLen=%d", ej.flushes, cache.Len())
+	}
+	if inv.registry.HasPage("k") {
+		t.Fatal("registry page survived the landed flush")
+	}
+	if _, ok := m.Get("k"); ok {
+		t.Fatal("QI/URL mapping survived the landed flush")
+	}
+	if inv.flushPending {
+		t.Fatal("flush obligation not discharged")
+	}
+
+	// Recovery is complete: the next cycle reports no truncation.
+	if rep, err = inv.Cycle(); err != nil || rep.Truncated {
+		t.Fatalf("post-recovery cycle: rep=%+v err=%v", rep, err)
+	}
+}
+
+// TestTruncationFallbackNonBulkRetries is the regression test for the
+// discarded fallback error: with a keys-only ejector, truncation recovery
+// routes every known page through the ordinary eject machinery, and a failed
+// eject must land the keys in the pending retry list — not vanish.
+func TestTruncationFallbackNonBulkRetries(t *testing.T) {
+	ej := &scriptEjector{fail: true}
+	inv, _, rlog := truncationFixture(t, ej)
+
+	overflow(rlog)
+	rep, err := inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Truncated || rep.EjectErr == nil {
+		t.Fatalf("truncation fallback cycle: %+v", rep)
+	}
+	if len(inv.pending) != 1 || inv.pending[0] != "k" {
+		t.Fatalf("failed fallback eject not pending: %v", inv.pending)
+	}
+	if inv.registry.HasPage("k") == false {
+		t.Fatal("page dropped before its eject succeeded")
+	}
+
+	// Heal: the pending key is retried and ejected.
+	ej.fail = false
+	rep, err = inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EjectErr != nil || rep.Invalidated != 1 {
+		t.Fatalf("retry cycle: %+v", rep)
+	}
+	if len(ej.ejected) != 1 || len(ej.ejected[0]) != 1 || ej.ejected[0][0] != "k" {
+		t.Fatalf("retried eject batches: %v", ej.ejected)
+	}
+	if len(inv.pending) != 0 || inv.registry.HasPage("k") {
+		t.Fatalf("retry state not discharged: pending=%v", inv.pending)
+	}
+}
+
+// TestPendingClearedWhenPagesLeaveRegistry is the regression test for the
+// retry-list leak: pending keys whose pages have left the registry produce
+// no eject at all (len(keys)==0), and the old code skipped clearing the
+// retry state on that path, leaking the keys and their stamps forever.
+func TestPendingClearedWhenPagesLeaveRegistry(t *testing.T) {
+	db := engine.NewDatabase()
+	m := sniffer.NewQIURLMap()
+	reg := obs.NewRegistry()
+	ej := &scriptEjector{}
+	inv := New(Config{
+		Map:     m,
+		Puller:  EngineLogPuller{Log: db.Log()},
+		Ejector: ej,
+		Obs:     reg,
+	})
+	inv.pending = []string{"ghost"}
+	inv.pendingStamp = map[string]time.Time{"ghost": time.Now()}
+
+	rep, err := inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.EjectErr != nil || len(ej.ejected) != 0 {
+		t.Fatalf("ghost key was ejected: rep=%+v batches=%v", rep, ej.ejected)
+	}
+	if len(inv.pending) != 0 {
+		t.Fatalf("pending leaked: %v", inv.pending)
+	}
+	if len(inv.pendingStamp) != 0 {
+		t.Fatalf("pending stamps leaked: %v", inv.pendingStamp)
+	}
+	if got := reg.Gauge("invalidator.retry_list_depth").Value(); got != 0 {
+		t.Fatalf("retry_list_depth = %d, want 0", got)
+	}
+}
+
+// breakerEjector fails every keyed eject but accepts bulk flushes: the shape
+// of a cache whose batch endpoint is broken while its flush endpoint works.
+type breakerEjector struct {
+	cache   *webcache.Cache
+	flushes int
+}
+
+func (e *breakerEjector) Eject(keys []string) error { return errors.New("batch endpoint down") }
+func (e *breakerEjector) EjectAll() error {
+	e.flushes++
+	e.cache.Clear()
+	return nil
+}
+
+// TestBreakerFallsBackToBulkFlush drives the ejector circuit breaker: after
+// BreakerThreshold consecutive failed eject rounds the invalidator must stop
+// trusting precise ejection, flush the caches outright, and discharge the
+// pending keys.
+func TestBreakerFallsBackToBulkFlush(t *testing.T) {
+	db := engine.NewDatabase()
+	m := sniffer.NewQIURLMap()
+	reg := obs.NewRegistry()
+	cache := webcache.NewCache(0)
+	cache.Put(&webcache.Entry{Key: "k"})
+	ej := &breakerEjector{cache: cache}
+	inv := New(Config{
+		Map:     m,
+		Puller:  EngineLogPuller{Log: db.Log()},
+		Ejector: ej,
+		Obs:     reg,
+	})
+	m.Record("k", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM Car WHERE price < 15500"}})
+	if _, err := inv.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	if !inv.registry.HasPage("k") {
+		t.Fatal("fixture: page k not registered")
+	}
+	inv.pending = []string{"k"}
+	inv.pendingStamp = map[string]time.Time{"k": time.Now()}
+
+	for cycle := 1; cycle <= DefaultBreakerThreshold; cycle++ {
+		rep, err := inv.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EjectErr == nil {
+			t.Fatalf("cycle %d: eject unexpectedly succeeded", cycle)
+		}
+		if cycle < DefaultBreakerThreshold {
+			if inv.ejectFailStreak != cycle {
+				t.Fatalf("cycle %d: streak = %d", cycle, inv.ejectFailStreak)
+			}
+			if len(inv.pending) != 1 || ej.flushes != 0 {
+				t.Fatalf("cycle %d: breaker tripped early (pending=%v flushes=%d)", cycle, inv.pending, ej.flushes)
+			}
+		}
+	}
+	if ej.flushes != 1 {
+		t.Fatalf("breaker flushes = %d, want 1", ej.flushes)
+	}
+	if got := reg.Counter("invalidator.breaker_trips_total").Value(); got != 1 {
+		t.Fatalf("breaker_trips_total = %d, want 1", got)
+	}
+	if len(inv.pending) != 0 || inv.ejectFailStreak != 0 {
+		t.Fatalf("breaker did not discharge: pending=%v streak=%d", inv.pending, inv.ejectFailStreak)
+	}
+	if cache.Len() != 0 {
+		t.Fatal("cache not flushed by the breaker")
+	}
+	if inv.registry.HasPage("k") {
+		t.Fatal("flushed page still registered")
+	}
+}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/appserver"
 	"repro/internal/driver"
+	"repro/internal/httpx"
 )
 
 // DefaultPathPrefix is where the exporter mounts its endpoints.
@@ -134,7 +135,8 @@ type Mirror struct {
 	// BaseURL is the application server's base URL (the exporter is
 	// expected under BaseURL + DefaultPathPrefix).
 	BaseURL string
-	// Client defaults to http.DefaultClient.
+	// Client defaults to the shared timeout-bearing client (httpx.Default),
+	// so a hung application server cannot stall the invalidation loop.
 	Client *http.Client
 
 	// Requests and Queries are the local mirrors; NewMirror creates them.
@@ -157,10 +159,7 @@ func NewMirror(baseURL string) *Mirror {
 }
 
 func (m *Mirror) client() *http.Client {
-	if m.Client != nil {
-		return m.Client
-	}
-	return http.DefaultClient
+	return httpx.Client(m.Client)
 }
 
 func getJSON[T any](c *http.Client, url string, out *logPage[T]) error {

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/httpx"
 )
 
 // Header names shared with the application server. Kept as local constants
@@ -30,7 +32,9 @@ type Proxy struct {
 	Origin string
 	// Cache is the page store.
 	Cache *Cache
-	// Client performs origin requests; http.DefaultClient when nil.
+	// Client performs origin requests; the shared timeout-bearing client
+	// (httpx.Default) when nil, so a hung origin turns into a bounded 502
+	// instead of a goroutine pinned forever.
 	Client *http.Client
 	// HitDelay/MissExtraDelay optionally add artificial latency, used by
 	// experiments to model cache and network distance.
@@ -51,10 +55,7 @@ func NewProxy(origin string, cache *Cache) *Proxy {
 }
 
 func (p *Proxy) client() *http.Client {
-	if p.Client != nil {
-		return p.Client
-	}
-	return http.DefaultClient
+	return httpx.Client(p.Client)
 }
 
 // ServeHTTP implements the proxy.
@@ -279,10 +280,7 @@ func EjectKeys(client *http.Client, cacheURL string, keys []string) error {
 	req.Header.Set("Cache-Control", "eject")
 	req.Header.Set(batchHeader, "1")
 	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := httpx.Client(client).Do(req)
 	if err != nil {
 		return err
 	}
@@ -308,10 +306,7 @@ func ejectRequest(client *http.Client, cacheURL string, decorate func(*http.Requ
 	}
 	req.Header.Set("Cache-Control", "eject")
 	decorate(req)
-	if client == nil {
-		client = http.DefaultClient
-	}
-	resp, err := client.Do(req)
+	resp, err := httpx.Client(client).Do(req)
 	if err != nil {
 		return err
 	}

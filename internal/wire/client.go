@@ -8,41 +8,156 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/engine"
+)
+
+// DefaultTimeout is the per-roundtrip I/O deadline (covering both the
+// request write and the response read) when Client.Timeout is unset.
+const DefaultTimeout = 10 * time.Second
+
+// DefaultDialTimeout bounds connection establishment when Client.DialTimeout
+// is unset.
+const DefaultDialTimeout = 5 * time.Second
+
+// Reconnect backoff defaults (see Client.BackoffBase / MaxBackoff).
+const (
+	DefaultBackoffBase = 50 * time.Millisecond
+	DefaultMaxBackoff  = 5 * time.Second
 )
 
 // Client is a synchronous wire-protocol client. A Client corresponds to one
 // database connection; concurrent callers are serialized, as on a JDBC
 // connection.
+//
+// The client is fault-tolerant: every roundtrip runs under a read/write
+// deadline, and any encode or decode failure closes the connection outright
+// — a JSON stream that erred mid-frame is desynced, and reusing it would
+// misparse every later response. Subsequent roundtrips transparently redial
+// with capped exponential backoff (plus jitter), so a restarted server is
+// picked up without the caller doing anything; while the backoff window is
+// open, roundtrips fail fast instead of hammering the dead address.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	dec  *json.Decoder
-	enc  *json.Encoder
+	// Timeout is the per-roundtrip I/O deadline (DefaultTimeout when 0;
+	// negative disables deadlines). Set before first use.
+	Timeout time.Duration
+	// DialTimeout bounds redials (DefaultDialTimeout when 0).
+	DialTimeout time.Duration
+	// BackoffBase / MaxBackoff shape the reconnect backoff
+	// (DefaultBackoffBase / DefaultMaxBackoff when 0).
+	BackoffBase time.Duration
+	MaxBackoff  time.Duration
+
+	mu      sync.Mutex
+	addr    string
+	conn    net.Conn
+	dec     *json.Decoder
+	enc     *json.Encoder
+	closed  bool
+	fails   int       // consecutive roundtrip/redial failures
+	retryAt time.Time // no redial before this instant
 }
 
 // Dial connects to a wire server.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	c := &Client{addr: addr}
+	conn, err := net.DialTimeout("tcp", addr, c.dialTimeout())
 	if err != nil {
 		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}, nil
+	c.attach(conn)
+	return c, nil
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout != 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) dialTimeout() time.Duration {
+	if c.DialTimeout > 0 {
+		return c.DialTimeout
+	}
+	return DefaultDialTimeout
+}
+
+func (c *Client) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return DefaultBackoffBase
+}
+
+func (c *Client) maxBackoff() time.Duration {
+	if c.MaxBackoff > 0 {
+		return c.MaxBackoff
+	}
+	return DefaultMaxBackoff
+}
+
+// attach installs conn with fresh codec state (a new decoder drops any
+// buffered bytes from a previous, possibly desynced stream).
+func (c *Client) attach(conn net.Conn) {
+	c.conn = conn
+	c.dec = json.NewDecoder(conn)
+	c.enc = json.NewEncoder(conn)
+}
+
+// dropLocked severs the current connection after a failure and arms the
+// reconnect backoff. Callers hold c.mu.
+func (c *Client) dropLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.dec = nil
+		c.enc = nil
+	}
+	c.fails++
+	c.retryAt = time.Now().Add(backoff.Delay(c.backoffBase(), c.fails, c.maxBackoff()))
+}
+
+// reconnectLocked redials the server, honoring the backoff window. Callers
+// hold c.mu.
+func (c *Client) reconnectLocked() error {
+	if wait := time.Until(c.retryAt); wait > 0 {
+		return fmt.Errorf("wire: reconnect to %s backing off for %s", c.addr, wait.Round(time.Millisecond))
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.dialTimeout())
+	if err != nil {
+		c.fails++
+		c.retryAt = time.Now().Add(backoff.Delay(c.backoffBase(), c.fails, c.maxBackoff()))
+		return fmt.Errorf("wire: redial %s: %w", c.addr, err)
+	}
+	c.attach(conn)
+	return nil
 }
 
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.conn == nil {
+	if c.closed {
 		return Response{}, errors.New("wire: client closed")
 	}
+	if c.conn == nil {
+		if err := c.reconnectLocked(); err != nil {
+			return Response{}, err
+		}
+	}
+	if t := c.timeout(); t > 0 {
+		c.conn.SetDeadline(time.Now().Add(t))
+	}
 	if err := c.enc.Encode(req); err != nil {
+		c.dropLocked()
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}
 	var resp Response
 	if err := c.dec.Decode(&resp); err != nil {
+		c.dropLocked()
 		return Response{}, fmt.Errorf("wire: receive: %w", err)
 	}
+	c.fails = 0
 	return resp, nil
 }
 
@@ -91,10 +206,15 @@ func (c *Client) Ping() error {
 	return nil
 }
 
-// Close closes the underlying connection. Safe to call twice.
+// Close closes the underlying connection and disables reconnection. Safe to
+// call twice.
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/httpx"
 )
 
 // Result of one generated request.
@@ -148,10 +150,7 @@ func (g *RequestGen) pick() string {
 }
 
 func (g *RequestGen) client() *http.Client {
-	if g.Client != nil {
-		return g.Client
-	}
-	return http.DefaultClient
+	return httpx.Client(g.Client)
 }
 
 // Run issues requests for the given duration (Poisson arrivals, each

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/engine"
+	"repro/internal/faults"
 	"repro/internal/invalidator"
 	"repro/internal/obs"
 	"repro/internal/webcache"
@@ -55,6 +56,13 @@ type SiteConfig struct {
 	// Obs receives metrics from every tier (cache, sniffer, invalidator,
 	// freshness trace). Nil allocates a registry; reach it via Site.Obs.
 	Obs *obs.Registry
+	// Chaos, when set, injects faults on the invalidation path: the
+	// update-log puller and the cache ejector are wrapped with the
+	// injector's decorators, and the injector's counters are registered
+	// with the site's Obs registry. The fault model is crash/omission
+	// (delay, error, drop, black-hole) — never corrupted data — so the
+	// site must stay correct, just slower to converge.
+	Chaos *faults.Injector
 }
 
 // Site is a running Configuration III deployment: DBMS over TCP, servlet
@@ -222,12 +230,19 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 		poller = invalidator.NewConcurrentPoller(conns...)
 	}
+	var puller invalidator.LogPuller = invalidator.WireLogPuller{Client: logClient}
+	var ejector invalidator.Ejector = invalidator.CacheEjector{Cache: s.Cache}
+	if cfg.Chaos != nil {
+		cfg.Chaos.Instrument(cfg.Obs, "")
+		puller = faults.Puller{Next: puller, Inj: cfg.Chaos}
+		ejector = faults.Ejector{Next: ejector, Inj: cfg.Chaos}
+	}
 	portal, err := core.New(core.Options{
 		RequestLog: s.RequestLog,
 		QueryLog:   s.QueryLog,
-		Puller:     invalidator.WireLogPuller{Client: logClient},
+		Puller:     puller,
 		Poller:     poller,
-		Ejector:    invalidator.CacheEjector{Cache: s.Cache},
+		Ejector:    ejector,
 		Interval:   cfg.Interval,
 		PollBudget: cfg.PollBudget,
 		Workers:    cfg.Workers,
@@ -243,8 +258,10 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		app.Cacheable = portal.CacheableServlet
 	}
 	// Let the portal skip the schema-seeding log records so the cache
-	// doesn't churn on startup.
-	if _, err := portal.Cycle(); err != nil {
+	// doesn't churn on startup. Under chaos the skip cycle itself may be
+	// faulted; that only means the seed records are processed later, so it
+	// is not fatal.
+	if _, err := portal.Cycle(); err != nil && cfg.Chaos == nil {
 		return nil, err
 	}
 	if err := portal.Start(); err != nil {
