@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-parallel bench-json clean
+.PHONY: all build test race chaos bench bench-parallel bench-json bench-compare fuzz clean
 
 all: build test
 
@@ -36,6 +36,19 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded|BenchmarkInvalidatorCycle$$|BenchmarkWebCache$$' -benchtime 2s . \
 		| $(GO) run ./cmd/benchjson -obs .obs-staleness.json -out BENCH_invalidator.json
 	rm -f .obs-staleness.json
+
+# Prepared-vs-text poll path comparison, appended into BENCH_invalidator.json
+# alongside the scaling sweep. The prepared sub-benchmark's stmt-hit-ratio
+# metric is the acceptance check that polling re-parses nothing.
+bench-compare:
+	$(GO) test -run xxx -bench 'BenchmarkPollPath|BenchmarkInvalidatorCycleParallel' -benchtime 2s . \
+		| $(GO) run ./cmd/benchjson -out BENCH_invalidator.json
+
+# Coverage-guided fuzzing of the SQL parser/printer round-trip. FUZZTIME
+# bounds each target (CI smoke uses 30s; leave it running longer locally).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/sqlparser/ -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

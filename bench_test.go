@@ -30,6 +30,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/engine"
 	"repro/internal/invalidator"
+	"repro/internal/mem"
 	"repro/internal/sniffer"
 	"repro/internal/sqlparser"
 	"repro/internal/webcache"
@@ -242,6 +243,87 @@ func BenchmarkAblationPolling(b *testing.B) {
 			b.ReportMetric(float64(polls)/float64(b.N), "polls/op")
 			b.ReportMetric(float64(conservative)/float64(b.N), "conservative/op")
 			b.ReportMetric(float64(invalidated)/float64(b.N), "invalidated/op")
+		})
+	}
+}
+
+// textPoller hides the connection's StmtPoller extension, forcing the
+// invalidator to render and re-parse SQL text for every poll.
+type textPoller struct{ c driver.Conn }
+
+func (p textPoller) Query(sql string) (*engine.Result, error) { return p.c.Query(sql) }
+
+// BenchmarkPollPath compares the two ways a polling query reaches the DBMS:
+// rendered text (parse + canonicalize per poll, since each cycle's arguments
+// produce fresh text) versus the compiled poll plan executing through the
+// engine's statement cache (bind only). Every iteration's insert passes the
+// pages' local predicates with a category no large-side row matches, so each
+// cycle issues exactly one empty existence poll with cycle-unique arguments —
+// the worst case for text caching and the best case for templates.
+func BenchmarkPollPath(b *testing.B) {
+	for _, mode := range []struct {
+		name     string
+		textOnly bool
+	}{{"text", true}, {"prepared", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			db := engine.NewDatabase()
+			if _, err := db.ExecScript(demoapp.DefaultSchemaSQL()); err != nil {
+				b.Fatal(err)
+			}
+			conn, err := driver.DirectDriver{DB: db}.Connect("")
+			if err != nil {
+				b.Fatal(err)
+			}
+			var poller invalidator.Poller = conn
+			if mode.textOnly {
+				poller = textPoller{c: conn}
+			}
+			m := sniffer.NewQIURLMap()
+			inv := invalidator.New(invalidator.Config{
+				Map:     m,
+				Puller:  invalidator.EngineLogPuller{Log: db.Log()},
+				Poller:  poller,
+				Ejector: invalidator.FuncEjector(func([]string) error { return nil }),
+			})
+			if _, err := inv.Cycle(); err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 100; i++ {
+				sql := fmt.Sprintf(
+					"SELECT small.id FROM small, large WHERE small.cat = large.cat AND small.id > %d", i)
+				m.Record(fmt.Sprintf("page-%d", i), "s", int64(i), []sniffer.QueryInstance{{SQL: sql}})
+			}
+			if _, err := inv.Cycle(); err != nil {
+				b.Fatal(err)
+			}
+			// The driving insert executes prepared in both modes, so the
+			// timed difference isolates the poll path.
+			ins, err := db.Prepare("INSERT INTO small VALUES ($1, $2, 'x')")
+			if err != nil {
+				b.Fatal(err)
+			}
+			before := db.StmtCacheStats()
+			var polls, prepared int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ins.Exec([]mem.Value{mem.Int(int64(2_000_000 + i)), mem.Int(int64(100 + i))})
+				rep, err := inv.Cycle()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.Invalidated != 0 {
+					b.Fatal("population must stay constant")
+				}
+				polls += rep.Polls
+				prepared += rep.PollsPrepared
+			}
+			b.StopTimer()
+			st := db.StmtCacheStats()
+			b.ReportMetric(float64(polls)/float64(b.N), "polls/op")
+			b.ReportMetric(float64(prepared)/float64(b.N), "prepared/op")
+			if hits, misses := st.TemplateHits-before.TemplateHits, st.TemplateMisses-before.TemplateMisses; hits+misses > 0 {
+				b.ReportMetric(float64(hits)/float64(hits+misses), "stmt-hit-ratio")
+			}
 		})
 	}
 }

@@ -28,9 +28,13 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:7001", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
+	stmtCache := flag.Int("stmt-cache-size", 0, "prepared-statement cache capacity (0 = default)")
 	flag.Parse()
 
 	db := engine.NewDatabase()
+	if *stmtCache > 0 {
+		db.SetStmtCacheCapacity(*stmtCache)
+	}
 	if *initFile != "" {
 		script, err := os.ReadFile(*initFile)
 		if err != nil {

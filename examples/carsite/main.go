@@ -16,9 +16,11 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"time"
 
 	cacheportal "repro"
+	"repro/internal/mem"
 )
 
 func main() {
@@ -39,11 +41,21 @@ func main() {
 					return nil, err
 				}
 				defer lease.Release()
+				min, err := strconv.ParseFloat(ctx.Param("min"), 64)
+				if err != nil {
+					return nil, err
+				}
 				// Example 4.1's Query1 shape: join Car with Mileage,
-				// filter by price.
-				res, err := lease.Query(
+				// filter by price. Prepared once per lease; the request
+				// parameter arrives as a bound argument, not spliced text.
+				st, err := lease.Prepare(
 					"SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage " +
-						"WHERE Car.model = Mileage.model AND Car.price > " + ctx.Param("min"))
+						"WHERE Car.model = Mileage.model AND Car.price > $1")
+				if err != nil {
+					return nil, err
+				}
+				defer st.Close()
+				res, err := st.Exec([]mem.Value{mem.Float(min)})
 				if err != nil {
 					return nil, err
 				}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/lru"
 	"repro/internal/wire"
 )
 
@@ -46,10 +47,17 @@ func (NetDriver) Connect(url string) (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &netConn{c: c}, nil
+	return &netConn{c: c, stmts: lru.New[string, *wire.Stmt](stmtCacheCapacity)}, nil
 }
 
-type netConn struct{ c *wire.Client }
+// stmtCacheCapacity bounds each network connection's fingerprint→statement
+// cache (QueryStmt's prepared handles). Eviction costs one re-PREPARE.
+const stmtCacheCapacity = 256
+
+type netConn struct {
+	c     *wire.Client
+	stmts *lru.Cache[string, *wire.Stmt]
+}
 
 func (n *netConn) Query(sql string) (*engine.Result, error) { return n.c.Query(sql) }
 func (n *netConn) Close() error                             { return n.c.Close() }
@@ -98,11 +106,7 @@ func (c *directConn) Query(sql string) (*engine.Result, error) {
 	if closed {
 		return nil, errors.New("driver: connection closed")
 	}
-	if c.d.Delay != nil {
-		if d := c.d.Delay(sql); d > 0 {
-			time.Sleep(d)
-		}
-	}
+	c.delay(sql)
 	return c.d.DB.ExecSQL(sql)
 }
 

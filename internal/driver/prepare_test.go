@@ -1,0 +1,199 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+	"repro/internal/wire"
+)
+
+// bareConn hides directConn's Preparer implementation so the Prepare helper
+// must fall back to text emulation.
+type bareConn struct{ inner Conn }
+
+func (b bareConn) Query(sql string) (*engine.Result, error) { return b.inner.Query(sql) }
+func (b bareConn) Close() error                             { return b.inner.Close() }
+
+func TestPrepareTextEmulation(t *testing.T) {
+	db := newTestDB(t)
+	c, err := DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(bareConn{inner: c}, "SELECT name FROM items WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.(*textStmt); !ok {
+		t.Fatalf("want textStmt for a bare Conn, got %T", st)
+	}
+	if st.NumArgs() != 1 {
+		t.Fatalf("NumArgs = %d", st.NumArgs())
+	}
+	res, err := st.Exec([]mem.Value{mem.Int(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "two" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if _, err := st.Exec(nil); err == nil {
+		t.Fatal("arity mismatch must error")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrepareDirectConn(t *testing.T) {
+	db := newTestDB(t)
+	c, err := DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(c, "SELECT name FROM items WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for want, id := range map[string]int64{"one": 1, "two": 2} {
+		res, err := st.Exec([]mem.Value{mem.Int(id)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].S != want {
+			t.Fatalf("id %d: rows %v", id, res.Rows)
+		}
+	}
+	if got := db.StmtCacheStats().PreparedExecs; got != 2 {
+		t.Fatalf("PreparedExecs = %d, want 2", got)
+	}
+	c.Close()
+	if _, err := st.Exec([]mem.Value{mem.Int(1)}); err == nil {
+		t.Fatal("Exec on closed conn must error")
+	}
+}
+
+func TestPrepareNetConn(t *testing.T) {
+	db := newTestDB(t)
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := NetDriver{}.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	st, err := Prepare(c, "SELECT name FROM items WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	res, err := st.Exec([]mem.Value{mem.Int(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "one" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if srv.Prepares() != 1 || srv.Executes() != 1 {
+		t.Fatalf("prepares=%d executes=%d", srv.Prepares(), srv.Executes())
+	}
+}
+
+func TestNetConnQueryStmtCachesHandles(t *testing.T) {
+	db := newTestDB(t)
+	srv := wire.NewServer(db)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := NetDriver{}.Connect(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n := c.(*netConn)
+	parsed, err := sqlparser.Parse("SELECT name FROM items WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmpl := parsed.(*sqlparser.SelectStmt)
+	fp := sqlparser.FingerprintStmt(tmpl)
+	for i := int64(1); i <= 3; i++ {
+		if _, err := n.QueryStmt(fp, tmpl, []mem.Value{mem.Int(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Prepares() != 1 {
+		t.Fatalf("Prepares = %d, want 1 (handle should be cached)", srv.Prepares())
+	}
+	if srv.Executes() != 3 {
+		t.Fatalf("Executes = %d, want 3", srv.Executes())
+	}
+}
+
+func TestLoggingStmtRecordsBoundText(t *testing.T) {
+	db := newTestDB(t)
+	qlog := NewQueryLog(0)
+	d := NewLoggingDriver(DirectDriver{DB: db}, qlog)
+	pool, err := NewPool(d, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease, err := pool.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := lease.Prepare("SELECT name FROM items WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec([]mem.Value{mem.Int(2)}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := qlog.Since(1)
+	if len(entries) != 1 {
+		t.Fatalf("entries: %+v", entries)
+	}
+	e := entries[0]
+	// The sniffer maps requests to queries via text, so the log must carry
+	// the bound instance, not the template.
+	if !strings.Contains(e.SQL, "= 2") || strings.Contains(e.SQL, "$1") {
+		t.Fatalf("logged SQL not bound: %q", e.SQL)
+	}
+	if e.LeaseID != lease.ID {
+		t.Fatalf("lease id %d, want %d", e.LeaseID, lease.ID)
+	}
+	lease.Release()
+	if _, err := lease.Prepare("SELECT 1"); err == nil {
+		t.Fatal("Prepare on a released lease must error")
+	}
+}
+
+func TestLoggingStmtRecordsError(t *testing.T) {
+	db := newTestDB(t)
+	qlog := NewQueryLog(0)
+	d := NewLoggingDriver(DirectDriver{DB: db}, qlog)
+	c, err := d.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := Prepare(c, "SELECT name FROM nonexistent WHERE id = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec([]mem.Value{mem.Int(1)}); err == nil {
+		t.Fatal("want error")
+	}
+	entries, _ := qlog.Since(1)
+	if len(entries) != 1 || entries[0].Err == "" {
+		t.Fatalf("failed prepared exec should log its error: %+v", entries)
+	}
+}

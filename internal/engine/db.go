@@ -27,6 +27,7 @@ type Database struct {
 	names    []string              // creation order, lower-cased
 	log      *UpdateLog
 	triggers triggerSet
+	stmts    *stmtCache
 }
 
 // NewDatabase creates an empty database with a default-capacity update log.
@@ -34,6 +35,7 @@ func NewDatabase() *Database {
 	return &Database{
 		tables: make(map[string]*mem.Table),
 		log:    NewUpdateLog(0),
+		stmts:  newStmtCache(0),
 	}
 }
 
@@ -58,13 +60,33 @@ func (db *Database) TableNames() []string {
 	return out
 }
 
-// ExecSQL parses and executes a single statement.
+// ExecSQL executes a single statement, given as text. It is a
+// prepare-cache lookup: repeated text replays a fully bound prepared
+// statement with no lexing or parsing, and new text of a previously seen
+// query type reuses the compiled template, paying only the parse. Texts that
+// still contain unbound placeholders, and DDL, execute directly as before.
 func (db *Database) ExecSQL(sql string) (*Result, error) {
+	if prep, ok := db.stmts.texts.Get(sql); ok {
+		return prep.Exec(nil)
+	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.Exec(stmt)
+	if !preparable(stmt) {
+		return db.Exec(stmt)
+	}
+	prep, err := db.prepareParsed(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if prep.numArgs > 0 {
+		// Raw placeholders in supposedly bound text: execute the parsed
+		// statement directly so the legacy error surfaces unchanged.
+		return db.Exec(stmt)
+	}
+	db.stmts.texts.Put(sql, prep)
+	return prep.Exec(nil)
 }
 
 // ExecScript parses and executes a semicolon-separated script, returning

@@ -1,0 +1,220 @@
+package engine
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/lru"
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// This file splits statement execution into explicit compile / bind /
+// execute stages. Compilation (lexing, parsing, canonicalization) happens
+// once per query *type*; binding substitutes argument literals into a deep
+// copy of the compiled template; execution is unchanged. Two caches make the
+// stages cheap to cross:
+//
+//   - the template cache maps a canonical template fingerprint (the query
+//     type identity of §2.3.2) to its compiled AST, shared by every text
+//     that canonicalizes to it;
+//   - the text cache maps exact SQL text to a fully bound PreparedStmt, so
+//     ExecSQL on a repeated instance performs no lexing or parsing at all.
+//
+// Both caches are bounded LRUs; eviction only costs a re-compile.
+
+// DefaultStmtCacheCapacity bounds each statement cache when the database is
+// created without an explicit capacity.
+const DefaultStmtCacheCapacity = 512
+
+// StmtTemplate is a compiled query type: the canonicalized statement whose
+// literals have been replaced by placeholders, plus its identity.
+type StmtTemplate struct {
+	// Key is the canonical fingerprint (lower-cased template text); two
+	// statements with the same Key are instances of the same query type.
+	Key string
+	// Stmt is the compiled template AST. It is immutable: binding always
+	// copies.
+	Stmt sqlparser.Stmt
+	// Params is the total number of placeholder slots in Stmt.
+	Params int
+}
+
+// PreparedStmt is a statement compiled once and executable many times with
+// different arguments. It is safe for concurrent Exec: binding deep-copies
+// the shared template.
+type PreparedStmt struct {
+	db   *Database
+	tmpl *StmtTemplate
+	// fixed holds, per template slot, the literal extracted from the
+	// prepared text (nil for slots that were genuine placeholders in the
+	// text — those are filled by Exec's args, in order).
+	fixed   []sqlparser.Expr
+	numArgs int
+}
+
+// Template returns the compiled template shared by all statements of this
+// query type.
+func (p *PreparedStmt) Template() *StmtTemplate { return p.tmpl }
+
+// NumArgs returns how many arguments Exec expects: the number of
+// placeholders in the prepared SQL text.
+func (p *PreparedStmt) NumArgs() int { return p.numArgs }
+
+// Exec binds args to the statement's placeholders (in ordinal order) and
+// executes it.
+func (p *PreparedStmt) Exec(args []mem.Value) (*Result, error) {
+	if len(args) != p.numArgs {
+		return nil, fmt.Errorf("engine: prepared statement wants %d args, got %d", p.numArgs, len(args))
+	}
+	full := make([]sqlparser.Expr, len(p.fixed))
+	next := 0
+	for i, e := range p.fixed {
+		if e != nil {
+			full[i] = e
+			continue
+		}
+		full[i] = args[next].Literal()
+		next++
+	}
+	bound, err := sqlparser.Bind(p.tmpl.Stmt, full)
+	if err != nil {
+		return nil, err
+	}
+	p.db.stmts.execs.Add(1)
+	return p.db.Exec(bound)
+}
+
+// stmtCache is the database's two-level statement cache.
+type stmtCache struct {
+	templates *lru.Cache[string, *StmtTemplate] // fingerprint → compiled template
+	texts     *lru.Cache[string, *PreparedStmt] // exact SQL text → bound statement
+	execs     atomic.Int64
+}
+
+func newStmtCache(capacity int) *stmtCache {
+	if capacity <= 0 {
+		capacity = DefaultStmtCacheCapacity
+	}
+	return &stmtCache{
+		templates: lru.New[string, *StmtTemplate](capacity),
+		texts:     lru.New[string, *PreparedStmt](capacity),
+	}
+}
+
+// StmtCacheStats snapshots the statement cache counters.
+type StmtCacheStats struct {
+	// TextHits are ExecSQL calls answered without lexing or parsing.
+	TextHits   int64
+	TextMisses int64
+	// TemplateHits are compilations avoided because another text of the
+	// same query type had already been compiled.
+	TemplateHits   int64
+	TemplateMisses int64
+	// Templates / Texts are current entry counts; Capacity bounds each.
+	Templates int64
+	Texts     int64
+	Capacity  int64
+	// PreparedExecs counts statements executed through the prepared path.
+	PreparedExecs int64
+}
+
+// StmtCacheStats returns the statement-cache counters.
+func (db *Database) StmtCacheStats() StmtCacheStats {
+	th, tm := db.stmts.texts.Stats()
+	ph, pm := db.stmts.templates.Stats()
+	return StmtCacheStats{
+		TextHits:       th,
+		TextMisses:     tm,
+		TemplateHits:   ph,
+		TemplateMisses: pm,
+		Templates:      int64(db.stmts.templates.Len()),
+		Texts:          int64(db.stmts.texts.Len()),
+		Capacity:       int64(db.stmts.templates.Cap()),
+		PreparedExecs:  db.stmts.execs.Load(),
+	}
+}
+
+// SetStmtCacheCapacity replaces the statement caches with empty ones bounded
+// by capacity (<= 0 restores the default). Intended for process startup;
+// statements prepared earlier keep working, they just no longer share
+// templates with new ones.
+func (db *Database) SetStmtCacheCapacity(capacity int) {
+	db.stmts = newStmtCache(capacity)
+}
+
+// Prepare compiles sql once for repeated execution. Placeholders ($1, ?) in
+// the text become Exec's arguments; literals stay fixed. The compiled
+// template is shared through the fingerprint-keyed cache with every other
+// statement of the same query type, including texts arriving via ExecSQL.
+func (db *Database) Prepare(sql string) (*PreparedStmt, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !preparable(stmt) {
+		return nil, fmt.Errorf("engine: cannot prepare %T", stmt)
+	}
+	return db.prepareParsed(stmt)
+}
+
+// ExecTemplate executes a caller-compiled template: a statement whose
+// variable positions are placeholders, identified by key. The template is
+// interned in the statement cache under key, so repeated executions (the
+// invalidator's polling queries, most prominently) bind and run with no
+// lexing, parsing, or canonicalization. tmpl must be immutable; binding
+// copies. Keys live in the same namespace as canonical fingerprints but
+// cannot collide with them unless the texts genuinely match.
+func (db *Database) ExecTemplate(key string, tmpl sqlparser.Stmt, args []mem.Value) (*Result, error) {
+	if !preparable(tmpl) {
+		return nil, fmt.Errorf("engine: cannot prepare %T", tmpl)
+	}
+	t, err := db.stmts.templates.GetOrPut(key, func() (*StmtTemplate, error) {
+		return &StmtTemplate{Key: key, Stmt: tmpl, Params: len(sqlparser.Placeholders(tmpl))}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != t.Params {
+		return nil, fmt.Errorf("engine: template %q wants %d args, got %d", key, t.Params, len(args))
+	}
+	lits := make([]sqlparser.Expr, len(args))
+	for i, a := range args {
+		lits[i] = a.Literal()
+	}
+	bound, err := sqlparser.Bind(t.Stmt, lits)
+	if err != nil {
+		return nil, err
+	}
+	db.stmts.execs.Add(1)
+	return db.Exec(bound)
+}
+
+// preparable reports whether the statement kind goes through the template
+// cache. DDL executes directly: it is rare, and caching it buys nothing.
+func preparable(stmt sqlparser.Stmt) bool {
+	switch stmt.(type) {
+	case *sqlparser.SelectStmt, *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		return true
+	}
+	return false
+}
+
+// prepareParsed compiles an already parsed statement, interning its template.
+func (db *Database) prepareParsed(stmt sqlparser.Stmt) (*PreparedStmt, error) {
+	canon, lits := sqlparser.Canonicalize(stmt)
+	key := sqlparser.FingerprintStmt(canon)
+	tmpl, err := db.stmts.templates.GetOrPut(key, func() (*StmtTemplate, error) {
+		return &StmtTemplate{Key: key, Stmt: canon, Params: len(lits)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	numArgs := 0
+	for _, e := range lits {
+		if e == nil {
+			numArgs++
+		}
+	}
+	return &PreparedStmt{db: db, tmpl: tmpl, fixed: lits, numArgs: numArgs}, nil
+}

@@ -1,0 +1,241 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func prepTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewDatabase()
+	script := `
+		CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+		CREATE TABLE Mileage (model TEXT, EPA INT);
+		INSERT INTO Car VALUES
+			('Toyota', 'Corolla', 15000), ('Honda', 'Civic', 16000),
+			('BMW', 'M3', 70000), ('Dodge', 'Viper', 90000);
+		INSERT INTO Mileage VALUES ('Corolla', 33), ('Civic', 31), ('M3', 19);
+	`
+	if _, err := db.ExecScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPrepareExecMatchesExecSQL(t *testing.T) {
+	db := prepTestDB(t)
+	prep, err := db.Prepare("SELECT Car.maker, Car.model FROM Car, Mileage " +
+		"WHERE Car.model = Mileage.model AND Car.price > $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.NumArgs() != 1 {
+		t.Fatalf("NumArgs = %d", prep.NumArgs())
+	}
+	for _, min := range []float64{0, 15500, 80000} {
+		got, err := prep.Exec([]mem.Value{mem.Float(min)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := db.ExecSQL(fmt.Sprintf("SELECT Car.maker, Car.model FROM Car, Mileage "+
+			"WHERE Car.model = Mileage.model AND Car.price > %g", min))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("min=%g: prepared %+v != text %+v", min, got, want)
+		}
+	}
+}
+
+func TestPrepareArityChecked(t *testing.T) {
+	db := prepTestDB(t)
+	prep, err := db.Prepare("SELECT model FROM Car WHERE price > $1 AND maker = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Exec([]mem.Value{mem.Int(1)}); err == nil {
+		t.Fatal("short arg vector accepted")
+	}
+	if _, err := prep.Exec([]mem.Value{mem.Int(1), mem.Str("BMW"), mem.Int(9)}); err == nil {
+		t.Fatal("long arg vector accepted")
+	}
+}
+
+// Literals in the prepared text stay fixed; only genuine placeholders become
+// Exec arguments.
+func TestPrepareMixedLiteralsAndPlaceholders(t *testing.T) {
+	db := prepTestDB(t)
+	prep, err := db.Prepare("SELECT model FROM Car WHERE price > 20000 AND maker = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep.NumArgs() != 1 {
+		t.Fatalf("NumArgs = %d", prep.NumArgs())
+	}
+	res, err := prep.Exec([]mem.Value{mem.Str("BMW")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "M3" {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+}
+
+func TestPrepareDML(t *testing.T) {
+	db := prepTestDB(t)
+	ins, err := db.Prepare("INSERT INTO Mileage VALUES ($1, $2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ins.Exec([]mem.Value{mem.Str("Viper"), mem.Int(13)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT EPA FROM Mileage WHERE model = 'Viper'")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].I != 13 {
+		t.Fatalf("insert not visible: %+v %v", res, err)
+	}
+	// The update log must record prepared DML exactly like text DML.
+	recs, _ := db.Log().Since(1)
+	last := recs[len(recs)-1]
+	if last.Table != "Mileage" || last.Op != OpInsert {
+		t.Fatalf("log record: %+v", last)
+	}
+}
+
+func TestPrepareRejectsDDL(t *testing.T) {
+	db := prepTestDB(t)
+	if _, err := db.Prepare("CREATE TABLE x (a INT)"); err == nil {
+		t.Fatal("DDL prepared")
+	}
+}
+
+// ExecSQL must behave as a prepare-cache lookup: repeated text skips the
+// parser, and different texts of one query type share a compiled template.
+func TestExecSQLUsesStmtCache(t *testing.T) {
+	db := prepTestDB(t)
+	base := db.StmtCacheStats()
+	q := "SELECT model FROM Car WHERE price > 20000"
+	for i := 0; i < 5; i++ {
+		if _, err := db.ExecSQL(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.StmtCacheStats()
+	if hits := st.TextHits - base.TextHits; hits != 4 {
+		t.Fatalf("text hits = %d, want 4", hits)
+	}
+	// Same type, different literal: template cache hit, text cache miss.
+	if _, err := db.ExecSQL("SELECT model FROM Car WHERE price > 80000"); err != nil {
+		t.Fatal(err)
+	}
+	st2 := db.StmtCacheStats()
+	if st2.TemplateHits <= st.TemplateHits {
+		t.Fatalf("template hits did not grow: %+v -> %+v", st, st2)
+	}
+}
+
+// Unbound placeholders in ExecSQL text keep the legacy error behavior.
+func TestExecSQLUnboundPlaceholder(t *testing.T) {
+	db := prepTestDB(t)
+	if _, err := db.ExecSQL("SELECT model FROM Car WHERE price > $1"); err == nil {
+		t.Fatal("unbound placeholder executed")
+	}
+}
+
+// Randomized equivalence: for random query shapes and bindings, the prepared
+// path and the text path return identical results. Run with -race to check
+// the template sharing under concurrency.
+func TestPreparedTextEquivalenceRandom(t *testing.T) {
+	db := prepTestDB(t)
+	rng := rand.New(rand.NewSource(7))
+	shapes := []struct {
+		tmpl string
+		text func(a, b int) string
+		args func(a, b int) []mem.Value
+	}{
+		{
+			tmpl: "SELECT maker, model, price FROM Car WHERE price > $1",
+			text: func(a, _ int) string { return fmt.Sprintf("SELECT maker, model, price FROM Car WHERE price > %d", a) },
+			args: func(a, _ int) []mem.Value { return []mem.Value{mem.Int(int64(a))} },
+		},
+		{
+			tmpl: "SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND Mileage.EPA > $1 AND Car.price < $2",
+			text: func(a, b int) string {
+				return fmt.Sprintf("SELECT Car.model FROM Car, Mileage WHERE Car.model = Mileage.model AND Mileage.EPA > %d AND Car.price < %d", a, b)
+			},
+			args: func(a, b int) []mem.Value { return []mem.Value{mem.Int(int64(a)), mem.Int(int64(b))} },
+		},
+		{
+			tmpl: "SELECT COUNT(*) FROM Car WHERE maker = $1 OR price BETWEEN $2 AND 99999",
+			text: func(a, b int) string {
+				return fmt.Sprintf("SELECT COUNT(*) FROM Car WHERE maker = '%s' OR price BETWEEN %d AND 99999", makerName(a), b)
+			},
+			args: func(a, b int) []mem.Value { return []mem.Value{mem.Str(makerName(a)), mem.Int(int64(b))} },
+		},
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		seed := rng.Int63()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				sh := shapes[r.Intn(len(shapes))]
+				a, b := r.Intn(100000), r.Intn(100000)
+				prep, err := db.Prepare(sh.tmpl)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got, err := prep.Exec(sh.args(a, b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				want, err := db.ExecSQL(sh.text(a, b))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shape %q a=%d b=%d: %+v != %+v", sh.tmpl, a, b, got, want)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func makerName(a int) string {
+	names := []string{"Toyota", "Honda", "BMW", "Dodge", "Nobody"}
+	return names[a%len(names)]
+}
+
+// TestPrepareUpdateArgOrder executes a prepared UPDATE whose placeholders
+// span SET and WHERE; arguments must bind by $N ordinal (regression for the
+// UPDATE traversal-order bug, where arg 0 landed in the WHERE clause).
+func TestPrepareUpdateArgOrder(t *testing.T) {
+	db := prepTestDB(t)
+	st, err := db.Prepare("UPDATE Car SET maker = $1 WHERE price = $2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec([]mem.Value{mem.Str("Renamed"), mem.Float(15000)}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.ExecSQL("SELECT maker FROM Car WHERE price = 15000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "Renamed" {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+}

@@ -64,6 +64,146 @@ type occurrencePlan struct {
 	// residualParam; the polling query selects them so instance-specific
 	// predicates can be finished client-side.
 	residualCols []*sqlparser.ColumnRef
+
+	// poll is the compiled polling query for this occurrence. The query's
+	// shape depends only on the plan, never on the delta tuple, so it is
+	// built once here and each tuple merely binds its values into the
+	// placeholder slots. Nil when the occurrence is conservative (never
+	// polled).
+	poll *pollPlan
+}
+
+// pollPlan is a prepared polling query: the occurrence's residual-const
+// conjuncts with every delta-tuple reference replaced by a positional
+// placeholder. Binding a tuple costs a slot lookup per placeholder; no SQL
+// is rendered or parsed on the poll hot path unless the poller only speaks
+// text.
+type pollPlan struct {
+	// tmpl is the template statement; immutable, binding copies.
+	tmpl *sqlparser.SelectStmt
+	// fingerprint identifies the template (canonical lower-cased text). Two
+	// plans with equal fingerprints and equal bound args are the same poll,
+	// which is what per-cycle and in-flight deduplication key on.
+	fingerprint string
+	// slots maps placeholder ordinal i (0-based) to the delta column index
+	// whose value binds it.
+	slots []int
+	// existenceOnly marks plans where any returned row decides the impact
+	// (no parameterized residue to finish client-side).
+	existenceOnly bool
+}
+
+// bindArgs extracts the plan's bind vector from a delta tuple.
+func (pp *pollPlan) bindArgs(row mem.Row) []mem.Value {
+	args := make([]mem.Value, len(pp.slots))
+	for i, s := range pp.slots {
+		args[i] = row[s]
+	}
+	return args
+}
+
+// key is the deduplication identity of one bound poll: template fingerprint
+// plus the normalized argument vector. Value.Key folds equal-valued ints and
+// floats together, so tuples differing only in literal spelling (1 vs 1.0)
+// deduplicate — the text-keyed cache missed those.
+func (pp *pollPlan) key(args []mem.Value) string {
+	var b strings.Builder
+	b.WriteString(pp.fingerprint)
+	for _, a := range args {
+		b.WriteByte('\x00')
+		b.WriteString(a.Key())
+	}
+	return b.String()
+}
+
+// render binds args into the template and prints the instance SQL — the
+// compatibility path for pollers that only accept text.
+func (pp *pollPlan) render(args []mem.Value) (string, error) {
+	lits := make([]sqlparser.Expr, len(args))
+	for i, a := range args {
+		lits[i] = a.Literal()
+	}
+	bound, err := sqlparser.Bind(pp.tmpl, lits)
+	if err != nil {
+		return "", err
+	}
+	return bound.String(), nil
+}
+
+// buildPollPlan compiles the polling query for one occurrence: substituted
+// residual-const conjuncts over the other tables, selecting the columns
+// parameterized residues need, with delta-tuple references parameterized
+// into placeholder slots. existenceOnly plans add LIMIT 1.
+func buildPollPlan(occ *occurrencePlan, columns []string, singleTable bool) *pollPlan {
+	pp := &pollPlan{existenceOnly: len(occ.residualParam) == 0}
+
+	sel := &sqlparser.SelectStmt{}
+	if pp.existenceOnly {
+		sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
+		sel.Limit = &sqlparser.IntLit{Value: 1}
+	} else {
+		sel.Distinct = true
+		for _, ref := range occ.residualCols {
+			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: ref.Table, Column: ref.Column}})
+		}
+		if len(sel.Items) == 0 {
+			sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
+		}
+	}
+	sel.From = append(sel.From, occ.otherTables...)
+
+	// Placeholder ordinals are assigned in RewriteExpr traversal order —
+	// the same order Bind substitutes in — so slots[i] feeds the i-th
+	// placeholder Bind encounters. The conjuncts fold left-to-right exactly
+	// as the per-tuple renderer did, keeping the rendered text (and thus
+	// text-keyed pollers like the data cache) byte-identical.
+	colIdx := make(map[string]int, len(columns))
+	for i, c := range columns {
+		colIdx[strings.ToLower(c)] = i
+	}
+	next := 0
+	parameterize := func(e sqlparser.Expr) sqlparser.Expr {
+		return sqlparser.RewriteExpr(e, func(x sqlparser.Expr) sqlparser.Expr {
+			ref, ok := x.(*sqlparser.ColumnRef)
+			if !ok {
+				return nil
+			}
+			isLocal := false
+			if ref.Table != "" {
+				isLocal = strings.EqualFold(ref.Table, occ.name)
+			} else {
+				_, isDelta := colIdx[strings.ToLower(ref.Column)]
+				isLocal = isDelta && singleTable
+			}
+			if !isLocal {
+				return nil
+			}
+			i, ok := colIdx[strings.ToLower(ref.Column)]
+			if !ok {
+				// Reference to a column the delta record does not carry —
+				// left in place; the polling query will fail and the caller
+				// invalidates conservatively, as the text path did.
+				return nil
+			}
+			next++
+			pp.slots = append(pp.slots, i)
+			return &sqlparser.Placeholder{Name: fmt.Sprintf("$%d", next), Ordinal: next}
+		})
+	}
+
+	var where sqlparser.Expr
+	for _, c := range occ.residualConst {
+		sub := parameterize(c)
+		if where == nil {
+			where = sub
+		} else {
+			where = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: where, Right: sub}
+		}
+	}
+	sel.Where = where
+	pp.tmpl = sel
+	pp.fingerprint = sqlparser.FingerprintStmt(sel)
+	return pp
 }
 
 // colFingerprint identifies a delta table's schema variant.
@@ -147,6 +287,7 @@ func buildTablePlan(tmpl *sqlparser.SelectStmt, table string, columns []string) 
 
 		if !occ.conservative {
 			occ.residualCols = collectExternalRefs(occ.residualParam, occ.name, colSet, len(all) == 1)
+			occ.poll = buildPollPlan(occ, columns, len(all) == 1)
 		}
 		plan.occurrences = append(plan.occurrences, occ)
 	}
@@ -369,41 +510,6 @@ func substituteRefs(e sqlparser.Expr, refs []*sqlparser.ColumnRef, vals mem.Row)
 		}
 		return nil
 	})
-}
-
-// buildPollSQL renders the polling query for one occurrence and delta
-// tuple: substituted residual-const conjuncts over the other tables,
-// selecting the columns parameterized residues need. existenceOnly adds
-// LIMIT 1.
-func buildPollSQL(occ *occurrencePlan, columns []string, row mem.Row, singleTable bool) (string, bool) {
-	existenceOnly := len(occ.residualParam) == 0
-
-	sel := &sqlparser.SelectStmt{}
-	if existenceOnly {
-		sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
-		sel.Limit = &sqlparser.IntLit{Value: 1}
-	} else {
-		sel.Distinct = true
-		for _, ref := range occ.residualCols {
-			sel.Items = append(sel.Items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: ref.Table, Column: ref.Column}})
-		}
-		if len(sel.Items) == 0 {
-			sel.Items = []sqlparser.SelectItem{{Expr: &sqlparser.IntLit{Value: 1}}}
-		}
-	}
-	sel.From = append(sel.From, occ.otherTables...)
-
-	var where sqlparser.Expr
-	for _, c := range occ.residualConst {
-		sub := substituteOccurrence(c, occ.name, columns, row, singleTable)
-		if where == nil {
-			where = sub
-		} else {
-			where = &sqlparser.BinaryExpr{Op: sqlparser.OpAnd, Left: where, Right: sub}
-		}
-	}
-	sel.Where = where
-	return sel.String(), existenceOnly
 }
 
 // analysisError wraps evaluation problems that force conservatism.

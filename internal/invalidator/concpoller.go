@@ -1,20 +1,26 @@
 package invalidator
 
 import (
+	"strings"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/sqlparser"
 )
 
 // ConcurrentPoller dispatches polling queries concurrently over a set of
-// underlying connections, deduplicating identical in-flight query texts.
-// It extends the invalidator's per-cycle text deduplication across
-// concurrent callers: while a query is executing, any caller asking for the
-// same text waits for and shares that result instead of issuing a second
-// DBMS round trip. Unlike the per-cycle poll cache, completed results are
-// NOT retained — the next call with the same text polls again, so answers
+// underlying connections, deduplicating identical in-flight polls.
+// It extends the invalidator's per-cycle deduplication across concurrent
+// callers: while a query is executing, any caller asking for the same poll
+// waits for and shares that result instead of issuing a second DBMS round
+// trip. Deduplication keys on the canonical query identity — template
+// fingerprint plus normalized argument vector — not on raw text, so
+// instances that differ only in literal spelling (1 vs 1.0, quoting)
+// coalesce. Unlike the per-cycle poll cache, completed results are NOT
+// retained — the next call with the same identity polls again, so answers
 // never go stale across cycles.
 //
 // Each underlying Poller (driver.Conn, wire client, data cache) serializes
@@ -89,29 +95,126 @@ func (p *ConcurrentPoller) Instrument(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".active", p.active.Load)
 }
 
-// Query implements Poller.
-func (p *ConcurrentPoller) Query(sql string) (*engine.Result, error) {
+// canonicalKey computes the canonical identity of a SQL text: template
+// fingerprint plus normalized args. Texts that fail to parse (or carry
+// unbound placeholders) fall back to their raw bytes — dedup still works,
+// just only for byte-identical repeats.
+func canonicalKey(sql string) string {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return sql
+	}
+	canon, lits := sqlparser.Canonicalize(stmt)
+	var b strings.Builder
+	b.WriteString(sqlparser.FingerprintStmt(canon))
+	for _, e := range lits {
+		if e == nil {
+			return sql
+		}
+		v, err := mem.FromLiteral(e)
+		if err != nil {
+			return sql
+		}
+		b.WriteByte('\x00')
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+// stmtKey canonicalizes a compiled plan into the same identity space
+// canonicalKey produces for text: full-canonical fingerprint plus the merged
+// value vector (the template's fixed literals interleaved, in placeholder
+// order, with the bound args). Falls back to the plan fingerprint plus args
+// when a literal cannot be converted.
+func stmtKey(fingerprint string, tmpl *sqlparser.SelectStmt, args []mem.Value) string {
+	canon, lits := sqlparser.Canonicalize(tmpl)
+	var b strings.Builder
+	b.WriteString(sqlparser.FingerprintStmt(canon))
+	next := 0
+	for _, e := range lits {
+		var v mem.Value
+		if e == nil {
+			if next >= len(args) {
+				return fallbackStmtKey(fingerprint, args)
+			}
+			v = args[next]
+			next++
+		} else {
+			var err error
+			v, err = mem.FromLiteral(e)
+			if err != nil {
+				return fallbackStmtKey(fingerprint, args)
+			}
+		}
+		b.WriteByte('\x00')
+		b.WriteString(v.Key())
+	}
+	return b.String()
+}
+
+func fallbackStmtKey(fingerprint string, args []mem.Value) string {
+	var b strings.Builder
+	b.WriteString(fingerprint)
+	for _, a := range args {
+		b.WriteByte('\x00')
+		b.WriteString(a.Key())
+	}
+	return b.String()
+}
+
+// run executes issue under in-flight deduplication on key.
+func (p *ConcurrentPoller) run(key string, issue func(Poller) (*engine.Result, error)) (*engine.Result, error) {
 	p.mu.Lock()
-	if call, ok := p.inflight[sql]; ok {
+	if call, ok := p.inflight[key]; ok {
 		p.mu.Unlock()
 		p.dedups.Add(1)
 		<-call.ready
 		return call.res, call.err
 	}
 	call := &inflightPoll{ready: make(chan struct{})}
-	p.inflight[sql] = call
+	p.inflight[key] = call
 	p.mu.Unlock()
 
 	slot := p.next.Add(1) % uint64(len(p.conns))
 	p.queries.Add(1)
 	p.perConn[slot].Add(1)
 	p.active.Add(1)
-	call.res, call.err = p.conns[slot].Query(sql)
+	call.res, call.err = issue(p.conns[slot])
 	p.active.Add(-1)
 
 	p.mu.Lock()
-	delete(p.inflight, sql)
+	delete(p.inflight, key)
 	p.mu.Unlock()
 	close(call.ready)
 	return call.res, call.err
+}
+
+// Query implements Poller.
+func (p *ConcurrentPoller) Query(sql string) (*engine.Result, error) {
+	return p.run(canonicalKey(sql), func(c Poller) (*engine.Result, error) {
+		return c.Query(sql)
+	})
+}
+
+// QueryStmt implements StmtPoller: the compiled plan executes on a
+// connection's own prepared path when it has one, and is rendered to text
+// otherwise. The dedup key re-canonicalizes the plan (poll templates keep
+// non-delta constants as literals), so a prepared poll and an equivalent
+// text poll arriving through Query coalesce too.
+func (p *ConcurrentPoller) QueryStmt(fingerprint string, tmpl *sqlparser.SelectStmt, args []mem.Value) (*engine.Result, error) {
+	key := stmtKey(fingerprint, tmpl, args)
+	return p.run(key, func(c Poller) (*engine.Result, error) {
+		if sp, ok := c.(StmtPoller); ok {
+			return sp.QueryStmt(fingerprint, tmpl, args)
+		}
+		lits := make([]sqlparser.Expr, len(args))
+		for i, a := range args {
+			lits[i] = a.Literal()
+		}
+		bound, err := sqlparser.Bind(tmpl, lits)
+		if err != nil {
+			return nil, err
+		}
+		return c.Query(bound.String())
+	})
 }

@@ -116,6 +116,7 @@ type Report struct {
 	UpdateRecords  int // update-log records pulled
 	DeltaTuples    int // tuples across all delta tables
 	Polls          int // polling queries sent to the poller
+	PollsPrepared  int // polls issued through a prepared (StmtPoller) path
 	PollsDeduped   int // polls answered from the per-cycle dedup cache
 	PollsDenied    int // polls refused because the budget ran out
 	IndexHits      int // polls answered by maintained indexes
@@ -188,6 +189,9 @@ func New(cfg Config) *Invalidator {
 	if cfg.Obs == nil {
 		cfg.Obs = obs.NewRegistry()
 	}
+	cfg.Obs.GaugeFunc("invalidator.registry.generation", cfg.Registry.Generation)
+	cfg.Obs.GaugeFunc("invalidator.registry.parse_hits", func() int64 { h, _ := cfg.Registry.ParseCacheStats(); return h })
+	cfg.Obs.GaugeFunc("invalidator.registry.parse_misses", func() int64 { _, m := cfg.Registry.ParseCacheStats(); return m })
 	return &Invalidator{
 		cfg:            cfg,
 		registry:       cfg.Registry,
@@ -277,6 +281,7 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 		m.updateRecords.Add(int64(rep.UpdateRecords))
 		m.deltaTuples.Add(int64(rep.DeltaTuples))
 		m.polls.Add(int64(rep.Polls))
+		m.pollsPrepared.Add(int64(rep.PollsPrepared))
 		m.pollsDeduped.Add(int64(rep.PollsDeduped))
 		m.pollsDenied.Add(int64(rep.PollsDenied))
 		m.indexHits.Add(int64(rep.IndexHits))
@@ -454,6 +459,7 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 		rep.LocalDecisions += int(localDecisions.Load())
 		rep.Conservative += int(conservative.Load())
 		rep.Polls = int(pr.polls.Load())
+		rep.PollsPrepared = int(pr.prepared.Load())
 		rep.PollsDeduped = int(pr.deduped.Load())
 		rep.PollsDenied = int(pr.denied.Load())
 		rep.IndexHits = int(pr.indexHits.Load())
@@ -883,15 +889,14 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 				inv.advice.note(table, col)
 			}
 
-			sql, existenceOnly := buildPollSQL(occ, d.Columns, row, singleTable)
-			result, err := pr.exec(sql, &res)
+			result, err := pr.execPlan(occ.poll, row, &res)
 			if err != nil {
 				for _, inst := range candidates {
 					impact(inst, true)
 				}
 				continue
 			}
-			if existenceOnly {
+			if occ.poll.existenceOnly {
 				if len(result.Rows) > 0 {
 					for _, inst := range candidates {
 						impact(inst, false)

@@ -16,6 +16,7 @@ type invMetrics struct {
 	deltaTuples     *obs.Counter
 	analyzeSeconds  *obs.Histogram
 	polls           *obs.Counter
+	pollsPrepared   *obs.Counter
 	pollsDeduped    *obs.Counter
 	pollsDenied     *obs.Counter
 	pollSeconds     *obs.Histogram
@@ -43,6 +44,7 @@ func newInvMetrics(reg *obs.Registry) invMetrics {
 		deltaTuples:     reg.Counter("invalidator.delta_tuples_total"),
 		analyzeSeconds:  reg.Histogram("invalidator.analyze_seconds"),
 		polls:           reg.Counter("invalidator.polls_total"),
+		pollsPrepared:   reg.Counter("invalidator.polls_prepared_total"),
 		pollsDeduped:    reg.Counter("invalidator.polls_deduped_total"),
 		pollsDenied:     reg.Counter("invalidator.polls_budget_denied_total"),
 		pollSeconds:     reg.Histogram("invalidator.poll_seconds"),

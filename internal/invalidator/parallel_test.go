@@ -89,6 +89,14 @@ type cycleOutcome struct {
 // cycle at the given worker count, and returns what was invalidated.
 func runWorkload(t *testing.T, workers, conns int, script []string) cycleOutcome {
 	t.Helper()
+	out, _ := runWorkloadWith(t, workers, conns, script, false)
+	return out
+}
+
+// runWorkloadWith is runWorkload plus the full cycle report; textOnly strips
+// the pollers' StmtPoller extension so every poll travels as rendered SQL.
+func runWorkloadWith(t *testing.T, workers, conns int, script []string, textOnly bool) (cycleOutcome, Report) {
+	t.Helper()
 	db := engine.NewDatabase()
 	if _, err := db.ExecScript(parallelSchema); err != nil {
 		t.Fatal(err)
@@ -104,6 +112,9 @@ func runWorkload(t *testing.T, workers, conns int, script []string) cycleOutcome
 	var poller Poller = pollers[0]
 	if len(pollers) > 1 {
 		poller = NewConcurrentPoller(pollers...)
+	}
+	if textOnly {
+		poller = textOnlyPoller{p: poller}
 	}
 	m := sniffer.NewQIURLMap()
 	var ejected []string
@@ -137,7 +148,7 @@ func runWorkload(t *testing.T, workers, conns int, script []string) cycleOutcome
 		Conservative:   rep.Conservative,
 		LocalDecisions: rep.LocalDecisions,
 		Polls:          rep.Polls,
-	}
+	}, rep
 }
 
 // TestParallelCycleEquivalence is the correctness property of the parallel

@@ -8,6 +8,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/sqlparser"
 )
 
 // Poller executes polling queries (§4.2.3). driver.Conn satisfies it, so
@@ -15,6 +16,15 @@ import (
 // to an in-process database.
 type Poller interface {
 	Query(sql string) (*engine.Result, error)
+}
+
+// StmtPoller is an optional Poller extension for compiled poll plans: the
+// invalidator hands over the template statement, its fingerprint, and the
+// bound argument vector, so the poller can execute through a prepared path
+// (engine statement cache, wire EXECUTE) without rendering or re-parsing
+// SQL text. Pollers that don't implement it receive rendered text via Query.
+type StmtPoller interface {
+	QueryStmt(fingerprint string, tmpl *sqlparser.SelectStmt, args []mem.Value) (*engine.Result, error)
 }
 
 // pollRun wraps a Poller with per-cycle deduplication, timing, budget
@@ -29,9 +39,10 @@ type pollRun struct {
 	indexes *IndexSet
 
 	mu    sync.Mutex
-	calls map[string]*pollCall // query text → completed or in-flight call
+	calls map[string]*pollCall // poll identity → completed or in-flight call
 
 	polls     atomic.Int64
+	prepared  atomic.Int64 // polls issued through the StmtPoller fast path
 	deduped   atomic.Int64 // polls answered by replay/await instead of the DBMS
 	denied    atomic.Int64 // polls refused because the budget ran out
 	indexHits atomic.Int64
@@ -90,12 +101,17 @@ func (r *pollRun) overBudget() bool {
 	return r.bucket.Load() <= 0 || time.Now().After(r.deadline)
 }
 
-// exec runs (or replays, or awaits) a polling query. Per-unit poll counts
-// and timing are accumulated into st (only for polls this call actually
-// issued, mirroring the sequential accounting where replays were free).
-func (r *pollRun) exec(sql string, st *typeBatchResult) (*engine.Result, error) {
+// execPlan runs (or replays, or awaits) a compiled polling query for one
+// delta tuple. Deduplication keys on (template fingerprint, normalized
+// args), not on rendered text, so polls differing only in literal spelling
+// (1 vs 1.0, quote style) coalesce. Per-unit poll counts and timing are
+// accumulated into st (only for polls this call actually issued, mirroring
+// the sequential accounting where replays were free).
+func (r *pollRun) execPlan(pp *pollPlan, row mem.Row, st *typeBatchResult) (*engine.Result, error) {
+	args := pp.bindArgs(row)
+	key := pp.key(args)
 	r.mu.Lock()
-	if call, ok := r.calls[sql]; ok {
+	if call, ok := r.calls[key]; ok {
 		r.mu.Unlock()
 		r.deduped.Add(1)
 		<-call.ready // completed calls have a closed channel: no wait
@@ -108,16 +124,23 @@ func (r *pollRun) exec(sql string, st *typeBatchResult) (*engine.Result, error) 
 	}
 	if r.poller == nil {
 		call := &pollCall{ready: closedChan, err: analysisError{err: errNoPoller}}
-		r.calls[sql] = call
+		r.calls[key] = call
 		r.mu.Unlock()
 		return nil, call.err
 	}
 	call := &pollCall{ready: make(chan struct{})}
-	r.calls[sql] = call
+	r.calls[key] = call
 	r.mu.Unlock()
 
 	start := time.Now()
-	call.res, call.err = r.poller.Query(sql)
+	if sp, ok := r.poller.(StmtPoller); ok {
+		r.prepared.Add(1)
+		call.res, call.err = sp.QueryStmt(pp.fingerprint, pp.tmpl, args)
+	} else if sql, rerr := pp.render(args); rerr != nil {
+		call.err = analysisError{err: rerr}
+	} else {
+		call.res, call.err = r.poller.Query(sql)
+	}
 	took := time.Since(start)
 	if r.bounded {
 		r.bucket.Add(-int64(took))

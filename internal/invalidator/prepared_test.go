@@ -1,0 +1,131 @@
+package invalidator
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// newPollSite builds a database with the parallel test schema and an
+// invalidator polling it through a direct (prepared-capable) connection,
+// with the schema-setup log records already consumed.
+func newPollSite(t *testing.T) (*engine.Database, *Invalidator, *sniffer.QIURLMap) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(parallelSchema); err != nil {
+		t.Fatal(err)
+	}
+	c, err := driver.DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.NewQIURLMap()
+	inv := New(Config{
+		Map:     m,
+		Puller:  EngineLogPuller{Log: db.Log()},
+		Poller:  c,
+		Ejector: FuncEjector(func([]string) error { return nil }),
+		Workers: 4,
+	})
+	if _, err := inv.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+	return db, inv, m
+}
+
+// textOnlyPoller forwards Query but hides any StmtPoller implementation of
+// the wrapped poller, forcing the invalidator onto the rendered-text path.
+type textOnlyPoller struct{ p Poller }
+
+func (t textOnlyPoller) Query(sql string) (*engine.Result, error) { return t.p.Query(sql) }
+
+// TestPreparedTextCycleEquivalence is the correctness property of the
+// prepared poll path: for random update workloads and worker counts 1/4/8,
+// a cycle polling through compiled plans (StmtPoller) invalidates exactly
+// the page set a text-rendering cycle does, with identical decision
+// counters — the prepared path changes how polls execute, never what they
+// decide.
+func TestPreparedTextCycleEquivalence(t *testing.T) {
+	prop := func(seed int64, size uint8) bool {
+		script := randomUpdateScript(seed, 1+int(size%24))
+		for _, workers := range []int{1, 4, 8} {
+			conns := 1
+			if workers > 1 {
+				conns = 3
+			}
+			text, textRep := runWorkloadWith(t, workers, conns, script, true)
+			prep, prepRep := runWorkloadWith(t, workers, conns, script, false)
+			if !reflect.DeepEqual(text, prep) {
+				t.Logf("seed=%d workers=%d script=%q\ntext:     %+v\nprepared: %+v",
+					seed, workers, script, text, prep)
+				return false
+			}
+			if textRep.PollsPrepared != 0 {
+				t.Logf("text-only poller reported %d prepared polls", textRep.PollsPrepared)
+				return false
+			}
+			if prepRep.PollsPrepared != prepRep.Polls {
+				t.Logf("prepared-capable poller issued %d/%d polls via the fast path",
+					prepRep.PollsPrepared, prepRep.Polls)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{
+		MaxCount: 25,
+		Rand:     rand.New(rand.NewSource(2)), // fixed seed: deterministic corpus
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreparedPollNoReparse asserts the acceptance criterion directly: after
+// the first cycle compiles each (type × table) poll plan, later cycles over
+// the same workload shape execute polls with zero statement-cache template
+// misses — previously seen templates are never re-parsed or re-canonicalized.
+func TestPreparedPollNoReparse(t *testing.T) {
+	db, inv, m := newPollSite(t)
+	parallelPages(m)
+	script := randomUpdateScript(11, 12)
+	for _, sql := range script {
+		if _, err := db.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Polls == 0 {
+		t.Fatalf("workload should poll: %+v", rep)
+	}
+	if rep.PollsPrepared != rep.Polls {
+		t.Fatalf("prepared %d of %d polls", rep.PollsPrepared, rep.Polls)
+	}
+	missesAfterFirst := db.StmtCacheStats().TemplateMisses
+
+	// Same update shapes again: every poll plan's template is already
+	// interned, so the engine must answer from the cache alone.
+	for _, sql := range script {
+		if _, err := db.ExecSQL(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = inv.Cycle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Polls == 0 {
+		t.Fatalf("second cycle should poll: %+v", rep)
+	}
+	if got := db.StmtCacheStats().TemplateMisses; got != missesAfterFirst {
+		t.Fatalf("second cycle re-compiled templates: misses %d -> %d", missesAfterFirst, got)
+	}
+}

@@ -15,8 +15,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/lru"
 	"repro/internal/mem"
 	"repro/internal/sqlparser"
 )
@@ -92,7 +94,23 @@ type Registry struct {
 	// conservativePages hold pages whose queries could not be analyzed
 	// (non-SELECT or unparseable): they are invalidated on every update.
 	conservativePages map[string]bool
+
+	// parsed caches exact SQL text → parsed statement. Servlet instances
+	// repeat heavily (the same bound query arrives once per cached page
+	// observation), so both registration entry points resolve text through
+	// this cache instead of re-lexing. Cached statements are shared and
+	// immutable: every consumer canonicalizes or copies before use.
+	parsed *lru.Cache[string, sqlparser.Stmt]
+
+	// generation counts type-set changes: it is bumped each time a new query
+	// type is interned, so consumers caching per-type derivatives (poll
+	// plans, schedules) can detect registry growth cheaply.
+	generation atomic.Int64
 }
+
+// parseCacheCapacity bounds the registry's text→AST cache. Eviction only
+// costs a re-parse.
+const parseCacheCapacity = 1024
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
@@ -102,20 +120,40 @@ func NewRegistry() *Registry {
 		byTable:           make(map[string]map[*QueryType]bool),
 		pageLinks:         make(map[string]map[*Instance]bool),
 		conservativePages: make(map[string]bool),
+		parsed:            lru.New[string, sqlparser.Stmt](parseCacheCapacity),
 	}
+}
+
+// Generation returns the registry's type-set generation: it increases
+// monotonically each time a new query type is interned.
+func (r *Registry) Generation() int64 { return r.generation.Load() }
+
+// ParseCacheStats returns the parse cache's cumulative (hits, misses).
+func (r *Registry) ParseCacheStats() (hits, misses int64) { return r.parsed.Stats() }
+
+// parseSelect resolves SQL text to a SELECT statement through the parse
+// cache. The returned statement is shared: callers must not mutate it.
+func (r *Registry) parseSelect(sql string) (*sqlparser.SelectStmt, error) {
+	stmt, err := r.parsed.GetOrPut(sql, func() (sqlparser.Stmt, error) {
+		return sqlparser.Parse(sql)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("invalidator: %T is not a SELECT", stmt)
+	}
+	return sel, nil
 }
 
 // RegisterType registers a query type from SQL text (offline/administrator
 // mode, §4.1.1). Placeholders mark the parameters. The same template
 // re-registers idempotently.
 func (r *Registry) RegisterType(name, sql string) (*QueryType, error) {
-	stmt, err := sqlparser.Parse(sql)
+	sel, err := r.parseSelect(sql)
 	if err != nil {
 		return nil, fmt.Errorf("invalidator: register type %q: %w", name, err)
-	}
-	sel, ok := stmt.(*sqlparser.SelectStmt)
-	if !ok {
-		return nil, fmt.Errorf("invalidator: register type %q: not a SELECT", name)
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -136,6 +174,7 @@ func (r *Registry) internType(sel *sqlparser.SelectStmt) *QueryType {
 	if qt, ok := r.types[key]; ok {
 		return qt
 	}
+	r.generation.Add(1)
 	r.nextTypeID++
 	qt := &QueryType{
 		ID:         r.nextTypeID,
@@ -181,16 +220,11 @@ func argsKey(args []mem.Value) string {
 // QI/URL map and links it to a page (§4.1.2 discovery mode). It returns the
 // instance and whether its type was newly discovered.
 func (r *Registry) ObserveInstance(sql, cacheKey string) (*Instance, bool, error) {
-	stmt, err := sqlparser.Parse(sql)
+	sel, err := r.parseSelect(sql)
 	if err != nil {
 		return nil, false, fmt.Errorf("invalidator: %w", err)
 	}
-	sel, ok := stmt.(*sqlparser.SelectStmt)
-	if !ok {
-		return nil, false, fmt.Errorf("invalidator: %T is not a SELECT", stmt)
-	}
-	tmplStmt, litArgs := sqlparser.Canonicalize(sel)
-	_ = tmplStmt
+	_, litArgs := sqlparser.Canonicalize(sel)
 	args := make([]mem.Value, len(litArgs))
 	for i, e := range litArgs {
 		if e == nil {

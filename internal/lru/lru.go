@@ -1,0 +1,173 @@
+// Package lru provides a small, thread-safe, bounded LRU map used by the
+// statement caches: the engine's prepared-statement cache, the registry's
+// template parse cache, and the driver's per-connection handle cache. It is
+// deliberately minimal — a doubly linked list over a map — because the
+// caches it backs hold at most a few thousand parsed ASTs.
+package lru
+
+import "sync"
+
+// Cache is a bounded LRU map from K to V. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	items map[K]*entry[K, V]
+	head  *entry[K, V] // most recently used
+	tail  *entry[K, V] // least recently used
+
+	hits   int64
+	misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key        K
+	val        V
+	prev, next *entry[K, V]
+}
+
+// New creates a cache holding at most capacity entries. A capacity <= 0
+// defaults to 256.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Cache[K, V]{cap: capacity, items: make(map[K]*entry[K, V])}
+}
+
+// Get returns the value for key, marking it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.val, true
+}
+
+// Put inserts or refreshes key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache[K, V]) Put(key K, val V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.val = val
+		c.moveToFront(e)
+		return
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+	}
+}
+
+// GetOrPut returns the cached value for key, or stores and returns the value
+// produced by fill. fill runs outside the hit path but under the cache lock,
+// so concurrent callers for the same key fill once.
+func (c *Cache[K, V]) GetOrPut(key K, fill func() (V, error)) (V, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.hits++
+		c.moveToFront(e)
+		return e.val, nil
+	}
+	c.misses++
+	val, err := fill()
+	if err != nil {
+		var zero V
+		return zero, err
+	}
+	e := &entry[K, V]{key: key, val: val}
+	c.items[key] = e
+	c.pushFront(e)
+	if len(c.items) > c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+	}
+	return val, nil
+}
+
+// Remove deletes key, reporting whether it was present.
+func (c *Cache[K, V]) Remove(key K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		return false
+	}
+	c.unlink(e)
+	delete(c.items, key)
+	return true
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Stats returns the cumulative hit/miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Purge empties the cache, keeping the hit/miss counters.
+func (c *Cache[K, V]) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[K]*entry[K, V])
+	c.head, c.tail = nil, nil
+}
+
+// list plumbing; callers hold c.mu.
+
+func (c *Cache[K, V]) pushFront(e *entry[K, V]) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache[K, V]) unlink(e *entry[K, V]) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(e *entry[K, V]) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}

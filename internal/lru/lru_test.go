@@ -1,0 +1,108 @@
+package lru
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPutEviction(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a: %d %v", v, ok)
+	}
+	c.Put("c", 3) // evicts b (a was touched more recently)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should be evicted")
+	}
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a after eviction: %d %v", v, ok)
+	}
+	if v, ok := c.Get("c"); !ok || v != 3 {
+		t.Fatalf("c: %d %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len: %d", c.Len())
+	}
+}
+
+func TestPutRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Put("a", 1)
+	c.Put("a", 10)
+	if v, _ := c.Get("a"); v != 10 {
+		t.Fatalf("a: %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len: %d", c.Len())
+	}
+}
+
+func TestGetOrPut(t *testing.T) {
+	c := New[string, int](4)
+	fills := 0
+	fill := func() (int, error) { fills++; return 7, nil }
+	for i := 0; i < 3; i++ {
+		v, err := c.GetOrPut("k", fill)
+		if err != nil || v != 7 {
+			t.Fatalf("GetOrPut: %d %v", v, err)
+		}
+	}
+	if fills != 1 {
+		t.Fatalf("fill ran %d times", fills)
+	}
+	if _, err := c.GetOrPut("bad", func() (int, error) { return 0, errors.New("boom") }); err == nil {
+		t.Fatal("fill error not propagated")
+	}
+	if _, ok := c.Get("bad"); ok {
+		t.Fatal("failed fill must not cache")
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses < 2 {
+		t.Fatalf("stats: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestRemoveAndPurge(t *testing.T) {
+	c := New[int, int](8)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if !c.Remove(1) || c.Remove(1) {
+		t.Fatal("Remove semantics")
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("len after purge: %d", c.Len())
+	}
+	// The list must still be usable after a purge.
+	c.Put(3, 3)
+	if v, ok := c.Get(3); !ok || v != 3 {
+		t.Fatalf("after purge: %d %v", v, ok)
+	}
+}
+
+func TestConcurrent(t *testing.T) {
+	c := New[string, int](16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", i%32)
+				c.Put(k, i)
+				c.Get(k)
+				if i%50 == 0 {
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 16 {
+		t.Fatalf("over capacity: %d", c.Len())
+	}
+}

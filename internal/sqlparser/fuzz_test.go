@@ -1,0 +1,63 @@
+package sqlparser
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseRoundTrip checks the printer/parser pair: any statement the
+// parser accepts must print to text the parser accepts again, and the
+// re-parsed tree must print identically (print is a fixed point after one
+// round). Canonicalization of both trees must also agree, since the whole
+// invalidation pipeline keys on canonical fingerprints of printed text.
+func FuzzParseRoundTrip(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT t.a, u.b FROM t, u WHERE t.a = u.a AND t.b > 5",
+		"SELECT * FROM Car WHERE maker = 'Toyota' AND price >= 15000.5",
+		"SELECT COUNT(*) FROM items",
+		"SELECT a FROM t WHERE b = $1 AND c < $2",
+		"SELECT a FROM t WHERE b IN (1, 2, 3) OR NOT (c = 'x')",
+		"INSERT INTO t VALUES (1, 'two', 3.0)",
+		"INSERT INTO t (a, b) VALUES (-1, 'it''s')",
+		"UPDATE t SET a = 1, b = 'x' WHERE c <> 2",
+		"DELETE FROM t WHERE a = 1.5e3",
+		"CREATE TABLE t (a INT PRIMARY KEY, b TEXT, c FLOAT)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 2",
+		"SELECT a FROM t WHERE s LIKE '%x_'",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmt, err := Parse(src)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		printed := stmt.String()
+		again, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed text does not re-parse\ninput: %q\nprinted: %q\nerr: %v", src, printed, err)
+		}
+		if got := again.String(); got != printed {
+			t.Fatalf("print is not a fixed point\ninput: %q\nfirst: %q\nsecond: %q", src, printed, got)
+		}
+		canon1, lits1 := Canonicalize(stmt)
+		canon2, lits2 := Canonicalize(again)
+		if FingerprintStmt(canon1) != FingerprintStmt(canon2) {
+			t.Fatalf("canonical fingerprints diverge\ninput: %q\nfirst: %q\nsecond: %q",
+				src, FingerprintStmt(canon1), FingerprintStmt(canon2))
+		}
+		if len(lits1) != len(lits2) {
+			t.Fatalf("literal counts diverge: %d vs %d for %q", len(lits1), len(lits2), src)
+		}
+		for i := range lits1 {
+			if (lits1[i] == nil) != (lits2[i] == nil) {
+				t.Fatalf("placeholder slot %d diverges for %q", i, src)
+			}
+			if lits1[i] != nil && !reflect.DeepEqual(lits1[i], lits2[i]) {
+				t.Fatalf("literal %d diverges for %q: %#v vs %#v", i, src, lits1[i], lits2[i])
+			}
+		}
+	})
+}

@@ -124,10 +124,14 @@ func RewriteStmt(s Stmt, fn func(Expr) Expr) Stmt {
 		}
 		return n
 	case *UpdateStmt:
-		n := &UpdateStmt{Table: st.Table, Where: rw(st.Where)}
+		// Set before Where: traversal must match lexical order, or
+		// Canonicalize/Bind would renumber an UPDATE's placeholders against
+		// their $N ordinals.
+		n := &UpdateStmt{Table: st.Table}
 		for _, a := range st.Set {
 			n.Set = append(n.Set, Assignment{Column: a.Column, Value: rw(a.Value)})
 		}
+		n.Where = rw(st.Where)
 		return n
 	case *DeleteStmt:
 		return &DeleteStmt{Table: st.Table, Where: rw(st.Where)}
@@ -226,5 +230,13 @@ func Bind(s Stmt, args []Expr) (Stmt, error) {
 // case map to the same query type.
 func TemplateKey(s Stmt) string {
 	t, _ := Canonicalize(s)
-	return strings.ToLower(t.String())
+	return FingerprintStmt(t)
+}
+
+// FingerprintStmt returns the fingerprint of an already canonicalized
+// statement: its printed form, lower-cased. Equal to TemplateKey for
+// statements that have been through Canonicalize; cheaper because it skips
+// the re-canonicalizing copy.
+func FingerprintStmt(s Stmt) string {
+	return strings.ToLower(s.String())
 }

@@ -236,3 +236,36 @@ func TestQuickCanonicalizeIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUpdateTraversalIsLexical pins the traversal-order contract for UPDATE:
+// Canonicalize and Bind must visit SET assignments before the WHERE clause,
+// matching the printed $N ordinals and Placeholders(). A swapped order binds
+// prepared arguments to the wrong slots (caught live: "UPDATE t SET val = $1
+// WHERE id = $2" compared id against the SET string).
+func TestUpdateTraversalIsLexical(t *testing.T) {
+	s := MustParse("UPDATE t SET val = $1 WHERE id = $2")
+	canon, lits := Canonicalize(s)
+	want := "UPDATE t SET val = $1 WHERE id = $2"
+	if got := canon.String(); got != want {
+		t.Fatalf("canonical = %q, want %q", got, want)
+	}
+	if len(lits) != 2 || lits[0] != nil || lits[1] != nil {
+		t.Fatalf("lits: %v", lits)
+	}
+	bound, err := Bind(canon, []Expr{&StringLit{Value: "x"}, &IntLit{Value: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := bound.String(), "UPDATE t SET val = 'x' WHERE id = 7"; got != want {
+		t.Fatalf("bound = %q, want %q", got, want)
+	}
+
+	// The literal form must extract in the same order.
+	_, args := Canonicalize(MustParse("UPDATE t SET val = 'x' WHERE id = 7"))
+	if v, ok := args[0].(*StringLit); !ok || v.Value != "x" {
+		t.Fatalf("arg 0: %#v", args[0])
+	}
+	if v, ok := args[1].(*IntLit); !ok || v.Value != 7 {
+		t.Fatalf("arg 1: %#v", args[1])
+	}
+}

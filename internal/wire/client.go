@@ -56,6 +56,7 @@ type Client struct {
 	closed  bool
 	fails   int       // consecutive roundtrip/redial failures
 	retryAt time.Time // no redial before this instant
+	epoch   uint64    // bumped on every (re)attach; see Stmt
 }
 
 // Dial connects to a wire server.
@@ -98,11 +99,22 @@ func (c *Client) maxBackoff() time.Duration {
 }
 
 // attach installs conn with fresh codec state (a new decoder drops any
-// buffered bytes from a previous, possibly desynced stream).
+// buffered bytes from a previous, possibly desynced stream). Each attach
+// starts a new connection epoch: server-side prepared handles are
+// per-connection, so statements prepared under an older epoch must
+// re-prepare before executing.
 func (c *Client) attach(conn net.Conn) {
 	c.conn = conn
 	c.dec = json.NewDecoder(conn)
 	c.enc = json.NewEncoder(conn)
+	c.epoch++
+}
+
+// connEpoch returns the current connection epoch.
+func (c *Client) connEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
 }
 
 // dropLocked severs the current connection after a failure and arms the

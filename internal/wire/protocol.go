@@ -18,16 +18,29 @@ type Op string
 
 // Request operations.
 const (
-	OpQuery    Op = "query"    // execute one SQL statement
-	OpLogSince Op = "logsince" // fetch update-log records with LSN >= LSN
-	OpPing     Op = "ping"     // liveness probe
+	OpQuery     Op = "query"     // execute one SQL statement
+	OpLogSince  Op = "logsince"  // fetch update-log records with LSN >= LSN
+	OpPing      Op = "ping"      // liveness probe
+	OpPrepare   Op = "prepare"   // compile a statement, returning a handle
+	OpExecute   Op = "execute"   // execute a prepared handle with arguments
+	OpCloseStmt Op = "closestmt" // release a prepared handle
 )
+
+// ErrUnknownStmt is the error-text prefix a server sends when an EXECUTE or
+// CLOSE_STMT names a handle this connection never prepared (or prepared on a
+// previous connection — handles are per-connection, so a reconnect discards
+// them). Clients detect it to re-prepare transparently.
+const ErrUnknownStmt = "wire: unknown statement handle"
 
 // Request is one client→server frame.
 type Request struct {
 	Op    Op     `json:"op"`
 	Query string `json:"query,omitempty"`
 	LSN   int64  `json:"lsn,omitempty"`
+	// StmtID names a prepared-statement handle for OpExecute / OpCloseStmt.
+	StmtID int64 `json:"stmt_id,omitempty"`
+	// Args are the bind values for OpExecute, in placeholder order.
+	Args []WireValue `json:"args,omitempty"`
 }
 
 // LogRecord is the wire form of an engine.UpdateRecord.
@@ -59,6 +72,10 @@ type Response struct {
 	Records      []LogRecord   `json:"records,omitempty"`
 	Truncated    bool          `json:"truncated,omitempty"`
 	NextLSN      int64         `json:"next_lsn,omitempty"`
+	// StmtID / NumArgs answer OpPrepare: the handle to execute by, and how
+	// many bind arguments the statement expects.
+	StmtID  int64 `json:"stmt_id,omitempty"`
+	NumArgs int   `json:"num_args,omitempty"`
 }
 
 // EncodeValue converts a mem.Value to its wire form.

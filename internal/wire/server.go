@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/mem"
 	"repro/internal/obs"
 )
 
@@ -33,7 +34,20 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	// Stats
-	queries int64
+	queries  int64
+	prepares int64
+	executes int64
+}
+
+// maxConnStmts bounds prepared handles per connection; a client that leaks
+// handles gets an error rather than growing server memory without bound.
+const maxConnStmts = 1024
+
+// connStmts is the per-connection prepared-statement table. serveConn
+// processes frames sequentially, so no lock is needed.
+type connStmts struct {
+	next  int64
+	stmts map[int64]*engine.PreparedStmt
 }
 
 // NewServer creates a server for db.
@@ -91,21 +105,67 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	dec := json.NewDecoder(conn)
 	enc := json.NewEncoder(conn)
+	cs := &connStmts{stmts: make(map[int64]*engine.PreparedStmt)}
 	for {
 		var req Request
 		if err := dec.Decode(&req); err != nil {
 			return // client went away or sent garbage; drop the connection
 		}
-		resp := s.handle(req)
+		resp := s.handle(req, cs)
 		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) handle(req Request) Response {
+func (s *Server) handle(req Request, cs *connStmts) Response {
 	switch req.Op {
 	case OpPing:
+		return Response{}
+	case OpPrepare:
+		prep, err := s.DB.Prepare(req.Query)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		if len(cs.stmts) >= maxConnStmts {
+			return Response{Error: fmt.Sprintf("wire: too many prepared statements on this connection (max %d)", maxConnStmts)}
+		}
+		cs.next++
+		cs.stmts[cs.next] = prep
+		s.mu.Lock()
+		s.prepares++
+		s.mu.Unlock()
+		return Response{StmtID: cs.next, NumArgs: prep.NumArgs()}
+	case OpExecute:
+		prep := cs.stmts[req.StmtID]
+		if prep == nil {
+			return Response{Error: fmt.Sprintf("%s %d", ErrUnknownStmt, req.StmtID)}
+		}
+		if d := s.queryDelay(prep.Template().Key); d > 0 {
+			time.Sleep(d)
+		}
+		args := make([]mem.Value, len(req.Args))
+		for i, w := range req.Args {
+			args[i] = DecodeValue(w)
+		}
+		s.mu.Lock()
+		s.queries++
+		s.executes++
+		s.mu.Unlock()
+		res, err := prep.Exec(args)
+		if err != nil {
+			return Response{Error: err.Error()}
+		}
+		resp := Response{Columns: res.Columns, RowsAffected: res.RowsAffected}
+		for _, r := range res.Rows {
+			resp.Rows = append(resp.Rows, EncodeRow(r))
+		}
+		return resp
+	case OpCloseStmt:
+		if _, ok := cs.stmts[req.StmtID]; !ok {
+			return Response{Error: fmt.Sprintf("%s %d", ErrUnknownStmt, req.StmtID)}
+		}
+		delete(cs.stmts, req.StmtID)
 		return Response{}
 	case OpQuery:
 		if d := s.queryDelay(req.Query); d > 0 {
@@ -142,11 +202,25 @@ func (s *Server) queryDelay(sql string) time.Duration {
 	return s.QueryDelay(sql)
 }
 
-// Queries returns the number of queries served so far.
+// Queries returns the number of queries served so far (text and prepared).
 func (s *Server) Queries() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.queries
+}
+
+// Prepares returns the number of PREPARE frames served.
+func (s *Server) Prepares() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prepares
+}
+
+// Executes returns the number of EXECUTE frames served.
+func (s *Server) Executes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.executes
 }
 
 // Conns returns the number of live client connections.
@@ -162,8 +236,13 @@ func (s *Server) Conns() int {
 // query path is untouched.
 func (s *Server) Instrument(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".queries_total", s.Queries)
+	reg.GaugeFunc(prefix+".prepares_total", s.Prepares)
+	reg.GaugeFunc(prefix+".executes_total", s.Executes)
 	reg.GaugeFunc(prefix+".conns", func() int64 { return int64(s.Conns()) })
 	reg.GaugeFunc(prefix+".log_next_lsn", func() int64 { return s.DB.Log().NextLSN() })
+	reg.GaugeFunc(prefix+".stmt_text_hits", func() int64 { return s.DB.StmtCacheStats().TextHits })
+	reg.GaugeFunc(prefix+".stmt_template_hits", func() int64 { return s.DB.StmtCacheStats().TemplateHits })
+	reg.GaugeFunc(prefix+".stmt_template_misses", func() int64 { return s.DB.StmtCacheStats().TemplateMisses })
 }
 
 // Close stops accepting, closes every live connection, and waits for

@@ -183,7 +183,7 @@ func TestClientClosedErrors(t *testing.T) {
 
 func TestUnknownOp(t *testing.T) {
 	s := NewServer(engine.NewDatabase())
-	resp := s.handle(Request{Op: "bogus"})
+	resp := s.handle(Request{Op: "bogus"}, &connStmts{stmts: map[int64]*engine.PreparedStmt{}})
 	if resp.Error == "" {
 		t.Fatal("want error for unknown op")
 	}

@@ -139,6 +139,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		return nil, fmt.Errorf("cacheportal: schema: %w", err)
 	}
 	s.DBServer = wire.NewServer(s.DB)
+	s.DBServer.Instrument(cfg.Obs, "dbserver")
 	addr, err := s.DBServer.Listen("127.0.0.1:0")
 	if err != nil {
 		return nil, err
