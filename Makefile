@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos bench bench-parallel bench-json bench-compare fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare fuzz clean
 
 all: build test
 
@@ -22,6 +22,13 @@ chaos:
 	$(GO) test -race ./internal/faults/ ./internal/backoff/
 	$(GO) test -race -run 'Chaos|Recover|Truncation|Pending|Breaker|Deadline|Backoff' . ./internal/wire/ ./internal/invalidator/
 
+# Event-driven endurance run under the race detector: SOAK_SECONDS of
+# sustained stream-driven invalidation on a live site, then a goroutine-leak
+# check against the pre-site baseline.
+SOAK_SECONDS ?= 30
+soak-feed:
+	SOAK_FEED=1 SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -run TestSoakFeed -v -timeout 10m .
+
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 
@@ -31,9 +38,12 @@ bench-parallel:
 
 # Re-measure the invalidator scaling sweep and refresh BENCH_invalidator.json,
 # embedding the live pipeline's staleness/hit-ratio snapshot under "obs".
+# BenchmarkCommitToEject is the freshness acceptance check: the feed
+# sub-benchmark's p95-staleness-ms must come in below the 100ms cycle
+# interval that bounds the interval sub-benchmark.
 bench-json:
 	$(GO) run ./cmd/experiment -staleness 30 -obs-out .obs-staleness.json
-	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded|BenchmarkInvalidatorCycle$$|BenchmarkWebCache$$' -benchtime 2s . \
+	$(GO) test -run xxx -bench 'BenchmarkInvalidatorCycleParallel|BenchmarkWebCacheSharded|BenchmarkInvalidatorCycle$$|BenchmarkWebCache$$|BenchmarkCommitToEject' -benchtime 2s . \
 		| $(GO) run ./cmd/benchjson -obs .obs-staleness.json -out BENCH_invalidator.json
 	rm -f .obs-staleness.json
 
@@ -41,7 +51,7 @@ bench-json:
 # alongside the scaling sweep. The prepared sub-benchmark's stmt-hit-ratio
 # metric is the acceptance check that polling re-parses nothing.
 bench-compare:
-	$(GO) test -run xxx -bench 'BenchmarkPollPath|BenchmarkInvalidatorCycleParallel' -benchtime 2s . \
+	$(GO) test -run xxx -bench 'BenchmarkPollPath|BenchmarkInvalidatorCycleParallel|BenchmarkCommitToEject' -benchtime 2s . \
 		| $(GO) run ./cmd/benchjson -out BENCH_invalidator.json
 
 # Coverage-guided fuzzing of the SQL parser/printer round-trip. FUZZTIME

@@ -281,3 +281,86 @@ func TestSiteChaos(t *testing.T) {
 		t.Fatal("no faults were injected")
 	}
 }
+
+// TestChaosFeedResumesFromCursor caps the feed work's fault story: the
+// mirror's long-poll pump (Mirror.Run) under a chaotic transport — requests
+// erroring, dropping mid-stream, and delayed at random — must resume from its
+// cursor across every failure: once healed, both mirrored logs hold exactly
+// the source entries, in order, with no re-delivery and no skips.
+func TestChaosFeedResumesFromCursor(t *testing.T) {
+	inj := faults.New(faults.Config{
+		Seed:      11,
+		ErrorRate: 0.30,
+		DropRate:  0.20,
+		DelayRate: 0.20,
+		Delay:     time.Millisecond,
+	})
+	inj.Disable()
+	reg := obs.NewRegistry()
+	inj.Instrument(reg, "")
+
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog, MaxWait: time.Second}
+	ts := httptest.NewServer(exporter.Handler())
+	defer ts.Close()
+
+	mirror := logexport.NewMirror(ts.URL)
+	mirror.Client = &http.Client{
+		Transport: faults.WrapTransport(nil, inj),
+		Timeout:   time.Second,
+	}
+	mirror.LongPoll = 100 * time.Millisecond
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); mirror.Run(stop) }()
+
+	// Chaos on while the source logs grow: the pump keeps hitting injected
+	// failures mid-stream and must carry its cursors across them.
+	inj.Enable()
+	base := time.Now()
+	const n = 40
+	for i := 0; i < n; i++ {
+		qlog.Append(driver.QueryLogEntry{SQL: fmt.Sprintf("q%d", i), Receive: base, Deliver: base})
+		rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: fmt.Sprintf("k%d", i),
+			Cached: true, Receive: base, Deliver: base})
+		time.Sleep(2 * time.Millisecond)
+	}
+	inj.Heal()
+
+	deadline := time.Now().Add(30 * time.Second)
+	for mirror.Queries.Len() < n || mirror.Requests.Len() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("healed pump stuck: %d/%d queries, %d/%d requests mirrored",
+				mirror.Queries.Len(), n, mirror.Requests.Len(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	qs, _ := mirror.Queries.Since(1)
+	if len(qs) != n {
+		t.Fatalf("query log re-delivered: %d entries, want %d", len(qs), n)
+	}
+	for i, q := range qs {
+		if q.SQL != fmt.Sprintf("q%d", i) {
+			t.Fatalf("query %d: got %q (duplicate or skip across resume)", i, q.SQL)
+		}
+	}
+	reqs, _ := mirror.Requests.Since(1)
+	if len(reqs) != n {
+		t.Fatalf("request log re-delivered: %d entries, want %d", len(reqs), n)
+	}
+	for i, r := range reqs {
+		if r.CacheKey != fmt.Sprintf("k%d", i) {
+			t.Fatalf("request %d: got %q (duplicate or skip across resume)", i, r.CacheKey)
+		}
+	}
+	if reg.Snapshot().Counters["faults.injected_total"] == 0 {
+		t.Fatal("no faults were injected")
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("pump did not stop")
+	}
+}

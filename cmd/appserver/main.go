@@ -27,6 +27,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8081", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
+	longpollMax := flag.Duration("longpoll-max", 0, "cap on log-export long-poll waits (0 = default)")
 	flag.Parse()
 
 	qlog := driver.NewQueryLog(0)
@@ -46,7 +47,7 @@ func main() {
 
 	// Export the request and query logs so a remote invalidatord can fetch
 	// them (the paper's Figure 7 deployment).
-	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog}
+	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog, MaxWait: *longpollMax}
 
 	oreg := obs.NewRegistry()
 	handler := obs.HTTPMiddleware(oreg, "appserver", exporter.Wrap(srv))

@@ -29,6 +29,7 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	stmtCache := flag.Int("stmt-cache-size", 0, "prepared-statement cache capacity (0 = default)")
+	feedHeartbeat := flag.Duration("feed-heartbeat", 0, "idle heartbeat interval on update-log subscriptions (0 = default)")
 	flag.Parse()
 
 	db := engine.NewDatabase()
@@ -51,6 +52,9 @@ func main() {
 	}
 
 	srv := wire.NewServer(db)
+	if *feedHeartbeat > 0 {
+		srv.HeartbeatInterval = *feedHeartbeat
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		log.Fatalf("dbserver: %v", err)

@@ -42,6 +42,9 @@ func main() {
 	ejectBatch := flag.Int("eject-batch", 0, "keys per batched eject request (0 = default)")
 	dbTimeout := flag.Duration("db-timeout", 0, "per-roundtrip deadline on the update-log connection (0 = default 10s, <0 = none)")
 	httpTimeout := flag.Duration("http-timeout", 0, "request timeout for log fetch and ejects (0 = default 10s)")
+	feed := flag.Bool("feed", false, "event-driven mode: subscribe to the update-log stream and long-poll the app-server logs; -interval becomes the fallback cadence")
+	feedBuffer := flag.Int("feed-buffer", 0, "update-log stream buffer in records (0 = default)")
+	minEventGap := flag.Duration("min-event-gap", 0, "burst-coalescing window for event-driven cycles (0 = default)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
@@ -54,6 +57,22 @@ func main() {
 	}
 	defer logClient.Close()
 	logClient.Timeout = *dbTimeout
+	var puller invalidator.LogPuller = invalidator.WireLogPuller{Client: logClient}
+	var notifier invalidator.LogNotifier
+	var logFeed *wire.LogFeed
+	if *feed {
+		// The stream needs its own dedicated connection; logClient stays
+		// unused in feed mode but keeps the flag wiring uniform.
+		feedClient, err := wire.Dial(*dbAddr)
+		if err != nil {
+			log.Fatalf("invalidatord: update log stream: %v", err)
+		}
+		feedClient.Timeout = *dbTimeout
+		logFeed = wire.NewLogFeed(feedClient, 1, *feedBuffer)
+		defer logFeed.Close()
+		puller = logFeed
+		notifier = logFeed
+	}
 	var httpClient *http.Client // nil = shared default with timeouts
 	if *httpTimeout > 0 {
 		httpClient = &http.Client{Timeout: *httpTimeout}
@@ -71,6 +90,9 @@ func main() {
 		conns = append(conns, c)
 	}
 	reg := obs.NewRegistry()
+	if logFeed != nil {
+		logFeed.Instrument(reg, "feed")
+	}
 	var poller invalidator.Poller = conns[0]
 	if len(conns) > 1 {
 		cp := invalidator.NewConcurrentPoller(conns...)
@@ -87,7 +109,7 @@ func main() {
 	inv := invalidator.New(invalidator.Config{
 		Map:    qiMap,
 		Mapper: mapper,
-		Puller: invalidator.WireLogPuller{Client: logClient},
+		Puller: puller,
 		Poller: poller,
 		Ejector: invalidator.HTTPEjector{
 			CacheURLs: strings.Split(*caches, ","),
@@ -114,41 +136,52 @@ func main() {
 	if *obsLog > 0 {
 		go obs.LogLoop(reg, *obsLog, log.Printf, stop)
 	}
-	go func() {
-		// Consecutive failures (log fetch or cycle) stretch the cadence with
-		// capped exponential backoff instead of hammering a dead dependency;
-		// one clean cycle restores the configured interval.
-		failures := 0
-		timer := time.NewTimer(*interval)
-		defer timer.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-timer.C:
-			}
-			if _, err := mirror.Sync(); err != nil {
-				log.Printf("invalidatord: log fetch: %v", err)
-				failures++
-				timer.Reset(invalidator.NextCycleDelay(*interval, failures))
-				continue // app server may be restarting; retry after backoff
-			}
-			rep, err := inv.Cycle()
-			if err != nil {
-				log.Printf("invalidatord: cycle: %v", err)
-				failures++
-				timer.Reset(invalidator.NextCycleDelay(*interval, failures))
-				continue
-			}
-			failures = 0
-			timer.Reset(*interval)
-			if *verbose || rep.Invalidated > 0 {
-				log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
-					rep.MappedPages, rep.UpdateRecords, rep.Polls,
-					rep.Invalidated, rep.Conservative, rep.Duration)
-			}
+	if *feed {
+		// Long-poll the app server's logs in the background so request and
+		// query entries land in the mirror as they are appended; the
+		// synchronous Sync at the head of each cycle stays as the soundness
+		// backstop (a cycle must never consume update records while blind to
+		// the requests that cached the affected pages).
+		go mirror.Run(stop)
+	}
+	// One shared cadence loop for both modes (invalidator.RunLoop): pure
+	// interval ticking by default; with -feed a cycle also runs as soon as
+	// the stream signals new update records, bursts coalesced within
+	// -min-event-gap and the interval timer kept as fallback. Consecutive
+	// failures (log fetch or cycle) stretch the cadence with capped
+	// exponential backoff instead of hammering a dead dependency; one clean
+	// cycle restores the configured interval.
+	cycle := func() error {
+		if _, err := mirror.Sync(); err != nil {
+			log.Printf("invalidatord: log fetch: %v", err)
+			return err // app server may be restarting; retry after backoff
 		}
-	}()
+		rep, err := inv.Cycle()
+		if err != nil {
+			log.Printf("invalidatord: cycle: %v", err)
+			return err
+		}
+		if *verbose || rep.Invalidated > 0 {
+			log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
+				rep.MappedPages, rep.UpdateRecords, rep.Polls,
+				rep.Invalidated, rep.Conservative, rep.Duration)
+		}
+		return nil
+	}
+	gap := *minEventGap
+	if gap <= 0 {
+		gap = invalidator.DefaultMinEventGap
+	}
+	var onBurst func(int)
+	if notifier != nil {
+		eventCycles := reg.Counter("invalidator.event_cycles_total")
+		burstWakes := reg.Histogram("invalidator.event_burst_wakes")
+		onBurst = func(wakes int) {
+			eventCycles.Inc()
+			burstWakes.Observe(float64(wakes))
+		}
+	}
+	go invalidator.RunLoop(*interval, gap, notifier, stop, cycle, onBurst)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

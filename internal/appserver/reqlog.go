@@ -3,6 +3,8 @@ package appserver
 import (
 	"sync"
 	"time"
+
+	"repro/internal/feed"
 )
 
 // RequestLogEntry is one record of the HTTP request log, with the fields
@@ -24,14 +26,21 @@ type RequestLogEntry struct {
 	LeaseIDs []int64 // pool leases the request used (query attribution)
 }
 
-// RequestLog is a bounded, thread-safe request log polled by the sniffer's
-// request-to-query mapper.
+// RequestLog is a bounded, thread-safe request log. The sniffer's
+// request-to-query mapper reads it either by polling (Since) or as a feed
+// (Subscribe / Changed).
 type RequestLog struct {
 	mu      sync.Mutex
 	entries []RequestLogEntry
 	firstID int64
 	nextID  int64
 	cap     int
+	// changed is closed on every append and then replaced (close-and-replace
+	// broadcast; see Changed).
+	changed chan struct{}
+
+	hubOnce sync.Once
+	hub     *feed.Hub[RequestLogEntry]
 }
 
 // DefaultRequestLogCapacity bounds request log memory when no capacity is
@@ -44,7 +53,7 @@ func NewRequestLog(capacity int) *RequestLog {
 	if capacity <= 0 {
 		capacity = DefaultRequestLogCapacity
 	}
-	return &RequestLog{firstID: 1, nextID: 1, cap: capacity}
+	return &RequestLog{firstID: 1, nextID: 1, cap: capacity, changed: make(chan struct{})}
 }
 
 // Append adds an entry, assigning and returning its ID.
@@ -61,28 +70,64 @@ func (l *RequestLog) Append(e RequestLogEntry) int64 {
 		l.entries = append(l.entries[:0:0], l.entries[drop:]...)
 		l.firstID += int64(drop)
 	}
+	close(l.changed)
+	l.changed = make(chan struct{})
 	return e.ID
 }
 
 // Since returns entries with ID >= id plus whether older entries were
 // discarded.
 func (l *RequestLog) Since(id int64) (entries []RequestLogEntry, truncated bool) {
+	entries, truncated, _, _ = l.SinceNext(id)
+	return entries, truncated
+}
+
+// SinceNext is Since plus the resume cursor and truncation context, observed
+// atomically: next is one past the last returned entry, first is the oldest
+// retained ID.
+func (l *RequestLog) SinceNext(id int64) (entries []RequestLogEntry, truncated bool, next, first int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if id < 1 {
 		id = 1
 	}
 	truncated = id < l.firstID
+	next = l.nextID
+	first = l.firstID
 	start := id - l.firstID
 	if start < 0 {
 		start = 0
 	}
 	if start >= int64(len(l.entries)) {
-		return nil, truncated
+		return nil, truncated, next, first
 	}
 	out := make([]RequestLogEntry, int64(len(l.entries))-start)
 	copy(out, l.entries[start:])
-	return out, truncated
+	return out, truncated, next, first
+}
+
+// Changed returns a channel closed when an entry may have been appended since
+// the call; re-obtain it after each wakeup.
+func (l *RequestLog) Changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.changed
+}
+
+// Subscribe opens a feed subscription at cursor with bounded buffering (feed
+// defaults when buffer <= 0).
+func (l *RequestLog) Subscribe(cursor int64, buffer int) *feed.Subscription[RequestLogEntry] {
+	return l.Hub().Subscribe(cursor, buffer)
+}
+
+// Hub exposes the log's fan-out feed hub (created on first use).
+func (l *RequestLog) Hub() *feed.Hub[RequestLogEntry] {
+	l.hubOnce.Do(func() {
+		l.hub = feed.NewHub(func(cursor int64) ([]RequestLogEntry, bool, int64, int64) {
+			return l.SinceNext(cursor)
+		}, l.Changed)
+	})
+	return l.hub
 }
 
 // NextID returns the ID the next entry will receive.

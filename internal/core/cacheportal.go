@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/appserver"
 	"repro/internal/driver"
+	"repro/internal/feed"
 	"repro/internal/invalidator"
 	"repro/internal/obs"
 	"repro/internal/sniffer"
@@ -50,6 +51,26 @@ type Options struct {
 	// freshness-trace histograms. Nil allocates a private registry, so
 	// instrumentation is always on; reach it via Portal.Obs.
 	Obs *obs.Registry
+
+	// EventDriven switches the background loop from the pure interval timer
+	// to event-driven cycles: a cycle runs as soon as the Notifier signals
+	// new update-log records, with the interval timer kept as fallback
+	// cadence. Invalidation outcomes are identical to pull mode; only
+	// commit-to-eject staleness changes.
+	EventDriven bool
+	// Notifier supplies the change signal when EventDriven. When nil, New
+	// uses the Puller if it also implements invalidator.LogNotifier
+	// (invalidator.EngineLogPuller and *wire.LogFeed both do).
+	Notifier invalidator.LogNotifier
+	// MinEventGap is the burst-coalescing window of event-driven cycles
+	// (invalidator.DefaultMinEventGap when 0).
+	MinEventGap time.Duration
+	// UseFeeds switches the sniffer's mapper from re-polling the request and
+	// query logs to feed subscriptions.
+	UseFeeds bool
+	// FeedBuffer bounds the mapper's feed subscription buffering (feed
+	// defaults when 0).
+	FeedBuffer int
 }
 
 // Portal is a running CachePortal: the sniffer + invalidator pair.
@@ -62,6 +83,8 @@ type Portal struct {
 	Obs *obs.Registry
 
 	interval time.Duration
+	notifier invalidator.LogNotifier
+	minGap   time.Duration
 
 	// cycleMu serializes invalidation cycles: the background loop and
 	// synchronous Cycle callers may overlap, and the invalidator's cycle
@@ -93,10 +116,31 @@ func New(opts Options) (*Portal, error) {
 	if opts.Obs == nil {
 		opts.Obs = obs.NewRegistry()
 	}
+	var notifier invalidator.LogNotifier
+	if opts.EventDriven {
+		notifier = opts.Notifier
+		if notifier == nil {
+			n, ok := opts.Puller.(invalidator.LogNotifier)
+			if !ok {
+				return nil, errors.New("cacheportal: EventDriven requires a Notifier (or a Puller that provides Changed)")
+			}
+			notifier = n
+		}
+	}
+	minGap := opts.MinEventGap
+	if minGap <= 0 {
+		minGap = invalidator.DefaultMinEventGap
+	}
 	m := sniffer.NewQIURLMap()
 	mp := sniffer.NewMapper(opts.RequestLog, opts.QueryLog, m)
 	mp.Mode = opts.MapperMode
 	mp.Obs = opts.Obs
+	mp.UseFeeds = opts.UseFeeds
+	mp.FeedBuffer = opts.FeedBuffer
+	if opts.UseFeeds {
+		instrumentHub(opts.Obs, "feed.requests", opts.RequestLog.Hub())
+		instrumentHub(opts.Obs, "feed.queries", opts.QueryLog.Hub())
+	}
 
 	var pol *invalidator.Policies
 	if opts.Thresholds == (invalidator.DiscoveryThresholds{}) {
@@ -122,7 +166,23 @@ func New(opts Options) (*Portal, error) {
 	if cp, ok := opts.Poller.(*invalidator.ConcurrentPoller); ok {
 		cp.Instrument(opts.Obs, "poller")
 	}
-	return &Portal{Map: m, Mapper: mp, Invalidator: inv, Obs: opts.Obs, interval: opts.Interval}, nil
+	return &Portal{
+		Map: m, Mapper: mp, Invalidator: inv, Obs: opts.Obs,
+		interval: opts.Interval, notifier: notifier, minGap: minGap,
+	}, nil
+}
+
+// instrumentHub registers pull-style gauges for one log hub under
+// "<prefix>.": live subscribers, worst-case subscriber lag in records,
+// batches buffered in subscriber channels, and delivery totals (records over
+// batches is the mean coalesced-burst size).
+func instrumentHub[T any](reg *obs.Registry, prefix string, h *feed.Hub[T]) {
+	reg.GaugeFunc(prefix+".subscribers", func() int64 { return int64(h.Stats().Subscribers) })
+	reg.GaugeFunc(prefix+".lag", h.Lag)
+	reg.GaugeFunc(prefix+".buffered", func() int64 { return int64(h.Stats().Buffered) })
+	reg.GaugeFunc(prefix+".batches_total", func() int64 { return h.Stats().Batches })
+	reg.GaugeFunc(prefix+".records_total", func() int64 { return h.Stats().Records })
+	reg.GaugeFunc(prefix+".truncations_total", func() int64 { return h.Stats().Truncations })
 }
 
 // Interval returns the configured cycle cadence; the application server's
@@ -149,9 +209,13 @@ func (p *Portal) Cycle() (invalidator.Report, error) {
 }
 
 // Start launches the background loop. Calling Start twice is an error.
-// Consecutive cycle errors stretch the cadence with capped exponential
-// backoff (invalidator.NextCycleDelay) instead of silently ticking against
-// a failing dependency; one success restores the configured interval.
+// The cadence is invalidator.RunLoop: pure interval ticking by default, and
+// with Options.EventDriven a cycle also runs as soon as the notifier signals
+// new log records (bursts coalesced within MinEventGap, the interval timer
+// kept as fallback). Either way, consecutive cycle errors stretch the
+// cadence with capped exponential backoff (invalidator.NextCycleDelay)
+// instead of silently ticking against a failing dependency; one success
+// restores the configured interval.
 func (p *Portal) Start() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -160,24 +224,21 @@ func (p *Portal) Start() error {
 	}
 	p.stopCh = make(chan struct{})
 	p.stopped = make(chan struct{})
+	var onBurst func(int)
+	if p.notifier != nil {
+		eventCycles := p.Obs.Counter("invalidator.event_cycles_total")
+		burstWakes := p.Obs.Histogram("invalidator.event_burst_wakes")
+		onBurst = func(wakes int) {
+			eventCycles.Inc()
+			burstWakes.Observe(float64(wakes))
+		}
+	}
 	go func(stop <-chan struct{}, done chan<- struct{}) {
 		defer close(done)
-		failures := 0
-		timer := time.NewTimer(p.interval)
-		defer timer.Stop()
-		for {
-			select {
-			case <-stop:
-				return
-			case <-timer.C:
-				if _, err := p.Cycle(); err != nil {
-					failures++
-				} else {
-					failures = 0
-				}
-				timer.Reset(invalidator.NextCycleDelay(p.interval, failures))
-			}
-		}
+		invalidator.RunLoop(p.interval, p.minGap, p.notifier, stop, func() error {
+			_, err := p.Cycle()
+			return err
+		}, onBurst)
 	}(p.stopCh, p.stopped)
 	return nil
 }
@@ -194,6 +255,13 @@ func (p *Portal) Stop() {
 	}
 	close(stopCh)
 	<-stopped
+}
+
+// Close stops the background loop and releases the mapper's feed
+// subscriptions. Use it instead of Stop when the portal is done for good.
+func (p *Portal) Close() {
+	p.Stop()
+	p.Mapper.Close()
 }
 
 // LastReport returns the most recent cycle's report, its error, and how

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/feed"
 )
 
 // QueryLogEntry is one record of the query log: the exact SQL text the
@@ -21,14 +22,21 @@ type QueryLogEntry struct {
 	Err     string    // non-empty when the query failed
 }
 
-// QueryLog is a bounded, thread-safe log of executed queries, polled by the
-// sniffer's request-to-query mapper.
+// QueryLog is a bounded, thread-safe log of executed queries. The sniffer's
+// request-to-query mapper reads it either by polling (Since) or as a feed
+// (Subscribe / Changed).
 type QueryLog struct {
 	mu      sync.Mutex
 	entries []QueryLogEntry
 	firstID int64
 	nextID  int64
 	cap     int
+	// changed is closed on every append and then replaced (close-and-replace
+	// broadcast; see Changed).
+	changed chan struct{}
+
+	hubOnce sync.Once
+	hub     *feed.Hub[QueryLogEntry]
 }
 
 // DefaultQueryLogCapacity bounds query-log memory when no capacity is given.
@@ -40,7 +48,7 @@ func NewQueryLog(capacity int) *QueryLog {
 	if capacity <= 0 {
 		capacity = DefaultQueryLogCapacity
 	}
-	return &QueryLog{firstID: 1, nextID: 1, cap: capacity}
+	return &QueryLog{firstID: 1, nextID: 1, cap: capacity, changed: make(chan struct{})}
 }
 
 // Append adds an entry, assigning its ID.
@@ -57,28 +65,64 @@ func (l *QueryLog) Append(e QueryLogEntry) int64 {
 		l.entries = append(l.entries[:0:0], l.entries[drop:]...)
 		l.firstID += int64(drop)
 	}
+	close(l.changed)
+	l.changed = make(chan struct{})
 	return e.ID
 }
 
 // Since returns a copy of entries with ID >= id and whether older entries
 // were discarded.
 func (l *QueryLog) Since(id int64) (entries []QueryLogEntry, truncated bool) {
+	entries, truncated, _, _ = l.SinceNext(id)
+	return entries, truncated
+}
+
+// SinceNext is Since plus the resume cursor and truncation context, observed
+// atomically: next is one past the last returned entry, first is the oldest
+// retained ID.
+func (l *QueryLog) SinceNext(id int64) (entries []QueryLogEntry, truncated bool, next, first int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if id < 1 {
 		id = 1
 	}
 	truncated = id < l.firstID
+	next = l.nextID
+	first = l.firstID
 	start := id - l.firstID
 	if start < 0 {
 		start = 0
 	}
 	if start >= int64(len(l.entries)) {
-		return nil, truncated
+		return nil, truncated, next, first
 	}
 	out := make([]QueryLogEntry, int64(len(l.entries))-start)
 	copy(out, l.entries[start:])
-	return out, truncated
+	return out, truncated, next, first
+}
+
+// Changed returns a channel closed when an entry may have been appended since
+// the call; re-obtain it after each wakeup.
+func (l *QueryLog) Changed() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.changed
+}
+
+// Subscribe opens a feed subscription at cursor with bounded buffering (feed
+// defaults when buffer <= 0).
+func (l *QueryLog) Subscribe(cursor int64, buffer int) *feed.Subscription[QueryLogEntry] {
+	return l.Hub().Subscribe(cursor, buffer)
+}
+
+// Hub exposes the log's fan-out feed hub (created on first use).
+func (l *QueryLog) Hub() *feed.Hub[QueryLogEntry] {
+	l.hubOnce.Do(func() {
+		l.hub = feed.NewHub(func(cursor int64) ([]QueryLogEntry, bool, int64, int64) {
+			return l.SinceNext(cursor)
+		}, l.Changed)
+	})
+	return l.hub
 }
 
 // NextID returns the ID the next entry will receive.

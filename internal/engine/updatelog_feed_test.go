@@ -1,0 +1,196 @@
+package engine
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// TestUpdateLogSinceNextAtomic pins the cursor contract: next is exactly one
+// past the last returned record even while appends race, so a reader that
+// advances to next can never skip a record.
+func TestUpdateLogSinceNextAtomic(t *testing.T) {
+	l := NewUpdateLog(0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				l.Append(UpdateRecord{Table: "t", Op: OpInsert, Row: mem.Row{mem.Int(1)}})
+			}
+		}
+	}()
+	var cursor int64 = 1
+	var seen int64
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		recs, trunc, next, _ := l.SinceNext(cursor)
+		if trunc {
+			t.Fatal("unexpected truncation")
+		}
+		if want := cursor + int64(len(recs)); next != want {
+			t.Fatalf("next=%d after %d records from %d (want %d)", next, len(recs), cursor, want)
+		}
+		for _, r := range recs {
+			seen++
+			if r.LSN != seen {
+				t.Fatalf("record LSN %d, want %d (skip!)", r.LSN, seen)
+			}
+		}
+		cursor = next
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUpdateLogIdleFastPath pins the satellite: a reader exactly at the head
+// allocates nothing.
+func TestUpdateLogIdleFastPath(t *testing.T) {
+	l := NewUpdateLog(0)
+	for i := 0; i < 4; i++ {
+		l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+	}
+	head := l.NextLSN()
+	allocs := testing.AllocsPerRun(100, func() {
+		recs, trunc, next, _ := l.SinceNext(head)
+		if recs != nil || trunc || next != head {
+			t.Fatalf("idle read: recs=%v trunc=%v next=%d", recs, trunc, next)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("idle SinceNext allocates (%v allocs/op)", allocs)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if recs, _ := l.Since(head); recs != nil {
+			t.Fatal("idle Since returned records")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("idle Since allocates (%v allocs/op)", allocs)
+	}
+}
+
+// TestUpdateLogSinceNextTruncationContext verifies first carries the oldest
+// retained LSN when the reader fell behind.
+func TestUpdateLogSinceNextTruncationContext(t *testing.T) {
+	l := NewUpdateLog(3)
+	for i := 0; i < 10; i++ {
+		l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+	}
+	recs, trunc, next, first := l.SinceNext(1)
+	if !trunc {
+		t.Fatal("no truncation reported")
+	}
+	if first < 2 || first > 10 {
+		t.Fatalf("first=%d out of range", first)
+	}
+	if len(recs) == 0 || recs[0].LSN != first {
+		t.Fatalf("records start at %d, want first=%d", recs[0].LSN, first)
+	}
+	if next != 11 {
+		t.Fatalf("next=%d, want 11", next)
+	}
+}
+
+// TestUpdateLogChangedWakesOnAppend verifies the Changed broadcast: a waiter
+// blocked on the channel obtained before an append wakes and then observes
+// the record.
+func TestUpdateLogChangedWakesOnAppend(t *testing.T) {
+	l := NewUpdateLog(0)
+	ch := l.Changed()
+	done := make(chan int64, 1)
+	go func() {
+		<-ch
+		recs, _ := l.Since(1)
+		if len(recs) == 0 {
+			done <- 0
+			return
+		}
+		done <- recs[0].LSN
+	}()
+	time.Sleep(5 * time.Millisecond)
+	l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+	select {
+	case lsn := <-done:
+		if lsn != 1 {
+			t.Fatalf("waiter saw LSN %d", lsn)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+// TestUpdateLogSubscribe drives the feed layer end to end over the real log:
+// blocked delivery on arrival, resume from cursor, truncation in-band.
+func TestUpdateLogSubscribe(t *testing.T) {
+	l := NewUpdateLog(0)
+	sub := l.Subscribe(1, 4)
+	defer sub.Close()
+
+	l.Append(UpdateRecord{Table: "a", Op: OpInsert})
+	l.Append(UpdateRecord{Table: "b", Op: OpDelete})
+
+	var got []UpdateRecord
+	var next int64
+	deadline := time.Now().Add(5 * time.Second)
+	for len(got) < 2 && time.Now().Before(deadline) {
+		select {
+		case b := <-sub.C:
+			if b.Truncated {
+				t.Fatal("unexpected truncation")
+			}
+			got = append(got, b.Recs...)
+			next = b.Next
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if len(got) != 2 || got[0].Table != "a" || got[1].Table != "b" {
+		t.Fatalf("subscription delivered %v", got)
+	}
+	if next != 3 {
+		t.Fatalf("cursor after drain = %d", next)
+	}
+
+	// A replacement subscription at the delivered cursor picks up exactly
+	// the next record.
+	sub2 := l.Subscribe(next, 4)
+	defer sub2.Close()
+	l.Append(UpdateRecord{Table: "c", Op: OpInsert})
+	select {
+	case b := <-sub2.C:
+		if len(b.Recs) != 1 || b.Recs[0].Table != "c" || b.Recs[0].LSN != 3 {
+			t.Fatalf("resumed batch = %+v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("resumed subscription got nothing")
+	}
+}
+
+// TestUpdateLogSubscribeTruncation: a subscriber behind the retention window
+// gets the truncation signal with the surviving suffix.
+func TestUpdateLogSubscribeTruncation(t *testing.T) {
+	l := NewUpdateLog(3)
+	for i := 0; i < 10; i++ {
+		l.Append(UpdateRecord{Table: "t", Op: OpInsert})
+	}
+	sub := l.Subscribe(1, 4)
+	defer sub.Close()
+	select {
+	case b := <-sub.C:
+		if !b.Truncated {
+			t.Fatal("missing truncation signal")
+		}
+		if b.FirstSeq < 2 {
+			t.Fatalf("FirstSeq = %d", b.FirstSeq)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no batch delivered")
+	}
+}

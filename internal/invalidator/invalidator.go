@@ -23,14 +23,28 @@ type LogPuller interface {
 	PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error)
 }
 
+// LogNotifier is the event-driven trigger: Changed returns a channel that is
+// closed when log records may have arrived since the call (re-obtain it after
+// each wakeup — close-and-replace broadcast semantics). engine.UpdateLog and
+// wire.LogFeed both satisfy it; a plain polling client does not, and stays on
+// the timer.
+type LogNotifier interface {
+	Changed() <-chan struct{}
+}
+
 // EngineLogPuller reads an in-process update log.
 type EngineLogPuller struct{ Log *engine.UpdateLog }
 
-// PullSince implements LogPuller.
+// PullSince implements LogPuller. SinceNext observes records and the resume
+// cursor atomically — reading NextLSN separately would race with appends and
+// skip records forever.
 func (p EngineLogPuller) PullSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
-	recs, trunc := p.Log.Since(lsn)
-	return recs, trunc, p.Log.NextLSN(), nil
+	recs, trunc, next, _ := p.Log.SinceNext(lsn)
+	return recs, trunc, next, nil
 }
+
+// Changed implements LogNotifier.
+func (p EngineLogPuller) Changed() <-chan struct{} { return p.Log.Changed() }
 
 // WireLogPuller reads the update log over the wire protocol.
 type WireLogPuller struct{ Client *wire.Client }
@@ -243,21 +257,41 @@ func NextCycleDelay(interval time.Duration, failures int) time.Duration {
 	return backoff.Delay(interval, failures, maxCycleBackoffFactor*interval)
 }
 
-// Start runs Cycle every interval until stop closes. Consecutive cycle
-// errors stretch the cadence with exponential backoff (capped, jittered)
-// instead of silently ticking against a failing dependency; one success
-// restores the configured interval.
-func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
-	go func() {
-		failures := 0
-		timer := time.NewTimer(interval)
-		defer timer.Stop()
+// DefaultMinEventGap is the burst-coalescing window of event-driven cycle
+// loops when none is configured: after the first wakeup a cycle waits this
+// long, folding further wakeups into the same cycle, so a write burst costs
+// one analysis pass instead of one per commit.
+const DefaultMinEventGap = 10 * time.Millisecond
+
+// RunLoop is the shared cycle-cadence loop: run cycle every interval, and —
+// when notifier is non-nil — also as soon as the notifier signals new log
+// records, after a minGap coalescing window that folds a burst of wakeups
+// into one cycle. The interval timer is always retained as a fallback (it is
+// what keeps a feed that degraded to polling fresh), and consecutive cycle
+// errors stretch the cadence through NextCycleDelay exactly as the pure timer
+// loop does, so every deployment — in-process, portal, invalidatord — degrades
+// the same way. onBurst, when non-nil, observes how many wakeups each
+// event-triggered cycle coalesced. RunLoop blocks until stop closes.
+//
+// With a notifier, each iteration obtains the notification channel BEFORE
+// running the cycle and only then waits on it: a record that arrives while a
+// cycle is in flight closes the already-obtained channel, so the loop wakes
+// immediately instead of stalling until the fallback timer (the same
+// no-missed-wakeup discipline as the feed pump). The first iteration is a
+// catch-up cycle for the same reason — appends from before the loop existed
+// closed only channels nobody held. Without a notifier the loop is the
+// original pure timer: first cycle one interval in.
+func RunLoop(interval, minGap time.Duration, notifier LogNotifier, stop <-chan struct{}, cycle func() error, onBurst func(wakes int)) {
+	failures := 0
+	timer := time.NewTimer(interval)
+	defer timer.Stop()
+	if notifier == nil {
 		for {
 			select {
 			case <-stop:
 				return
 			case <-timer.C:
-				if _, err := inv.Cycle(); err != nil {
+				if err := cycle(); err != nil {
 					failures++
 				} else {
 					failures = 0
@@ -265,7 +299,77 @@ func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
 				timer.Reset(NextCycleDelay(interval, failures))
 			}
 		}
-	}()
+	}
+	for {
+		changed := notifier.Changed()
+		if err := cycle(); err != nil {
+			failures++
+		} else {
+			failures = 0
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(NextCycleDelay(interval, failures))
+		select {
+		case <-stop:
+			return
+		case <-timer.C:
+		case <-changed:
+			wakes := 1
+			if minGap > 0 {
+				guard := time.NewTimer(minGap)
+			coalesce:
+				for {
+					select {
+					case <-stop:
+						guard.Stop()
+						return
+					case <-notifier.Changed():
+						wakes++
+					case <-guard.C:
+						break coalesce
+					}
+				}
+			}
+			if onBurst != nil {
+				onBurst(wakes)
+			}
+		}
+	}
+}
+
+// Start runs Cycle every interval until stop closes. Consecutive cycle
+// errors stretch the cadence with exponential backoff (capped, jittered)
+// instead of silently ticking against a failing dependency; one success
+// restores the configured interval.
+func (inv *Invalidator) Start(interval time.Duration, stop <-chan struct{}) {
+	go RunLoop(interval, 0, nil, stop, func() error {
+		_, err := inv.Cycle()
+		return err
+	}, nil)
+}
+
+// StartEventDriven runs Cycle when notifier signals new update-log records —
+// coalescing bursts within minGap (DefaultMinEventGap when <= 0) — while
+// keeping the interval timer as fallback cadence. The invalidation outcome is
+// identical to pull mode (Cycle and the puller are untouched; only the
+// trigger changes); what moves is commit-to-eject staleness, from O(interval)
+// down to O(minGap + cycle time).
+func (inv *Invalidator) StartEventDriven(interval, minGap time.Duration, notifier LogNotifier, stop <-chan struct{}) {
+	if minGap <= 0 {
+		minGap = DefaultMinEventGap
+	}
+	go RunLoop(interval, minGap, notifier, stop, func() error {
+		_, err := inv.Cycle()
+		return err
+	}, func(wakes int) {
+		inv.met.eventCycles.Inc()
+		inv.met.burstWakes.Observe(float64(wakes))
+	})
 }
 
 // Cycle performs one sniff-ingest / update-pull / analyze / poll / eject

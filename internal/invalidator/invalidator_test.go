@@ -563,7 +563,7 @@ func TestPolicyRuleNeverCache(t *testing.T) {
 	h.page("url1", paperQuery1)
 	h.cycle(t)
 	types := h.inv.Registry().Types()
-	if len(types) != 1 || !types[0].NoCache {
+	if len(types) != 1 || !types[0].NoCache.Load() {
 		t.Fatalf("types: %+v", types)
 	}
 	if h.inv.CacheableServlet("servlet") {
@@ -605,7 +605,7 @@ func TestPolicyDiscoveryByInvalidationRatio(t *testing.T) {
 		h.cycle(t)
 	}
 	types := h.inv.Registry().Types()
-	if len(types) != 1 || !types[0].NoCache {
+	if len(types) != 1 || !types[0].NoCache.Load() {
 		t.Fatalf("type should be marked no-cache: %+v", types[0])
 	}
 }

@@ -32,6 +32,8 @@ type invMetrics struct {
 	ejectFailStreak *obs.Gauge
 	ejectSeconds    *obs.Histogram
 	staleness       *obs.Histogram
+	eventCycles     *obs.Counter
+	burstWakes      *obs.Histogram
 }
 
 func newInvMetrics(reg *obs.Registry) invMetrics {
@@ -60,6 +62,8 @@ func newInvMetrics(reg *obs.Registry) invMetrics {
 		ejectFailStreak: reg.Gauge("invalidator.eject_fail_streak"),
 		ejectSeconds:    reg.Histogram("invalidator.eject_seconds"),
 		staleness:       reg.Histogram("invalidator.staleness_seconds"),
+		eventCycles:     reg.Counter("invalidator.event_cycles_total"),
+		burstWakes:      reg.Histogram("invalidator.event_burst_wakes"),
 	}
 }
 

@@ -40,8 +40,10 @@ type QueryType struct {
 	Discovered bool
 
 	// NoCache is set by policy when pages depending on this type should
-	// not be cached (§4.1.4).
-	NoCache bool
+	// not be cached (§4.1.4). Atomic: policy evaluation flips it from the
+	// invalidation cycle while the application server's cacheability hook
+	// reads it on the request path.
+	NoCache atomic.Bool
 
 	stats TypeStats
 

@@ -7,13 +7,18 @@
 package logexport
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/appserver"
+	"repro/internal/backoff"
 	"repro/internal/driver"
 	"repro/internal/httpx"
 )
@@ -51,10 +56,19 @@ type logPage[T any] struct {
 	Next      int64 `json:"next"` // pass as ?since= on the next pull
 }
 
-// Exporter serves the two logs over HTTP.
+// DefaultMaxWait caps the ?wait= long-poll duration an exporter will honor.
+const DefaultMaxWait = 25 * time.Second
+
+// Exporter serves the two logs over HTTP. Both endpoints accept
+// ?since=<cursor> (alias: ?cursor=) and an optional &wait=<duration>: with
+// wait, a request at the log head blocks until an entry arrives or the wait
+// elapses (long poll), turning the pull endpoints into a change feed without
+// a new protocol.
 type Exporter struct {
 	Requests *appserver.RequestLog
 	Queries  *driver.QueryLog
+	// MaxWait caps honored ?wait= values (DefaultMaxWait when 0).
+	MaxWait time.Duration
 }
 
 // Handler returns the exporter's http.Handler; mount it under
@@ -67,15 +81,67 @@ func (e *Exporter) Handler() http.Handler {
 }
 
 func sinceParam(r *http.Request) int64 {
-	n, err := strconv.ParseInt(r.URL.Query().Get("since"), 10, 64)
+	q := r.URL.Query()
+	s := q.Get("cursor")
+	if s == "" {
+		s = q.Get("since")
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
 	if err != nil || n < 1 {
 		return 1
 	}
 	return n
 }
 
+func (e *Exporter) waitParam(r *http.Request) time.Duration {
+	d, err := time.ParseDuration(r.URL.Query().Get("wait"))
+	if err != nil || d <= 0 {
+		return 0
+	}
+	max := e.MaxWait
+	if max <= 0 {
+		max = DefaultMaxWait
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// longPoll blocks until the log (observed via changed/head) has entries at or
+// past since, the wait elapses, or the client goes away. The changed channel
+// is obtained before re-checking the head, so an append between the check and
+// the wait cannot be missed.
+func longPoll(r *http.Request, wait time.Duration, changed func() <-chan struct{}, head func() int64, since int64) {
+	if wait <= 0 || head() > since {
+		return
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		ch := changed()
+		if head() > since {
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
 func (e *Exporter) serveRequests(w http.ResponseWriter, r *http.Request) {
 	since := sinceParam(r)
+	longPoll(r, e.waitParam(r), e.Requests.Changed, e.Requests.NextID, since)
 	entries, truncated := e.Requests.Since(since)
 	page := logPage[wireRequestEntry]{Truncated: truncated, Next: since}
 	for _, en := range entries {
@@ -95,6 +161,7 @@ func (e *Exporter) serveRequests(w http.ResponseWriter, r *http.Request) {
 
 func (e *Exporter) serveQueries(w http.ResponseWriter, r *http.Request) {
 	since := sinceParam(r)
+	longPoll(r, e.waitParam(r), e.Queries.Changed, e.Queries.NextID, since)
 	entries, truncated := e.Queries.Since(since)
 	page := logPage[wireQueryEntry]{Truncated: truncated, Next: since}
 	for _, en := range entries {
@@ -129,8 +196,16 @@ func (e *Exporter) Wrap(next http.Handler) http.Handler {
 	})
 }
 
+// DefaultLongPoll is the ?wait= duration Run uses when Mirror.LongPoll is
+// unset. It stays well under the shared client's whole-request timeout
+// (httpx.DefaultTimeout) so a held-open empty response is never mistaken for
+// a hung server.
+const DefaultLongPoll = 5 * time.Second
+
 // Mirror pulls both remote logs into local RequestLog/QueryLog instances so
 // an unmodified sniffer.Mapper can run against them on another machine.
+// Sync pulls one snapshot of each log; Run long-polls both endpoints on
+// dedicated goroutines so entries land as they are appended.
 type Mirror struct {
 	// BaseURL is the application server's base URL (the exporter is
 	// expected under BaseURL + DefaultPathPrefix).
@@ -138,13 +213,37 @@ type Mirror struct {
 	// Client defaults to the shared timeout-bearing client (httpx.Default),
 	// so a hung application server cannot stall the invalidation loop.
 	Client *http.Client
+	// LongPoll is the ?wait= duration Run sends (DefaultLongPoll when 0).
+	// Keep it below the HTTP client's whole-request timeout.
+	LongPoll time.Duration
 
 	// Requests and Queries are the local mirrors; NewMirror creates them.
 	Requests *appserver.RequestLog
 	Queries  *driver.QueryLog
 
+	// One mutex per log, held across a whole page pull (fetch, append,
+	// cursor advance): Run's pumps and explicit Sync calls may interleave,
+	// and every remote entry must be appended locally exactly once. The two
+	// logs stay independent so one log's long poll never stalls the other.
+	reqMu     sync.Mutex
+	qMu       sync.Mutex
 	nextReq   int64
 	nextQuery int64
+
+	// Sync preemption: a pump's parked long poll holds the log mutex, so a
+	// Sync that simply queued behind it would wait out the whole ?wait=
+	// window — fatal for event-driven cycles, whose soundness pull must run
+	// at roundtrip latency. Each pump publishes a cancel for its in-flight
+	// park (reqCancel/qCancel); Sync bumps the waiter count and fires the
+	// cancel, and a pump that sees waiters > 0 downgrades to wait=0 so it
+	// cannot re-park ahead of the Sync. Order matters on both sides: the
+	// pump stores the cancel before checking the count, Sync bumps the
+	// count before loading the cancel — whichever way the race lands, the
+	// park is either cut short or never entered.
+	reqSyncs  atomic.Int32
+	qSyncs    atomic.Int32
+	reqCancel atomic.Value // context.CancelFunc
+	qCancel   atomic.Value // context.CancelFunc
 }
 
 // NewMirror builds a mirror of the exporter at baseURL.
@@ -162,8 +261,12 @@ func (m *Mirror) client() *http.Client {
 	return httpx.Client(m.Client)
 }
 
-func getJSON[T any](c *http.Client, url string, out *logPage[T]) error {
-	resp, err := c.Get(url)
+func getJSON[T any](ctx context.Context, c *http.Client, url string, out *logPage[T]) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.Do(req)
 	if err != nil {
 		return err
 	}
@@ -174,42 +277,140 @@ func getJSON[T any](c *http.Client, url string, out *logPage[T]) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Sync pulls one page of each log. It returns how many entries arrived.
-func (m *Mirror) Sync() (int, error) {
-	n := 0
-	var reqPage logPage[wireRequestEntry]
-	url := fmt.Sprintf("%s%s/logs/requests?since=%d", m.BaseURL, DefaultPathPrefix, m.nextReq)
-	if err := getJSON(m.client(), url, &reqPage); err != nil {
-		return n, err
+func (m *Mirror) logURL(log string, cursor int64, wait time.Duration) string {
+	u := fmt.Sprintf("%s%s/logs/%s?cursor=%d", m.BaseURL, DefaultPathPrefix, log, cursor)
+	if wait > 0 {
+		u += "&wait=" + wait.String()
 	}
-	for _, en := range reqPage.Entries {
+	return u
+}
+
+// syncRequests pulls one request-log page (held open up to wait when > 0)
+// and mirrors it locally.
+func (m *Mirror) syncRequests(ctx context.Context, wait time.Duration) (int, error) {
+	m.reqMu.Lock()
+	defer m.reqMu.Unlock()
+	if wait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		m.reqCancel.Store(cancel)
+		if m.reqSyncs.Load() > 0 {
+			wait = 0 // a Sync is waiting for this lock; don't park on its turn
+		}
+	}
+	var page logPage[wireRequestEntry]
+	if err := getJSON(ctx, m.client(), m.logURL("requests", m.nextReq, wait), &page); err != nil {
+		return 0, err
+	}
+	for _, en := range page.Entries {
 		m.Requests.Append(appserver.RequestLogEntry{
 			Servlet: en.Servlet, Request: en.Request, Cookies: en.Cookies,
 			Post: en.Post, CacheKey: en.CacheKey,
 			Receive: time.Unix(0, en.Receive), Deliver: time.Unix(0, en.Deliver),
 			Status: en.Status, Cached: en.Cached, LeaseIDs: en.LeaseIDs,
 		})
-		n++
 	}
-	if reqPage.Next > m.nextReq {
-		m.nextReq = reqPage.Next
+	if page.Next > m.nextReq {
+		m.nextReq = page.Next
 	}
+	return len(page.Entries), nil
+}
 
-	var qPage logPage[wireQueryEntry]
-	url = fmt.Sprintf("%s%s/logs/queries?since=%d", m.BaseURL, DefaultPathPrefix, m.nextQuery)
-	if err := getJSON(m.client(), url, &qPage); err != nil {
-		return n, err
+// syncQueries pulls one query-log page (held open up to wait when > 0) and
+// mirrors it locally.
+func (m *Mirror) syncQueries(ctx context.Context, wait time.Duration) (int, error) {
+	m.qMu.Lock()
+	defer m.qMu.Unlock()
+	if wait > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithCancel(ctx)
+		defer cancel()
+		m.qCancel.Store(cancel)
+		if m.qSyncs.Load() > 0 {
+			wait = 0
+		}
 	}
-	for _, en := range qPage.Entries {
+	var page logPage[wireQueryEntry]
+	if err := getJSON(ctx, m.client(), m.logURL("queries", m.nextQuery, wait), &page); err != nil {
+		return 0, err
+	}
+	for _, en := range page.Entries {
 		m.Queries.Append(driver.QueryLogEntry{
 			LeaseID: en.LeaseID, SQL: en.SQL,
 			Receive: time.Unix(0, en.Receive), Deliver: time.Unix(0, en.Deliver),
 			Err: en.Err,
 		})
-		n++
 	}
-	if qPage.Next > m.nextQuery {
-		m.nextQuery = qPage.Next
+	if page.Next > m.nextQuery {
+		m.nextQuery = page.Next
 	}
-	return n, nil
+	return len(page.Entries), nil
+}
+
+// Sync pulls one page of each log. It returns how many entries arrived.
+// While Run's pumps are active, Sync preempts a parked long poll instead of
+// queueing behind it (the pump retries from its cursor, losing nothing), so
+// the synchronous head observation an event-driven cycle depends on costs a
+// roundtrip, not a long-poll window.
+func (m *Mirror) Sync() (int, error) {
+	m.reqSyncs.Add(1)
+	if c, ok := m.reqCancel.Load().(context.CancelFunc); ok {
+		c()
+	}
+	n, err := m.syncRequests(context.Background(), 0)
+	m.reqSyncs.Add(-1)
+	if err != nil {
+		return n, err
+	}
+	m.qSyncs.Add(1)
+	if c, ok := m.qCancel.Load().(context.CancelFunc); ok {
+		c()
+	}
+	nq, err := m.syncQueries(context.Background(), 0)
+	m.qSyncs.Add(-1)
+	return n + nq, err
+}
+
+// Run long-polls both log endpoints until stop closes, mirroring entries as
+// the application server appends them. Each log gets its own pump goroutine
+// so a quiet request log cannot delay query delivery. Errors back off
+// exponentially and the pump resumes from its cursor, so a dropped or
+// restarted connection costs latency, never entries. Run returns once both
+// pumps have exited; in-flight requests are canceled via context.
+func (m *Mirror) Run(stop <-chan struct{}) {
+	wait := m.LongPoll
+	if wait <= 0 {
+		wait = DefaultLongPoll
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { <-stop; cancel() }()
+	var wg sync.WaitGroup
+	pump := func(sync func(context.Context, time.Duration) (int, error)) {
+		defer wg.Done()
+		failures := 0
+		for ctx.Err() == nil {
+			if _, err := sync(ctx, wait); err != nil {
+				if errors.Is(err, context.Canceled) && ctx.Err() == nil {
+					// A Sync preempted the park; it advances the cursor
+					// itself, so just resume from wherever it leaves off.
+					failures = 0
+					continue
+				}
+				failures++
+				t := time.NewTimer(backoff.Delay(250*time.Millisecond, failures, 5*time.Second))
+				select {
+				case <-ctx.Done():
+					t.Stop()
+				case <-t.C:
+				}
+				continue
+			}
+			failures = 0
+		}
+	}
+	wg.Add(2)
+	go pump(m.syncRequests)
+	go pump(m.syncQueries)
+	wg.Wait()
 }

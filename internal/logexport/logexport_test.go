@@ -1,6 +1,7 @@
 package logexport
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -163,5 +164,173 @@ func TestMirrorUnreachable(t *testing.T) {
 	m := NewMirror("http://127.0.0.1:1")
 	if _, err := m.Sync(); err == nil {
 		t.Fatal("want error")
+	}
+}
+
+// TestLongPollWakesOnAppend: a ?wait= request parked at the log head must
+// return as soon as an entry is appended, not after the full wait.
+func TestLongPollWakesOnAppend(t *testing.T) {
+	e, ts := newExporter(t)
+	e.Queries.Append(driver.QueryLogEntry{SQL: "q0"})
+
+	type result struct {
+		page    logPage[wireQueryEntry]
+		elapsed time.Duration
+		err     error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		start := time.Now()
+		var page logPage[wireQueryEntry]
+		err := getJSON(context.Background(), http.DefaultClient,
+			ts.URL+DefaultPathPrefix+"/logs/queries?cursor=2&wait=10s", &page)
+		ch <- result{page, time.Since(start), err}
+	}()
+	time.Sleep(50 * time.Millisecond)
+	e.Queries.Append(driver.QueryLogEntry{SQL: "q1"})
+
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	if len(r.page.Entries) != 1 || r.page.Entries[0].SQL != "q1" {
+		t.Fatalf("long poll returned %+v", r.page)
+	}
+	if r.page.Next != 3 {
+		t.Fatalf("next cursor %d", r.page.Next)
+	}
+	if r.elapsed > 5*time.Second {
+		t.Fatalf("long poll blocked for the full wait: %v", r.elapsed)
+	}
+}
+
+// TestLongPollTimesOutEmpty: with nothing to deliver, the wait elapses and an
+// empty page comes back with the cursor unchanged.
+func TestLongPollTimesOutEmpty(t *testing.T) {
+	_, ts := newExporter(t)
+	var page logPage[wireQueryEntry]
+	start := time.Now()
+	if err := getJSON(context.Background(), http.DefaultClient,
+		ts.URL+DefaultPathPrefix+"/logs/queries?cursor=1&wait=50ms", &page); err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Entries) != 0 || page.Next != 1 {
+		t.Fatalf("page: %+v", page)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("returned before the wait: %v", elapsed)
+	}
+}
+
+// TestLongPollWaitCapped: the exporter clamps ?wait= to MaxWait, so a client
+// cannot park goroutines for arbitrary durations.
+func TestLongPollWaitCapped(t *testing.T) {
+	e := &Exporter{
+		Requests: appserver.NewRequestLog(0),
+		Queries:  driver.NewQueryLog(0),
+		MaxWait:  30 * time.Millisecond,
+	}
+	ts := httptest.NewServer(e.Handler())
+	defer ts.Close()
+	start := time.Now()
+	var page logPage[wireQueryEntry]
+	if err := getJSON(context.Background(), http.DefaultClient,
+		ts.URL+DefaultPathPrefix+"/logs/queries?cursor=1&wait=1h", &page); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("wait not capped: %v", elapsed)
+	}
+}
+
+// TestSyncPreemptsParkedLongPoll: with Run's pumps parked on empty long
+// polls, a Sync must cut the parks short and return at roundtrip latency —
+// not wait out the ?wait= window — and it must observe entries appended
+// before it was called (the event-driven cycle's soundness pull). Entries
+// still arrive exactly once whichever side mirrors them.
+func TestSyncPreemptsParkedLongPoll(t *testing.T) {
+	e, ts := newExporter(t)
+	m := NewMirror(ts.URL)
+	m.LongPoll = 10 * time.Second
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(stop) }()
+	time.Sleep(100 * time.Millisecond) // both pumps parked at empty heads
+
+	start := time.Now()
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("Sync queued behind the parked long polls: %v", elapsed)
+	}
+
+	// Entries committed before a Sync must be mirrored by the time it
+	// returns, even with the pumps re-parked in between.
+	time.Sleep(100 * time.Millisecond)
+	for i := 0; i < 3; i++ {
+		e.Queries.Append(driver.QueryLogEntry{SQL: fmt.Sprintf("q%d", i)})
+	}
+	start = time.Now()
+	if _, err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("second Sync queued behind the parks: %v", elapsed)
+	}
+	qs, _ := m.Queries.Since(1)
+	if len(qs) != 3 {
+		t.Fatalf("Sync returned before observing the log head: %+v", qs)
+	}
+	for i, q := range qs {
+		if q.SQL != fmt.Sprintf("q%d", i) {
+			t.Fatalf("entry %d: %q (duplicate or skip)", i, q.SQL)
+		}
+	}
+
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop")
+	}
+}
+
+// TestMirrorRunPumps: the background pump mirrors entries appended after it
+// starts, without polling delays baked into the test (the long poll wakes
+// it), and shuts down cleanly.
+func TestMirrorRunPumps(t *testing.T) {
+	e, ts := newExporter(t)
+	m := NewMirror(ts.URL)
+	m.LongPoll = 200 * time.Millisecond
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { defer close(done); m.Run(stop) }()
+
+	base := time.Now()
+	for i := 0; i < 5; i++ {
+		e.Queries.Append(driver.QueryLogEntry{SQL: fmt.Sprintf("q%d", i),
+			Receive: base, Deliver: base})
+		e.Requests.Append(appserver.RequestLogEntry{Servlet: "s",
+			CacheKey: fmt.Sprintf("k%d", i), Cached: true, Receive: base, Deliver: base})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Queries.Len() < 5 || m.Requests.Len() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pump mirrored %d queries, %d requests", m.Queries.Len(), m.Requests.Len())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	qs, _ := m.Queries.Since(1)
+	for i, q := range qs {
+		if q.SQL != fmt.Sprintf("q%d", i) {
+			t.Fatalf("entry %d: %q (duplicate or skip)", i, q.SQL)
+		}
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not stop")
 	}
 }

@@ -1,0 +1,140 @@
+package sniffer
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/appserver"
+	"repro/internal/driver"
+)
+
+// waitMapped loops Run until the map holds key or the deadline passes (feed
+// pumps deliver asynchronously, so the first Run may see nothing yet).
+func waitMapped(t *testing.T, mp *Mapper, m *QIURLMap, key string) PageMapping {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mp.Run()
+		if pm, ok := m.Get(key); ok {
+			return pm
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("feed-mode mapper never mapped %q", key)
+	return PageMapping{}
+}
+
+// TestMapperFeedModeMatchesPolling: the same workload through a feed-mode
+// mapper must produce the same mapping a polling mapper does — the feed is a
+// transport change, not a semantic one.
+func TestMapperFeedModeMatchesPolling(t *testing.T) {
+	build := func(useFeeds bool) (*Mapper, *QIURLMap) {
+		rlog := appserver.NewRequestLog(0)
+		qlog := driver.NewQueryLog(0)
+		m := NewQIURLMap()
+		mp := NewMapper(rlog, qlog, m)
+		mp.UseFeeds = useFeeds
+
+		base := time.Now()
+		qlog.Append(driver.QueryLogEntry{
+			LeaseID: 100, SQL: "SELECT * FROM Car WHERE price < 20000",
+			Receive: base.Add(10 * time.Millisecond), Deliver: base.Add(20 * time.Millisecond),
+		})
+		qlog.Append(driver.QueryLogEntry{ // concurrent query of another request
+			LeaseID: 200, SQL: "SELECT * FROM Mileage",
+			Receive: base.Add(12 * time.Millisecond), Deliver: base.Add(18 * time.Millisecond),
+		})
+		rlog.Append(appserver.RequestLogEntry{
+			Servlet: "car", CacheKey: "k", Cached: true,
+			Receive: base, Deliver: base.Add(30 * time.Millisecond),
+			LeaseIDs: []int64{100},
+		})
+		return mp, m
+	}
+
+	pollMp, pollMap := build(false)
+	if n := pollMp.Run(); n != 1 {
+		t.Fatalf("polling mapped %d", n)
+	}
+	pollPM, _ := pollMap.Get("k")
+
+	feedMp, feedMap := build(true)
+	defer feedMp.Close()
+	feedPM := waitMapped(t, feedMp, feedMap, "k")
+
+	if len(feedPM.Queries) != len(pollPM.Queries) {
+		t.Fatalf("feed attributed %d queries, polling %d", len(feedPM.Queries), len(pollPM.Queries))
+	}
+	for i := range feedPM.Queries {
+		if feedPM.Queries[i].SQL != pollPM.Queries[i].SQL {
+			t.Fatalf("query %d: feed %q, polling %q", i, feedPM.Queries[i].SQL, pollPM.Queries[i].SQL)
+		}
+	}
+}
+
+// TestMapperFeedModeIncremental: entries appended after the subscriptions
+// open are delivered and mapped on later runs, from the feed cursor — no
+// re-reads, no skips.
+func TestMapperFeedModeIncremental(t *testing.T) {
+	rlog := appserver.NewRequestLog(0)
+	qlog := driver.NewQueryLog(0)
+	m := NewQIURLMap()
+	mp := NewMapper(rlog, qlog, m)
+	mp.UseFeeds = true
+	defer mp.Close()
+	mp.Run() // opens subscriptions at the heads
+
+	base := time.Now()
+	for i := 0; i < 3; i++ {
+		qlog.Append(driver.QueryLogEntry{
+			LeaseID: 1, SQL: fmt.Sprintf("SELECT %d", i),
+			Receive: base.Add(time.Duration(i) * time.Millisecond),
+			Deliver: base.Add(time.Duration(i+1) * time.Millisecond),
+		})
+		rlog.Append(appserver.RequestLogEntry{
+			Servlet: "s", CacheKey: fmt.Sprintf("k%d", i), Cached: true,
+			Receive:  base.Add(time.Duration(i) * time.Millisecond),
+			Deliver:  base.Add(time.Duration(i+2) * time.Millisecond),
+			LeaseIDs: []int64{1},
+		})
+	}
+	for i := 0; i < 3; i++ {
+		pm := waitMapped(t, mp, m, fmt.Sprintf("k%d", i))
+		if len(pm.Queries) == 0 {
+			t.Fatalf("k%d mapped without its query", i)
+		}
+	}
+}
+
+// TestMapperFeedModeTruncation: a subscription that starts below the log's
+// retained window reports truncation in-band, and the mapper surfaces it via
+// TakeTruncated exactly like the polling path.
+func TestMapperFeedModeTruncation(t *testing.T) {
+	rlog := appserver.NewRequestLog(4)
+	qlog := driver.NewQueryLog(0)
+	mp := NewMapper(rlog, qlog, NewQIURLMap())
+	mp.UseFeeds = true
+	defer mp.Close()
+
+	// Overflow the request log before the first Run: the cursor-1
+	// subscription lands below firstID.
+	for i := 0; i < 10; i++ {
+		rlog.Append(appserver.RequestLogEntry{Servlet: "s", CacheKey: "k", Cached: true,
+			Receive: time.Now(), Deliver: time.Now()})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !mp.truncated {
+		if time.Now().After(deadline) {
+			t.Fatal("feed truncation never surfaced")
+		}
+		mp.Run()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !mp.TakeTruncated() {
+		t.Fatal("TakeTruncated")
+	}
+	if mp.TakeTruncated() {
+		t.Fatal("truncation not cleared")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -191,7 +192,14 @@ func (c *Client) Query(sql string) (*engine.Result, error) {
 
 // LogSince pulls update-log records with LSN >= lsn. It returns the records,
 // whether the log was truncated before lsn, and the LSN to poll from next.
+// Truncation is recomputed client-side from the server's FirstLSN when
+// present: the flag then depends only on (lsn, FirstLSN), not on which
+// connection carried the request, so a mid-pull reconnect cannot make the
+// caller observe the same truncation twice or not at all.
 func (c *Client) LogSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error) {
+	if lsn < 1 {
+		lsn = 1
+	}
 	resp, err := c.roundTrip(Request{Op: OpLogSince, LSN: lsn})
 	if err != nil {
 		return nil, false, 0, err
@@ -203,7 +211,94 @@ func (c *Client) LogSince(lsn int64) ([]engine.UpdateRecord, bool, int64, error)
 	for _, r := range resp.Records {
 		recs = append(recs, DecodeRecord(r))
 	}
-	return recs, resp.Truncated, resp.NextLSN, nil
+	truncated := resp.Truncated || (resp.FirstLSN > 0 && lsn < resp.FirstLSN)
+	return recs, truncated, resp.NextLSN, nil
+}
+
+// ErrSubscribeUnsupported reports that the server predates SUBSCRIBE_LOG.
+// The connection remains usable for plain roundtrips; callers should fall
+// back to LogSince polling permanently, as Stmt falls back to text queries.
+var ErrSubscribeUnsupported = errors.New("wire: server does not support subscribelog")
+
+// streamLog opens a SUBSCRIBE_LOG stream at cursor and invokes deliver for
+// every record-bearing frame until the stream fails, the server closes, or
+// Close is called (which unblocks the read). It returns
+// ErrSubscribeUnsupported — leaving the connection attached and synced — when
+// the server answers with an unknown-op error.
+//
+// The stream reads the connection without holding c.mu, so the client must be
+// dedicated: no concurrent roundtrips while a stream is open. Keep Timeout
+// above the server's heartbeat interval — the per-frame read deadline relies
+// on idle heartbeats to distinguish a quiet stream from a blackholed one.
+func (c *Client) streamLog(cursor int64, deliver func(Response)) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return errors.New("wire: client closed")
+	}
+	if c.conn == nil {
+		if err := c.reconnectLocked(); err != nil {
+			c.mu.Unlock()
+			return err
+		}
+	}
+	conn, dec, enc := c.conn, c.dec, c.enc
+	t := c.timeout()
+	c.mu.Unlock()
+
+	if t > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	if err := enc.Encode(Request{Op: OpSubscribeLog, LSN: cursor}); err != nil {
+		c.dropConn(conn)
+		return fmt.Errorf("wire: subscribe send: %w", err)
+	}
+	first := true
+	for {
+		if t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
+		var resp Response
+		if err := dec.Decode(&resp); err != nil {
+			c.dropConn(conn)
+			return fmt.Errorf("wire: subscribe receive: %w", err)
+		}
+		if first {
+			first = false
+			if strings.Contains(resp.Error, "unknown op") {
+				// An old server answered the frame cleanly; the connection is
+				// still synced, so keep it for the polling fallback.
+				c.mu.Lock()
+				c.fails = 0
+				c.mu.Unlock()
+				return ErrSubscribeUnsupported
+			}
+			c.mu.Lock()
+			c.fails = 0
+			c.mu.Unlock()
+		}
+		if resp.Error != "" {
+			c.dropConn(conn)
+			return fmt.Errorf("wire: subscribe: %s", resp.Error)
+		}
+		if len(resp.Records) == 0 && !resp.Truncated {
+			continue // ack or heartbeat: no cursor movement
+		}
+		deliver(resp)
+	}
+}
+
+// dropConn severs conn if it is still the client's current connection (arming
+// the reconnect backoff); a connection already replaced or detached by Close
+// is just closed.
+func (c *Client) dropConn(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == conn {
+		c.dropLocked()
+		return
+	}
+	conn.Close()
 }
 
 // Ping checks liveness.

@@ -24,6 +24,11 @@ const (
 	OpPrepare   Op = "prepare"   // compile a statement, returning a handle
 	OpExecute   Op = "execute"   // execute a prepared handle with arguments
 	OpCloseStmt Op = "closestmt" // release a prepared handle
+	// OpSubscribeLog switches the connection into streaming mode: the server
+	// pushes update-log record batches (and idle heartbeats) as frames on
+	// this connection, starting at Request.LSN, until either side closes.
+	// The connection is dedicated to the stream from then on.
+	OpSubscribeLog Op = "subscribelog"
 )
 
 // ErrUnknownStmt is the error-text prefix a server sends when an EXECUTE or
@@ -72,6 +77,11 @@ type Response struct {
 	Records      []LogRecord   `json:"records,omitempty"`
 	Truncated    bool          `json:"truncated,omitempty"`
 	NextLSN      int64         `json:"next_lsn,omitempty"`
+	// FirstLSN is the oldest LSN the server's log still retained when this
+	// response was built — the truncation context. Clients recompute
+	// truncation as lsn < FirstLSN, so a reconnect mid-pull cannot lose the
+	// flag's meaning (0 = context not needed / pre-FirstLSN server).
+	FirstLSN int64 `json:"first_lsn,omitempty"`
 	// StmtID / NumArgs answer OpPrepare: the handle to execute by, and how
 	// many bind arguments the statement expects.
 	StmtID  int64 `json:"stmt_id,omitempty"`

@@ -27,16 +27,23 @@ type Server struct {
 	// Logf, when non-nil, receives diagnostic messages (default: silent).
 	Logf func(format string, args ...any)
 
+	// HeartbeatInterval is how often an idle SUBSCRIBE_LOG stream sends an
+	// empty keepalive frame so client read deadlines stay sound
+	// (DefaultHeartbeat when 0).
+	HeartbeatInterval time.Duration
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
 	closed   bool
+	closeCh  chan struct{}
 	wg       sync.WaitGroup
 
 	// Stats
-	queries  int64
-	prepares int64
-	executes int64
+	queries    int64
+	prepares   int64
+	executes   int64
+	subscribes int64
 }
 
 // maxConnStmts bounds prepared handles per connection; a client that leaks
@@ -50,9 +57,19 @@ type connStmts struct {
 	stmts map[int64]*engine.PreparedStmt
 }
 
+// DefaultHeartbeat is the idle keepalive interval for SUBSCRIBE_LOG streams.
+// It must stay below any client read deadline, so a live-but-quiet stream is
+// distinguishable from a blackholed connection (the PR-3 fault model).
+const DefaultHeartbeat = 2 * time.Second
+
+// streamWriteTimeout bounds each frame write on a subscribe stream: a client
+// that stops reading for this long is treated as gone and the stream drops
+// (it resubscribes from its cursor, losing nothing).
+const streamWriteTimeout = 30 * time.Second
+
 // NewServer creates a server for db.
 func NewServer(db *engine.Database) *Server {
-	return &Server{DB: db, conns: make(map[net.Conn]struct{})}
+	return &Server{DB: db, conns: make(map[net.Conn]struct{}), closeCh: make(chan struct{})}
 }
 
 // Listen binds addr ("host:port", ":0" for ephemeral) and starts accepting
@@ -111,8 +128,64 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err := dec.Decode(&req); err != nil {
 			return // client went away or sent garbage; drop the connection
 		}
+		if req.Op == OpSubscribeLog {
+			// The connection is dedicated to the stream from here on; when
+			// the stream ends (either side closes, or a write stalls past its
+			// deadline) the connection is dropped with it.
+			s.serveSubscribe(conn, enc, req)
+			return
+		}
 		resp := s.handle(req, cs)
 		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveSubscribe streams update-log batches to one client. The first frame is
+// an empty ack (so the client can distinguish "subscribed" from an old
+// server's unknown-op error before committing to stream mode); after that,
+// record batches are pushed as they arrive, with empty heartbeat frames when
+// idle. Frames with records carry NextLSN/FirstLSN/Truncated exactly as a
+// LogSince response would; empty frames carry no cursor and must not advance
+// the client's.
+func (s *Server) serveSubscribe(conn net.Conn, enc *json.Encoder, req Request) {
+	s.mu.Lock()
+	s.subscribes++
+	s.mu.Unlock()
+	writeFrame := func(resp Response) error {
+		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
+		return enc.Encode(resp)
+	}
+	if err := writeFrame(Response{}); err != nil {
+		return
+	}
+	sub := s.DB.Log().Subscribe(req.LSN, 0)
+	defer sub.Close()
+	hb := s.HeartbeatInterval
+	if hb <= 0 {
+		hb = DefaultHeartbeat
+	}
+	ticker := time.NewTicker(hb)
+	defer ticker.Stop()
+	for {
+		select {
+		case b, ok := <-sub.C:
+			if !ok {
+				return
+			}
+			resp := Response{Truncated: b.Truncated, NextLSN: b.Next, FirstLSN: b.FirstSeq}
+			for _, r := range b.Recs {
+				resp.Records = append(resp.Records, EncodeRecord(r))
+			}
+			if err := writeFrame(resp); err != nil {
+				return
+			}
+		case <-ticker.C:
+			if err := writeFrame(Response{}); err != nil {
+				return
+			}
+		case <-s.closeCh:
 			return
 		}
 	}
@@ -184,8 +257,11 @@ func (s *Server) handle(req Request, cs *connStmts) Response {
 		}
 		return resp
 	case OpLogSince:
-		recs, truncated := s.DB.Log().Since(req.LSN)
-		resp := Response{Truncated: truncated, NextLSN: s.DB.Log().NextLSN()}
+		// SinceNext observes records, cursor, and truncation context under one
+		// lock acquisition; reading NextLSN separately would race with appends
+		// and hand the client a cursor past records it never received.
+		recs, truncated, next, first := s.DB.Log().SinceNext(req.LSN)
+		resp := Response{Truncated: truncated, NextLSN: next, FirstLSN: first}
 		for _, r := range recs {
 			resp.Records = append(resp.Records, EncodeRecord(r))
 		}
@@ -223,6 +299,13 @@ func (s *Server) Executes() int64 {
 	return s.executes
 }
 
+// Subscribes returns the number of SUBSCRIBE_LOG streams accepted.
+func (s *Server) Subscribes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.subscribes
+}
+
 // Conns returns the number of live client connections.
 func (s *Server) Conns() int {
 	s.mu.Lock()
@@ -240,6 +323,9 @@ func (s *Server) Instrument(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".executes_total", s.Executes)
 	reg.GaugeFunc(prefix+".conns", func() int64 { return int64(s.Conns()) })
 	reg.GaugeFunc(prefix+".log_next_lsn", func() int64 { return s.DB.Log().NextLSN() })
+	reg.GaugeFunc(prefix+".subscribes_total", s.Subscribes)
+	reg.GaugeFunc(prefix+".log_subscribers", func() int64 { return int64(s.DB.Log().Hub().Stats().Subscribers) })
+	reg.GaugeFunc(prefix+".log_feed_lag", func() int64 { return s.DB.Log().Hub().Lag() })
 	reg.GaugeFunc(prefix+".stmt_text_hits", func() int64 { return s.DB.StmtCacheStats().TextHits })
 	reg.GaugeFunc(prefix+".stmt_template_hits", func() int64 { return s.DB.StmtCacheStats().TemplateHits })
 	reg.GaugeFunc(prefix+".stmt_template_misses", func() int64 { return s.DB.StmtCacheStats().TemplateMisses })
@@ -254,6 +340,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.closeCh)
 	ln := s.listener
 	for c := range s.conns {
 		c.Close()

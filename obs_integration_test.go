@@ -70,3 +70,79 @@ func TestFreshnessTraceRecordsStaleness(t *testing.T) {
 		t.Fatal("staleness histogram empty in /debug/metrics")
 	}
 }
+
+// TestFeedMetricsAndFreshnessTrace is the event-driven twin: with the
+// fallback timer effectively off (hour-long interval), the update stream
+// alone must carry a commit through to an eject, the freshness trace must
+// record the staleness window, and the feed-layer gauges — stream delivery,
+// hub fan-out for the request/query logs — must surface in /debug/metrics.
+func TestFeedMetricsAndFreshnessTrace(t *testing.T) {
+	site := feedCarSite(t)
+	url := site.CacheURL + "/under?price=20000"
+	_, _, key := fetch(t, url)
+	if key == "" {
+		t.Fatal("no cache key")
+	}
+
+	if err := site.Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 18000)"); err != nil {
+		t.Fatal(err)
+	}
+	// Passive wait: nothing calls Cycle, so the eviction can only come from
+	// the event path.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, present := site.Cache.Peek(key); !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("event-driven site never evicted the stale page")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	snap := site.Obs.Snapshot()
+	h, ok := snap.Histograms["invalidator.staleness_seconds"]
+	if !ok || h.Count < 1 {
+		t.Fatalf("staleness histogram missing or empty under feed mode: ok=%v %+v", ok, h)
+	}
+	// The event path's whole point: commit-to-eject staleness is bounded by
+	// the coalescing gap plus cycle time, strictly below the cycle interval
+	// that floors pull mode (here the hour-long fallback).
+	if p95 := h.Quantile(0.95); p95 >= time.Hour.Seconds() {
+		t.Fatalf("p95 staleness %.3fs not below the cycle interval", p95)
+	}
+	if snap.Counters["invalidator.event_cycles_total"] < 1 {
+		t.Fatal("no event-driven cycles recorded")
+	}
+
+	// Feed-layer health: the update-log stream delivered the record, and the
+	// mapper's two hub subscriptions are live and have carried records.
+	if snap.Gauges["feed.delivered_total"] < 1 {
+		t.Fatalf("feed.delivered_total = %d, want >= 1", snap.Gauges["feed.delivered_total"])
+	}
+	for _, name := range []string{"feed.requests", "feed.queries"} {
+		if snap.Gauges[name+".subscribers"] != 1 {
+			t.Fatalf("%s.subscribers = %d, want 1", name, snap.Gauges[name+".subscribers"])
+		}
+		if snap.Gauges[name+".records_total"] < 1 {
+			t.Fatalf("%s.records_total = %d, want >= 1", name, snap.Gauges[name+".records_total"])
+		}
+	}
+	if snap.Gauges["feed.resubscribes_total"] != 0 {
+		t.Fatalf("healthy stream resubscribed %d times", snap.Gauges["feed.resubscribes_total"])
+	}
+
+	// And the daemon-facing document carries all of it.
+	rw := httptest.NewRecorder()
+	obs.MetricsHandler(site.Obs).ServeHTTP(rw, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var decoded obs.Snapshot
+	if err := json.Unmarshal(rw.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("/debug/metrics not JSON: %v", err)
+	}
+	if decoded.Histograms["invalidator.staleness_seconds"].Count < 1 {
+		t.Fatal("staleness histogram empty in /debug/metrics")
+	}
+	if decoded.Gauges["feed.delivered_total"] < 1 {
+		t.Fatal("feed gauges missing from /debug/metrics")
+	}
+}

@@ -41,6 +41,20 @@ type SiteConfig struct {
 	// Interval is the CachePortal cycle cadence (default 200ms; the paper
 	// used 1s).
 	Interval time.Duration
+	// Feed switches the site to event-driven invalidation: the portal
+	// subscribes to the DB server's update-log stream (wire.LogFeed) and
+	// cycles as soon as records arrive, the mapper consumes the request and
+	// query logs as feed subscriptions, and Interval degrades to the
+	// fallback cadence. Invalidation outcomes are identical to polling;
+	// commit-to-eject staleness drops from O(Interval) to O(MinEventGap +
+	// cycle time).
+	Feed bool
+	// FeedBuffer bounds the feed buffering (update-log stream and mapper
+	// subscriptions; package defaults when 0).
+	FeedBuffer int
+	// MinEventGap is the burst-coalescing window of event-driven cycles
+	// (invalidator.DefaultMinEventGap when 0). Only used with Feed.
+	MinEventGap time.Duration
 	// PollBudget bounds per-cycle polling time (0 = unbounded).
 	PollBudget time.Duration
 	// Workers bounds the invalidator's evaluation parallelism (0 =
@@ -93,6 +107,7 @@ type Site struct {
 	// it directly.
 	Obs *obs.Registry
 
+	feed      *wire.LogFeed
 	appHTTP   []*http.Server
 	proxyHTTP *http.Server
 	appLn     []net.Listener
@@ -165,6 +180,15 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		reg.Bind(cfg.SourceName, pool)
 		app := appserver.NewServer(reg, s.RequestLog)
 		app.MinSensitivity = cfg.Interval
+		if cfg.Feed {
+			// Event-driven invalidation bounds staleness by the coalescing
+			// window plus cycle time, not the fallback interval, so
+			// temporally sensitive servlets stay cacheable.
+			app.MinSensitivity = cfg.MinEventGap
+			if app.MinSensitivity <= 0 {
+				app.MinSensitivity = invalidator.DefaultMinEventGap
+			}
+		}
 		for _, def := range cfg.Servlets {
 			if err := app.Register(def.Meta, def.Handler); err != nil {
 				return nil, err
@@ -206,15 +230,36 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	go s.proxyHTTP.Serve(s.proxyLn)
 	s.CacheURL = "http://" + s.proxyLn.Addr().String()
 
-	// CachePortal: polls the update log over the wire, polls via its own
-	// connection, ejects directly into the cache.
-	logClient, err := wire.Dial(addr)
-	if err != nil {
-		return nil, err
+	// CachePortal: reads the update log over the wire — streamed when
+	// cfg.Feed, polled otherwise — polls via its own connection, ejects
+	// directly into the cache.
+	var logClient *wire.Client
+	var notifier invalidator.LogNotifier
+	var puller invalidator.LogPuller
+	if cfg.Feed {
+		feedClient, err := wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		s.feed = wire.NewLogFeed(feedClient, 1, cfg.FeedBuffer)
+		s.feed.Instrument(cfg.Obs, "feed")
+		puller = s.feed
+		notifier = s.feed
+	} else {
+		logClient, err = wire.Dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		puller = invalidator.WireLogPuller{Client: logClient}
+	}
+	closeLog := func() {
+		if logClient != nil {
+			logClient.Close()
+		}
 	}
 	s.pollConn, err = driver.NetDriver{}.Connect(addr)
 	if err != nil {
-		logClient.Close()
+		closeLog()
 		return nil, err
 	}
 	poller := invalidator.Poller(s.pollConn)
@@ -223,7 +268,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		for i := 1; i < cfg.PollConns; i++ {
 			c, err := driver.NetDriver{}.Connect(addr)
 			if err != nil {
-				logClient.Close()
+				closeLog()
 				return nil, err
 			}
 			s.pollConns = append(s.pollConns, c)
@@ -231,7 +276,6 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 		poller = invalidator.NewConcurrentPoller(conns...)
 	}
-	var puller invalidator.LogPuller = invalidator.WireLogPuller{Client: logClient}
 	var ejector invalidator.Ejector = invalidator.CacheEjector{Cache: s.Cache}
 	if cfg.Chaos != nil {
 		cfg.Chaos.Instrument(cfg.Obs, "")
@@ -239,24 +283,39 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		ejector = faults.Ejector{Next: ejector, Inj: cfg.Chaos}
 	}
 	portal, err := core.New(core.Options{
-		RequestLog: s.RequestLog,
-		QueryLog:   s.QueryLog,
-		Puller:     puller,
-		Poller:     poller,
-		Ejector:    ejector,
-		Interval:   cfg.Interval,
-		PollBudget: cfg.PollBudget,
-		Workers:    cfg.Workers,
-		Rules:      cfg.Rules,
-		Obs:        cfg.Obs,
+		RequestLog:  s.RequestLog,
+		QueryLog:    s.QueryLog,
+		Puller:      puller,
+		Poller:      poller,
+		Ejector:     ejector,
+		Interval:    cfg.Interval,
+		PollBudget:  cfg.PollBudget,
+		Workers:     cfg.Workers,
+		Rules:       cfg.Rules,
+		Obs:         cfg.Obs,
+		EventDriven: cfg.Feed,
+		Notifier:    notifier,
+		MinEventGap: cfg.MinEventGap,
+		UseFeeds:    cfg.Feed,
+		FeedBuffer:  cfg.FeedBuffer,
 	})
 	if err != nil {
-		logClient.Close()
+		closeLog()
 		return nil, err
 	}
 	s.Portal = portal
 	for _, app := range s.Apps {
 		app.Cacheable = portal.CacheableServlet
+	}
+	// In feed mode, wait for the stream to catch up with the schema-seeding
+	// records before the swallow cycle below, so they are actually in the
+	// feed's buffer to be skipped.
+	if s.feed != nil {
+		head := s.DB.Log().NextLSN()
+		deadline := time.Now().Add(5 * time.Second)
+		for s.feed.Next() < head && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
 	}
 	// Let the portal skip the schema-seeding log records so the cache
 	// doesn't churn on startup. Under chaos the skip cycle itself may be
@@ -276,7 +335,10 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 // Close shuts every component down. Safe on partially built sites.
 func (s *Site) Close() {
 	if s.Portal != nil {
-		s.Portal.Stop()
+		s.Portal.Close()
+	}
+	if s.feed != nil {
+		s.feed.Close()
 	}
 	if s.proxyHTTP != nil {
 		s.proxyHTTP.Close()

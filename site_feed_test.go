@@ -1,0 +1,114 @@
+package cacheportal
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feedCarSite is carSite with event-driven invalidation and an hour-long
+// fallback interval: any freshness the tests observe comes from the update
+// stream, not the timer.
+func feedCarSite(t testing.TB) *Site {
+	t.Helper()
+	site, err := NewSite(SiteConfig{
+		Schema: `
+			CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+			CREATE TABLE Mileage (model TEXT, EPA INT);
+			INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000), ('Honda', 'Civic', 16000), ('BMW', 'M3', 70000);
+			INSERT INTO Mileage VALUES ('Corolla', 33), ('Civic', 31), ('M3', 19), ('Avalon', 26);
+		`,
+		Servlets: []ServletDef{
+			{
+				Meta: Meta{Name: "under", Keys: KeySpec{Get: []string{"price"}}},
+				Handler: func(ctx *Context) (*Page, error) {
+					lease, err := ctx.Lease("db")
+					if err != nil {
+						return nil, err
+					}
+					defer lease.Release()
+					res, err := lease.Query(
+						"SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage " +
+							"WHERE Car.model = Mileage.model AND Car.price < " + ctx.Param("price"))
+					if err != nil {
+						return nil, err
+					}
+					var b strings.Builder
+					for _, r := range res.Rows {
+						fmt.Fprintf(&b, "%s\n", r[1])
+					}
+					return &Page{Body: []byte(b.String())}, nil
+				},
+			},
+		},
+		Interval:    time.Hour,
+		Feed:        true,
+		MinEventGap: 2 * time.Millisecond,
+		// The soak's workload invalidates the page on every round, which
+		// policy discovery flags as cache-unfriendly after a few batches;
+		// an uncached page would turn the stream-eviction assertions into
+		// no-ops. Pin it cacheable the way an administrator would (§4.1.3).
+		Rules: []Rule{{Servlet: "under", Action: AlwaysCache}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+// TestSiteFeedEventDriven is the end-to-end event path: with the fallback
+// timer effectively disabled, a backend update must still evict the cached
+// page — the update-log stream wakes the portal, whose cycle maps the page
+// from the request/query feeds and invalidates it. Nothing calls Cycle.
+func TestSiteFeedEventDriven(t *testing.T) {
+	site := feedCarSite(t)
+	url := site.CacheURL + "/under?price=20000"
+
+	body, _, key := fetch(t, url)
+	if key == "" {
+		t.Fatal("no cache key")
+	}
+	if !strings.Contains(body, "Corolla") || strings.Contains(body, "Avalon") {
+		t.Fatalf("seed page: %q", body)
+	}
+	if _, hit, _ := fetch(t, url); hit != "hit" {
+		t.Fatalf("second fetch: %s", hit)
+	}
+
+	// A relevant update: Avalon joins with Mileage and passes the predicate.
+	if err := site.Exec("INSERT INTO Car VALUES ('Toyota', 'Avalon', 18000)"); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, present := site.Cache.Peek(key); !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("event-driven site never evicted the stale page")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if body, _, _ = fetch(t, url); !strings.Contains(body, "Avalon") {
+		t.Fatalf("refetched page stale: %q", body)
+	}
+
+	// Irrelevant update: the page must stay cached (no spurious ejects from
+	// the event path).
+	_, _, key = fetch(t, url)
+	if err := site.Exec("INSERT INTO Car VALUES ('Audi', 'A8', 90000)"); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // give an event cycle time to run
+	if _, present := site.Cache.Peek(key); !present {
+		t.Fatal("irrelevant update evicted the page")
+	}
+
+	// The event machinery must actually have fired.
+	snap := site.Obs.Snapshot()
+	if snap.Counters["invalidator.event_cycles_total"] == 0 {
+		t.Fatal("no event-driven cycles recorded")
+	}
+}
