@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry fuzz clean
 
 all: build test
 
@@ -47,12 +47,23 @@ bench-json:
 		| $(GO) run ./cmd/benchjson -obs .obs-staleness.json -out BENCH_invalidator.json
 	rm -f .obs-staleness.json
 
-# Prepared-vs-text poll path comparison, appended into BENCH_invalidator.json
+# Prepared-vs-text poll path comparison, merged into BENCH_invalidator.json
 # alongside the scaling sweep. The prepared sub-benchmark's stmt-hit-ratio
 # metric is the acceptance check that polling re-parses nothing.
 bench-compare:
 	$(GO) test -run xxx -bench 'BenchmarkPollPath|BenchmarkInvalidatorCycleParallel|BenchmarkCommitToEject' -benchtime 2s . \
-		| $(GO) run ./cmd/benchjson -out BENCH_invalidator.json
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+
+# Predicate-index scaling sweep: per-update analysis cost at 10k/100k/1M
+# registered instances, index probe vs registry scan, merged into
+# BENCH_invalidator.json next to the other sweeps. -benchtime 5x keeps the
+# 1M-instance scan cells tractable; the acceptance check is mode=index
+# beating mode=scan by >=10x at insts=1000000. The registry enumeration
+# micro-benchmark rides along (its allocs/op contract is asserted by
+# TestTypesForTableIntoZeroAlloc / TestInstancesOfIntoZeroAlloc).
+bench-registry:
+	$(GO) test -run xxx -bench 'BenchmarkRegistryScale|BenchmarkRegistryEnumeration' -benchtime 5x -benchmem -timeout 60m . ./internal/invalidator/ \
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
 
 # Coverage-guided fuzzing of the SQL parser/printer round-trip. FUZZTIME
 # bounds each target (CI smoke uses 30s; leave it running longer locally).

@@ -40,6 +40,7 @@ type Record struct {
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	obsFile := flag.String("obs", "", "JSON metrics snapshot to embed under \"obs\"")
+	merge := flag.Bool("merge", false, "merge into -out instead of replacing it: results with the same name are updated, new ones appended, and the existing obs snapshot is kept unless -obs is given")
 	flag.Parse()
 
 	var rec Record
@@ -87,6 +88,18 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *merge && *out != "" {
+		if buf, err := os.ReadFile(*out); err == nil {
+			var prev Record
+			if err := json.Unmarshal(buf, &prev); err != nil {
+				log.Fatalf("benchjson: -merge: %s: %v", *out, err)
+			}
+			rec = mergeRecords(prev, rec)
+		} else if !os.IsNotExist(err) {
+			log.Fatal(err)
+		}
+	}
+
 	if *obsFile != "" {
 		buf, err := os.ReadFile(*obsFile)
 		if err != nil {
@@ -111,4 +124,36 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rec.Results), *out)
+}
+
+// mergeRecords folds the fresh run into the previous artifact: fresh
+// results replace same-named entries in place (preserving order), new names
+// append, and environment fields plus the obs snapshot fall back to the
+// previous record when the fresh run did not produce them.
+func mergeRecords(prev, fresh Record) Record {
+	byName := make(map[string]int, len(prev.Results))
+	for i, r := range prev.Results {
+		byName[r.Name] = i
+	}
+	for _, r := range fresh.Results {
+		if i, ok := byName[r.Name]; ok {
+			prev.Results[i] = r
+			continue
+		}
+		byName[r.Name] = len(prev.Results)
+		prev.Results = append(prev.Results, r)
+	}
+	if fresh.Goos != "" {
+		prev.Goos = fresh.Goos
+	}
+	if fresh.Goarch != "" {
+		prev.Goarch = fresh.Goarch
+	}
+	if fresh.CPU != "" {
+		prev.CPU = fresh.CPU
+	}
+	if len(fresh.Obs) > 0 {
+		prev.Obs = fresh.Obs
+	}
+	return prev
 }

@@ -45,6 +45,7 @@ func main() {
 	feed := flag.Bool("feed", false, "event-driven mode: subscribe to the update-log stream and long-poll the app-server logs; -interval becomes the fallback cadence")
 	feedBuffer := flag.Int("feed-buffer", 0, "update-log stream buffer in records (0 = default)")
 	minEventGap := flag.Duration("min-event-gap", 0, "burst-coalescing window for event-driven cycles (0 = default)")
+	predIdx := flag.Bool("pred-index", true, "probe the predicate index for candidate query instances instead of scanning the registry (same invalidations either way)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
@@ -120,6 +121,8 @@ func main() {
 		PollBudget: *pollBudget,
 		Workers:    *workers,
 		Obs:        reg,
+
+		DisablePredIndex: !*predIdx,
 	})
 
 	fmt.Printf("invalidatord: app=%s db=%s caches=%s interval=%s\n",

@@ -71,6 +71,11 @@ type Options struct {
 	// FeedBuffer bounds the mapper's feed subscription buffering (feed
 	// defaults when 0).
 	FeedBuffer int
+	// DisablePredIndex turns off the invalidator's predicate index and
+	// restores the per-instance registry scan. Invalidation outcomes are
+	// identical either way; the switch exists for A/B measurement and as an
+	// escape hatch.
+	DisablePredIndex bool
 }
 
 // Portal is a running CachePortal: the sniffer + invalidator pair.
@@ -162,6 +167,8 @@ func New(opts Options) (*Portal, error) {
 		PollBudget: opts.PollBudget,
 		Workers:    opts.Workers,
 		Obs:        opts.Obs,
+
+		DisablePredIndex: opts.DisablePredIndex,
 	})
 	if cp, ok := opts.Poller.(*invalidator.ConcurrentPoller); ok {
 		cp.Instrument(opts.Obs, "poller")

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mem"
+	"repro/internal/predindex"
 	"repro/internal/sqlparser"
 )
 
@@ -71,6 +72,87 @@ type occurrencePlan struct {
 	// placeholder slots. Nil when the occurrence is conservative (never
 	// polled).
 	poll *pollPlan
+
+	// indexShape, when non-nil, says the FIRST localParam conjunct has the
+	// indexable form `<delta column> cmp <placeholder>` (either side), so
+	// the predicate index can replace the per-instance evaluation of that
+	// conjunct with a probe. Only the first conjunct is eligible: a probe
+	// on a later conjunct could skip an instance whose earlier conjunct
+	// errors (→ conservative invalidation under the scan), breaking exact
+	// scan-equivalence.
+	indexShape *indexShape
+}
+
+// indexShape describes one indexable localParam conjunct.
+type indexShape struct {
+	col int          // delta column index whose value probes the index
+	ord int          // 1-based placeholder ordinal supplying the bound constant
+	op  predindex.Op // comparison with the probe value on the left
+}
+
+// detectIndexShape recognizes `<local delta column> cmp <placeholder>` (or
+// the flipped form, mirrored) through any parentheses. Anything else —
+// arithmetic around the operands, <>, IN, BETWEEN, multi-placeholder
+// conjuncts — returns nil and stays on the exact scan path.
+func detectIndexShape(c sqlparser.Expr, occName string, colIdx map[string]int, singleTable bool) *indexShape {
+	be, ok := unwrapParens(c).(*sqlparser.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	var op predindex.Op
+	switch be.Op {
+	case sqlparser.OpEq:
+		op = predindex.Eq
+	case sqlparser.OpLt:
+		op = predindex.Lt
+	case sqlparser.OpLtEq:
+		op = predindex.LtEq
+	case sqlparser.OpGt:
+		op = predindex.Gt
+	case sqlparser.OpGtEq:
+		op = predindex.GtEq
+	default:
+		return nil
+	}
+	l, r := unwrapParens(be.Left), unwrapParens(be.Right)
+	ref, refOK := l.(*sqlparser.ColumnRef)
+	ph, phOK := r.(*sqlparser.Placeholder)
+	if !refOK || !phOK {
+		// Flipped: `$k cmp col` — mirror so the probe value stays on the
+		// left of the stored comparison.
+		ph, phOK = l.(*sqlparser.Placeholder)
+		ref, refOK = r.(*sqlparser.ColumnRef)
+		if !refOK || !phOK {
+			return nil
+		}
+		op = op.Mirror()
+	}
+	if ref.Table != "" && !strings.EqualFold(ref.Table, occName) {
+		return nil
+	}
+	if ref.Table == "" && !singleTable {
+		return nil
+	}
+	i, ok := colIdx[strings.ToLower(ref.Column)]
+	if !ok {
+		// The delta record does not carry this column: evaluation errors
+		// per tuple and the scan path goes conservative; keep it there.
+		return nil
+	}
+	if ph.Ordinal < 1 {
+		return nil
+	}
+	return &indexShape{col: i, ord: ph.Ordinal, op: op}
+}
+
+func unwrapParens(e sqlparser.Expr) sqlparser.Expr {
+	for {
+		p, ok := e.(*sqlparser.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
 }
 
 // pollPlan is a prepared polling query: the occurrence's residual-const
@@ -288,6 +370,13 @@ func buildTablePlan(tmpl *sqlparser.SelectStmt, table string, columns []string) 
 		if !occ.conservative {
 			occ.residualCols = collectExternalRefs(occ.residualParam, occ.name, colSet, len(all) == 1)
 			occ.poll = buildPollPlan(occ, columns, len(all) == 1)
+			if len(occ.localParam) > 0 {
+				colIdx := make(map[string]int, len(columns))
+				for i, c := range columns {
+					colIdx[strings.ToLower(c)] = i
+				}
+				occ.indexShape = detectIndexShape(occ.localParam[0], occ.name, colIdx, len(all) == 1)
+			}
 		}
 		plan.occurrences = append(plan.occurrences, occ)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/mem"
 	"repro/internal/obs"
+	"repro/internal/predindex"
 	"repro/internal/sniffer"
 	"repro/internal/sqlparser"
 	"repro/internal/wire"
@@ -105,6 +106,12 @@ type Config struct {
 	// and maintains the index itself (§4.1's self-tuning, applying the
 	// paper's index criteria without an administrator).
 	AutoIndex bool
+	// DisablePredIndex turns off the predicate index and restores the
+	// per-instance scan in evalType. The invalidated page set is identical
+	// either way (the equivalence property tests enforce it); the flag
+	// exists for A/B comparison, the registry-scale benchmark, and as an
+	// escape hatch.
+	DisablePredIndex bool
 	// BreakerThreshold is the circuit breaker on the ejector: after this
 	// many consecutive cycles whose eject round failed, the invalidator
 	// stops trusting precise ejection and falls back to a conservative bulk
@@ -162,6 +169,17 @@ type Invalidator struct {
 	met            invMetrics
 	stalenessHists map[string]*obs.Histogram // servlet → staleness histogram
 
+	// pred is the predicate index over live instances (nil when
+	// Config.DisablePredIndex): evalType probes it with delta column
+	// values instead of scanning InstancesOf.
+	pred *predIndex
+
+	// typesBuf and schedPrio are Cycle-lifetime scratch buffers (Cycle is
+	// single-invocation; only the eval units run on workers), keeping the
+	// per-delta schedule build allocation-free.
+	typesBuf  []*QueryType
+	schedPrio []float64
+
 	mapVersion int64
 	lastLSN    int64
 	pending    []string // keys whose ejection failed; retried next cycle
@@ -206,7 +224,7 @@ func New(cfg Config) *Invalidator {
 	cfg.Obs.GaugeFunc("invalidator.registry.generation", cfg.Registry.Generation)
 	cfg.Obs.GaugeFunc("invalidator.registry.parse_hits", func() int64 { h, _ := cfg.Registry.ParseCacheStats(); return h })
 	cfg.Obs.GaugeFunc("invalidator.registry.parse_misses", func() int64 { _, m := cfg.Registry.ParseCacheStats(); return m })
-	return &Invalidator{
+	inv := &Invalidator{
 		cfg:            cfg,
 		registry:       cfg.Registry,
 		policies:       cfg.Policies,
@@ -218,6 +236,15 @@ func New(cfg Config) *Invalidator {
 		pendingStamp:   make(map[string]time.Time),
 		lastLSN:        1,
 	}
+	if !cfg.DisablePredIndex {
+		inv.pred = newPredIndex(inv.met.predRebuilds)
+		// SetObserver replays instances that are already live, so wiring
+		// onto a pre-populated registry starts coherent.
+		inv.registry.SetObserver(inv.pred)
+		cfg.Obs.GaugeFunc("invalidator.predindex.size", inv.pred.size.Load)
+		cfg.Obs.GaugeFunc("invalidator.predindex.types", inv.pred.typeCount)
+	}
+	return inv
 }
 
 // Obs exposes the invalidator's metrics registry.
@@ -500,17 +527,27 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 		type workUnit struct {
 			d     *engine.Delta
 			qt    *QueryType
-			insts []*Instance
+			insts []*Instance // scan-mode snapshot; nil when the index drives
+			n     int         // live instances at scheduling time
 		}
 		var units []workUnit
 		for _, d := range deltas {
 			rep.DeltaTuples += len(d.Plus) + len(d.Minus)
-			for _, qt := range inv.scheduleTypes(inv.registry.TypesForTable(d.Table)) {
-				insts := inv.registry.InstancesOf(qt)
-				if len(insts) == 0 {
+			inv.typesBuf = inv.registry.TypesForTableInto(d.Table, inv.typesBuf)
+			for _, qt := range inv.scheduleTypes(inv.typesBuf) {
+				u := workUnit{d: d, qt: qt}
+				if inv.pred != nil {
+					// Indexed mode: no instance snapshot is materialized —
+					// evalType probes the index instead.
+					u.n = inv.pred.liveCount(qt)
+				} else {
+					u.insts = inv.registry.InstancesOf(qt)
+					u.n = len(u.insts)
+				}
+				if u.n == 0 {
 					continue
 				}
-				units = append(units, workUnit{d: d, qt: qt, insts: insts})
+				units = append(units, u)
 			}
 		}
 
@@ -521,8 +558,8 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 		var impactedMu sync.Mutex
 		process := func(u workUnit) {
 			batchStart := time.Now()
-			res := inv.evalType(u.qt, u.d, u.insts, pr, delTables)
-			inv.recordTypeBatch(u.qt, len(u.insts), res, time.Since(batchStart))
+			res := inv.evalType(u.qt, u.d, evalSource{insts: u.insts, pi: inv.pred}, pr, delTables)
+			inv.recordTypeBatch(u.qt, u.n, res, time.Since(batchStart))
 			localDecisions.Add(int64(res.localDecisions))
 			conservative.Add(int64(res.conservative))
 			impactedMu.Lock()
@@ -768,6 +805,12 @@ type typeBatchResult struct {
 	// sequential accounting).
 	polls    int
 	pollTime time.Duration
+	// Predicate-index accounting for this unit (all zero in scan mode).
+	idxProbes        int
+	idxBucketHits    int
+	idxIntervalHits  int
+	idxResidualEvals int
+	idxScanFallbacks int
 }
 
 // scheduleTypes orders query types for processing within a cycle — the
@@ -775,18 +818,16 @@ type typeBatchResult struct {
 // cached instances it protects, discounted by its historical polling cost.
 // When the polling budget runs out mid-cycle, the remaining (lowest-value)
 // types fall back to conservative invalidation, so the budget is spent
-// where precision saves the most cache content.
+// where precision saves the most cache content. Sorts types in place
+// (stable, priority descending) using the invalidator's scratch buffer, so
+// the per-delta schedule build does not allocate.
 func (inv *Invalidator) scheduleTypes(types []*QueryType) []*QueryType {
 	if len(types) < 2 {
 		return types
 	}
-	type scored struct {
-		qt       *QueryType
-		priority float64
-	}
-	items := make([]scored, len(types))
+	prio := inv.schedPrio[:0]
 	inv.registry.withLock(func() {
-		for i, qt := range types {
+		for _, qt := range types {
 			st := qt.stats
 			value := float64(st.LiveInstances)
 			cost := 1.0
@@ -797,15 +838,19 @@ func (inv *Invalidator) scheduleTypes(types []*QueryType) []*QueryType {
 					cost = ms
 				}
 			}
-			items[i] = scored{qt: qt, priority: value / cost}
+			prio = append(prio, value/cost)
 		}
 	})
-	sort.SliceStable(items, func(i, j int) bool { return items[i].priority > items[j].priority })
-	out := make([]*QueryType, len(items))
-	for i, s := range items {
-		out[i] = s.qt
+	inv.schedPrio = prio
+	// Stable insertion sort, descending: the type lists per table are
+	// small, and equal priorities keep their ID order.
+	for i := 1; i < len(types); i++ {
+		for j := i; j > 0 && prio[j] > prio[j-1]; j-- {
+			prio[j], prio[j-1] = prio[j-1], prio[j]
+			types[j], types[j-1] = types[j-1], types[j]
+		}
 	}
-	return out
+	return types
 }
 
 // lowerTableName lower-cases ASCII table names.
@@ -819,14 +864,37 @@ func lowerTableName(s string) string {
 	return string(b)
 }
 
+// evalSource selects how evalType enumerates candidate instances: a
+// pre-materialized scan snapshot (index disabled) or the predicate index,
+// which both tracks the live set and answers per-occurrence probes.
+type evalSource struct {
+	insts []*Instance // scan mode: live snapshot, ArgsKey-ordered
+	pi    *predIndex  // indexed mode (insts unused when non-nil)
+}
+
 // evalType runs the grouped analysis of §5.2/§4.2 for one (type, delta
 // table) pair. delTables names tables with deletions in this batch (for the
 // post-state polling hazard). Safe for concurrent invocation across
 // distinct (type, delta) units: shared state is reached only through the
-// thread-safe pollRun, advice tracker, and per-type plan cache.
-func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instance, pr *pollRun, delTables map[string]bool) typeBatchResult {
+// thread-safe pollRun, advice tracker, per-type plan cache, and the
+// RWMutex-guarded predicate index.
+//
+// The two evalSource modes decide the identical instance set. Per tuple
+// and occurrence, the scan evaluates every not-yet-impacted instance's
+// localParam conjuncts in order; the probe answers the FIRST conjunct from
+// the index — Certain entries have it provably TRUE (remaining conjuncts
+// are verified as usual), Residual entries (cross-kind comparisons that
+// error, unbindable placeholders) are evaluated from scratch, and entries
+// the index omits are exactly those whose first conjunct is false or
+// unknown, which the scan would have dropped anyway.
+func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, src evalSource, pr *pollRun, delTables map[string]bool) typeBatchResult {
 	var res typeBatchResult
 	plan := qt.planFor(d.Table, d.Columns)
+	indexed := src.pi != nil
+	var ti *typeTableIndex
+	if indexed {
+		ti = src.pi.tableFor(qt, d.Table, d.Columns, plan)
+	}
 
 	allTables := qt.Template.Tables()
 	singleTable := len(allTables) == 1
@@ -854,26 +922,35 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 		}
 	}
 
-	// alive tracks instances not yet proven impacted; once impacted, an
-	// instance needs no further tuples.
-	alive := make(map[*Instance]bool, len(insts))
-	for _, i := range insts {
-		alive[i] = true
+	// impacted tracks instances already proven impacted; they need no
+	// further tuples. liveTotal is the live population, for the all-done
+	// early exit.
+	liveTotal := len(src.insts)
+	if indexed {
+		liveTotal = src.pi.liveCount(qt)
 	}
+	impacted := make(map[*Instance]bool, 8)
 	impact := func(inst *Instance, conservative bool) {
-		if !alive[inst] {
+		if impacted[inst] {
 			return
 		}
-		delete(alive, inst)
+		impacted[inst] = true
 		res.impacted = append(res.impacted, inst)
 		if conservative {
 			res.conservative++
 		}
 	}
-	impactAll := func(conservative bool) {
-		for _, inst := range insts {
-			impact(inst, conservative)
+	forEachLive := func(fn func(*Instance)) {
+		if indexed {
+			src.pi.forEachLive(qt, fn)
+		} else {
+			for _, inst := range src.insts {
+				fn(inst)
+			}
 		}
+	}
+	impactAll := func(conservative bool) {
+		forEachLive(func(inst *Instance) { impact(inst, conservative) })
 	}
 
 	if plan.conservative {
@@ -893,13 +970,15 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 		tuples = append(tuples, tuple{row: r, deleted: true})
 	}
 
+	candidates := make([]*Instance, 0, 16)
+	var probed predindex.Result[*Instance]
 	for _, tp := range tuples {
 		row := tp.row
-		if len(alive) == 0 {
+		if len(impacted) >= liveTotal {
 			break
 		}
-		for _, occ := range plan.occurrences {
-			if len(alive) == 0 {
+		for occIdx, occ := range plan.occurrences {
+			if len(impacted) >= liveTotal {
 				break
 			}
 			if occ.conservative {
@@ -927,32 +1006,75 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 				}
 			}
 			if dead {
-				if len(alive) == 0 {
+				if len(impacted) >= liveTotal {
 					break
 				}
 				continue
 			}
 
 			// Per-instance local parameterized conjuncts (group processing:
-			// evaluated client-side, no DBMS involved).
-			var candidates []*Instance
-			for inst := range alive {
-				pass := true
-				for _, c := range occ.localParam {
+			// evaluated client-side, no DBMS involved). evalInst finishes
+			// one instance's conjuncts starting at `from`; an evaluation
+			// error impacts it conservatively, exactly as the scan does.
+			evalInst := func(inst *Instance, from int) bool {
+				for _, c := range occ.localParam[from:] {
 					bound := bindPlaceholders(c, inst.Args)
 					ok, err := evalLocal(bound, env)
 					if err != nil {
 						impact(inst, true)
-						pass = false
-						break
+						return false
 					}
 					if !ok {
-						pass = false
-						break
+						return false
 					}
 				}
-				if pass {
-					candidates = append(candidates, inst)
+				return true
+			}
+
+			candidates = candidates[:0]
+			if !indexed {
+				for _, inst := range src.insts {
+					if !impacted[inst] && evalInst(inst, 0) {
+						candidates = append(candidates, inst)
+					}
+				}
+			} else {
+				switch oi := ti.occs[occIdx]; oi.mode {
+				case occAll:
+					forEachLive(func(inst *Instance) {
+						if !impacted[inst] {
+							candidates = append(candidates, inst)
+						}
+					})
+				case occScan:
+					res.idxScanFallbacks++
+					forEachLive(func(inst *Instance) {
+						if !impacted[inst] && evalInst(inst, 0) {
+							candidates = append(candidates, inst)
+						}
+					})
+				default: // occProbe
+					res.idxProbes++
+					probed.Reset()
+					src.pi.probe(oi, row[oi.col], &probed)
+					if oi.interval {
+						res.idxIntervalHits += len(probed.Certain)
+					} else {
+						res.idxBucketHits += len(probed.Certain)
+					}
+					res.idxResidualEvals += len(probed.Residual)
+					for _, inst := range probed.Certain {
+						// First conjunct proven TRUE by the index; verify
+						// the rest.
+						if !impacted[inst] && evalInst(inst, 1) {
+							candidates = append(candidates, inst)
+						}
+					}
+					for _, inst := range probed.Residual {
+						if !impacted[inst] && evalInst(inst, 0) {
+							candidates = append(candidates, inst)
+						}
+					}
 				}
 			}
 			if len(candidates) == 0 {
@@ -1052,8 +1174,16 @@ func (inv *Invalidator) evalType(qt *QueryType, d *engine.Delta, insts []*Instan
 	return res
 }
 
-// recordTypeBatch folds one batch's outcome into the type's statistics.
+// recordTypeBatch folds one batch's outcome into the type's statistics
+// and the global predicate-index counters.
 func (inv *Invalidator) recordTypeBatch(qt *QueryType, nInsts int, res typeBatchResult, elapsed time.Duration) {
+	if res.idxProbes > 0 || res.idxScanFallbacks > 0 {
+		inv.met.predProbes.Add(int64(res.idxProbes))
+		inv.met.predBucketHits.Add(int64(res.idxBucketHits))
+		inv.met.predIntervalHits.Add(int64(res.idxIntervalHits))
+		inv.met.predResiduals.Add(int64(res.idxResidualEvals))
+		inv.met.predScanFallbacks.Add(int64(res.idxScanFallbacks))
+	}
 	inv.registry.withLock(func() {
 		st := &qt.stats
 		st.UpdateBatches++
@@ -1062,6 +1192,11 @@ func (inv *Invalidator) recordTypeBatch(qt *QueryType, nInsts int, res typeBatch
 		st.LocalDecisions += int64(res.localDecisions)
 		st.Polls += int64(res.polls)
 		st.PollTime += res.pollTime
+		st.IndexProbes += int64(res.idxProbes)
+		st.IndexBucketHits += int64(res.idxBucketHits)
+		st.IndexIntervalHits += int64(res.idxIntervalHits)
+		st.IndexResidualEvals += int64(res.idxResidualEvals)
+		st.IndexScanFallbacks += int64(res.idxScanFallbacks)
 		st.InvalidationTime += elapsed
 		if elapsed > st.MaxInvalidation {
 			st.MaxInvalidation = elapsed

@@ -34,6 +34,18 @@ type invMetrics struct {
 	staleness       *obs.Histogram
 	eventCycles     *obs.Counter
 	burstWakes      *obs.Histogram
+
+	// Predicate-index counters (PR 6). predProbes counts index probes,
+	// predBucketHits/predIntervalHits the certain candidates they returned
+	// (hash vs. sorted-run path), predResiduals the entries handed back
+	// for exact evaluation, predScanFallbacks the occurrence evaluations
+	// that had no indexable shape, predRebuilds the per-plan builds.
+	predProbes        *obs.Counter
+	predBucketHits    *obs.Counter
+	predIntervalHits  *obs.Counter
+	predResiduals     *obs.Counter
+	predScanFallbacks *obs.Counter
+	predRebuilds      *obs.Counter
 }
 
 func newInvMetrics(reg *obs.Registry) invMetrics {
@@ -64,6 +76,13 @@ func newInvMetrics(reg *obs.Registry) invMetrics {
 		staleness:       reg.Histogram("invalidator.staleness_seconds"),
 		eventCycles:     reg.Counter("invalidator.event_cycles_total"),
 		burstWakes:      reg.Histogram("invalidator.event_burst_wakes"),
+
+		predProbes:        reg.Counter("invalidator.predindex.probes_total"),
+		predBucketHits:    reg.Counter("invalidator.predindex.bucket_hits_total"),
+		predIntervalHits:  reg.Counter("invalidator.predindex.interval_hits_total"),
+		predResiduals:     reg.Counter("invalidator.predindex.residual_evals_total"),
+		predScanFallbacks: reg.Counter("invalidator.predindex.scan_fallbacks_total"),
+		predRebuilds:      reg.Counter("invalidator.predindex.rebuilds_total"),
 	}
 }
 

@@ -1,0 +1,242 @@
+package invalidator
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/mem"
+	"repro/internal/obs"
+	"repro/internal/predindex"
+)
+
+// This file adapts internal/predindex to the invalidator: it keeps one
+// probe structure per (query type, delta-table plan) coherent with the
+// registry's live instance set, fed by the InstanceObserver hooks, and
+// gives evalType the probe/iterate API that replaces the per-instance
+// scan.
+//
+// Coherence protocol: the registry calls InstanceLive/InstanceDead under
+// its own lock at the exact 0↔1 page-count transitions — the same
+// predicate InstancesOf filters on — so the live set here is always
+// identical to what the scan path would enumerate. Probe structures are
+// built lazily per (table, column-fingerprint) plan on first use, from the
+// live set at that moment, then maintained incrementally; truncation
+// recovery needs nothing special, because flushing pages unlinks them and
+// the resulting InstanceDead stream drains the index. Lock order is
+// registry.mu → predIndex.mu (hooks run under the former and take the
+// latter); nothing here ever calls back into the registry.
+
+// occIndexMode says how candidates for one occurrence are found.
+type occIndexMode int8
+
+const (
+	// occProbe: the first localParam conjunct is indexed; probe with the
+	// delta tuple's column value, verify remaining conjuncts on the
+	// (small) result.
+	occProbe occIndexMode = iota
+	// occScan: localParam conjuncts exist but none is indexable; evaluate
+	// every live instance, exactly like the scan path.
+	occScan
+	// occAll: no localParam conjuncts — every live instance is a
+	// candidate once the shared conjuncts pass.
+	occAll
+)
+
+// occIndex is the per-occurrence probe structure (or the decision that
+// none applies).
+type occIndex struct {
+	mode     occIndexMode
+	col      int  // delta column probed (occProbe)
+	ord      int  // 1-based instance-arg ordinal indexed (occProbe)
+	interval bool // sorted-run probe rather than hash bucket (occProbe)
+	ix       *predindex.Index[*Instance]
+}
+
+// typeTableIndex is one plan's occurrence indexes, in plan order.
+type typeTableIndex struct {
+	occs []*occIndex
+}
+
+func (ti *typeTableIndex) add(inst *Instance) {
+	for _, oi := range ti.occs {
+		if oi.mode != occProbe {
+			continue
+		}
+		if oi.ord > len(inst.Args) {
+			// Unbindable placeholder: evaluation errors for every tuple
+			// (scan goes conservative per instance), so the index must
+			// always hand this instance back.
+			oi.ix.AddResidual(inst)
+			continue
+		}
+		oi.ix.Add(inst, inst.Args[oi.ord-1])
+	}
+}
+
+func (ti *typeTableIndex) remove(inst *Instance) {
+	for _, oi := range ti.occs {
+		if oi.mode == occProbe {
+			oi.ix.Remove(inst)
+		}
+	}
+}
+
+// typeEntry is the per-type state: the live instance set plus the lazily
+// built per-plan probe structures.
+type typeEntry struct {
+	live   map[*Instance]struct{}
+	tables map[string]*typeTableIndex // lower(table) + "|" + colFingerprint
+}
+
+// predIndex is the invalidator's predicate index: the InstanceObserver
+// implementation plus the evalType-facing probe API.
+type predIndex struct {
+	mu    sync.RWMutex
+	types map[*QueryType]*typeEntry
+
+	size     atomic.Int64 // live instances tracked (gauge)
+	rebuilds *obs.Counter // per-plan builds from the live set
+}
+
+func newPredIndex(rebuilds *obs.Counter) *predIndex {
+	return &predIndex{types: make(map[*QueryType]*typeEntry), rebuilds: rebuilds}
+}
+
+// InstanceLive implements InstanceObserver (called under the registry
+// lock).
+func (pi *predIndex) InstanceLive(inst *Instance) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	te, ok := pi.types[inst.Type]
+	if !ok {
+		te = &typeEntry{live: make(map[*Instance]struct{}), tables: make(map[string]*typeTableIndex)}
+		pi.types[inst.Type] = te
+	}
+	if _, ok := te.live[inst]; ok {
+		return
+	}
+	te.live[inst] = struct{}{}
+	pi.size.Add(1)
+	for _, ti := range te.tables {
+		ti.add(inst)
+	}
+}
+
+// InstanceDead implements InstanceObserver (called under the registry
+// lock).
+func (pi *predIndex) InstanceDead(inst *Instance) {
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	te, ok := pi.types[inst.Type]
+	if !ok {
+		return
+	}
+	if _, ok := te.live[inst]; !ok {
+		return
+	}
+	delete(te.live, inst)
+	pi.size.Add(-1)
+	for _, ti := range te.tables {
+		ti.remove(inst)
+	}
+}
+
+// typeCount returns how many types currently have live instances.
+func (pi *predIndex) typeCount() int64 {
+	pi.mu.RLock()
+	defer pi.mu.RUnlock()
+	n := int64(0)
+	for _, te := range pi.types {
+		if len(te.live) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// liveCount returns the number of live instances of qt — the same count
+// len(InstancesOf(qt)) would report.
+func (pi *predIndex) liveCount(qt *QueryType) int {
+	pi.mu.RLock()
+	defer pi.mu.RUnlock()
+	te, ok := pi.types[qt]
+	if !ok {
+		return 0
+	}
+	return len(te.live)
+}
+
+// forEachLive calls fn for every live instance of qt, under the read lock.
+// fn must not mutate the index.
+func (pi *predIndex) forEachLive(qt *QueryType, fn func(*Instance)) {
+	pi.mu.RLock()
+	defer pi.mu.RUnlock()
+	te, ok := pi.types[qt]
+	if !ok {
+		return
+	}
+	for inst := range te.live {
+		fn(inst)
+	}
+}
+
+// probe runs one occurrence probe under the read lock, appending into res.
+func (pi *predIndex) probe(oi *occIndex, t mem.Value, res *predindex.Result[*Instance]) {
+	pi.mu.RLock()
+	defer pi.mu.RUnlock()
+	oi.ix.Probe(t, res)
+}
+
+// tableFor returns (building on first use) the probe structures for qt
+// against deltas on table with the given columns. The build populates from
+// the type's live set at that moment; the observer hooks keep it coherent
+// afterwards. plan must be qt.planFor(table, columns).
+func (pi *predIndex) tableFor(qt *QueryType, table string, columns []string, plan *tablePlan) *typeTableIndex {
+	key := strings.ToLower(table) + "|" + colFingerprint(columns)
+	pi.mu.RLock()
+	if te, ok := pi.types[qt]; ok {
+		if ti, ok := te.tables[key]; ok {
+			pi.mu.RUnlock()
+			return ti
+		}
+	}
+	pi.mu.RUnlock()
+
+	pi.mu.Lock()
+	defer pi.mu.Unlock()
+	te, ok := pi.types[qt]
+	if !ok {
+		te = &typeEntry{live: make(map[*Instance]struct{}), tables: make(map[string]*typeTableIndex)}
+		pi.types[qt] = te
+	}
+	if ti, ok := te.tables[key]; ok {
+		return ti
+	}
+	ti := &typeTableIndex{}
+	for _, occ := range plan.occurrences {
+		oi := &occIndex{mode: occScan}
+		switch {
+		case occ.conservative:
+			// evalType impacts everything before consulting the index;
+			// mode is never read.
+		case len(occ.localParam) == 0:
+			oi.mode = occAll
+		case occ.indexShape != nil:
+			oi.mode = occProbe
+			oi.col = occ.indexShape.col
+			oi.ord = occ.indexShape.ord
+			oi.interval = occ.indexShape.op.Interval()
+			oi.ix = predindex.New[*Instance](occ.indexShape.op)
+		}
+		ti.occs = append(ti.occs, oi)
+	}
+	for inst := range te.live {
+		ti.add(inst)
+	}
+	te.tables[key] = ti
+	if pi.rebuilds != nil {
+		pi.rebuilds.Inc()
+	}
+	return ti
+}

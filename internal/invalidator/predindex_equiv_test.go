@@ -1,0 +1,236 @@
+package invalidator
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/sniffer"
+)
+
+// These tests pin the predicate index's core contract: for any registry and
+// any update workload, a cycle that probes the index invalidates exactly the
+// page set the registry scan does, with identical decision counters — at any
+// worker count, across multiple cycles with page churn (ejects unlink pages,
+// re-recording re-observes them) so the index is exercised live, not just at
+// build time.
+
+// equivSchema mixes integer, float and string columns so probes cover hash
+// buckets and sorted runs in every value family.
+const equivSchema = `
+	CREATE TABLE U0 (a INT, b INT, s TEXT);
+	CREATE TABLE U1 (a INT, b INT, s TEXT);
+	CREATE TABLE U2 (a INT, b FLOAT, s TEXT);
+	INSERT INTO U0 VALUES (1, 10, 'k00'), (2, 20, 'k01'), (3, 30, 'k02');
+	INSERT INTO U1 VALUES (1, 15, 'k01'), (2, 25, 'k03'), (4, 45, 'k00');
+	INSERT INTO U2 VALUES (2, 12.5, 'k02'), (3, 33.0, 'k04'), (5, 55.5, 'k01');
+`
+
+// equivPages records n randomly parameterized pages. Templates cover every
+// index mode: equality on int and string (hash buckets), ranges in both
+// directions (sorted runs), eq+range conjunct pairs (probe first, verify
+// rest), and a join (external conjunct, polls). Keys are drawn from a pool
+// ~2x the per-round count so later rounds re-record some ejected pages
+// (dead→live re-add churn) and leave others dead.
+func equivPages(rng *rand.Rand, m *sniffer.QIURLMap, logID *int64, n int) {
+	tables := []string{"U0", "U1", "U2"}
+	for i := 0; i < n; i++ {
+		tbl := tables[rng.Intn(len(tables))]
+		var sql string
+		switch rng.Intn(7) {
+		case 0:
+			sql = fmt.Sprintf("SELECT a FROM %s WHERE a = %d", tbl, rng.Intn(8))
+		case 1:
+			sql = fmt.Sprintf("SELECT b FROM %s WHERE b > %d", tbl, rng.Intn(60))
+		case 2:
+			sql = fmt.Sprintf("SELECT a FROM %s WHERE b < %d", tbl, rng.Intn(60))
+		case 3:
+			sql = fmt.Sprintf("SELECT a FROM %s WHERE s = 'k%02d'", tbl, rng.Intn(6))
+		case 4:
+			sql = fmt.Sprintf("SELECT a FROM %s WHERE s >= 'k%02d'", tbl, rng.Intn(6))
+		case 5:
+			sql = fmt.Sprintf("SELECT a FROM %s WHERE a = %d AND b > %d",
+				tbl, rng.Intn(8), rng.Intn(60))
+		default:
+			sql = fmt.Sprintf(
+				"SELECT U0.a FROM U0, U1 WHERE U0.a = U1.a AND U0.b > %d", rng.Intn(60))
+		}
+		*logID++
+		m.Record(fmt.Sprintf("page-%d", rng.Intn(2*n)), "servlet", 1,
+			[]sniffer.QueryInstance{{SQL: sql, LogID: *logID}})
+	}
+}
+
+// equivScript derives a deterministic DML sequence touching every column
+// family the pages predicate over.
+func equivScript(rng *rand.Rand, n int) []string {
+	tables := []string{"U0", "U1", "U2"}
+	script := make([]string, 0, n)
+	for len(script) < n {
+		tbl := tables[rng.Intn(len(tables))]
+		a, b, s := rng.Intn(8), rng.Intn(60), rng.Intn(6)
+		switch rng.Intn(4) {
+		case 0:
+			script = append(script, fmt.Sprintf(
+				"INSERT INTO %s VALUES (%d, %d, 'k%02d')", tbl, a, b, s))
+		case 1:
+			script = append(script, fmt.Sprintf("DELETE FROM %s WHERE a = %d", tbl, a))
+		case 2:
+			script = append(script, fmt.Sprintf(
+				"UPDATE %s SET b = %d WHERE a = %d", tbl, b, a))
+		default:
+			script = append(script, fmt.Sprintf(
+				"UPDATE %s SET s = 'k%02d' WHERE b > %d", tbl, s, b))
+		}
+	}
+	return script
+}
+
+// runEquivCycles runs nCycles rounds of (record pages, apply updates, cycle)
+// against a fresh site and returns the per-cycle outcomes. All randomness is
+// drawn from seed, so two calls with different workers/disable settings see
+// byte-identical registries and workloads.
+func runEquivCycles(t *testing.T, workers int, disable bool, seed int64, nPages, nCycles, nUpd int) []cycleOutcome {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(equivSchema); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := driver.DirectDriver{DB: db}.Connect("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sniffer.NewQIURLMap()
+	var ejected []string
+	inv := New(Config{
+		Map:    m,
+		Puller: EngineLogPuller{Log: db.Log()},
+		Poller: conn,
+		Ejector: FuncEjector(func(keys []string) error {
+			ejected = append(ejected, keys...)
+			return nil
+		}),
+		Workers:          workers,
+		DisablePredIndex: disable,
+	})
+	if _, err := inv.Cycle(); err != nil { // swallow schema-setup records
+		t.Fatal(err)
+	}
+	var logID int64
+	outcomes := make([]cycleOutcome, 0, nCycles)
+	for c := 0; c < nCycles; c++ {
+		equivPages(rng, m, &logID, nPages)
+		for _, sql := range equivScript(rng, nUpd) {
+			if _, err := db.ExecSQL(sql); err != nil {
+				t.Fatalf("%s: %v", sql, err)
+			}
+		}
+		ejected = ejected[:0]
+		rep, err := inv.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := append([]string(nil), ejected...)
+		sort.Strings(keys)
+		outcomes = append(outcomes, cycleOutcome{
+			Ejected:        keys,
+			Invalidated:    rep.Invalidated,
+			Conservative:   rep.Conservative,
+			LocalDecisions: rep.LocalDecisions,
+			Polls:          rep.Polls,
+		})
+	}
+	return outcomes
+}
+
+// equivSizes returns (pages per round, cycles, updates per round, seeds).
+// -short keeps a reduced configuration for CI smoke runs.
+func equivSizes() (int, int, int, []int64) {
+	if testing.Short() {
+		return 24, 2, 8, []int64{1, 2}
+	}
+	return 60, 3, 14, []int64{1, 2, 3, 4, 5, 6}
+}
+
+// TestPredIndexCycleEquivalence is the headline property: indexed and scan
+// cycles agree exactly, for random registries and workloads, at workers 1,
+// 4 and 8, across cycles with live/dead/re-add page churn.
+func TestPredIndexCycleEquivalence(t *testing.T) {
+	nPages, nCycles, nUpd, seeds := equivSizes()
+	busy := 0
+	for _, seed := range seeds {
+		scan := runEquivCycles(t, 1, true, seed, nPages, nCycles, nUpd)
+		for _, out := range scan {
+			busy += out.Invalidated
+		}
+		for _, workers := range []int{1, 4, 8} {
+			indexed := runEquivCycles(t, workers, false, seed, nPages, nCycles, nUpd)
+			if !reflect.DeepEqual(scan, indexed) {
+				t.Fatalf("seed=%d workers=%d diverged:\nscan:    %+v\nindexed: %+v",
+					seed, workers, scan, indexed)
+			}
+		}
+	}
+	if busy == 0 {
+		t.Fatal("equivalence was vacuous: no workload invalidated anything")
+	}
+}
+
+// TestPredIndexMetricsFlow sanity-checks the observability satellite: an
+// indexed run reports probes and hits through TypeStats, a scan run reports
+// none.
+func TestPredIndexMetricsFlow(t *testing.T) {
+	sum := func(disable bool) (probes, hits int64) {
+		rng := rand.New(rand.NewSource(9))
+		db := engine.NewDatabase()
+		if _, err := db.ExecScript(equivSchema); err != nil {
+			t.Fatal(err)
+		}
+		conn, err := driver.DirectDriver{DB: db}.Connect("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := sniffer.NewQIURLMap()
+		inv := New(Config{
+			Map:              m,
+			Puller:           EngineLogPuller{Log: db.Log()},
+			Poller:           conn,
+			Ejector:          FuncEjector(func([]string) error { return nil }),
+			DisablePredIndex: disable,
+		})
+		if _, err := inv.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+		var logID int64
+		equivPages(rng, m, &logID, 40)
+		for _, sql := range equivScript(rng, 12) {
+			if _, err := db.ExecSQL(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := inv.Cycle(); err != nil {
+			t.Fatal(err)
+		}
+		for _, qt := range inv.Registry().Types() {
+			st := inv.Registry().StatsOf(qt)
+			probes += st.IndexProbes
+			hits += st.IndexBucketHits + st.IndexIntervalHits + st.IndexResidualEvals
+		}
+		return probes, hits
+	}
+	probes, hits := sum(false)
+	if probes == 0 {
+		t.Fatal("indexed run recorded no probes in TypeStats")
+	}
+	if hits == 0 {
+		t.Fatal("indexed run recorded no candidate hits in TypeStats")
+	}
+	if p, h := sum(true); p != 0 || h != 0 {
+		t.Fatalf("scan run recorded index activity: probes=%d hits=%d", p, h)
+	}
+}

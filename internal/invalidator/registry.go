@@ -12,6 +12,7 @@ package invalidator
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -69,6 +70,17 @@ type TypeStats struct {
 	// InvalidationRatioEWMA tracks the fraction of live instances
 	// invalidated per touching update batch (exp. weighted, α=1/8).
 	InvalidationRatioEWMA float64
+
+	// Predicate-index breakdown: how this type's candidate instances were
+	// found. Probes answered from the index, candidates surfaced via hash
+	// buckets vs. sorted-run (interval) search, residual entries the index
+	// handed back for exact evaluation, and occurrences whose predicate
+	// shape forced a conservative full scan.
+	IndexProbes        int64
+	IndexBucketHits    int64
+	IndexIntervalHits  int64
+	IndexResidualEvals int64
+	IndexScanFallbacks int64
 }
 
 // Instance is a bound query instance linked to the cached pages it
@@ -84,6 +96,17 @@ type Instance struct {
 	Pages map[string]bool
 }
 
+// InstanceObserver is notified, under the registry lock, of instance
+// liveness transitions: InstanceLive when an instance gains its first page
+// link, InstanceDead when it loses its last (the exact moments it enters
+// and leaves the InstancesOf result). Callbacks must not call back into
+// the registry. The predicate index is the one consumer; it keeps its
+// probe structures coherent from these events alone.
+type InstanceObserver interface {
+	InstanceLive(inst *Instance)
+	InstanceDead(inst *Instance)
+}
+
 // Registry holds query types, instances and the instance↔page links — the
 // registration module's data structures (§4.1).
 type Registry struct {
@@ -91,8 +114,10 @@ type Registry struct {
 	nextTypeID int64
 	types      map[string]*QueryType // template key → type
 	instances  map[string]*Instance  // template key + args key → instance
+	byType     map[*QueryType]map[*Instance]bool
 	byTable    map[string]map[*QueryType]bool
 	pageLinks  map[string]map[*Instance]bool // cache key → instances
+	observer   InstanceObserver
 	// conservativePages hold pages whose queries could not be analyzed
 	// (non-SELECT or unparseable): they are invalidated on every update.
 	conservativePages map[string]bool
@@ -119,6 +144,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		types:             make(map[string]*QueryType),
 		instances:         make(map[string]*Instance),
+		byType:            make(map[*QueryType]map[*Instance]bool),
 		byTable:           make(map[string]map[*QueryType]bool),
 		pageLinks:         make(map[string]map[*Instance]bool),
 		conservativePages: make(map[string]bool),
@@ -129,6 +155,23 @@ func NewRegistry() *Registry {
 // Generation returns the registry's type-set generation: it increases
 // monotonically each time a new query type is interned.
 func (r *Registry) Generation() int64 { return r.generation.Load() }
+
+// SetObserver installs the (single) instance observer and replays the
+// current live set to it under the lock, so an observer wired onto an
+// already-populated registry starts coherent. A nil observer detaches.
+func (r *Registry) SetObserver(o InstanceObserver) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.observer = o
+	if o == nil {
+		return
+	}
+	for _, inst := range r.instances {
+		if len(inst.Pages) > 0 {
+			o.InstanceLive(inst)
+		}
+	}
+}
 
 // ParseCacheStats returns the parse cache's cumulative (hits, misses).
 func (r *Registry) ParseCacheStats() (hits, misses int64) { return r.parsed.Stats() }
@@ -258,10 +301,17 @@ func (r *Registry) ObserveInstance(sql, cacheKey string) (*Instance, bool, error
 			Pages:   make(map[string]bool),
 		}
 		r.instances[ik] = inst
+		set, ok := r.byType[qt]
+		if !ok {
+			set = make(map[*Instance]bool)
+			r.byType[qt] = set
+		}
+		set[inst] = true
 		qt.stats.Instances++
 		qt.stats.LiveInstances++
 	}
 	if cacheKey != "" {
+		wasLive := len(inst.Pages) > 0
 		inst.Pages[cacheKey] = true
 		links, ok := r.pageLinks[cacheKey]
 		if !ok {
@@ -269,6 +319,9 @@ func (r *Registry) ObserveInstance(sql, cacheKey string) (*Instance, bool, error
 			r.pageLinks[cacheKey] = links
 		}
 		links[inst] = true
+		if !wasLive && r.observer != nil {
+			r.observer.InstanceLive(inst)
+		}
 	}
 	return inst, newType, nil
 }
@@ -313,7 +366,16 @@ func (r *Registry) unlinkPageLocked(cacheKey string) {
 		delete(inst.Pages, cacheKey)
 		if len(inst.Pages) == 0 {
 			delete(r.instances, inst.Type.Key+"\x00"+inst.ArgsKey)
+			if set, ok := r.byType[inst.Type]; ok {
+				delete(set, inst)
+				if len(set) == 0 {
+					delete(r.byType, inst.Type)
+				}
+			}
 			inst.Type.stats.LiveInstances--
+			if r.observer != nil {
+				r.observer.InstanceDead(inst)
+			}
 		}
 	}
 }
@@ -326,28 +388,52 @@ func (r *Registry) RelinkPage(cacheKey string) {
 
 // TypesForTable returns the types referencing the (case-insensitive) table.
 func (r *Registry) TypesForTable(table string) []*QueryType {
+	return r.TypesForTableInto(table, nil)
+}
+
+// TypesForTableInto appends the types referencing the (case-insensitive)
+// table into buf[:0] and returns it, ordered by ID. Passing the previous
+// result back in makes the per-delta hot path allocation-free once the
+// buffer has grown to fleet size.
+func (r *Registry) TypesForTableInto(table string, buf []*QueryType) []*QueryType {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	set := r.byTable[strings.ToLower(table)]
-	out := make([]*QueryType, 0, len(set))
-	for qt := range set {
+	out := buf[:0]
+	for qt := range r.byTable[strings.ToLower(table)] {
 		out = append(out, qt)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	slices.SortFunc(out, func(a, b *QueryType) int {
+		switch {
+		case a.ID < b.ID:
+			return -1
+		case a.ID > b.ID:
+			return 1
+		default:
+			return 0
+		}
+	})
 	return out
 }
 
 // InstancesOf returns the live instances of a type (with ≥1 page).
 func (r *Registry) InstancesOf(qt *QueryType) []*Instance {
+	return r.InstancesOfInto(qt, nil)
+}
+
+// InstancesOfInto appends the live instances of qt (with ≥1 page) into
+// buf[:0] and returns it, ordered by ArgsKey. The byType map makes this
+// O(instances of qt) rather than a scan of every registered instance, and
+// buffer reuse makes it allocation-free at steady state.
+func (r *Registry) InstancesOfInto(qt *QueryType, buf []*Instance) []*Instance {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var out []*Instance
-	for _, inst := range r.instances {
-		if inst.Type == qt && len(inst.Pages) > 0 {
+	out := buf[:0]
+	for inst := range r.byType[qt] {
+		if len(inst.Pages) > 0 {
 			out = append(out, inst)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ArgsKey < out[j].ArgsKey })
+	slices.SortFunc(out, func(a, b *Instance) int { return strings.Compare(a.ArgsKey, b.ArgsKey) })
 	return out
 }
 

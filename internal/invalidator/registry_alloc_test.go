@@ -1,0 +1,91 @@
+package invalidator
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The per-delta enumeration APIs are on the cycle's hot path: every delta
+// batch asks "which types touch this table" and "which instances of this
+// type are live" once per (type × table) unit. These tests pin the
+// allocation contract: with a reused buffer, steady-state enumeration
+// allocates nothing.
+
+// allocRegistry registers nTypes templates × nInsts bound instances
+// against table t0.
+func allocRegistry(tb testing.TB, nTypes, nInsts int) *Registry {
+	tb.Helper()
+	r := NewRegistry()
+	for ty := 0; ty < nTypes; ty++ {
+		for i := 0; i < nInsts; i++ {
+			sql := fmt.Sprintf("SELECT c%d FROM t0 WHERE a = %d", ty, i)
+			if _, _, err := r.ObserveInstance(sql, fmt.Sprintf("page-%d-%d", ty, i)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return r
+}
+
+func TestTypesForTableIntoZeroAlloc(t *testing.T) {
+	r := allocRegistry(t, 8, 4)
+	buf := r.TypesForTableInto("t0", nil)
+	if len(buf) != 8 {
+		t.Fatalf("got %d types, want 8", len(buf))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.TypesForTableInto("t0", buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("TypesForTableInto allocated %.1f objects/op with a warm buffer, want 0", allocs)
+	}
+}
+
+func TestInstancesOfIntoZeroAlloc(t *testing.T) {
+	r := allocRegistry(t, 2, 64)
+	qt := r.TypesForTable("t0")[0]
+	buf := r.InstancesOfInto(qt, nil)
+	if len(buf) != 64 {
+		t.Fatalf("got %d instances, want 64", len(buf))
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.InstancesOfInto(qt, buf)
+	})
+	if allocs != 0 {
+		t.Fatalf("InstancesOfInto allocated %.1f objects/op with a warm buffer, want 0", allocs)
+	}
+}
+
+// BenchmarkRegistryEnumeration measures the per-delta enumeration cost that
+// Cycle pays for every (type × delta table) unit; the Into variants with a
+// reused buffer are the ones the cycle actually uses.
+func BenchmarkRegistryEnumeration(b *testing.B) {
+	r := allocRegistry(b, 16, 64)
+	qt := r.TypesForTable("t0")[0]
+	b.Run("TypesForTable/alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = r.TypesForTable("t0")
+		}
+	})
+	b.Run("TypesForTable/into", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []*QueryType
+		for i := 0; i < b.N; i++ {
+			buf = r.TypesForTableInto("t0", buf)
+		}
+	})
+	b.Run("InstancesOf/alloc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = r.InstancesOf(qt)
+		}
+	})
+	b.Run("InstancesOf/into", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []*Instance
+		for i := 0; i < b.N; i++ {
+			buf = r.InstancesOfInto(qt, buf)
+		}
+	})
+}

@@ -1,0 +1,632 @@
+// Package predindex implements an in-memory predicate index over bound
+// query instances, the core move of the related invalidation literature
+// (Ji et al.'s transparent invalidation, Łopuszański's single-table
+// algorithm): instead of testing every cached query instance against every
+// write, the instances' bound WHERE constants are indexed so a write's
+// column value probes the index and yields exactly the instances whose
+// predicate it can satisfy.
+//
+// One Index covers one predicate shape: a comparison `<delta column> op
+// <bound constant>` shared by every instance of a query type for one
+// occurrence of the updated table. Entries are the instances; each carries
+// the constant its placeholder was bound with. A probe with the delta
+// tuple's column value t partitions the entries into:
+//
+//   - Certain  — the comparison (t op constant) is definitely TRUE under
+//     SQL semantics. Equality probes answer from a hash bucket, range
+//     probes from sorted runs with binary search; both are sub-linear in
+//     the number of entries.
+//   - Residual — the index cannot decide the comparison exactly and the
+//     caller must evaluate it the slow way. This is how cross-kind
+//     comparisons (string constant probed with an int, which the engine
+//     rejects with an error → conservative invalidation) and entries
+//     registered via AddResidual keep exact scan-equivalence: the index
+//     never guesses, it hands the hard cases back.
+//
+// Everything else — entries whose comparison is definitely FALSE or
+// UNKNOWN (NULL operands) — is simply not returned, which is the whole
+// point: a probe costs O(log²n + answer) instead of O(n).
+//
+// Range entries live in a logarithmic structure (the Bentley–Saxe method):
+// a small unsorted buffer plus O(log n) sorted runs, merged geometrically,
+// so Add stays amortized O(log n) and no probe ever linear-scans more than
+// the constant-size buffer. Removal writes a tombstone; every run record
+// carries the sequence number of the member incarnation that created it,
+// so stale records from remove/re-add churn are filtered exactly and
+// compacted away once they outnumber the live half.
+//
+// The index is not goroutine-safe; callers serialize mutation against
+// probing (the invalidator guards it with one RWMutex).
+package predindex
+
+import (
+	"cmp"
+	"math"
+	"sort"
+
+	"repro/internal/mem"
+)
+
+// Op is the comparison operator of the indexed predicate, with the probe
+// value on the left: an entry with constant a matches probe value t iff
+// (t op a) is TRUE.
+type Op int
+
+// Supported comparison shapes. Inequality (<>) is deliberately absent: its
+// answer set is "everything but one bucket", which a probe cannot return
+// sub-linearly — such predicates stay on the caller's scan path.
+const (
+	Eq Op = iota
+	Lt
+	LtEq
+	Gt
+	GtEq
+)
+
+// String names the operator (probe value on the left).
+func (op Op) String() string {
+	switch op {
+	case Eq:
+		return "="
+	case Lt:
+		return "<"
+	case LtEq:
+		return "<="
+	case Gt:
+		return ">"
+	case GtEq:
+		return ">="
+	default:
+		return "Op(?)"
+	}
+}
+
+// Mirror flips the operator to the other side of the comparison: if the
+// source predicate was written `<constant> op <column>`, indexing it under
+// op.Mirror() restores the probe-on-the-left convention.
+func (op Op) Mirror() Op {
+	switch op {
+	case Lt:
+		return Gt
+	case LtEq:
+		return GtEq
+	case Gt:
+		return Lt
+	case GtEq:
+		return LtEq
+	default:
+		return op
+	}
+}
+
+// Interval reports whether the operator needs the sorted-run (interval)
+// structure rather than hash buckets.
+func (op Op) Interval() bool { return op != Eq }
+
+// family partitions constants by comparison behavior: SQL comparison is
+// total within a family (ints and floats coerce to one numeric family) and
+// errors across families, which is what routes cross-family probes to the
+// Residual set.
+type family int8
+
+const (
+	famNull family = iota // NULL constant: comparison is never TRUE, never an error
+	famNum                // int/float
+	famStr
+	famBool
+	famResidual // AddResidual entries and NaN: always handed back to the caller
+)
+
+// familyOf classifies a value. NaN lands in famResidual: mem.Compare
+// reports NaN equal to everything (three-way float compare), an order no
+// index structure can honor, so NaN constants are handed back for exact
+// evaluation.
+func familyOf(v mem.Value) family {
+	switch v.Kind {
+	case mem.KindInt:
+		return famNum
+	case mem.KindFloat:
+		if math.IsNaN(v.F) {
+			return famResidual
+		}
+		return famNum
+	case mem.KindString:
+		return famStr
+	case mem.KindBool:
+		return famBool
+	default:
+		return famNull
+	}
+}
+
+// numKey folds a numeric value to the float64 key mem.Compare compares by,
+// normalizing -0 so hashing agrees with comparison.
+func numKey(v mem.Value) float64 {
+	var f float64
+	if v.Kind == mem.KindInt {
+		f = float64(v.I)
+	} else {
+		f = v.F
+	}
+	if f == 0 {
+		return 0
+	}
+	return f
+}
+
+// member is the index's record of one entry.
+type member struct {
+	val mem.Value
+	fam family
+	// seq identifies this incarnation of the entry: every Add assigns a
+	// fresh sequence number, and range records carry the sequence of the
+	// incarnation that wrote them. A record is live iff its sequence
+	// matches the member's — remove/re-add churn can leave any number of
+	// stale records behind and none of them validates.
+	seq uint64
+	// inBuf marks range entries whose record still sits in the unsorted
+	// buffer (so Remove can delete it in place instead of tombstoning).
+	inBuf bool
+}
+
+// Result receives a probe's answer. Reuse one across probes (Reset) to
+// keep the hot path allocation-free.
+type Result[E comparable] struct {
+	Certain  []E // (t op constant) definitely TRUE
+	Residual []E // caller must evaluate exactly (possible error path)
+}
+
+// Reset empties the result for reuse, keeping capacity.
+func (r *Result[E]) Reset() {
+	r.Certain = r.Certain[:0]
+	r.Residual = r.Residual[:0]
+}
+
+// Stats describes an index's physical state (observability and tests).
+type Stats struct {
+	Members int // live entries
+	Buckets int // distinct hash buckets (Eq)
+	Runs    int // sorted runs across both ordered families (range)
+	RunLen  int // records in sorted runs incl. tombstoned ones
+	Buffer  int // unsorted buffered records
+	Dead    int // stale run records awaiting compaction
+}
+
+// Index is a predicate index for one comparison shape. The zero value is
+// not usable; call New.
+type Index[E comparable] struct {
+	op      Op
+	members map[E]member
+	seq     uint64
+
+	// Eq structures: one typed bucket map per family.
+	numBuckets  map[float64]map[E]struct{}
+	strBuckets  map[string]map[E]struct{}
+	boolBuckets map[bool]map[E]struct{}
+
+	// Range structures: one logarithmic slab per ordered family.
+	numSlab slab[float64, E]
+	strSlab slab[string, E]
+
+	// Per-family membership, for emitting cross-family entries as
+	// Residual without touching the whole members map. boolMembers also
+	// answers range probes over booleans (no slab: handed back whole).
+	numMembers, strMembers, boolMembers map[E]struct{}
+	residualAlways                      map[E]struct{}
+}
+
+// New creates an empty index for one comparison shape.
+func New[E comparable](op Op) *Index[E] {
+	ix := &Index[E]{
+		op:             op,
+		members:        make(map[E]member),
+		numMembers:     make(map[E]struct{}),
+		strMembers:     make(map[E]struct{}),
+		boolMembers:    make(map[E]struct{}),
+		residualAlways: make(map[E]struct{}),
+	}
+	if op == Eq {
+		ix.numBuckets = make(map[float64]map[E]struct{})
+		ix.strBuckets = make(map[string]map[E]struct{})
+		ix.boolBuckets = make(map[bool]map[E]struct{})
+	}
+	return ix
+}
+
+// Op returns the index's comparison operator.
+func (ix *Index[E]) Op() Op { return ix.op }
+
+// Len returns the number of live entries.
+func (ix *Index[E]) Len() int { return len(ix.members) }
+
+// Stats snapshots the physical structure.
+func (ix *Index[E]) Stats() Stats {
+	return Stats{
+		Members: len(ix.members),
+		Buckets: len(ix.numBuckets) + len(ix.strBuckets) + len(ix.boolBuckets),
+		Runs:    len(ix.numSlab.runs) + len(ix.strSlab.runs),
+		RunLen:  ix.numSlab.total + ix.strSlab.total,
+		Buffer:  len(ix.numSlab.buf) + len(ix.strSlab.buf),
+		Dead:    ix.numSlab.dead + ix.strSlab.dead,
+	}
+}
+
+// live reports whether a run record belongs to the current incarnation of
+// its entry.
+func (ix *Index[E]) live(e E, seq uint64) bool {
+	m, ok := ix.members[e]
+	return ok && m.seq == seq
+}
+
+// Add registers entry e with its bound constant. Adding a present entry is
+// a no-op (entries are identified by value; re-registration carries the
+// same constant).
+func (ix *Index[E]) Add(e E, a mem.Value) {
+	if _, ok := ix.members[e]; ok {
+		return
+	}
+	ix.seq++
+	fam := familyOf(a)
+	m := member{val: a, fam: fam, seq: ix.seq}
+	switch fam {
+	case famNull:
+		// NULL constants: (t op NULL) is UNKNOWN for every t — never TRUE,
+		// never an error. The entry is tracked for Len/Remove symmetry but
+		// participates in no structure.
+	case famNum:
+		ix.numMembers[e] = struct{}{}
+		if ix.op == Eq {
+			bucketAdd(ix.numBuckets, numKey(a), e)
+		} else {
+			m.inBuf = true
+			ix.members[e] = m // slab flush may flip inBuf; store first
+			ix.numSlab.add(rec[float64, E]{k: numKey(a), e: e, seq: m.seq}, ix)
+			return
+		}
+	case famStr:
+		ix.strMembers[e] = struct{}{}
+		if ix.op == Eq {
+			bucketAdd(ix.strBuckets, a.S, e)
+		} else {
+			m.inBuf = true
+			ix.members[e] = m
+			ix.strSlab.add(rec[string, E]{k: a.S, e: e, seq: m.seq}, ix)
+			return
+		}
+	case famBool:
+		ix.boolMembers[e] = struct{}{}
+		if ix.op == Eq {
+			bucketAdd(ix.boolBuckets, a.B, e)
+		}
+		// Range over booleans: rare enough that the whole family is
+		// answered as Residual; no structure to maintain.
+	case famResidual:
+		ix.residualAlways[e] = struct{}{}
+	}
+	ix.members[e] = m
+}
+
+// AddResidual registers an entry the index must always hand back to the
+// caller (e.g. an instance whose placeholder ordinal is out of range, so
+// evaluation errors for every tuple).
+func (ix *Index[E]) AddResidual(e E) {
+	if _, ok := ix.members[e]; ok {
+		return
+	}
+	ix.seq++
+	ix.members[e] = member{fam: famResidual, seq: ix.seq}
+	ix.residualAlways[e] = struct{}{}
+}
+
+// Remove drops an entry. Removing an absent entry is a no-op. Records in
+// sorted runs become tombstones filtered on probe and compacted once they
+// outnumber the live half.
+func (ix *Index[E]) Remove(e E) {
+	m, ok := ix.members[e]
+	if !ok {
+		return
+	}
+	delete(ix.members, e)
+	switch m.fam {
+	case famNum:
+		delete(ix.numMembers, e)
+		if ix.op == Eq {
+			bucketDel(ix.numBuckets, numKey(m.val), e)
+		} else {
+			ix.numSlab.remove(e, m, ix)
+		}
+	case famStr:
+		delete(ix.strMembers, e)
+		if ix.op == Eq {
+			bucketDel(ix.strBuckets, m.val.S, e)
+		} else {
+			ix.strSlab.remove(e, m, ix)
+		}
+	case famBool:
+		delete(ix.boolMembers, e)
+		if ix.op == Eq {
+			bucketDel(ix.boolBuckets, m.val.B, e)
+		}
+	case famResidual:
+		delete(ix.residualAlways, e)
+	}
+}
+
+// Probe answers for value t: entries whose (t op constant) is certainly
+// TRUE into res.Certain, entries needing exact caller evaluation into
+// res.Residual. Entries whose comparison is FALSE or UNKNOWN are omitted.
+// res is appended to; call res.Reset() first to reuse it.
+func (ix *Index[E]) Probe(t mem.Value, res *Result[E]) {
+	// AddResidual entries error before the comparison is even reached
+	// (unbound placeholder), so they are residual for every t, NULL
+	// included.
+	for e := range ix.residualAlways {
+		res.Residual = append(res.Residual, e)
+	}
+	tf := familyOf(t)
+	switch tf {
+	case famNull:
+		// (NULL op a) is UNKNOWN against every constant of every family:
+		// nothing matches, nothing errors.
+		return
+	case famResidual:
+		// A NaN probe defeats ordering (mem.Compare calls it equal to
+		// every number); hand every entry back for exact evaluation.
+		appendAll(ix.numMembers, &res.Residual)
+		appendAll(ix.strMembers, &res.Residual)
+		appendAll(ix.boolMembers, &res.Residual)
+		return
+	}
+	// Cross-family comparison errors in the engine (mem.Compare rejects
+	// it), which the caller turns into a conservative invalidation — so
+	// every member of a different ordered family is residual.
+	if tf != famNum {
+		appendAll(ix.numMembers, &res.Residual)
+	}
+	if tf != famStr {
+		appendAll(ix.strMembers, &res.Residual)
+	}
+	if tf != famBool {
+		appendAll(ix.boolMembers, &res.Residual)
+	}
+	switch tf {
+	case famNum:
+		if ix.op == Eq {
+			appendAll(ix.numBuckets[numKey(t)], &res.Certain)
+			return
+		}
+		ix.numSlab.probe(ix.op, numKey(t), ix, res)
+	case famStr:
+		if ix.op == Eq {
+			appendAll(ix.strBuckets[t.S], &res.Certain)
+			return
+		}
+		ix.strSlab.probe(ix.op, t.S, ix, res)
+	case famBool:
+		if ix.op == Eq {
+			appendAll(ix.boolBuckets[t.B], &res.Certain)
+			return
+		}
+		// Range over booleans is well-defined (false < true) but
+		// unindexed; hand the family back for exact evaluation.
+		appendAll(ix.boolMembers, &res.Residual)
+	}
+}
+
+func appendAll[E comparable](set map[E]struct{}, out *[]E) {
+	for e := range set {
+		*out = append(*out, e)
+	}
+}
+
+func bucketAdd[K comparable, E comparable](buckets map[K]map[E]struct{}, k K, e E) {
+	b, ok := buckets[k]
+	if !ok {
+		b = make(map[E]struct{})
+		buckets[k] = b
+	}
+	b[e] = struct{}{}
+}
+
+func bucketDel[K comparable, E comparable](buckets map[K]map[E]struct{}, k K, e E) {
+	b, ok := buckets[k]
+	if !ok {
+		return
+	}
+	delete(b, e)
+	if len(b) == 0 {
+		delete(buckets, k)
+	}
+}
+
+// match reports whether (t op a) holds within one ordered family. Go's <
+// on float64 and string is exactly mem.Compare's order for those kinds.
+func match[K cmp.Ordered](op Op, t, a K) bool {
+	switch op {
+	case Lt:
+		return t < a
+	case LtEq:
+		return t <= a
+	case Gt:
+		return t > a
+	default:
+		return t >= a
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Logarithmic range slab (Bentley–Saxe)
+// ---------------------------------------------------------------------------
+
+// rec is one range record: the sort key, the entry, and the incarnation
+// sequence that wrote it.
+type rec[K cmp.Ordered, E comparable] struct {
+	k   K
+	e   E
+	seq uint64
+}
+
+// bufCap bounds the unsorted buffer: the only part of a range probe that
+// is scanned linearly, and the unit of the geometric merge schedule.
+const bufCap = 64
+
+// slab holds one ordered family's records: O(log n) sorted runs (kept
+// largest-first, each at least twice the size of the next) plus a bounded
+// unsorted buffer. Adds cost amortized O(log n); probes binary search each
+// run.
+type slab[K cmp.Ordered, E comparable] struct {
+	runs  [][]rec[K, E]
+	buf   []rec[K, E]
+	total int // records across runs, including tombstoned ones
+	dead  int // tombstoned records across runs
+}
+
+func (s *slab[K, E]) add(r rec[K, E], ix *Index[E]) {
+	s.buf = append(s.buf, r)
+	if len(s.buf) >= bufCap {
+		s.flush(ix)
+	}
+}
+
+// flush sorts the buffer into a new run and restores the geometric run
+// invariant by merging from the small end; merged runs drop their
+// tombstones. Members moving out of the buffer flip inBuf.
+func (s *slab[K, E]) flush(ix *Index[E]) {
+	if len(s.buf) == 0 {
+		return
+	}
+	run := make([]rec[K, E], len(s.buf))
+	copy(run, s.buf)
+	s.buf = s.buf[:0]
+	sort.SliceStable(run, func(i, j int) bool { return run[i].k < run[j].k })
+	for _, r := range run {
+		if m, ok := ix.members[r.e]; ok && m.seq == r.seq {
+			m.inBuf = false
+			ix.members[r.e] = m
+		}
+	}
+	s.total += len(run)
+	s.runs = append(s.runs, run)
+	for len(s.runs) >= 2 {
+		last := len(s.runs) - 1
+		if len(s.runs[last])*2 < len(s.runs[last-1]) {
+			break
+		}
+		merged := mergeRuns(s.runs[last-1], s.runs[last], ix)
+		s.total -= len(s.runs[last-1]) + len(s.runs[last]) - len(merged)
+		s.runs = s.runs[:last-1]
+		s.runs = append(s.runs, merged)
+	}
+}
+
+// mergeRuns merges two sorted runs, dropping records whose incarnation is
+// gone (tombstones).
+func mergeRuns[K cmp.Ordered, E comparable](a, b []rec[K, E], ix *Index[E]) []rec[K, E] {
+	out := make([]rec[K, E], 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if b[j].k < a[i].k {
+			out = appendLive(out, b[j], ix)
+			j++
+		} else {
+			out = appendLive(out, a[i], ix)
+			i++
+		}
+	}
+	for ; i < len(a); i++ {
+		out = appendLive(out, a[i], ix)
+	}
+	for ; j < len(b); j++ {
+		out = appendLive(out, b[j], ix)
+	}
+	return out
+}
+
+func appendLive[K cmp.Ordered, E comparable](out []rec[K, E], r rec[K, E], ix *Index[E]) []rec[K, E] {
+	if ix.live(r.e, r.seq) {
+		out = append(out, r)
+	}
+	return out
+}
+
+// remove handles the range side of Index.Remove: buffered records are
+// deleted in place (the buffer is tiny), run records become tombstones and
+// trigger compaction once the dead outnumber the live half. The caller has
+// already deleted the member, so ix.live filters the record out.
+func (s *slab[K, E]) remove(e E, m member, ix *Index[E]) {
+	if m.inBuf {
+		for i, r := range s.buf {
+			if r.e == e && r.seq == m.seq {
+				s.buf[i] = s.buf[len(s.buf)-1]
+				s.buf = s.buf[:len(s.buf)-1]
+				return
+			}
+		}
+		return
+	}
+	s.dead++
+	if s.dead > bufCap && s.dead*2 > s.total {
+		s.compact(ix)
+	}
+}
+
+// compact rewrites every run without its tombstones and re-establishes the
+// geometric largest-first invariant by folding undersized runs together.
+func (s *slab[K, E]) compact(ix *Index[E]) {
+	live := s.runs[:0]
+	for _, run := range s.runs {
+		out := run[:0]
+		for _, r := range run {
+			out = appendLive(out, r, ix)
+		}
+		if len(out) > 0 {
+			live = append(live, out)
+		}
+	}
+	sort.SliceStable(live, func(i, j int) bool { return len(live[i]) > len(live[j]) })
+	for len(live) >= 2 {
+		last := len(live) - 1
+		if len(live[last])*2 < len(live[last-1]) {
+			break
+		}
+		merged := mergeRuns(live[last-1], live[last], ix)
+		live = live[:last-1]
+		live = append(live, merged)
+		sort.SliceStable(live, func(i, j int) bool { return len(live[i]) > len(live[j]) })
+	}
+	s.runs = live
+	s.dead = 0
+	s.total = 0
+	for _, run := range s.runs {
+		s.total += len(run)
+	}
+}
+
+// probe emits every live record matching (t op k): per run, binary search
+// bounds the matching span (a prefix for Gt/GtEq, a suffix for Lt/LtEq);
+// the buffer is scanned linearly (≤ bufCap records).
+func (s *slab[K, E]) probe(op Op, t K, ix *Index[E], res *Result[E]) {
+	for _, run := range s.runs {
+		var lo, hi int
+		switch op {
+		case Gt: // a < t
+			lo, hi = 0, sort.Search(len(run), func(i int) bool { return run[i].k >= t })
+		case GtEq: // a <= t
+			lo, hi = 0, sort.Search(len(run), func(i int) bool { return run[i].k > t })
+		case Lt: // a > t
+			lo, hi = sort.Search(len(run), func(i int) bool { return run[i].k > t }), len(run)
+		default: // LtEq: a >= t
+			lo, hi = sort.Search(len(run), func(i int) bool { return run[i].k >= t }), len(run)
+		}
+		for _, r := range run[lo:hi] {
+			if ix.live(r.e, r.seq) {
+				res.Certain = append(res.Certain, r.e)
+			}
+		}
+	}
+	for _, r := range s.buf {
+		if match(op, t, r.k) && ix.live(r.e, r.seq) {
+			res.Certain = append(res.Certain, r.e)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package predindex
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// refOutcome is what the engine would decide for (t op a): the comparison
+// is TRUE, not TRUE (false/unknown), or an evaluation error.
+type refOutcome int
+
+const (
+	refMiss refOutcome = iota
+	refTrue
+	refErr
+)
+
+// reference evaluates (t op a) with the engine's semantics: NULL operands
+// are UNKNOWN, cross-family comparisons error, everything else follows
+// mem.Compare.
+func reference(op Op, t, a mem.Value) refOutcome {
+	if t.IsNull() || a.IsNull() {
+		return refMiss
+	}
+	c, err := mem.Compare(t, a)
+	if err != nil {
+		return refErr
+	}
+	ok := false
+	switch op {
+	case Eq:
+		ok = c == 0
+	case Lt:
+		ok = c < 0
+	case LtEq:
+		ok = c <= 0
+	case Gt:
+		ok = c > 0
+	case GtEq:
+		ok = c >= 0
+	}
+	if ok {
+		return refTrue
+	}
+	return refMiss
+}
+
+// checkProbe asserts the index contract for one probe against the
+// reference model over the current live entries:
+//
+//   - Certain ⊆ {e : (t op aₑ) is TRUE}          (soundness)
+//   - {e : TRUE or error} ⊆ Certain ∪ Residual  (completeness)
+//   - no entry appears twice, none is removed or a stranger
+func checkProbe(t *testing.T, ix *Index[int], probe mem.Value, vals map[int]mem.Value, residual map[int]bool) {
+	t.Helper()
+	var res Result[int]
+	ix.Probe(probe, &res)
+
+	seen := make(map[int]bool)
+	for _, e := range res.Certain {
+		if seen[e] {
+			t.Fatalf("probe %v: entry %d returned twice", probe, e)
+		}
+		seen[e] = true
+		if residual[e] {
+			t.Fatalf("probe %v: residual-always entry %d in Certain", probe, e)
+		}
+		a, ok := vals[e]
+		if !ok {
+			t.Fatalf("probe %v: unknown/removed entry %d in Certain", probe, e)
+		}
+		if out := reference(ix.Op(), probe, a); out != refTrue {
+			t.Fatalf("probe %v: Certain entry %d (arg %v) is not a certain match (ref=%d)", probe, e, a, out)
+		}
+	}
+	for _, e := range res.Residual {
+		if seen[e] {
+			t.Fatalf("probe %v: entry %d in both Certain and Residual", probe, e)
+		}
+		seen[e] = true
+		if _, ok := vals[e]; !ok && !residual[e] {
+			t.Fatalf("probe %v: unknown/removed entry %d in Residual", probe, e)
+		}
+	}
+	for e, a := range vals {
+		out := reference(ix.Op(), probe, a)
+		if (out == refTrue || out == refErr) && !seen[e] {
+			t.Fatalf("probe %v op %v: entry %d (arg %v, ref=%d) missing from probe result", probe, ix.Op(), e, a, out)
+		}
+	}
+	for e := range residual {
+		if !seen[e] {
+			t.Fatalf("probe %v: residual-always entry %d missing", probe, e)
+		}
+	}
+}
+
+// randValue draws values that exercise every family, the int/float fold
+// (including ints beyond float64 precision, which mem.Compare folds), the
+// -0/+0 seam, and NULL.
+func randValue(r *rand.Rand) mem.Value {
+	switch r.Intn(12) {
+	case 0:
+		return mem.Null()
+	case 1:
+		return mem.Bool(r.Intn(2) == 0)
+	case 2, 3:
+		return mem.Str(fmt.Sprintf("s%02d", r.Intn(30)))
+	case 4:
+		return mem.Float(0)
+	case 5:
+		return mem.Float(math.Copysign(0, -1))
+	case 6:
+		return mem.Int(1<<60 + int64(r.Intn(3)))
+	case 7:
+		return mem.Float(float64(r.Intn(40)) / 4)
+	default:
+		return mem.Int(int64(r.Intn(40) - 20))
+	}
+}
+
+func TestIndexRandomizedAgainstReference(t *testing.T) {
+	ops := []Op{Eq, Lt, LtEq, Gt, GtEq}
+	for _, op := range ops {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for seed := int64(0); seed < 6; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				ix := New[int](op)
+				vals := make(map[int]mem.Value)    // live entry → arg
+				residual := make(map[int]bool)     // live residual-always entries
+				removed := make(map[int]mem.Value) // removed entries (for re-add)
+				next := 0
+
+				for step := 0; step < 2000; step++ {
+					switch x := r.Intn(10); {
+					case x < 4: // add fresh
+						e := next
+						next++
+						if r.Intn(20) == 0 {
+							ix.AddResidual(e)
+							residual[e] = true
+						} else {
+							v := randValue(r)
+							ix.Add(e, v)
+							vals[e] = v
+						}
+					case x < 6 && len(removed) > 0: // re-add a removed entry
+						for e, v := range removed {
+							delete(removed, e)
+							ix.Add(e, v)
+							vals[e] = v
+							break
+						}
+					case x < 8: // remove a live entry
+						for e, v := range vals {
+							delete(vals, e)
+							removed[e] = v
+							ix.Remove(e)
+							break
+						}
+						for e := range residual {
+							if r.Intn(4) == 0 {
+								delete(residual, e)
+								ix.Remove(e)
+							}
+							break
+						}
+					default: // probe
+						checkProbe(t, ix, randValue(r), vals, residual)
+					}
+				}
+				// Final sweep: probe every distinct arg value plus NULL.
+				checkProbe(t, ix, mem.Null(), vals, residual)
+				for _, v := range vals {
+					checkProbe(t, ix, v, vals, residual)
+				}
+				if got, want := ix.Len(), len(vals)+len(residual); got != want {
+					t.Fatalf("Len=%d want %d", got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestIndexMergeAndCompact forces the slab machinery through merges and
+// tombstone compaction and re-checks exactness afterwards.
+func TestIndexMergeAndCompact(t *testing.T) {
+	ix := New[int](LtEq)
+	vals := make(map[int]mem.Value)
+	for i := 0; i < 4000; i++ {
+		v := mem.Int(int64(i % 997))
+		ix.Add(i, v)
+		vals[i] = v
+	}
+	if st := ix.Stats(); st.RunLen == 0 || st.Runs == 0 {
+		t.Fatalf("expected sorted runs, got %+v", st)
+	}
+	// Remove two thirds to trigger compaction.
+	for i := 0; i < 4000; i++ {
+		if i%3 != 0 {
+			ix.Remove(i)
+			delete(vals, i)
+		}
+	}
+	st := ix.Stats()
+	if st.Members != len(vals) {
+		t.Fatalf("Members=%d want %d", st.Members, len(vals))
+	}
+	if st.Dead*2 > st.RunLen {
+		t.Fatalf("compaction did not run: %+v", st)
+	}
+	for _, probe := range []mem.Value{mem.Int(-1), mem.Int(0), mem.Int(500), mem.Int(996), mem.Int(5000), mem.Float(13.5)} {
+		checkProbe(t, ix, probe, vals, nil)
+	}
+	// Duplicate-result trap: remove and re-add the same entry so a stale
+	// slab record and a fresh pending record coexist.
+	ix.Remove(0)
+	ix.Add(0, mem.Int(0))
+	checkProbe(t, ix, mem.Int(997), vals, nil)
+}
+
+// TestIndexEqBuckets pins the equality fast path: numerically equal ints
+// and floats share a bucket, -0 matches +0, NULL probes match nothing.
+func TestIndexEqBuckets(t *testing.T) {
+	ix := New[int](Eq)
+	vals := map[int]mem.Value{
+		1: mem.Int(7),
+		2: mem.Float(7),
+		3: mem.Float(math.Copysign(0, -1)),
+		4: mem.Int(0),
+		5: mem.Str("7"),
+		6: mem.Null(),
+	}
+	for e, v := range vals {
+		ix.Add(e, v)
+	}
+	for _, tc := range []struct {
+		probe mem.Value
+	}{{mem.Float(7)}, {mem.Int(7)}, {mem.Int(0)}, {mem.Float(math.Copysign(0, -1))}, {mem.Str("7")}, {mem.Bool(true)}, {mem.Null()}} {
+		checkProbe(t, ix, tc.probe, vals, nil)
+	}
+	var res Result[int]
+	ix.Probe(mem.Float(7), &res)
+	if len(res.Certain) != 2 {
+		t.Fatalf("probe 7.0: Certain=%v want the int and float entries", res.Certain)
+	}
+}

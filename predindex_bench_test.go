@@ -1,0 +1,94 @@
+package cacheportal
+
+// BenchmarkRegistryScale is the headline measurement for the predicate
+// index (DESIGN.md §5.2.5): per-update invalidation analysis cost as the
+// registered-instance population grows. The scan path tests every live
+// instance against each delta tuple — cost linear in the population — while
+// the index probes hash buckets and sorted runs with the tuple's column
+// values, touching only the candidates, so its per-delta cost stays flat.
+// The inserted tuple (id=-1, v=2^40) matches no instance's predicate, so
+// the population is constant and each iteration isolates pure analysis
+// cost: the paper's §2.4 requirement that invalidation checking stay off
+// the critical path even for very large registries.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/invalidator"
+	"repro/internal/sniffer"
+)
+
+// registryScalePages registers n instances across four templates: equality
+// on id, equality on v, equality+range, and a pure range — covering both
+// probe structures (hash bucket, sorted run).
+func registryScalePages(m *sniffer.QIURLMap, n int) {
+	logID := int64(0)
+	for i := 0; i < n; i++ {
+		var sql string
+		switch i % 4 {
+		case 0:
+			sql = fmt.Sprintf("SELECT v FROM items WHERE id = %d", i)
+		case 1:
+			sql = fmt.Sprintf("SELECT id FROM items WHERE v = %d", i)
+		case 2:
+			sql = fmt.Sprintf("SELECT v FROM items WHERE id = %d AND v > %d", i, i%1000)
+		default:
+			sql = fmt.Sprintf("SELECT id FROM items WHERE v < %d", i)
+		}
+		logID++
+		m.Record(fmt.Sprintf("page-%d", i), "servlet", 1,
+			[]sniffer.QueryInstance{{SQL: sql, LogID: logID}})
+	}
+}
+
+func BenchmarkRegistryScale(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		disable bool
+	}{
+		{"index", false},
+		{"scan", true},
+	} {
+		for _, insts := range []int{10_000, 100_000, 1_000_000} {
+			b.Run(fmt.Sprintf("mode=%s/insts=%d", mode.name, insts), func(b *testing.B) {
+				db := engine.NewDatabase()
+				if _, err := db.ExecSQL("CREATE TABLE items (id INT, v INT)"); err != nil {
+					b.Fatal(err)
+				}
+				m := sniffer.NewQIURLMap()
+				inv := invalidator.New(invalidator.Config{
+					Map:              m,
+					Puller:           invalidator.EngineLogPuller{Log: db.Log()},
+					Ejector:          invalidator.FuncEjector(func([]string) error { return nil }),
+					DisablePredIndex: mode.disable,
+				})
+				if _, err := inv.Cycle(); err != nil { // swallow schema records
+					b.Fatal(err)
+				}
+				registryScalePages(m, insts)
+				// Warmup cycle: ingest the population and (in index mode)
+				// build the probe structures, outside the timed region.
+				db.ExecSQL("INSERT INTO items VALUES (-1, 1099511627776)")
+				if _, err := inv.Cycle(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// id=-1 misses every id bucket, v=2^40 is above every
+					// range bound and equality constant: zero candidates,
+					// population constant.
+					db.ExecSQL("INSERT INTO items VALUES (-1, 1099511627776)")
+					rep, err := inv.Cycle()
+					if err != nil {
+						b.Fatal(err)
+					}
+					if rep.Invalidated != 0 || rep.Polls != 0 {
+						b.Fatalf("population must stay constant: %+v", rep)
+					}
+				}
+			})
+		}
+	}
+}

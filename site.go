@@ -67,6 +67,10 @@ type SiteConfig struct {
 	Rules []Rule
 	// SourceName is the data source name servlets use (default "db").
 	SourceName string
+	// DisablePredIndex turns off the invalidator's predicate index and
+	// restores the per-instance registry scan (identical invalidation
+	// outcomes; A/B measurement and escape hatch).
+	DisablePredIndex bool
 	// Obs receives metrics from every tier (cache, sniffer, invalidator,
 	// freshness trace). Nil allocates a registry; reach it via Site.Obs.
 	Obs *obs.Registry
@@ -298,6 +302,8 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		MinEventGap: cfg.MinEventGap,
 		UseFeeds:    cfg.Feed,
 		FeedBuffer:  cfg.FeedBuffer,
+
+		DisablePredIndex: cfg.DisablePredIndex,
 	})
 	if err != nil {
 		closeLog()
