@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry trace-smoke fuzz clean
 
 all: build test
 
@@ -64,6 +64,16 @@ bench-compare:
 bench-registry:
 	$(GO) test -run xxx -bench 'BenchmarkRegistryScale|BenchmarkRegistryEnumeration' -benchtime 5x -benchmem -timeout 60m . ./internal/invalidator/ \
 		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+
+# End-to-end tracing smoke under the race detector: the trace package's own
+# suite, then the pipeline assertions — every committed update on a live
+# feed-mode site must yield a complete engine.commit→…→webcache.eject span
+# chain, a forced-sample chaos trace must carry the retry/breaker story
+# behind the staleness exemplar, and HTTP ejects must propagate contexts to
+# the remote cache's tracer.
+trace-smoke:
+	$(GO) test -race ./internal/trace/
+	$(GO) test -race -run 'TestTraceSmoke|TestTraceChaosExemplar|TestHTTPEjectorPropagatesTraceContexts' -v . ./internal/invalidator/
 
 # Coverage-guided fuzzing of the SQL parser/printer round-trip. FUZZTIME
 # bounds each target (CI smoke uses 30s; leave it running longer locally).

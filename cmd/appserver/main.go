@@ -18,6 +18,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/logexport"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,7 +29,15 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	longpollMax := flag.Duration("longpoll-max", 0, "cap on log-export long-poll waits (0 = default)")
+	traceOn := flag.Bool("trace", false, "serve /debug/trace (the app server originates no pipeline spans; the endpoint keeps the debug surface uniform)")
+	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceSample, *traceBuffer)
+	}
 
 	qlog := driver.NewQueryLog(0)
 	logged := driver.NewLoggingDriver(driver.NetDriver{}, qlog)
@@ -50,10 +59,13 @@ func main() {
 	exporter := &logexport.Exporter{Requests: rlog, Queries: qlog, MaxWait: *longpollMax}
 
 	oreg := obs.NewRegistry()
+	oreg.RuntimeMetrics()
 	handler := obs.HTTPMiddleware(oreg, "appserver", exporter.Wrap(srv))
 	if *debugAddr != "" {
-		dbg := obs.Serve(*debugAddr, oreg, *withPprof, func(err error) {
+		dbg := obs.ServeWith(*debugAddr, oreg, *withPprof, func(err error) {
 			log.Printf("appserver: debug server: %v", err)
+		}, func(mux *http.ServeMux) {
+			mux.Handle("/debug/trace", trace.Handler(tracer))
 		})
 		defer dbg.Close()
 		fmt.Printf("appserver: debug endpoints on http://%s/debug/metrics\n", *debugAddr)

@@ -30,6 +30,11 @@ type Record struct {
 	Goarch  string   `json:"goarch,omitempty"`
 	CPU     string   `json:"cpu,omitempty"`
 	Results []Result `json:"results"`
+	// TraceOverhead is the p95-staleness ratio of the traced staleness
+	// benchmark over the untraced one (1.00 = free), derived whenever both
+	// BenchmarkCommitToEject/feed and /feed-traced results are present. The
+	// PR acceptance bar is <= 1.05.
+	TraceOverhead float64 `json:"trace_overhead,omitempty"`
 	// Obs is an optional observability snapshot (from `experiment
 	// -staleness -obs-out`) embedded verbatim, so the benchmark artifact
 	// carries the live pipeline's staleness and hit-ratio figures next to
@@ -111,6 +116,8 @@ func main() {
 		rec.Obs = json.RawMessage(buf)
 	}
 
+	rec.TraceOverhead = traceOverhead(rec.Results)
+
 	buf, err := json.MarshalIndent(rec, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -124,6 +131,31 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(rec.Results), *out)
+}
+
+// traceOverhead computes the traced/untraced p95-staleness ratio from the
+// commit-to-eject benchmark pair, or 0 when either half is missing.
+func traceOverhead(results []Result) float64 {
+	p95 := func(name string) float64 {
+		for _, r := range results {
+			// Strip the -<GOMAXPROCS> suffix go test appends to sub-benchmarks.
+			n := r.Name
+			if i := strings.LastIndex(n, "-"); i > 0 {
+				if _, err := strconv.Atoi(n[i+1:]); err == nil {
+					n = n[:i]
+				}
+			}
+			if n == "BenchmarkCommitToEject/"+name {
+				return r.Metrics["p95-staleness-ms"]
+			}
+		}
+		return 0
+	}
+	base, traced := p95("feed"), p95("feed-traced")
+	if base == 0 || traced == 0 {
+		return 0
+	}
+	return traced / base
 }
 
 // mergeRecords folds the fresh run into the previous artifact: fresh

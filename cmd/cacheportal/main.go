@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/demoapp"
 	"repro/internal/obs"
+	"repro/internal/trace"
 
 	cacheportal "repro"
 )
@@ -37,7 +38,15 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8095", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
+	traceOn := flag.Bool("trace", false, "trace every pipeline hop commit→eject in-process; serves /debug/trace")
+	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceSample, *traceBuffer)
+	}
 
 	var defs []cacheportal.ServletDef
 	for _, d := range demoapp.Servlets("db") {
@@ -48,6 +57,7 @@ func main() {
 		Servlets:      defs,
 		CacheCapacity: *capacity,
 		Interval:      *interval,
+		Tracer:        tracer,
 	})
 	if err != nil {
 		log.Fatalf("cacheportal: %v", err)
@@ -67,9 +77,12 @@ func main() {
 	fmt.Printf("  database (wire protocol): %s\n", site.DBAddr)
 	fmt.Printf("  invalidation cycle: %s\n", *interval)
 
+	site.Obs.RuntimeMetrics()
 	if *debugAddr != "" {
-		dbg := obs.Serve(*debugAddr, site.Obs, *withPprof, func(err error) {
+		dbg := obs.ServeWith(*debugAddr, site.Obs, *withPprof, func(err error) {
 			log.Printf("cacheportal: debug server: %v", err)
+		}, func(mux *http.ServeMux) {
+			mux.Handle("/debug/trace", trace.Handler(tracer))
 		})
 		defer dbg.Close()
 		fmt.Printf("  debug endpoints: http://%s/debug/metrics\n", *debugAddr)

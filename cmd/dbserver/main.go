@@ -12,12 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -30,7 +32,15 @@ func main() {
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	stmtCache := flag.Int("stmt-cache-size", 0, "prepared-statement cache capacity (0 = default)")
 	feedHeartbeat := flag.Duration("feed-heartbeat", 0, "idle heartbeat interval on update-log subscriptions (0 = default)")
+	traceOn := flag.Bool("trace", false, "stamp pipeline-trace contexts into committed update records; serves /debug/trace")
+	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceSample, *traceBuffer)
+	}
 
 	db := engine.NewDatabase()
 	if *stmtCache > 0 {
@@ -50,6 +60,8 @@ func main() {
 			log.Fatalf("dbserver: exec: %v", err)
 		}
 	}
+	// Attach after the init scripts so seed rows don't open traces.
+	db.SetTracer(tracer)
 
 	srv := wire.NewServer(db)
 	if *feedHeartbeat > 0 {
@@ -62,10 +74,13 @@ func main() {
 	fmt.Printf("dbserver listening on %s (tables: %v)\n", addr, db.TableNames())
 
 	reg := obs.NewRegistry()
+	reg.RuntimeMetrics()
 	srv.Instrument(reg, "dbserver")
 	if *debugAddr != "" {
-		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+		dbg := obs.ServeWith(*debugAddr, reg, *withPprof, func(err error) {
 			log.Printf("dbserver: debug server: %v", err)
+		}, func(mux *http.ServeMux) {
+			mux.Handle("/debug/trace", trace.Handler(tracer))
 		})
 		defer dbg.Close()
 		fmt.Printf("dbserver: debug endpoints on http://%s/debug/metrics\n", *debugAddr)

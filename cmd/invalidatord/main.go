@@ -28,6 +28,7 @@ import (
 	"repro/internal/logexport"
 	"repro/internal/obs"
 	"repro/internal/sniffer"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -50,7 +51,15 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
+	traceOn := flag.Bool("trace", false, "record pipeline spans for sampled update records and forward contexts to the caches; serves /debug/trace")
+	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all; match the dbserver's setting)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
 	flag.Parse()
+
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceSample, *traceBuffer)
+	}
 
 	logClient, err := wire.Dial(*dbAddr)
 	if err != nil {
@@ -71,6 +80,7 @@ func main() {
 		feedClient.Timeout = *dbTimeout
 		logFeed = wire.NewLogFeed(feedClient, 1, *feedBuffer)
 		defer logFeed.Close()
+		logFeed.SetTracer(tracer)
 		puller = logFeed
 		notifier = logFeed
 	}
@@ -91,6 +101,7 @@ func main() {
 		conns = append(conns, c)
 	}
 	reg := obs.NewRegistry()
+	reg.RuntimeMetrics()
 	if logFeed != nil {
 		logFeed.Instrument(reg, "feed")
 	}
@@ -121,6 +132,7 @@ func main() {
 		PollBudget: *pollBudget,
 		Workers:    *workers,
 		Obs:        reg,
+		Tracer:     tracer,
 
 		DisablePredIndex: !*predIdx,
 	})
@@ -130,8 +142,10 @@ func main() {
 
 	stop := make(chan struct{})
 	if *debugAddr != "" {
-		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+		dbg := obs.ServeWith(*debugAddr, reg, *withPprof, func(err error) {
 			log.Printf("invalidatord: debug server: %v", err)
+		}, func(mux *http.ServeMux) {
+			mux.Handle("/debug/trace", trace.Handler(tracer))
 		})
 		defer dbg.Close()
 		fmt.Printf("invalidatord: debug endpoints on http://%s/debug/metrics\n", *debugAddr)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/webcache"
 )
 
@@ -29,20 +30,35 @@ func main() {
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8091", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
+	traceOn := flag.Bool("trace", false, "close pipeline traces arriving on eject requests (X-Cacheportal-Trace); serves /debug/trace")
+	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
+	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
 	flag.Parse()
 
+	var tracer *trace.Tracer
+	if *traceOn {
+		tracer = trace.New(*traceSample, *traceBuffer)
+		// Eject requests name traces the invalidator already chose to
+		// record; this tracer's own head sampling must not drop them.
+		tracer.SetForceAll(true)
+	}
+
 	reg := obs.NewRegistry()
+	reg.RuntimeMetrics()
 	cache := webcache.NewCacheSharded(*capacity, *shards)
 	cache.Instrument(reg, "webcache")
 	proxy := webcache.NewProxy(*origin, cache)
+	proxy.Tracer = tracer
 	if *originTimeout > 0 {
 		proxy.Client = &http.Client{Timeout: *originTimeout}
 	}
 	handler := obs.HTTPMiddleware(reg, "proxy", proxy)
 
 	if *debugAddr != "" {
-		dbg := obs.Serve(*debugAddr, reg, *withPprof, func(err error) {
+		dbg := obs.ServeWith(*debugAddr, reg, *withPprof, func(err error) {
 			log.Printf("webcached: debug server: %v", err)
+		}, func(mux *http.ServeMux) {
+			mux.Handle("/debug/trace", trace.Handler(tracer))
 		})
 		defer dbg.Close()
 		fmt.Printf("webcached: debug endpoints on http://%s/debug/metrics\n", *debugAddr)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/invalidator"
 	"repro/internal/obs"
 	"repro/internal/sniffer"
+	"repro/internal/trace"
 )
 
 // Options configures a CachePortal deployment.
@@ -51,6 +52,12 @@ type Options struct {
 	// freshness-trace histograms. Nil allocates a private registry, so
 	// instrumentation is always on; reach it via Portal.Obs.
 	Obs *obs.Registry
+	// Tracer, when set, records pipeline spans in the invalidator (phase
+	// spans, staleness exemplars, force-sampling of failed ejects). The
+	// engine and feed ends of the pipeline attach their own tracer
+	// (Database.SetTracer, LogFeed.SetTracer); this one covers the
+	// sniff/invalidate hops. nil = tracing off.
+	Tracer *trace.Tracer
 
 	// EventDriven switches the background loop from the pure interval timer
 	// to event-driven cycles: a cycle runs as soon as the Notifier signals
@@ -167,6 +174,7 @@ func New(opts Options) (*Portal, error) {
 		PollBudget: opts.PollBudget,
 		Workers:    opts.Workers,
 		Obs:        opts.Obs,
+		Tracer:     opts.Tracer,
 
 		DisablePredIndex: opts.DisablePredIndex,
 	})

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mem"
 	"repro/internal/sqlparser"
+	"repro/internal/trace"
 )
 
 // Result is the outcome of executing a statement. SELECT fills Columns and
@@ -28,6 +30,7 @@ type Database struct {
 	log      *UpdateLog
 	triggers triggerSet
 	stmts    *stmtCache
+	tracer   atomic.Pointer[trace.Tracer]
 }
 
 // NewDatabase creates an empty database with a default-capacity update log.
@@ -41,6 +44,12 @@ func NewDatabase() *Database {
 
 // Log exposes the database's update log; the invalidator polls it.
 func (db *Database) Log() *UpdateLog { return db.log }
+
+// SetTracer attaches a pipeline tracer: every committed change opens a new
+// trace and stamps its context into the UpdateRecord, making the engine the
+// root of the commit-to-eject causal chain. nil detaches (tracing off); the
+// commit-path cost of a detached tracer is one atomic pointer load.
+func (db *Database) SetTracer(t *trace.Tracer) { db.tracer.Store(t) }
 
 // Table returns the named table (case-insensitive), or nil.
 func (db *Database) Table(name string) *mem.Table {

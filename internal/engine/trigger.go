@@ -3,6 +3,9 @@ package engine
 import (
 	"strings"
 	"sync"
+	"time"
+
+	"repro/internal/trace"
 )
 
 // Trigger support exists to implement the paper's *rejected* design
@@ -87,8 +90,21 @@ func (db *Database) AddTrigger(table string, fn TriggerFunc) int64 {
 func (db *Database) RemoveTrigger(id int64) { db.triggers.remove(id) }
 
 // logAndFire appends rec to the update log and fires matching triggers
-// synchronously (inside the caller's critical section).
+// synchronously (inside the caller's critical section). With a tracer
+// attached (Database.SetTracer) the commit opens a new trace here: the
+// engine.commit root span, whose context rides the record through the log,
+// the wire, and the invalidator to the web cache's eject.
 func (db *Database) logAndFire(rec UpdateRecord) {
+	if tr := db.tracer.Load(); tr != nil {
+		now := time.Now()
+		if rec.Time.IsZero() {
+			rec.Time = now // one clock reading for both stamp and span
+		}
+		ctx := tr.Root("engine.commit", rec.Time, now,
+			trace.Attr{K: "table", V: rec.Table},
+			trace.Attr{K: "op", V: rec.Op.String()})
+		rec.Trace, rec.Span = ctx.Trace, ctx.Span
+	}
 	db.log.Append(rec)
 	if !db.triggers.empty() {
 		db.triggers.fire(rec)

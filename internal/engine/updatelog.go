@@ -37,6 +37,13 @@ type UpdateRecord struct {
 	Op      UpdateOp
 	Columns []string // schema column names at the time of the change
 	Row     mem.Row  // full image of the inserted/deleted row
+	// Trace/Span carry the pipeline-trace context stamped at commit time
+	// (see Database.SetTracer): Trace identifies the end-to-end trace this
+	// change opened, Span the engine.commit root span. Zero when tracing is
+	// off; they ride the log (and the wire protocol) in-band so every
+	// downstream hop can attach child spans without side channels.
+	Trace int64
+	Span  int64
 }
 
 // UpdateLog is an append-only, bounded-memory log of row-level changes.
@@ -198,6 +205,11 @@ type Delta struct {
 	// delta has been stale since at most Stamp, so eject-time minus Stamp
 	// is the measured staleness window (paper §5's freshness criterion).
 	Stamp time.Time
+	// Trace/Span follow Stamp: the trace context of the oldest record in
+	// the delta, so the staleness a page is charged with and the trace that
+	// explains it describe the same commit.
+	Trace int64
+	Span  int64
 }
 
 // BuildDeltas partitions records by table, preserving first-appearance
@@ -210,12 +222,13 @@ func BuildDeltas(recs []UpdateRecord) []*Delta {
 		key := lowerName(rec.Table)
 		d, ok := byTable[key]
 		if !ok {
-			d = &Delta{Table: rec.Table, Columns: rec.Columns, Stamp: rec.Time}
+			d = &Delta{Table: rec.Table, Columns: rec.Columns, Stamp: rec.Time, Trace: rec.Trace, Span: rec.Span}
 			byTable[key] = d
 			order = append(order, key)
 		}
 		if !rec.Time.IsZero() && (d.Stamp.IsZero() || rec.Time.Before(d.Stamp)) {
 			d.Stamp = rec.Time
+			d.Trace, d.Span = rec.Trace, rec.Span
 		}
 		if rec.Op == OpInsert {
 			d.Plus = append(d.Plus, rec.Row)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/invalidator"
+	"repro/internal/trace"
 )
 
 // apply turns one decision into a pass/fail outcome for a logical
@@ -39,6 +40,21 @@ type Ejector struct {
 func (e Ejector) Eject(keys []string) error {
 	if err := apply(e.Inj, "eject"); err != nil {
 		return err
+	}
+	return e.Next.Eject(keys)
+}
+
+// EjectTraced implements invalidator.TracedEjector, forwarding the trace
+// contexts when the wrapped ejector understands them. A faulted eject drops
+// the contexts with the keys — exactly like a real eject failure, so the
+// invalidator's Force/retry tracing sees the same thing it would in
+// production.
+func (e Ejector) EjectTraced(keys []string, ctxs map[string]trace.Context) error {
+	if err := apply(e.Inj, "eject"); err != nil {
+		return err
+	}
+	if te, ok := e.Next.(invalidator.TracedEjector); ok {
+		return te.EjectTraced(keys, ctxs)
 	}
 	return e.Next.Eject(keys)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/webcache"
 )
 
@@ -18,6 +19,18 @@ type Ejector interface {
 	// cycle (they stay queued). Errors implementing KeyedEjectError narrow
 	// the retry to the keys that actually failed.
 	Eject(keys []string) error
+}
+
+// TracedEjector is implemented by ejectors that can propagate pipeline
+// trace contexts alongside the keys: ctxs maps a key to the context of the
+// update that invalidated it (keys without recording traces are absent).
+// The in-process CacheEjector records the terminal webcache.eject span
+// itself; the HTTPEjector forwards the contexts in the X-Cacheportal-Trace
+// header so the remote cache daemon closes the trace. Semantics are
+// otherwise identical to Eject.
+type TracedEjector interface {
+	Ejector
+	EjectTraced(keys []string, ctxs map[string]trace.Context) error
 }
 
 // KeyedEjectError is implemented by Eject errors that know which keys
@@ -56,12 +69,30 @@ func (e *PartialEjectError) FailedKeys() []string {
 	return out
 }
 
-// CacheEjector invalidates an in-process web cache directly.
-type CacheEjector struct{ Cache *webcache.Cache }
+// CacheEjector invalidates an in-process web cache directly. With a Tracer
+// it records the terminal webcache.eject span for each traced key — the
+// in-process analogue of the remote cache closing the trace.
+type CacheEjector struct {
+	Cache  *webcache.Cache
+	Tracer *trace.Tracer
+}
 
 // Eject implements Ejector.
 func (e CacheEjector) Eject(keys []string) error {
 	e.Cache.InvalidateMany(keys)
+	return nil
+}
+
+// EjectTraced implements TracedEjector: the eject is the end of each
+// trace's pipeline, so the span is terminal — a trace with one is a
+// complete commit-to-eject story.
+func (e CacheEjector) EjectTraced(keys []string, ctxs map[string]trace.Context) error {
+	start := time.Now()
+	e.Cache.InvalidateMany(keys)
+	end := time.Now()
+	eachDistinctTrace(ctxs, func(ctx trace.Context) {
+		e.Tracer.RecordTerminal(ctx, "webcache.eject", start, end)
+	})
 	return nil
 }
 
@@ -97,7 +128,17 @@ type HTTPEjector struct {
 // per-cache errors are collected (errors.Join); the returned
 // PartialEjectError names exactly the keys in failed batches, so the
 // invalidator retries those alone.
-func (e HTTPEjector) Eject(keys []string) error {
+func (e HTTPEjector) Eject(keys []string) error { return e.eject(keys, nil) }
+
+// EjectTraced implements TracedEjector: each batch request carries its
+// keys' trace contexts in the X-Cacheportal-Trace header, so the cache
+// daemon on the far side records the terminal webcache.eject spans in its
+// own tracer with the originating trace IDs.
+func (e HTTPEjector) EjectTraced(keys []string, ctxs map[string]trace.Context) error {
+	return e.eject(keys, ctxs)
+}
+
+func (e HTTPEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -112,6 +153,23 @@ func (e HTTPEjector) Eject(keys []string) error {
 			end = len(keys)
 		}
 		chunks = append(chunks, keys[start:end])
+	}
+	// One header value per chunk, shared across caches: the distinct trace
+	// contexts of the chunk's keys, in key order.
+	var hdrs []string
+	if len(ctxs) > 0 {
+		hdrs = make([]string, len(chunks))
+		for ci, chunk := range chunks {
+			var list []trace.Context
+			seen := make(map[int64]bool)
+			for _, k := range chunk {
+				if ctx, ok := ctxs[k]; ok && ctx.Valid() && !seen[ctx.Trace] {
+					seen[ctx.Trace] = true
+					list = append(list, ctx)
+				}
+			}
+			hdrs[ci] = trace.FormatContexts(list)
+		}
 	}
 
 	// Resolved once per Eject call: ejects ride the cycle cadence, not the
@@ -137,9 +195,13 @@ func (e HTTPEjector) Eject(keys []string) error {
 	for i, url := range e.CacheURLs {
 		go func(i int, url string) {
 			defer wg.Done()
-			for _, chunk := range chunks {
+			for ci, chunk := range chunks {
+				hdr := ""
+				if hdrs != nil {
+					hdr = hdrs[ci]
+				}
 				start := time.Now()
-				err := webcache.EjectKeys(e.Client, url, chunk)
+				err := webcache.EjectKeysTraced(e.Client, url, chunk, hdr)
 				if batchLat != nil {
 					batchLat.ObserveDuration(time.Since(start))
 					batchesSent.Inc()
@@ -200,12 +262,25 @@ type MultiEjector []Ejector
 // keys. The widened error still wraps a PartialEjectError naming every key
 // (rather than the bare join) so that errors.As cannot reach a nested,
 // too-narrow key list from a sibling sub-ejector.
-func (m MultiEjector) Eject(keys []string) error {
+func (m MultiEjector) Eject(keys []string) error { return m.eject(keys, nil) }
+
+// EjectTraced implements TracedEjector, forwarding the contexts to every
+// sub-ejector that understands them.
+func (m MultiEjector) EjectTraced(keys []string, ctxs map[string]trace.Context) error {
+	return m.eject(keys, ctxs)
+}
+
+func (m MultiEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 	var errs []error
 	failed := make(map[string]bool)
 	opaque := false
 	for _, e := range m {
-		err := e.Eject(keys)
+		var err error
+		if te, ok := e.(TracedEjector); ok && len(ctxs) > 0 {
+			err = te.EjectTraced(keys, ctxs)
+		} else {
+			err = e.Eject(keys)
+		}
 		if err == nil {
 			continue
 		}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/predindex"
 	"repro/internal/sniffer"
 	"repro/internal/sqlparser"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -124,6 +126,13 @@ type Config struct {
 	// registry, so instrumentation is always on — it costs atomic adds
 	// only.
 	Obs *obs.Registry
+	// Tracer, when set, records pipeline spans for sampled traces: the
+	// cycle phases (sniffer.map, pull, analyze, poll, eject) attach to each
+	// sampled update record's context, staleness samples carry their trace
+	// as histogram exemplars, and eject failures force-sample the affected
+	// traces so the retry/breaker chain that explains a stale page is
+	// recorded even when the head decision was "skip". nil = tracing off.
+	Tracer *trace.Tracer
 }
 
 // DefaultBreakerThreshold is how many consecutive failed eject rounds open
@@ -187,6 +196,10 @@ type Invalidator struct {
 	// cycles, so a retried eject still reports its true commit-to-eject
 	// latency.
 	pendingStamp map[string]time.Time
+	// pendingCtx carries each pending key's trace context alongside its
+	// stamp: the retry and breaker spans of later cycles parent on it, so
+	// the trace explains why the page's eject was late.
+	pendingCtx map[string]trace.Context
 	// flushPending records that a truncation was observed but the
 	// compensating cache flush has not landed yet. It survives across
 	// cycles: mappings are only destroyed after the flush succeeds, because
@@ -234,6 +247,7 @@ func New(cfg Config) *Invalidator {
 		met:            newInvMetrics(cfg.Obs),
 		stalenessHists: make(map[string]*obs.Histogram),
 		pendingStamp:   make(map[string]time.Time),
+		pendingCtx:     make(map[string]trace.Context),
 		lastLSN:        1,
 	}
 	if !cfg.DisablePredIndex {
@@ -399,6 +413,18 @@ func (inv *Invalidator) StartEventDriven(interval, minGap time.Duration, notifie
 	})
 }
 
+// maxTracedPerCycle bounds how many recording traces get per-trace phase
+// spans in one cycle; the tail still ejects correctly, it just goes
+// unnarrated.
+const maxTracedPerCycle = 256
+
+// pageImpact is one impacted page's staleness origin: the commit stamp of
+// the oldest update that made it stale, and that update's trace context.
+type pageImpact struct {
+	stamp time.Time
+	ctx   trace.Context
+}
+
 // Cycle performs one sniff-ingest / update-pull / analyze / poll / eject
 // round and returns its report.
 func (inv *Invalidator) Cycle() (rep Report, retErr error) {
@@ -440,8 +466,11 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	// obligation across cycles when the flush itself fails, so a faulty
 	// ejector delays recovery but never converts it into permanent
 	// staleness.
+	var mapStart, mapEnd time.Time
 	if inv.cfg.Mapper != nil {
+		mapStart = time.Now()
 		rep.MappedPages = inv.cfg.Mapper.Run()
+		mapEnd = time.Now()
 		if inv.cfg.Mapper.TakeTruncated() {
 			inv.flushPending = true
 		}
@@ -469,7 +498,10 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	inv.ingestMap(&rep)
 
 	// 3. Pull the update log (§4.2.1).
+	tr := inv.cfg.Tracer // nil-safe: every method is a no-op when nil
+	pullStart := time.Now()
 	recs, truncated, next, err := inv.cfg.Puller.PullSince(inv.lastLSN)
+	pullEnd := time.Now()
 	if err != nil {
 		rep.Duration = time.Since(start)
 		return rep, err
@@ -479,27 +511,60 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	inv.indexes.Apply(recs)
 	inv.lastLSN = next
 
-	// impacted maps each page to its freshness stamp: the commit time of
-	// the oldest update that made it stale. A zero stamp means the origin
-	// is unknown (log truncation) and no staleness sample is recorded;
-	// unknown dominates when causes merge.
-	impacted := make(map[string]time.Time)
-	mark := func(key string, stamp time.Time) {
+	// tracedCtxs are the recording traces in this batch. Cycle phases are
+	// shared work — one mapper run, one pull, one analyze serve every
+	// record — so each recording trace gets its own copy of the phase
+	// spans, parented on its feed (or commit) span. Bounded so a huge
+	// burst of sampled records cannot turn span recording into the cycle's
+	// dominant cost.
+	var tracedCtxs []trace.Context
+	if tr != nil {
+		for _, rec := range recs {
+			if tr.Recording(rec.Trace) {
+				tracedCtxs = append(tracedCtxs, trace.Context{Trace: rec.Trace, Span: rec.Span})
+				if len(tracedCtxs) >= maxTracedPerCycle {
+					break
+				}
+			}
+		}
+		for _, ctx := range tracedCtxs {
+			if !mapStart.IsZero() {
+				tr.Record(ctx, "sniffer.map", mapStart, mapEnd,
+					trace.Attr{K: "pages", V: strconv.Itoa(rep.MappedPages)})
+			}
+			tr.Record(ctx, "invalidator.pull", pullStart, pullEnd,
+				trace.Attr{K: "records", V: strconv.Itoa(len(recs))})
+		}
+	}
+
+	// impacted maps each page to its freshness stamp — the commit time of
+	// the oldest update that made it stale — and that update's trace
+	// context, so the eject can be attributed to the commit that caused
+	// it. A zero stamp means the origin is unknown (log truncation) and no
+	// staleness sample is recorded; unknown dominates when causes merge,
+	// but a known trace context survives the merge (better to attribute
+	// the eject to one real cause than to none).
+	impacted := make(map[string]pageImpact)
+	mark := func(key string, stamp time.Time, ctx trace.Context) {
 		prev, ok := impacted[key]
 		switch {
 		case !ok:
-			impacted[key] = stamp
-		case prev.IsZero() || stamp.IsZero():
-			impacted[key] = time.Time{}
-		case stamp.Before(prev):
-			impacted[key] = stamp
+			impacted[key] = pageImpact{stamp: stamp, ctx: ctx}
+		case prev.stamp.IsZero() || stamp.IsZero():
+			if !prev.ctx.Valid() {
+				prev.ctx = ctx
+			}
+			prev.stamp = time.Time{}
+			impacted[key] = prev
+		case stamp.Before(prev.stamp):
+			impacted[key] = pageImpact{stamp: stamp, ctx: ctx}
 		}
 	}
 	if truncated {
 		// The log no longer reaches back to our last position: anything
 		// cached may be stale.
 		for _, k := range inv.registry.Pages() {
-			mark(k, time.Time{})
+			mark(k, time.Time{}, trace.Context{})
 		}
 		rep.Conservative += len(impacted)
 	} else if len(recs) > 0 {
@@ -565,7 +630,7 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 			impactedMu.Lock()
 			for _, inst := range res.impacted {
 				for page := range inst.Pages {
-					mark(page, u.d.Stamp)
+					mark(page, u.d.Stamp, trace.Context{Trace: u.d.Trace, Span: u.d.Span})
 				}
 			}
 			impactedMu.Unlock()
@@ -609,11 +674,24 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 		// Conservative pages fall with any change at all; their staleness
 		// origin is the batch's oldest record.
 		batchStamp := recs[0].Time
+		batchCtx := trace.Context{Trace: recs[0].Trace, Span: recs[0].Span}
 		for _, k := range inv.registry.ConservativePages() {
-			mark(k, batchStamp)
+			mark(k, batchStamp, batchCtx)
 			rep.Conservative++
 		}
-		inv.met.analyzeSeconds.ObserveDuration(time.Since(analyzeStart))
+		analyzeEnd := time.Now()
+		inv.met.analyzeSeconds.ObserveDuration(analyzeEnd.Sub(analyzeStart))
+		for _, ctx := range tracedCtxs {
+			tr.Record(ctx, "invalidator.analyze", analyzeStart, analyzeEnd,
+				trace.Attr{K: "deltas", V: strconv.Itoa(rep.DeltaTuples)},
+				trace.Attr{K: "impacted", V: strconv.Itoa(len(impacted))})
+			if rep.Polls > 0 {
+				// Polling time is embedded in the analyze phase; the span
+				// reports its aggregate wall time as a sub-interval.
+				tr.Record(ctx, "invalidator.poll", analyzeStart, analyzeStart.Add(rep.PollTime),
+					trace.Attr{K: "polls", V: strconv.Itoa(rep.Polls)})
+			}
+		}
 	}
 
 	// Truncation fallback for non-bulk ejectors: flush every page the
@@ -624,7 +702,7 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	if inv.flushPending {
 		if _, ok := inv.cfg.Ejector.(BulkEjector); !ok {
 			for _, k := range inv.registry.Pages() {
-				mark(k, time.Time{})
+				mark(k, time.Time{}, trace.Context{})
 			}
 			inv.flushPending = false
 		}
@@ -641,11 +719,22 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	// stamps must not linger.
 	for _, k := range inv.pending {
 		if inv.registry.HasPage(k) {
-			mark(k, inv.pendingStamp[k])
+			ctx := inv.pendingCtx[k]
+			if tr.Recording(ctx.Trace) {
+				// invalidator.retry: a zero-width marker span — this key's
+				// eject failed last cycle and is being re-attempted now. The
+				// key's context advances to it, so a later eject (or another
+				// retry) parents on the retry chain.
+				now := time.Now()
+				ctx = tr.Record(ctx, "invalidator.retry", now, now,
+					trace.Attr{K: "key", V: k})
+			}
+			mark(k, inv.pendingStamp[k], ctx)
 		}
 	}
 	inv.pending = nil
 	inv.pendingStamp = make(map[string]time.Time)
+	inv.pendingCtx = make(map[string]trace.Context)
 	keys := make([]string, 0, len(impacted))
 	for k := range impacted {
 		keys = append(keys, k)
@@ -655,24 +744,52 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	// sample is recorded (globally and per servlet) before the mapping —
 	// which names the servlet — is removed.
 	finish := func(k string, now time.Time) {
-		if stamp := impacted[k]; !stamp.IsZero() {
-			lat := now.Sub(stamp)
+		if pi := impacted[k]; !pi.stamp.IsZero() {
+			lat := now.Sub(pi.stamp)
 			if lat < 0 {
 				lat = 0
 			}
-			inv.met.staleness.ObserveDuration(lat)
+			// The staleness sample carries its trace as an exemplar: the
+			// histogram bucket remembers the worst observation's trace ID,
+			// so an operator can go from "p99 spiked" straight to the
+			// commit-to-eject story of a page that caused it.
+			inv.met.staleness.ObserveDurationExemplar(lat, pi.ctx.Trace)
 			if pm, ok := inv.cfg.Map.Get(k); ok && pm.Servlet != "" {
-				inv.stalenessFor(pm.Servlet).ObserveDuration(lat)
+				inv.stalenessFor(pm.Servlet).ObserveDurationExemplar(lat, pi.ctx.Trace)
 			}
 		}
 		inv.cfg.Map.Remove(k)
 		inv.registry.UnlinkPage(k)
 	}
 	if len(keys) > 0 {
+		// ejectCtxs maps each key with a recording trace to its context; the
+		// ejector propagates them downstream (CacheEjector records the
+		// terminal webcache.eject span, HTTPEjector ships them in the
+		// X-Cacheportal-Trace header so the remote cache can).
+		var ejectCtxs map[string]trace.Context
+		if tr != nil {
+			for _, k := range keys {
+				if ctx := impacted[k].ctx; tr.Recording(ctx.Trace) {
+					if ejectCtxs == nil {
+						ejectCtxs = make(map[string]trace.Context)
+					}
+					ejectCtxs[k] = ctx
+				}
+			}
+		}
 		ejectStart := time.Now()
-		err := inv.cfg.Ejector.Eject(keys)
+		err := inv.eject(keys, ejectCtxs)
 		now := time.Now()
 		inv.met.ejectSeconds.ObserveDuration(now.Sub(ejectStart))
+		if len(ejectCtxs) > 0 {
+			attrs := []trace.Attr{{K: "keys", V: strconv.Itoa(len(keys))}}
+			if err != nil {
+				attrs = append(attrs, trace.Attr{K: "err", V: "1"})
+			}
+			eachDistinctTrace(ejectCtxs, func(ctx trace.Context) {
+				tr.Record(ctx, "invalidator.eject", ejectStart, now, attrs...)
+			})
+		}
 		if err != nil {
 			rep.EjectErr = err
 			inv.ejectFailStreak++
@@ -697,10 +814,22 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 			sort.Strings(failed)
 			inv.pending = dedupeSorted(failed)
 			stamps := make(map[string]time.Time, len(inv.pending))
+			ctxs := make(map[string]trace.Context, len(inv.pending))
 			for _, k := range inv.pending {
-				stamps[k] = impacted[k]
+				pi := impacted[k]
+				stamps[k] = pi.stamp
+				if pi.ctx.Valid() {
+					ctxs[k] = pi.ctx
+					// Force-sample the trace behind a failed eject: its page
+					// is now an outlier in the making, and the retry/breaker
+					// spans of later cycles are exactly the evidence an
+					// operator needs — record them even if the head-sampling
+					// decision at commit time was "skip".
+					tr.Force(pi.ctx.Trace)
+				}
 			}
 			inv.pendingStamp = stamps
+			inv.pendingCtx = ctxs
 			// Circuit breaker: precise ejection has now failed for several
 			// consecutive cycles, so stop trusting it and flush the caches
 			// outright. A successful bulk flush discharges every pending
@@ -709,7 +838,24 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 			if bulk, ok := inv.cfg.Ejector.(BulkEjector); ok &&
 				inv.cfg.BreakerThreshold > 0 && inv.ejectFailStreak >= inv.cfg.BreakerThreshold {
 				inv.met.breakerTrips.Inc()
-				if berr := bulk.EjectAll(); berr == nil {
+				breakerStart := time.Now()
+				berr := bulk.EjectAll()
+				breakerEnd := time.Now()
+				if tr != nil {
+					battrs := []trace.Attr{{K: "streak", V: strconv.Itoa(inv.ejectFailStreak)}}
+					if berr != nil {
+						battrs = append(battrs, trace.Attr{K: "err", V: "1"})
+					}
+					eachDistinctTrace(inv.pendingCtx, func(ctx trace.Context) {
+						ctx = tr.Record(ctx, "invalidator.breaker", breakerStart, breakerEnd, battrs...)
+						if berr == nil {
+							// The flush landed: the page is gone from every
+							// cache, which completes this trace's story.
+							tr.RecordTerminal(ctx, "webcache.flush", breakerEnd, breakerEnd)
+						}
+					})
+				}
+				if berr == nil {
 					for _, k := range inv.pending {
 						finish(k, now)
 						rep.Invalidated++
@@ -717,6 +863,7 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 					rep.Conservative += len(inv.pending)
 					inv.pending = nil
 					inv.pendingStamp = make(map[string]time.Time)
+					inv.pendingCtx = make(map[string]trace.Context)
 					inv.ejectFailStreak = 0
 				}
 			}
@@ -746,6 +893,31 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 
 	rep.Duration = time.Since(start)
 	return rep, nil
+}
+
+// eject dispatches to the ejector, preferring the traced entry point when
+// the ejector supports it and there is context to propagate.
+func (inv *Invalidator) eject(keys []string, ctxs map[string]trace.Context) error {
+	if len(ctxs) > 0 {
+		if te, ok := inv.cfg.Ejector.(TracedEjector); ok {
+			return te.EjectTraced(keys, ctxs)
+		}
+	}
+	return inv.cfg.Ejector.Eject(keys)
+}
+
+// eachDistinctTrace calls fn once per distinct trace among the contexts (a
+// cycle's batch often maps many keys to one commit; phase spans are
+// per-trace, not per-key).
+func eachDistinctTrace(ctxs map[string]trace.Context, fn func(trace.Context)) {
+	seen := make(map[int64]bool, len(ctxs))
+	for _, ctx := range ctxs {
+		if !ctx.Valid() || seen[ctx.Trace] {
+			continue
+		}
+		seen[ctx.Trace] = true
+		fn(ctx)
+	}
 }
 
 func dedupeSorted(keys []string) []string {

@@ -1,0 +1,55 @@
+package invalidator
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/webcache"
+)
+
+// TestHTTPEjectorPropagatesTraceContexts: EjectTraced must forward each
+// batch's distinct trace contexts in the X-Cacheportal-Trace header, and a
+// webcached on the far side must close those traces — terminal
+// webcache.eject spans appear in the *remote* tracer under the originating
+// trace IDs, parented on the invalidator-side spans the header named.
+func TestHTTPEjectorPropagatesTraceContexts(t *testing.T) {
+	remote := trace.New(1, 256)
+	// Like cmd/webcached -trace: eject requests name traces the sender
+	// already chose to record, so the remote head decision must not apply.
+	remote.SetForceAll(true)
+
+	cache := webcache.NewCache(0)
+	cache.Put(&webcache.Entry{Key: "k1"})
+	cache.Put(&webcache.Entry{Key: "k2"})
+	proxy := webcache.NewProxy("", cache)
+	proxy.Tracer = remote
+	srv := httptest.NewServer(proxy)
+	defer srv.Close()
+
+	ej := HTTPEjector{CacheURLs: []string{srv.URL}}
+	ctxs := map[string]trace.Context{
+		"k1": {Trace: 41, Span: 7},
+		"k2": {Trace: 43, Span: 9},
+	}
+	if err := ej.EjectTraced([]string{"k1", "k2"}, ctxs); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("%d keys still cached", cache.Len())
+	}
+
+	for ctxTrace, parent := range map[int64]int64{41: 7, 43: 9} {
+		spans := remote.TraceSpans(ctxTrace)
+		if len(spans) != 1 {
+			t.Fatalf("trace %d: %d spans on the cache side, want 1", ctxTrace, len(spans))
+		}
+		s := spans[0]
+		if s.Name != "webcache.eject" || !s.Terminal {
+			t.Fatalf("trace %d: span %q terminal=%v, want terminal webcache.eject", ctxTrace, s.Name, s.Terminal)
+		}
+		if s.Parent != parent {
+			t.Fatalf("trace %d: eject span parent %d, want %d (the header's span)", ctxTrace, s.Parent, parent)
+		}
+	}
+}

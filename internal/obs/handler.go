@@ -52,8 +52,17 @@ func Mount(mux *http.ServeMux, r *Registry, withPprof bool) {
 // runs ListenAndServe in a background goroutine; startup errors surface
 // through errf when non-nil.
 func Serve(addr string, r *Registry, withPprof bool, errf func(error)) *http.Server {
+	return ServeWith(addr, r, withPprof, errf, nil)
+}
+
+// ServeWith is Serve with a hook to register extra handlers (the daemons
+// mount /debug/trace this way) on the same debug mux before it starts.
+func ServeWith(addr string, r *Registry, withPprof bool, errf func(error), extra func(*http.ServeMux)) *http.Server {
 	mux := http.NewServeMux()
 	Mount(mux, r, withPprof)
+	if extra != nil {
+		extra(mux)
+	}
 	srv := &http.Server{Addr: addr, Handler: mux}
 	go func() {
 		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed && errf != nil {

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one containing %q", want)
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic = %v, want message containing %q", r, want)
+		}
+	}()
+	fn()
+}
+
+// TestDuplicateRegistrationPanics pins the metric-name hygiene contract:
+// same-kind get-or-create sharing stays legal, cross-kind reuse and
+// GaugeFunc re-registration panic instead of silently shadowing.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+
+	// Same-kind sharing is the documented wiring model.
+	if r.Counter("x") != r.Counter("x") {
+		t.Fatal("same-kind counter sharing broke")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("same-kind histogram sharing broke")
+	}
+
+	mustPanic(t, "already exists as counter", func() { r.Gauge("x") })
+	mustPanic(t, "already exists as counter", func() { r.Histogram("x") })
+	mustPanic(t, "already exists as counter", func() { r.GaugeFunc("x", func() int64 { return 0 }) })
+
+	r.GaugeFunc("gf", func() int64 { return 1 })
+	mustPanic(t, "already exists as gaugefunc", func() { r.GaugeFunc("gf", func() int64 { return 2 }) })
+	mustPanic(t, "already exists as gaugefunc", func() { r.Counter("gf") })
+
+	// The registry must still work after recovered panics.
+	if got := r.Snapshot().Gauges["gf"]; got != 1 {
+		t.Fatalf("gf = %d after duplicate attempt, want original 1", got)
+	}
+}
+
+func TestRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	r.RuntimeMetrics()
+	r.RuntimeMetrics() // idempotent: must not trip the duplicate panic
+
+	runtime.GC()
+	s := r.Snapshot()
+	if s.Gauges["runtime.goroutines"] < 1 {
+		t.Fatalf("goroutines = %d", s.Gauges["runtime.goroutines"])
+	}
+	if s.Gauges["runtime.heap_inuse_bytes"] <= 0 {
+		t.Fatalf("heap_inuse_bytes = %d", s.Gauges["runtime.heap_inuse_bytes"])
+	}
+	if s.Gauges["runtime.gc_total"] < 1 {
+		t.Fatalf("gc_total = %d", s.Gauges["runtime.gc_total"])
+	}
+	if s.Gauges["runtime.gc_pause_p99_ns"] <= 0 {
+		t.Fatalf("gc_pause_p99_ns = %d", s.Gauges["runtime.gc_pause_p99_ns"])
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", 1, 10)
+
+	h.ObserveExemplar(0.5, 0) // untraced: counts, no exemplar
+	if ex := h.Snapshot().Exemplars; len(ex) != 0 {
+		t.Fatalf("untraced observation left exemplars: %+v", ex)
+	}
+
+	h.ObserveExemplar(0.5, 101)
+	h.ObserveExemplar(0.3, 102) // smaller, fresh exemplar present: kept out
+	h.ObserveExemplar(50, 103)  // overflow bucket
+	s := h.Snapshot()
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("exemplars = %+v", s.Exemplars)
+	}
+	if s.Exemplars[0].Bucket != 0 || s.Exemplars[0].Trace != 101 || s.Exemplars[0].Value != 0.5 {
+		t.Fatalf("bucket-0 exemplar = %+v, want worst (trace 101)", s.Exemplars[0])
+	}
+	if s.Exemplars[1].Bucket != 2 || s.Exemplars[1].Trace != 103 {
+		t.Fatalf("overflow exemplar = %+v", s.Exemplars[1])
+	}
+	if w := s.WorstExemplar(); w.Trace != 103 {
+		t.Fatalf("worst exemplar = %+v", w)
+	}
+
+	// A larger value replaces; so does any traced value once stale.
+	h.ObserveExemplar(0.9, 104)
+	if w := h.Snapshot().Exemplars[0]; w.Trace != 104 {
+		t.Fatalf("larger value did not replace: %+v", w)
+	}
+	old := ExemplarTTL
+	ExemplarTTL = 0
+	defer func() { ExemplarTTL = old }()
+	h.ObserveExemplar(0.1, 105)
+	if w := h.Snapshot().Exemplars[0]; w.Trace != 105 {
+		t.Fatalf("stale exemplar not replaced: %+v", w)
+	}
+
+	if got := h.Count(); got != 6 {
+		t.Fatalf("ObserveExemplar must still count: %d", got)
+	}
+}
+
+func TestLogLoopNoOp(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	defer close(stop)
+	done := make(chan struct{})
+	go func() {
+		LogLoop(r, 0, func(string, ...any) {}, stop) // interval<=0: return immediately
+		LogLoop(r, time.Millisecond, nil, stop)      // nil logf: return immediately
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("LogLoop with no-op arguments did not return")
+	}
+}
+
+func TestLogLoopTicksAndStops(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks").Add(7)
+
+	var mu sync.Mutex
+	var lines []string
+	logf := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		if format != "obs: %s" || len(args) != 1 {
+			t.Errorf("logf(%q, %v)", format, args)
+		}
+		lines = append(lines, args[0].(string))
+	}
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		LogLoop(r, 5*time.Millisecond, logf, stop)
+		close(done)
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(lines)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("LogLoop never ticked twice")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("LogLoop did not exit on stop")
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, line := range lines {
+		if !strings.Contains(line, "ticks=7") {
+			t.Fatalf("line %q missing ticks=7", line)
+		}
+	}
+}
+
+// TestFormatLineSorted pins the k=v format LogLoop emits: sorted keys,
+// histogram suffixes flattened.
+func TestFormatLineSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("z").Set(1)
+	r.Counter("a").Inc()
+	r.Histogram("m", 1).Observe(0.5)
+	line := FormatLine(r.Snapshot())
+	if !strings.HasPrefix(line, "a=1 ") || !strings.HasSuffix(line, " z=1") {
+		t.Fatalf("line not sorted: %q", line)
+	}
+	for _, want := range []string{"m.count=1", "m.sum=0.5", "m.p50=", "m.p95=", "m.p99=", "m.max=0.5"} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("line %q missing %s", line, want)
+		}
+	}
+}

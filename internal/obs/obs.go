@@ -54,12 +54,25 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // lock-free: a binary search over the (immutable) bounds plus two atomic
 // adds.
 type Histogram struct {
-	bounds []float64
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
-	max    atomic.Uint64 // float64 bits
+	bounds    []float64
+	counts    []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomic.Uint64                 // float64 bits, CAS-updated
+	max       atomic.Uint64                 // float64 bits
+	exemplars []atomic.Pointer[exemplarRec] // len(bounds)+1, parallel to counts
 }
+
+// exemplarRec is one bucket's remembered worst observation with its trace.
+type exemplarRec struct {
+	v     float64
+	trace int64
+	at    time.Time
+}
+
+// ExemplarTTL is how long a bucket exemplar dominates smaller observations
+// before a fresher (even if smaller) traced observation may replace it —
+// "worst recent", not "worst ever".
+var ExemplarTTL = time.Minute
 
 // LatencyBuckets are the default bounds, in seconds: 100µs to 10s,
 // roughly logarithmic. They cover everything from a shard-lock hold to a
@@ -86,7 +99,11 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplarRec], len(b)+1),
+	}
 }
 
 // Observe records one value.
@@ -115,6 +132,36 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records d in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// ObserveExemplar records v and, when trace is nonzero, offers it as the
+// bucket's exemplar: each bucket keeps the trace ID of its worst recent
+// observation, so a fat histogram tail in /debug/metrics links directly to
+// a replayable causal chain in /debug/trace. A stored exemplar is replaced
+// by an equal-or-larger value, or by any traced value once it is older
+// than ExemplarTTL. trace==0 degrades to plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, trace int64) {
+	h.Observe(v)
+	if trace == 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	now := time.Now()
+	rec := &exemplarRec{v: v, trace: trace, at: now}
+	for {
+		old := h.exemplars[i].Load()
+		if old != nil && v < old.v && now.Sub(old.at) < ExemplarTTL {
+			return
+		}
+		if h.exemplars[i].CompareAndSwap(old, rec) {
+			return
+		}
+	}
+}
+
+// ObserveDurationExemplar is ObserveExemplar for a duration in seconds.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, trace int64) {
+	h.ObserveExemplar(d.Seconds(), trace)
+}
+
 // Count returns how many values were observed.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -133,7 +180,22 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		s.Counts[i] = c
 		s.Count += c
 	}
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, Exemplar{
+				Bucket: i, Value: e.v, Trace: e.trace, At: e.at,
+			})
+		}
+	}
 	return s
+}
+
+// Exemplar links one bucket's worst recent observation to its trace ID.
+type Exemplar struct {
+	Bucket int       `json:"bucket"` // index into Counts
+	Value  float64   `json:"value"`
+	Trace  int64     `json:"trace"`
+	At     time.Time `json:"at"`
 }
 
 // HistogramSnapshot is the exported state of a Histogram.
@@ -144,6 +206,21 @@ type HistogramSnapshot struct {
 	Bounds []float64 `json:"bounds"`
 	// Counts has len(Bounds)+1 entries; the last is the overflow bucket.
 	Counts []int64 `json:"counts"`
+	// Exemplars holds, for each bucket that saw a traced observation, the
+	// trace ID of its worst recent one.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// WorstExemplar returns the exemplar with the largest value, or a zero
+// Exemplar when no traced observation was recorded.
+func (s HistogramSnapshot) WorstExemplar() Exemplar {
+	var out Exemplar
+	for _, e := range s.Exemplars {
+		if e.Value >= out.Value {
+			out = e
+		}
+	}
+	return out
 }
 
 // Mean returns Sum/Count, or 0 with no observations.
@@ -197,13 +274,17 @@ func (s HistogramSnapshot) Quantile(q float64) float64 {
 // Registry holds named metrics. Names are dotted paths
 // ("invalidator.cycle_seconds"); a name identifies exactly one metric of
 // one kind. Get-or-create accessors make wiring order irrelevant: the
-// first caller creates, later callers share.
+// first caller creates, later callers share — but a name may only ever be
+// one kind, and GaugeFuncs may not be re-registered: both are wiring bugs
+// that used to silently shadow a metric, and now panic at registration.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	gaugeFuncs map[string]func() int64
 	hists      map[string]*Histogram
+	kinds      map[string]string // name -> "counter"|"gauge"|"gaugefunc"|"histogram"
+	runtimeOn  bool              // RuntimeMetrics already registered
 }
 
 // NewRegistry creates an empty registry.
@@ -213,13 +294,24 @@ func NewRegistry() *Registry {
 		gauges:     make(map[string]*Gauge),
 		gaugeFuncs: make(map[string]func() int64),
 		hists:      make(map[string]*Histogram),
+		kinds:      make(map[string]string),
 	}
+}
+
+// checkKind records name's kind, panicking when the name is already
+// registered as a different kind. Caller holds r.mu.
+func (r *Registry) checkKind(name, kind string) {
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic("obs: metric " + name + " registered as " + kind + " but already exists as " + prev)
+	}
+	r.kinds[name] = kind
 }
 
 // Counter returns the named counter, creating it on first use.
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "counter")
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -232,6 +324,7 @@ func (r *Registry) Counter(name string) *Counter {
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "gauge")
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -240,12 +333,18 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// GaugeFunc registers (or replaces) a pull-style gauge: fn is evaluated at
-// snapshot time. Use for values another component already maintains (cache
-// sizes, log positions) so the hot path records nothing.
+// GaugeFunc registers a pull-style gauge: fn is evaluated at snapshot
+// time. Use for values another component already maintains (cache sizes,
+// log positions) so the hot path records nothing. Unlike the get-or-create
+// accessors there is nothing to share — re-registering a name panics
+// instead of silently replacing the previous func.
 func (r *Registry) GaugeFunc(name string, fn func() int64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if prev, ok := r.kinds[name]; ok {
+		panic("obs: metric " + name + " registered as gaugefunc but already exists as " + prev)
+	}
+	r.kinds[name] = "gaugefunc"
 	r.gaugeFuncs[name] = fn
 }
 
@@ -255,6 +354,7 @@ func (r *Registry) GaugeFunc(name string, fn func() int64) {
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.checkKind(name, "histogram")
 	h, ok := r.hists[name]
 	if !ok {
 		h = newHistogram(bounds)

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// memStatsTTL bounds how often the runtime gauges stop the world for
+// runtime.ReadMemStats: all heap/GC gauges in one snapshot share a single
+// read, and successive snapshots within the TTL reuse it.
+const memStatsTTL = 250 * time.Millisecond
+
+type memStatsCache struct {
+	mu sync.Mutex
+	at time.Time
+	m  runtime.MemStats
+}
+
+func (c *memStatsCache) read() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.at.IsZero() || time.Since(c.at) > memStatsTTL {
+		runtime.ReadMemStats(&c.m)
+		c.at = time.Now()
+	}
+	return c.m
+}
+
+// RuntimeMetrics registers process-level pull gauges — the daemons call it
+// once next to their other wiring so every /debug/metrics document answers
+// "is this process itself healthy" alongside the pipeline metrics:
+//
+//	runtime.goroutines        current goroutine count
+//	runtime.heap_inuse_bytes  bytes in in-use heap spans
+//	runtime.gc_total          completed GC cycles
+//	runtime.gc_pause_p99_ns   p99 of the runtime's recent GC pause ring
+//
+// Idempotent per registry (components and daemons may both call it on a
+// shared registry without tripping the duplicate-registration panic).
+func (r *Registry) RuntimeMetrics() {
+	r.mu.Lock()
+	if r.runtimeOn {
+		r.mu.Unlock()
+		return
+	}
+	r.runtimeOn = true
+	r.mu.Unlock()
+
+	cache := &memStatsCache{}
+	r.GaugeFunc("runtime.goroutines", func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	r.GaugeFunc("runtime.heap_inuse_bytes", func() int64 {
+		m := cache.read()
+		return int64(m.HeapInuse)
+	})
+	r.GaugeFunc("runtime.gc_total", func() int64 {
+		m := cache.read()
+		return int64(m.NumGC)
+	})
+	r.GaugeFunc("runtime.gc_pause_p99_ns", func() int64 {
+		m := cache.read()
+		n := int(m.NumGC)
+		if n == 0 {
+			return 0
+		}
+		if n > len(m.PauseNs) {
+			n = len(m.PauseNs)
+		}
+		pauses := make([]uint64, n)
+		for i := 0; i < n; i++ {
+			// PauseNs is a circular buffer; the most recent pause is at
+			// (NumGC+255)%256, walking backwards from there.
+			pauses[i] = m.PauseNs[(int(m.NumGC)-1-i+2*len(m.PauseNs))%len(m.PauseNs)]
+		}
+		sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+		idx := (99*n + 99) / 100 // ceil(0.99*n)
+		if idx > n {
+			idx = n
+		}
+		return int64(pauses[idx-1])
+	})
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// Handler serves the tracer's buffer as JSON — the /debug/trace endpoint
+// every daemon mounts next to /debug/metrics.
+//
+//	/debug/trace                recent traces (summaries, most recent first)
+//	/debug/trace?n=20           cap the list
+//	/debug/trace?min_ms=100     only traces at least that slow
+//	/debug/trace?trace=<id>     full span list for one trace
+//
+// A nil tracer serves the empty document, so daemons mount the endpoint
+// unconditionally and the -trace flag only decides whether it fills up.
+func Handler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+
+		q := req.URL.Query()
+		if idStr := q.Get("trace"); idStr != "" {
+			id, err := strconv.ParseInt(idStr, 10, 64)
+			if err != nil {
+				http.Error(w, "trace: bad ?trace id", http.StatusBadRequest)
+				return
+			}
+			spans := t.TraceSpans(id)
+			if len(spans) == 0 {
+				w.WriteHeader(http.StatusNotFound)
+			}
+			enc.Encode(struct {
+				Trace int64  `json:"trace"`
+				Spans []Span `json:"spans"`
+			}{Trace: id, Spans: spans})
+			return
+		}
+
+		sums := t.Traces()
+		if minStr := q.Get("min_ms"); minStr != "" {
+			min, err := strconv.ParseFloat(minStr, 64)
+			if err != nil {
+				http.Error(w, "trace: bad ?min_ms", http.StatusBadRequest)
+				return
+			}
+			kept := sums[:0]
+			for _, s := range sums {
+				if s.DurMS >= min {
+					kept = append(kept, s)
+				}
+			}
+			sums = kept
+		}
+		n := 50
+		if nStr := q.Get("n"); nStr != "" {
+			v, err := strconv.Atoi(nStr)
+			if err != nil || v < 0 {
+				http.Error(w, "trace: bad ?n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		if len(sums) > n {
+			sums = sums[:n]
+		}
+		if sums == nil {
+			sums = []Summary{}
+		}
+		enc.Encode(struct {
+			Stats  Stats     `json:"stats"`
+			Traces []Summary `json:"traces"`
+		}{Stats: t.Stats(), Traces: sums})
+	})
+}

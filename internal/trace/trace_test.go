@@ -1,0 +1,260 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+
+func TestNilTracerIsOff(t *testing.T) {
+	var tr *Tracer
+	ctx := tr.Root("engine.commit", t0, t0)
+	if ctx.Valid() {
+		t.Fatalf("nil tracer returned valid context %+v", ctx)
+	}
+	if got := tr.Record(ctx, "x", t0, t0); got.Valid() {
+		t.Fatalf("nil tracer Record returned valid context %+v", got)
+	}
+	if tr.Recording(7) || tr.Sampled(7) {
+		t.Fatal("nil tracer claims to record")
+	}
+	tr.Force(7)
+	tr.SetForceAll(true)
+	if tr.Spans() != nil || tr.Traces() != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	if s := tr.Stats(); s != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", s)
+	}
+}
+
+func TestHeadSampling(t *testing.T) {
+	tr := New(2, 64)
+	a := tr.Root("commit", t0, t0) // trace 1: unsampled
+	b := tr.Root("commit", t0, t0) // trace 2: sampled
+	if tr.Recording(a.Trace) {
+		t.Fatalf("trace %d should be unsampled at sample=2", a.Trace)
+	}
+	if !tr.Recording(b.Trace) {
+		t.Fatalf("trace %d should be sampled at sample=2", b.Trace)
+	}
+	tr.Record(a, "feed", t0, t0)
+	tr.Record(b, "feed", t0, t0)
+	if n := len(tr.TraceSpans(a.Trace)); n != 0 {
+		t.Fatalf("unsampled trace recorded %d spans", n)
+	}
+	// Sampled trace has root + child.
+	if n := len(tr.TraceSpans(b.Trace)); n != 2 {
+		t.Fatalf("sampled trace recorded %d spans, want 2", n)
+	}
+}
+
+func TestForcePinsUnsampledTrace(t *testing.T) {
+	tr := New(1000, 64)
+	ctx := tr.Root("commit", t0, t0)
+	if tr.Recording(ctx.Trace) {
+		t.Fatal("trace unexpectedly head-sampled")
+	}
+	tr.Force(ctx.Trace)
+	if !tr.Recording(ctx.Trace) {
+		t.Fatal("forced trace not recording")
+	}
+	child := tr.Record(ctx, "invalidator.retry", t0, t0.Add(time.Millisecond))
+	spans := tr.TraceSpans(ctx.Trace)
+	if len(spans) != 1 || spans[0].Name != "invalidator.retry" {
+		t.Fatalf("forced trace spans = %+v", spans)
+	}
+	if spans[0].Parent != ctx.Span {
+		t.Fatalf("child parent = %d, want %d (root span ID survives unsampled)", spans[0].Parent, ctx.Span)
+	}
+	if child.Span != spans[0].ID {
+		t.Fatalf("returned context span = %d, want %d", child.Span, spans[0].ID)
+	}
+}
+
+func TestForceSetBounded(t *testing.T) {
+	tr := New(1000, 8)
+	for i := int64(1); i <= maxForced+10; i++ {
+		tr.Force(i)
+	}
+	if got := tr.Stats().Forced; got != maxForced {
+		t.Fatalf("forced set size = %d, want %d", got, maxForced)
+	}
+	if tr.Recording(1) {
+		t.Fatal("oldest pin should have been evicted")
+	}
+	if !tr.Recording(maxForced + 10) {
+		t.Fatal("newest pin missing")
+	}
+}
+
+func TestRingBound(t *testing.T) {
+	tr := New(1, 4)
+	for i := 0; i < 10; i++ {
+		tr.Root("commit", t0.Add(time.Duration(i)*time.Second), t0)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	// Oldest first: traces 7,8,9,10 survive.
+	if spans[0].Trace != 7 || spans[3].Trace != 10 {
+		t.Fatalf("ring order = %d..%d, want 7..10", spans[0].Trace, spans[3].Trace)
+	}
+	st := tr.Stats()
+	if st.Recorded != 10 || st.Dropped != 6 {
+		t.Fatalf("stats = %+v, want recorded=10 dropped=6", st)
+	}
+}
+
+func TestChainAndSummaries(t *testing.T) {
+	tr := New(1, 64)
+	root := tr.Root("engine.commit", t0, t0, Attr{K: "table", V: "Car"})
+	feed := tr.Record(root, "feed.deliver", t0, t0.Add(2*time.Millisecond))
+	tr.RecordTerminal(feed, "webcache.eject", t0.Add(2*time.Millisecond), t0.Add(5*time.Millisecond))
+
+	spans := tr.TraceSpans(root.Trace)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[1].Parent != root.Span || spans[2].Parent != feed.Span {
+		t.Fatalf("broken parent chain: %+v", spans)
+	}
+	if !spans[2].Terminal {
+		t.Fatal("eject span not terminal")
+	}
+
+	sums := tr.Traces()
+	if len(sums) != 1 {
+		t.Fatalf("got %d summaries, want 1", len(sums))
+	}
+	s := sums[0]
+	if s.Trace != root.Trace || s.Root != "engine.commit" || s.Spans != 3 || !s.Complete {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.DurMS < 4.9 || s.DurMS > 5.1 {
+		t.Fatalf("summary duration = %vms, want ~5", s.DurMS)
+	}
+}
+
+func TestIncompleteTrace(t *testing.T) {
+	tr := New(1, 64)
+	root := tr.Root("engine.commit", t0, t0)
+	tr.Record(root, "feed.deliver", t0, t0)
+	if sums := tr.Traces(); len(sums) != 1 || sums[0].Complete {
+		t.Fatalf("trace without terminal span reported complete: %+v", sums)
+	}
+}
+
+func TestContextHeaderRoundTrip(t *testing.T) {
+	ctxs := []Context{{Trace: 12, Span: 34}, {Trace: 56, Span: 78}}
+	hdr := FormatContexts(ctxs)
+	if hdr != "12:34,56:78" {
+		t.Fatalf("header = %q", hdr)
+	}
+	back := ParseContexts(hdr)
+	if len(back) != 2 || back[0] != ctxs[0] || back[1] != ctxs[1] {
+		t.Fatalf("round trip = %+v", back)
+	}
+	if got := ParseContexts("garbage,1:2,:,x:y"); len(got) != 1 || got[0] != (Context{Trace: 1, Span: 2}) {
+		t.Fatalf("lenient parse = %+v", got)
+	}
+	if ParseContext("no-colon").Valid() {
+		t.Fatal("malformed context parsed as valid")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := New(1, 64)
+	root := tr.Root("engine.commit", t0, t0)
+	tr.RecordTerminal(root, "webcache.eject", t0, t0.Add(200*time.Millisecond))
+	fast := tr.Root("engine.commit", t0, t0)
+	tr.RecordTerminal(fast, "webcache.eject", t0, t0.Add(time.Millisecond))
+	h := Handler(tr)
+
+	get := func(url string) (int, string) {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec.Code, rec.Body.String()
+	}
+
+	code, body := get("/debug/trace")
+	if code != 200 {
+		t.Fatalf("list: status %d", code)
+	}
+	var list struct {
+		Stats  Stats     `json:"stats"`
+		Traces []Summary `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if len(list.Traces) != 2 || list.Stats.Recorded != 4 {
+		t.Fatalf("list = %+v", list)
+	}
+
+	code, body = get("/debug/trace?min_ms=100")
+	if code != 200 || !strings.Contains(body, `"trace": 1`) || strings.Contains(body, `"trace": 2`) {
+		t.Fatalf("min_ms filter: status=%d body=%s", code, body)
+	}
+
+	code, body = get("/debug/trace?trace=1")
+	if code != 200 {
+		t.Fatalf("lookup: status %d", code)
+	}
+	var one struct {
+		Trace int64  `json:"trace"`
+		Spans []Span `json:"spans"`
+	}
+	if err := json.Unmarshal([]byte(body), &one); err != nil {
+		t.Fatalf("lookup: %v", err)
+	}
+	if one.Trace != 1 || len(one.Spans) != 2 {
+		t.Fatalf("lookup = %+v", one)
+	}
+
+	if code, _ = get("/debug/trace?trace=99"); code != 404 {
+		t.Fatalf("missing trace: status %d, want 404", code)
+	}
+	if code, _ = get("/debug/trace?trace=bogus"); code != 400 {
+		t.Fatalf("bad id: status %d, want 400", code)
+	}
+	if code, _ = get("/debug/trace?min_ms=bogus"); code != 400 {
+		t.Fatalf("bad min_ms: status %d, want 400", code)
+	}
+
+	// Nil tracer serves the empty document.
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), `"traces": []`) {
+		t.Fatalf("nil handler: status=%d body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	tr := New(2, 128)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				ctx := tr.Root("commit", t0, t0)
+				ctx = tr.Record(ctx, "feed", t0, t0)
+				tr.RecordTerminal(ctx, "eject", t0, t0)
+				if i%10 == 0 {
+					tr.Force(ctx.Trace)
+				}
+			}
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if len(tr.Spans()) != 128 {
+		t.Fatalf("ring size = %d", len(tr.Spans()))
+	}
+}

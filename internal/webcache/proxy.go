@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/httpx"
+	"repro/internal/trace"
 )
 
 // Header names shared with the application server. Kept as local constants
@@ -23,6 +24,13 @@ const (
 	// newline-separated, so one round trip invalidates a whole batch.
 	batchHeader = "X-Cacheportal-Batch"
 )
+
+// TraceHeader carries pipeline trace contexts on an eject request
+// ("trace:span,trace:span", trace.FormatContexts): the invalidator lists
+// the update contexts behind the batch, and this cache records the
+// terminal webcache.eject span for each — the last hop of the
+// commit-to-eject chain, in the cache's own tracer.
+const TraceHeader = "X-Cacheportal-Trace"
 
 // Proxy is the caching reverse proxy. It forwards misses to Origin,
 // stores responses whose Cache-Control carries owner="cacheportal", and
@@ -47,6 +55,10 @@ type Proxy struct {
 	// changed, yet still serves stale content for up to MaxAge. Zero means
 	// entries live until invalidated (the CachePortal model).
 	MaxAge time.Duration
+
+	// Tracer, when set, closes pipeline traces: an eject request carrying
+	// TraceHeader gets a terminal webcache.eject span per listed context.
+	Tracer *trace.Tracer
 }
 
 // NewProxy creates a proxy in front of origin.
@@ -115,8 +127,11 @@ const ClearHeader = "X-Cacheportal-Clear"
 
 // serveEject removes the page named by the X-Cacheportal-Key header (or the
 // request URL when absent) and reports the outcome. Batched ejects carry
-// X-Cacheportal-Batch and list one key per line in the request body.
+// X-Cacheportal-Batch and list one key per line in the request body; a
+// TraceHeader closes the listed pipeline traces with terminal
+// webcache.eject spans.
 func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
+	ejectStart := time.Now()
 	key := r.Header.Get(keyHeader)
 	removed := 0
 	switch {
@@ -144,6 +159,13 @@ func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
 		removed = p.Cache.InvalidateServlet(r.Header.Get(servletHeader))
 	default:
 		removed = p.Cache.InvalidatePrefix(cacheKeyForRequest(r))
+	}
+	if hdr := r.Header.Get(TraceHeader); hdr != "" && p.Tracer != nil {
+		end := time.Now()
+		for _, ctx := range trace.ParseContexts(hdr) {
+			p.Tracer.RecordTerminal(ctx, "webcache.eject", ejectStart, end,
+				trace.Attr{K: "removed", V: fmt.Sprint(removed)})
+		}
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
@@ -269,6 +291,13 @@ func Eject(client *http.Client, cacheURL, key string) error {
 // carrying the eject directive, the batch marker header, and one key per
 // line in the body. The remote answers "ejected N" like single ejects.
 func EjectKeys(client *http.Client, cacheURL string, keys []string) error {
+	return EjectKeysTraced(client, cacheURL, keys, "")
+}
+
+// EjectKeysTraced is EjectKeys with a pipeline-trace header: traceHdr (a
+// trace.FormatContexts value, "" for none) rides the request so the remote
+// cache closes the listed traces with terminal webcache.eject spans.
+func EjectKeysTraced(client *http.Client, cacheURL string, keys []string, traceHdr string) error {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -280,6 +309,9 @@ func EjectKeys(client *http.Client, cacheURL string, keys []string) error {
 	req.Header.Set("Cache-Control", "eject")
 	req.Header.Set(batchHeader, "1")
 	req.Header.Set("Content-Type", "text/plain; charset=utf-8")
+	if traceHdr != "" {
+		req.Header.Set(TraceHeader, traceHdr)
+	}
 	resp, err := httpx.Client(client).Do(req)
 	if err != nil {
 		return err

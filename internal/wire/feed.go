@@ -9,6 +9,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // DefaultFeedBuffer bounds how many update records a LogFeed holds between
@@ -50,6 +51,8 @@ type LogFeed struct {
 	resubscribes atomic.Int64
 	delivered    atomic.Int64
 	bursts       atomic.Int64 // frames that carried records
+
+	tracer atomic.Pointer[trace.Tracer]
 }
 
 // NewLogFeed starts streaming the server's update log from cursor on c, which
@@ -128,10 +131,20 @@ func (f *LogFeed) deliver(resp Response) {
 	if f.closed {
 		return
 	}
+	tr := f.tracer.Load()
+	now := time.Now()
 	for _, r := range resp.Records {
 		rec := DecodeRecord(r)
 		if rec.LSN >= f.next {
 			f.recs = append(f.recs, rec)
+			// feed.deliver: commit to stream delivery on this consumer —
+			// the wire hop of the trace, parented on the commit span.
+			if tr.Recording(rec.Trace) {
+				ctx := tr.Record(trace.Context{Trace: rec.Trace, Span: rec.Span},
+					"feed.deliver", rec.Time, now)
+				rec.Trace, rec.Span = ctx.Trace, ctx.Span
+				f.recs[len(f.recs)-1] = rec
+			}
 		}
 	}
 	f.truncated = f.truncated || resp.Truncated
@@ -241,6 +254,12 @@ func (f *LogFeed) Bursts() int64 { return f.bursts.Load() }
 // Fallback reports whether the feed degraded to LogSince polling because the
 // server does not speak SUBSCRIBE_LOG.
 func (f *LogFeed) Fallback() bool { return f.unsupported.Load() }
+
+// SetTracer attaches a pipeline tracer: each sampled record delivered by
+// the stream gets a "feed.deliver" span (commit time → delivery time) and
+// the record's context is advanced to it, so invalidator spans parent on
+// the feed hop. nil detaches.
+func (f *LogFeed) SetTracer(t *trace.Tracer) { f.tracer.Store(t) }
 
 // Instrument registers the feed's health under "<prefix>.": buffer occupancy
 // (records waiting for the next pull), records and record-bearing frames

@@ -48,7 +48,9 @@ type Request struct {
 	Args []WireValue `json:"args,omitempty"`
 }
 
-// LogRecord is the wire form of an engine.UpdateRecord.
+// LogRecord is the wire form of an engine.UpdateRecord. Trace/Span carry
+// the commit's pipeline-trace context in-band (omitted when zero, so
+// untraced deployments and old peers see identical frames).
 type LogRecord struct {
 	LSN     int64       `json:"lsn"`
 	TimeNS  int64       `json:"time_ns"`
@@ -56,6 +58,8 @@ type LogRecord struct {
 	Op      string      `json:"op"` // "INSERT" or "DELETE"
 	Columns []string    `json:"columns"`
 	Row     []WireValue `json:"row"`
+	Trace   int64       `json:"trace,omitempty"`
+	Span    int64       `json:"span,omitempty"`
 }
 
 // WireValue is the wire form of a mem.Value.
@@ -148,6 +152,8 @@ func EncodeRecord(r engine.UpdateRecord) LogRecord {
 		Op:      r.Op.String(),
 		Columns: r.Columns,
 		Row:     EncodeRow(r.Row),
+		Trace:   r.Trace,
+		Span:    r.Span,
 	}
 }
 
@@ -164,5 +170,7 @@ func DecodeRecord(r LogRecord) engine.UpdateRecord {
 		Op:      op,
 		Columns: r.Columns,
 		Row:     DecodeRow(r.Row),
+		Trace:   r.Trace,
+		Span:    r.Span,
 	}
 }

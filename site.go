@@ -14,6 +14,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/invalidator"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/webcache"
 	"repro/internal/wire"
 )
@@ -81,6 +82,13 @@ type SiteConfig struct {
 	// (delay, error, drop, black-hole) — never corrupted data — so the
 	// site must stay correct, just slower to converge.
 	Chaos *faults.Injector
+	// Tracer, when set, threads end-to-end pipeline tracing through every
+	// hop: commits stamp trace contexts into the update log
+	// (engine.commit), the feed advances them across the wire
+	// (feed.deliver), the invalidator records the cycle phases and the
+	// eject closes the trace in the cache (webcache.eject). nil = tracing
+	// off; the commit path then pays one atomic load.
+	Tracer *trace.Tracer
 }
 
 // Site is a running Configuration III deployment: DBMS over TCP, servlet
@@ -110,6 +118,9 @@ type Site struct {
 	// allocated by NewSite). Serve it with obs.MetricsHandler, or snapshot
 	// it directly.
 	Obs *obs.Registry
+	// Tracer is the pipeline tracer from SiteConfig (nil when tracing is
+	// off). Serve it with trace.Handler, or read Traces() directly.
+	Tracer *trace.Tracer
 
 	feed      *wire.LogFeed
 	appHTTP   []*http.Server
@@ -144,7 +155,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		cfg.Obs = obs.NewRegistry()
 	}
 
-	s := &Site{Obs: cfg.Obs}
+	s := &Site{Obs: cfg.Obs, Tracer: cfg.Tracer}
 	ok := false
 	defer func() {
 		if !ok {
@@ -152,11 +163,13 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 	}()
 
-	// Database server.
+	// Database server. The tracer attaches after the schema script runs so
+	// seed records don't open traces nobody will ever finish.
 	s.DB = engine.NewDatabase()
 	if _, err := s.DB.ExecScript(cfg.Schema); err != nil {
 		return nil, fmt.Errorf("cacheportal: schema: %w", err)
 	}
+	s.DB.SetTracer(cfg.Tracer)
 	s.DBServer = wire.NewServer(s.DB)
 	s.DBServer.Instrument(cfg.Obs, "dbserver")
 	addr, err := s.DBServer.Listen("127.0.0.1:0")
@@ -226,6 +239,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	s.Cache = webcache.NewCache(cfg.CacheCapacity)
 	s.Cache.Instrument(cfg.Obs, "webcache")
 	s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
+	s.Proxy.Tracer = cfg.Tracer
 	s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -247,6 +261,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 		s.feed = wire.NewLogFeed(feedClient, 1, cfg.FeedBuffer)
 		s.feed.Instrument(cfg.Obs, "feed")
+		s.feed.SetTracer(cfg.Tracer)
 		puller = s.feed
 		notifier = s.feed
 	} else {
@@ -280,7 +295,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 		poller = invalidator.NewConcurrentPoller(conns...)
 	}
-	var ejector invalidator.Ejector = invalidator.CacheEjector{Cache: s.Cache}
+	var ejector invalidator.Ejector = invalidator.CacheEjector{Cache: s.Cache, Tracer: cfg.Tracer}
 	if cfg.Chaos != nil {
 		cfg.Chaos.Instrument(cfg.Obs, "")
 		puller = faults.Puller{Next: puller, Inj: cfg.Chaos}
@@ -302,6 +317,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		MinEventGap: cfg.MinEventGap,
 		UseFeeds:    cfg.Feed,
 		FeedBuffer:  cfg.FeedBuffer,
+		Tracer:      cfg.Tracer,
 
 		DisablePredIndex: cfg.DisablePredIndex,
 	})

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // benchStalenessSite builds the car site used by BenchmarkCommitToEject with
@@ -13,9 +15,10 @@ import (
 // uniform over the interval plus cycle time. In feed mode the interval is
 // merely the fallback and the update stream fires the cycle, so staleness
 // collapses to the coalescing gap plus cycle time.
-func benchStalenessSite(b *testing.B, feed bool) *Site {
+func benchStalenessSite(b *testing.B, feed bool, tracer *trace.Tracer) *Site {
 	b.Helper()
 	site, err := NewSite(SiteConfig{
+		Tracer: tracer,
 		Schema: `
 			CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
 			CREATE TABLE Mileage (model TEXT, EPA INT);
@@ -71,14 +74,23 @@ func benchStalenessSite(b *testing.B, feed bool) *Site {
 // interval that pull mode is bound by.
 func BenchmarkCommitToEject(b *testing.B) {
 	for _, mode := range []struct {
-		name string
-		feed bool
+		name   string
+		feed   bool
+		traced bool
 	}{
-		{"interval", false},
-		{"feed", true},
+		{"interval", false, false},
+		{"feed", true, false},
+		// Tracing's worst case: every trace head-sampled, spans on every hop.
+		// The acceptance bar is p95 staleness within 5% of the untraced feed
+		// run (benchjson computes the ratio as "trace_overhead").
+		{"feed-traced", true, true},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
-			site := benchStalenessSite(b, mode.feed)
+			var tracer *trace.Tracer
+			if mode.traced {
+				tracer = trace.New(1, trace.DefaultBuffer)
+			}
+			site := benchStalenessSite(b, mode.feed, tracer)
 			url := site.CacheURL + "/under?price=20000"
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

@@ -1,0 +1,262 @@
+package cacheportal
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/invalidator"
+	"repro/internal/obs"
+	"repro/internal/sniffer"
+	"repro/internal/trace"
+	"repro/internal/webcache"
+)
+
+// TestTraceSmoke is the Figure-7 smoke test for end-to-end tracing: a feed-
+// mode site with every trace sampled, a handful of commit→evict rounds, and
+// the assertion that each committed update produced a complete span chain —
+// engine.commit root, feed.deliver wire hop, the invalidator's phase spans,
+// and a terminal webcache.eject whose parent chain walks back to the commit.
+// `make trace-smoke` runs exactly this test.
+func TestTraceSmoke(t *testing.T) {
+	tracer := trace.New(1, 8192) // sample everything
+	site, err := NewSite(SiteConfig{
+		Schema: `
+			CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);
+			CREATE TABLE Mileage (model TEXT, EPA INT);
+			INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000), ('BMW', 'M3', 70000);
+			INSERT INTO Mileage VALUES ('Corolla', 33), ('M3', 19);
+		`,
+		Servlets: []ServletDef{demoServletUnder()},
+		Interval: 50 * time.Millisecond,
+		Feed:     true,
+		Rules:    []Rule{{Servlet: "under", Action: AlwaysCache}},
+		Tracer:   tracer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer site.Close()
+
+	const rounds = 5
+	url := site.CacheURL + "/under?price=20000"
+	for i := 0; i < rounds; i++ {
+		_, _, key := fetch(t, url)
+		if key == "" {
+			t.Fatalf("round %d: no cache key", i)
+		}
+		if err := site.Exec(fmt.Sprintf(
+			"INSERT INTO Car VALUES ('Smoke%d', 'Corolla', 17000)", i)); err != nil {
+			t.Fatal(err)
+		}
+		if !site.WaitForInvalidation(key, 10*time.Second) {
+			t.Fatalf("round %d: page %s never invalidated", i, key)
+		}
+	}
+
+	complete := 0
+	for _, sum := range tracer.Traces() {
+		if !sum.Complete {
+			continue
+		}
+		complete++
+		spans := tracer.TraceSpans(sum.Trace)
+		byID := make(map[int64]trace.Span, len(spans))
+		names := make(map[string]int, len(spans))
+		var terminal trace.Span
+		for _, s := range spans {
+			byID[s.ID] = s
+			names[s.Name]++
+			if s.Terminal {
+				terminal = s
+			}
+		}
+		for _, want := range []string{
+			"engine.commit", "feed.deliver",
+			"invalidator.pull", "invalidator.analyze", "invalidator.eject",
+			"webcache.eject",
+		} {
+			if names[want] == 0 {
+				t.Fatalf("trace %d: no %s span (spans: %v)", sum.Trace, want, names)
+			}
+		}
+		// The terminal eject's parent chain must reach the commit root.
+		seen := 0
+		s := terminal
+		for s.Parent != 0 {
+			parent, ok := byID[s.Parent]
+			if !ok {
+				t.Fatalf("trace %d: span %s has dangling parent %d", sum.Trace, s.Name, s.Parent)
+			}
+			s = parent
+			if seen++; seen > len(spans) {
+				t.Fatalf("trace %d: parent cycle", sum.Trace)
+			}
+		}
+		if s.Name != "engine.commit" {
+			t.Fatalf("trace %d: terminal chain roots at %q, want engine.commit", sum.Trace, s.Name)
+		}
+	}
+	// Every round committed one update, so at least that many traces must
+	// have run root-to-eject. (Warm-up fetches may have produced more.)
+	if complete < rounds {
+		t.Fatalf("%d complete traces, want >= %d", complete, rounds)
+	}
+
+	// The /debug/trace surface over the same tracer: list, slow filter, and
+	// by-id lookup must all serve the traces just recorded.
+	ts := httptest.NewServer(trace.Handler(site.Tracer))
+	defer ts.Close()
+	var list struct {
+		Stats  trace.Stats     `json:"stats"`
+		Traces []trace.Summary `json:"traces"`
+	}
+	getJSON(t, ts.URL+"/?min_ms=0", &list)
+	if len(list.Traces) == 0 || list.Stats.Recorded == 0 {
+		t.Fatalf("/debug/trace served nothing: %+v", list)
+	}
+	var one struct {
+		Trace int64        `json:"trace"`
+		Spans []trace.Span `json:"spans"`
+	}
+	getJSON(t, fmt.Sprintf("%s/?trace=%d", ts.URL, list.Traces[0].Trace), &one)
+	if one.Trace != list.Traces[0].Trace || len(one.Spans) == 0 {
+		t.Fatalf("trace lookup: %+v", one)
+	}
+}
+
+// demoServletUnder is the join servlet the staleness benchmark uses, shared
+// here so the smoke test exercises the same analyze/poll path.
+func demoServletUnder() ServletDef {
+	return ServletDef{
+		Meta: Meta{Name: "under", Keys: KeySpec{Get: []string{"price"}}},
+		Handler: func(ctx *Context) (*Page, error) {
+			lease, err := ctx.Lease("db")
+			if err != nil {
+				return nil, err
+			}
+			defer lease.Release()
+			res, err := lease.Query(
+				"SELECT Car.maker, Car.model, Car.price, Mileage.EPA FROM Car, Mileage " +
+					"WHERE Car.model = Mileage.model AND Car.price < " + ctx.Param("price"))
+			if err != nil {
+				return nil, err
+			}
+			body := ""
+			for _, r := range res.Rows {
+				body += fmt.Sprint(r[1]) + "\n"
+			}
+			return &Page{Body: []byte(body)}, nil
+		},
+	}
+}
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(into); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+// TestTraceChaosExemplar drives the forced-sample hook with scripted chaos:
+// head sampling is set so high that no trace would normally record, then an
+// ejector that fails three consecutive cycles pushes one page through
+// retry → retry → circuit breaker → bulk flush. The eject failure must
+// force-sample the page's trace, so the staleness histogram's worst
+// exemplar points at a trace whose spans tell the whole outlier story —
+// the retries and the breaker — even though the commit-time decision was
+// "skip".
+func TestTraceChaosExemplar(t *testing.T) {
+	tracer := trace.New(1<<30, 4096) // nothing head-sampled: only Force records
+	reg := obs.NewRegistry()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(
+		"CREATE TABLE Car (maker TEXT, model TEXT, price FLOAT);"); err != nil {
+		t.Fatal(err)
+	}
+	db.SetTracer(tracer)
+
+	cache := webcache.NewCache(0)
+	cache.Put(&webcache.Entry{Key: "k"})
+	inj := faults.New(faults.Config{Seed: 1})
+	inj.Disable() // scripted faults only
+	m := sniffer.NewQIURLMap()
+	inv := invalidator.New(invalidator.Config{
+		Map:    m,
+		Puller: invalidator.EngineLogPuller{Log: db.Log()},
+		Ejector: faults.Ejector{
+			Next: invalidator.CacheEjector{Cache: cache, Tracer: tracer},
+			Inj:  inj,
+		},
+		Obs:    reg,
+		Tracer: tracer,
+	})
+	m.Record("k", "s", 1, []sniffer.QueryInstance{{SQL: "SELECT * FROM Car WHERE price < 15500"}})
+	if _, err := inv.Cycle(); err != nil { // ingest the mapping
+		t.Fatal(err)
+	}
+
+	// The stale-making commit. Its trace is allocated but not sampled.
+	if _, err := db.ExecSQL("INSERT INTO Car VALUES ('Toyota', 'Corolla', 15000)"); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 1; cycle <= invalidator.DefaultBreakerThreshold; cycle++ {
+		inj.FailNext(faults.Error)
+		rep, err := inv.Cycle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.EjectErr == nil {
+			t.Fatalf("cycle %d: scripted eject fault did not fire", cycle)
+		}
+	}
+	// Breaker tripped on the last cycle and the (unscripted) bulk flush
+	// landed: the page is finished and its staleness sample recorded.
+	if cache.Len() != 0 {
+		t.Fatal("breaker did not flush the cache")
+	}
+	if got := reg.Counter("invalidator.breaker_trips_total").Value(); got != 1 {
+		t.Fatalf("breaker_trips_total = %d, want 1", got)
+	}
+	if tracer.Stats().Forced == 0 {
+		t.Fatal("eject failure did not force-sample the trace")
+	}
+
+	ex := reg.Histogram("invalidator.staleness_seconds").Snapshot().WorstExemplar()
+	if ex.Trace == 0 {
+		t.Fatal("staleness histogram kept no traced exemplar")
+	}
+	spans := tracer.TraceSpans(ex.Trace)
+	names := make(map[string]int, len(spans))
+	for _, s := range spans {
+		names[s.Name]++
+	}
+	if names["invalidator.retry"] < 2 {
+		t.Fatalf("exemplar trace: %d retry spans, want >= 2 (spans: %v)", names["invalidator.retry"], names)
+	}
+	if names["invalidator.breaker"] != 1 {
+		t.Fatalf("exemplar trace: %d breaker spans, want 1 (spans: %v)", names["invalidator.breaker"], names)
+	}
+	if names["webcache.flush"] != 1 {
+		t.Fatalf("exemplar trace: no terminal flush span (spans: %v)", names)
+	}
+	// The head decision really was "skip": the commit span was never
+	// recorded, only the post-failure spans — exactly the forced-sample
+	// contract.
+	if names["engine.commit"] != 0 {
+		t.Fatalf("head-sampled-out trace has a commit span (spans: %v)", names)
+	}
+}
