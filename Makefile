@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry trace-smoke fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry bench-wire trace-smoke fuzz clean
 
 all: build test
 
@@ -65,6 +65,17 @@ bench-registry:
 	$(GO) test -run xxx -bench 'BenchmarkRegistryScale|BenchmarkRegistryEnumeration' -benchtime 5x -benchmem -timeout 60m . ./internal/invalidator/ \
 		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
 
+# Wire codec and poll-index comparison, merged into BENCH_invalidator.json.
+# Three acceptance checks: BenchmarkWireLogSince codec=binary must beat
+# codec=json on the 256-record LogSince hot path, BenchmarkHighFanoutPoll
+# mode=indexed must beat mode=scan at 100k rows, and BenchmarkCommitToEject
+# feed (binary) p95-staleness-ms must come in at or below feed-json.
+bench-wire:
+	$(GO) test -run xxx -bench 'BenchmarkWireLogSince|BenchmarkCommitToEject' -benchtime 2s . ./internal/wire/ \
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+	$(GO) test -run xxx -bench BenchmarkHighFanoutPoll -benchtime 2s ./internal/engine/ \
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+
 # End-to-end tracing smoke under the race detector: the trace package's own
 # suite, then the pipeline assertions — every committed update on a live
 # feed-mode site must yield a complete engine.commit→…→webcache.eject span
@@ -75,11 +86,14 @@ trace-smoke:
 	$(GO) test -race ./internal/trace/
 	$(GO) test -race -run 'TestTraceSmoke|TestTraceChaosExemplar|TestHTTPEjectorPropagatesTraceContexts' -v . ./internal/invalidator/
 
-# Coverage-guided fuzzing of the SQL parser/printer round-trip. FUZZTIME
-# bounds each target (CI smoke uses 30s; leave it running longer locally).
+# Coverage-guided fuzzing: the SQL parser/printer round-trip and the binary
+# wire codec (encode/decode identity plus JSON cross-codec agreement).
+# FUZZTIME bounds each target (CI smoke uses 30s; leave it running longer
+# locally). `go test -fuzz` takes one target per invocation, hence two lines.
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/sqlparser/ -fuzz FuzzParseRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/wire/ -fuzz FuzzBinaryCodecRoundTrip -fuzztime $(FUZZTIME)
 
 clean:
 	$(GO) clean ./...

@@ -3,11 +3,11 @@ package main
 import (
 	"fmt"
 	"io"
-	"net/http"
 	"time"
 
 	"repro/internal/demoapp"
 	"repro/internal/faults"
+	"repro/internal/httpx"
 
 	cacheportal "repro"
 )
@@ -52,7 +52,7 @@ func runChaos(rounds int, p chaosParams) error {
 	defer site.Close()
 
 	get := func(url string) (key string, err error) {
-		resp, err := http.Get(url)
+		resp, err := httpx.Default().Get(url)
 		if err != nil {
 			return "", err
 		}

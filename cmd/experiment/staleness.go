@@ -4,11 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"time"
 
 	"repro/internal/demoapp"
+	"repro/internal/httpx"
 	"repro/internal/obs"
 
 	cacheportal "repro"
@@ -49,7 +49,7 @@ func runStaleness(rounds int, obsOut string) error {
 	defer site.Close()
 
 	get := func(url string) (key string, err error) {
-		resp, err := http.Get(url)
+		resp, err := httpx.Default().Get(url)
 		if err != nil {
 			return "", err
 		}

@@ -47,6 +47,7 @@ func main() {
 	feedBuffer := flag.Int("feed-buffer", 0, "update-log stream buffer in records (0 = default)")
 	minEventGap := flag.Duration("min-event-gap", 0, "burst-coalescing window for event-driven cycles (0 = default)")
 	predIdx := flag.Bool("pred-index", true, "probe the predicate index for candidate query instances instead of scanning the registry (same invalidations either way)")
+	wireBinary := flag.Bool("wire-binary", true, "offer the binary wire framing on DB connections (an old server declines harmlessly; false = JSON only)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
@@ -67,6 +68,7 @@ func main() {
 	}
 	defer logClient.Close()
 	logClient.Timeout = *dbTimeout
+	logClient.Binary = *wireBinary
 	var puller invalidator.LogPuller = invalidator.WireLogPuller{Client: logClient}
 	var notifier invalidator.LogNotifier
 	var logFeed *wire.LogFeed
@@ -78,6 +80,7 @@ func main() {
 			log.Fatalf("invalidatord: update log stream: %v", err)
 		}
 		feedClient.Timeout = *dbTimeout
+		feedClient.Binary = *wireBinary
 		logFeed = wire.NewLogFeed(feedClient, 1, *feedBuffer)
 		defer logFeed.Close()
 		logFeed.SetTracer(tracer)
@@ -93,7 +96,7 @@ func main() {
 	}
 	conns := make([]invalidator.Poller, 0, *pollConns)
 	for i := 0; i < *pollConns; i++ {
-		c, err := driver.NetDriver{}.Connect(*dbAddr)
+		c, err := driver.NetDriver{DisableBinary: !*wireBinary}.Connect(*dbAddr)
 		if err != nil {
 			log.Fatalf("invalidatord: polling connection: %v", err)
 		}

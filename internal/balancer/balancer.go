@@ -32,7 +32,8 @@ type backend struct {
 
 // Balancer is an http.Handler proxying to a set of backends.
 type Balancer struct {
-	// Client performs backend requests; http.DefaultClient when nil.
+	// Client performs backend requests; httpx.Default() (the shared pooled
+	// client with sane timeouts) when nil.
 	Client *http.Client
 	// Policy selects backends; RoundRobin by default.
 	Policy Policy

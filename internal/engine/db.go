@@ -31,6 +31,14 @@ type Database struct {
 	triggers triggerSet
 	stmts    *stmtCache
 	tracer   atomic.Pointer[trace.Tracer]
+
+	// Auto-indexing state (see index.go). Probe counters are atomics
+	// because SELECTs run concurrently under the read lock.
+	autoIndex   atomic.Bool
+	autoHash    atomic.Int64
+	autoOrdered atomic.Int64
+	hashProbes  atomic.Int64
+	rangeProbes atomic.Int64
 }
 
 // NewDatabase creates an empty database with a default-capacity update log.

@@ -1,0 +1,67 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/sqlparser"
+)
+
+// BenchmarkHighFanoutPoll measures the invalidator's poll shape — the same
+// prepared template executed across many bound instances — against a large
+// table, with and without auto-indexing. This is the high-fanout case of
+// §4.2: one update can make thousands of polling queries run, so the cost of
+// each poll dominates invalidation latency.
+func BenchmarkHighFanoutPoll(b *testing.B) {
+	rows := 100_000
+	if testing.Short() {
+		rows = 2_000
+	}
+	setup := func(b *testing.B, auto bool) *Database {
+		db := NewDatabase()
+		db.SetAutoIndex(auto)
+		if _, err := db.ExecSQL("CREATE TABLE item (id INT PRIMARY KEY, cat INT, price FLOAT)"); err != nil {
+			b.Fatal(err)
+		}
+		t := db.Table("item")
+		for i := 0; i < rows; i++ {
+			if _, err := t.Insert(mem.Row{mem.Int(int64(i)), mem.Int(int64(i % 1000)), mem.Float(float64(i % 5000))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return db
+	}
+	templates := []struct {
+		name string
+		sql  string
+		arg  func(i int) mem.Value
+	}{
+		{"eq", "SELECT id FROM item WHERE cat = $1", func(i int) mem.Value { return mem.Int(int64(i % 1000)) }},
+		{"range", "SELECT id FROM item WHERE price < $1", func(i int) mem.Value { return mem.Float(float64(i%50) + 1) }},
+	}
+	for _, mode := range []string{"scan", "indexed"} {
+		for _, tc := range templates {
+			b.Run(fmt.Sprintf("mode=%s/pred=%s", mode, tc.name), func(b *testing.B) {
+				db := setup(b, mode == "indexed")
+				stmt, err := sqlparser.Parse(tc.sql)
+				if err != nil {
+					b.Fatal(err)
+				}
+				key := "poll:" + tc.sql
+				// Prime so template interning and auto-index creation happen
+				// outside the timed region, as they do in a long-lived server.
+				if _, err := db.ExecTemplate(key, stmt, []mem.Value{tc.arg(0)}); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := db.ExecTemplate(key, stmt, []mem.Value{tc.arg(i)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -38,6 +38,10 @@ type StmtTemplate struct {
 	Stmt sqlparser.Stmt
 	// Params is the total number of placeholder slots in Stmt.
 	Params int
+
+	// indexed latches the once-per-template auto-index analysis (index.go);
+	// it is the only mutable part of a template.
+	indexed atomic.Bool
 }
 
 // PreparedStmt is a statement compiled once and executable many times with
@@ -175,6 +179,7 @@ func (db *Database) ExecTemplate(key string, tmpl sqlparser.Stmt, args []mem.Val
 	if err != nil {
 		return nil, err
 	}
+	db.maybeAutoIndex(t)
 	if len(args) != t.Params {
 		return nil, fmt.Errorf("engine: template %q wants %d args, got %d", key, t.Params, len(args))
 	}
@@ -210,6 +215,7 @@ func (db *Database) prepareParsed(stmt sqlparser.Stmt) (*PreparedStmt, error) {
 	if err != nil {
 		return nil, err
 	}
+	db.maybeAutoIndex(tmpl)
 	numArgs := 0
 	for _, e := range lits {
 		if e == nil {

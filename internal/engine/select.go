@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -175,6 +176,68 @@ func (db *Database) execSelect(s *sqlparser.SelectStmt) (*Result, error) {
 		return nil
 	}
 
+	// findRangeProbe finds "col < expr" (and <=, >, >=, in either operand
+	// order) predicates usable as an ordered-index range probe at the given
+	// level, under the same resolvability rules as findProbe. The returned
+	// op is normalized to "col op expr".
+	type rangeProbe struct {
+		column string
+		expr   sqlparser.Expr
+		op     sqlparser.BinaryOp
+	}
+	findRangeProbe := func(lvl int) *rangeProbe {
+		src := sources[lvl]
+		selfEnv := Env{}.Bind(src.ref.EffectiveName(), src.table.Schema, nil)
+		earlierOnly := func(e sqlparser.Expr) bool {
+			for _, c := range sqlparser.ColumnsReferenced(e) {
+				resolvedEarlier := false
+				for i := 0; i < lvl; i++ {
+					env := Env{}.Bind(sources[i].ref.EffectiveName(), sources[i].table.Schema, nil)
+					if env.HasColumn(c) {
+						resolvedEarlier = true
+						break
+					}
+				}
+				if !resolvedEarlier {
+					return false
+				}
+			}
+			return true
+		}
+		for _, e := range predsAt[lvl] {
+			b, ok := stripParens(e).(*sqlparser.BinaryExpr)
+			if !ok {
+				continue
+			}
+			switch b.Op {
+			case sqlparser.OpLt, sqlparser.OpLtEq, sqlparser.OpGt, sqlparser.OpGtEq:
+			default:
+				continue
+			}
+			for _, side := range [2]struct {
+				col, other sqlparser.Expr
+				op         sqlparser.BinaryOp
+			}{
+				{b.Left, b.Right, b.Op}, {b.Right, b.Left, mirrorOp(b.Op)},
+			} {
+				c, ok := stripParens(side.col).(*sqlparser.ColumnRef)
+				if !ok || !selfEnv.HasColumn(c) {
+					continue
+				}
+				if c.Table != "" && !strings.EqualFold(c.Table, src.ref.EffectiveName()) {
+					continue
+				}
+				if !src.table.HasOrderedIndex(c.Column) {
+					continue
+				}
+				if earlierOnly(side.other) {
+					return &rangeProbe{column: c.Column, expr: side.other, op: side.op}
+				}
+			}
+		}
+		return nil
+	}
+
 	// Recursive nested-loop join producing one Env per result tuple.
 	var out []Env
 	var enumerate func(lvl int, env Env) error
@@ -280,13 +343,34 @@ func (db *Database) execSelect(s *sqlparser.SelectStmt) (*Result, error) {
 			return nil
 		}
 
-		// Hash-index probe when an equality predicate allows it.
-		if pr := findProbe(lvl); pr != nil {
-			v, err := Eval(pr.expr, env)
-			if err != nil {
-				return err
-			}
-			ids, _ := src.table.IndexLookup(pr.column, v)
+		// The default path and the fallback for every probe that cannot
+		// answer exactly: nested-loop scan.
+		scan := func() error {
+			var innerErr error
+			src.table.Scan(func(_ int64, r mem.Row) bool {
+				match, rowEnv, err := matchRow(r)
+				if err != nil {
+					innerErr = err
+					return false
+				}
+				if match {
+					if err := enumerate(lvl+1, rowEnv); err != nil {
+						innerErr = err
+						return false
+					}
+				}
+				return true
+			})
+			return innerErr
+		}
+
+		// walkIDs runs the probed row set through the residual predicates.
+		// IDs are visited ascending — insertion order, what the scan yields —
+		// on a copy: hash buckets are unsorted and shared between concurrent
+		// readers.
+		walkIDs := func(ids []int64) error {
+			ids = append([]int64(nil), ids...)
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, id := range ids {
 				r, ok := src.table.Get(id)
 				if !ok {
@@ -305,27 +389,106 @@ func (db *Database) execSelect(s *sqlparser.SelectStmt) (*Result, error) {
 			return nil
 		}
 
-		var innerErr error
-		src.table.Scan(func(_ int64, r mem.Row) bool {
-			match, rowEnv, err := matchRow(r)
+		// Hash-index probe when an equality predicate allows it. A probe
+		// value whose family cannot compare with the column's declared type
+		// defers to the scan, so comparison errors surface identically.
+		if pr := findProbe(lvl); pr != nil {
+			v, err := Eval(pr.expr, env)
 			if err != nil {
-				innerErr = err
-				return false
+				return err
 			}
-			if match {
-				if err := enumerate(lvl+1, rowEnv); err != nil {
-					innerErr = err
-					return false
-				}
+			if !probeCompatible(src.table.Schema, pr.column, v) {
+				return scan()
 			}
-			return true
-		})
-		return innerErr
+			db.hashProbes.Add(1)
+			ids, _ := src.table.IndexLookup(pr.column, v)
+			return walkIDs(ids)
+		}
+
+		// Ordered-index probe for a range predicate. A NULL bound means the
+		// comparison is UNKNOWN for every row — no matches, like the scan.
+		if rp := findRangeProbe(lvl); rp != nil {
+			v, err := Eval(rp.expr, env)
+			if err != nil {
+				return err
+			}
+			if !probeCompatible(src.table.Schema, rp.column, v) {
+				return scan()
+			}
+			if v.IsNull() {
+				return nil
+			}
+			min, max := mem.Value{}, mem.Value{}
+			minIncl, maxIncl := false, false
+			switch rp.op {
+			case sqlparser.OpLt:
+				max = v
+			case sqlparser.OpLtEq:
+				max, maxIncl = v, true
+			case sqlparser.OpGt:
+				min = v
+			case sqlparser.OpGtEq:
+				min, minIncl = v, true
+			}
+			ids, ok := src.table.OrderedRange(rp.column, min, max, minIncl, maxIncl)
+			if !ok {
+				return scan()
+			}
+			db.rangeProbes.Add(1)
+			return walkIDs(ids)
+		}
+
+		return scan()
 	}
 	if err := enumerate(0, Env{}); err != nil {
 		return nil, err
 	}
 	return db.projectRows(s, out)
+}
+
+// mirrorOp flips a comparison so the column reads on the left:
+// `expr < col` becomes `col > expr`.
+func mirrorOp(op sqlparser.BinaryOp) sqlparser.BinaryOp {
+	switch op {
+	case sqlparser.OpLt:
+		return sqlparser.OpGt
+	case sqlparser.OpLtEq:
+		return sqlparser.OpGtEq
+	case sqlparser.OpGt:
+		return sqlparser.OpLt
+	case sqlparser.OpGtEq:
+		return sqlparser.OpLtEq
+	}
+	return op
+}
+
+// probeCompatible reports whether an index probe with value v is equivalent
+// to scanning the column: v's kind family must match the column's declared
+// type (stored values are coerced to it, so same-family comparisons never
+// error). NULL probes are compatible — both paths yield no matches. A
+// mismatched family must take the scan so its comparison error surfaces.
+func probeCompatible(sc *mem.Schema, column string, v mem.Value) bool {
+	if v.IsNull() {
+		return true
+	}
+	ci := sc.ColumnIndex(column)
+	if ci < 0 {
+		return false
+	}
+	if v.Kind == mem.KindFloat && math.IsNaN(v.F) {
+		// mem.Compare treats NaN as equal to everything; only the scan can
+		// honor that.
+		return false
+	}
+	switch sc.Columns[ci].Type {
+	case sqlparser.TypeInt, sqlparser.TypeFloat:
+		return v.Kind == mem.KindInt || v.Kind == mem.KindFloat
+	case sqlparser.TypeString:
+		return v.Kind == mem.KindString
+	case sqlparser.TypeBool:
+		return v.Kind == mem.KindBool
+	}
+	return false
 }
 
 func stripParens(e sqlparser.Expr) sqlparser.Expr {

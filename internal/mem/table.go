@@ -98,7 +98,8 @@ type Table struct {
 	Schema  *Schema
 	rowIDs  []int64
 	rows    map[int64]Row
-	indexes map[string]*HashIndex // lower-cased column name → index
+	indexes map[string]*HashIndex    // lower-cased column name → index
+	ordered map[string]*OrderedIndex // lower-cased column name → ordered index
 	nextID  int64
 }
 
@@ -153,6 +154,9 @@ func (t *Table) Insert(r Row) (int64, error) {
 	for _, idx := range t.indexes {
 		idx.Add(coerced[idx.Col], id)
 	}
+	for _, idx := range t.ordered {
+		idx.Add(coerced[idx.Col], id)
+	}
 	return id, nil
 }
 
@@ -175,6 +179,9 @@ func (t *Table) Delete(ids map[int64]bool) []Row {
 			if r, ok := t.rows[id]; ok {
 				removed = append(removed, r)
 				for _, idx := range t.indexes {
+					idx.Remove(r[idx.Col], id)
+				}
+				for _, idx := range t.ordered {
 					idx.Remove(r[idx.Col], id)
 				}
 				delete(t.rows, id)
@@ -203,6 +210,10 @@ func (t *Table) Replace(id int64, r Row) error {
 		}
 	}
 	for _, idx := range t.indexes {
+		idx.Remove(old[idx.Col], id)
+		idx.Add(r[idx.Col], id)
+	}
+	for _, idx := range t.ordered {
 		idx.Remove(old[idx.Col], id)
 		idx.Add(r[idx.Col], id)
 	}

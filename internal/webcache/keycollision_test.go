@@ -1,0 +1,54 @@
+package webcache
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func keyFor(t *testing.T, target string, cookies ...*http.Cookie) string {
+	t.Helper()
+	r := httptest.NewRequest("GET", target, nil)
+	for _, c := range cookies {
+		r.AddCookie(c)
+	}
+	return cacheKeyForRequest(r)
+}
+
+// Distinct requests must never share a request-derived cache key: a collision
+// serves one page's cached bytes to a different request.
+func TestCacheKeyEscapesComponents(t *testing.T) {
+	cases := [][2]string{
+		// %26 is a literal '&' inside b's value, not a separator.
+		{"http://h/p?a=1&b=2", "http://h/p?a=1%26b=2"},
+		// %3D is a literal '=' inside the value.
+		{"http://h/p?a=1%3Db=2", "http://h/p?a=1&b=2"},
+		// Separator smuggled through a parameter name.
+		{"http://h/p?a%26b=1", "http://h/p?a=1&b=1"},
+	}
+	for _, c := range cases {
+		k0, k1 := keyFor(t, c[0]), keyFor(t, c[1])
+		if k0 == k1 {
+			t.Errorf("requests %q and %q collide on key %q", c[0], c[1], k0)
+		}
+	}
+	// Same query in different parameter order must still share a key.
+	if a, b := keyFor(t, "http://h/p?a=1&b=2"), keyFor(t, "http://h/p?b=2&a=1"); a != b {
+		t.Errorf("parameter order changed the key: %q != %q", a, b)
+	}
+}
+
+func TestCacheKeyEscapesCookies(t *testing.T) {
+	// A ';' in a cookie value must not read as a cookie separator, and a '#'
+	// must not read as the query/cookie section divider.
+	a := keyFor(t, "http://h/p", &http.Cookie{Name: "s", Value: "x;u=admin"})
+	b := keyFor(t, "http://h/p", &http.Cookie{Name: "s", Value: "x"}, &http.Cookie{Name: "u", Value: "admin"})
+	if a == b {
+		t.Errorf("cookie value with ';' collides with two cookies: %q", a)
+	}
+	c := keyFor(t, "http://h/p?q=x%23s=1")
+	d := keyFor(t, "http://h/p?q=x", &http.Cookie{Name: "s", Value: "1"})
+	if c == d {
+		t.Errorf("query value with '#' collides with a cookie: %q", c)
+	}
+}

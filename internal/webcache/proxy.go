@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sort"
 	"strings"
 	"time"
@@ -186,7 +187,7 @@ func cacheKeyForRequest(r *http.Request) string {
 	if cookies := r.Cookies(); len(cookies) > 0 {
 		parts := make([]string, 0, len(cookies))
 		for _, c := range cookies {
-			parts = append(parts, c.Name+"="+c.Value)
+			parts = append(parts, url.QueryEscape(c.Name)+"="+url.QueryEscape(c.Value))
 		}
 		sort.Strings(parts)
 		key += "#" + strings.Join(parts, ";")
@@ -194,6 +195,10 @@ func cacheKeyForRequest(r *http.Request) string {
 	return key
 }
 
+// sortedEncode renders query parameters sorted by name, each component
+// re-escaped. Escaping matters for correctness, not just form: r.URL.Query()
+// unescapes values, so joining them raw would collide ?a=1&b=2 with
+// ?a=1%26b%3D2 — one page's cache entry answering a different request.
 func sortedEncode(q map[string][]string) string {
 	keys := make([]string, 0, len(q))
 	for k := range q {
@@ -203,7 +208,7 @@ func sortedEncode(q map[string][]string) string {
 	vals := make([]string, 0, len(q))
 	for _, k := range keys {
 		for _, v := range q[k] {
-			vals = append(vals, k+"="+v)
+			vals = append(vals, url.QueryEscape(k)+"="+url.QueryEscape(v))
 		}
 	}
 	return strings.Join(vals, "&")

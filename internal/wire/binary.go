@@ -1,0 +1,592 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// Binary framing: after a successful HELLO exchange both sides switch from
+// newline-delimited JSON to length-prefixed binary frames — a 4-byte
+// big-endian payload length followed by the payload. The payload encodes
+// Request/Response field-by-field in a fixed order: varints for integers
+// (zigzag where the field is signed), uvarint-length-prefixed strings, one
+// kind-tag byte per value mirroring WireValue's "n"/"i"/"f"/"s"/"b" kinds.
+//
+// There is deliberately no resynchronization: a corrupt length prefix or a
+// payload that fails to decode leaves the stream position meaningless, so
+// any decode error must drop the connection — exactly the JSON codec's
+// desync rule. Frames are built in and read into pooled buffers, so the
+// steady state (the LogFeed stream in particular) allocates only for the
+// decoded values themselves, not per frame.
+
+// BinaryVersion is the binary-framing protocol version this build speaks.
+// HELLO carries it both ways; version 0 in a response means "JSON only".
+const BinaryVersion = 1
+
+// maxFrame caps a binary frame's payload. A length prefix beyond it is
+// treated as stream corruption, not an allocation request.
+const maxFrame = 64 << 20
+
+// bufPool recycles frame buffers across connections and directions.
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// Op <-> opcode tables. Every Op has a code so the codecs stay total; HELLO
+// itself is only ever sent as JSON (it is what negotiates binary) but keeps
+// a code for uniformity.
+const (
+	opcodeQuery = iota + 1
+	opcodeLogSince
+	opcodePing
+	opcodePrepare
+	opcodeExecute
+	opcodeCloseStmt
+	opcodeSubscribeLog
+	opcodeHello
+)
+
+var opCodes = map[Op]byte{
+	OpQuery:        opcodeQuery,
+	OpLogSince:     opcodeLogSince,
+	OpPing:         opcodePing,
+	OpPrepare:      opcodePrepare,
+	OpExecute:      opcodeExecute,
+	OpCloseStmt:    opcodeCloseStmt,
+	OpSubscribeLog: opcodeSubscribeLog,
+	OpHello:        opcodeHello,
+}
+
+var opNames = func() map[byte]Op {
+	m := make(map[byte]Op, len(opCodes))
+	for op, c := range opCodes {
+		m[c] = op
+	}
+	return m
+}()
+
+// Value kind tags.
+const (
+	tagNull = iota
+	tagInt
+	tagFloat
+	tagString
+	tagBool
+)
+
+// ---- encoding ----
+
+func appendUvarint(b []byte, v uint64) []byte { return binary.AppendUvarint(b, v) }
+func appendVarint(b []byte, v int64) []byte   { return binary.AppendVarint(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendStrings(b []byte, ss []string) []byte {
+	b = appendUvarint(b, uint64(len(ss)))
+	for _, s := range ss {
+		b = appendString(b, s)
+	}
+	return b
+}
+
+func appendWireValue(b []byte, v WireValue) []byte {
+	switch v.K {
+	case "i":
+		b = append(b, tagInt)
+		b = appendVarint(b, v.I)
+	case "f":
+		b = append(b, tagFloat)
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v.F))
+	case "s":
+		b = append(b, tagString)
+		b = appendString(b, v.S)
+	case "b":
+		b = append(b, tagBool)
+		if v.B {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	default:
+		b = append(b, tagNull)
+	}
+	return b
+}
+
+func appendWireRow(b []byte, row []WireValue) []byte {
+	b = appendUvarint(b, uint64(len(row)))
+	for _, v := range row {
+		b = appendWireValue(b, v)
+	}
+	return b
+}
+
+func appendLogRecord(b []byte, r *LogRecord) []byte {
+	b = appendVarint(b, r.LSN)
+	b = appendVarint(b, r.TimeNS)
+	b = appendString(b, r.Table)
+	if r.Op == "DELETE" {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendStrings(b, r.Columns)
+	b = appendWireRow(b, r.Row)
+	b = appendVarint(b, r.Trace)
+	b = appendVarint(b, r.Span)
+	return b
+}
+
+func appendRequest(b []byte, req *Request) ([]byte, error) {
+	code, ok := opCodes[req.Op]
+	if !ok {
+		return b, fmt.Errorf("wire: binary encode: unknown op %q", req.Op)
+	}
+	b = append(b, code)
+	b = appendString(b, req.Query)
+	b = appendVarint(b, req.LSN)
+	b = appendVarint(b, req.StmtID)
+	b = appendUvarint(b, uint64(req.WireVersion))
+	b = appendWireRow(b, req.Args)
+	return b, nil
+}
+
+func appendResponse(b []byte, resp *Response) ([]byte, error) {
+	b = appendString(b, resp.Error)
+	b = appendStrings(b, resp.Columns)
+	b = appendUvarint(b, uint64(len(resp.Rows)))
+	for _, row := range resp.Rows {
+		b = appendWireRow(b, row)
+	}
+	b = appendVarint(b, int64(resp.RowsAffected))
+	b = appendUvarint(b, uint64(len(resp.Records)))
+	for i := range resp.Records {
+		b = appendLogRecord(b, &resp.Records[i])
+	}
+	if resp.Truncated {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = appendVarint(b, resp.NextLSN)
+	b = appendVarint(b, resp.FirstLSN)
+	b = appendVarint(b, resp.StmtID)
+	b = appendVarint(b, int64(resp.NumArgs))
+	b = appendUvarint(b, uint64(resp.WireVersion))
+	return b, nil
+}
+
+// ---- decoding ----
+
+// breader is a cursor over one frame payload. Decoded strings are copied out
+// (the payload buffer returns to the pool when the frame is done).
+type breader struct {
+	b []byte
+}
+
+func (r *breader) u8() (byte, error) {
+	if len(r.b) < 1 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v, nil
+}
+
+func (r *breader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: binary decode: bad uvarint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *breader) varint() (int64, error) {
+	v, n := binary.Varint(r.b)
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: binary decode: bad varint")
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+// count reads an element count and sanity-checks it against the bytes left
+// (every element takes at least one byte), so a corrupt frame cannot demand
+// an enormous allocation before the decode fails.
+func (r *breader) count() (int, error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if v > uint64(len(r.b)) {
+		return 0, fmt.Errorf("wire: binary decode: count %d exceeds frame", v)
+	}
+	return int(v), nil
+}
+
+func (r *breader) str() (string, error) {
+	n, err := r.count()
+	if err != nil {
+		return "", err
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+
+func (r *breader) strings() ([]string, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		if out[i], err = r.str(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *breader) value() (WireValue, error) {
+	tag, err := r.u8()
+	if err != nil {
+		return WireValue{}, err
+	}
+	switch tag {
+	case tagNull:
+		return WireValue{K: "n"}, nil
+	case tagInt:
+		i, err := r.varint()
+		if err != nil {
+			return WireValue{}, err
+		}
+		return WireValue{K: "i", I: i}, nil
+	case tagFloat:
+		if len(r.b) < 8 {
+			return WireValue{}, io.ErrUnexpectedEOF
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+		r.b = r.b[8:]
+		return WireValue{K: "f", F: f}, nil
+	case tagString:
+		s, err := r.str()
+		if err != nil {
+			return WireValue{}, err
+		}
+		return WireValue{K: "s", S: s}, nil
+	case tagBool:
+		v, err := r.u8()
+		if err != nil {
+			return WireValue{}, err
+		}
+		return WireValue{K: "b", B: v != 0}, nil
+	default:
+		return WireValue{}, fmt.Errorf("wire: binary decode: unknown value tag %d", tag)
+	}
+}
+
+func (r *breader) row() ([]WireValue, error) {
+	n, err := r.count()
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]WireValue, n)
+	for i := range out {
+		if out[i], err = r.value(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func (r *breader) record() (LogRecord, error) {
+	var rec LogRecord
+	var err error
+	if rec.LSN, err = r.varint(); err != nil {
+		return rec, err
+	}
+	if rec.TimeNS, err = r.varint(); err != nil {
+		return rec, err
+	}
+	if rec.Table, err = r.str(); err != nil {
+		return rec, err
+	}
+	opb, err := r.u8()
+	if err != nil {
+		return rec, err
+	}
+	if opb == 1 {
+		rec.Op = "DELETE"
+	} else {
+		rec.Op = "INSERT"
+	}
+	if rec.Columns, err = r.strings(); err != nil {
+		return rec, err
+	}
+	if rec.Row, err = r.row(); err != nil {
+		return rec, err
+	}
+	if rec.Trace, err = r.varint(); err != nil {
+		return rec, err
+	}
+	if rec.Span, err = r.varint(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+func parseRequest(b []byte, req *Request) error {
+	r := breader{b: b}
+	code, err := r.u8()
+	if err != nil {
+		return err
+	}
+	op, ok := opNames[code]
+	if !ok {
+		return fmt.Errorf("wire: binary decode: unknown opcode %d", code)
+	}
+	req.Op = op
+	if req.Query, err = r.str(); err != nil {
+		return err
+	}
+	if req.LSN, err = r.varint(); err != nil {
+		return err
+	}
+	if req.StmtID, err = r.varint(); err != nil {
+		return err
+	}
+	wv, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	req.WireVersion = int(wv)
+	if req.Args, err = r.row(); err != nil {
+		return err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: binary decode: %d trailing bytes in request", len(r.b))
+	}
+	return nil
+}
+
+func parseResponse(b []byte, resp *Response) error {
+	r := breader{b: b}
+	var err error
+	if resp.Error, err = r.str(); err != nil {
+		return err
+	}
+	if resp.Columns, err = r.strings(); err != nil {
+		return err
+	}
+	nrows, err := r.count()
+	if err != nil {
+		return err
+	}
+	if nrows > 0 {
+		resp.Rows = make([][]WireValue, nrows)
+		for i := range resp.Rows {
+			if resp.Rows[i], err = r.row(); err != nil {
+				return err
+			}
+		}
+	}
+	ra, err := r.varint()
+	if err != nil {
+		return err
+	}
+	resp.RowsAffected = int(ra)
+	nrecs, err := r.count()
+	if err != nil {
+		return err
+	}
+	if nrecs > 0 {
+		resp.Records = make([]LogRecord, nrecs)
+		for i := range resp.Records {
+			if resp.Records[i], err = r.record(); err != nil {
+				return err
+			}
+		}
+	}
+	tr, err := r.u8()
+	if err != nil {
+		return err
+	}
+	resp.Truncated = tr != 0
+	if resp.NextLSN, err = r.varint(); err != nil {
+		return err
+	}
+	if resp.FirstLSN, err = r.varint(); err != nil {
+		return err
+	}
+	if resp.StmtID, err = r.varint(); err != nil {
+		return err
+	}
+	na, err := r.varint()
+	if err != nil {
+		return err
+	}
+	resp.NumArgs = int(na)
+	wv, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	resp.WireVersion = int(wv)
+	if len(r.b) != 0 {
+		return fmt.Errorf("wire: binary decode: %d trailing bytes in response", len(r.b))
+	}
+	return nil
+}
+
+// ---- framing ----
+
+// binaryCodec frames binary payloads on one connection. Reads go through a
+// bufio.Reader (seeded with whatever the JSON decoder had buffered at
+// upgrade time); writes issue one conn.Write per frame from a pooled buffer.
+type binaryCodec struct {
+	r *bufio.Reader
+	w io.Writer
+}
+
+func newBinaryCodec(r io.Reader, w io.Writer) *binaryCodec {
+	return &binaryCodec{r: bufio.NewReaderSize(r, 32<<10), w: w}
+}
+
+func (c *binaryCodec) writeFrame(fill func([]byte) ([]byte, error)) error {
+	bp := bufPool.Get().(*[]byte)
+	b := append((*bp)[:0], 0, 0, 0, 0)
+	b, err := fill(b)
+	if err == nil {
+		n := len(b) - 4
+		if n > maxFrame {
+			err = fmt.Errorf("wire: frame too large (%d bytes)", n)
+		} else {
+			binary.BigEndian.PutUint32(b[:4], uint32(n))
+			_, err = c.w.Write(b)
+		}
+	}
+	*bp = b
+	bufPool.Put(bp)
+	return err
+}
+
+func (c *binaryCodec) readFrame() (*[]byte, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, nil, fmt.Errorf("wire: frame length %d exceeds limit", n)
+	}
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < int(n) {
+		*bp = make([]byte, n)
+	}
+	buf := (*bp)[:n]
+	if _, err := io.ReadFull(c.r, buf); err != nil {
+		bufPool.Put(bp)
+		return nil, nil, err
+	}
+	return bp, buf, nil
+}
+
+func (c *binaryCodec) writeRequest(req *Request) error {
+	return c.writeFrame(func(b []byte) ([]byte, error) { return appendRequest(b, req) })
+}
+
+func (c *binaryCodec) writeResponse(resp *Response) error {
+	return c.writeFrame(func(b []byte) ([]byte, error) { return appendResponse(b, resp) })
+}
+
+func (c *binaryCodec) readRequest(req *Request) error {
+	bp, buf, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	err = parseRequest(buf, req)
+	bufPool.Put(bp)
+	return err
+}
+
+func (c *binaryCodec) readResponse(resp *Response) error {
+	bp, buf, err := c.readFrame()
+	if err != nil {
+		return err
+	}
+	err = parseResponse(buf, resp)
+	bufPool.Put(bp)
+	return err
+}
+
+// connCodec is the codec state bound to one connection: JSON framing from
+// the first byte, swapped for the binary codec after a successful HELLO.
+// Both sides of the protocol share it — a client reads responses and writes
+// requests; a server does the reverse.
+type connCodec struct {
+	conn net.Conn
+	dec  *json.Decoder
+	enc  *json.Encoder
+	bin  *binaryCodec
+}
+
+func newConnCodec(conn net.Conn) connCodec {
+	return connCodec{conn: conn, dec: json.NewDecoder(conn), enc: json.NewEncoder(conn)}
+}
+
+// upgrade switches the connection to binary framing. Bytes the JSON decoder
+// had already buffered belong to the binary stream now, so they seed the
+// binary reader — minus any leading whitespace, which is the JSON framing's
+// inter-value separator (json.Encoder's trailing newline stays in the peer
+// decoder's buffer after the HELLO frame is decoded).
+func (cc *connCodec) upgrade() {
+	rest, _ := io.ReadAll(cc.dec.Buffered())
+	rest = bytes.TrimLeft(rest, " \t\r\n")
+	cc.bin = newBinaryCodec(io.MultiReader(bytes.NewReader(rest), cc.conn), cc.conn)
+	cc.dec, cc.enc = nil, nil
+}
+
+func (cc *connCodec) binary() bool { return cc.bin != nil }
+
+func (cc *connCodec) writeRequest(req *Request) error {
+	if cc.bin != nil {
+		return cc.bin.writeRequest(req)
+	}
+	return cc.enc.Encode(req)
+}
+
+func (cc *connCodec) readRequest(req *Request) error {
+	if cc.bin != nil {
+		return cc.bin.readRequest(req)
+	}
+	return cc.dec.Decode(req)
+}
+
+func (cc *connCodec) writeResponse(resp *Response) error {
+	if cc.bin != nil {
+		return cc.bin.writeResponse(resp)
+	}
+	return cc.enc.Encode(resp)
+}
+
+func (cc *connCodec) readResponse(resp *Response) error {
+	if cc.bin != nil {
+		return cc.bin.readResponse(resp)
+	}
+	return cc.dec.Decode(resp)
+}

@@ -1,0 +1,326 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mem"
+)
+
+// dialBinary dials addr with binary framing requested.
+func dialBinary(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Binary = true
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// TestBinaryNegotiation covers the happy path: HELLO upgrades the
+// connection, and every op — text query with all value kinds, prepared
+// statements, the update log — works over binary frames.
+func TestBinaryNegotiation(t *testing.T) {
+	s, addr := startServer(t)
+	c := dialBinary(t, addr)
+
+	res, err := c.Query("SELECT 1, 2.5, 'str', TRUE, NULL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.UsingBinary() {
+		t.Fatal("connection did not negotiate binary framing")
+	}
+	if got := s.BinaryConns(); got != 1 {
+		t.Fatalf("BinaryConns = %d, want 1", got)
+	}
+	want := mem.Row{mem.Int(1), mem.Float(2.5), mem.Str("str"), mem.Bool(true), mem.Null()}
+	for i, w := range want {
+		if res.Rows[0][i] != w {
+			t.Errorf("value %d: got %v, want %v", i, res.Rows[0][i], w)
+		}
+	}
+
+	st, err := c.Prepare("SELECT v FROM kv WHERE k = $1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := st.Exec([]mem.Value{mem.Str("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pres.Rows) != 1 || pres.Rows[0][0] != mem.Int(2) {
+		t.Fatalf("prepared rows: %v", pres.Rows)
+	}
+
+	recs, trunc, next, err := c.LogSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trunc || len(recs) != 2 || next != 3 {
+		t.Fatalf("log: recs=%d trunc=%v next=%d", len(recs), trunc, next)
+	}
+}
+
+// TestBinaryEqualsJSON pins codec equivalence end to end: the same op
+// sequence through a binary client and a JSON client must produce deeply
+// equal results.
+func TestBinaryEqualsJSON(t *testing.T) {
+	_, addr := startServer(t)
+	bin := dialBinary(t, addr)
+	jsn, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jsn.Close()
+
+	for _, q := range []string{
+		"SELECT 1, 2.5, 'str', TRUE, NULL",
+		"SELECT * FROM kv WHERE v > 0",
+		"SELECT COUNT(*) FROM kv",
+	} {
+		br, berr := bin.Query(q)
+		jr, jerr := jsn.Query(q)
+		if (berr == nil) != (jerr == nil) {
+			t.Fatalf("%s: binary err %v, json err %v", q, berr, jerr)
+		}
+		if !reflect.DeepEqual(br, jr) {
+			t.Fatalf("%s: binary %+v != json %+v", q, br, jr)
+		}
+	}
+	if !bin.UsingBinary() || jsn.UsingBinary() {
+		t.Fatalf("codec split wrong: bin=%v json=%v", bin.UsingBinary(), jsn.UsingBinary())
+	}
+
+	brecs, btr, bnext, err := bin.LogSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jrecs, jtr, jnext, err := jsn.LogSince(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if btr != jtr || bnext != jnext || !reflect.DeepEqual(brecs, jrecs) {
+		t.Fatalf("log mismatch: binary (%v,%v,%+v) json (%v,%v,%+v)", btr, bnext, brecs, jtr, jnext, jrecs)
+	}
+}
+
+// TestBinaryOldPeerFallback: a server that predates HELLO (simulated by
+// DisableBinary) answers with its unknown-op error; the client must stay on
+// JSON permanently — including across reconnects, without re-offering.
+func TestBinaryOldPeerFallback(t *testing.T) {
+	s, addr := startServer(t)
+	s.DisableBinary = true
+	c := dialBinary(t, addr)
+
+	res, err := c.Query("SELECT v FROM kv WHERE k = 'a'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != mem.Int(1) {
+		t.Fatalf("rows: %v", res.Rows)
+	}
+	if c.UsingBinary() {
+		t.Fatal("negotiated binary against an old peer")
+	}
+	if s.BinaryConns() != 0 {
+		t.Fatalf("BinaryConns = %d, want 0", s.BinaryConns())
+	}
+	c.mu.Lock()
+	sticky := c.jsonOnly
+	c.mu.Unlock()
+	if !sticky {
+		t.Fatal("fallback not sticky")
+	}
+
+	// Sever the connection; the reconnect must not re-offer HELLO.
+	c.mu.Lock()
+	c.conn.Close()
+	c.conn, c.cc = nil, connCodec{}
+	c.mu.Unlock()
+	c.BackoffBase = time.Millisecond
+	time.Sleep(2 * time.Millisecond)
+	if _, err := c.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	offered := c.hello
+	c.mu.Unlock()
+	if offered {
+		t.Fatal("client re-offered HELLO to a known JSON-only server")
+	}
+}
+
+// TestBinaryReconnectRenegotiates: binary framing is per-connection state,
+// so a redial negotiates again.
+func TestBinaryReconnectRenegotiates(t *testing.T) {
+	s, addr := startServer(t)
+	c := dialBinary(t, addr)
+	c.BackoffBase = time.Millisecond
+	if _, err := c.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.mu.Lock()
+	c.conn.Close()
+	c.conn, c.cc = nil, connCodec{}
+	c.mu.Unlock()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := c.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if !c.UsingBinary() {
+		t.Fatal("reconnect did not renegotiate binary")
+	}
+	if got := s.BinaryConns(); got != 2 {
+		t.Fatalf("BinaryConns = %d, want 2", got)
+	}
+}
+
+// TestBinaryFeedStream runs the SUBSCRIBE_LOG stream over binary frames.
+func TestBinaryFeedStream(t *testing.T) {
+	s, addr := startFeedServer(t, 25*time.Millisecond)
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Binary = true
+	f := NewLogFeed(c, 1, 0)
+	defer f.Close()
+
+	if _, err := s.DB.ExecSQL(`INSERT INTO kv VALUES ('a', 1)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.DB.ExecSQL(`INSERT INTO kv VALUES ('b', 2)`); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := pullAll(t, f, 1, 2)
+	if recs[0].Table != "kv" || recs[1].Row[1] != mem.Int(2) {
+		t.Fatalf("records: %+v", recs)
+	}
+	if !c.UsingBinary() {
+		t.Fatal("feed stream did not negotiate binary")
+	}
+}
+
+// startFakeBinaryServer scripts a server that completes the HELLO exchange
+// in JSON and then hands the upgraded connection to serve.
+func startFakeBinaryServer(t *testing.T, serve func(conn net.Conn, bin *binaryCodec)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				dec, enc := json.NewDecoder(conn), json.NewEncoder(conn)
+				var req Request
+				if dec.Decode(&req) != nil || req.Op != OpHello {
+					return
+				}
+				if enc.Encode(Response{WireVersion: BinaryVersion}) != nil {
+					return
+				}
+				serve(conn, newBinaryCodec(io.MultiReader(dec.Buffered(), conn), conn))
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestBinaryCorruptFrameDropsClientConn: a mid-frame decode failure on the
+// client must sever the connection outright — there is no resync point in a
+// length-prefixed stream — and the next roundtrip redials.
+func TestBinaryCorruptFrameDropsClientConn(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		write func(conn net.Conn)
+	}{
+		{"oversized-length-prefix", func(conn net.Conn) {
+			conn.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3})
+		}},
+		{"truncated-frame", func(conn net.Conn) {
+			// Header promises 100 payload bytes; deliver 3 and close.
+			hdr := make([]byte, 4, 7)
+			binary.BigEndian.PutUint32(hdr, 100)
+			conn.Write(append(hdr, 1, 2, 3))
+			conn.Close()
+		}},
+		{"garbage-payload", func(conn net.Conn) {
+			// Well-formed header, undecodable response payload.
+			hdr := make([]byte, 4, 8)
+			binary.BigEndian.PutUint32(hdr, 4)
+			conn.Write(append(hdr, 0xFF, 0xFF, 0xFF, 0xFF))
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			addr := startFakeBinaryServer(t, func(conn net.Conn, bin *binaryCodec) {
+				var req Request
+				if bin.readRequest(&req) != nil {
+					return
+				}
+				tc.write(conn)
+			})
+			c := dialBinary(t, addr)
+			_, err := c.Query("SELECT 1")
+			if err == nil || !strings.Contains(err.Error(), "wire: receive") {
+				t.Fatalf("err = %v, want wire: receive", err)
+			}
+			c.mu.Lock()
+			dropped := c.conn == nil
+			c.mu.Unlock()
+			if !dropped {
+				t.Fatal("corrupt frame did not drop the connection")
+			}
+		})
+	}
+}
+
+// TestBinaryCorruptFrameDropsServerConn: the server, too, must drop a
+// connection whose binary stream fails to decode rather than answer or
+// resync.
+func TestBinaryCorruptFrameDropsServerConn(t *testing.T) {
+	_, addr := startServer(t)
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.WriteString(conn, `{"op":"hello","wire_version":1}`+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(conn)
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal([]byte(line), &resp); err != nil || resp.WireVersion != BinaryVersion {
+		t.Fatalf("hello answer: %q err %v", line, err)
+	}
+	// A frame whose payload is garbage: opcode 0xFF does not exist.
+	hdr := make([]byte, 4, 8)
+	binary.BigEndian.PutUint32(hdr, 4)
+	if _, err := conn.Write(append(hdr, 0xFF, 0xFF, 0xFF, 0xFF)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("server answered a corrupt frame (err=%v), want EOF", err)
+	}
+}

@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -48,16 +47,24 @@ type Client struct {
 	// (DefaultBackoffBase / DefaultMaxBackoff when 0).
 	BackoffBase time.Duration
 	MaxBackoff  time.Duration
+	// Binary asks for the length-prefixed binary framing: the first
+	// roundtrip on each connection sends a HELLO and, if the server agrees,
+	// every later frame is binary. A server that answers HELLO with an
+	// unknown-op error is an old peer; the client then stays on JSON
+	// permanently, like the PREPARE and SUBSCRIBE_LOG fallbacks. Set before
+	// first use.
+	Binary bool
 
-	mu      sync.Mutex
-	addr    string
-	conn    net.Conn
-	dec     *json.Decoder
-	enc     *json.Encoder
-	closed  bool
-	fails   int       // consecutive roundtrip/redial failures
-	retryAt time.Time // no redial before this instant
-	epoch   uint64    // bumped on every (re)attach; see Stmt
+	mu       sync.Mutex
+	addr     string
+	conn     net.Conn
+	cc       connCodec
+	jsonOnly bool // server predates HELLO: never offer binary again
+	hello    bool // HELLO already attempted on the current connection
+	closed   bool
+	fails    int       // consecutive roundtrip/redial failures
+	retryAt  time.Time // no redial before this instant
+	epoch    uint64    // bumped on every (re)attach; see Stmt
 }
 
 // Dial connects to a wire server.
@@ -106,8 +113,8 @@ func (c *Client) maxBackoff() time.Duration {
 // re-prepare before executing.
 func (c *Client) attach(conn net.Conn) {
 	c.conn = conn
-	c.dec = json.NewDecoder(conn)
-	c.enc = json.NewEncoder(conn)
+	c.cc = newConnCodec(conn)
+	c.hello = false
 	c.epoch++
 }
 
@@ -124,8 +131,7 @@ func (c *Client) dropLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
-		c.dec = nil
-		c.enc = nil
+		c.cc = connCodec{}
 	}
 	c.fails++
 	c.retryAt = time.Now().Add(backoff.Delay(c.backoffBase(), c.fails, c.maxBackoff()))
@@ -147,6 +153,53 @@ func (c *Client) reconnectLocked() error {
 	return nil
 }
 
+// negotiateLocked performs the HELLO exchange once per connection when
+// Binary is set. On agreement the connection's codec switches to binary
+// framing; an unknown-op answer marks the server JSON-only for the client's
+// lifetime (an old peer will not grow the op between reconnects). I/O
+// failure drops the connection like any other failed roundtrip. Callers
+// hold c.mu with c.conn live.
+func (c *Client) negotiateLocked() error {
+	if c.hello || !c.Binary || c.jsonOnly || c.cc.binary() {
+		return nil
+	}
+	c.hello = true
+	if t := c.timeout(); t > 0 {
+		c.conn.SetDeadline(time.Now().Add(t))
+	}
+	hello := Request{Op: OpHello, WireVersion: BinaryVersion}
+	if err := c.cc.writeRequest(&hello); err != nil {
+		c.dropLocked()
+		return fmt.Errorf("wire: hello send: %w", err)
+	}
+	var resp Response
+	if err := c.cc.readResponse(&resp); err != nil {
+		c.dropLocked()
+		return fmt.Errorf("wire: hello receive: %w", err)
+	}
+	c.fails = 0
+	if strings.Contains(resp.Error, "unknown op") {
+		// An old server answered the frame cleanly; the connection is still
+		// synced. Fall back to JSON for good.
+		c.jsonOnly = true
+		return nil
+	}
+	if resp.Error == "" && resp.WireVersion >= BinaryVersion {
+		c.cc.upgrade()
+	}
+	// Any other answer (an error, or version 0): stay on JSON for this
+	// connection and offer again after a reconnect.
+	return nil
+}
+
+// UsingBinary reports whether the current connection negotiated binary
+// framing.
+func (c *Client) UsingBinary() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cc.binary()
+}
+
 func (c *Client) roundTrip(req Request) (Response, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -158,15 +211,18 @@ func (c *Client) roundTrip(req Request) (Response, error) {
 			return Response{}, err
 		}
 	}
+	if err := c.negotiateLocked(); err != nil {
+		return Response{}, err
+	}
 	if t := c.timeout(); t > 0 {
 		c.conn.SetDeadline(time.Now().Add(t))
 	}
-	if err := c.enc.Encode(req); err != nil {
+	if err := c.cc.writeRequest(&req); err != nil {
 		c.dropLocked()
 		return Response{}, fmt.Errorf("wire: send: %w", err)
 	}
 	var resp Response
-	if err := c.dec.Decode(&resp); err != nil {
+	if err := c.cc.readResponse(&resp); err != nil {
 		c.dropLocked()
 		return Response{}, fmt.Errorf("wire: receive: %w", err)
 	}
@@ -242,14 +298,19 @@ func (c *Client) streamLog(cursor int64, deliver func(Response)) error {
 			return err
 		}
 	}
-	conn, dec, enc := c.conn, c.dec, c.enc
+	if err := c.negotiateLocked(); err != nil {
+		c.mu.Unlock()
+		return err
+	}
+	conn, cc := c.conn, c.cc
 	t := c.timeout()
 	c.mu.Unlock()
 
 	if t > 0 {
 		conn.SetWriteDeadline(time.Now().Add(t))
 	}
-	if err := enc.Encode(Request{Op: OpSubscribeLog, LSN: cursor}); err != nil {
+	sub := Request{Op: OpSubscribeLog, LSN: cursor}
+	if err := cc.writeRequest(&sub); err != nil {
 		c.dropConn(conn)
 		return fmt.Errorf("wire: subscribe send: %w", err)
 	}
@@ -259,7 +320,7 @@ func (c *Client) streamLog(cursor int64, deliver func(Response)) error {
 			conn.SetReadDeadline(time.Now().Add(t))
 		}
 		var resp Response
-		if err := dec.Decode(&resp); err != nil {
+		if err := cc.readResponse(&resp); err != nil {
 			c.dropConn(conn)
 			return fmt.Errorf("wire: subscribe receive: %w", err)
 		}

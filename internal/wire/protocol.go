@@ -1,5 +1,7 @@
 // Package wire implements the client/server protocol of the reproduction's
-// DBMS: newline-delimited JSON frames over TCP. It is the network boundary
+// DBMS: newline-delimited JSON frames over TCP, upgradable per connection to
+// length-prefixed binary frames via the HELLO handshake (see binary.go).
+// It is the network boundary
 // that the paper's JDBC drivers provided; the query-logging wrapper in
 // internal/driver interposes on it exactly as the paper's JDBC wrapper did
 // (§3.2), and the invalidator uses the LogSince operation to pull the
@@ -29,6 +31,14 @@ const (
 	// this connection, starting at Request.LSN, until either side closes.
 	// The connection is dedicated to the stream from then on.
 	OpSubscribeLog Op = "subscribelog"
+	// OpHello negotiates the binary framing (see binary.go). The request
+	// carries the highest WireVersion the client speaks; the response carries
+	// the version the server selected (0 = stay on JSON). Both frames are
+	// always JSON; on agreement the very next frame in each direction is
+	// binary. An old server answers with its usual unknown-op error, which a
+	// client treats exactly like the PREPARE and SUBSCRIBE_LOG fallbacks: it
+	// stays on JSON permanently.
+	OpHello Op = "hello"
 )
 
 // ErrUnknownStmt is the error-text prefix a server sends when an EXECUTE or
@@ -46,6 +56,9 @@ type Request struct {
 	StmtID int64 `json:"stmt_id,omitempty"`
 	// Args are the bind values for OpExecute, in placeholder order.
 	Args []WireValue `json:"args,omitempty"`
+	// WireVersion is the binary protocol version offered by OpHello (zero
+	// on every other op, and when the client is JSON-only).
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // LogRecord is the wire form of an engine.UpdateRecord. Trace/Span carry
@@ -90,6 +103,9 @@ type Response struct {
 	// many bind arguments the statement expects.
 	StmtID  int64 `json:"stmt_id,omitempty"`
 	NumArgs int   `json:"num_args,omitempty"`
+	// WireVersion answers OpHello: the binary protocol version the server
+	// selected (0 = the connection stays on JSON framing).
+	WireVersion int `json:"wire_version,omitempty"`
 }
 
 // EncodeValue converts a mem.Value to its wire form.

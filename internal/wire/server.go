@@ -1,7 +1,6 @@
 package wire
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -32,6 +31,12 @@ type Server struct {
 	// (DefaultHeartbeat when 0).
 	HeartbeatInterval time.Duration
 
+	// DisableBinary makes the server answer HELLO with its unknown-op error,
+	// behaving exactly like a pre-binary peer: connections stay on JSON
+	// framing. An operational escape hatch (-wire-binary=false) that doubles
+	// as the old-server simulator in the fallback tests.
+	DisableBinary bool
+
 	mu       sync.Mutex
 	listener net.Listener
 	conns    map[net.Conn]struct{}
@@ -40,10 +45,11 @@ type Server struct {
 	wg       sync.WaitGroup
 
 	// Stats
-	queries    int64
-	prepares   int64
-	executes   int64
-	subscribes int64
+	queries     int64
+	prepares    int64
+	executes    int64
+	subscribes  int64
+	binaryConns int64
 }
 
 // maxConnStmts bounds prepared handles per connection; a client that leaks
@@ -120,23 +126,41 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	dec := json.NewDecoder(conn)
-	enc := json.NewEncoder(conn)
+	cc := newConnCodec(conn)
 	cs := &connStmts{stmts: make(map[int64]*engine.PreparedStmt)}
 	for {
 		var req Request
-		if err := dec.Decode(&req); err != nil {
+		if err := cc.readRequest(&req); err != nil {
 			return // client went away or sent garbage; drop the connection
+		}
+		if req.Op == OpHello && !s.DisableBinary {
+			// Negotiate binary framing: answer in JSON, then switch. With
+			// DisableBinary the op falls through to handle's unknown-op
+			// error, indistinguishable from a pre-binary server.
+			resp := Response{WireVersion: BinaryVersion}
+			if req.WireVersion < BinaryVersion {
+				resp.WireVersion = 0 // client too old (or confused): stay JSON
+			}
+			if err := cc.writeResponse(&resp); err != nil {
+				return
+			}
+			if resp.WireVersion >= BinaryVersion {
+				cc.upgrade()
+				s.mu.Lock()
+				s.binaryConns++
+				s.mu.Unlock()
+			}
+			continue
 		}
 		if req.Op == OpSubscribeLog {
 			// The connection is dedicated to the stream from here on; when
 			// the stream ends (either side closes, or a write stalls past its
 			// deadline) the connection is dropped with it.
-			s.serveSubscribe(conn, enc, req)
+			s.serveSubscribe(conn, &cc, req)
 			return
 		}
 		resp := s.handle(req, cs)
-		if err := enc.Encode(resp); err != nil {
+		if err := cc.writeResponse(&resp); err != nil {
 			return
 		}
 	}
@@ -149,13 +173,13 @@ func (s *Server) serveConn(conn net.Conn) {
 // idle. Frames with records carry NextLSN/FirstLSN/Truncated exactly as a
 // LogSince response would; empty frames carry no cursor and must not advance
 // the client's.
-func (s *Server) serveSubscribe(conn net.Conn, enc *json.Encoder, req Request) {
+func (s *Server) serveSubscribe(conn net.Conn, cc *connCodec, req Request) {
 	s.mu.Lock()
 	s.subscribes++
 	s.mu.Unlock()
 	writeFrame := func(resp Response) error {
 		conn.SetWriteDeadline(time.Now().Add(streamWriteTimeout))
-		return enc.Encode(resp)
+		return cc.writeResponse(&resp)
 	}
 	if err := writeFrame(Response{}); err != nil {
 		return
@@ -306,6 +330,14 @@ func (s *Server) Subscribes() int64 {
 	return s.subscribes
 }
 
+// BinaryConns returns the number of connections that negotiated binary
+// framing since the server started.
+func (s *Server) BinaryConns() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.binaryConns
+}
+
 // Conns returns the number of live client connections.
 func (s *Server) Conns() int {
 	s.mu.Lock()
@@ -324,6 +356,7 @@ func (s *Server) Instrument(reg *obs.Registry, prefix string) {
 	reg.GaugeFunc(prefix+".conns", func() int64 { return int64(s.Conns()) })
 	reg.GaugeFunc(prefix+".log_next_lsn", func() int64 { return s.DB.Log().NextLSN() })
 	reg.GaugeFunc(prefix+".subscribes_total", s.Subscribes)
+	reg.GaugeFunc(prefix+".binary_conns_total", s.BinaryConns)
 	reg.GaugeFunc(prefix+".log_subscribers", func() int64 { return int64(s.DB.Log().Hub().Stats().Subscribers) })
 	reg.GaugeFunc(prefix+".log_feed_lag", func() int64 { return s.DB.Log().Hub().Lag() })
 	reg.GaugeFunc(prefix+".stmt_text_hits", func() int64 { return s.DB.StmtCacheStats().TextHits })

@@ -113,7 +113,7 @@ func TestExecAfterReconnectReprepares(t *testing.T) {
 	// Sever the connection as a network fault would, without arming backoff.
 	c.mu.Lock()
 	c.conn.Close()
-	c.conn, c.dec, c.enc = nil, nil, nil
+	c.conn, c.cc = nil, connCodec{}
 	c.mu.Unlock()
 	res, err := st.Exec([]mem.Value{mem.Str("b")})
 	if err != nil {

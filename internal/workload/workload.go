@@ -107,7 +107,8 @@ type RequestGen struct {
 	Weights []float64
 	// Zipf, when non-nil, picks URL indexes by Zipf rank (popular-first).
 	Zipf *rand.Zipf
-	// Client defaults to http.DefaultClient.
+	// Client defaults to httpx.Default(), the shared pooled client with
+	// sane timeouts.
 	Client *http.Client
 	// OnResult, when set, observes every completed request.
 	OnResult func(Result)

@@ -72,6 +72,15 @@ type SiteConfig struct {
 	// restores the per-instance registry scan (identical invalidation
 	// outcomes; A/B measurement and escape hatch).
 	DisablePredIndex bool
+	// DisableWireBinary keeps every wire connection (app-server pools, the
+	// invalidator's poll connections, the update-log stream) on JSON
+	// framing instead of the negotiated binary codec. Identical behavior;
+	// A/B measurement and escape hatch.
+	DisableWireBinary bool
+	// AutoIndex lets the database create hash and ordered indexes from the
+	// WHERE shapes of interned query templates, so the invalidator's
+	// polling queries probe instead of scanning.
+	AutoIndex bool
 	// Obs receives metrics from every tier (cache, sniffer, invalidator,
 	// freshness trace). Nil allocates a registry; reach it via Site.Obs.
 	Obs *obs.Registry
@@ -166,6 +175,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	// Database server. The tracer attaches after the schema script runs so
 	// seed records don't open traces nobody will ever finish.
 	s.DB = engine.NewDatabase()
+	s.DB.SetAutoIndex(cfg.AutoIndex)
 	if _, err := s.DB.ExecScript(cfg.Schema); err != nil {
 		return nil, fmt.Errorf("cacheportal: schema: %w", err)
 	}
@@ -182,7 +192,8 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	// All servers share the two logs, so the sniffer sees the whole farm.
 	s.QueryLog = driver.NewQueryLog(0)
 	s.RequestLog = appserver.NewRequestLog(0)
-	logged := driver.NewLoggingDriver(driver.NetDriver{}, s.QueryLog)
+	netDriver := driver.NetDriver{DisableBinary: cfg.DisableWireBinary}
+	logged := driver.NewLoggingDriver(netDriver, s.QueryLog)
 	nServers := cfg.WebServers
 	if nServers < 1 {
 		nServers = 1
@@ -259,6 +270,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		if err != nil {
 			return nil, err
 		}
+		feedClient.Binary = !cfg.DisableWireBinary
 		s.feed = wire.NewLogFeed(feedClient, 1, cfg.FeedBuffer)
 		s.feed.Instrument(cfg.Obs, "feed")
 		s.feed.SetTracer(cfg.Tracer)
@@ -269,6 +281,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		if err != nil {
 			return nil, err
 		}
+		logClient.Binary = !cfg.DisableWireBinary
 		puller = invalidator.WireLogPuller{Client: logClient}
 	}
 	closeLog := func() {
@@ -276,7 +289,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 			logClient.Close()
 		}
 	}
-	s.pollConn, err = driver.NetDriver{}.Connect(addr)
+	s.pollConn, err = netDriver.Connect(addr)
 	if err != nil {
 		closeLog()
 		return nil, err
@@ -285,7 +298,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	if cfg.PollConns > 1 {
 		conns := []invalidator.Poller{s.pollConn}
 		for i := 1; i < cfg.PollConns; i++ {
-			c, err := driver.NetDriver{}.Connect(addr)
+			c, err := netDriver.Connect(addr)
 			if err != nil {
 				closeLog()
 				return nil, err
