@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry bench-wire trace-smoke fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry bench-wire bench-fragment trace-smoke fuzz clean
 
 all: build test
 
@@ -74,6 +74,15 @@ bench-wire:
 	$(GO) test -run xxx -bench 'BenchmarkWireLogSince|BenchmarkCommitToEject' -benchtime 2s . ./internal/wire/ \
 		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
 	$(GO) test -run xxx -bench BenchmarkHighFanoutPoll -benchtime 2s ./internal/engine/ \
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+
+# Fragment-level caching benchmarks, merged into BENCH_invalidator.json:
+# the edge-assembly splice cost at 1/4/16 fragments, and the page-vs-fragment
+# hit ratio on the personalized home page (12 users x 5 categories, cold-start
+# sweep per iteration). The acceptance check is mode=fragment's hit-ratio
+# beating mode=page's, mirroring TestFragmentHitRatioBeatsPageMode.
+bench-fragment:
+	$(GO) test -run xxx -bench 'BenchmarkFragmentAssembly|BenchmarkFragmentHitRatio' -benchtime 2s . \
 		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
 
 # End-to-end tracing smoke under the race detector: the trace package's own

@@ -27,6 +27,7 @@ import (
 	"repro/internal/appserver"
 	"repro/internal/core"
 	"repro/internal/driver"
+	"repro/internal/fragment"
 	"repro/internal/invalidator"
 	"repro/internal/sniffer"
 )
@@ -60,6 +61,8 @@ type (
 	Page = appserver.Page
 	// Context carries one request through a servlet.
 	Context = appserver.Context
+	// Fragment is one independently cacheable unit of a fragmented page.
+	Fragment = appserver.Fragment
 	// ServletFunc adapts a function to the servlet interface.
 	ServletFunc = appserver.ServletFunc
 	// QueryLog is the JDBC-wrapper query log.
@@ -87,3 +90,7 @@ const (
 
 // New builds a Portal over externally wired logs. See core.New.
 func New(opts Options) (*Portal, error) { return core.New(opts) }
+
+// FragmentMarker returns the include marker naming a fragment inside a
+// page template (see Page.Template and Context.Fragment).
+func FragmentMarker(name string) string { return fragment.Marker(name) }

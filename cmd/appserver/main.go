@@ -29,6 +29,7 @@ func main() {
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
 	obsLog := flag.Duration("obs-log", 0, "log a metrics snapshot at this interval (0 = never)")
 	longpollMax := flag.Duration("longpoll-max", 0, "cap on log-export long-poll waits (0 = default)")
+	fragments := flag.Bool("fragments", false, "fragment mode: answer composite-negotiated requests with fragment pieces the cache can store and assemble independently")
 	wireBinary := flag.Bool("wire-binary", true, "offer the binary wire framing on DB connections (an old server declines harmlessly; false = JSON only)")
 	traceOn := flag.Bool("trace", false, "serve /debug/trace (the app server originates no pipeline spans; the endpoint keeps the debug surface uniform)")
 	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
@@ -51,7 +52,11 @@ func main() {
 
 	rlog := appserver.NewRequestLog(0)
 	srv := appserver.NewServer(reg, rlog)
+	srv.Fragments = *fragments
 	for _, def := range demoapp.Servlets("db") {
+		srv.MustRegister(def.Meta, def.Handler)
+	}
+	for _, def := range demoapp.PersonalizedServlets("db") {
 		srv.MustRegister(def.Meta, def.Handler)
 	}
 

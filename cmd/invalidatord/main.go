@@ -47,6 +47,7 @@ func main() {
 	feedBuffer := flag.Int("feed-buffer", 0, "update-log stream buffer in records (0 = default)")
 	minEventGap := flag.Duration("min-event-gap", 0, "burst-coalescing window for event-driven cycles (0 = default)")
 	predIdx := flag.Bool("pred-index", true, "probe the predicate index for candidate query instances instead of scanning the registry (same invalidations either way)")
+	fragments := flag.Bool("fragments", false, "annotate cycle logs with the fragment-vs-page eject split (the eject machinery itself is key-agnostic; pair with -fragments on webcached and appserver)")
 	wireBinary := flag.Bool("wire-binary", true, "offer the binary wire framing on DB connections (an old server declines harmlessly; false = JSON only)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
@@ -182,9 +183,14 @@ func main() {
 			return err
 		}
 		if *verbose || rep.Invalidated > 0 {
-			log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d conservative=%d (%s)",
+			granularity := ""
+			if *fragments {
+				granularity = fmt.Sprintf(" fragments=%d pages=%d",
+					rep.FragmentEjects, rep.Invalidated-rep.FragmentEjects)
+			}
+			log.Printf("cycle: mapped=%d updates=%d polls=%d invalidated=%d%s conservative=%d (%s)",
 				rep.MappedPages, rep.UpdateRecords, rep.Polls,
-				rep.Invalidated, rep.Conservative, rep.Duration)
+				rep.Invalidated, granularity, rep.Conservative, rep.Duration)
 		}
 		return nil
 	}

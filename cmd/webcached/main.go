@@ -26,6 +26,8 @@ func main() {
 	capacity := flag.Int("capacity", 0, "max cached pages (0 = unbounded)")
 	originTimeout := flag.Duration("origin-timeout", 0, "origin request timeout (0 = default 10s)")
 	shards := flag.Int("shards", 0, "cache lock shards (0 = auto, 1 = single exact LRU)")
+	fragments := flag.Bool("fragments", false, "fragment mode: negotiate composite responses with the origin, cache fragments under their own keys and assemble pages at the edge")
+	cookieAllow := flag.String("cookie-allow", "", "per-servlet cookie allowlist for cache keys, e.g. 'home=session,search=' (listed servlets key only on the named cookies; others keep keying on all)")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8091", "address for /debug/metrics and /debug/vars (empty = off)")
 	withPprof := flag.Bool("pprof", false, "also expose /debug/pprof/ on the debug address")
@@ -49,6 +51,14 @@ func main() {
 	cache.Instrument(reg, "webcache")
 	proxy := webcache.NewProxy(*origin, cache)
 	proxy.Tracer = tracer
+	proxy.Fragments = *fragments
+	if *cookieAllow != "" {
+		allow, err := webcache.ParseCookieAllow(*cookieAllow)
+		if err != nil {
+			log.Fatalf("webcached: -cookie-allow: %v", err)
+		}
+		proxy.CookieAllow = allow
+	}
 	if *originTimeout > 0 {
 		proxy.Client = &http.Client{Timeout: *originTimeout}
 	}

@@ -1,0 +1,74 @@
+package cacheportal
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fragment"
+)
+
+// BenchmarkFragmentAssembly measures the edge-assembly cost itself: the
+// marker scan + splice a proxy pays on every fragment-mode hit, without any
+// HTTP or cache machinery around it.
+func BenchmarkFragmentAssembly(b *testing.B) {
+	for _, nFrags := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("fragments=%d", nFrags), func(b *testing.B) {
+			tmpl := []byte("<html><body>")
+			bodies := make(map[string][]byte, nFrags)
+			for i := 0; i < nFrags; i++ {
+				name := fmt.Sprintf("frag%d", i)
+				tmpl = append(tmpl, []byte("<div>"+fragment.Marker(name)+"</div>")...)
+				body := make([]byte, 1024)
+				for j := range body {
+					body[j] = byte('a' + (i+j)%26)
+				}
+				bodies[name] = body
+			}
+			tmpl = append(tmpl, []byte("</body></html>")...)
+			lookup := func(name string) ([]byte, bool) {
+				bb, ok := bodies[name]
+				return bb, ok
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fragment.Assemble(tmpl, lookup); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(len(tmpl) + nFrags*1024))
+		})
+	}
+}
+
+// BenchmarkFragmentHitRatio drives the personalized "home" page on a full
+// site — 12 users across 5 categories — in fragment and whole-page mode,
+// and reports the cache's measured hit ratio for each. Fragment mode turns
+// the shared header/listing into cross-user hits, so its ratio must come
+// out above page mode's (asserted functionally by
+// TestFragmentHitRatioBeatsPageMode; here the numbers are recorded for
+// BENCH_invalidator.json).
+func BenchmarkFragmentHitRatio(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		frag bool
+	}{{"fragment", true}, {"page", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			site := demoSite(b, mode.frag)
+			b.ResetTimer()
+			// Each iteration is one cold-start sweep over the whole
+			// population, so the reported ratio is independent of b.N.
+			for n := 0; n < b.N; n++ {
+				b.StopTimer()
+				site.Cache.Clear()
+				site.Cache.ResetStats()
+				b.StartTimer()
+				for i := 0; i < 120; i++ {
+					user := fmt.Sprintf("u%d", i%12)
+					cat := (i / 2) % 5
+					fetchAs(b, fmt.Sprintf("%s/home?cat=%d", site.CacheURL, cat), user)
+				}
+			}
+			b.ReportMetric(site.Cache.Stats().HitRatio(), "hit-ratio")
+		})
+	}
+}

@@ -1,0 +1,233 @@
+package cacheportal
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/demoapp"
+	"repro/internal/webcache"
+)
+
+// demoSite builds the §5.2.1 evaluation application — the three page
+// servlets plus the personalized "home" servlet — as a full site, in
+// whole-page or fragment mode.
+func demoSite(t testing.TB, fragments bool) *Site {
+	t.Helper()
+	defs := append(demoapp.Servlets("db"), demoapp.PersonalizedServlets("db")...)
+	servlets := make([]ServletDef, 0, len(defs))
+	for _, d := range defs {
+		servlets = append(servlets, ServletDef{Meta: d.Meta, Handler: d.Handler})
+	}
+	site, err := NewSite(SiteConfig{
+		Schema:    demoapp.SchemaSQL(100, 400, 1), // smaller tables keep the test quick
+		Servlets:  servlets,
+		Fragments: fragments,
+		Interval:  50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(site.Close)
+	return site
+}
+
+// fetchAs GETs url with a session cookie and returns body + hit header.
+func fetchAs(t testing.TB, url, session string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session != "" {
+		req.AddCookie(&http.Cookie{Name: demoapp.SessionCookie, Value: session})
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, body)
+	}
+	return string(body), resp.Header.Get(webcache.HitHeader)
+}
+
+// TestFragmentEquivalence is the fragment refactor's core property: for
+// every demoapp servlet, the page assembled from independently cached
+// fragments is byte-identical to the whole page the unfragmented pipeline
+// serves — across users, categories, update rounds, and concurrency
+// levels. The page-mode site doubles as the Fragments=false regression:
+// its behavior must match today's whole-page pipeline exactly.
+func TestFragmentEquivalence(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			fragSite := demoSite(t, true)
+			pageSite := demoSite(t, false)
+			rng := rand.New(rand.NewSource(int64(workers)))
+			nextStmt := demoapp.UpdateStatement()
+
+			rounds := 3
+			perWorker := 12
+			if testing.Short() {
+				rounds, perWorker = 2, 6
+			}
+			for round := 0; round < rounds; round++ {
+				if round > 0 {
+					// Identical backend updates on both sites, then one
+					// synchronous cycle each so both caches have ejected
+					// every impacted entry before requests resume.
+					for i := 0; i < 3; i++ {
+						stmt := nextStmt(rng)
+						if err := fragSite.Exec(stmt); err != nil {
+							t.Fatal(err)
+						}
+						if err := pageSite.Exec(stmt); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if _, err := fragSite.Portal.Cycle(); err != nil {
+						t.Fatal(err)
+					}
+					if _, err := pageSite.Portal.Cycle(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				var wg sync.WaitGroup
+				errs := make(chan string, workers)
+				for w := 0; w < workers; w++ {
+					seed := int64(round*100 + w)
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						wrng := rand.New(rand.NewSource(seed))
+						for i := 0; i < perWorker; i++ {
+							servlet := []string{"light", "medium", "heavy", "home"}[wrng.Intn(4)]
+							cat := wrng.Intn(demoapp.JoinValues)
+							user := ""
+							if servlet == "home" {
+								user = fmt.Sprintf("u%d", wrng.Intn(3))
+							}
+							path := fmt.Sprintf("/%s?cat=%d", servlet, cat)
+							want, _ := fetchAs(t, pageSite.CacheURL+path, user)
+							got, _ := fetchAs(t, fragSite.CacheURL+path, user)
+							if got != want {
+								errs <- fmt.Sprintf("%s user=%q: fragment site served %q, page site %q", path, user, got, want)
+								return
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				close(errs)
+				for e := range errs {
+					t.Fatal(e)
+				}
+			}
+		})
+	}
+}
+
+// TestFragmentInvalidationPrecision checks that a single-category row
+// update ejects exactly the impacted shared listing fragments: other
+// categories' listings, every per-session trim, and the assembly template
+// survive.
+func TestFragmentInvalidationPrecision(t *testing.T) {
+	site := demoSite(t, true)
+
+	// Populate: two users on cat=3, one on cat=4.
+	fetchAs(t, site.CacheURL+"/home?cat=3", "u1")
+	fetchAs(t, site.CacheURL+"/home?cat=3", "u2")
+	fetchAs(t, site.CacheURL+"/home?cat=4", "u1")
+	// A couple of cycles so every fragment's mapping is registered before
+	// the update lands.
+	if _, err := site.Portal.Cycle(); err != nil {
+		t.Fatal(err)
+	}
+
+	find := func(substrs ...string) []string {
+		var out []string
+		for _, k := range site.Cache.Keys() {
+			all := true
+			for _, s := range substrs {
+				if !strings.Contains(k, s) {
+					all = false
+					break
+				}
+			}
+			if all {
+				out = append(out, k)
+			}
+		}
+		return out
+	}
+	listing3 := find("g:cat=3", "!frag=listing")
+	if len(listing3) != 1 {
+		t.Fatalf("listing fragment for cat=3: %v (keys %v)", listing3, site.Cache.Keys())
+	}
+
+	if err := site.Exec(demoapp.ListingUpdateStatement(30_000_000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !site.WaitForInvalidation(listing3[0], 5*time.Second) {
+		t.Fatalf("cat=3 listing fragment %q not ejected", listing3[0])
+	}
+
+	if got := find("g:cat=4", "!frag=listing"); len(got) != 1 {
+		t.Fatalf("cat=4 listing should survive, cache keys: %v", site.Cache.Keys())
+	}
+	if got := find("!frag=trim"); len(got) != 3 {
+		t.Fatalf("all 3 per-session trims should survive, got %v", got)
+	}
+	if got := find("!tmpl"); len(got) != 2 {
+		t.Fatalf("both templates should survive, got %v", got)
+	}
+
+	// A returning cat=3 user reassembles with a fresh listing but the
+	// cached trim and template: a partial, not a full page rebuild.
+	body, hit := fetchAs(t, site.CacheURL+"/home?cat=3", "u1")
+	if hit != "partial" {
+		t.Fatalf("after precise eject: %s, want partial", hit)
+	}
+	if !strings.Contains(body, "hello u1") {
+		t.Fatalf("trim lost: %q", body)
+	}
+	if !strings.Contains(body, "f30000000") {
+		t.Fatalf("listing not refreshed: %q", body)
+	}
+}
+
+// TestFragmentHitRatioBeatsPageMode measures the headline win: with
+// per-user personalization, fragment-level caching turns most of every
+// page into shared hits, while whole-page caching misses once per
+// (user, category) pair.
+func TestFragmentHitRatioBeatsPageMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("measurement test")
+	}
+	fragSite := demoSite(t, true)
+	pageSite := demoSite(t, false)
+
+	run := func(site *Site) float64 {
+		site.Cache.ResetStats()
+		for i := 0; i < 120; i++ {
+			user := fmt.Sprintf("u%d", i%12)
+			cat := (i / 2) % 5
+			fetchAs(t, fmt.Sprintf("%s/home?cat=%d", site.CacheURL, cat), user)
+		}
+		return site.Cache.Stats().HitRatio()
+	}
+	frag := run(fragSite)
+	page := run(pageSite)
+	t.Logf("hit ratio: fragment=%.3f page=%.3f", frag, page)
+	if frag <= page {
+		t.Fatalf("fragment-mode hit ratio %.3f should exceed page-mode %.3f", frag, page)
+	}
+}

@@ -1,0 +1,267 @@
+package appserver
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/engine"
+	"repro/internal/fragment"
+)
+
+// newFragApp registers a fragmented "home" servlet: a shared "rows"
+// fragment querying the database, a private "trim" keyed on the session
+// cookie, under a static template.
+func newFragApp(t *testing.T) (*Server, *RequestLog) {
+	t.Helper()
+	db := engine.NewDatabase()
+	if _, err := db.ExecScript(`
+		CREATE TABLE items (id INT PRIMARY KEY, cat INT, val TEXT);
+		INSERT INTO items VALUES (1, 0, 'a'), (2, 0, 'b'), (3, 1, 'c');
+	`); err != nil {
+		t.Fatal(err)
+	}
+	pool, err := driver.NewPool(driver.NewLoggingDriver(driver.DirectDriver{DB: db}, driver.NewQueryLog(0)), "", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { pool.Close() })
+	reg := driver.NewRegistry()
+	reg.Bind("main", pool)
+	rlog := NewRequestLog(0)
+	srv := NewServer(reg, rlog)
+	srv.Fragments = true
+	tmpl := []byte("<p>" + fragment.Marker("rows") + "|" + fragment.Marker("trim") + "</p>")
+	srv.MustRegister(Meta{Name: "home", Keys: KeySpec{Get: []string{"cat"}, Cookie: []string{"session"}}},
+		ServletFunc(func(ctx *Context) (*Page, error) {
+			if err := ctx.Fragment("rows", false, func() ([]byte, error) {
+				lease, err := ctx.Lease("main")
+				if err != nil {
+					return nil, err
+				}
+				defer lease.Release()
+				res, err := lease.Query("SELECT val FROM items WHERE cat = " + ctx.Param("cat"))
+				if err != nil {
+					return nil, err
+				}
+				var b strings.Builder
+				for _, r := range res.Rows {
+					b.WriteString(r[0].String())
+				}
+				return []byte(b.String()), nil
+			}); err != nil {
+				return nil, err
+			}
+			if err := ctx.Fragment("trim", true, func() ([]byte, error) {
+				return []byte("hi " + ctx.Cookies["session"]), nil
+			}); err != nil {
+				return nil, err
+			}
+			return &Page{Template: tmpl}, nil
+		}))
+	return srv, rlog
+}
+
+func fragGet(t *testing.T, url string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.AddCookie(&http.Cookie{Name: "session", Value: "u1"})
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	return resp, b
+}
+
+func TestFragmentedPagePlainClientGetsAssembledPage(t *testing.T) {
+	srv, _ := newFragApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := fragGet(t, ts.URL+"/home?cat=0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if want := "<p>ab|hi u1</p>"; string(body) != want {
+		t.Fatalf("assembled body %q, want %q", body, want)
+	}
+	if h := resp.Header.Get(fragment.CompositeHeader); h != "" {
+		t.Fatalf("unexpected composite header %q for plain client", h)
+	}
+	// Non-negotiating clients get the ordinary whole-page key.
+	if key := resp.Header.Get(KeyHeader); !strings.Contains(key, "c:session=u1") {
+		t.Fatalf("page key %q should carry the cookie part", key)
+	}
+}
+
+func TestFragmentedPageCompositeTransfer(t *testing.T) {
+	srv, rlog := newFragApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := fragGet(t, ts.URL+"/home?cat=0", map[string]string{
+		fragment.CompositeHeader: fragment.CompositeAccept,
+	})
+	if resp.Header.Get(fragment.CompositeHeader) != fragment.CompositeYes {
+		t.Fatalf("composite not negotiated: %v", resp.Header)
+	}
+	comp, err := fragment.Decode(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(comp.TemplateKey, "!tmpl") || strings.Contains(comp.TemplateKey, "c:session") {
+		t.Fatalf("template key %q: want cookie-free !tmpl key", comp.TemplateKey)
+	}
+	if comp.Servlet != "home" || len(comp.Fragments) != 2 {
+		t.Fatalf("composite: %+v", comp)
+	}
+	byName := map[string]fragment.Piece{}
+	for _, p := range comp.Fragments {
+		byName[p.Name] = p
+	}
+	rows, trim := byName["rows"], byName["trim"]
+	if rows.Private || strings.Contains(rows.Key, "c:session") {
+		t.Fatalf("shared rows key %q must not carry cookies", rows.Key)
+	}
+	if !trim.Private || !strings.Contains(trim.Key, "c:session=u1") {
+		t.Fatalf("private trim key %q must carry the cookie part", trim.Key)
+	}
+	page, err := comp.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "<p>ab|hi u1</p>"; string(page) != want {
+		t.Fatalf("reassembled %q, want %q", page, want)
+	}
+
+	// Request log: one entry per fragment (keyed by the fragment, windowed
+	// by its build), a zero-width template entry, and the page entry marked
+	// not-cached so the mapper skips it.
+	entries, _ := rlog.Since(1)
+	if len(entries) != 4 {
+		t.Fatalf("log entries: %d (%+v)", len(entries), entries)
+	}
+	var sawRows, sawTmpl, sawPage bool
+	for _, e := range entries {
+		switch {
+		case e.CacheKey == rows.Key:
+			sawRows = true
+			if !e.Cached || !e.Deliver.After(e.Receive) {
+				t.Fatalf("rows entry: %+v", e)
+			}
+		case e.CacheKey == comp.TemplateKey:
+			sawTmpl = true
+			if !e.Cached || !e.Deliver.Equal(e.Receive) {
+				t.Fatalf("template entry must be zero-width: %+v", e)
+			}
+		case !strings.Contains(e.CacheKey, "!"):
+			sawPage = true
+			if e.Cached {
+				t.Fatalf("page entry must be not-cached: %+v", e)
+			}
+		}
+	}
+	if !sawRows || !sawTmpl || !sawPage {
+		t.Fatalf("missing entries: rows=%v tmpl=%v page=%v", sawRows, sawTmpl, sawPage)
+	}
+}
+
+func TestFragmentedPageSingleFragmentRequest(t *testing.T) {
+	srv, _ := newFragApp(t)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := fragGet(t, ts.URL+"/home?cat=0", map[string]string{
+		fragment.FragmentHeader: "rows",
+	})
+	if resp.StatusCode != http.StatusOK || string(body) != "ab" {
+		t.Fatalf("fragment fetch: %d %q", resp.StatusCode, body)
+	}
+	if key := resp.Header.Get(KeyHeader); !strings.Contains(key, "!frag=rows") {
+		t.Fatalf("fragment key: %q", key)
+	}
+	if cc := resp.Header.Get("Cache-Control"); !strings.Contains(cc, `owner="cacheportal"`) {
+		t.Fatalf("fragment cache-control: %q", cc)
+	}
+
+	resp, _ = fragGet(t, ts.URL+"/home?cat=0", map[string]string{
+		fragment.FragmentHeader: "nosuch",
+	})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown fragment: %d", resp.StatusCode)
+	}
+}
+
+func TestFragmentsOffServesWholePageOnly(t *testing.T) {
+	srv, _ := newFragApp(t)
+	srv.Fragments = false
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := fragGet(t, ts.URL+"/home?cat=1", map[string]string{
+		fragment.CompositeHeader: fragment.CompositeAccept,
+	})
+	if resp.Header.Get(fragment.CompositeHeader) != "" {
+		t.Fatal("composite negotiated with Fragments off")
+	}
+	if want := "<p>c|hi u1</p>"; string(body) != want {
+		t.Fatalf("body %q, want %q", body, want)
+	}
+}
+
+func TestContextFragmentValidation(t *testing.T) {
+	ctx := &Context{}
+	if err := ctx.Fragment("bad name", false, func() ([]byte, error) { return nil, nil }); err == nil {
+		t.Fatal("invalid name accepted")
+	}
+	if err := ctx.Fragment("dup", false, func() ([]byte, error) { return []byte("x"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctx.Fragment("dup", false, func() ([]byte, error) { return []byte("y"), nil }); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if got := len(ctx.Fragments()); got != 1 {
+		t.Fatalf("fragments: %d", got)
+	}
+}
+
+func TestSharedPageKeyProjectsCookiesOnly(t *testing.T) {
+	req, _ := http.NewRequest(http.MethodGet, "http://host/home?cat=2&noise=1", nil)
+	req.AddCookie(&http.Cookie{Name: "session", Value: "u9"})
+	keys := KeySpec{Get: []string{"cat"}, Cookie: []string{"session"}}
+	full := CacheKey(req, nil, keys)
+	shared := SharedPageKey(req, nil, keys)
+	if !strings.Contains(full, "c:session=u9") || strings.Contains(shared, "c:session") {
+		t.Fatalf("full %q shared %q", full, shared)
+	}
+	if !strings.Contains(shared, "g:cat=2") {
+		t.Fatalf("shared %q lost the GET key", shared)
+	}
+
+	// Cookie-only spec: the shared projection must NOT fall back to the
+	// every-GET-parameter default.
+	cookieOnly := KeySpec{Cookie: []string{"session"}}
+	sharedCO := SharedPageKey(req, nil, cookieOnly)
+	if strings.Contains(sharedCO, "g:") {
+		t.Fatalf("cookie-only spec projected to %q: leaked GET params", sharedCO)
+	}
+
+	// Private vs shared fragment key derivation.
+	if k := FragmentCacheKey(req, nil, keys, "trim", true); !strings.Contains(k, "c:session=u9") || !strings.Contains(k, "!frag=trim") {
+		t.Fatalf("private fragment key %q", k)
+	}
+	if k := FragmentCacheKey(req, nil, keys, "rows", false); strings.Contains(k, "c:session") || !strings.Contains(k, "!frag=rows") {
+		t.Fatalf("shared fragment key %q", k)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/fragment"
 )
 
 // CacheOwner is the owner token in the rewritten Cache-Control directive
@@ -41,6 +42,15 @@ type Server struct {
 	// guarantee (roughly the invalidation cycle). Servlets with a stricter
 	// (smaller, non-zero) TemporalSensitivity are marked non-cacheable.
 	MinSensitivity time.Duration
+	// Fragments switches the container to fragment-level caching: pages
+	// with a Template answer fragment-aware caches with a composite
+	// response (template + every fragment under its own cache key) or a
+	// single fragment body, and each fragment gets its own request-log
+	// entry whose time window is the fragment's build — so the sniffer maps
+	// queries to fragment keys and invalidation happens per fragment.
+	// Clients that don't negotiate (no fragment.CompositeHeader) always get
+	// the assembled whole page, byte-identical to Fragments=false.
+	Fragments bool
 
 	mu       sync.RWMutex
 	servlets map[string]*registered
@@ -178,10 +188,44 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	cacheable = s.pageCacheable(reg.meta, page)
 
+	// A fragmented page is a template plus the fragments the handler built;
+	// the assembled whole page is what non-negotiating clients receive,
+	// byte-identical to an unfragmented handler producing the same markup.
+	frags := ctx.Fragments()
+	body := page.Body
+	if page.Template != nil {
+		assembled, aerr := fragment.Assemble(page.Template, func(name string) ([]byte, bool) {
+			for i := range frags {
+				if frags[i].Name == name {
+					return frags[i].Body, true
+				}
+			}
+			return nil, false
+		})
+		if aerr != nil {
+			entry.Status = http.StatusInternalServerError
+			s.bumpStats(reg.meta.Name, deliver.Sub(receive), true)
+			if s.ReqLog != nil {
+				s.ReqLog.Append(entry)
+			}
+			http.Error(w, aerr.Error(), http.StatusInternalServerError)
+			return
+		}
+		body = assembled
+	}
+
 	ct := page.ContentType
 	if ct == "" {
 		ct = "text/html; charset=utf-8"
 	}
+
+	if s.Fragments && page.Template != nil && cacheable && status == http.StatusOK {
+		if s.serveFragmented(w, r, reg.meta, entry, page, frags, ct, deliver) {
+			s.bumpStats(reg.meta.Name, deliver.Sub(receive), false)
+			return
+		}
+	}
+
 	w.Header().Set("Content-Type", ct)
 	w.Header().Set(KeyHeader, key)
 	w.Header().Set(ServletHeader, reg.meta.Name)
@@ -199,7 +243,110 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.ReqLog.Append(entry)
 	}
 	w.WriteHeader(status)
-	w.Write(page.Body)
+	w.Write(body)
+}
+
+// serveFragmented answers a fragment-aware cache: a single fragment body
+// when the request names one (fragment.FragmentHeader), or the composite
+// transfer (template + all fragments under their own keys) when the cache
+// announced composite support. It returns false when the client negotiated
+// neither, in which case the caller serves the assembled whole page.
+//
+// Either way the request log gains one entry per fragment — CacheKey is the
+// fragment's key and Receive/Deliver its build window, so the mapper
+// attributes to each fragment exactly the queries its build ran — plus a
+// zero-width entry for the template (no queries can fall in an empty
+// window: the skeleton never acquires a mapping and survives row updates)
+// and the ordinary whole-page entry marked not-cached, for log readers that
+// follow requests rather than cache entries.
+func (s *Server) serveFragmented(w http.ResponseWriter, r *http.Request, meta Meta, pageEntry RequestLogEntry, page *Page, frags []Fragment, ct string, deliver time.Time) bool {
+	wantFrag := r.Header.Get(fragment.FragmentHeader)
+	wantComposite := r.Header.Get(fragment.CompositeHeader) == fragment.CompositeAccept
+	if wantFrag == "" && !wantComposite {
+		return false
+	}
+
+	post, _ := url.ParseQuery(pageEntry.Post)
+	sharedKey := SharedPageKey(r, post, meta.Keys)
+	tmplKey := fragment.TemplateKey(sharedKey)
+	fragKey := func(f Fragment) string {
+		if f.Private {
+			return fragment.Key(pageEntry.CacheKey, f.Name)
+		}
+		return fragment.Key(sharedKey, f.Name)
+	}
+
+	logEntries := func() {
+		if s.ReqLog == nil {
+			return
+		}
+		for _, f := range frags {
+			fe := pageEntry
+			fe.CacheKey = fragKey(f)
+			fe.Receive, fe.Deliver = f.Start, f.End
+			fe.Status = http.StatusOK
+			fe.Cached = true
+			s.ReqLog.Append(fe)
+		}
+		te := pageEntry
+		te.CacheKey = tmplKey
+		te.Receive, te.Deliver = deliver, deliver
+		te.Status = http.StatusOK
+		te.Cached = true
+		s.ReqLog.Append(te)
+		pe := pageEntry
+		pe.Status = http.StatusOK
+		pe.Cached = false
+		s.ReqLog.Append(pe)
+	}
+
+	if wantFrag != "" {
+		for _, f := range frags {
+			if f.Name != wantFrag {
+				continue
+			}
+			logEntries()
+			w.Header().Set("Content-Type", ct)
+			w.Header().Set(KeyHeader, fragKey(f))
+			w.Header().Set(ServletHeader, meta.Name)
+			w.Header().Set("Cache-Control", fmt.Sprintf("private, owner=%q", CacheOwner))
+			w.WriteHeader(http.StatusOK)
+			w.Write(f.Body)
+			return true
+		}
+		logEntries()
+		w.Header().Set("Cache-Control", "no-cache")
+		http.Error(w, fmt.Sprintf("unknown fragment %q", wantFrag), http.StatusNotFound)
+		return true
+	}
+
+	comp := &fragment.Composite{
+		TemplateKey: tmplKey,
+		Template:    page.Template,
+		ContentType: ct,
+		Servlet:     meta.Name,
+	}
+	for _, f := range frags {
+		comp.Fragments = append(comp.Fragments, fragment.Piece{
+			Ref:  fragment.Ref{Name: f.Name, Key: fragKey(f), Private: f.Private},
+			Body: f.Body,
+		})
+	}
+	enc, err := comp.Encode()
+	if err != nil {
+		// Encoding a composite cannot realistically fail; degrade to the
+		// whole-page path rather than erroring the request.
+		return false
+	}
+	logEntries()
+	w.Header().Set("Content-Type", fragment.ContentType)
+	w.Header().Set(fragment.CompositeHeader, fragment.CompositeYes)
+	w.Header().Set(KeyHeader, tmplKey)
+	w.Header().Set(ServletHeader, meta.Name)
+	w.Header().Set("Cache-Control", fmt.Sprintf("private, owner=%q", CacheOwner))
+	w.WriteHeader(http.StatusOK)
+	w.Write(enc)
+	return true
 }
 
 // pageCacheable folds the three §3.1 cacheability inputs: the page's own

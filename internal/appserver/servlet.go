@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/driver"
+	"repro/internal/fragment"
 )
 
 // Page is the servlet's output.
@@ -28,6 +29,31 @@ type Page struct {
 	// §3.1).
 	NoCache bool
 	Status  int // default 200
+	// Template, when non-nil, marks the page fragmented: it is the assembly
+	// skeleton whose include markers (fragment.Marker) name the fragments
+	// the handler built via Context.Fragment, and Body is ignored. The
+	// template must be static markup — every database query that feeds page
+	// content must run inside a Fragment build, because the template's own
+	// log entry carries a zero-width time window and attributes no queries.
+	Template []byte
+}
+
+// Fragment is one independently cacheable unit of a fragmented page: a
+// named body plus the wall-clock window of its build. The window is what
+// the sniffer's interval-containment rule sees, so each fragment gets its
+// own QI/URL mapping — exactly the queries its build ran — and therefore
+// its own precise invalidation, with no sniffer or invalidator changes.
+type Fragment struct {
+	// Name matches an include marker in the page template.
+	Name string
+	// Private marks per-session content: keyed with the request's cookies,
+	// never shared across users.
+	Private bool
+	// Body is the rendered fragment.
+	Body []byte
+	// Start/End bound the build; the fragment's request-log entry carries
+	// them as its receive/deliver window.
+	Start, End time.Time
 }
 
 // Context carries one request through a servlet.
@@ -39,8 +65,9 @@ type Context struct {
 	// Sources resolves named data sources (the JNDI-tree analog).
 	Sources *driver.Registry
 
-	mu     sync.Mutex
-	leases []int64
+	mu        sync.Mutex
+	leases    []int64
+	fragments []Fragment
 }
 
 // Param returns the first GET-or-POST value for name (GET wins).
@@ -75,6 +102,44 @@ func (c *Context) LeaseIDs() []int64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return append([]int64(nil), c.leases...)
+}
+
+// Fragment builds one named fragment of the page, recording the build's
+// wall-clock window. Contract: when a page is fragmented, every database
+// query that feeds its content must run inside some Fragment build —
+// queries issued outside every window attribute to no fragment entry and
+// become invisible to invalidation. Shared fragments (private=false) must
+// not depend on per-session state: they are keyed without cookies and one
+// user's copy answers every user's request.
+func (c *Context) Fragment(name string, private bool, build func() ([]byte, error)) error {
+	if !fragment.ValidName(name) {
+		return fmt.Errorf("appserver: invalid fragment name %q", name)
+	}
+	c.mu.Lock()
+	for _, f := range c.fragments {
+		if f.Name == name {
+			c.mu.Unlock()
+			return fmt.Errorf("appserver: duplicate fragment %q", name)
+		}
+	}
+	c.mu.Unlock()
+	start := time.Now()
+	body, err := build()
+	if err != nil {
+		return fmt.Errorf("appserver: fragment %q: %w", name, err)
+	}
+	end := time.Now()
+	c.mu.Lock()
+	c.fragments = append(c.fragments, Fragment{Name: name, Private: private, Body: body, Start: start, End: end})
+	c.mu.Unlock()
+	return nil
+}
+
+// Fragments returns the fragments built so far, in build order.
+func (c *Context) Fragments() []Fragment {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Fragment(nil), c.fragments...)
 }
 
 // Servlet is the application unit.
@@ -125,6 +190,32 @@ type Stats struct {
 // deterministic order. This is the paper's "URL" (§2.3.1). An empty KeySpec
 // keys on all GET parameters.
 func CacheKey(r *http.Request, post url.Values, keys KeySpec) string {
+	return cacheKeyProjected(r, post, keys, true)
+}
+
+// SharedPageKey is CacheKey with the cookie key parts projected away: the
+// page identity every session shares. Shared fragments and the assembly
+// template are keyed under it, so one user's copy answers all users.
+func SharedPageKey(r *http.Request, post url.Values, keys KeySpec) string {
+	return cacheKeyProjected(r, post, keys, false)
+}
+
+// FragmentCacheKey names one fragment of the page identified by the key
+// spec: private fragments derive from the full (cookie-bearing) page key,
+// shared ones from the cookie-projected key.
+func FragmentCacheKey(r *http.Request, post url.Values, keys KeySpec, name string, private bool) string {
+	if private {
+		return fragment.Key(CacheKey(r, post, keys), name)
+	}
+	return fragment.Key(SharedPageKey(r, post, keys), name)
+}
+
+// cacheKeyProjected builds the canonical key, optionally projecting the
+// cookie parts away. The all-GET default applies only when the whole spec
+// is empty — a cookie-only spec projected to shared form keeps its
+// (parameter-free) identity rather than suddenly keying on every GET
+// parameter.
+func cacheKeyProjected(r *http.Request, post url.Values, keys KeySpec, withCookies bool) string {
 	var parts []string
 	get := r.URL.Query()
 	if len(keys.Get)+len(keys.Post)+len(keys.Cookie) == 0 {
@@ -144,12 +235,14 @@ func CacheKey(r *http.Request, post url.Values, keys KeySpec) string {
 		for _, n := range sortedCopy(keys.Post) {
 			parts = append(parts, "p:"+n+"="+post.Get(n))
 		}
-		for _, n := range sortedCopy(keys.Cookie) {
-			v := ""
-			if ck, err := r.Cookie(n); err == nil {
-				v = ck.Value
+		if withCookies {
+			for _, n := range sortedCopy(keys.Cookie) {
+				v := ""
+				if ck, err := r.Cookie(n); err == nil {
+					v = ck.Value
+				}
+				parts = append(parts, "c:"+n+"="+v)
 			}
-			parts = append(parts, "c:"+n+"="+v)
 		}
 	}
 	key := r.Host + r.URL.Path

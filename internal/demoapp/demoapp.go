@@ -13,6 +13,8 @@ import (
 	"strings"
 
 	"repro/internal/appserver"
+	"repro/internal/driver"
+	"repro/internal/fragment"
 )
 
 // Default table sizes from §5.2.1.
@@ -65,61 +67,142 @@ type Def struct {
 	Handler appserver.ServletFunc
 }
 
-// Servlets returns the three page servlets, reading through the named data
-// source. Each takes a "cat" GET parameter (the join-attribute value,
-// 0..9) as its cache key.
-func Servlets(source string) []Def {
-	query := func(ctx *appserver.Context, sql string) (*appserver.Page, error) {
+// queryRows runs sql on the lease and formats the result the way the demo
+// pages always have.
+func queryRows(lease *driver.Lease, sql string) ([]byte, error) {
+	res, err := lease.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "<!-- %d rows -->\n", len(res.Rows))
+	for _, r := range res.Rows {
+		for i, v := range r {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(v.String())
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), nil
+}
+
+func cat(ctx *appserver.Context) string {
+	c := ctx.Param("cat")
+	if c == "" {
+		c = "0"
+	}
+	return c
+}
+
+// rowsPage runs sql inside a shared "rows" fragment build and returns a
+// fragmented page whose template is the bare fragment marker — so the
+// assembled output is byte-for-byte what the pre-fragment servlets
+// produced, while a fragment-aware cache can store and invalidate the
+// query result independently of any page trim.
+func rowsPage(ctx *appserver.Context, source, sql string) (*appserver.Page, error) {
+	err := ctx.Fragment("rows", false, func() ([]byte, error) {
 		lease, err := ctx.Lease(source)
 		if err != nil {
 			return nil, err
 		}
 		defer lease.Release()
-		res, err := lease.Query(sql)
-		if err != nil {
-			return nil, err
-		}
-		var b strings.Builder
-		fmt.Fprintf(&b, "<!-- %d rows -->\n", len(res.Rows))
-		for _, r := range res.Rows {
-			for i, v := range r {
-				if i > 0 {
-					b.WriteByte('\t')
-				}
-				b.WriteString(v.String())
-			}
-			b.WriteByte('\n')
-		}
-		return &appserver.Page{Body: []byte(b.String())}, nil
+		return queryRows(lease, sql)
+	})
+	if err != nil {
+		return nil, err
 	}
-	cat := func(ctx *appserver.Context) string {
-		c := ctx.Param("cat")
-		if c == "" {
-			c = "0"
-		}
-		return c
-	}
+	return &appserver.Page{Template: []byte(fragment.Marker("rows"))}, nil
+}
+
+// Servlets returns the three page servlets, reading through the named data
+// source. Each takes a "cat" GET parameter (the join-attribute value,
+// 0..9) as its cache key. Every page is a single shared "rows" fragment
+// under a marker-only template: assembled output is identical to the
+// historical whole-page bodies, and fragment-aware deployments cache the
+// query block on its own key.
+func Servlets(source string) []Def {
 	return []Def{
 		{
 			Meta: appserver.Meta{Name: "light", Keys: appserver.KeySpec{Get: []string{"cat"}}},
 			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
-				return query(ctx, "SELECT id, cat, val FROM small WHERE cat = "+cat(ctx))
+				return rowsPage(ctx, source, "SELECT id, cat, val FROM small WHERE cat = "+cat(ctx))
 			},
 		},
 		{
 			Meta: appserver.Meta{Name: "medium", Keys: appserver.KeySpec{Get: []string{"cat"}}},
 			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
-				return query(ctx, "SELECT id, cat, val FROM large WHERE cat = "+cat(ctx))
+				return rowsPage(ctx, source, "SELECT id, cat, val FROM large WHERE cat = "+cat(ctx))
 			},
 		},
 		{
 			Meta: appserver.Meta{Name: "heavy", Keys: appserver.KeySpec{Get: []string{"cat"}}},
 			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
-				return query(ctx, "SELECT small.id, large.id, small.val FROM small, large "+
+				return rowsPage(ctx, source, "SELECT small.id, large.id, small.val FROM small, large "+
 					"WHERE small.cat = large.cat AND small.cat = "+cat(ctx)+" ORDER BY small.id LIMIT 200")
 			},
 		},
 	}
+}
+
+// SessionCookie is the cookie carrying the demo user identity; the "home"
+// servlet keys its private fragment on it.
+const SessionCookie = "session"
+
+// HomeTemplate is the "home" page's assembly skeleton: a static shell with
+// three include markers. Header and listing are shared across sessions;
+// trim is private to one user.
+var HomeTemplate = []byte("<header>demo</header>\n" +
+	fragment.Marker("header") + "\n" +
+	fragment.Marker("listing") + "\n" +
+	fragment.Marker("trim") + "\n<footer/>\n")
+
+// PersonalizedServlets returns the personalized "home" servlet of the
+// fragment evaluation: a page keyed on both the "cat" GET parameter and
+// the session cookie, composed of a static shared header, a shared listing
+// (the large-table query for cat — identical for every user asking for
+// that category), and a query-free private trim greeting the session. At
+// page granularity every user's copy is distinct and a row update ejects
+// them all; at fragment granularity all users share one listing copy and
+// an update ejects only it.
+func PersonalizedServlets(source string) []Def {
+	return []Def{
+		{
+			Meta: appserver.Meta{
+				Name: "home",
+				Keys: appserver.KeySpec{Get: []string{"cat"}, Cookie: []string{SessionCookie}},
+			},
+			Handler: func(ctx *appserver.Context) (*appserver.Page, error) {
+				if err := ctx.Fragment("header", false, func() ([]byte, error) {
+					return []byte("<nav>categories 0.." + fmt.Sprint(JoinValues-1) + "</nav>"), nil
+				}); err != nil {
+					return nil, err
+				}
+				if err := ctx.Fragment("listing", false, func() ([]byte, error) {
+					lease, err := ctx.Lease(source)
+					if err != nil {
+						return nil, err
+					}
+					defer lease.Release()
+					return queryRows(lease, "SELECT id, cat, val FROM large WHERE cat = "+cat(ctx))
+				}); err != nil {
+					return nil, err
+				}
+				if err := ctx.Fragment("trim", true, func() ([]byte, error) {
+					return []byte("<aside>hello " + ctx.Cookies[SessionCookie] + "</aside>"), nil
+				}); err != nil {
+					return nil, err
+				}
+				return &appserver.Page{Template: HomeTemplate}, nil
+			},
+		},
+	}
+}
+
+// HomeURL builds a personalized page URL for one category.
+func HomeURL(base string, cat int) string {
+	return fmt.Sprintf("%s/home?cat=%d", base, cat)
 }
 
 // PageURLs returns the 30 demo page URLs (3 servlets × 10 categories)
@@ -153,4 +236,13 @@ func UpdateStatement() func(*rand.Rand) string {
 		}
 		return fmt.Sprintf("DELETE FROM %s WHERE id = %d", table, rng.Intn(size))
 	}
+}
+
+// ListingUpdateStatement returns an insert into the large table in exactly
+// one category — the update that, under fragment-level invalidation,
+// should eject only that category's listing fragments and nothing else.
+// id must be unique among prior inserts (start above 20,000,000 to stay
+// clear of UpdateStatement's range).
+func ListingUpdateStatement(id int64, cat int) string {
+	return fmt.Sprintf("INSERT INTO large VALUES (%d, %d, 'f%d')", id, cat, id)
 }

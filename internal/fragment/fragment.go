@@ -1,0 +1,206 @@
+// Package fragment is the shared vocabulary of fragment-level caching: the
+// include-marker syntax assembly templates use, the key scheme that names
+// fragments and templates as first-class cache keys, the Assemble splice,
+// and the composite wire format the application server uses to hand a
+// fragmented page — template plus named pieces — to the web cache in one
+// response. Both ends import this package and nothing of each other, so the
+// cache stays deployable without the app server (the paper's independence
+// requirement, §2.1); Vcache's independently-invalidatable document
+// fragments are the precedent.
+package fragment
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Header names of the fragment negotiation between cache and origin.
+const (
+	// CompositeHeader negotiates fragment-structured responses. A
+	// fragment-aware cache sends "CompositeHeader: accept" on a full-page
+	// miss; a fragment-mode origin answers a cacheable fragmented page with
+	// "CompositeHeader: 1" and a composite-encoded body. Clients that never
+	// send the header get ordinary assembled pages, so non-fragment-aware
+	// caches keep working unchanged.
+	CompositeHeader = "X-Cacheportal-Composite"
+	// CompositeAccept is the request value announcing composite support.
+	CompositeAccept = "accept"
+	// CompositeYes is the response value marking a composite-encoded body.
+	CompositeYes = "1"
+	// FragmentHeader asks the origin for one named fragment of the page
+	// (the cache's fill path when assembly finds a single piece missing).
+	FragmentHeader = "X-Cacheportal-Fragment"
+	// ContentType marks composite-encoded bodies in transit.
+	ContentType = "application/x-cacheportal-composite"
+)
+
+// Marker syntax: the assembly template embeds one include marker per
+// fragment; Assemble splices fragment bodies over them.
+const (
+	markerPrefix = "<!--#cacheportal-fragment "
+	markerSuffix = "-->"
+)
+
+// Marker renders the include marker for a named fragment.
+func Marker(name string) string { return markerPrefix + name + markerSuffix }
+
+// ValidName reports whether name is usable as a fragment name: non-empty
+// and free of characters that would break the marker syntax or the key
+// scheme (spaces, '-->', '!', '#').
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	return !strings.ContainsAny(name, " \t\r\n!#<>&")
+}
+
+// Names returns the fragment names referenced by template markers, in
+// template order (duplicates preserved).
+func Names(template []byte) []string {
+	var names []string
+	forEachMarker(template, func(name string, _, _ int) bool {
+		names = append(names, name)
+		return true
+	})
+	return names
+}
+
+// forEachMarker scans template for include markers, calling fn with each
+// marker's name and [start, end) byte range until fn returns false.
+func forEachMarker(template []byte, fn func(name string, start, end int) bool) {
+	s := string(template)
+	for off := 0; ; {
+		i := strings.Index(s[off:], markerPrefix)
+		if i < 0 {
+			return
+		}
+		start := off + i
+		rest := s[start+len(markerPrefix):]
+		j := strings.Index(rest, markerSuffix)
+		if j < 0 {
+			return
+		}
+		end := start + len(markerPrefix) + j + len(markerSuffix)
+		if !fn(rest[:j], start, end) {
+			return
+		}
+		off = end
+	}
+}
+
+// Assemble splices fragment bodies over the template's include markers.
+// lookup returns the body for a fragment name; a false return aborts with
+// an error naming the missing fragment, so callers can fall back to the
+// origin instead of serving a page with holes.
+func Assemble(template []byte, lookup func(name string) ([]byte, bool)) ([]byte, error) {
+	var out []byte
+	last := 0
+	var missing string
+	forEachMarker(template, func(name string, start, end int) bool {
+		body, ok := lookup(name)
+		if !ok {
+			missing = name
+			return false
+		}
+		out = append(out, template[last:start]...)
+		out = append(out, body...)
+		last = end
+		return true
+	})
+	if missing != "" {
+		return nil, fmt.Errorf("fragment: assemble: missing fragment %q", missing)
+	}
+	out = append(out, template[last:]...)
+	return out, nil
+}
+
+// Key scheme: fragments and templates are ordinary cache keys derived from
+// a page key, so every key-carrying stage of the pipeline — the QI/URL map,
+// the registry, eject batches, retry lists, trace spans — operates at
+// fragment granularity without change. The separators cannot collide with
+// canonical page keys ('!' never appears in the "g:"/"p:"/"c:" part
+// encoding).
+const (
+	keySep         = "!frag="
+	templateSuffix = "!tmpl"
+)
+
+// Key names one fragment of a page: shared fragments derive from the page
+// key with cookie parts projected away, private fragments from the full
+// (cookie-bearing) page key.
+func Key(pageKey, name string) string { return pageKey + keySep + name }
+
+// TemplateKey names a page's assembly template (always shared: per-user
+// content must live in private fragments, never in the skeleton).
+func TemplateKey(pageKey string) string { return pageKey + templateSuffix }
+
+// IsFragmentKey reports whether key names a fragment or a template rather
+// than a whole page.
+func IsFragmentKey(key string) bool {
+	return strings.Contains(key, keySep) || strings.HasSuffix(key, templateSuffix)
+}
+
+// FragmentName extracts the fragment name from a fragment key ("" for
+// template and page keys).
+func FragmentName(key string) string {
+	if i := strings.LastIndex(key, keySep); i >= 0 {
+		return key[i+len(keySep):]
+	}
+	return ""
+}
+
+// Ref names one fragment a template includes. Private refs carry an empty
+// Key: the canonical private key is per-user, so the cache derives a
+// per-request lookup key and resolves it through its alias table instead.
+type Ref struct {
+	Name    string `json:"name"`
+	Key     string `json:"key,omitempty"`
+	Private bool   `json:"private,omitempty"`
+}
+
+// Piece is one fragment with its body, as shipped in a composite response.
+type Piece struct {
+	Ref
+	Body []byte `json:"body"`
+}
+
+// Composite is the origin→cache transfer of a fragmented page: the
+// assembly template under its key, plus every fragment under its own key.
+// The cache stores each piece independently and assembles the client's
+// page; one transfer seeds N independently-invalidatable entries.
+type Composite struct {
+	TemplateKey string  `json:"template_key"`
+	Template    []byte  `json:"template"`
+	ContentType string  `json:"content_type"`
+	Servlet     string  `json:"servlet"`
+	Fragments   []Piece `json:"fragments"`
+}
+
+// Encode renders the composite for transport.
+func (c *Composite) Encode() ([]byte, error) { return json.Marshal(c) }
+
+// Decode parses a composite body.
+func Decode(b []byte) (*Composite, error) {
+	var c Composite
+	if err := json.Unmarshal(b, &c); err != nil {
+		return nil, fmt.Errorf("fragment: decode composite: %w", err)
+	}
+	if c.TemplateKey == "" {
+		return nil, fmt.Errorf("fragment: decode composite: missing template key")
+	}
+	return &c, nil
+}
+
+// Assemble builds the full page from the composite's own pieces (the
+// cache's serve-on-miss path, and the equivalence oracle in tests).
+func (c *Composite) Assemble() ([]byte, error) {
+	byName := make(map[string][]byte, len(c.Fragments))
+	for _, p := range c.Fragments {
+		byName[p.Name] = p.Body
+	}
+	return Assemble(c.Template, func(name string) ([]byte, bool) {
+		b, ok := byName[name]
+		return b, ok
+	})
+}

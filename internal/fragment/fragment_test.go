@@ -1,0 +1,120 @@
+package fragment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestMarkerAndNames(t *testing.T) {
+	tmpl := []byte("<html>" + Marker("header") + "<p>x</p>" + Marker("rows") + "</html>")
+	names := Names(tmpl)
+	if len(names) != 2 || names[0] != "header" || names[1] != "rows" {
+		t.Fatalf("Names = %v, want [header rows]", names)
+	}
+	if Names([]byte("no markers here")) != nil {
+		t.Fatalf("Names on plain body should be nil")
+	}
+}
+
+func TestAssemble(t *testing.T) {
+	tmpl := []byte("A" + Marker("x") + "B" + Marker("y") + "C")
+	bodies := map[string][]byte{"x": []byte("1"), "y": []byte("22")}
+	out, err := Assemble(tmpl, func(n string) ([]byte, bool) { b, ok := bodies[n]; return b, ok })
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if string(out) != "A1B22C" {
+		t.Fatalf("Assemble = %q, want A1B22C", out)
+	}
+}
+
+func TestAssembleMissingFragment(t *testing.T) {
+	tmpl := []byte(Marker("gone"))
+	_, err := Assemble(tmpl, func(string) ([]byte, bool) { return nil, false })
+	if err == nil || !strings.Contains(err.Error(), `"gone"`) {
+		t.Fatalf("Assemble with missing fragment: err = %v, want missing-fragment error", err)
+	}
+}
+
+func TestAssembleNoMarkers(t *testing.T) {
+	body := []byte("plain page body")
+	out, err := Assemble(body, func(string) ([]byte, bool) { return nil, false })
+	if err != nil || !bytes.Equal(out, body) {
+		t.Fatalf("Assemble(plain) = %q, %v; want identity", out, err)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"rows", "per-session_trim", "r2.d2"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false, want true", ok)
+		}
+	}
+	for _, bad := range []string{"", "a b", "a!b", "x#y", "a<b", "new\nline"} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true, want false", bad)
+		}
+	}
+}
+
+func TestKeyScheme(t *testing.T) {
+	page := "host/home?g:cat=3"
+	fk := Key(page, "listing")
+	tk := TemplateKey(page)
+	if !IsFragmentKey(fk) || !IsFragmentKey(tk) {
+		t.Fatalf("fragment/template keys must be recognized: %q %q", fk, tk)
+	}
+	if IsFragmentKey(page) {
+		t.Fatalf("page key %q misclassified as fragment key", page)
+	}
+	if got := FragmentName(fk); got != "listing" {
+		t.Fatalf("FragmentName(%q) = %q", fk, got)
+	}
+	if got := FragmentName(page); got != "" {
+		t.Fatalf("FragmentName(page) = %q, want empty", got)
+	}
+}
+
+func TestCompositeRoundTrip(t *testing.T) {
+	c := &Composite{
+		TemplateKey: TemplateKey("h/p?g:cat=1"),
+		Template:    []byte(Marker("a") + "|" + Marker("b")),
+		ContentType: "text/html; charset=utf-8",
+		Servlet:     "home",
+		Fragments: []Piece{
+			{Ref: Ref{Name: "a", Key: Key("h/p?g:cat=1", "a")}, Body: []byte("shared")},
+			{Ref: Ref{Name: "b", Private: true, Key: Key("h/p?g:cat=1&c:s=u1", "b")}, Body: []byte("mine")},
+		},
+	}
+	enc, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if dec.TemplateKey != c.TemplateKey || dec.Servlet != "home" || len(dec.Fragments) != 2 {
+		t.Fatalf("round trip lost fields: %+v", dec)
+	}
+	if !dec.Fragments[1].Private || dec.Fragments[1].Name != "b" {
+		t.Fatalf("private ref lost: %+v", dec.Fragments[1])
+	}
+	page, err := dec.Assemble()
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	if string(page) != "shared|mine" {
+		t.Fatalf("assembled = %q", page)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Fatalf("Decode(garbage) should fail")
+	}
+	if _, err := Decode([]byte(`{"template":"aGk="}`)); err == nil {
+		t.Fatalf("Decode without template key should fail")
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/backoff"
 	"repro/internal/engine"
+	"repro/internal/fragment"
 	"repro/internal/mem"
 	"repro/internal/obs"
 	"repro/internal/predindex"
@@ -153,6 +154,10 @@ type Report struct {
 	PollTime       time.Duration
 	LocalDecisions int // tuple×type decisions made without polling
 	Invalidated    int // pages ejected
+	// FragmentEjects is how many of the Invalidated keys named a fragment
+	// or assembly template rather than a whole page — the share of eject
+	// traffic operating below page granularity.
+	FragmentEjects int
 	Conservative   int // instance invalidations decided conservatively
 	// Truncated is set when a source log (request, query, or update) lost
 	// entries before this cycle read them; the cycle responded by flushing
@@ -744,6 +749,12 @@ func (inv *Invalidator) Cycle() (rep Report, retErr error) {
 	// sample is recorded (globally and per servlet) before the mapping —
 	// which names the servlet — is removed.
 	finish := func(k string, now time.Time) {
+		if fragment.IsFragmentKey(k) {
+			inv.met.fragmentEjects.Inc()
+			rep.FragmentEjects++
+		} else {
+			inv.met.pageEjects.Inc()
+		}
 		if pi := impacted[k]; !pi.stamp.IsZero() {
 			lat := now.Sub(pi.stamp)
 			if lat < 0 {

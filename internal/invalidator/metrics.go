@@ -35,6 +35,15 @@ type invMetrics struct {
 	eventCycles     *obs.Counter
 	burstWakes      *obs.Histogram
 
+	// Eject-granularity split: with fragment-level caching the keys flowing
+	// through the eject path are a mix of whole pages and fragment/template
+	// keys. fragmentEjects counts ejected keys naming a fragment or an
+	// assembly template, pageEjects the rest — together they show how much
+	// of the invalidation traffic the fragment refactor moved below page
+	// granularity.
+	fragmentEjects *obs.Counter
+	pageEjects     *obs.Counter
+
 	// Predicate-index counters (PR 6). predProbes counts index probes,
 	// predBucketHits/predIntervalHits the certain candidates they returned
 	// (hash vs. sorted-run path), predResiduals the entries handed back
@@ -76,6 +85,8 @@ func newInvMetrics(reg *obs.Registry) invMetrics {
 		staleness:       reg.Histogram("invalidator.staleness_seconds"),
 		eventCycles:     reg.Counter("invalidator.event_cycles_total"),
 		burstWakes:      reg.Histogram("invalidator.event_burst_wakes"),
+		fragmentEjects:  reg.Counter("invalidator.fragment_ejects_total"),
+		pageEjects:      reg.Counter("invalidator.page_ejects_total"),
 
 		predProbes:        reg.Counter("invalidator.predindex.probes_total"),
 		predBucketHits:    reg.Counter("invalidator.predindex.bucket_hits_total"),

@@ -22,14 +22,32 @@ import (
 	"time"
 )
 
-// Entry is one cached page.
+// Entry is one cached page, fragment, or assembly template.
 type Entry struct {
 	Key         string
 	Body        []byte
 	ContentType string
 	Servlet     string
 	StoredAt    time.Time
+	// Refs, when non-nil, marks this entry as an assembly template: Body is
+	// the skeleton with include markers and Refs names the fragments to
+	// splice in. Shared refs carry their canonical fragment key; private
+	// refs carry an empty key (the canonical key is per-user — the proxy
+	// derives a per-request lookup key and resolves it through the alias
+	// table).
+	Refs []FragmentRef
 }
+
+// FragmentRef names one fragment an assembly template includes.
+type FragmentRef struct {
+	Name    string
+	Key     string // canonical fragment key; "" for private refs
+	Private bool
+}
+
+// IsTemplate reports whether the entry is an assembly template rather than
+// a self-contained body.
+func (e *Entry) IsTemplate() bool { return e.Refs != nil }
 
 // Stats are the cache's counters (aggregated across shards).
 type Stats struct {
@@ -108,6 +126,15 @@ type Cache struct {
 	aliasMu   sync.RWMutex
 	alias     map[string]string   // request key → canonical key
 	aliasesOf map[string][]string // canonical key → its aliases
+
+	// Per-servlet lookup counters, recorded by the proxy outside the shard
+	// locks (NoteServlet), under their own mutex. onServlet fires once per
+	// newly seen servlet name — after servletMu is released, so metric
+	// registration (which snapshots under the obs registry lock) can never
+	// invert lock order against a concurrent obs.Snapshot.
+	servletMu    sync.Mutex
+	servletStats map[string]*Stats
+	onServlet    func(name string)
 }
 
 // minShardCapacity is the smallest per-shard capacity worth sharding for:
@@ -149,9 +176,10 @@ func NewCacheSharded(capacity, shards int) *Cache {
 		shards = capacity
 	}
 	c := &Cache{
-		shards:    make([]*cacheShard, shards),
-		alias:     make(map[string]string),
-		aliasesOf: make(map[string][]string),
+		shards:       make([]*cacheShard, shards),
+		alias:        make(map[string]string),
+		aliasesOf:    make(map[string][]string),
+		servletStats: make(map[string]*Stats),
 	}
 	for i := range c.shards {
 		cap := 0
@@ -263,6 +291,90 @@ func (c *Cache) Get(key string) (*Entry, bool) {
 	se.seq = c.stamp()
 	s.stats.Hits++
 	return se.e, true
+}
+
+// Lookup is Get without the miss accounting: recency and the hit counter
+// update when the entry is present, but an absent key counts nothing. The
+// proxy's fragment path probes several candidate keys per request (full
+// request key, then the cookieless template key) and must charge at most
+// one miss per page-level lookup.
+func (c *Cache) Lookup(key string) (*Entry, bool) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	se := el.Value.(*shardEntry)
+	se.seq = c.stamp()
+	s.stats.Hits++
+	return se.e, true
+}
+
+// NoteServlet records one page- or fragment-level lookup outcome against
+// the generating servlet. The proxy calls it outside any shard lock; the
+// first observation of a servlet name fires the Instrument hook (after the
+// servlet lock is released) so a gauge set appears per servlet lazily.
+func (c *Cache) NoteServlet(servlet string, hit bool) {
+	if servlet == "" {
+		return
+	}
+	c.servletMu.Lock()
+	st, ok := c.servletStats[servlet]
+	if !ok {
+		st = &Stats{}
+		c.servletStats[servlet] = st
+	}
+	if hit {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	hook := c.onServlet
+	c.servletMu.Unlock()
+	if !ok && hook != nil {
+		hook(servlet)
+	}
+}
+
+// StatsOfServlet returns the named servlet's lookup counters.
+func (c *Cache) StatsOfServlet(servlet string) Stats {
+	c.servletMu.Lock()
+	defer c.servletMu.Unlock()
+	if st, ok := c.servletStats[servlet]; ok {
+		return *st
+	}
+	return Stats{}
+}
+
+// ServletStats returns a copy of every servlet's lookup counters.
+func (c *Cache) ServletStats() map[string]Stats {
+	c.servletMu.Lock()
+	defer c.servletMu.Unlock()
+	out := make(map[string]Stats, len(c.servletStats))
+	for name, st := range c.servletStats {
+		out[name] = *st
+	}
+	return out
+}
+
+// OnNewServlet installs the lazily-fired per-servlet hook and replays it
+// for servlets already observed. Used by Instrument; last writer wins.
+func (c *Cache) OnNewServlet(fn func(name string)) {
+	c.servletMu.Lock()
+	c.onServlet = fn
+	known := make([]string, 0, len(c.servletStats))
+	for name := range c.servletStats {
+		known = append(known, name)
+	}
+	c.servletMu.Unlock()
+	if fn != nil {
+		for _, name := range known {
+			fn(name)
+		}
+	}
 }
 
 // Peek returns the entry without touching counters or recency.
@@ -534,11 +646,18 @@ func (c *Cache) StatsOfShard(i int) Stats {
 }
 
 // ResetStats zeroes every counter — including the per-shard eviction and
-// eject counters — atomically with respect to each shard (under its lock).
+// eject counters and the per-servlet breakdown — atomically with respect to
+// each shard (under its lock). Servlet entries are zeroed, not removed, so
+// gauges registered for them keep reporting.
 func (c *Cache) ResetStats() {
 	for _, s := range c.shards {
 		s.mu.Lock()
 		s.stats = Stats{}
 		s.mu.Unlock()
 	}
+	c.servletMu.Lock()
+	for _, st := range c.servletStats {
+		*st = Stats{}
+	}
+	c.servletMu.Unlock()
 }

@@ -1,0 +1,438 @@
+package webcache
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fragment"
+)
+
+// fragmentOrigin is a fragment-aware origin in miniature: a personalized
+// "home" page made of a shared "listing" fragment (keyed by ?cat) and a
+// private "trim" fragment (keyed by the session cookie). It answers the
+// composite negotiation, single-fragment requests, and plain whole-page
+// requests — the same protocol internal/appserver speaks. version lets
+// tests change the shared content; calls counts origin requests.
+type fragmentOrigin struct {
+	version int64
+	calls   int64
+	srv     *httptest.Server
+}
+
+var homeTemplate = []byte("<top>" + fragment.Marker("listing") + "|" + fragment.Marker("trim") + "</top>")
+
+func newFragmentOrigin(t *testing.T) *fragmentOrigin {
+	t.Helper()
+	o := &fragmentOrigin{}
+	o.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt64(&o.calls, 1)
+		session := ""
+		if c, err := r.Cookie("session"); err == nil {
+			session = c.Value
+		}
+		cat := r.URL.Query().Get("cat")
+		sharedKey := "origin/home?g:cat=" + cat
+		pageKey := sharedKey + "&c:session=" + session
+		tmplKey := fragment.TemplateKey(sharedKey)
+		listing := []byte(fmt.Sprintf("cat%s-v%d", cat, atomic.LoadInt64(&o.version)))
+		trim := []byte("hello " + session)
+
+		owner := func() {
+			w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+			w.Header().Set(servletHeader, "home")
+		}
+		if name := r.Header.Get(fragment.FragmentHeader); name != "" {
+			var body []byte
+			var key string
+			switch name {
+			case "listing":
+				body, key = listing, fragment.Key(sharedKey, "listing")
+			case "trim":
+				body, key = trim, fragment.Key(pageKey, "trim")
+			default:
+				http.NotFound(w, r)
+				return
+			}
+			owner()
+			w.Header().Set(keyHeader, key)
+			w.Write(body)
+			return
+		}
+		if r.Header.Get(fragment.CompositeHeader) == fragment.CompositeAccept {
+			comp := &fragment.Composite{
+				TemplateKey: tmplKey,
+				Template:    homeTemplate,
+				ContentType: "text/html",
+				Servlet:     "home",
+				Fragments: []fragment.Piece{
+					{Ref: fragment.Ref{Name: "listing", Key: fragment.Key(sharedKey, "listing")}, Body: listing},
+					{Ref: fragment.Ref{Name: "trim", Key: fragment.Key(pageKey, "trim"), Private: true}, Body: trim},
+				},
+			}
+			enc, err := comp.Encode()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			owner()
+			w.Header().Set(fragment.CompositeHeader, fragment.CompositeYes)
+			w.Header().Set(keyHeader, tmplKey)
+			w.Header().Set("Content-Type", fragment.ContentType)
+			w.Write(enc)
+			return
+		}
+		page, err := (&fragment.Composite{
+			TemplateKey: tmplKey, Template: homeTemplate,
+			Fragments: []fragment.Piece{
+				{Ref: fragment.Ref{Name: "listing"}, Body: listing},
+				{Ref: fragment.Ref{Name: "trim"}, Body: trim},
+			},
+		}).Assemble()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		owner()
+		w.Header().Set(keyHeader, pageKey)
+		w.Header().Set("Content-Type", "text/html")
+		w.Write(page)
+	}))
+	t.Cleanup(o.srv.Close)
+	return o
+}
+
+func getAs(t *testing.T, url, session string) (string, string) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if session != "" {
+		req.AddCookie(&http.Cookie{Name: "session", Value: session})
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, b)
+	}
+	return string(b), resp.Header.Get(HitHeader)
+}
+
+func TestProxyFragmentCompositeStoreAndAssemble(t *testing.T) {
+	origin := newFragmentOrigin(t)
+	cache := NewCache(0)
+	p := NewProxy(origin.srv.URL, cache)
+	p.Fragments = true
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	b1, h1 := getAs(t, proxy.URL+"/home?cat=1", "u1")
+	if h1 != "miss" {
+		t.Fatalf("first request: %s", h1)
+	}
+	if want := "<top>cat1-v0|hello u1</top>"; b1 != want {
+		t.Fatalf("assembled body %q, want %q", b1, want)
+	}
+	// Template + two fragments stored under their own keys.
+	for _, k := range []string{
+		fragment.TemplateKey("origin/home?g:cat=1"),
+		fragment.Key("origin/home?g:cat=1", "listing"),
+		fragment.Key("origin/home?g:cat=1&c:session=u1", "trim"),
+	} {
+		if _, ok := cache.Peek(k); !ok {
+			t.Fatalf("missing cache entry %q (have %v)", k, cache.Keys())
+		}
+	}
+
+	b2, h2 := getAs(t, proxy.URL+"/home?cat=1", "u1")
+	if h2 != "hit" || b2 != b1 {
+		t.Fatalf("second request: %s %q", h2, b2)
+	}
+	if n := atomic.LoadInt64(&origin.calls); n != 1 {
+		t.Fatalf("origin calls after full hit: %d", n)
+	}
+}
+
+func TestProxyFragmentCrossUserSharedReuse(t *testing.T) {
+	origin := newFragmentOrigin(t)
+	cache := NewCache(0)
+	p := NewProxy(origin.srv.URL, cache)
+	p.Fragments = true
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	getAs(t, proxy.URL+"/home?cat=2", "u1")
+	before := atomic.LoadInt64(&origin.calls)
+
+	// A different user rides the shared skeleton: template and listing come
+	// from cache, only the private trim goes to the origin.
+	b, h := getAs(t, proxy.URL+"/home?cat=2", "u2")
+	if h != "partial" {
+		t.Fatalf("new user: %s, want partial", h)
+	}
+	if want := "<top>cat2-v0|hello u2</top>"; b != want {
+		t.Fatalf("assembled body %q, want %q", b, want)
+	}
+	if n := atomic.LoadInt64(&origin.calls) - before; n != 1 {
+		t.Fatalf("origin calls for new user: %d, want 1 (trim fetch only)", n)
+	}
+
+	// Now the trim is cached too: full hit, no origin traffic.
+	before = atomic.LoadInt64(&origin.calls)
+	if _, h := getAs(t, proxy.URL+"/home?cat=2", "u2"); h != "hit" {
+		t.Fatalf("repeat: %s", h)
+	}
+	if n := atomic.LoadInt64(&origin.calls) - before; n != 0 {
+		t.Fatalf("origin calls on repeat: %d", n)
+	}
+}
+
+func TestProxyFragmentEjectRefetchesOnlyThatFragment(t *testing.T) {
+	origin := newFragmentOrigin(t)
+	cache := NewCache(0)
+	p := NewProxy(origin.srv.URL, cache)
+	p.Fragments = true
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	getAs(t, proxy.URL+"/home?cat=3", "u1")
+	atomic.StoreInt64(&origin.version, 1) // the data changed...
+	listingKey := fragment.Key("origin/home?g:cat=3", "listing")
+	if !cache.Invalidate(listingKey) { // ...and the invalidator ejected the listing
+		t.Fatal("listing fragment was not cached")
+	}
+
+	b, h := getAs(t, proxy.URL+"/home?cat=3", "u1")
+	if h != "partial" {
+		t.Fatalf("after eject: %s, want partial", h)
+	}
+	if want := "<top>cat3-v1|hello u1</top>"; b != want {
+		t.Fatalf("assembled body %q, want %q (fresh listing, cached trim)", b, want)
+	}
+}
+
+func TestProxyFragmentsOffIsWholePageProtocol(t *testing.T) {
+	sawComposite := int64(0)
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(fragment.CompositeHeader) != "" {
+			atomic.AddInt64(&sawComposite, 1)
+		}
+		w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+		w.Header().Set(keyHeader, "origin/page")
+		fmt.Fprint(w, "whole page")
+	}))
+	defer origin.Close()
+	cache := NewCache(0)
+	proxy := httptest.NewServer(NewProxy(origin.URL, cache)) // Fragments off
+	defer proxy.Close()
+
+	if _, h := getAs(t, proxy.URL+"/page", ""); h != "miss" {
+		t.Fatalf("first: %s", h)
+	}
+	if _, h := getAs(t, proxy.URL+"/page", ""); h != "hit" {
+		t.Fatalf("second: %s", h)
+	}
+	if n := atomic.LoadInt64(&sawComposite); n != 0 {
+		t.Fatalf("proxy negotiated composites with Fragments off (%d times)", n)
+	}
+}
+
+func TestProxyFragmentModeFlippedOffInvalidatesTemplates(t *testing.T) {
+	origin := newFragmentOrigin(t)
+	cache := NewCache(0)
+	p := NewProxy(origin.srv.URL, cache)
+	p.Fragments = true
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	getAs(t, proxy.URL+"/home?cat=4", "u1")
+	p.Fragments = false // operator flips the mode under a populated cache
+
+	// The template entry is not a servable page: the proxy must treat it as
+	// a miss and fall back to the whole-page protocol, never serve raw
+	// template bytes.
+	b, h := getAs(t, proxy.URL+"/home?cat=4", "u1")
+	if h != "miss" {
+		t.Fatalf("after flip: %s", h)
+	}
+	if strings.Contains(b, "cacheportal-fragment") {
+		t.Fatalf("served raw template markers: %q", b)
+	}
+}
+
+func TestProxyFragmentPerServletStats(t *testing.T) {
+	origin := newFragmentOrigin(t)
+	cache := NewCache(0)
+	p := NewProxy(origin.srv.URL, cache)
+	p.Fragments = true
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	getAs(t, proxy.URL+"/home?cat=5", "u1") // miss
+	getAs(t, proxy.URL+"/home?cat=5", "u1") // template + 2 fragment hits
+
+	st := cache.StatsOfServlet("home")
+	if st.Misses == 0 || st.Hits < 3 {
+		t.Fatalf("per-servlet stats %+v: want >=1 miss and >=3 hits", st)
+	}
+	if all := cache.ServletStats(); all["home"] != st {
+		t.Fatalf("ServletStats disagrees: %+v vs %+v", all["home"], st)
+	}
+}
+
+// Satellite: per-servlet cookie allowlist. A servlet with an entry keys
+// only on the listed cookies, so two users with different irrelevant
+// cookies share a cache entry immediately; servlets without an entry keep
+// the personalization-safe default where every cookie keys.
+func TestCookieAllowlist(t *testing.T) {
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", `private, owner="cacheportal"`)
+		// No keyHeader: the entry is stored under the proxy's request key,
+		// so cookie handling in that key is exactly what is under test.
+		fmt.Fprint(w, "body for "+r.URL.Path)
+	}))
+	defer origin.Close()
+	cache := NewCache(0)
+	p := NewProxy(origin.URL, cache)
+	p.CookieAllow = map[string][]string{
+		"shared": {},          // no cookie keys this servlet
+		"bycat":  {"catpref"}, // only catpref keys it
+	}
+	proxy := httptest.NewServer(p)
+	defer proxy.Close()
+
+	get := func(path string, cookies map[string]string) string {
+		req, _ := http.NewRequest(http.MethodGet, proxy.URL+path, nil)
+		for n, v := range cookies {
+			req.AddCookie(&http.Cookie{Name: n, Value: v})
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.Header.Get(HitHeader)
+	}
+
+	// Allowlisted with empty list: tracking cookies don't key.
+	get("/shared", map[string]string{"track": "a"})
+	if h := get("/shared", map[string]string{"track": "b"}); h != "hit" {
+		t.Fatalf("allowlisted servlet, different tracking cookie: %s, want hit", h)
+	}
+
+	// Allowlisted with one name: that cookie still keys...
+	get("/bycat", map[string]string{"catpref": "1", "track": "a"})
+	if h := get("/bycat", map[string]string{"catpref": "2", "track": "a"}); h != "miss" {
+		t.Fatalf("allowlisted cookie changed: %s, want miss", h)
+	}
+	// ...but unlisted ones don't.
+	if h := get("/bycat", map[string]string{"catpref": "1", "track": "z"}); h != "hit" {
+		t.Fatalf("unlisted cookie changed: %s, want hit", h)
+	}
+
+	// No allowlist entry: the safety invariant — unknown cookies key, so
+	// one user's page can never answer another user's request.
+	get("/unlisted", map[string]string{"session": "u1"})
+	if h := get("/unlisted", map[string]string{"session": "u2"}); h != "miss" {
+		t.Fatalf("unlisted servlet, different session: %s, want miss (personalization safety)", h)
+	}
+}
+
+func TestParseCookieAllow(t *testing.T) {
+	m, err := ParseCookieAllow("home=session+lang, shared= ,search=q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m["home"]) != 2 || m["home"][0] != "session" || m["home"][1] != "lang" {
+		t.Fatalf("home: %v", m["home"])
+	}
+	if v, ok := m["shared"]; !ok || len(v) != 0 {
+		t.Fatalf("shared: %v ok=%v", v, ok)
+	}
+	if m2, err := ParseCookieAllow(""); err != nil || m2 != nil {
+		t.Fatalf("empty: %v %v", m2, err)
+	}
+	if _, err := ParseCookieAllow("nosign"); err == nil {
+		t.Fatal("entry without '=' should error")
+	}
+}
+
+// Satellite: eject edge cases around aliases and the servlet header.
+func TestEjectEmptyServletHeaderFallsThroughToPrefix(t *testing.T) {
+	cache := NewCache(0)
+	cache.Put(&Entry{Key: "host/page?g:id=1", Servlet: "page"})
+	cache.Put(&Entry{Key: "host/other", Servlet: "other"})
+	proxy := httptest.NewServer(NewProxy("http://unused.invalid", cache))
+	defer proxy.Close()
+
+	// An explicitly empty X-Cacheportal-Servlet header must not match every
+	// (or any) servlet: the eject falls through to the URL-prefix rule.
+	req, _ := http.NewRequest(http.MethodGet, proxy.URL+"/page", nil)
+	req.Header.Set("Cache-Control", "eject")
+	req.Header.Set(servletHeader, "")
+	req.Host = "host"
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "ejected 1") {
+		t.Fatalf("response: %q", b)
+	}
+	if _, ok := cache.Peek("host/other"); !ok {
+		t.Fatal("unrelated entry ejected")
+	}
+	if _, ok := cache.Peek("host/page?g:id=1"); ok {
+		t.Fatal("prefix-matched entry survived")
+	}
+}
+
+func TestEjectResolvesAliasedKey(t *testing.T) {
+	cache := NewCache(0)
+	cache.Put(&Entry{Key: "canonical", Servlet: "s", Body: []byte("x")})
+	cache.Alias("raw-request-key", "canonical")
+	proxy := httptest.NewServer(NewProxy("http://unused.invalid", cache))
+	defer proxy.Close()
+
+	// Ejecting by the alias must remove the canonical entry.
+	if err := Eject(nil, proxy.URL, "raw-request-key"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Peek("canonical"); ok {
+		t.Fatal("canonical entry survived eject via alias")
+	}
+	if got := cache.Resolve("raw-request-key"); got != "raw-request-key" {
+		t.Fatalf("alias survived its target: %q", got)
+	}
+}
+
+func TestEjectKeyPresentOnlyAsAlias(t *testing.T) {
+	cache := NewCache(0)
+	// The alias exists but its target entry was never stored (or already
+	// evicted): the eject must count a miss, not remove anything else.
+	cache.Put(&Entry{Key: "bystander", Servlet: "s"})
+	cache.Alias("ghost-alias", "ghost-canonical")
+	proxy := httptest.NewServer(NewProxy("http://unused.invalid", cache))
+	defer proxy.Close()
+
+	if err := Eject(nil, proxy.URL, "ghost-alias"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Peek("bystander"); !ok {
+		t.Fatal("bystander removed")
+	}
+	if st := cache.Stats(); st.EjectMisses != 1 {
+		t.Fatalf("stats: %+v, want 1 eject miss", st)
+	}
+}

@@ -36,4 +36,19 @@ func (c *Cache) Instrument(reg *obs.Registry, prefix string) {
 		reg.GaugeFunc(sp+"invalidations_total", func() int64 { return c.StatsOfShard(i).Invalidations })
 		reg.GaugeFunc(sp+"evictions_total", func() int64 { return c.StatsOfShard(i).Evictions })
 	}
+	// Per-servlet breakdown under "<prefix>.servlet.<name>.": gauges appear
+	// lazily as the proxy observes each servlet's first lookup, so the
+	// fragment-vs-page hit-ratio win is readable per servlet at
+	// /debug/metrics without pre-declaring the application. The hook fires
+	// outside the cache's servlet lock (see NoteServlet), so registering —
+	// which takes the registry lock — cannot deadlock against a concurrent
+	// Snapshot evaluating these gauges.
+	c.OnNewServlet(func(name string) {
+		sp := prefix + ".servlet." + name + "."
+		reg.GaugeFunc(sp+"hits_total", func() int64 { return c.StatsOfServlet(name).Hits })
+		reg.GaugeFunc(sp+"misses_total", func() int64 { return c.StatsOfServlet(name).Misses })
+		reg.GaugeFunc(sp+"hit_ratio_milli", func() int64 {
+			return int64(c.StatsOfServlet(name).HitRatio() * 1000)
+		})
+	})
 }

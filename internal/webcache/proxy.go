@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/fragment"
 	"repro/internal/httpx"
 	"repro/internal/trace"
 )
@@ -57,6 +58,25 @@ type Proxy struct {
 	// entries live until invalidated (the CachePortal model).
 	MaxAge time.Duration
 
+	// Fragments switches the proxy to fragment-level caching and edge
+	// assembly: full-page misses negotiate composite responses with the
+	// origin (template + fragments, each stored under its own key), hits
+	// assemble the page from cached fragments, and a missing fragment is
+	// fetched alone — so a personalized page costs one private miss plus N
+	// shared hits instead of a whole-page private miss. Off, the proxy
+	// behaves exactly as before.
+	Fragments bool
+	// CookieAllow is the per-servlet cookie allowlist for request-derived
+	// keys: for a servlet with an entry, only the listed cookie names
+	// contribute to the pre-alias lookup key (an empty list means no cookie
+	// does). Servlets without an entry keep the safe default — every cookie
+	// keys, because until the canonical-key alias is learned the proxy
+	// cannot know a cookie is ignored, and omitting one could let a
+	// personalized page answer another user's request. The allowlist is the
+	// operator's declaration that the listed servlets ignore everything
+	// else (e.g. tracking cookies on a fully-shared page).
+	CookieAllow map[string][]string
+
 	// Tracer, when set, closes pipeline traces: an eject request carrying
 	// TraceHeader gets a terminal webcache.eject span per listed context.
 	Tracer *trace.Tracer
@@ -85,28 +105,82 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		p.forward(w, r, "")
 		return
 	}
-	key := cacheKeyForRequest(r)
+	servlet := servletFromPath(r.URL.Path)
+	key := p.requestKey(r)
 	if e, ok := p.Cache.Get(p.Cache.Resolve(key)); ok {
-		if p.MaxAge > 0 && time.Since(e.StoredAt) > p.MaxAge {
+		switch {
+		case p.MaxAge > 0 && time.Since(e.StoredAt) > p.MaxAge:
 			// Time-based expiry: drop and refetch.
 			p.Cache.Invalidate(e.Key)
-			p.forward(w, r, key)
+			p.Cache.NoteServlet(entryServlet(e, servlet), false)
+		case e.IsTemplate():
+			if p.Fragments {
+				p.serveAssembled(w, r, key, e)
+				return
+			}
+			// Fragment mode was switched off under a populated cache: a
+			// template is not a servable page, so treat it as a miss.
+			p.Cache.Invalidate(e.Key)
+			p.Cache.NoteServlet(entryServlet(e, servlet), false)
+		default:
+			p.Cache.NoteServlet(entryServlet(e, servlet), true)
+			if p.HitDelay > 0 {
+				time.Sleep(p.HitDelay)
+			}
+			w.Header().Set("Content-Type", e.ContentType)
+			w.Header().Set(HitHeader, "hit")
+			w.Header().Set(keyHeader, e.Key)
+			w.WriteHeader(http.StatusOK)
+			w.Write(e.Body)
 			return
 		}
-		if p.HitDelay > 0 {
-			time.Sleep(p.HitDelay)
+		if p.MissExtraDelay > 0 {
+			time.Sleep(p.MissExtraDelay)
 		}
-		w.Header().Set("Content-Type", e.ContentType)
-		w.Header().Set(HitHeader, "hit")
-		w.Header().Set(keyHeader, e.Key)
-		w.WriteHeader(http.StatusOK)
-		w.Write(e.Body)
+		p.forward(w, r, key)
 		return
 	}
+	// Full-key miss (counted above). In fragment mode a first-time user can
+	// still ride the shared skeleton: the cookieless request key is aliased
+	// to the template when a composite is stored, so probe it quietly
+	// (Lookup charges no second miss) — only template entries may answer
+	// this cookie-blind path, never a legacy whole page.
+	if p.Fragments {
+		k0 := cookielessRequestKey(r)
+		if e, ok := p.Cache.Lookup(p.Cache.Resolve(k0)); ok && e.IsTemplate() &&
+			!(p.MaxAge > 0 && time.Since(e.StoredAt) > p.MaxAge) {
+			// Learn the full-key alias now, so this user's next request
+			// resolves to the template directly instead of re-missing here.
+			p.Cache.Alias(key, e.Key)
+			p.serveAssembled(w, r, key, e)
+			return
+		}
+	}
+	p.Cache.NoteServlet(servlet, false)
 	if p.MissExtraDelay > 0 {
 		time.Sleep(p.MissExtraDelay)
 	}
 	p.forward(w, r, key)
+}
+
+// entryServlet attributes a lookup to the entry's generating servlet,
+// falling back to the path-derived name.
+func entryServlet(e *Entry, fallback string) string {
+	if e.Servlet != "" {
+		return e.Servlet
+	}
+	return fallback
+}
+
+// servletFromPath extracts the servlet name from a URL path ("/name" or
+// "/name/...") — the app server's routing rule, mirrored for accounting
+// and the cookie allowlist.
+func servletFromPath(path string) string {
+	name := strings.TrimPrefix(path, "/")
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		name = name[:i]
+	}
+	return name
 }
 
 // isEject reports whether the request carries Cache-Control: eject.
@@ -153,7 +227,9 @@ func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
 		removed = p.Cache.Len()
 		p.Cache.Clear()
 	case key != "":
-		if p.Cache.Invalidate(key) {
+		// Resolve through the alias table: an eject may name a key the
+		// cache knows only as an alias of the canonical entry.
+		if p.Cache.Invalidate(p.Cache.Resolve(key)) {
 			removed = 1
 		}
 	case r.Header.Get(servletHeader) != "":
@@ -182,17 +258,103 @@ func (p *Proxy) serveEject(w http.ResponseWriter, r *http.Request) {
 // X-Cacheportal-Key takes precedence at store time; an alias links this
 // request-derived key to it.
 func cacheKeyForRequest(r *http.Request) string {
-	q := r.URL.Query()
-	key := r.Host + r.URL.Path + "?" + sortedEncode(q)
-	if cookies := r.Cookies(); len(cookies) > 0 {
-		parts := make([]string, 0, len(cookies))
-		for _, c := range cookies {
+	return cookielessRequestKey(r) + cookieSuffix(r, nil, false)
+}
+
+// requestKey is cacheKeyForRequest filtered through the proxy's per-servlet
+// cookie allowlist: servlets with an entry key only on the listed cookies,
+// everyone else keeps the safe every-cookie-keys default.
+func (p *Proxy) requestKey(r *http.Request) string {
+	allow, filtered := p.allowFor(servletFromPath(r.URL.Path))
+	return cookielessRequestKey(r) + cookieSuffix(r, allow, filtered)
+}
+
+// allowFor looks up the servlet's cookie allowlist; the second result
+// reports whether one is configured at all (an empty configured list means
+// "no cookie keys", which is different from "no allowlist").
+func (p *Proxy) allowFor(servlet string) ([]string, bool) {
+	if p.CookieAllow == nil {
+		return nil, false
+	}
+	allow, ok := p.CookieAllow[servlet]
+	return allow, ok
+}
+
+// cookielessRequestKey is the cookie-blind half of the request key. In
+// fragment mode it doubles as the shared-skeleton lookup key: every session
+// derives the same value, and an alias learned at composite-store time
+// points it at the assembly template.
+func cookielessRequestKey(r *http.Request) string {
+	return r.Host + r.URL.Path + "?" + sortedEncode(r.URL.Query())
+}
+
+// cookieSuffix renders the "#name=value;…" cookie part of a request key.
+// When filtered, only allowlisted names contribute; otherwise every cookie
+// does (the personalization-safety default).
+func cookieSuffix(r *http.Request, allow []string, filtered bool) string {
+	cookies := r.Cookies()
+	if len(cookies) == 0 {
+		return ""
+	}
+	allowed := func(name string) bool {
+		if !filtered {
+			return true
+		}
+		for _, a := range allow {
+			if a == name {
+				return true
+			}
+		}
+		return false
+	}
+	parts := make([]string, 0, len(cookies))
+	for _, c := range cookies {
+		if allowed(c.Name) {
 			parts = append(parts, url.QueryEscape(c.Name)+"="+url.QueryEscape(c.Value))
 		}
-		sort.Strings(parts)
-		key += "#" + strings.Join(parts, ";")
 	}
-	return key
+	if len(parts) == 0 {
+		return ""
+	}
+	sort.Strings(parts)
+	return "#" + strings.Join(parts, ";")
+}
+
+// privateLookupKey derives this request's lookup key for a private
+// fragment of a template: the fragment key rooted at the (shared) template
+// key plus the request's cookie identity. The canonical private key the
+// origin names is rooted at the user's full page key instead; an alias
+// learned at store time links the two. Using the template key as the root
+// keeps derivation possible from the template entry alone.
+func (p *Proxy) privateLookupKey(templateKey, name string, r *http.Request) string {
+	allow, filtered := p.allowFor(servletFromPath(r.URL.Path))
+	return fragment.Key(templateKey, name) + cookieSuffix(r, allow, filtered)
+}
+
+// ParseCookieAllow parses a -cookie-allow flag value of the form
+// "servlet=cookie+cookie,servlet2=" into a Proxy.CookieAllow map (an empty
+// cookie list meaning "no cookie keys for this servlet").
+func ParseCookieAllow(s string) (map[string][]string, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	out := make(map[string][]string)
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		name, list, ok := strings.Cut(item, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("webcache: bad cookie-allow entry %q (want servlet=cookie+cookie)", item)
+		}
+		cookies := []string{}
+		if list != "" {
+			cookies = strings.Split(list, "+")
+		}
+		out[name] = cookies
+	}
+	return out, nil
 }
 
 // sortedEncode renders query parameters sorted by name, each component
@@ -214,6 +376,155 @@ func sortedEncode(q map[string][]string) string {
 	return strings.Join(vals, "&")
 }
 
+// serveAssembled serves a page by splicing cached fragments into the
+// cached assembly template. Shared fragments come straight from their
+// canonical keys; private ones resolve through the alias table from a
+// request-derived key. A missing fragment is fetched alone from the origin
+// (one fragment body, not the whole page); if that fails the proxy falls
+// back to a full forward. Per-servlet accounting counts the template and
+// every fragment lookup, so the fragment-level hit ratio is observable.
+func (p *Proxy) serveAssembled(w http.ResponseWriter, r *http.Request, requestKey string, tmpl *Entry) {
+	servlet := entryServlet(tmpl, servletFromPath(r.URL.Path))
+	p.Cache.NoteServlet(servlet, true) // the template itself was a hit
+	bodies := make(map[string][]byte, len(tmpl.Refs))
+	allHit := true
+	for _, ref := range tmpl.Refs {
+		fkey := ref.Key
+		if ref.Private {
+			fkey = p.Cache.Resolve(p.privateLookupKey(tmpl.Key, ref.Name, r))
+		}
+		if e, ok := p.Cache.Get(fkey); ok {
+			if !(p.MaxAge > 0 && time.Since(e.StoredAt) > p.MaxAge) {
+				p.Cache.NoteServlet(servlet, true)
+				bodies[ref.Name] = e.Body
+				continue
+			}
+			p.Cache.Invalidate(e.Key)
+		}
+		p.Cache.NoteServlet(servlet, false)
+		allHit = false
+		body, ok := p.fetchFragment(r, tmpl.Key, ref)
+		if !ok {
+			p.forward(w, r, requestKey)
+			return
+		}
+		bodies[ref.Name] = body
+	}
+	page, err := fragment.Assemble(tmpl.Body, func(name string) ([]byte, bool) {
+		b, ok := bodies[name]
+		return b, ok
+	})
+	if err != nil {
+		// The template references a fragment it has no ref for — a corrupt
+		// entry. Drop it and refetch the page whole.
+		p.Cache.Invalidate(tmpl.Key)
+		p.forward(w, r, requestKey)
+		return
+	}
+	if allHit && p.HitDelay > 0 {
+		time.Sleep(p.HitDelay)
+	}
+	w.Header().Set("Content-Type", tmpl.ContentType)
+	if allHit {
+		w.Header().Set(HitHeader, "hit")
+	} else {
+		w.Header().Set(HitHeader, "partial")
+	}
+	w.Header().Set(keyHeader, tmpl.Key)
+	w.WriteHeader(http.StatusOK)
+	w.Write(page)
+}
+
+// fetchFragment asks the origin for one named fragment of the requested
+// page (fragment.FragmentHeader), stores it when cacheable, and — for
+// private fragments — learns the alias from this request's derived lookup
+// key to the canonical per-user key the origin named.
+func (p *Proxy) fetchFragment(r *http.Request, templateKey string, ref FragmentRef) ([]byte, bool) {
+	url := p.Origin + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return nil, false
+	}
+	req.Header = r.Header.Clone()
+	req.Header.Del(fragment.CompositeHeader)
+	req.Header.Set(fragment.FragmentHeader, ref.Name)
+	req.Host = r.Host
+	resp, err := p.client().Do(req)
+	if err != nil {
+		return nil, false
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return nil, false
+	}
+	if cacheableResponse(resp) {
+		if key := resp.Header.Get(keyHeader); key != "" {
+			p.Cache.Put(&Entry{
+				Key:         key,
+				Body:        body,
+				ContentType: resp.Header.Get("Content-Type"),
+				Servlet:     resp.Header.Get(servletHeader),
+			})
+			if ref.Private {
+				p.Cache.Alias(p.privateLookupKey(templateKey, ref.Name, r), key)
+			}
+		}
+	}
+	return body, true
+}
+
+// serveComposite decodes a composite origin response, stores the template
+// and every fragment under their own keys, learns the aliases that make
+// later requests hit (this user's full request key and the cookieless key
+// both lead to the template; each private fragment's derived lookup key
+// leads to its canonical per-user key), and serves the assembled page.
+func (p *Proxy) serveComposite(w http.ResponseWriter, r *http.Request, requestKey string, raw []byte) error {
+	comp, err := fragment.Decode(raw)
+	if err != nil {
+		return err
+	}
+	page, err := comp.Assemble()
+	if err != nil {
+		return err
+	}
+	refs := make([]FragmentRef, 0, len(comp.Fragments))
+	for _, piece := range comp.Fragments {
+		ref := FragmentRef{Name: piece.Name, Private: piece.Private}
+		if piece.Private {
+			p.Cache.Alias(p.privateLookupKey(comp.TemplateKey, piece.Name, r), piece.Key)
+		} else {
+			ref.Key = piece.Key
+		}
+		p.Cache.Put(&Entry{
+			Key:         piece.Key,
+			Body:        piece.Body,
+			ContentType: comp.ContentType,
+			Servlet:     comp.Servlet,
+		})
+		refs = append(refs, ref)
+	}
+	p.Cache.Put(&Entry{
+		Key:         comp.TemplateKey,
+		Body:        comp.Template,
+		ContentType: comp.ContentType,
+		Servlet:     comp.Servlet,
+		Refs:        refs,
+	})
+	p.Cache.Alias(requestKey, comp.TemplateKey)
+	p.Cache.Alias(cookielessRequestKey(r), comp.TemplateKey)
+	w.Header().Set("Content-Type", comp.ContentType)
+	w.Header().Set(keyHeader, comp.TemplateKey)
+	w.Header().Set(servletHeader, comp.Servlet)
+	w.Header().Set(HitHeader, "miss")
+	w.WriteHeader(http.StatusOK)
+	w.Write(page)
+	return nil
+}
+
 // forward proxies the request to the origin and caches eligible responses.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey string) {
 	url := p.Origin + r.URL.Path
@@ -227,6 +538,12 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey strin
 	}
 	req.Header = r.Header.Clone()
 	req.Host = r.Host
+	if p.Fragments && r.Method == http.MethodGet {
+		// Negotiate a fragment-structured response; a whole-page origin (or
+		// an uncacheable page) simply ignores the header and we fall back to
+		// the plain store below.
+		req.Header.Set(fragment.CompositeHeader, fragment.CompositeAccept)
+	}
 	resp, err := p.client().Do(req)
 	if err != nil {
 		http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
@@ -240,6 +557,12 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey strin
 	}
 
 	if resp.StatusCode == http.StatusOK && r.Method == http.MethodGet && cacheableResponse(resp) {
+		if p.Fragments && resp.Header.Get(fragment.CompositeHeader) == fragment.CompositeYes {
+			if err := p.serveComposite(w, r, requestKey, body); err != nil {
+				http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)
+			}
+			return
+		}
 		key := resp.Header.Get(keyHeader)
 		if key == "" {
 			key = requestKey

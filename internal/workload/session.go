@@ -1,0 +1,122 @@
+package workload
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// SessionMix drives the personalized-session scenario of the fragment
+// evaluation: a population of distinct users, each carrying its own
+// session cookie, requesting personalized pages. At page granularity every
+// (user, URL) pair is a distinct cache entry, so the hit ratio is bounded
+// by repeat visits of the *same* user; at fragment granularity the shared
+// fragments are one entry per URL and every user after the first assembles
+// from cache. An optional flash crowd concentrates a fraction of traffic
+// on one URL — the worst case for page caching with personalization, the
+// best case for shared-fragment reuse.
+type SessionMix struct {
+	// Rate is mean requests per second (Poisson arrivals).
+	Rate float64
+	// Users is the population size; each request is issued by a uniformly
+	// chosen user whose cookie is "u<N>".
+	Users int
+	// URLs are the personalized page targets (uniform selection).
+	URLs []string
+	// FlashURL, when non-empty, receives FlashFraction of all requests
+	// regardless of URLs — the flash crowd on one shared resource.
+	FlashURL      string
+	FlashFraction float64
+	// CookieName defaults to "session".
+	CookieName string
+	// Client defaults to httpx.Default().
+	Client *http.Client
+	// OnResult, when set, observes every completed request.
+	OnResult func(Result)
+
+	rng *rand.Rand
+	mu  sync.Mutex // guards rng: arrivals run on one goroutine, but keep it safe
+}
+
+// NewSessionMix creates a session-mix generator with a deterministic seed.
+func NewSessionMix(rate float64, seed int64, users int, urls ...string) *SessionMix {
+	return &SessionMix{
+		Rate:  rate,
+		Users: users,
+		URLs:  urls,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+func (g *SessionMix) cookieName() string {
+	if g.CookieName == "" {
+		return "session"
+	}
+	return g.CookieName
+}
+
+// Run issues requests for the duration and returns the stats, blocking
+// until in-flight requests complete.
+func (g *SessionMix) Run(d time.Duration) *Stats {
+	stats := &Stats{}
+	if g.Rate <= 0 || (len(g.URLs) == 0 && g.FlashURL == "") || g.Users <= 0 {
+		return stats
+	}
+	client := httpx.Client(g.Client)
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for time.Now().Before(deadline) {
+		g.mu.Lock()
+		user := fmt.Sprintf("u%d", g.rng.Intn(g.Users))
+		url := g.FlashURL
+		if url == "" || (len(g.URLs) > 0 && g.rng.Float64() >= g.FlashFraction) {
+			url = g.URLs[g.rng.Intn(len(g.URLs))]
+		}
+		gap := time.Duration(g.rng.ExpFloat64() * float64(time.Second) / g.Rate)
+		g.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res := g.one(client, url, user)
+			stats.add(res)
+			if g.OnResult != nil {
+				g.OnResult(res)
+			}
+		}()
+		time.Sleep(gap)
+	}
+	wg.Wait()
+	return stats
+}
+
+// one performs a single request as the given user.
+func (g *SessionMix) one(client *http.Client, url, user string) Result {
+	start := time.Now()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return Result{URL: url, Err: err}
+	}
+	req.AddCookie(&http.Cookie{Name: g.cookieName(), Value: user})
+	resp, err := client.Do(req)
+	r := Result{URL: url, Latency: time.Since(start), Err: err}
+	if err != nil {
+		return r
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	r.Latency = time.Since(start)
+	r.Status = resp.StatusCode
+	switch strings.ToLower(resp.Header.Get("X-Cacheportal-Cache")) {
+	case "hit":
+		r.CacheHit = true
+	case "partial":
+		r.CachePartial = true
+	}
+	return r
+}

@@ -19,11 +19,15 @@ import (
 
 // Result of one generated request.
 type Result struct {
-	URL      string
-	Latency  time.Duration
-	Status   int
-	CacheHit bool
-	Err      error
+	URL     string
+	Latency time.Duration
+	Status  int
+	// CacheHit is a full cache hit; CachePartial means the edge assembled
+	// the page from cached fragments but had to fetch at least one from
+	// the origin (fragment mode only). At most one of the two is set.
+	CacheHit     bool
+	CachePartial bool
+	Err          error
 }
 
 // Stats aggregates request results.
@@ -32,6 +36,7 @@ type Stats struct {
 	n        int64
 	errs     int64
 	hits     int64
+	partials int64
 	totalLat time.Duration
 	maxLat   time.Duration
 }
@@ -46,6 +51,8 @@ func (s *Stats) add(r Result) {
 	}
 	if r.CacheHit {
 		s.hits++
+	} else if r.CachePartial {
+		s.partials++
 	}
 	s.totalLat += r.Latency
 	if r.Latency > s.maxLat {
@@ -76,6 +83,19 @@ func (s *Stats) HitRatio() float64 {
 		return 0
 	}
 	return float64(s.hits) / float64(ok)
+}
+
+// PartialRatio returns the fraction of successful requests the edge
+// assembled from cache but completed with at least one origin fragment
+// fetch. Zero outside fragment mode.
+func (s *Stats) PartialRatio() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ok := s.n - s.errs
+	if ok == 0 {
+		return 0
+	}
+	return float64(s.partials) / float64(ok)
 }
 
 // MeanLatency returns the average latency of successful requests.
@@ -194,7 +214,12 @@ func (g *RequestGen) one(url string) Result {
 	io.Copy(io.Discard, resp.Body)
 	r.Latency = time.Since(start)
 	r.Status = resp.StatusCode
-	r.CacheHit = strings.EqualFold(resp.Header.Get("X-Cacheportal-Cache"), "hit")
+	switch strings.ToLower(resp.Header.Get("X-Cacheportal-Cache")) {
+	case "hit":
+		r.CacheHit = true
+	case "partial":
+		r.CachePartial = true
+	}
 	return r
 }
 

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -165,5 +166,60 @@ func TestPaperUpdateStatement(t *testing.T) {
 	}
 	if !sawInsert || !sawDelete || !sawSmall || !sawLarge {
 		t.Fatalf("mix incomplete: ins=%v del=%v small=%v large=%v", sawInsert, sawDelete, sawSmall, sawLarge)
+	}
+}
+
+func TestSessionMixIssuesPersonalizedRequests(t *testing.T) {
+	var mu sync.Mutex
+	users := map[string]int{}
+	flash := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := r.Cookie("session")
+		if err != nil {
+			t.Errorf("request without session cookie")
+			fmt.Fprint(w, "ok")
+			return
+		}
+		mu.Lock()
+		users[c.Value]++
+		if r.URL.Path == "/flash" {
+			flash++
+		}
+		mu.Unlock()
+		if users[c.Value] > 1 {
+			w.Header().Set("X-Cacheportal-Cache", "partial")
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+
+	g := NewSessionMix(400, 7, 3, ts.URL+"/home")
+	g.FlashURL = ts.URL + "/flash"
+	g.FlashFraction = 0.5
+	stats := g.Run(300 * time.Millisecond)
+	if stats.Requests() < 20 || stats.Errors() != 0 {
+		t.Fatalf("requests=%d errors=%d", stats.Requests(), stats.Errors())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(users) != 3 {
+		t.Fatalf("user population: %v", users)
+	}
+	// Flash crowd gets roughly half the traffic.
+	if frac := float64(flash) / float64(stats.Requests()); frac < 0.2 || frac > 0.8 {
+		t.Fatalf("flash fraction: %f", frac)
+	}
+	// Repeat visits answered "partial" are accounted separately from hits.
+	if stats.PartialRatio() == 0 || stats.HitRatio() != 0 {
+		t.Fatalf("partial=%f hit=%f", stats.PartialRatio(), stats.HitRatio())
+	}
+}
+
+func TestSessionMixZeroConfig(t *testing.T) {
+	if n := NewSessionMix(0, 1, 3, "http://x").Run(30 * time.Millisecond).Requests(); n != 0 {
+		t.Fatalf("zero rate issued %d", n)
+	}
+	if n := NewSessionMix(100, 1, 0, "http://x").Run(30 * time.Millisecond).Requests(); n != 0 {
+		t.Fatalf("zero users issued %d", n)
 	}
 }

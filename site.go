@@ -64,6 +64,17 @@ type SiteConfig struct {
 	// PollConns is how many DB connections the invalidator polls over
 	// (default 1; >1 lets concurrent workers poll in parallel).
 	PollConns int
+	// Fragments enables fragment-level caching and edge assembly: the app
+	// servers answer composite-negotiated requests with fragment pieces,
+	// the proxy stores each fragment under its own key and assembles pages
+	// at the edge, and the invalidator (key-agnostic) ejects individual
+	// fragments. Off, everything runs at whole-page granularity exactly as
+	// before.
+	Fragments bool
+	// CookieAllow is the proxy's per-servlet cookie allowlist for cache
+	// keys (webcache.Proxy.CookieAllow). Only meaningful on the proxy tier;
+	// servlets' own KeySpec cookie lists are unaffected.
+	CookieAllow map[string][]string
 	// Rules are administrator invalidation policies.
 	Rules []Rule
 	// SourceName is the data source name servlets use (default "db").
@@ -207,6 +218,7 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		reg := driver.NewRegistry()
 		reg.Bind(cfg.SourceName, pool)
 		app := appserver.NewServer(reg, s.RequestLog)
+		app.Fragments = cfg.Fragments
 		app.MinSensitivity = cfg.Interval
 		if cfg.Feed {
 			// Event-driven invalidation bounds staleness by the coalescing
@@ -251,6 +263,8 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	s.Cache.Instrument(cfg.Obs, "webcache")
 	s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
 	s.Proxy.Tracer = cfg.Tracer
+	s.Proxy.Fragments = cfg.Fragments
+	s.Proxy.CookieAllow = cfg.CookieAllow
 	s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
