@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry bench-wire bench-fragment trace-smoke fuzz clean
+.PHONY: all build test race chaos soak-feed bench bench-parallel bench-json bench-compare bench-registry bench-wire bench-fragment bench-cluster cluster-smoke trace-smoke fuzz clean
 
 all: build test
 
@@ -83,6 +83,27 @@ bench-wire:
 # beating mode=page's, mirroring TestFragmentHitRatioBeatsPageMode.
 bench-fragment:
 	$(GO) test -run xxx -bench 'BenchmarkFragmentAssembly|BenchmarkFragmentHitRatio' -benchtime 2s . \
+		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
+
+# Distributed cache tier smoke under the race detector: the cluster
+# package's ring/stream/manager suites, the webcache forwarding and
+# balancer hash-policy tests, and the top-level 3-node in-process cluster
+# tests — equivalence vs single-node, the node-drop/rejoin chaos case, and
+# the manager's flash-crowd replication.
+cluster-smoke:
+	$(GO) test -race -short ./internal/cluster/
+	$(GO) test -race -short -run 'Cluster|Reprobe|ConsistentHash|Resubscribe|Routed' -count=1 . ./internal/webcache/ ./internal/balancer/ ./internal/invalidator/ ./internal/feed/
+
+# Flash-crowd comparison on the 3-node cluster behind a round-robin front
+# tier, merged into BENCH_invalidator.json: static single-owner placement
+# vs the adaptive shard manager replicating the hot slot. Each mode
+# reports median-of-runs p50/p95 latency, the forwarded-request fraction
+# (the structural cost replication halves: 2/3 -> 1/3), per-node hit
+# ratios, and the manager's replica-migration count. The acceptance check
+# is mode=adaptive's p95-ms (and forwarded-per-req) coming in below
+# mode=static's.
+bench-cluster:
+	$(GO) test -run xxx -bench BenchmarkClusterFlashCrowd -benchtime 7x -timeout 30m . \
 		| $(GO) run ./cmd/benchjson -merge -out BENCH_invalidator.json
 
 # End-to-end tracing smoke under the race detector: the trace package's own

@@ -18,6 +18,8 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/httputil"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +43,9 @@ func main() {
 	traceOn := flag.Bool("trace", false, "trace every pipeline hop commit→eject in-process; serves /debug/trace")
 	traceSample := flag.Int("trace-sample", trace.DefaultSample, "head-sample every Nth trace (<=1 = all)")
 	traceBuffer := flag.Int("trace-buffer", trace.DefaultBuffer, "span ring-buffer capacity")
+	cacheNodes := flag.Int("cache-nodes", 1, "web cache nodes; >1 runs the consistent-hash cluster tier")
+	clusterPolicy := flag.String("cluster-policy", "hash", "front balancer policy for the cluster: hash (route to owner) or rr (any node, one-hop forward)")
+	clusterManage := flag.Bool("cluster-manage", false, "run the adaptive shard manager (hot-slot replication); needs -cache-nodes > 1")
 	flag.Parse()
 
 	var tracer *trace.Tracer
@@ -52,24 +57,45 @@ func main() {
 	for _, d := range demoapp.Servlets("db") {
 		defs = append(defs, cacheportal.ServletDef{Meta: d.Meta, Handler: d.Handler})
 	}
+	if *clusterManage && *cacheNodes <= 1 {
+		log.Fatal("cacheportal: -cluster-manage needs -cache-nodes > 1")
+	}
+	var cc cacheportal.ClusterConfig
+	if *cacheNodes > 1 {
+		cc = cacheportal.ClusterConfig{
+			CacheNodes:  *cacheNodes,
+			FrontPolicy: *clusterPolicy,
+			Manager:     *clusterManage,
+		}
+	}
 	site, err := cacheportal.NewSite(cacheportal.SiteConfig{
 		Schema:        demoapp.DefaultSchemaSQL(),
 		Servlets:      defs,
 		CacheCapacity: *capacity,
 		Interval:      *interval,
 		Tracer:        tracer,
+		Cluster:       cc,
 	})
 	if err != nil {
 		log.Fatalf("cacheportal: %v", err)
 	}
 	defer site.Close()
 
-	// Re-expose the internal cache proxy on the requested public address.
+	// Re-expose the cache tier on the requested public address: the proxy
+	// itself single-node, the front balancer when running the cluster.
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("cacheportal: %v", err)
 	}
-	go http.Serve(ln, site.Proxy)
+	var public http.Handler = site.Proxy
+	if *cacheNodes > 1 {
+		front, err := url.Parse(site.CacheURL)
+		if err != nil {
+			log.Fatalf("cacheportal: %v", err)
+		}
+		public = httputil.NewSingleHostReverseProxy(front)
+	}
+	go http.Serve(ln, public)
 
 	fmt.Printf("cacheportal site up:\n")
 	fmt.Printf("  public (cached) URL: http://%s  (pages: /light /medium /heavy ?cat=0..9)\n", ln.Addr())

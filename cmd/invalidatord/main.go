@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/driver"
 	"repro/internal/invalidator"
 	"repro/internal/logexport"
@@ -48,6 +49,12 @@ func main() {
 	minEventGap := flag.Duration("min-event-gap", 0, "burst-coalescing window for event-driven cycles (0 = default)")
 	predIdx := flag.Bool("pred-index", true, "probe the predicate index for candidate query instances instead of scanning the registry (same invalidations either way)")
 	fragments := flag.Bool("fragments", false, "annotate cycle logs with the fragment-vs-page eject split (the eject machinery itself is key-agnostic; pair with -fragments on webcached and appserver)")
+	peers := flag.String("peers", "", "cache cluster membership as 'id=url,id=url'; ejects are routed to each key's shard owners instead of every cache (empty = fan out to -cache)")
+	slots := flag.Int("slots", 0, "consistent-hash ring slots (0 = default; must match the webcached cluster)")
+	ejectStreamOn := flag.Bool("eject-stream", false, "serve the cursor-addressed eject stream at /ejects on the debug address instead of pushing ejects to the caches; webcacheds consume it with -eject-stream")
+	ejectRetain := flag.Int("eject-retain", 0, "eject-stream retention in records (0 = default)")
+	clusterManage := flag.Bool("cluster-manage", false, "run the adaptive shard manager: probe the peers' /debug/cluster gauges and add/drop hot-shard replicas (requires -peers)")
+	manageInterval := flag.Duration("manage-interval", time.Second, "shard-manager probe cadence")
 	wireBinary := flag.Bool("wire-binary", true, "offer the binary wire framing on DB connections (an old server declines harmlessly; false = JSON only)")
 	verbose := flag.Bool("v", false, "log every cycle")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8071", "address for /debug/metrics and /debug/vars (empty = off)")
@@ -122,17 +129,48 @@ func main() {
 	mapper := sniffer.NewMapper(mirror.Requests, mirror.Queries, qiMap)
 	mapper.Obs = reg
 
-	inv := invalidator.New(invalidator.Config{
-		Map:    qiMap,
-		Mapper: mapper,
-		Puller: puller,
-		Poller: poller,
-		Ejector: invalidator.HTTPEjector{
-			CacheURLs: strings.Split(*caches, ","),
+	// Cluster-aware ejection: with -peers the shard map narrows each key's
+	// fan-out to its owners; with -eject-stream the ejects are appended to a
+	// cursor-addressed log the caches pull instead of being pushed at all.
+	cacheURLs := strings.Split(*caches, ",")
+	var view *cluster.View
+	if *peers != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("invalidatord: -peers: %v", err)
+		}
+		view = cluster.NewView(cluster.NewMap(*slots, nodes))
+		// The peer list names the cache nodes; it supersedes -cache so the
+		// router's owner URLs and the fallback full fan-out list agree.
+		cacheURLs = make([]string, len(nodes))
+		for i, n := range nodes {
+			cacheURLs[i] = n.URL
+		}
+	}
+	var ejectLog *cluster.EjectLog
+	var ejector invalidator.Ejector
+	if *ejectStreamOn {
+		ejectLog = cluster.NewEjectLog(*ejectRetain)
+		ejector = cluster.StreamEjector{Log: ejectLog}
+	} else {
+		he := invalidator.HTTPEjector{
+			CacheURLs: cacheURLs,
 			Client:    httpClient,
 			MaxBatch:  *ejectBatch,
 			Obs:       reg,
-		},
+		}
+		if view != nil {
+			he.Router = cluster.Router{View: view}
+		}
+		ejector = he
+	}
+
+	inv := invalidator.New(invalidator.Config{
+		Map:        qiMap,
+		Mapper:     mapper,
+		Puller:     puller,
+		Poller:     poller,
+		Ejector:    ejector,
 		PollBudget: *pollBudget,
 		Workers:    *workers,
 		Obs:        reg,
@@ -150,9 +188,28 @@ func main() {
 			log.Printf("invalidatord: debug server: %v", err)
 		}, func(mux *http.ServeMux) {
 			mux.Handle("/debug/trace", trace.Handler(tracer))
+			if ejectLog != nil {
+				mux.Handle("/ejects", ejectLog.Handler())
+			}
 		})
 		defer dbg.Close()
 		fmt.Printf("invalidatord: debug endpoints on http://%s/debug/metrics\n", *debugAddr)
+		if ejectLog != nil {
+			fmt.Printf("invalidatord: eject stream on http://%s/ejects\n", *debugAddr)
+		}
+	} else if ejectLog != nil {
+		log.Fatal("invalidatord: -eject-stream needs -debug-addr to serve /ejects")
+	}
+	if *clusterManage {
+		if view == nil {
+			log.Fatal("invalidatord: -cluster-manage requires -peers")
+		}
+		probes := make([]cluster.Probe, len(cacheURLs))
+		for i, u := range cacheURLs {
+			probes[i] = cluster.HTTPProbe{URL: u, Client: httpClient}
+		}
+		mgr := &cluster.Manager{View: view, Probes: probes, Obs: reg}
+		go mgr.Run(*manageInterval, stop)
 	}
 	if *obsLog > 0 {
 		go obs.LogLoop(reg, *obsLog, log.Printf, stop)

@@ -15,6 +15,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/webcache"
@@ -27,6 +28,10 @@ func main() {
 	originTimeout := flag.Duration("origin-timeout", 0, "origin request timeout (0 = default 10s)")
 	shards := flag.Int("shards", 0, "cache lock shards (0 = auto, 1 = single exact LRU)")
 	fragments := flag.Bool("fragments", false, "fragment mode: negotiate composite responses with the origin, cache fragments under their own keys and assemble pages at the edge")
+	nodeID := flag.String("node-id", "", "this node's identity in the cache cluster (required with -peers)")
+	peers := flag.String("peers", "", "cluster membership as 'id=url,id=url' including this node (empty = single-node, byte-identical to before)")
+	slots := flag.Int("slots", 0, "consistent-hash ring slots (0 = default; must match across the cluster)")
+	ejectStream := flag.String("eject-stream", "", "invalidator eject-stream URL to consume with cursor resume (e.g. http://127.0.0.1:8071/ejects; empty = expect pushed ejects)")
 	cookieAllow := flag.String("cookie-allow", "", "per-servlet cookie allowlist for cache keys, e.g. 'home=session,search=' (listed servlets key only on the named cookies; others keep keying on all)")
 	statsEvery := flag.Duration("stats", 0, "print stats at this interval (0 = never)")
 	debugAddr := flag.String("debug-addr", "127.0.0.1:8091", "address for /debug/metrics and /debug/vars (empty = off)")
@@ -48,10 +53,45 @@ func main() {
 	reg := obs.NewRegistry()
 	reg.RuntimeMetrics()
 	cache := webcache.NewCacheSharded(*capacity, *shards)
-	cache.Instrument(reg, "webcache")
+	// With a cluster identity the gauges carry the node ID, so merging
+	// several nodes' scrapes (benchjson) doesn't collide their metrics.
+	metricsPrefix := "webcache"
+	if *nodeID != "" {
+		metricsPrefix = "webcache." + *nodeID
+	}
+	cache.Instrument(reg, metricsPrefix)
 	proxy := webcache.NewProxy(*origin, cache)
 	proxy.Tracer = tracer
 	proxy.Fragments = *fragments
+
+	var node *webcache.ClusterNode
+	if *peers != "" {
+		nodes, err := cluster.ParsePeers(*peers)
+		if err != nil {
+			log.Fatalf("webcached: -peers: %v", err)
+		}
+		if *nodeID == "" {
+			log.Fatal("webcached: -node-id is required with -peers")
+		}
+		m := cluster.NewMap(*slots, nodes)
+		if _, ok := m.Node(*nodeID); !ok {
+			log.Fatalf("webcached: -node-id %q is not in -peers", *nodeID)
+		}
+		node = webcache.NewClusterNode(*nodeID, cluster.NewView(m), cache)
+		node.Instrument(reg, "cluster."+*nodeID)
+		proxy.Cluster = node
+	}
+	if *ejectStream != "" {
+		consumer := &cluster.Consumer{
+			URL:   *ejectStream,
+			Apply: func(keys []string) { cache.InvalidateMany(keys) },
+			Clear: cache.Clear,
+			OnError: func(err error) {
+				log.Printf("webcached: eject stream: %v", err)
+			},
+		}
+		go consumer.Run(make(chan struct{}))
+	}
 	if *cookieAllow != "" {
 		allow, err := webcache.ParseCookieAllow(*cookieAllow)
 		if err != nil {
@@ -69,6 +109,11 @@ func main() {
 			log.Printf("webcached: debug server: %v", err)
 		}, func(mux *http.ServeMux) {
 			mux.Handle("/debug/trace", trace.Handler(tracer))
+			if node != nil {
+				// The shard manager probes and installs maps here too,
+				// besides the proxy's own serving of the same path.
+				mux.HandleFunc(cluster.DebugClusterPath, node.ServeDebug)
+			}
 		})
 		defer dbg.Close()
 		fmt.Printf("webcached: debug endpoints on http://%s/debug/metrics\n", *debugAddr)

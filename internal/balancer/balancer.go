@@ -1,7 +1,8 @@
 // Package balancer implements the traffic balancer in front of the web
 // server farm (the paper's Cisco LocalDirector): an HTTP reverse proxy that
-// spreads requests over a set of backends, with round-robin and
-// least-connections policies and passive health marking.
+// spreads requests over a set of backends, with round-robin,
+// least-connections, and consistent-hash policies, passive health marking,
+// and active re-probing of downed backends.
 package balancer
 
 import (
@@ -11,6 +12,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
+	"repro/internal/cluster"
 	"repro/internal/httpx"
 )
 
@@ -21,6 +24,13 @@ type Policy int
 const (
 	RoundRobin Policy = iota
 	LeastConnections
+	// ConsistentHash routes GETs by the same key projection the cache
+	// tier places entries with (cluster.RequestRouteKey), so a request
+	// lands on the node that owns — and has cached — its page, fragment
+	// skeleton probes included. Requires View; spreads a slot's traffic
+	// over its whole owner set (least-active among owners), and falls
+	// back to round-robin for non-GETs and unroutable requests.
+	ConsistentHash
 )
 
 type backend struct {
@@ -28,6 +38,7 @@ type backend struct {
 	active  int    // in-flight requests
 	healthy bool
 	downAt  time.Time
+	probing bool // an active re-probe goroutine is running
 }
 
 // Balancer is an http.Handler proxying to a set of backends.
@@ -37,21 +48,47 @@ type Balancer struct {
 	Client *http.Client
 	// Policy selects backends; RoundRobin by default.
 	Policy Policy
-	// RetryAfter is how long an unhealthy backend stays out of rotation.
+	// RetryAfter is how long an unhealthy backend stays out of rotation
+	// for regular traffic (the passive path; active re-probes below bring
+	// it back sooner).
 	RetryAfter time.Duration
+	// ProbeInterval is the base delay of the active re-probe started when
+	// a backend is marked down: the prober retries the backend with
+	// jittered capped-exponential backoff and restores it on the first
+	// response, so a recovered node rejoins promptly instead of waiting
+	// for traffic to happen to retry it. <= 0 disables active probing.
+	ProbeInterval time.Duration
+	// View supplies the placement map for the ConsistentHash policy;
+	// backends are matched to map nodes by URL.
+	View *cluster.View
+	// KeyFn overrides the ConsistentHash key projection
+	// (cluster.RequestRouteKey when nil).
+	KeyFn func(*http.Request) string
 
 	mu       sync.Mutex
 	backends []*backend
 	next     int
+	stop     chan struct{}
+	stopOnce sync.Once
 }
 
 // New creates a balancer over the given backend base URLs.
 func New(backends ...string) *Balancer {
-	b := &Balancer{RetryAfter: time.Second}
+	b := &Balancer{RetryAfter: time.Second, ProbeInterval: time.Second, stop: make(chan struct{})}
 	for _, url := range backends {
 		b.backends = append(b.backends, &backend{base: url, healthy: true})
 	}
 	return b
+}
+
+// Close stops any active re-probe goroutines. The balancer keeps serving
+// (with passive health marking only); Close is idempotent.
+func (b *Balancer) Close() {
+	b.stopOnce.Do(func() {
+		if b.stop != nil {
+			close(b.stop)
+		}
+	})
 }
 
 // Backends returns the configured backend URLs.
@@ -67,7 +104,7 @@ func (b *Balancer) Backends() []string {
 
 // pick selects a backend per policy, skipping unhealthy ones whose retry
 // window has not elapsed. It increments the chosen backend's active count.
-func (b *Balancer) pick() (*backend, error) {
+func (b *Balancer) pick(r *http.Request) (*backend, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	n := len(b.backends)
@@ -89,7 +126,10 @@ func (b *Balancer) pick() (*backend, error) {
 				chosen = be
 			}
 		}
-	default: // RoundRobin
+	case ConsistentHash:
+		chosen = b.pickHashed(r, usable)
+	}
+	if chosen == nil { // RoundRobin, and the fallback for every policy
 		for i := 0; i < n; i++ {
 			be := b.backends[(b.next+i)%n]
 			if usable(be) {
@@ -106,6 +146,37 @@ func (b *Balancer) pick() (*backend, error) {
 	return chosen, nil
 }
 
+// pickHashed routes by the cache tier's key projection: least-active among
+// the usable backends owning the request's slot. Nil when the request is
+// unroutable (non-GET, no view, no owner usable) — the caller falls back
+// to round-robin. Caller holds b.mu.
+func (b *Balancer) pickHashed(r *http.Request, usable func(*backend) bool) *backend {
+	if b.View == nil || r == nil || r.Method != http.MethodGet {
+		return nil
+	}
+	m := b.View.Map()
+	if m == nil || m.NumSlots() == 0 {
+		return nil
+	}
+	keyFn := b.KeyFn
+	if keyFn == nil {
+		keyFn = cluster.RequestRouteKey
+	}
+	owners := m.Owners(m.Slot(keyFn(r)))
+	var chosen *backend
+	for _, o := range owners {
+		for _, be := range b.backends {
+			if be.base != o.URL || !usable(be) {
+				continue
+			}
+			if chosen == nil || be.active < chosen.active {
+				chosen = be
+			}
+		}
+	}
+	return chosen
+}
+
 func (b *Balancer) release(be *backend, failed bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -113,8 +184,52 @@ func (b *Balancer) release(be *backend, failed bool) {
 	if failed {
 		be.healthy = false
 		be.downAt = time.Now()
+		if b.ProbeInterval > 0 && b.stop != nil && !be.probing {
+			be.probing = true
+			go b.probe(be)
+		}
 	} else {
 		be.healthy = true
+	}
+}
+
+// probe actively retries a downed backend with jittered backoff until it
+// answers — any HTTP response counts as alive (the probe asks about
+// reachability, not application health) — or the balancer closes. Without
+// it, a recovered backend rejoined only when traffic happened to hit it
+// after the RetryAfter window.
+func (b *Balancer) probe(be *backend) {
+	defer func() {
+		b.mu.Lock()
+		be.probing = false
+		b.mu.Unlock()
+	}()
+	for attempt := 1; ; attempt++ {
+		select {
+		case <-b.stop:
+			return
+		case <-time.After(backoff.Delay(b.ProbeInterval, attempt, 16*b.ProbeInterval)):
+		}
+		b.mu.Lock()
+		alive := be.healthy
+		b.mu.Unlock()
+		if alive { // traffic already brought it back
+			return
+		}
+		req, err := http.NewRequest(http.MethodHead, be.base+"/", nil)
+		if err != nil {
+			return
+		}
+		resp, err := b.client().Do(req)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		b.mu.Lock()
+		be.healthy = true
+		b.mu.Unlock()
+		return
 	}
 }
 
@@ -124,7 +239,7 @@ func (b *Balancer) client() *http.Client {
 
 // ServeHTTP proxies the request to a chosen backend.
 func (b *Balancer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	be, err := b.pick()
+	be, err := b.pick(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return

@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/httpx"
+	"repro/internal/obs"
+)
+
+// Report is one cache node's self-description for the shard manager:
+// which map version it runs, per-slot cumulative request counts, and its
+// aggregate hit/miss totals. Served (inside DebugState) at /debug/cluster.
+type Report struct {
+	Node       string  `json:"node"`
+	MapVersion int64   `json:"map_version"`
+	SlotLoad   []int64 `json:"slot_load"`
+	Hits       int64   `json:"hits"`
+	Misses     int64   `json:"misses"`
+}
+
+// DebugState is the GET /debug/cluster payload: the node's report plus the
+// map it is serving with — one probe round-trip gives the manager both.
+type DebugState struct {
+	Report Report `json:"report"`
+	Map    *Map   `json:"map"`
+}
+
+// Probe is the manager's view of one cache node: fetch its load report,
+// install a new map. The HTTP implementation talks to /debug/cluster;
+// tests use in-process funcs.
+type Probe interface {
+	Fetch() (DebugState, error)
+	Install(m *Map) error
+}
+
+// HTTPProbe probes a cache node over its serving URL (the proxy handles
+// /debug/cluster itself, so the manager needs no extra port).
+type HTTPProbe struct {
+	// URL is the node's base URL.
+	URL string
+	// Client defaults to httpx.Default.
+	Client *http.Client
+}
+
+// Fetch implements Probe.
+func (p HTTPProbe) Fetch() (DebugState, error) {
+	var st DebugState
+	resp, err := httpx.Client(p.Client).Get(p.URL + DebugClusterPath)
+	if err != nil {
+		return st, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("cluster: probe %s: status %d", p.URL, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return st, fmt.Errorf("cluster: probe %s: %w", p.URL, err)
+	}
+	return st, nil
+}
+
+// Install implements Probe.
+func (p HTTPProbe) Install(m *Map) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	resp, err := httpx.Client(p.Client).Post(p.URL+DebugClusterPath, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: install %s: status %d", p.URL, resp.StatusCode)
+	}
+	return nil
+}
+
+// DebugClusterPath is where a cluster-aware cache node serves (GET) and
+// accepts (POST) its membership view.
+const DebugClusterPath = "/debug/cluster"
+
+// ProbeFuncs adapts plain functions to Probe for in-process wiring.
+type ProbeFuncs struct {
+	FetchFn   func() (DebugState, error)
+	InstallFn func(m *Map) error
+}
+
+// Fetch implements Probe.
+func (p ProbeFuncs) Fetch() (DebugState, error) { return p.FetchFn() }
+
+// Install implements Probe.
+func (p ProbeFuncs) Install(m *Map) error { return p.InstallFn(m) }
+
+// Manager is the adaptive replication loop: each round it probes every
+// node's per-slot request counters, finds slots running disproportionately
+// hot (a flash crowd concentrates one URL family into one slot), and grows
+// their replica sets so the balancer can spread that slot's traffic; slots
+// that cooled back down shed replicas. Movement is bounded per round
+// (MaxMoves) and the map version only moves forward, so a rebalance is a
+// sequence of small, cheap steps — never a reshuffle.
+type Manager struct {
+	// View is the manager's own (authoritative) copy of the map.
+	View *View
+	// Probes name the cache nodes, aligned with the map's node list.
+	Probes []Probe
+	// MaxReplicas caps extra owners per slot (default 1).
+	MaxReplicas int
+	// HotFactor: a slot is hot when its per-round request delta exceeds
+	// HotFactor × the mean slot delta (default 4).
+	HotFactor float64
+	// CoolFactor: a replicated slot sheds a replica when its delta falls
+	// below CoolFactor × the mean (default 1).
+	CoolFactor float64
+	// MaxMoves bounds replica additions+removals per round (default 2).
+	MaxMoves int
+	// MinLoad is the per-round request floor below which a slot is never
+	// considered hot, so idle-cluster noise doesn't replicate (default 16).
+	MinLoad int64
+	// Obs, when set, records rounds, replica migrations, and the current
+	// replica count.
+	Obs *obs.Registry
+
+	mu   sync.Mutex
+	prev []int64
+
+	metricsOnce sync.Once
+	rounds      *obs.Counter
+	migrations  *obs.Counter
+	probeFails  *obs.Counter
+	replicas    *obs.Gauge
+}
+
+func (mg *Manager) defaults() (maxReplicas, maxMoves int, hot, cool float64, minLoad int64) {
+	maxReplicas = mg.MaxReplicas
+	if maxReplicas <= 0 {
+		maxReplicas = 1
+	}
+	maxMoves = mg.MaxMoves
+	if maxMoves <= 0 {
+		maxMoves = 2
+	}
+	hot = mg.HotFactor
+	if hot <= 0 {
+		hot = 4
+	}
+	cool = mg.CoolFactor
+	if cool <= 0 {
+		cool = 1
+	}
+	minLoad = mg.MinLoad
+	if minLoad <= 0 {
+		minLoad = 16
+	}
+	return
+}
+
+func (mg *Manager) metrics() {
+	mg.metricsOnce.Do(func() {
+		if mg.Obs == nil {
+			return
+		}
+		mg.rounds = mg.Obs.Counter("cluster.manager.rounds_total")
+		mg.migrations = mg.Obs.Counter("cluster.manager.replica_migrations_total")
+		mg.probeFails = mg.Obs.Counter("cluster.manager.probe_failures_total")
+		mg.replicas = mg.Obs.Gauge("cluster.manager.replicas")
+	})
+}
+
+// Round runs one probe/decide/publish pass and reports how many replicas
+// were added and dropped. Unreachable nodes are skipped (their load reads
+// as zero this round); all probes failing is an error.
+func (mg *Manager) Round() (added, dropped int, err error) {
+	mg.metrics()
+	if mg.rounds != nil {
+		mg.rounds.Inc()
+	}
+	maxReplicas, maxMoves, hotF, coolF, minLoad := mg.defaults()
+	m := mg.View.Map()
+	if m == nil || m.NumSlots() == 0 {
+		return 0, 0, fmt.Errorf("cluster: manager has no map")
+	}
+	slots := m.NumSlots()
+
+	cur := make([]int64, slots)
+	ownedSlots := make(map[string]int, len(m.Nodes))
+	reached := 0
+	for _, p := range mg.Probes {
+		st, perr := p.Fetch()
+		if perr != nil {
+			if mg.probeFails != nil {
+				mg.probeFails.Inc()
+			}
+			continue
+		}
+		reached++
+		for s, v := range st.Report.SlotLoad {
+			if s < slots {
+				cur[s] += v
+			}
+		}
+	}
+	if reached == 0 {
+		return 0, 0, fmt.Errorf("cluster: all %d probes failed", len(mg.Probes))
+	}
+	for s := 0; s < slots; s++ {
+		for _, o := range m.Owners(s) {
+			ownedSlots[o.ID]++
+		}
+	}
+
+	mg.mu.Lock()
+	if len(mg.prev) != slots {
+		mg.prev = make([]int64, slots)
+	}
+	delta := make([]int64, slots)
+	var total int64
+	for s := 0; s < slots; s++ {
+		d := cur[s] - mg.prev[s]
+		if d < 0 {
+			d = 0 // a node restarted and its counters reset
+		}
+		delta[s] = d
+		total += d
+		mg.prev[s] = cur[s]
+	}
+	mg.mu.Unlock()
+	mean := float64(total) / float64(slots)
+
+	// Hottest first, so the bounded move budget goes where it matters.
+	order := make([]int, slots)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return delta[order[i]] > delta[order[j]] })
+
+	next := m.Clone()
+	moves := 0
+	for _, s := range order {
+		if moves >= maxMoves {
+			break
+		}
+		d := delta[s]
+		switch {
+		case d >= minLoad && float64(d) > hotF*mean && len(next.Slots[s].Replicas) < maxReplicas:
+			if id := mg.replicaTarget(next, s, ownedSlots); id != "" {
+				if next.AddReplica(s, id) {
+					ownedSlots[id]++
+					added++
+					moves++
+				}
+			}
+		case len(next.Slots[s].Replicas) > 0 && float64(d) < coolF*mean:
+			reps := next.Slots[s].Replicas
+			victim := reps[len(reps)-1]
+			if next.RemoveReplica(s, victim) {
+				ownedSlots[victim]--
+				dropped++
+				moves++
+			}
+		}
+	}
+
+	if added+dropped > 0 {
+		next.Version = m.Version + 1
+		mg.View.Install(next)
+		for _, p := range mg.Probes {
+			if ierr := p.Install(next); ierr != nil && mg.probeFails != nil {
+				mg.probeFails.Inc()
+			}
+		}
+		if mg.migrations != nil {
+			mg.migrations.Add(int64(added + dropped))
+		}
+	}
+	if mg.replicas != nil {
+		mg.replicas.Set(int64(mg.View.Map().ReplicaCount()))
+	}
+	return added, dropped, nil
+}
+
+// replicaTarget picks the non-owner node with the fewest owned slots — the
+// cheapest place to absorb a hot slot's traffic. Ties break by ID.
+func (mg *Manager) replicaTarget(m *Map, slot int, ownedSlots map[string]int) string {
+	best := ""
+	bestOwned := 0
+	for _, n := range m.Nodes {
+		if m.IsOwner(slot, n.ID) {
+			continue
+		}
+		owned := ownedSlots[n.ID]
+		if best == "" || owned < bestOwned || (owned == bestOwned && n.ID < best) {
+			best, bestOwned = n.ID, owned
+		}
+	}
+	return best
+}
+
+// Run rounds on the interval until stop closes. Probe errors are expected
+// while nodes restart; the loop just keeps its cadence.
+func (mg *Manager) Run(interval time.Duration, stop <-chan struct{}) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			mg.Round()
+		}
+	}
+}

@@ -1,0 +1,183 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+)
+
+// fakeNode is an in-process cache node for manager tests: it reports a
+// canned slot-load vector and remembers installed maps.
+type fakeNode struct {
+	id        string
+	load      []int64
+	view      *View
+	installed int
+	down      bool
+}
+
+func (f *fakeNode) probe() Probe {
+	return ProbeFuncs{
+		FetchFn: func() (DebugState, error) {
+			if f.down {
+				return DebugState{}, errors.New("down")
+			}
+			m := f.view.Map()
+			return DebugState{
+				Report: Report{Node: f.id, MapVersion: m.Version, SlotLoad: f.load},
+				Map:    m,
+			}, nil
+		},
+		InstallFn: func(m *Map) error {
+			if f.down {
+				return errors.New("down")
+			}
+			f.installed++
+			f.view.Install(m)
+			return nil
+		},
+	}
+}
+
+func managerFixture(slots int) (*Manager, []*fakeNode, *Map) {
+	m := NewMap(slots, nodes("n1", "n2", "n3"))
+	view := NewView(m)
+	var fakes []*fakeNode
+	var probes []Probe
+	for _, id := range []string{"n1", "n2", "n3"} {
+		f := &fakeNode{id: id, load: make([]int64, slots), view: NewView(m)}
+		fakes = append(fakes, f)
+		probes = append(probes, f.probe())
+	}
+	mg := &Manager{View: view, Probes: probes}
+	return mg, fakes, m
+}
+
+func TestManagerReplicatesHotSlot(t *testing.T) {
+	mg, fakes, m := managerFixture(16)
+	// Round 1 establishes the baseline counters (all zero deltas).
+	if _, _, err := mg.Round(); err != nil {
+		t.Fatal(err)
+	}
+	// A flash crowd: slot 3 takes 1000 requests on its primary while every
+	// other slot stays nearly idle.
+	hot := 3
+	primary := m.Slots[hot].Primary
+	for _, f := range fakes {
+		if f.id == primary {
+			f.load[hot] = 1000
+		}
+	}
+	added, dropped, err := mg.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || dropped != 0 {
+		t.Fatalf("round added=%d dropped=%d, want 1 replica added", added, dropped)
+	}
+	next := mg.View.Map()
+	if next.Version != m.Version+1 {
+		t.Fatalf("version = %d, want %d", next.Version, m.Version+1)
+	}
+	if len(next.Slots[hot].Replicas) != 1 {
+		t.Fatalf("hot slot replicas = %v", next.Slots[hot].Replicas)
+	}
+	if rep := next.Slots[hot].Replicas[0]; rep == primary {
+		t.Fatal("replica placed on the primary")
+	}
+	// The new map was installed on every node, not just decided centrally.
+	for _, f := range fakes {
+		if f.installed != 1 {
+			t.Fatalf("node %s saw %d installs", f.id, f.installed)
+		}
+		if f.view.Map().Version != next.Version {
+			t.Fatalf("node %s at version %d", f.id, f.view.Map().Version)
+		}
+	}
+}
+
+func TestManagerCoolsIdleReplica(t *testing.T) {
+	mg, fakes, m := managerFixture(16)
+	mg.Round() // baseline
+	hot := 5
+	primary := m.Slots[hot].Primary
+	for _, f := range fakes {
+		if f.id == primary {
+			f.load[hot] = 1000
+		}
+	}
+	mg.Round() // replicates slot 5
+	if mg.View.Map().ReplicaCount() != 1 {
+		t.Fatalf("replicas = %d after hot round", mg.View.Map().ReplicaCount())
+	}
+	// Now other slots carry the traffic and slot 5 goes quiet: the replica
+	// must be shed.
+	for _, f := range fakes {
+		for s := range f.load {
+			if s != hot {
+				f.load[s] += 200
+			}
+		}
+	}
+	added, dropped, err := mg.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || dropped != 1 {
+		t.Fatalf("cool round added=%d dropped=%d", added, dropped)
+	}
+	if mg.View.Map().ReplicaCount() != 0 {
+		t.Fatalf("replicas = %d after cool round", mg.View.Map().ReplicaCount())
+	}
+}
+
+func TestManagerIgnoresIdleNoise(t *testing.T) {
+	mg, fakes, _ := managerFixture(16)
+	mg.Round()
+	// A handful of requests below MinLoad concentrated in one slot is not a
+	// flash crowd.
+	fakes[0].load[2] = 10
+	added, dropped, err := mg.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 0 || dropped != 0 {
+		t.Fatalf("idle noise moved replicas: added=%d dropped=%d", added, dropped)
+	}
+}
+
+func TestManagerBoundsMovesPerRound(t *testing.T) {
+	mg, fakes, m := managerFixture(32)
+	mg.Round()
+	// Many slots run hot at once; the manager must not replicate them all
+	// in one round.
+	for s := 0; s < 16; s++ {
+		primary := m.Slots[s].Primary
+		for _, f := range fakes {
+			if f.id == primary {
+				f.load[s] = 10000
+			}
+		}
+	}
+	added, dropped, err := mg.Round()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added+dropped > 2 {
+		t.Fatalf("round made %d moves, bound is 2", added+dropped)
+	}
+}
+
+func TestManagerSkipsDownNodesAndFailsWhenAllDown(t *testing.T) {
+	mg, fakes, _ := managerFixture(16)
+	mg.Round()
+	fakes[0].down = true
+	if _, _, err := mg.Round(); err != nil {
+		t.Fatalf("one down node broke the round: %v", err)
+	}
+	for _, f := range fakes {
+		f.down = true
+	}
+	if _, _, err := mg.Round(); err == nil {
+		t.Fatal("all probes down, round reported success")
+	}
+}

@@ -1,0 +1,129 @@
+package feed
+
+import (
+	"testing"
+)
+
+// TestResubscribeAtCursorAfterLongDisconnect: a consumer drops for a long
+// stretch while the source keeps appending (but retains everything), then
+// resubscribes at the cursor of the last batch it consumed. It must
+// receive exactly the records it missed — no loss, no re-delivery.
+func TestResubscribeAtCursorAfterLongDisconnect(t *testing.T) {
+	l := newTestLog()
+	h := NewHub(l.Pull, l.Changed)
+
+	sub := h.Subscribe(1, 4)
+	l.Append(1, 2, 3)
+	b := recvBatch(t, sub)
+	if len(b.Recs) != 3 || b.Next != 4 {
+		t.Fatalf("first batch = %+v", b)
+	}
+	consumed := b.Next
+	sub.Close()
+
+	// The disconnect: many appends land while no subscription exists.
+	for i := 4; i <= 40; i++ {
+		l.Append(i)
+	}
+
+	re := h.Subscribe(consumed, 4)
+	defer re.Close()
+	var got []int
+	for len(got) < 37 {
+		b := recvBatch(t, re)
+		if b.Truncated {
+			t.Fatal("no records were discarded, yet the batch says truncated")
+		}
+		got = append(got, b.Recs...)
+	}
+	if got[0] != 4 || got[len(got)-1] != 40 {
+		t.Fatalf("resumed delivery covers %d..%d, want 4..40", got[0], got[len(got)-1])
+	}
+	if re.Cursor() != 41 {
+		t.Fatalf("cursor = %d, want 41", re.Cursor())
+	}
+}
+
+// TestResubscribeSeesInterleavedTruncation: the consumer disconnects, the
+// source appends AND trims past the consumer's cursor, appends more, and
+// the consumer resubscribes at its old cursor. The first batch must carry
+// the truncation signal (the conservative-recovery trigger) and then
+// deliver everything still retained; subsequent batches are clean.
+func TestResubscribeSeesInterleavedTruncation(t *testing.T) {
+	l := newTestLog()
+	h := NewHub(l.Pull, l.Changed)
+
+	sub := h.Subscribe(1, 4)
+	l.Append(1, 2)
+	b := recvBatch(t, sub)
+	if b.Next != 3 {
+		t.Fatalf("first batch next = %d", b.Next)
+	}
+	consumed := b.Next
+	sub.Close()
+
+	// While disconnected: records 3..6 land, retention drops 1..4 (two of
+	// them unseen by the consumer), then 7..8 land.
+	l.Append(3, 4, 5, 6)
+	l.Trim(4)
+	l.Append(7, 8)
+
+	re := h.Subscribe(consumed, 4)
+	defer re.Close()
+	b = recvBatch(t, re)
+	if !b.Truncated {
+		t.Fatal("records 3 and 4 are gone; the resumed batch must say truncated")
+	}
+	if b.FirstSeq != 5 {
+		t.Fatalf("FirstSeq = %d, want 5 (oldest retained)", b.FirstSeq)
+	}
+	got := append([]int(nil), b.Recs...)
+	for len(got) < 4 {
+		nb := recvBatch(t, re)
+		if nb.Truncated {
+			t.Fatal("truncation signalled twice for one gap")
+		}
+		got = append(got, nb.Recs...)
+	}
+	want := []int{5, 6, 7, 8}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("resumed records = %v, want %v", got, want)
+		}
+	}
+
+	// After recovery the stream is clean: a further append arrives without
+	// any truncation residue.
+	l.Append(9)
+	b = recvBatch(t, re)
+	if b.Truncated || len(b.Recs) != 1 || b.Recs[0] != 9 {
+		t.Fatalf("post-recovery batch = %+v", b)
+	}
+	if re.Cursor() != 10 {
+		t.Fatalf("cursor = %d, want 10", re.Cursor())
+	}
+}
+
+// TestResubscribeAfterFullTruncation: everything the consumer had not seen
+// is gone and nothing new exists yet — the resumed subscription must still
+// deliver an (empty) truncated batch rather than blocking forever, because
+// the consumer cannot know to clear until told.
+func TestResubscribeAfterFullTruncation(t *testing.T) {
+	l := newTestLog()
+	h := NewHub(l.Pull, l.Changed)
+	l.Append(1, 2, 3)
+	l.Trim(3)
+
+	re := h.Subscribe(1, 4)
+	defer re.Close()
+	b := recvBatch(t, re)
+	if !b.Truncated {
+		t.Fatal("fully truncated resume did not signal")
+	}
+	if len(b.Recs) != 0 {
+		t.Fatalf("batch has %d records, want none", len(b.Recs))
+	}
+	if b.Next != 4 || b.FirstSeq != 4 {
+		t.Fatalf("batch next=%d first=%d, want 4/4", b.Next, b.FirstSeq)
+	}
+}

@@ -118,10 +118,22 @@ type HTTPEjector struct {
 	Client *http.Client
 	// MaxBatch caps keys per eject request (default DefaultEjectBatch).
 	MaxBatch int
+	// Router, when set, narrows the fan-out: each key is sent only to the
+	// cache URLs that may hold it (the cluster shard map's owners) instead
+	// of to every cache. Keys the router cannot place fall back to the
+	// full CacheURLs list, and EjectAll always reaches every cache —
+	// routing is an optimization, never a correctness risk.
+	Router KeyRouter
 	// Obs, when set, records eject fan-out telemetry: per-batch round-trip
 	// time ("ejector.batch_seconds"), whole-call fan-out time
 	// ("ejector.fanout_seconds"), and batch/key/failure totals.
 	Obs *obs.Registry
+}
+
+// KeyRouter maps a cache key to the cache endpoints that may hold it.
+// cluster.Router implements this over the shard map's view.
+type KeyRouter interface {
+	URLsFor(key string) []string
 }
 
 // Eject implements Ejector: every key is ejected from every cache. All
@@ -146,31 +158,30 @@ func (e HTTPEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 	if batch <= 0 {
 		batch = DefaultEjectBatch
 	}
-	var chunks [][]string
-	for start := 0; start < len(keys); start += batch {
-		end := start + batch
-		if end > len(keys) {
-			end = len(keys)
+	// Group keys by destination. Without a Router every cache gets every
+	// key (the original full fan-out); with one, each key goes only to its
+	// owners, and unroutable keys widen back to every cache.
+	perURL := make(map[string][]string, len(e.CacheURLs))
+	if e.Router == nil {
+		for _, url := range e.CacheURLs {
+			perURL[url] = keys
 		}
-		chunks = append(chunks, keys[start:end])
-	}
-	// One header value per chunk, shared across caches: the distinct trace
-	// contexts of the chunk's keys, in key order.
-	var hdrs []string
-	if len(ctxs) > 0 {
-		hdrs = make([]string, len(chunks))
-		for ci, chunk := range chunks {
-			var list []trace.Context
-			seen := make(map[int64]bool)
-			for _, k := range chunk {
-				if ctx, ok := ctxs[k]; ok && ctx.Valid() && !seen[ctx.Trace] {
-					seen[ctx.Trace] = true
-					list = append(list, ctx)
-				}
+	} else {
+		for _, k := range keys {
+			urls := e.Router.URLsFor(k)
+			if len(urls) == 0 {
+				urls = e.CacheURLs
 			}
-			hdrs[ci] = trace.FormatContexts(list)
+			for _, u := range urls {
+				perURL[u] = append(perURL[u], k)
+			}
 		}
 	}
+	urls := make([]string, 0, len(perURL))
+	for u := range perURL {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
 
 	// Resolved once per Eject call: ejects ride the cycle cadence, not the
 	// request path, so the registry lookups here are cheap enough.
@@ -189,21 +200,22 @@ func (e HTTPEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 		err  error
 		keys []string
 	}
-	fails := make([][]failure, len(e.CacheURLs))
+	fails := make([][]failure, len(urls))
 	var wg sync.WaitGroup
-	wg.Add(len(e.CacheURLs))
-	for i, url := range e.CacheURLs {
-		go func(i int, url string) {
+	wg.Add(len(urls))
+	for i, url := range urls {
+		go func(i int, url string, toSend []string) {
 			defer wg.Done()
-			for ci, chunk := range chunks {
-				hdr := ""
-				if hdrs != nil {
-					hdr = hdrs[ci]
+			for start := 0; start < len(toSend); start += batch {
+				end := start + batch
+				if end > len(toSend) {
+					end = len(toSend)
 				}
-				start := time.Now()
-				err := webcache.EjectKeysTraced(e.Client, url, chunk, hdr)
+				chunk := toSend[start:end]
+				t0 := time.Now()
+				err := webcache.EjectKeysTraced(e.Client, url, chunk, chunkTraceHeader(chunk, ctxs))
 				if batchLat != nil {
-					batchLat.ObserveDuration(time.Since(start))
+					batchLat.ObserveDuration(time.Since(t0))
 					batchesSent.Inc()
 					keysSent.Add(int64(len(chunk)))
 				}
@@ -214,7 +226,7 @@ func (e HTTPEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 					fails[i] = append(fails[i], failure{err: err, keys: chunk})
 				}
 			}
-		}(i, url)
+		}(i, url, perURL[url])
 	}
 	wg.Wait()
 	if fanoutLat != nil {
@@ -242,7 +254,25 @@ func (e HTTPEjector) eject(keys []string, ctxs map[string]trace.Context) error {
 	return &PartialEjectError{Keys: out, Err: errors.Join(errs...)}
 }
 
-// EjectAll implements BulkEjector: every cache is flushed.
+// chunkTraceHeader renders the distinct trace contexts of a chunk's keys,
+// in key order ("" when there is nothing to propagate).
+func chunkTraceHeader(chunk []string, ctxs map[string]trace.Context) string {
+	if len(ctxs) == 0 {
+		return ""
+	}
+	var list []trace.Context
+	seen := make(map[int64]bool)
+	for _, k := range chunk {
+		if ctx, ok := ctxs[k]; ok && ctx.Valid() && !seen[ctx.Trace] {
+			seen[ctx.Trace] = true
+			list = append(list, ctx)
+		}
+	}
+	return trace.FormatContexts(list)
+}
+
+// EjectAll implements BulkEjector: every cache is flushed, Router or not —
+// the conservative recovery must reach every node that might hold a page.
 func (e HTTPEjector) EjectAll() error {
 	var errs []error
 	for _, url := range e.CacheURLs {

@@ -1,0 +1,127 @@
+package invalidator
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// recordingCache is a fake cache endpoint that records which keys it was
+// told to eject (batch ejects carry newline-joined keys in the body).
+type recordingCache struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (rc *recordingCache) server(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		rc.mu.Lock()
+		for _, k := range strings.Split(strings.TrimSpace(string(body)), "\n") {
+			if k != "" {
+				rc.keys = append(rc.keys, k)
+			}
+		}
+		rc.mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	}))
+}
+
+func (rc *recordingCache) sorted() []string {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := append([]string(nil), rc.keys...)
+	sort.Strings(out)
+	return out
+}
+
+// mapRouter routes keys per a fixed table; unknown keys are unroutable.
+type mapRouter map[string][]string
+
+func (m mapRouter) URLsFor(key string) []string { return m[key] }
+
+// TestHTTPEjectorRoutedFanout: with a Router each key reaches only its
+// owners; keys the router cannot place widen to every cache.
+func TestHTTPEjectorRoutedFanout(t *testing.T) {
+	var rc1, rc2 recordingCache
+	s1 := rc1.server(t)
+	defer s1.Close()
+	s2 := rc2.server(t)
+	defer s2.Close()
+
+	ej := HTTPEjector{
+		CacheURLs: []string{s1.URL, s2.URL},
+		Router: mapRouter{
+			"owned-by-1": {s1.URL},
+			"owned-by-2": {s2.URL},
+			"replicated": {s1.URL, s2.URL},
+		},
+	}
+	if err := ej.Eject([]string{"owned-by-1", "owned-by-2", "replicated", "unroutable"}); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rc1.sorted(), []string{"owned-by-1", "replicated", "unroutable"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cache 1 ejected %v, want %v", got, want)
+	}
+	if got, want := rc2.sorted(), []string{"owned-by-2", "replicated", "unroutable"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("cache 2 ejected %v, want %v", got, want)
+	}
+}
+
+// TestHTTPEjectorRouterSkipsUninvolvedCache: a cache owning none of the
+// batch's keys receives no request at all.
+func TestHTTPEjectorRouterSkipsUninvolvedCache(t *testing.T) {
+	var rc1 recordingCache
+	s1 := rc1.server(t)
+	defer s1.Close()
+	var calls int
+	idle := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer idle.Close()
+
+	ej := HTTPEjector{
+		CacheURLs: []string{s1.URL, idle.URL},
+		Router:    mapRouter{"k1": {s1.URL}, "k2": {s1.URL}},
+	}
+	if err := ej.Eject([]string{"k1", "k2"}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("uninvolved cache saw %d requests", calls)
+	}
+	if got := rc1.sorted(); !reflect.DeepEqual(got, []string{"k1", "k2"}) {
+		t.Fatalf("owner ejected %v", got)
+	}
+}
+
+// TestHTTPEjectorRoutedPartialFailure: a failing owner yields a
+// KeyedEjectError naming only the keys routed to it.
+func TestHTTPEjectorRoutedPartialFailure(t *testing.T) {
+	var rc1 recordingCache
+	s1 := rc1.server(t)
+	defer s1.Close()
+	down := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	down.Close()
+
+	ej := HTTPEjector{
+		CacheURLs: []string{s1.URL, down.URL},
+		Router:    mapRouter{"ok-key": {s1.URL}, "lost-key": {down.URL}},
+	}
+	err := ej.Eject([]string{"ok-key", "lost-key"})
+	var ke KeyedEjectError
+	if !errors.As(err, &ke) {
+		t.Fatalf("want KeyedEjectError, got %v", err)
+	}
+	if got := ke.FailedKeys(); !reflect.DeepEqual(got, []string{"lost-key"}) {
+		t.Fatalf("failed keys %v, want only the downed owner's", got)
+	}
+}

@@ -1,0 +1,259 @@
+package webcache
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// twoNodeMap pins the whole keyspace on ownerID: one slot, no replicas —
+// the deterministic fixture for forwarding tests (real maps hash per
+// slot, which would depend on the httptest server's random port).
+func twoNodeMap(ownerID, url1, url2 string) *cluster.Map {
+	return &cluster.Map{
+		Version: 1,
+		Slots:   []cluster.Assignment{{Primary: ownerID}},
+		Nodes: []cluster.NodeInfo{
+			{ID: "n1", URL: url1},
+			{ID: "n2", URL: url2},
+		},
+	}
+}
+
+func TestClusterForwardsToOwner(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+
+	cache1, cache2 := NewCache(0), NewCache(0)
+	p1, p2 := NewProxy(origin.URL, cache1), NewProxy(origin.URL, cache2)
+	srv1, srv2 := httptest.NewServer(p1), httptest.NewServer(p2)
+	defer srv1.Close()
+	defer srv2.Close()
+
+	// Every key belongs to n2, so a request hitting n1 must take one hop.
+	m := twoNodeMap("n2", srv1.URL, srv2.URL)
+	node1 := NewClusterNode("n1", cluster.NewView(m), cache1)
+	node2 := NewClusterNode("n2", cluster.NewView(m), cache2)
+	p1.Cluster, p2.Cluster = node1, node2
+
+	resp, err := http.Get(srv1.URL + "/page?id=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "page 7") {
+		t.Fatalf("body %q", body)
+	}
+	if got := node1.forwards.Load(); got != 1 {
+		t.Fatalf("node1 forwards = %d, want 1", got)
+	}
+	// The entry lives on the owner, not the node that happened to take the
+	// request.
+	if cache2.Len() != 1 {
+		t.Fatalf("owner cache holds %d entries, want 1", cache2.Len())
+	}
+	if cache1.Len() != 0 {
+		t.Fatalf("non-owner cache holds %d entries, want 0", cache1.Len())
+	}
+
+	// A second request through n1 is a hit served off n2's cache: the
+	// origin is not consulted again.
+	http.Get(srv1.URL + "/page?id=7")
+	if originHits != 1 {
+		t.Fatalf("origin hits = %d, want 1 (second request should hit the owner's cache)", originHits)
+	}
+}
+
+func TestClusterForwardedRequestServedLocally(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+
+	cache := NewCache(0)
+	p := NewProxy(origin.URL, cache)
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	// This node owns nothing — but a request marked forwarded must be
+	// served here anyway (one hop max, never a loop).
+	p.Cluster = NewClusterNode("n1", cluster.NewView(twoNodeMap("n2", srv.URL, "http://127.0.0.1:1")), cache)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/page?id=1", nil)
+	req.Header.Set(ForwardedHeader, "n2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "page 1") {
+		t.Fatalf("body %q", body)
+	}
+	if p.Cluster.forwards.Load() != 0 {
+		t.Fatal("forwarded request was forwarded again")
+	}
+	if originHits != 1 {
+		t.Fatalf("origin hits = %d", originHits)
+	}
+}
+
+func TestClusterOwnerDownFallsBackToOriginWithoutStoring(t *testing.T) {
+	var originHits int64
+	origin := newOrigin(t, &originHits)
+	defer origin.Close()
+
+	cache := NewCache(0)
+	p := NewProxy(origin.URL, cache)
+	srv := httptest.NewServer(p)
+	defer srv.Close()
+	// The owner URL answers nothing: the forward fails and the node serves
+	// from the origin itself — but must NOT store, because it would never
+	// see the key's ejects.
+	node := NewClusterNode("n1", cluster.NewView(twoNodeMap("n2", srv.URL, "http://127.0.0.1:1")), cache)
+	p.Cluster = node
+
+	resp, err := http.Get(srv.URL + "/page?id=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "page 3") {
+		t.Fatalf("body %q", body)
+	}
+	if node.forwardFails.Load() == 0 {
+		t.Fatal("forward failure not counted")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("fallback stored %d entries off-owner", cache.Len())
+	}
+}
+
+func TestClusterServeDebug(t *testing.T) {
+	cache := NewCache(0)
+	m := cluster.NewMap(8, []cluster.NodeInfo{{ID: "n1", URL: "http://a"}})
+	node := NewClusterNode("n1", cluster.NewView(m), cache)
+	srv := httptest.NewServer(http.HandlerFunc(node.ServeDebug))
+	defer srv.Close()
+
+	// GET returns the report and the map.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st cluster.DebugState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Report.Node != "n1" || st.Map == nil || st.Map.Version != 1 {
+		t.Fatalf("state = %+v", st)
+	}
+	if len(st.Report.SlotLoad) != 8 {
+		t.Fatalf("slot load has %d slots", len(st.Report.SlotLoad))
+	}
+
+	post := func(m *cluster.Map) (int, string) {
+		body, _ := json.Marshal(m)
+		resp, err := http.Post(srv.URL, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	// A newer map installs; the same version again is ignored.
+	v2 := m.Clone()
+	v2.Version = 2
+	if code, body := post(v2); code != 200 || !strings.Contains(body, "installed version 2") {
+		t.Fatalf("install: %d %q", code, body)
+	}
+	if code, body := post(v2); code != 200 || !strings.Contains(body, "ignored") {
+		t.Fatalf("stale install: %d %q", code, body)
+	}
+	if node.View.Map().Version != 2 {
+		t.Fatalf("view at %d", node.View.Map().Version)
+	}
+
+	// A map with a different slot count is rejected outright.
+	bad := cluster.NewMap(16, m.Nodes)
+	bad.Version = 3
+	if code, _ := post(bad); code != http.StatusBadRequest {
+		t.Fatalf("slot mismatch accepted: %d", code)
+	}
+}
+
+func TestClusterInstallDropsUnownedEntries(t *testing.T) {
+	cache := NewCache(0)
+	peers := []cluster.NodeInfo{{ID: "n1", URL: "http://a"}, {ID: "n2", URL: "http://b"}}
+	m := cluster.NewMap(8, peers[:1]) // n1 owns everything
+	node := NewClusterNode("n1", cluster.NewView(m), cache)
+
+	// Two keys in different slots under the grown map.
+	grown := m.WithNodes(peers)
+	var kept, lost string
+	for i := 0; i < 256 && (kept == "" || lost == ""); i++ {
+		key := fmt.Sprintf("host/page%d?id=1", i)
+		if grown.IsOwner(grown.Slot(cluster.RouteKey(key)), "n1") {
+			kept = key
+		} else {
+			lost = key
+		}
+	}
+	if kept == "" || lost == "" {
+		t.Fatal("could not find keys on both sides of the split")
+	}
+	cache.Put(&Entry{Key: kept, Body: []byte("k")})
+	cache.Put(&Entry{Key: lost, Body: []byte("l")})
+
+	srv := httptest.NewServer(http.HandlerFunc(node.ServeDebug))
+	defer srv.Close()
+	body, _ := json.Marshal(grown)
+	resp, err := http.Post(srv.URL, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	if _, ok := cache.Peek(kept); !ok {
+		t.Fatal("still-owned entry was dropped")
+	}
+	if _, ok := cache.Peek(lost); ok {
+		t.Fatal("entry of a slot this node lost is still cached")
+	}
+}
+
+func TestClusterRouteRotatesAcrossOwners(t *testing.T) {
+	m := &cluster.Map{
+		Version: 1,
+		Slots:   []cluster.Assignment{{Primary: "n2", Replicas: []string{"n3"}}},
+		Nodes: []cluster.NodeInfo{
+			{ID: "n1", URL: "http://a"},
+			{ID: "n2", URL: "http://b"},
+			{ID: "n3", URL: "http://c"},
+		},
+	}
+	node := NewClusterNode("n1", cluster.NewView(m), nil)
+	seen := map[string]int{}
+	for i := 0; i < 10; i++ {
+		r := httptest.NewRequest(http.MethodGet, "http://host/page", nil)
+		peer, local := node.Route(r)
+		if local {
+			t.Fatal("non-owner routed local")
+		}
+		seen[peer]++
+	}
+	if len(seen) != 2 {
+		t.Fatalf("forwards went to %v, want both owners", seen)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/fragment"
 	"repro/internal/httpx"
 	"repro/internal/trace"
@@ -80,6 +81,13 @@ type Proxy struct {
 	// Tracer, when set, closes pipeline traces: an eject request carrying
 	// TraceHeader gets a terminal webcache.eject span per listed context.
 	Tracer *trace.Tracer
+
+	// Cluster, when set, makes this proxy one node of the distributed
+	// cache tier: GETs for slots this node doesn't own are forwarded one
+	// hop to the owner, /debug/cluster serves and accepts the membership
+	// view, and per-slot request counters feed the shard manager. Nil
+	// keeps single-node behavior byte-identical.
+	Cluster *ClusterNode
 }
 
 // NewProxy creates a proxy in front of origin.
@@ -96,8 +104,30 @@ func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Invalidation request: an otherwise-normal request whose
 	// Cache-Control contains the extended "eject" directive.
 	if isEject(r) {
+		// Ejects are always handled locally: in stream mode every node
+		// applies the full eject feed; in routed-push mode the invalidator
+		// already aimed at this node's keys.
 		p.serveEject(w, r)
 		return
+	}
+
+	if p.Cluster != nil {
+		if r.URL.Path == cluster.DebugClusterPath {
+			p.Cluster.ServeDebug(w, r)
+			return
+		}
+		if r.Method == http.MethodGet && r.Header.Get(ForwardedHeader) == "" {
+			if peer, local := p.Cluster.Route(r); !local {
+				if p.forwardPeer(w, r, peer) {
+					return
+				}
+				// Owner unreachable: answer from the origin ourselves, but
+				// don't store — this node doesn't receive the key's ejects,
+				// so a stored copy could go permanently stale.
+				p.forwardStore(w, r, "", false)
+				return
+			}
+		}
 	}
 
 	// Only GETs are served from (or admitted to) the cache.
@@ -527,6 +557,13 @@ func (p *Proxy) serveComposite(w http.ResponseWriter, r *http.Request, requestKe
 
 // forward proxies the request to the origin and caches eligible responses.
 func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey string) {
+	p.forwardStore(w, r, requestKey, true)
+}
+
+// forwardStore is forward with storage optional: the cluster fallback path
+// (owner unreachable, serving off-owner) must not admit entries this node
+// won't receive ejects for.
+func (p *Proxy) forwardStore(w http.ResponseWriter, r *http.Request, requestKey string, store bool) {
 	url := p.Origin + r.URL.Path
 	if r.URL.RawQuery != "" {
 		url += "?" + r.URL.RawQuery
@@ -538,10 +575,11 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey strin
 	}
 	req.Header = r.Header.Clone()
 	req.Host = r.Host
-	if p.Fragments && r.Method == http.MethodGet {
+	if p.Fragments && r.Method == http.MethodGet && store {
 		// Negotiate a fragment-structured response; a whole-page origin (or
 		// an uncacheable page) simply ignores the header and we fall back to
-		// the plain store below.
+		// the plain store below. The no-store path asks for the plain page —
+		// a composite it won't cache is pure overhead.
 		req.Header.Set(fragment.CompositeHeader, fragment.CompositeAccept)
 	}
 	resp, err := p.client().Do(req)
@@ -556,7 +594,7 @@ func (p *Proxy) forward(w http.ResponseWriter, r *http.Request, requestKey strin
 		return
 	}
 
-	if resp.StatusCode == http.StatusOK && r.Method == http.MethodGet && cacheableResponse(resp) {
+	if store && resp.StatusCode == http.StatusOK && r.Method == http.MethodGet && cacheableResponse(resp) {
 		if p.Fragments && resp.Header.Get(fragment.CompositeHeader) == fragment.CompositeYes {
 			if err := p.serveComposite(w, r, requestKey, body); err != nil {
 				http.Error(w, "bad gateway: "+err.Error(), http.StatusBadGateway)

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/appserver"
 	"repro/internal/balancer"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/driver"
 	"repro/internal/engine"
@@ -23,6 +24,50 @@ import (
 type ServletDef struct {
 	Meta    Meta
 	Handler ServletFunc
+}
+
+// ClusterConfig configures the distributed web-cache tier: N cache nodes
+// with consistent-hash key placement, a ConsistentHash front balancer
+// routing by the same projection, invalidation delivered over a
+// cursor-resumable eject stream (or routed HTTP pushes), and optionally a
+// shard manager replicating hot slots at runtime. The zero value (or
+// CacheNodes <= 1) keeps the single-cache topology byte-identical to
+// before.
+type ClusterConfig struct {
+	// CacheNodes is how many webcache nodes to run (<= 1 = single cache,
+	// no cluster machinery at all).
+	CacheNodes int
+	// Slots is the hash-ring slot count (cluster.DefaultSlots when 0).
+	Slots int
+	// HotReplicas caps extra owners the shard manager may add per slot
+	// (default 1). Only meaningful with Manager.
+	HotReplicas int
+	// Manager runs the adaptive shard manager: it probes each node's
+	// per-slot load at /debug/cluster and adds/drops hot-slot replicas.
+	Manager bool
+	// ManagerInterval is the manager's probe cadence (default 250ms).
+	ManagerInterval time.Duration
+	// HotFactor overrides the manager's hot-slot threshold (default 4×
+	// the mean slot load).
+	HotFactor float64
+	// MinLoad overrides the manager's per-round request floor below which
+	// a slot is never replicated (default 16).
+	MinLoad int64
+	// PushEjects delivers invalidations as routed per-cache HTTP pushes
+	// (HTTPEjector + shard-map router) instead of the default eject
+	// stream. The stream is the resilient choice — a node that drops and
+	// rejoins resumes from its cursor — pushes are the A/B comparison.
+	PushEjects bool
+	// EjectRetain bounds the eject stream's retention in records
+	// (cluster.DefaultEjectRetain when 0). A consumer that falls further
+	// behind than this sees the truncation signal and clears its cache.
+	EjectRetain int
+	// FrontPolicy selects how the front balancer routes requests to the
+	// cache nodes: "hash" (default, empty) sends each key straight to an
+	// owner; "rr" round-robins across all nodes — the topology where
+	// clients reach arbitrary edge caches and non-owners pay the one-hop
+	// forward that hot-slot replication then amortizes.
+	FrontPolicy string
 }
 
 // SiteConfig describes a complete single-process Configuration III site.
@@ -92,6 +137,8 @@ type SiteConfig struct {
 	// WHERE shapes of interned query templates, so the invalidator's
 	// polling queries probe instead of scanning.
 	AutoIndex bool
+	// Cluster configures the distributed web-cache tier (zero = off).
+	Cluster ClusterConfig
 	// Obs receives metrics from every tier (cache, sniffer, invalidator,
 	// freshness trace). Nil allocates a registry; reach it via Site.Obs.
 	Obs *obs.Registry
@@ -127,11 +174,27 @@ type Site struct {
 	Apps []*appserver.Server
 	// AppURL is the origin the cache forwards to: the single app server,
 	// or the balancer when WebServers > 1. AppURLs lists each server.
-	AppURL   string
-	AppURLs  []string
-	Cache    *webcache.Cache
-	Proxy    *webcache.Proxy
-	CacheURL string
+	AppURL  string
+	AppURLs []string
+	// Cache/Proxy are the first (or only) cache node; with a cluster,
+	// Caches/Proxies/CacheURLs list every node. CacheURL stays the one
+	// end-user entry point (the front balancer when clustered).
+	Cache     *webcache.Cache
+	Proxy     *webcache.Proxy
+	CacheURL  string
+	Caches    []*webcache.Cache
+	Proxies   []*webcache.Proxy
+	CacheURLs []string
+	// ClusterView is the placement map shared by the front balancer, the
+	// eject router and the shard manager (nil when not clustered).
+	ClusterView *cluster.View
+	// EjectLog is the invalidation stream the cache nodes consume
+	// (nil in single-node or push-eject mode); EjectStreamURL is its
+	// HTTP endpoint.
+	EjectLog       *cluster.EjectLog
+	EjectStreamURL string
+	// Manager is the running shard manager (nil unless Cluster.Manager).
+	Manager *cluster.Manager
 
 	Portal *Portal
 	// Obs is the site-wide metrics registry (SiteConfig.Obs or the one
@@ -149,9 +212,25 @@ type Site struct {
 	proxyLn   net.Listener
 	lbHTTP    *http.Server
 	lbLn      net.Listener
+	appLB     *balancer.Balancer
 	pools     []*driver.Pool
 	pollConn  driver.Conn
 	pollConns []driver.Conn
+
+	cacheHTTP   []*http.Server
+	cacheLB     *balancer.Balancer
+	cacheLBHTTP *http.Server
+	streamHTTP  *http.Server
+	consumers   []*ejectConsumer
+	managerStop chan struct{}
+}
+
+// ejectConsumer pairs a cache node's stream consumer with its lifecycle
+// channels, so tests can drop and rejoin a node.
+type ejectConsumer struct {
+	c    *cluster.Consumer
+	stop chan struct{}
+	done chan struct{}
 }
 
 // NewSite assembles and starts a Site.
@@ -248,30 +327,38 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	s.App = s.Apps[0]
 	s.AppURL = s.AppURLs[0]
 	if nServers > 1 {
-		lb := balancer.New(s.AppURLs...)
+		s.appLB = balancer.New(s.AppURLs...)
 		s.lbLn, err = net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			return nil, err
 		}
-		s.lbHTTP = &http.Server{Handler: lb}
+		s.lbHTTP = &http.Server{Handler: s.appLB}
 		go s.lbHTTP.Serve(s.lbLn)
 		s.AppURL = "http://" + s.lbLn.Addr().String()
 	}
 
-	// Caching reverse proxy (the dynamic web content cache).
-	s.Cache = webcache.NewCache(cfg.CacheCapacity)
-	s.Cache.Instrument(cfg.Obs, "webcache")
-	s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
-	s.Proxy.Tracer = cfg.Tracer
-	s.Proxy.Fragments = cfg.Fragments
-	s.Proxy.CookieAllow = cfg.CookieAllow
-	s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return nil, err
+	// Caching reverse proxy tier (the dynamic web content cache): a single
+	// proxy, or — with Cluster.CacheNodes > 1 — a consistent-hash cluster
+	// of them behind a hash-routing front balancer.
+	if cfg.Cluster.CacheNodes > 1 {
+		if err := s.buildCacheCluster(cfg); err != nil {
+			return nil, err
+		}
+	} else {
+		s.Cache = webcache.NewCache(cfg.CacheCapacity)
+		s.Cache.Instrument(cfg.Obs, "webcache")
+		s.Proxy = webcache.NewProxy(s.AppURL, s.Cache)
+		s.Proxy.Tracer = cfg.Tracer
+		s.Proxy.Fragments = cfg.Fragments
+		s.Proxy.CookieAllow = cfg.CookieAllow
+		s.proxyLn, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		s.proxyHTTP = &http.Server{Handler: s.Proxy}
+		go s.proxyHTTP.Serve(s.proxyLn)
+		s.CacheURL = "http://" + s.proxyLn.Addr().String()
 	}
-	s.proxyHTTP = &http.Server{Handler: s.Proxy}
-	go s.proxyHTTP.Serve(s.proxyLn)
-	s.CacheURL = "http://" + s.proxyLn.Addr().String()
 
 	// CachePortal: reads the update log over the wire — streamed when
 	// cfg.Feed, polled otherwise — polls via its own connection, ejects
@@ -322,7 +409,23 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 		}
 		poller = invalidator.NewConcurrentPoller(conns...)
 	}
-	var ejector invalidator.Ejector = invalidator.CacheEjector{Cache: s.Cache, Tracer: cfg.Tracer}
+	var ejector invalidator.Ejector
+	switch {
+	case s.EjectLog != nil:
+		// Cluster, stream mode: the portal appends to the eject log and
+		// every cache node's consumer applies it from its own cursor.
+		ejector = cluster.StreamEjector{Log: s.EjectLog}
+	case len(s.Caches) > 1:
+		// Cluster, push mode: routed HTTP ejects, each key only to the
+		// nodes the shard map says may hold it.
+		ejector = invalidator.HTTPEjector{
+			CacheURLs: s.CacheURLs,
+			Router:    cluster.Router{View: s.ClusterView},
+			Obs:       cfg.Obs,
+		}
+	default:
+		ejector = invalidator.CacheEjector{Cache: s.Cache, Tracer: cfg.Tracer}
+	}
 	if cfg.Chaos != nil {
 		cfg.Chaos.Instrument(cfg.Obs, "")
 		puller = faults.Puller{Next: puller, Inj: cfg.Chaos}
@@ -381,16 +484,228 @@ func NewSite(cfg SiteConfig) (*Site, error) {
 	return s, nil
 }
 
+// buildCacheCluster assembles the distributed cache tier: CacheNodes
+// proxies (each a ClusterNode over its own shard of the hash ring, with
+// node-ID-prefixed metrics so multi-node scrapes don't collide), a
+// ConsistentHash front balancer as the one CacheURL entry point, the eject
+// stream server plus one resuming consumer per node (unless PushEjects),
+// and — when asked — the shard manager probing /debug/cluster.
+func (s *Site) buildCacheCluster(cfg SiteConfig) error {
+	n := cfg.Cluster.CacheNodes
+	nodes := make([]cluster.NodeInfo, n)
+	lns := make([]net.Listener, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		lns[i] = ln
+		nodes[i] = cluster.NodeInfo{ID: fmt.Sprintf("node%d", i), URL: "http://" + ln.Addr().String()}
+	}
+	initial := cluster.NewMap(cfg.Cluster.Slots, nodes)
+	// The control view (balancer, eject router, manager) and each node's
+	// own view start from the same map; manager publishes reach the nodes
+	// through their /debug/cluster endpoints, exactly as across machines.
+	s.ClusterView = cluster.NewView(initial)
+	for i := 0; i < n; i++ {
+		cache := webcache.NewCache(cfg.CacheCapacity)
+		cache.Instrument(cfg.Obs, "webcache."+nodes[i].ID)
+		node := webcache.NewClusterNode(nodes[i].ID, cluster.NewView(initial), cache)
+		node.Instrument(cfg.Obs, "cluster."+nodes[i].ID)
+		proxy := webcache.NewProxy(s.AppURL, cache)
+		proxy.Tracer = cfg.Tracer
+		proxy.Fragments = cfg.Fragments
+		proxy.CookieAllow = cfg.CookieAllow
+		proxy.Cluster = node
+		hs := &http.Server{Handler: proxy}
+		go hs.Serve(lns[i])
+		s.Caches = append(s.Caches, cache)
+		s.Proxies = append(s.Proxies, proxy)
+		s.cacheHTTP = append(s.cacheHTTP, hs)
+		s.CacheURLs = append(s.CacheURLs, nodes[i].URL)
+	}
+	s.Cache, s.Proxy = s.Caches[0], s.Proxies[0]
+
+	s.cacheLB = balancer.New(s.CacheURLs...)
+	switch cfg.Cluster.FrontPolicy {
+	case "", "hash":
+		s.cacheLB.Policy = balancer.ConsistentHash
+		s.cacheLB.View = s.ClusterView
+	case "rr":
+		s.cacheLB.Policy = balancer.RoundRobin
+	default:
+		return fmt.Errorf("cluster: unknown FrontPolicy %q (want \"hash\" or \"rr\")", cfg.Cluster.FrontPolicy)
+	}
+	lbLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	s.cacheLBHTTP = &http.Server{Handler: s.cacheLB}
+	go s.cacheLBHTTP.Serve(lbLn)
+	s.CacheURL = "http://" + lbLn.Addr().String()
+
+	if !cfg.Cluster.PushEjects {
+		s.EjectLog = cluster.NewEjectLog(cfg.Cluster.EjectRetain)
+		mux := http.NewServeMux()
+		mux.Handle("/ejects", s.EjectLog.Handler())
+		streamLn, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		s.streamHTTP = &http.Server{Handler: mux}
+		go s.streamHTTP.Serve(streamLn)
+		s.EjectStreamURL = "http://" + streamLn.Addr().String() + "/ejects"
+		for i := 0; i < n; i++ {
+			cache := s.Caches[i]
+			s.consumers = append(s.consumers, &ejectConsumer{c: &cluster.Consumer{
+				URL:   s.EjectStreamURL,
+				Apply: func(keys []string) { cache.InvalidateMany(keys) },
+				Clear: cache.Clear,
+				Wait:  time.Second,
+			}})
+			s.ResumeEjectConsumer(i)
+		}
+	}
+
+	if cfg.Cluster.Manager {
+		probes := make([]cluster.Probe, n)
+		for i := range probes {
+			probes[i] = cluster.HTTPProbe{URL: s.CacheURLs[i]}
+		}
+		s.Manager = &cluster.Manager{
+			View:        s.ClusterView,
+			Probes:      probes,
+			MaxReplicas: cfg.Cluster.HotReplicas,
+			HotFactor:   cfg.Cluster.HotFactor,
+			MinLoad:     cfg.Cluster.MinLoad,
+			Obs:         cfg.Obs,
+		}
+		interval := cfg.Cluster.ManagerInterval
+		if interval <= 0 {
+			interval = 250 * time.Millisecond
+		}
+		s.managerStop = make(chan struct{})
+		go s.Manager.Run(interval, s.managerStop)
+	}
+	return nil
+}
+
+// StopEjectConsumer stops cache node i's eject-stream consumer — the test
+// hook for "a replica dropped off the invalidation feed". The node keeps
+// serving whatever it has; its cursor is preserved for the rejoin.
+func (s *Site) StopEjectConsumer(i int) {
+	if i < 0 || i >= len(s.consumers) {
+		return
+	}
+	ec := s.consumers[i]
+	if ec.stop == nil {
+		return
+	}
+	close(ec.stop)
+	<-ec.done
+	ec.stop, ec.done = nil, nil
+}
+
+// ResumeEjectConsumer (re)starts node i's consumer from its saved cursor —
+// the rejoin path: it catches up on every eject it missed, or clears the
+// node's cache if the stream truncated past its cursor.
+func (s *Site) ResumeEjectConsumer(i int) {
+	if i < 0 || i >= len(s.consumers) {
+		return
+	}
+	ec := s.consumers[i]
+	if ec.stop != nil {
+		return
+	}
+	ec.stop, ec.done = make(chan struct{}), make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ec.c.Run(stop)
+	}(ec.stop, ec.done)
+}
+
+// EjectConsumerCursor returns node i's stream resume cursor.
+func (s *Site) EjectConsumerCursor(i int) int64 {
+	if i < 0 || i >= len(s.consumers) {
+		return 0
+	}
+	return s.consumers[i].c.Cursor()
+}
+
+// EjectStreamLag reports how many stream records the slowest running
+// consumer still has to apply (0 when not in stream mode; stopped
+// consumers don't count — they are lagging on purpose).
+func (s *Site) EjectStreamLag() int64 {
+	if s.EjectLog == nil {
+		return 0
+	}
+	head := s.EjectLog.NextSeq()
+	var lag int64
+	for _, ec := range s.consumers {
+		if ec.stop == nil {
+			continue
+		}
+		if d := head - ec.c.Cursor(); d > lag {
+			lag = d
+		}
+	}
+	return lag
+}
+
+// WaitEjectStream blocks until every running consumer has applied the
+// whole eject log (or the timeout passes), reporting success. The
+// convergence barrier cluster tests quiesce on.
+func (s *Site) WaitEjectStream(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for s.EjectStreamLag() > 0 {
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return true
+}
+
+// allCaches lists every cache node (the single cache when not clustered).
+func (s *Site) allCaches() []*webcache.Cache {
+	if len(s.Caches) > 0 {
+		return s.Caches
+	}
+	return []*webcache.Cache{s.Cache}
+}
+
 // Close shuts every component down. Safe on partially built sites.
 func (s *Site) Close() {
 	if s.Portal != nil {
 		s.Portal.Close()
+	}
+	if s.managerStop != nil {
+		close(s.managerStop)
+		s.managerStop = nil
+	}
+	for i := range s.consumers {
+		s.StopEjectConsumer(i)
 	}
 	if s.feed != nil {
 		s.feed.Close()
 	}
 	if s.proxyHTTP != nil {
 		s.proxyHTTP.Close()
+	}
+	if s.streamHTTP != nil {
+		s.streamHTTP.Close()
+	}
+	if s.cacheLB != nil {
+		s.cacheLB.Close()
+	}
+	if s.cacheLBHTTP != nil {
+		s.cacheLBHTTP.Close()
+	}
+	for _, hs := range s.cacheHTTP {
+		hs.Close()
+	}
+	if s.appLB != nil {
+		s.appLB.Close()
 	}
 	if s.lbHTTP != nil {
 		s.lbHTTP.Close()
@@ -424,14 +739,21 @@ func (s *Site) Exec(sql string) error {
 // whether the page was invalidated. Intended for tests and demos; the
 // background loop does the same work on its own cadence.
 func (s *Site) WaitForInvalidation(cacheKey string, timeout time.Duration) bool {
+	gone := func() bool {
+		for _, c := range s.allCaches() {
+			if _, present := c.Peek(cacheKey); present {
+				return false
+			}
+		}
+		return true
+	}
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		if _, present := s.Cache.Peek(cacheKey); !present {
+		if gone() {
 			return true
 		}
 		s.Portal.Cycle()
 		time.Sleep(5 * time.Millisecond)
 	}
-	_, present := s.Cache.Peek(cacheKey)
-	return !present
+	return gone()
 }
